@@ -1,0 +1,1251 @@
+//! The two-pass assembler.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ptaint_isa::{
+    BranchCond, BranchZCond, IAluOp, Instr, MemWidth, MulDivOp, RAluOp, Reg, ShiftOp, DATA_BASE,
+    TEXT_BASE,
+};
+
+use crate::Image;
+
+/// An assembly error with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl AsmError {
+    fn new(line: u32, msg: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A parsed statement awaiting encoding in pass 2.
+#[derive(Debug)]
+enum Item {
+    /// An instruction (possibly a pseudo) at a text address.
+    Insn {
+        addr: u32,
+        line: u32,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
+    /// Data bytes at a data address; `reloc` words get patched in pass 2.
+    Bytes { addr: u32, bytes: Vec<u8> },
+    /// A `.word expr` whose expression may reference labels.
+    WordExpr { addr: u32, line: u32, expr: String },
+}
+
+/// Assembles a complete source file into an [`Image`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics or registers, undefined or duplicate labels, and
+/// out-of-range immediates or branch targets.
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    Assembler::new().run(source)
+}
+
+struct Assembler {
+    section: Section,
+    text_cursor: u32,
+    data_cursor: u32,
+    symbols: HashMap<String, u32>,
+    pending_labels: Vec<(String, u32)>, // (name, defining line)
+    items: Vec<Item>,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            section: Section::Text,
+            text_cursor: TEXT_BASE,
+            data_cursor: DATA_BASE,
+            symbols: HashMap::new(),
+            pending_labels: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    fn run(mut self, source: &str) -> Result<Image, AsmError> {
+        // Pass 1: parse lines, lay out addresses, collect symbols.
+        for (idx, raw) in source.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            self.parse_line(raw, line_no)?;
+        }
+        self.bind_pending(self.cursor());
+
+        // Pass 2: encode.
+        let mut image = Image::new();
+        image.symbols = self.symbols.clone();
+        image.entry = image
+            .symbol("_start")
+            .or_else(|| image.symbol("main"))
+            .unwrap_or(TEXT_BASE);
+        // Data image sized to the final cursor.
+        image.data = vec![0; (self.data_cursor - DATA_BASE) as usize];
+        let mut text: Vec<(u32, u32, u32)> = Vec::new(); // (addr, word, line)
+
+        for item in &self.items {
+            match item {
+                Item::Bytes { addr, bytes } => {
+                    let off = (*addr - DATA_BASE) as usize;
+                    image.data[off..off + bytes.len()].copy_from_slice(bytes);
+                }
+                Item::WordExpr { addr, line, expr } => {
+                    let v = self.eval(expr, *line)?;
+                    let off = (*addr - DATA_BASE) as usize;
+                    image.data[off..off + 4].copy_from_slice(&to_u32(v, *line)?.to_le_bytes());
+                }
+                Item::Insn {
+                    addr,
+                    line,
+                    mnemonic,
+                    operands,
+                } => {
+                    let encoded = self.encode(*addr, *line, mnemonic, operands)?;
+                    for (i, insn) in encoded.iter().enumerate() {
+                        text.push((*addr + 4 * i as u32, insn.encode(), *line));
+                    }
+                }
+            }
+        }
+
+        text.sort_by_key(|&(addr, _, _)| addr);
+        let text_len = self.text_cursor - TEXT_BASE;
+        image.text = vec![0; (text_len / 4) as usize];
+        image.lines = vec![0; (text_len / 4) as usize];
+        for (addr, word, line) in text {
+            let i = ((addr - TEXT_BASE) / 4) as usize;
+            image.text[i] = word;
+            image.lines[i] = line;
+        }
+        Ok(image)
+    }
+
+    fn cursor(&self) -> u32 {
+        match self.section {
+            Section::Text => self.text_cursor,
+            Section::Data => self.data_cursor,
+        }
+    }
+
+    fn bind_pending(&mut self, addr: u32) {
+        for (name, _) in self.pending_labels.drain(..) {
+            self.symbols.insert(name, addr);
+        }
+    }
+
+    fn align_data(&mut self, align: u32) {
+        let rem = self.data_cursor % align;
+        if rem != 0 {
+            self.data_cursor += align - rem;
+        }
+    }
+
+    fn parse_line(&mut self, raw: &str, line: u32) -> Result<(), AsmError> {
+        let stripped = strip_comment(raw);
+        let mut rest = stripped.trim();
+
+        // Peel off any leading labels.
+        while let Some(colon) = find_label_colon(rest) {
+            let name = rest[..colon].trim();
+            if !is_ident(name) {
+                return Err(AsmError::new(line, format!("invalid label name `{name}`")));
+            }
+            if self.symbols.contains_key(name)
+                || self.pending_labels.iter().any(|(n, _)| n == name)
+            {
+                return Err(AsmError::new(line, format!("duplicate label `{name}`")));
+            }
+            self.pending_labels.push((name.to_owned(), line));
+            rest = rest[colon + 1..].trim();
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+
+        if let Some(directive) = rest.strip_prefix('.') {
+            return self.parse_directive(directive, line);
+        }
+
+        // Instruction: mnemonic then comma-separated operands.
+        let (mnemonic, ops) = match rest.find(char::is_whitespace) {
+            Some(sp) => (&rest[..sp], rest[sp..].trim()),
+            None => (rest, ""),
+        };
+        let mnemonic = mnemonic.to_ascii_lowercase();
+        let operands: Vec<String> = if ops.is_empty() {
+            Vec::new()
+        } else {
+            ops.split(',').map(|s| s.trim().to_owned()).collect()
+        };
+        if self.section != Section::Text {
+            return Err(AsmError::new(line, "instruction outside .text section"));
+        }
+        let words = instruction_words(&mnemonic, &operands, line)?;
+        self.bind_pending(self.text_cursor);
+        self.items.push(Item::Insn {
+            addr: self.text_cursor,
+            line,
+            mnemonic,
+            operands,
+        });
+        self.text_cursor += 4 * words;
+        Ok(())
+    }
+
+    fn parse_directive(&mut self, directive: &str, line: u32) -> Result<(), AsmError> {
+        let (name, args) = match directive.find(char::is_whitespace) {
+            Some(sp) => (&directive[..sp], directive[sp..].trim()),
+            None => (directive, ""),
+        };
+        match name {
+            "text" => {
+                self.bind_pending(self.cursor());
+                self.section = Section::Text;
+            }
+            "data" => {
+                self.bind_pending(self.cursor());
+                self.section = Section::Data;
+            }
+            "globl" | "global" | "ent" | "end" => { /* accepted, no effect */ }
+            "align" => {
+                let n: u32 = args
+                    .trim()
+                    .parse()
+                    .map_err(|_| AsmError::new(line, ".align expects a small integer"))?;
+                if n > 12 {
+                    return Err(AsmError::new(line, ".align argument too large"));
+                }
+                if self.section == Section::Data {
+                    self.align_data(1 << n);
+                }
+            }
+            "space" => {
+                self.require_data(line)?;
+                let n = parse_int(args.trim())
+                    .ok_or_else(|| AsmError::new(line, ".space expects an integer"))?;
+                if !(0..=16 * 1024 * 1024).contains(&n) {
+                    return Err(AsmError::new(line, ".space size out of range"));
+                }
+                self.bind_pending(self.data_cursor);
+                self.items.push(Item::Bytes {
+                    addr: self.data_cursor,
+                    bytes: vec![0; n as usize],
+                });
+                self.data_cursor += n as u32;
+            }
+            "word" => {
+                self.require_data(line)?;
+                self.align_data(4);
+                self.bind_pending(self.data_cursor);
+                for expr in split_top(args) {
+                    self.items.push(Item::WordExpr {
+                        addr: self.data_cursor,
+                        line,
+                        expr: expr.trim().to_owned(),
+                    });
+                    self.data_cursor += 4;
+                }
+            }
+            "half" => {
+                self.require_data(line)?;
+                self.align_data(2);
+                self.bind_pending(self.data_cursor);
+                for expr in split_top(args) {
+                    let v = parse_int(expr.trim())
+                        .ok_or_else(|| AsmError::new(line, ".half expects integers"))?;
+                    self.items.push(Item::Bytes {
+                        addr: self.data_cursor,
+                        bytes: (v as u16).to_le_bytes().to_vec(),
+                    });
+                    self.data_cursor += 2;
+                }
+            }
+            "byte" => {
+                self.require_data(line)?;
+                self.bind_pending(self.data_cursor);
+                for expr in split_top(args) {
+                    let v = parse_int(expr.trim())
+                        .ok_or_else(|| AsmError::new(line, ".byte expects integers"))?;
+                    self.items.push(Item::Bytes {
+                        addr: self.data_cursor,
+                        bytes: vec![v as u8],
+                    });
+                    self.data_cursor += 1;
+                }
+            }
+            "ascii" | "asciiz" => {
+                self.require_data(line)?;
+                let mut bytes = parse_string_literal(args.trim())
+                    .ok_or_else(|| AsmError::new(line, "expected a string literal"))?;
+                if name == "asciiz" {
+                    bytes.push(0);
+                }
+                self.bind_pending(self.data_cursor);
+                let len = bytes.len() as u32;
+                self.items.push(Item::Bytes {
+                    addr: self.data_cursor,
+                    bytes,
+                });
+                self.data_cursor += len;
+            }
+            other => {
+                return Err(AsmError::new(line, format!("unknown directive `.{other}`")));
+            }
+        }
+        Ok(())
+    }
+
+    fn require_data(&self, line: u32) -> Result<(), AsmError> {
+        if self.section != Section::Data {
+            return Err(AsmError::new(line, "data directive outside .data section"));
+        }
+        Ok(())
+    }
+
+    /// Evaluates an operand expression: integer/char literal, `sym`,
+    /// `sym+off`, `sym-off`, `%hi(expr)`, `%lo(expr)`.
+    fn eval(&self, expr: &str, line: u32) -> Result<i64, AsmError> {
+        let expr = expr.trim();
+        if let Some(inner) = expr.strip_prefix("%hi(").and_then(|s| s.strip_suffix(')')) {
+            let v = self.eval(inner, line)?;
+            return Ok((to_u32(v, line)? >> 16) as i64);
+        }
+        if let Some(inner) = expr.strip_prefix("%lo(").and_then(|s| s.strip_suffix(')')) {
+            let v = self.eval(inner, line)?;
+            return Ok(i64::from(to_u32(v, line)? & 0xffff));
+        }
+        if let Some(v) = parse_int(expr) {
+            return Ok(v);
+        }
+        // sym, sym+off, sym-off  (split at the last +/- that is not leading)
+        for (i, c) in expr.char_indices().rev() {
+            if (c == '+' || c == '-') && i > 0 {
+                let (sym, off) = (expr[..i].trim(), &expr[i..]);
+                if is_ident(sym) {
+                    let base = self
+                        .symbols
+                        .get(sym)
+                        .copied()
+                        .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{sym}`")))?;
+                    let delta = parse_int(off)
+                        .ok_or_else(|| AsmError::new(line, format!("bad offset `{off}`")))?;
+                    return Ok(i64::from(base) + delta);
+                }
+            }
+        }
+        if is_ident(expr) {
+            return self
+                .symbols
+                .get(expr)
+                .map(|&a| i64::from(a))
+                .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{expr}`")));
+        }
+        Err(AsmError::new(line, format!("cannot parse expression `{expr}`")))
+    }
+
+    fn reg(op: &str, line: u32) -> Result<Reg, AsmError> {
+        Reg::parse(op).ok_or_else(|| AsmError::new(line, format!("unknown register `{op}`")))
+    }
+
+    fn imm16(&self, expr: &str, line: u32, zero_ext: bool) -> Result<i16, AsmError> {
+        let v = self.eval(expr, line)?;
+        let ok = if zero_ext {
+            (0..=0xffff).contains(&v) || (-32768..0).contains(&v)
+        } else {
+            (-32768..=0xffff).contains(&v)
+        };
+        if !ok {
+            return Err(AsmError::new(
+                line,
+                format!("immediate {v} does not fit in 16 bits"),
+            ));
+        }
+        Ok((v as u16) as i16)
+    }
+
+    fn branch_offset(&self, target: &str, pc: u32, line: u32) -> Result<i16, AsmError> {
+        let t = self.eval(target, line)?;
+        let t = to_u32(t, line)?;
+        if t % 4 != 0 {
+            return Err(AsmError::new(line, "branch target is not word aligned"));
+        }
+        let delta = (i64::from(t) - i64::from(pc) - 4) / 4;
+        i16::try_from(delta)
+            .map_err(|_| AsmError::new(line, format!("branch target {delta} words away is out of range")))
+    }
+
+    fn memop(&self, op: &str, line: u32) -> Result<(i16, Reg), AsmError> {
+        let open = op
+            .find('(')
+            .ok_or_else(|| AsmError::new(line, format!("expected `offset(reg)`, got `{op}`")))?;
+        let close = op
+            .rfind(')')
+            .ok_or_else(|| AsmError::new(line, "missing `)` in memory operand"))?;
+        let off_str = op[..open].trim();
+        let reg = Self::reg(op[open + 1..close].trim(), line)?;
+        let offset = if off_str.is_empty() {
+            0
+        } else {
+            self.imm16(off_str, line, false)?
+        };
+        Ok((offset, reg))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn encode(
+        &self,
+        addr: u32,
+        line: u32,
+        mnemonic: &str,
+        ops: &[String],
+    ) -> Result<Vec<Instr>, AsmError> {
+        let argc = ops.len();
+        let arity = |n: usize| -> Result<(), AsmError> {
+            if argc != n {
+                Err(AsmError::new(
+                    line,
+                    format!("`{mnemonic}` expects {n} operands, got {argc}"),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+
+        if let Some(op) = ralu_op(mnemonic) {
+            arity(3)?;
+            return Ok(vec![Instr::RAlu {
+                op,
+                rd: Self::reg(&ops[0], line)?,
+                rs: Self::reg(&ops[1], line)?,
+                rt: Self::reg(&ops[2], line)?,
+            }]);
+        }
+        if let Some(op) = ialu_op(mnemonic) {
+            arity(3)?;
+            return Ok(vec![Instr::IAlu {
+                op,
+                rt: Self::reg(&ops[0], line)?,
+                rs: Self::reg(&ops[1], line)?,
+                imm: self.imm16(&ops[2], line, op.zero_extends())?,
+            }]);
+        }
+        if let Some((op, variable)) = shift_op(mnemonic) {
+            arity(3)?;
+            let rd = Self::reg(&ops[0], line)?;
+            let rt = Self::reg(&ops[1], line)?;
+            if variable {
+                return Ok(vec![Instr::ShiftV {
+                    op,
+                    rd,
+                    rt,
+                    rs: Self::reg(&ops[2], line)?,
+                }]);
+            }
+            let sh = self.eval(&ops[2], line)?;
+            if !(0..32).contains(&sh) {
+                return Err(AsmError::new(line, "shift amount must be in 0..32"));
+            }
+            return Ok(vec![Instr::Shift {
+                op,
+                rd,
+                rt,
+                shamt: sh as u8,
+            }]);
+        }
+        if let Some((width, signed, load)) = mem_op(mnemonic) {
+            arity(2)?;
+            let rt = Self::reg(&ops[0], line)?;
+            let (offset, base) = self.memop(&ops[1], line)?;
+            return Ok(vec![if load {
+                Instr::Load {
+                    width,
+                    signed,
+                    rt,
+                    base,
+                    offset,
+                }
+            } else {
+                Instr::Store {
+                    width,
+                    rt,
+                    base,
+                    offset,
+                }
+            }]);
+        }
+        if let Some(op) = muldiv_op(mnemonic) {
+            arity(2)?;
+            return Ok(vec![Instr::MulDiv {
+                op,
+                rs: Self::reg(&ops[0], line)?,
+                rt: Self::reg(&ops[1], line)?,
+            }]);
+        }
+
+        match mnemonic {
+            "mfhi" => {
+                arity(1)?;
+                Ok(vec![Instr::MoveFromHi {
+                    rd: Self::reg(&ops[0], line)?,
+                }])
+            }
+            "mflo" => {
+                arity(1)?;
+                Ok(vec![Instr::MoveFromLo {
+                    rd: Self::reg(&ops[0], line)?,
+                }])
+            }
+            "mthi" => {
+                arity(1)?;
+                Ok(vec![Instr::MoveToHi {
+                    rs: Self::reg(&ops[0], line)?,
+                }])
+            }
+            "mtlo" => {
+                arity(1)?;
+                Ok(vec![Instr::MoveToLo {
+                    rs: Self::reg(&ops[0], line)?,
+                }])
+            }
+            "lui" => {
+                arity(2)?;
+                let v = self.eval(&ops[1], line)?;
+                if !(0..=0xffff).contains(&v) {
+                    return Err(AsmError::new(line, "lui immediate must fit in 16 bits"));
+                }
+                Ok(vec![Instr::Lui {
+                    rt: Self::reg(&ops[0], line)?,
+                    imm: v as u16,
+                }])
+            }
+            "beq" | "bne" => {
+                arity(3)?;
+                Ok(vec![Instr::Branch {
+                    cond: if mnemonic == "beq" {
+                        BranchCond::Eq
+                    } else {
+                        BranchCond::Ne
+                    },
+                    rs: Self::reg(&ops[0], line)?,
+                    rt: Self::reg(&ops[1], line)?,
+                    offset: self.branch_offset(&ops[2], addr, line)?,
+                }])
+            }
+            "blez" | "bgtz" | "bltz" | "bgez" => {
+                arity(2)?;
+                let cond = match mnemonic {
+                    "blez" => BranchZCond::Lez,
+                    "bgtz" => BranchZCond::Gtz,
+                    "bltz" => BranchZCond::Ltz,
+                    _ => BranchZCond::Gez,
+                };
+                Ok(vec![Instr::BranchZ {
+                    cond,
+                    rs: Self::reg(&ops[0], line)?,
+                    offset: self.branch_offset(&ops[1], addr, line)?,
+                }])
+            }
+            "j" | "jal" => {
+                arity(1)?;
+                let t = to_u32(self.eval(&ops[0], line)?, line)?;
+                if t % 4 != 0 {
+                    return Err(AsmError::new(line, "jump target is not word aligned"));
+                }
+                Ok(vec![Instr::Jump {
+                    target: (t >> 2) & 0x03ff_ffff,
+                    link: mnemonic == "jal",
+                }])
+            }
+            "jr" => {
+                arity(1)?;
+                Ok(vec![Instr::JumpReg {
+                    rs: Self::reg(&ops[0], line)?,
+                }])
+            }
+            "jalr" => match argc {
+                1 => Ok(vec![Instr::JumpAndLinkReg {
+                    rd: Reg::RA,
+                    rs: Self::reg(&ops[0], line)?,
+                }]),
+                2 => Ok(vec![Instr::JumpAndLinkReg {
+                    rd: Self::reg(&ops[0], line)?,
+                    rs: Self::reg(&ops[1], line)?,
+                }]),
+                _ => Err(AsmError::new(line, "`jalr` expects 1 or 2 operands")),
+            },
+            "syscall" => {
+                arity(0)?;
+                Ok(vec![Instr::Syscall])
+            }
+            "break" => {
+                let code = if argc == 1 {
+                    to_u32(self.eval(&ops[0], line)?, line)? & 0xf_ffff
+                } else {
+                    0
+                };
+                Ok(vec![Instr::Break { code }])
+            }
+            "nop" => {
+                arity(0)?;
+                Ok(vec![Instr::NOP])
+            }
+            // ---- pseudo-instructions ----
+            "move" => {
+                arity(2)?;
+                Ok(vec![Instr::RAlu {
+                    op: RAluOp::Addu,
+                    rd: Self::reg(&ops[0], line)?,
+                    rs: Self::reg(&ops[1], line)?,
+                    rt: Reg::ZERO,
+                }])
+            }
+            "not" => {
+                arity(2)?;
+                Ok(vec![Instr::RAlu {
+                    op: RAluOp::Nor,
+                    rd: Self::reg(&ops[0], line)?,
+                    rs: Self::reg(&ops[1], line)?,
+                    rt: Reg::ZERO,
+                }])
+            }
+            "neg" => {
+                arity(2)?;
+                Ok(vec![Instr::RAlu {
+                    op: RAluOp::Subu,
+                    rd: Self::reg(&ops[0], line)?,
+                    rs: Reg::ZERO,
+                    rt: Self::reg(&ops[1], line)?,
+                }])
+            }
+            "li" => {
+                arity(2)?;
+                let rt = Self::reg(&ops[0], line)?;
+                let v = self.eval(&ops[1], line)?;
+                expand_li(rt, v, line)
+            }
+            "la" => {
+                arity(2)?;
+                let rt = Self::reg(&ops[0], line)?;
+                let v = to_u32(self.eval(&ops[1], line)?, line)?;
+                Ok(vec![
+                    Instr::Lui {
+                        rt,
+                        imm: (v >> 16) as u16,
+                    },
+                    Instr::IAlu {
+                        op: IAluOp::Ori,
+                        rt,
+                        rs: rt,
+                        imm: (v & 0xffff) as u16 as i16,
+                    },
+                ])
+            }
+            "b" => {
+                arity(1)?;
+                Ok(vec![Instr::Branch {
+                    cond: BranchCond::Eq,
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    offset: self.branch_offset(&ops[0], addr, line)?,
+                }])
+            }
+            "beqz" | "bnez" => {
+                arity(2)?;
+                Ok(vec![Instr::Branch {
+                    cond: if mnemonic == "beqz" {
+                        BranchCond::Eq
+                    } else {
+                        BranchCond::Ne
+                    },
+                    rs: Self::reg(&ops[0], line)?,
+                    rt: Reg::ZERO,
+                    offset: self.branch_offset(&ops[1], addr, line)?,
+                }])
+            }
+            "blt" | "bge" | "bgt" | "ble" | "bltu" | "bgeu" => {
+                arity(3)?;
+                let rs = Self::reg(&ops[0], line)?;
+                let rt = Self::reg(&ops[1], line)?;
+                let unsigned = mnemonic.ends_with('u');
+                let op = if unsigned { RAluOp::Sltu } else { RAluOp::Slt };
+                // blt rs,rt: slt $at,rs,rt ; bne $at,$0
+                // bge rs,rt: slt $at,rs,rt ; beq $at,$0
+                // bgt rs,rt: slt $at,rt,rs ; bne $at,$0
+                // ble rs,rt: slt $at,rt,rs ; beq $at,$0
+                let (a, b, cond) = match mnemonic.trim_end_matches('u') {
+                    "blt" => (rs, rt, BranchCond::Ne),
+                    "bge" => (rs, rt, BranchCond::Eq),
+                    "bgt" => (rt, rs, BranchCond::Ne),
+                    _ => (rt, rs, BranchCond::Eq),
+                };
+                let offset = self.branch_offset(&ops[2], addr + 4, line)?;
+                Ok(vec![
+                    Instr::RAlu {
+                        op,
+                        rd: Reg::AT,
+                        rs: a,
+                        rt: b,
+                    },
+                    Instr::Branch {
+                        cond,
+                        rs: Reg::AT,
+                        rt: Reg::ZERO,
+                        offset,
+                    },
+                ])
+            }
+            other => Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+}
+
+/// How many machine words a (pseudo-)instruction occupies — needed in pass 1
+/// before symbols are known.
+fn instruction_words(mnemonic: &str, ops: &[String], line: u32) -> Result<u32, AsmError> {
+    Ok(match mnemonic {
+        "la" => 2,
+        "blt" | "bge" | "bgt" | "ble" | "bltu" | "bgeu" => 2,
+        "li" => {
+            let v = ops
+                .get(1)
+                .and_then(|s| parse_int(s))
+                .ok_or_else(|| AsmError::new(line, "`li` expects a literal immediate"))?;
+            expand_li(Reg::AT, v, line)?.len() as u32
+        }
+        _ => 1,
+    })
+}
+
+fn expand_li(rt: Reg, v: i64, line: u32) -> Result<Vec<Instr>, AsmError> {
+    if v < -(1 << 31) || v > u32::MAX as i64 {
+        return Err(AsmError::new(line, format!("immediate {v} exceeds 32 bits")));
+    }
+    if (-32768..=32767).contains(&v) {
+        return Ok(vec![Instr::IAlu {
+            op: IAluOp::Addiu,
+            rt,
+            rs: Reg::ZERO,
+            imm: v as i16,
+        }]);
+    }
+    let u = v as u32;
+    if u & 0xffff == 0 {
+        return Ok(vec![Instr::Lui {
+            rt,
+            imm: (u >> 16) as u16,
+        }]);
+    }
+    if u <= 0xffff {
+        return Ok(vec![Instr::IAlu {
+            op: IAluOp::Ori,
+            rt,
+            rs: Reg::ZERO,
+            imm: u as u16 as i16,
+        }]);
+    }
+    Ok(vec![
+        Instr::Lui {
+            rt,
+            imm: (u >> 16) as u16,
+        },
+        Instr::IAlu {
+            op: IAluOp::Ori,
+            rt,
+            rs: rt,
+            imm: (u & 0xffff) as u16 as i16,
+        },
+    ])
+}
+
+fn ralu_op(m: &str) -> Option<RAluOp> {
+    Some(match m {
+        "add" => RAluOp::Add,
+        "addu" => RAluOp::Addu,
+        "sub" => RAluOp::Sub,
+        "subu" => RAluOp::Subu,
+        "and" => RAluOp::And,
+        "or" => RAluOp::Or,
+        "xor" => RAluOp::Xor,
+        "nor" => RAluOp::Nor,
+        "slt" => RAluOp::Slt,
+        "sltu" => RAluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn ialu_op(m: &str) -> Option<IAluOp> {
+    Some(match m {
+        "addi" => IAluOp::Addi,
+        "addiu" => IAluOp::Addiu,
+        "slti" => IAluOp::Slti,
+        "sltiu" => IAluOp::Sltiu,
+        "andi" => IAluOp::Andi,
+        "ori" => IAluOp::Ori,
+        "xori" => IAluOp::Xori,
+        _ => None?,
+    })
+}
+
+fn shift_op(m: &str) -> Option<(ShiftOp, bool)> {
+    Some(match m {
+        "sll" => (ShiftOp::Sll, false),
+        "srl" => (ShiftOp::Srl, false),
+        "sra" => (ShiftOp::Sra, false),
+        "sllv" => (ShiftOp::Sll, true),
+        "srlv" => (ShiftOp::Srl, true),
+        "srav" => (ShiftOp::Sra, true),
+        _ => return None,
+    })
+}
+
+fn mem_op(m: &str) -> Option<(MemWidth, bool, bool)> {
+    Some(match m {
+        "lb" => (MemWidth::Byte, true, true),
+        "lbu" => (MemWidth::Byte, false, true),
+        "lh" => (MemWidth::Half, true, true),
+        "lhu" => (MemWidth::Half, false, true),
+        "lw" => (MemWidth::Word, true, true),
+        "sb" => (MemWidth::Byte, false, false),
+        "sh" => (MemWidth::Half, false, false),
+        "sw" => (MemWidth::Word, false, false),
+        _ => return None,
+    })
+}
+
+fn muldiv_op(m: &str) -> Option<MulDivOp> {
+    Some(match m {
+        "mult" => MulDivOp::Mult,
+        "multu" => MulDivOp::Multu,
+        "div" => MulDivOp::Div,
+        "divu" => MulDivOp::Divu,
+        _ => return None,
+    })
+}
+
+fn to_u32(v: i64, line: u32) -> Result<u32, AsmError> {
+    u32::try_from(v & 0xffff_ffff)
+        .map_err(|_| AsmError::new(line, format!("value {v} exceeds 32 bits")))
+        .and_then(|u| {
+            if (-(1i64 << 31)..=u32::MAX as i64).contains(&v) {
+                Ok(u)
+            } else {
+                Err(AsmError::new(line, format!("value {v} exceeds 32 bits")))
+            }
+        })
+}
+
+/// Strips `#`/`;` comments, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == '#' || c == ';' {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+/// Finds the colon ending a leading label, respecting quotes (labels cannot
+/// appear after a directive starts).
+fn find_label_colon(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let head = &s[..colon];
+    if head.contains('"') || head.contains('.') || head.contains(char::is_whitespace) {
+        return None;
+    }
+    Some(colon)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits on top-level commas (outside string/char literals).
+fn split_top(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if escape {
+            cur.push(c);
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str || in_char => {
+                cur.push(c);
+                escape = true;
+            }
+            '"' if !in_char => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '\'' if !in_str => {
+                in_char = !in_char;
+                cur.push(c);
+            }
+            ',' if !in_str && !in_char => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() || !out.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses an integer literal: decimal, `0x` hex, negative, or a char literal.
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(ch) = s.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
+        return parse_char_escape(ch).map(i64::from);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if body.chars().all(|c| c.is_ascii_digit()) && !body.is_empty() {
+        body.parse::<i64>().ok()?
+    } else {
+        return None;
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_char_escape(body: &str) -> Option<u8> {
+    let mut chars = body.chars();
+    let first = chars.next()?;
+    let value = if first == '\\' {
+        match chars.next()? {
+            'n' => b'\n',
+            't' => b'\t',
+            'r' => b'\r',
+            '0' => 0,
+            '\\' => b'\\',
+            '\'' => b'\'',
+            '"' => b'"',
+            'x' => {
+                let hex: String = chars.by_ref().collect();
+                return u8::from_str_radix(&hex, 16).ok();
+            }
+            _ => return None,
+        }
+    } else {
+        u8::try_from(first as u32).ok()?
+    };
+    chars.next().is_none().then_some(value)
+}
+
+/// Parses a `"…"` string literal with C escapes into bytes.
+fn parse_string_literal(s: &str) -> Option<Vec<u8>> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next()? {
+            'n' => out.push(b'\n'),
+            't' => out.push(b'\t'),
+            'r' => out.push(b'\r'),
+            '0' => out.push(0),
+            '\\' => out.push(b'\\'),
+            '"' => out.push(b'"'),
+            '\'' => out.push(b'\''),
+            'x' => {
+                let hi = chars.next()?;
+                let lo = chars.next()?;
+                let byte = u8::from_str_radix(&format!("{hi}{lo}"), 16).ok()?;
+                out.push(byte);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asm(src: &str) -> Image {
+        assemble(src).unwrap_or_else(|e| panic!("assembly failed: {e}"))
+    }
+
+    fn decode_all(img: &Image) -> Vec<Instr> {
+        img.text.iter().map(|&w| Instr::decode(w).unwrap()).collect()
+    }
+
+    #[test]
+    fn empty_source_yields_empty_image() {
+        let img = asm("");
+        assert!(img.text.is_empty());
+        assert!(img.data.is_empty());
+        assert_eq!(img.entry, TEXT_BASE);
+    }
+
+    #[test]
+    fn simple_instructions_encode() {
+        let img = asm("
+            addu $t0, $t1, $t2
+            addiu $sp, $sp, -16
+            lw $a0, 4($sp)
+            sw $a0, 0($sp)
+            jr $ra
+        ");
+        let insns = decode_all(&img);
+        assert_eq!(insns.len(), 5);
+        assert_eq!(insns[0].to_string(), "addu $8,$9,$10");
+        assert_eq!(insns[1].to_string(), "addiu $29,$29,-16");
+        assert_eq!(insns[2].to_string(), "lw $4,4($29)");
+        assert_eq!(insns[3].to_string(), "sw $4,0($29)");
+        assert_eq!(insns[4].to_string(), "jr $31");
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let img = asm("
+loop:   addiu $t0, $t0, 1
+        bne $t0, $t1, loop
+        beq $t0, $t1, done
+        nop
+done:   jr $ra
+        ");
+        let insns = decode_all(&img);
+        // bne at word 1 targets word 0: offset = 0 - (1+1) = -2
+        assert_eq!(insns[1].to_string(), "bne $8,$9,-2");
+        // beq at word 2 targets word 4: offset = 4 - 3 = 1
+        assert_eq!(insns[2].to_string(), "beq $8,$9,1");
+        assert_eq!(img.symbol("loop"), Some(TEXT_BASE));
+        assert_eq!(img.symbol("done"), Some(TEXT_BASE + 16));
+    }
+
+    #[test]
+    fn data_directives_lay_out_correctly() {
+        let img = asm(r#"
+        .data
+a:      .word 1, 2, 0x30
+b:      .byte 1, 2
+c:      .asciiz "hi"
+d:      .half 0x1234
+e:      .space 3
+f:      .word a
+        "#);
+        assert_eq!(img.symbol("a"), Some(DATA_BASE));
+        assert_eq!(img.symbol("b"), Some(DATA_BASE + 12));
+        assert_eq!(img.symbol("c"), Some(DATA_BASE + 14));
+        // .half aligns to 2: c is 3 bytes ("hi\0"), so d at +18 (17 rounded up).
+        assert_eq!(img.symbol("d"), Some(DATA_BASE + 18));
+        assert_eq!(img.symbol("e"), Some(DATA_BASE + 20));
+        // f: .word aligns to 4 (23 -> 24)
+        assert_eq!(img.symbol("f"), Some(DATA_BASE + 24));
+        assert_eq!(&img.data[0..4], &1u32.to_le_bytes());
+        assert_eq!(&img.data[8..12], &0x30u32.to_le_bytes());
+        assert_eq!(&img.data[12..14], &[1, 2]);
+        assert_eq!(&img.data[14..17], b"hi\0");
+        assert_eq!(&img.data[18..20], &0x1234u16.to_le_bytes());
+        assert_eq!(&img.data[24..28], &DATA_BASE.to_le_bytes());
+    }
+
+    #[test]
+    fn li_expansion_sizes() {
+        let img = asm("
+            li $t0, 5
+            li $t1, -1
+            li $t2, 0x10000
+            li $t3, 0x12345678
+            li $t4, 0xffff
+        ");
+        let insns = decode_all(&img);
+        assert_eq!(insns.len(), 1 + 1 + 1 + 2 + 1);
+        assert_eq!(insns[0].to_string(), "addiu $8,$0,5");
+        assert_eq!(insns[1].to_string(), "addiu $9,$0,-1");
+        assert_eq!(insns[2].to_string(), "lui $10,0x1");
+        assert_eq!(insns[3].to_string(), "lui $11,0x1234");
+        assert_eq!(insns[4].to_string(), "ori $11,$11,0x5678");
+        assert_eq!(insns[5].to_string(), "ori $12,$0,0xffff");
+    }
+
+    #[test]
+    fn la_and_hi_lo_relocations() {
+        let img = asm(r#"
+        .data
+buf:    .space 64
+        .text
+main:   la $a0, buf
+        lui $a1, %hi(buf)
+        ori $a1, $a1, %lo(buf)
+        "#);
+        let insns = decode_all(&img);
+        assert_eq!(insns[0].to_string(), "lui $4,0x1000");
+        assert_eq!(insns[1].to_string(), "ori $4,$4,0x0");
+        assert_eq!(insns[2].to_string(), "lui $5,0x1000");
+        assert_eq!(insns[3].to_string(), "ori $5,$5,0x0");
+        // entry resolves to `main`
+        assert_eq!(img.entry, TEXT_BASE);
+    }
+
+    #[test]
+    fn conditional_pseudo_branches_expand() {
+        let img = asm("
+start:  blt $a0, $a1, start
+        bge $a0, $a1, start
+        bgt $a0, $a1, start
+        ble $a0, $a1, start
+        bltu $a0, $a1, start
+        ");
+        let insns = decode_all(&img);
+        assert_eq!(insns[0].to_string(), "slt $1,$4,$5");
+        assert_eq!(insns[1].to_string(), "bne $1,$0,-2");
+        assert_eq!(insns[2].to_string(), "slt $1,$4,$5");
+        assert_eq!(insns[3].to_string(), "beq $1,$0,-4");
+        assert_eq!(insns[4].to_string(), "slt $1,$5,$4");
+        assert_eq!(insns[6].to_string(), "slt $1,$5,$4");
+        assert_eq!(insns[8].to_string(), "sltu $1,$4,$5");
+    }
+
+    #[test]
+    fn jumps_to_labels() {
+        let img = asm("
+main:   jal f
+        j end
+f:      jr $ra
+end:    nop
+        ");
+        let insns = decode_all(&img);
+        assert_eq!(
+            insns[0],
+            Instr::Jump {
+                target: (TEXT_BASE + 8) >> 2,
+                link: true
+            }
+        );
+        assert_eq!(
+            insns[1],
+            Instr::Jump {
+                target: (TEXT_BASE + 12) >> 2,
+                link: false
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\n bogus $t0\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("bogus"));
+
+        let err = assemble("lw $t0, buf").unwrap_err();
+        assert!(err.msg.contains("offset(reg)"));
+
+        let err = assemble("beq $t0, $t1, missing").unwrap_err();
+        assert!(err.msg.contains("undefined symbol"));
+
+        let err = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(err.msg.contains("duplicate label"));
+
+        let err = assemble(".data\n.word 1\nnop").unwrap_err();
+        assert!(err.msg.contains("instruction outside .text"));
+
+        let err = assemble(".word 1").unwrap_err();
+        assert!(err.msg.contains("outside .data"));
+
+        let err = assemble("addiu $t0, $t0, 0x20000").unwrap_err();
+        assert!(err.msg.contains("16 bits"));
+    }
+
+    #[test]
+    fn comments_and_strings_interact_safely() {
+        let img = asm(r#"
+        .data
+s:      .asciiz "has # and ; inside" # real comment
+        .text
+        nop ; trailing comment
+        "#);
+        assert_eq!(&img.data[..7], b"has # a");
+        assert_eq!(img.text.len(), 1);
+    }
+
+    #[test]
+    fn char_literals_in_immediates() {
+        let img = asm("li $t0, 'a'\nli $t1, '\\n'\nli $t2, '\\0'");
+        let insns = decode_all(&img);
+        assert_eq!(insns[0].to_string(), "addiu $8,$0,97");
+        assert_eq!(insns[1].to_string(), "addiu $9,$0,10");
+        assert_eq!(insns[2].to_string(), "addiu $10,$0,0");
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        assert_eq!(
+            parse_string_literal(r#""a\n\t\x41\0z""#).unwrap(),
+            vec![b'a', b'\n', b'\t', 0x41, 0, b'z']
+        );
+        assert_eq!(parse_string_literal("\"\""), Some(vec![]));
+        assert_eq!(parse_string_literal("nope"), None);
+    }
+
+    #[test]
+    fn entry_prefers_start_then_main() {
+        let img = asm("pre: nop\nmain: nop");
+        assert_eq!(img.entry, TEXT_BASE + 4);
+        let img = asm("main: nop\n_start: nop");
+        assert_eq!(img.entry, TEXT_BASE + 4, "_start wins over main");
+        let img = asm("anon: nop");
+        assert_eq!(img.entry, TEXT_BASE);
+    }
+
+    #[test]
+    fn source_lines_recorded() {
+        let img = asm("nop\nnop\n\nnop");
+        assert_eq!(img.lines, vec![1, 2, 4]);
+    }
+}

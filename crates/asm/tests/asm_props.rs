@@ -1,0 +1,107 @@
+//! Property tests: assembler ↔ disassembler consistency.
+
+use proptest::prelude::*;
+use ptaint_asm::{assemble, disassemble};
+use ptaint_isa::Instr;
+
+/// Strategy: a random decodable instruction word.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    any::<u32>().prop_filter_map("decodable", |w| Instr::decode(w).ok())
+}
+
+proptest! {
+    /// Any decodable instruction's Display form assembles back to an
+    /// instruction with identical semantics (encode fixpoint), as long as
+    /// it is expressible in source (branch/jump targets must be in range —
+    /// we relocate them to offset 0 to keep the test self-contained).
+    #[test]
+    fn display_reassembles(insn in arb_instr()) {
+        // Normalize control flow to assembler-friendly forms.
+        let insn = match insn {
+            Instr::Branch { cond, rs, rt, .. } => Instr::Branch { cond, rs, rt, offset: -1 },
+            Instr::BranchZ { cond, rs, .. } => Instr::BranchZ { cond, rs, offset: -1 },
+            Instr::Jump { link, .. } => Instr::Jump { target: 0x0040_0000 >> 2, link },
+            other => other,
+        };
+        let text = match insn {
+            // Branch displays use instruction-relative offsets that the
+            // assembler reads as absolute targets; write them with labels.
+            Instr::Branch { .. } | Instr::BranchZ { .. } => {
+                let mnemonic = insn.to_string();
+                let head = mnemonic.split(',').next().unwrap().to_owned();
+                let args: Vec<&str> = mnemonic.split(' ').nth(1).unwrap().split(',').collect();
+                let regs = &args[..args.len() - 1];
+                format!("main:\n {} {},main\n", head.split(' ').next().unwrap(), regs.join(","))
+            }
+            _ => format!("main:\n {insn}\n"),
+        };
+        let image = assemble(&text).unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
+        let redecoded = Instr::decode(image.text[0]).expect("decodes");
+        match insn {
+            Instr::Branch { cond, rs, rt, .. } => {
+                prop_assert_eq!(redecoded, Instr::Branch { cond, rs, rt, offset: -1 });
+            }
+            Instr::BranchZ { cond, rs, .. } => {
+                prop_assert_eq!(redecoded, Instr::BranchZ { cond, rs, offset: -1 });
+            }
+            other => prop_assert_eq!(redecoded, other),
+        }
+    }
+
+    /// Disassembly output of a random word program never panics and marks
+    /// undecodable words as data.
+    #[test]
+    fn disassembler_total(words in proptest::collection::vec(any::<u32>(), 1..64)) {
+        let mut image = assemble("nop").unwrap();
+        image.text = words.clone();
+        let text = disassemble(&image);
+        prop_assert_eq!(text.lines().count(), words.len());
+        for (line, w) in text.lines().zip(&words) {
+            if Instr::decode(*w).is_err() {
+                prop_assert!(line.contains(".word"), "{}", line);
+            }
+        }
+    }
+
+    /// `.word`/`.byte`/`.space` layouts always produce data of the right
+    /// size and alignment.
+    #[test]
+    fn data_layout_sizes(words in 1usize..8, bytes in 1usize..8, pad in 0u32..64) {
+        let src = format!(
+            ".data\nw: .word {}\nb: .byte {}\ns: .space {}\n.align 2\ne: .word 1\n",
+            vec!["7"; words].join(", "),
+            vec!["3"; bytes].join(", "),
+            pad,
+        );
+        let image = assemble(&src).unwrap();
+        let w = image.symbol("w").unwrap();
+        let b = image.symbol("b").unwrap();
+        let s = image.symbol("s").unwrap();
+        let e = image.symbol("e").unwrap();
+        prop_assert_eq!(w % 4, 0);
+        prop_assert_eq!(b - w, 4 * words as u32);
+        prop_assert_eq!(s - b, bytes as u32);
+        prop_assert_eq!(e % 4, 0);
+        prop_assert!(e >= s + pad);
+        prop_assert!(e - (s + pad) < 4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fuzz: the assembler never panics on arbitrary source text.
+    #[test]
+    fn assembler_is_panic_free(input in "\\PC{0,200}") {
+        let _ = assemble(&input);
+    }
+
+    /// Fuzz with assembly-shaped lines.
+    #[test]
+    fn asm_shaped_fuzz(lines in proptest::collection::vec(
+        "[a-z]{1,6} \\$[a-z0-9]{1,4}(, ?(\\$[a-z0-9]{1,4}|-?[0-9]{1,5}|0x[0-9a-f]{1,8})){0,3}",
+        0..12))
+    {
+        let _ = assemble(&lines.join("\n"));
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end experiment benchmarks: how quickly each paper experiment
+//! (attack detection, workload run, toolchain build) completes on the
+//! simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptaint::{DetectionPolicy, Machine};
+use ptaint_guest::apps::synthetic;
+use ptaint_guest::workloads;
+
+fn bench_attack_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(20);
+
+    let exp1 = Machine::from_c(synthetic::EXP1_SOURCE)
+        .unwrap()
+        .world(synthetic::exp1_attack_world());
+    group.bench_function("exp1-stack-smash", |b| {
+        b.iter(|| {
+            let out = exp1.run();
+            assert!(out.reason.is_detected());
+        })
+    });
+
+    let exp2 = Machine::from_c(synthetic::EXP2_SOURCE)
+        .unwrap()
+        .world(synthetic::exp2_attack_world());
+    group.bench_function("exp2-heap-unlink", |b| {
+        b.iter(|| {
+            let out = exp2.run();
+            assert!(out.reason.is_detected());
+        })
+    });
+
+    let exp3 = Machine::from_c(synthetic::EXP3_SOURCE)
+        .unwrap()
+        .world(synthetic::exp3_attack_world(1));
+    group.bench_function("exp3-format-string", |b| {
+        b.iter(|| {
+            let out = exp3.run();
+            assert!(out.reason.is_detected());
+        })
+    });
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    for w in workloads::all() {
+        let machine = Machine::from_c(w.source)
+            .unwrap()
+            .world(w.world(3))
+            .policy(DetectionPolicy::PointerTaintedness);
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &machine, |b, m| {
+            b.iter(|| m.run().stats.instructions)
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer_effect(c: &mut Criterion) {
+    // Host-time effect of the guest-level peephole optimizer: fewer guest
+    // instructions -> proportionally faster simulation.
+    let w = &workloads::all()[1]; // gcc workload: biggest optimizer win
+    let plain = Machine::from_c(w.source).unwrap().world(w.world(3));
+    let optimized = Machine::from_c_optimized(w.source).unwrap().world(w.world(3));
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    group.bench_function("gcc-plain", |b| b.iter(|| plain.run().stats.instructions));
+    group.bench_function("gcc-optimized", |b| {
+        b.iter(|| optimized.run().stats.instructions)
+    });
+    group.finish();
+}
+
+fn bench_toolchain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toolchain");
+    group.sample_size(20);
+    group.bench_function("compile-exp1", |b| {
+        b.iter(|| Machine::from_c(synthetic::EXP1_SOURCE).unwrap())
+    });
+    group.bench_function("compile-wu-ftpd", |b| {
+        b.iter(|| Machine::from_c(ptaint_guest::apps::wu_ftpd::SOURCE).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_attack_detection,
+    bench_workloads,
+    bench_optimizer_effect,
+    bench_toolchain
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! §5.4 overhead benchmarks: simulator throughput under each detection
+//! policy and cache configuration, plus taint-ALU microbenchmarks.
+//!
+//! The paper's claim is that taint tracking is off the critical path in
+//! *hardware*; in this software model the analogous observable is that the
+//! per-instruction cost of full detection stays within a small constant
+//! factor of the untracked baseline, and that architectural results are
+//! bit-identical (asserted by the test suite). The `policy/*` benchmarks
+//! quantify that factor; `hierarchy/*` quantifies the cache model's cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ptaint::{DetectionPolicy, HierarchyConfig, Machine};
+use ptaint_guest::workloads;
+
+/// A fixed mid-size workload run for throughput measurement.
+fn workload_machine() -> (Machine, u64) {
+    let w = &workloads::all()[2]; // gzip: heavy pointer traffic
+    let machine = Machine::from_c(w.source).expect("builds").world(w.world(4));
+    let instructions = machine.run().stats.instructions;
+    (machine, instructions)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let (machine, instructions) = workload_machine();
+    let mut group = c.benchmark_group("policy");
+    group.throughput(Throughput::Elements(instructions));
+    group.sample_size(10);
+    for policy in [
+        DetectionPolicy::Off,
+        DetectionPolicy::ControlOnly,
+        DetectionPolicy::PointerTaintedness,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                let m = machine.clone().policy(policy);
+                b.iter(|| {
+                    let out = m.run();
+                    assert!(!out.reason.is_detected());
+                    out.stats.instructions
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hierarchies(c: &mut Criterion) {
+    let (machine, instructions) = workload_machine();
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(instructions));
+    group.sample_size(10);
+    for (name, hierarchy) in [
+        ("flat", HierarchyConfig::flat()),
+        ("two-level", HierarchyConfig::two_level()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &hierarchy, |b, &h| {
+            let m = machine.clone().hierarchy(h);
+            b.iter(|| m.run().stats.instructions);
+        });
+    }
+    group.finish();
+}
+
+fn bench_taint_alu(c: &mut Criterion) {
+    use ptaint_cpu::taint_alu;
+    use ptaint_isa::{MemWidth, RAluOp, ShiftOp};
+    use ptaint_mem::WordTaint;
+
+    let mut group = c.benchmark_group("taint-alu");
+    let a = WordTaint::from_bits(0b0101);
+    let b_t = WordTaint::from_bits(0b0011);
+    group.bench_function("generic-or", |bch| {
+        bch.iter(|| taint_alu::generic(std::hint::black_box(a), std::hint::black_box(b_t)))
+    });
+    group.bench_function("and-untaint", |bch| {
+        bch.iter(|| {
+            taint_alu::and_result(
+                std::hint::black_box(0x0000_00ff),
+                a,
+                std::hint::black_box(0xffff_ffff),
+                b_t,
+            )
+        })
+    });
+    group.bench_function("shift-smear", |bch| {
+        bch.iter(|| taint_alu::shift_result(ShiftOp::Sll, std::hint::black_box(a), b_t))
+    });
+    group.bench_function("ralu-dispatch", |bch| {
+        bch.iter(|| {
+            taint_alu::ralu_result(RAluOp::Xor, 1, std::hint::black_box(a), 2, b_t, false)
+        })
+    });
+    group.bench_function("load-extend", |bch| {
+        bch.iter(|| taint_alu::load_result(MemWidth::Byte, true, std::hint::black_box(a)))
+    });
+    group.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    use ptaint_mem::{MemorySystem, WordTaint};
+
+    let mut group = c.benchmark_group("memory");
+    group.bench_function("flat-word-rw", |bch| {
+        let mut sys = MemorySystem::flat();
+        let mut addr = 0x1000_0000u32;
+        bch.iter(|| {
+            sys.write_u32(addr, 0xdead_beef, WordTaint::ALL).unwrap();
+            let v = sys.read_u32(addr).unwrap();
+            addr = 0x1000_0000 + ((addr + 4) & 0xffff);
+            v
+        });
+    });
+    group.bench_function("cached-word-rw", |bch| {
+        let mut sys = MemorySystem::new(HierarchyConfig::two_level());
+        let mut addr = 0x1000_0000u32;
+        bch.iter(|| {
+            sys.write_u32(addr, 0xdead_beef, WordTaint::ALL).unwrap();
+            let v = sys.read_u32(addr).unwrap();
+            addr = 0x1000_0000 + ((addr + 4) & 0xffff);
+            v
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_hierarchies,
+    bench_taint_alu,
+    bench_memory
+);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates every *figure* of the paper.
+//!
+//! ```sh
+//! cargo run -p ptaint-bench --bin figures            # all figures
+//! cargo run -p ptaint-bench --bin figures -- fig2    # one figure
+//! ```
+
+use ptaint::cert;
+use ptaint::experiments::{figure2_layout, figure3, synthetic};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let run_all = which == "all";
+
+    if run_all || which == "fig1" {
+        println!("{}", cert::render_figure_1());
+    }
+    if run_all || which == "fig2" {
+        println!("{}\n", synthetic::run_synthetic_suite());
+        println!("{}\n", figure2_layout::capture_exp1_frame());
+    }
+    if run_all || which == "fig3" {
+        println!("{}\n", figure3::run_pipeline_walk());
+    }
+}

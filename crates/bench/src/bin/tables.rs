@@ -1,0 +1,52 @@
+//! Regenerates every *table* of the paper's evaluation section.
+//!
+//! ```sh
+//! cargo run -p ptaint-bench --bin tables             # all tables
+//! cargo run -p ptaint-bench --bin tables -- table3   # one table
+//! cargo run -p ptaint-bench --bin tables -- table3 8 # with a scale knob
+//! ```
+
+use ptaint::experiments::{
+    ablation, annotations, caches, coverage, optimizer, overhead, table1, table2, table3, table4,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale: u32 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+
+    let run_all = which == "all";
+    if run_all || which == "table1" {
+        println!("{}\n", table1::verify_propagation_rules());
+    }
+    if run_all || which == "table2" {
+        println!("{}\n", table2::run_wu_ftpd_transcript());
+    }
+    if run_all || which == "table3" {
+        println!("{}\n", table3::run_false_positive_suite(scale));
+    }
+    if run_all || which == "table4" {
+        println!("{}\n", table4::run_false_negative_suite());
+    }
+    if run_all || which == "coverage" {
+        println!("{}\n", coverage::run_coverage_matrix());
+    }
+    if run_all || which == "overhead" {
+        println!("{}\n", overhead::run_overhead_report(scale.min(4)));
+    }
+    if run_all || which == "ablation" {
+        println!("{}\n", ablation::run_ablation_study(scale.min(3)));
+    }
+    if run_all || which == "annotations" {
+        println!("{}\n", annotations::run_annotation_experiment());
+    }
+    if run_all || which == "opt" {
+        println!("{}\n", optimizer::run_optimizer_study(scale.min(3)));
+    }
+    if run_all || which == "caches" {
+        println!("{}\n", caches::run_cache_study(scale.min(4)));
+    }
+}

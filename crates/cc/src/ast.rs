@@ -1,0 +1,382 @@
+//! Abstract syntax tree and the mini-C type system.
+
+use std::collections::HashMap;
+
+/// A mini-C type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `void` — only as a return type or behind a pointer.
+    Void,
+    /// 32-bit signed integer.
+    Int,
+    /// 32-bit unsigned integer.
+    Uint,
+    /// 8-bit signed character.
+    Char,
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+    /// Fixed-size array (locals and globals only; decays to a pointer).
+    Array(Box<Type>, u32),
+    /// A named struct declared at file scope.
+    Struct(String),
+    /// A function signature (used behind pointers and for prototypes).
+    Func {
+        /// Return type.
+        ret: Box<Type>,
+        /// Parameter types.
+        params: Vec<Type>,
+        /// Whether the function accepts extra `...` arguments.
+        variadic: bool,
+    },
+}
+
+impl Type {
+    /// A pointer to this type.
+    #[must_use]
+    pub fn ptr(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Whether the type is a pointer (or array, which decays).
+    #[must_use]
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(self, Type::Ptr(_) | Type::Array(..))
+    }
+
+    /// The pointee/element type of a pointer or array.
+    #[must_use]
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether arithmetic on this type is unsigned (pointers compare
+    /// unsigned).
+    #[must_use]
+    pub fn is_unsigned(&self) -> bool {
+        matches!(self, Type::Uint | Type::Ptr(_) | Type::Array(..))
+    }
+
+    /// Size in bytes; struct sizes require the program's struct table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `void`, functions, and unknown structs — sizes of those are
+    /// rejected during semantic analysis before this is called.
+    #[must_use]
+    pub fn size_of(&self, structs: &HashMap<String, StructDef>) -> u32 {
+        match self {
+            Type::Void => panic!("void has no size"),
+            Type::Int | Type::Uint | Type::Ptr(_) => 4,
+            Type::Char => 1,
+            Type::Array(elem, n) => elem.size_of(structs) * n,
+            Type::Struct(name) => {
+                structs
+                    .get(name)
+                    .unwrap_or_else(|| panic!("unknown struct `{name}`"))
+                    .size
+            }
+            Type::Func { .. } => panic!("functions have no size"),
+        }
+    }
+
+    /// Alignment in bytes.
+    #[must_use]
+    pub fn align_of(&self, structs: &HashMap<String, StructDef>) -> u32 {
+        match self {
+            Type::Char => 1,
+            Type::Array(elem, _) => elem.align_of(structs),
+            Type::Struct(name) => structs.get(name).map_or(4, |s| s.align),
+            _ => 4,
+        }
+    }
+}
+
+/// A struct definition with a computed layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Field name → (offset, type), in declaration order inside `fields`.
+    pub fields: Vec<(String, u32, Type)>,
+    /// Total size (padded to alignment).
+    pub size: u32,
+    /// Alignment.
+    pub align: u32,
+}
+
+impl StructDef {
+    /// Looks up a field by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<(u32, &Type)> {
+        self.fields
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, off, ty)| (*off, ty))
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+    /// `~e`
+    BitNot,
+    /// `*e`
+    Deref,
+    /// `&e`
+    Addr,
+}
+
+/// Binary operators (also used as the op of compound assignments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression.
+    pub kind: ExprKind,
+    /// 1-based source line, for diagnostics.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// String literal (type `char*`, stored in `.data`).
+    Str(Vec<u8>),
+    /// Variable or function reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Prefix `++e` / `--e` (the `bool` is "increment").
+    PreIncDec(bool, Box<Expr>),
+    /// Postfix `e++` / `e--`.
+    PostIncDec(bool, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment; `Some(op)` for compound forms like `+=`.
+    Assign(Option<BinOp>, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Call through a name or a function-pointer expression.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field` (`arrow == false`) or `base->field` (`arrow == true`).
+    Member {
+        /// The aggregate (or pointer to it).
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// Whether `->` was used.
+        arrow: bool,
+    },
+    /// `(T)e`.
+    Cast(Type, Box<Expr>),
+    /// `sizeof(T)`.
+    SizeofType(Type),
+    /// `sizeof expr`.
+    SizeofExpr(Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration(s): `(type, name, initializer)`.
+    Decl(Vec<(Type, String, Option<Expr>)>),
+    /// `if (cond) then else els`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body` — any clause may be absent.
+    For {
+        /// Initializer (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Condition.
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return e;`
+    Return(Option<Expr>, u32),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// Initializer of a global variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalInit {
+    /// Scalar integer.
+    Int(i64),
+    /// String contents for a `char[]` / `char*` global.
+    Str(Vec<u8>),
+    /// `{ a, b, c }` for an int array.
+    List(Vec<i64>),
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A function definition or prototype (`body == None`).
+    Func {
+        /// Return type.
+        ret: Type,
+        /// Function name.
+        name: String,
+        /// Named parameters.
+        params: Vec<(Type, String)>,
+        /// Whether `...` follows the named parameters.
+        variadic: bool,
+        /// Body statements, absent for prototypes.
+        body: Option<Vec<Stmt>>,
+        /// Definition line.
+        line: u32,
+    },
+    /// A global variable.
+    Global {
+        /// Declared type.
+        ty: Type,
+        /// Name.
+        name: String,
+        /// Optional initializer.
+        init: Option<GlobalInit>,
+        /// Declaration line.
+        line: u32,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// Struct definitions with computed layouts.
+    pub structs: HashMap<String, StructDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_structs() -> HashMap<String, StructDef> {
+        HashMap::new()
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        let s = no_structs();
+        assert_eq!(Type::Int.size_of(&s), 4);
+        assert_eq!(Type::Uint.size_of(&s), 4);
+        assert_eq!(Type::Char.size_of(&s), 1);
+        assert_eq!(Type::Char.ptr().size_of(&s), 4);
+        assert_eq!(Type::Array(Box::new(Type::Char), 10).size_of(&s), 10);
+        assert_eq!(Type::Array(Box::new(Type::Int), 3).size_of(&s), 12);
+    }
+
+    #[test]
+    fn alignment() {
+        let s = no_structs();
+        assert_eq!(Type::Char.align_of(&s), 1);
+        assert_eq!(Type::Int.align_of(&s), 4);
+        assert_eq!(Type::Array(Box::new(Type::Char), 7).align_of(&s), 1);
+    }
+
+    #[test]
+    fn struct_layout_lookup() {
+        let def = StructDef {
+            fields: vec![
+                ("fd".into(), 0, Type::Int.ptr()),
+                ("bk".into(), 4, Type::Int.ptr()),
+            ],
+            size: 8,
+            align: 4,
+        };
+        assert_eq!(def.field("bk").unwrap().0, 4);
+        assert!(def.field("nope").is_none());
+        let mut structs = no_structs();
+        structs.insert("chunk".into(), def);
+        assert_eq!(Type::Struct("chunk".into()).size_of(&structs), 8);
+    }
+
+    #[test]
+    fn signedness() {
+        assert!(!Type::Int.is_unsigned());
+        assert!(Type::Uint.is_unsigned());
+        assert!(Type::Int.ptr().is_unsigned());
+        assert!(Type::Char.ptr().is_pointer_like());
+        assert_eq!(Type::Int.ptr().pointee(), Some(&Type::Int));
+    }
+}

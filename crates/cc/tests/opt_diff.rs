@@ -1,0 +1,122 @@
+//! Differential tests: the peephole optimizer must preserve program
+//! behaviour while reducing instruction counts.
+
+use proptest::prelude::*;
+use ptaint_cpu::{Cpu, DetectionPolicy, StepEvent};
+use ptaint_isa::{Reg, STACK_TOP};
+use ptaint_mem::{MemorySystem, WordTaint};
+
+const TEST_CRT: &str = "\n_start:\n        addiu $sp, $sp, -16\n        jal main\n        break 0\n";
+
+/// Runs `asm` to the break trap; returns (return value, instruction count).
+fn run_asm(asm: &str) -> (i32, u64) {
+    let image = ptaint_asm::assemble(&format!("{asm}{TEST_CRT}"))
+        .unwrap_or_else(|e| panic!("assemble: {e}"));
+    let mut mem = MemorySystem::flat();
+    for (i, &w) in image.text.iter().enumerate() {
+        mem.write_u32(image.text_base + 4 * i as u32, w, WordTaint::CLEAN)
+            .unwrap();
+    }
+    mem.write_bytes(image.data_base, &image.data, false).unwrap();
+    let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+    cpu.set_pc(image.entry);
+    cpu.regs_mut().set(Reg::SP, STACK_TOP - 64, WordTaint::CLEAN);
+    for _ in 0..50_000_000u64 {
+        if let StepEvent::BreakTrap(_) = cpu.step().expect("clean execution") {
+            return (cpu.regs().value(Reg::V0) as i32, cpu.stats().instructions)
+        }
+    }
+    panic!("did not terminate");
+}
+
+/// Compiles both ways and checks result equality plus non-regression of the
+/// dynamic instruction count.
+fn check_program(src: &str) -> (u64, u64) {
+    let plain = ptaint_cc::compile(src).expect("compiles");
+    let opt = ptaint_cc::compile_optimized(src).expect("compiles optimized");
+    let (r_plain, n_plain) = run_asm(&plain);
+    let (r_opt, n_opt) = run_asm(&opt);
+    assert_eq!(r_plain, r_opt, "results diverge for:\n{src}");
+    assert!(
+        n_opt <= n_plain,
+        "optimizer made it slower ({n_plain} -> {n_opt}):\n{src}"
+    );
+    (n_plain, n_opt)
+}
+
+#[test]
+fn optimizer_preserves_fixed_programs_and_saves_instructions() {
+    let programs = [
+        "int main() { return (1 + 2) * (3 + 4) - 5; }",
+        "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+         int main() { return fib(12); }",
+        "int main() {
+            int a[16]; int i; int s = 0;
+            for (i = 0; i < 16; i++) a[i] = i * 3;
+            for (i = 0; i < 16; i++) s += a[i];
+            return s;
+        }",
+        "struct p { int x; int y; };
+         int main() {
+            struct p v; struct p *q;
+            v.x = 3; v.y = 4;
+            q = &v;
+            return q->x * q->x + q->y * q->y;
+         }",
+        "int main() {
+            int x = 10;
+            while (x > 0) { x -= 3; }
+            return x == -2 ? 7 : 8;
+        }",
+    ];
+    let mut total_plain = 0;
+    let mut total_opt = 0;
+    for src in programs {
+        let (p, o) = check_program(src);
+        total_plain += p;
+        total_opt += o;
+    }
+    // Across the battery the optimizer must actually pay for itself.
+    assert!(
+        total_opt * 100 <= total_plain * 95,
+        "expected >=5% dynamic instruction reduction, got {total_plain} -> {total_opt}"
+    );
+}
+
+#[test]
+fn optimizer_keeps_static_code_smaller_or_equal() {
+    let src = "int main() { int a = 1; int b = 2; int c = 3; return a + b * c - (a + b); }";
+    let plain = ptaint_cc::compile(src).unwrap();
+    let opt = ptaint_cc::compile_optimized(src).unwrap();
+    let count = |s: &str| {
+        s.lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('.') && !t.starts_with('#') && !t.ends_with(':')
+            })
+            .count()
+    };
+    assert!(count(&opt) < count(&plain), "{opt}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random arithmetic over locals: optimized and plain builds agree.
+    #[test]
+    fn differential_random_arithmetic(vals in proptest::collection::vec(-100i32..100, 3..6)) {
+        let decls: String = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("int x{i} = {v}; "))
+            .collect();
+        let expr = (0..vals.len())
+            .map(|i| format!("x{i}"))
+            .collect::<Vec<_>>()
+            .join(" * 3 + ");
+        let src = format!("int main() {{ {decls} return {expr}; }}");
+        let plain = ptaint_cc::compile(&src).unwrap();
+        let opt = ptaint_cc::compile_optimized(&src).unwrap();
+        prop_assert_eq!(run_asm(&plain).0, run_asm(&opt).0, "{}", src);
+    }
+}

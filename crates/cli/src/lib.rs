@@ -1,0 +1,410 @@
+#![warn(missing_docs)]
+
+//! # ptaint-cli — drive the taintedness architecture from the shell
+//!
+//! ```text
+//! ptaint-run program.c [options]
+//!
+//! options:
+//!   --asm                 input is assembly, not mini-C
+//!   --optimize            enable the mini-C peephole optimizer
+//!   --policy P            off | control-only | ptaint     (default: ptaint)
+//!   --stdin FILE          feed FILE's bytes as standard input (tainted)
+//!   --stdin-text STRING   feed STRING as standard input (tainted)
+//!   --arg STRING          append a command-line argument (repeatable)
+//!   --env NAME=VALUE      append an environment string (repeatable)
+//!   --file PATH=HOSTFILE  mount HOSTFILE at PATH in the guest FS (repeatable)
+//!   --session FILE        one network client session; FILE holds one
+//!                         message per line (repeatable)
+//!   --watch SYMBOL:LEN    annotate SYMBOL (never-tainted, §5.3 extension)
+//!   --caches              model the two-level cache hierarchy
+//!   --pipeline            run through the 5-stage pipeline timing model
+//!   --steps N             step budget (default 500M)
+//!   --disasm              print the program disassembly and exit
+//!   --quiet               suppress the banner and statistics
+//! ```
+//!
+//! The process exit code is the guest's exit status; detections exit 42.
+
+use std::fmt::Write as _;
+
+use ptaint::{DetectionPolicy, ExitReason, Machine, NetSession, WorldConfig};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Options {
+    /// Path of the guest program source.
+    pub program: String,
+    /// Treat the program as assembly instead of mini-C.
+    pub asm: bool,
+    /// Run the peephole optimizer (mini-C only).
+    pub optimize: bool,
+    /// Detection policy.
+    pub policy: Option<DetectionPolicy>,
+    /// Stdin bytes.
+    pub stdin: Vec<u8>,
+    /// Guest argv (the program name is prepended automatically).
+    pub args: Vec<String>,
+    /// Guest environment strings.
+    pub envs: Vec<String>,
+    /// Guest files: (guest path, contents).
+    pub files: Vec<(String, Vec<u8>)>,
+    /// Network sessions, one `Vec` of messages each.
+    pub sessions: Vec<Vec<Vec<u8>>>,
+    /// §5.3 annotations: (symbol, length).
+    pub watches: Vec<(String, u32)>,
+    /// Model the cache hierarchy.
+    pub caches: bool,
+    /// Use the pipeline timing model.
+    pub pipeline: bool,
+    /// Step budget.
+    pub steps: Option<u64>,
+    /// Print disassembly and exit.
+    pub disasm: bool,
+    /// Print the last retired instructions after the run.
+    pub trace: bool,
+    /// Suppress banner/statistics.
+    pub quiet: bool,
+}
+
+/// A CLI usage error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Reads a host file, mapping errors to usage errors.
+fn read_host(path: &str) -> Result<Vec<u8>, UsageError> {
+    std::fs::read(path).map_err(|e| UsageError(format!("cannot read `{path}`: {e}")))
+}
+
+/// Parses the argument vector (without the leading program name).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing the offending flag.
+pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
+    let mut opts = Options::default();
+    let mut it = args.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                     flag: &str|
+     -> Result<String, UsageError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| UsageError(format!("`{flag}` needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--asm" => opts.asm = true,
+            "--optimize" => opts.optimize = true,
+            "--caches" => opts.caches = true,
+            "--pipeline" => opts.pipeline = true,
+            "--disasm" => opts.disasm = true,
+            "--trace" => opts.trace = true,
+            "--quiet" => opts.quiet = true,
+            "--policy" => {
+                let v = value(&mut it, "--policy")?;
+                opts.policy = Some(match v.as_str() {
+                    "off" => DetectionPolicy::Off,
+                    "control-only" | "control" => DetectionPolicy::ControlOnly,
+                    "ptaint" | "full" => DetectionPolicy::PointerTaintedness,
+                    other => {
+                        return Err(UsageError(format!(
+                            "unknown policy `{other}` (off | control-only | ptaint)"
+                        )))
+                    }
+                });
+            }
+            "--stdin" => {
+                let path = value(&mut it, "--stdin")?;
+                opts.stdin = read_host(&path)?;
+            }
+            "--stdin-text" => {
+                opts.stdin = value(&mut it, "--stdin-text")?.into_bytes();
+            }
+            "--arg" => opts.args.push(value(&mut it, "--arg")?),
+            "--env" => opts.envs.push(value(&mut it, "--env")?),
+            "--file" => {
+                let spec = value(&mut it, "--file")?;
+                let (guest, host) = spec
+                    .split_once('=')
+                    .ok_or_else(|| UsageError("`--file` expects PATH=HOSTFILE".into()))?;
+                opts.files.push((guest.to_owned(), read_host(host)?));
+            }
+            "--session" => {
+                let path = value(&mut it, "--session")?;
+                let bytes = read_host(&path)?;
+                let messages = String::from_utf8_lossy(&bytes)
+                    .lines()
+                    .map(|l| l.as_bytes().to_vec())
+                    .collect();
+                opts.sessions.push(messages);
+            }
+            "--watch" => {
+                let spec = value(&mut it, "--watch")?;
+                let (sym, len) = spec
+                    .split_once(':')
+                    .ok_or_else(|| UsageError("`--watch` expects SYMBOL:LEN".into()))?;
+                let len: u32 = len
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad watch length `{len}`")))?;
+                opts.watches.push((sym.to_owned(), len));
+            }
+            "--steps" => {
+                let v = value(&mut it, "--steps")?;
+                opts.steps = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("bad step count `{v}`")))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(UsageError(format!("unknown flag `{flag}`")));
+            }
+            path => {
+                if !opts.program.is_empty() {
+                    return Err(UsageError(format!("unexpected extra argument `{path}`")));
+                }
+                opts.program = path.to_owned();
+            }
+        }
+    }
+    if opts.program.is_empty() {
+        return Err(UsageError("no program given (usage: ptaint-run prog.c [options])".into()));
+    }
+    Ok(opts)
+}
+
+/// Builds the machine described by `opts` from an in-memory source.
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] when the program fails to build or a watched
+/// symbol does not exist.
+pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError> {
+    let mut machine = if opts.asm {
+        Machine::from_asm(source)
+    } else if opts.optimize {
+        Machine::from_c_optimized(source)
+    } else {
+        Machine::from_c(source)
+    }
+    .map_err(|e| UsageError(format!("build failed: {e}")))?;
+
+    let mut world = WorldConfig::new().stdin(opts.stdin.clone());
+    let mut argv = vec![opts.program.clone()];
+    argv.extend(opts.args.iter().cloned());
+    world = world.args(argv);
+    for env in &opts.envs {
+        world = world.env(env);
+    }
+    for (path, contents) in &opts.files {
+        world = world.file(path.clone(), contents.clone());
+    }
+    for session in &opts.sessions {
+        world = world.session(NetSession::new(session.clone()));
+    }
+    machine = machine.world(world);
+    if let Some(policy) = opts.policy {
+        machine = machine.policy(policy);
+    }
+    if opts.caches {
+        machine = machine.hierarchy(ptaint::HierarchyConfig::two_level());
+    }
+    if let Some(steps) = opts.steps {
+        machine = machine.step_limit(steps);
+    }
+    for (sym, len) in &opts.watches {
+        if machine.image().symbol(sym).is_none() {
+            return Err(UsageError(format!("no symbol `{sym}` to watch")));
+        }
+        machine = machine.taint_watch_symbol(sym, *len);
+    }
+    Ok(machine)
+}
+
+/// Runs the machine and renders the report. Returns `(report, exit_code)`.
+#[must_use]
+pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
+    if opts.disasm {
+        return (ptaint::disassemble(machine.image()), 0);
+    }
+    let mut report = String::new();
+    let mut trace = Vec::new();
+    let (outcome, pipeline) = if opts.pipeline {
+        let (o, p) = machine.run_pipelined();
+        (o, Some(p))
+    } else if opts.trace {
+        let (o, t) = machine.run_traced();
+        trace = t;
+        (o, None)
+    } else {
+        (machine.run(), None)
+    };
+
+    if !outcome.stdout.is_empty() {
+        report.push_str(&String::from_utf8_lossy(&outcome.stdout));
+        if !report.ends_with('\n') {
+            report.push('\n');
+        }
+    }
+    for (i, transcript) in outcome.transcripts.iter().enumerate() {
+        if !transcript.is_empty() {
+            let _ = writeln!(
+                report,
+                "--- session {i} transcript ---\n{}",
+                String::from_utf8_lossy(transcript)
+            );
+        }
+    }
+    if opts.trace && !trace.is_empty() {
+        let _ = writeln!(report, "--- last {} instructions ---", trace.len());
+        for line in &trace {
+            let _ = writeln!(report, "{line}");
+        }
+    }
+    if !opts.quiet {
+        let _ = writeln!(report, "--- outcome: {}", outcome.reason);
+        let _ = writeln!(report, "--- stats: {}", outcome.stats);
+        if let Some(p) = pipeline {
+            let _ = writeln!(
+                report,
+                "--- pipeline: {} cycles, IPC {:.3}, {} load-use stalls, {} flushes",
+                p.cycles,
+                p.ipc(),
+                p.load_use_stalls,
+                p.control_flushes
+            );
+        }
+    }
+    let code = match outcome.reason {
+        ExitReason::Exited(status) => status,
+        ExitReason::Security(_) => 42,
+        _ => 1,
+    };
+    (report, code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, UsageError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        parse_args(&owned)
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let opts = parse(&[
+            "prog.c",
+            "--policy",
+            "control-only",
+            "--stdin-text",
+            "hello",
+            "--arg",
+            "-g",
+            "--arg",
+            "123",
+            "--env",
+            "HOME=/root",
+            "--watch",
+            "uid:4",
+            "--caches",
+            "--pipeline",
+            "--steps",
+            "1000",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(opts.program, "prog.c");
+        assert_eq!(opts.policy, Some(DetectionPolicy::ControlOnly));
+        assert_eq!(opts.stdin, b"hello");
+        assert_eq!(opts.args, vec!["-g", "123"]);
+        assert_eq!(opts.envs, vec!["HOME=/root"]);
+        assert_eq!(opts.watches, vec![("uid".to_owned(), 4)]);
+        assert!(opts.caches && opts.pipeline && opts.quiet);
+        assert_eq!(opts.steps, Some(1000));
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["a.c", "b.c"]).is_err());
+        assert!(parse(&["a.c", "--policy"]).is_err());
+        assert!(parse(&["a.c", "--policy", "what"]).is_err());
+        assert!(parse(&["a.c", "--watch", "nocolon"]).is_err());
+        assert!(parse(&["a.c", "--bogus"]).is_err());
+        assert!(parse(&["a.c", "--steps", "NaN"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_hello() {
+        let opts = parse(&["hello.c", "--quiet"]).unwrap();
+        let machine =
+            build_machine(&opts, r#"int main() { printf("hi from cli\n"); return 3; }"#).unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(report, "hi from cli\n");
+        assert_eq!(code, 3);
+    }
+
+    #[test]
+    fn end_to_end_detection_exits_42() {
+        let opts = parse(&["vuln.c", "--quiet", "--stdin-text"]).unwrap_err();
+        assert!(opts.0.contains("needs a value"));
+
+        let opts = parse(&["vuln.c"]).unwrap();
+        let mut opts = opts;
+        opts.stdin = vec![b'a'; 24];
+        let machine = build_machine(
+            &opts,
+            "void f() { char b[10]; scanf(\"%s\", b); } int main() { f(); return 0; }",
+        )
+        .unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 42);
+        assert!(report.contains("SECURITY ALERT"), "{report}");
+        assert!(report.contains("jr $31"), "{report}");
+    }
+
+    #[test]
+    fn watch_flag_protects_symbols() {
+        let mut opts = parse(&["auth.c", "--watch", "authenticated:4", "--quiet"]).unwrap();
+        opts.stdin = {
+            let mut v = vec![b'x'; 16];
+            v.extend_from_slice(b"AAAA\n");
+            v
+        };
+        let source = "char pw[16]; int authenticated;
+             int main() { gets(pw); if (authenticated) printf(\"in\\n\"); return 0; }";
+        let machine = build_machine(&opts, source).unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 42, "{report}");
+
+        // Unknown symbol is a usage error.
+        let opts = parse(&["auth.c", "--watch", "nope:4"]).unwrap();
+        assert!(build_machine(&opts, source).is_err());
+    }
+
+    #[test]
+    fn disasm_mode_prints_assembly() {
+        let opts = parse(&["p.c", "--disasm"]).unwrap();
+        let machine = build_machine(&opts, "int main() { return 0; }").unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 0);
+        assert!(report.contains("<main>:"));
+    }
+
+    #[test]
+    fn pipeline_mode_reports_cycles() {
+        let opts = parse(&["p.c", "--pipeline"]).unwrap();
+        let machine = build_machine(&opts, "int main() { return 0; }").unwrap();
+        let (report, _) = run_machine(&opts, &machine);
+        assert!(report.contains("--- pipeline:"), "{report}");
+    }
+}

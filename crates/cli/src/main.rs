@@ -1,0 +1,56 @@
+//! `ptaint-run` — compile a mini-C (or assembly) guest program and execute
+//! it on the pointer-taintedness detection architecture. See the library
+//! docs (`ptaint_cli`) for the option reference.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "ptaint-run <program.c|program.s> [options]\n\
+             \n\
+             --asm                input is assembly\n\
+             --optimize           peephole-optimize the generated code\n\
+             --policy P           off | control-only | ptaint (default)\n\
+             --stdin FILE         stdin bytes from FILE (tainted)\n\
+             --stdin-text STRING  stdin bytes inline (tainted)\n\
+             --arg S / --env K=V  guest argv / environment (repeatable)\n\
+             --file PATH=HOST     mount HOST file at guest PATH (repeatable)\n\
+             --session FILE       scripted network client, one message per line\n\
+             --watch SYMBOL:LEN   annotate never-tainted data (§5.3)\n\
+             --caches             model L1/L2 caches\n\
+             --pipeline           5-stage pipeline timing model\n\
+             --steps N            step budget\n\
+             --disasm             print disassembly and exit\n\
+             --quiet              program output only\n\
+             \n\
+             exit code: guest status; 42 on a security detection"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let opts = match ptaint_cli::parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("ptaint-run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ptaint-run: cannot read `{}`: {e}", opts.program);
+            return ExitCode::from(2);
+        }
+    };
+    let machine = match ptaint_cli::build_machine(&opts, &source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("ptaint-run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (report, code) = ptaint_cli::run_machine(&opts, &machine);
+    print!("{report}");
+    ExitCode::from(u8::try_from(code.rem_euclid(256)).unwrap_or(1))
+}

@@ -1,0 +1,141 @@
+//! The paper's §5.3 extension: *"One direction that can potentially reduce
+//! the false negative rate is to sacrifice the transparency of the proposed
+//! taintedness detection architecture. We can ask the programmer to
+//! annotate important data structures that should never be tainted …
+//! whenever an annotated structure becomes tainted, an alert is raised."*
+//!
+//! This experiment implements that extension
+//! ([`Machine::taint_watch_symbol`]) and demonstrates that it closes the
+//! Table 4(B) false negative: a buffer overflow corrupting an adjacent
+//! authentication flag — invisible to pointer-taintedness detection because
+//! the flag is only ever branched on — is caught the moment tainted bytes
+//! land in the annotated flag.
+
+use std::fmt;
+
+use ptaint_cpu::SecurityAlert;
+use ptaint_os::WorldConfig;
+
+use crate::Machine;
+
+/// The Table 4(B) scenario restated with file-scope state, so the
+/// "important data structure" has a symbol the programmer can annotate.
+pub const ANNOTATED_AUTH_SOURCE: &str = r#"
+char password_buf[16];
+int authenticated;          /* the annotated structure */
+
+int check_password(char *pw) {
+    return strcmp(pw, "letmein") == 0;
+}
+
+int main() {
+    authenticated = 0;
+    gets(password_buf);     /* overflow runs into `authenticated` */
+    if (check_password(password_buf)) authenticated = 1;
+    if (authenticated) {
+        printf("ACCESS GRANTED\n");
+        return 0;
+    }
+    printf("access denied\n");
+    return 1;
+}
+"#;
+
+/// The annotation experiment's result.
+#[derive(Debug, Clone)]
+pub struct AnnotationReport {
+    /// Without annotation: did the attack succeed silently (the Table 4(B)
+    /// false negative)?
+    pub unannotated_missed: bool,
+    /// With the annotation: the alert that stopped the attack.
+    pub annotated_alert: Option<SecurityAlert>,
+    /// With the annotation: do honest logins still work?
+    pub benign_ok: bool,
+}
+
+/// The overflow input: 16 filler bytes, then a nonzero word lands in
+/// `authenticated`.
+#[must_use]
+pub fn attack_input() -> Vec<u8> {
+    let mut input = vec![b'x'; 16];
+    input.extend_from_slice(b"AAAA\n");
+    input
+}
+
+/// Runs the Table 4(B) attack without and with the §5.3 annotation.
+///
+/// # Panics
+///
+/// Panics if the scenario program fails to build.
+#[must_use]
+pub fn run_annotation_experiment() -> AnnotationReport {
+    let machine = Machine::from_c(ANNOTATED_AUTH_SOURCE).expect("scenario builds");
+
+    // 1. Unannotated: the false negative of Table 4(B).
+    let out = machine
+        .clone()
+        .world(WorldConfig::new().stdin(attack_input()))
+        .run();
+    let unannotated_missed =
+        !out.reason.is_detected() && out.stdout_text().contains("ACCESS GRANTED");
+
+    // 2. Annotated: `authenticated` must never be tainted.
+    let annotated = machine
+        .clone()
+        .taint_watch_symbol("authenticated", 4)
+        .world(WorldConfig::new().stdin(attack_input()));
+    let out = annotated.run();
+    let annotated_alert = out.reason.alert().copied();
+
+    // 3. The annotation must not fire on honest use (the program writes
+    //    the flag with untainted constants).
+    let benign = machine
+        .taint_watch_symbol("authenticated", 4)
+        .world(WorldConfig::new().stdin(b"letmein\n".to_vec()))
+        .run();
+    let benign_ok =
+        !benign.reason.is_detected() && benign.stdout_text().contains("ACCESS GRANTED");
+
+    AnnotationReport {
+        unannotated_missed,
+        annotated_alert,
+        benign_ok,
+    }
+}
+
+impl fmt::Display for AnnotationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§5.3 extension — programmer annotations on critical data")?;
+        writeln!(
+            f,
+            "  without annotation : attack {} (the Table 4(B) false negative)",
+            if self.unannotated_missed { "succeeds silently" } else { "did not reproduce" }
+        )?;
+        match &self.annotated_alert {
+            Some(alert) => {
+                writeln!(f, "  with annotation    : DETECTED — {alert}")?;
+            }
+            None => writeln!(f, "  with annotation    : NOT detected (unexpected)")?,
+        }
+        writeln!(
+            f,
+            "  honest login       : {}",
+            if self.benign_ok { "works, no alert" } else { "BROKEN" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_cpu::AlertKind;
+
+    #[test]
+    fn annotation_closes_the_table_4b_false_negative() {
+        let report = run_annotation_experiment();
+        assert!(report.unannotated_missed, "{report:?}");
+        let alert = report.annotated_alert.expect("annotation detects");
+        assert_eq!(alert.kind, AlertKind::AnnotationTainted);
+        assert!(report.benign_ok, "{report:?}");
+    }
+}

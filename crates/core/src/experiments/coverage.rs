@@ -1,0 +1,302 @@
+//! §5.1 — the security-coverage comparison: every attack in the suite run
+//! under all three policies (unprotected, control-data-only protection in
+//! the style of Minos/Secure Program Execution, and full pointer
+//! taintedness detection).
+//!
+//! The paper's headline: control-flow integrity baselines detect the
+//! control-data attack but miss every non-control-data attack; pointer
+//! taintedness detection catches both kinds.
+
+use std::fmt;
+
+use ptaint_asm::Image;
+use ptaint_cpu::DetectionPolicy;
+use ptaint_guest::apps::{
+    calibrate_format_pad, dispatchd, ghttpd, globd, null_httpd, run_app, synthetic, traceroute,
+    wu_ftpd,
+};
+use ptaint_os::{ExitReason, RunOutcome, WorldConfig};
+
+/// How a run under one policy ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverageOutcome {
+    /// The detector stopped the attack (the desired outcome).
+    Detected,
+    /// The attack achieved its goal (privilege escalation, policy bypass…).
+    Compromised,
+    /// The attack crashed the victim (denial of service, undetected).
+    Crashed,
+    /// The program finished without visible compromise.
+    CleanExit,
+}
+
+impl CoverageOutcome {
+    fn short(self) -> &'static str {
+        match self {
+            CoverageOutcome::Detected => "DETECTED",
+            CoverageOutcome::Compromised => "compromised",
+            CoverageOutcome::Crashed => "crashed",
+            CoverageOutcome::CleanExit => "clean",
+        }
+    }
+}
+
+/// Attack classification per the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackClass {
+    /// Corrupts control data (return addresses, code pointers).
+    ControlData,
+    /// Corrupts only non-control data (UIDs, config strings, data
+    /// pointers).
+    NonControlData,
+}
+
+impl fmt::Display for AttackClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AttackClass::ControlData => "control-data",
+            AttackClass::NonControlData => "non-control-data",
+        })
+    }
+}
+
+/// One attack × three policies.
+#[derive(Debug, Clone)]
+pub struct CoverageRow {
+    /// Attack name.
+    pub attack: &'static str,
+    /// Control-data or non-control-data.
+    pub class: AttackClass,
+    /// Outcome with no protection.
+    pub unprotected: CoverageOutcome,
+    /// Outcome under the Minos-style control-only baseline.
+    pub control_only: CoverageOutcome,
+    /// Outcome under full pointer taintedness detection.
+    pub pointer_taintedness: CoverageOutcome,
+}
+
+/// The full §5.1 coverage matrix.
+#[derive(Debug, Clone)]
+pub struct CoverageMatrix {
+    /// One row per attack.
+    pub rows: Vec<CoverageRow>,
+}
+
+impl CoverageMatrix {
+    /// The paper's claim, as a predicate: full detection catches every
+    /// attack; the control-only baseline catches exactly the control-data
+    /// attacks; nothing is caught unprotected.
+    #[must_use]
+    pub fn matches_paper_claims(&self) -> bool {
+        self.rows.iter().all(|r| {
+            let full_ok = r.pointer_taintedness == CoverageOutcome::Detected;
+            let baseline_ok = match r.class {
+                AttackClass::ControlData => r.control_only == CoverageOutcome::Detected,
+                AttackClass::NonControlData => r.control_only != CoverageOutcome::Detected,
+            };
+            let unprotected_ok = r.unprotected != CoverageOutcome::Detected;
+            full_ok && baseline_ok && unprotected_ok
+        })
+    }
+}
+
+/// Classifies one run's outcome, given an attack-specific compromise
+/// marker looked for in the network transcripts and stdout.
+fn classify(outcome: &RunOutcome, compromise_marker: Option<&str>) -> CoverageOutcome {
+    match &outcome.reason {
+        ExitReason::Security(_) => CoverageOutcome::Detected,
+        ExitReason::MemFault(_) | ExitReason::DecodeFault(_) | ExitReason::BreakTrap(_) => {
+            CoverageOutcome::Crashed
+        }
+        ExitReason::Exited(_) | ExitReason::StepLimit => {
+            if let Some(marker) = compromise_marker {
+                let mut all = outcome.stdout_text();
+                for t in &outcome.transcripts {
+                    all.push_str(&String::from_utf8_lossy(t));
+                }
+                if all.contains(marker) {
+                    return CoverageOutcome::Compromised;
+                }
+            }
+            CoverageOutcome::CleanExit
+        }
+    }
+}
+
+struct AttackSpec {
+    name: &'static str,
+    class: AttackClass,
+    image: Image,
+    world: WorldConfig,
+    compromise_marker: Option<&'static str>,
+}
+
+fn attack_suite() -> Vec<AttackSpec> {
+    let exp1 = ptaint_guest::build(synthetic::EXP1_SOURCE).expect("exp1");
+    let exp2 = ptaint_guest::build(synthetic::EXP2_SOURCE).expect("exp2");
+    let exp3 = ptaint_guest::build(synthetic::EXP3_SOURCE).expect("exp3");
+    let exp3_pad = calibrate_format_pad(&exp3, synthetic::exp3_attack_world, 0x6463_6261, 16)
+        .expect("exp3 calibrates");
+    let ftpd = ptaint_guest::build(wu_ftpd::SOURCE).expect("wu_ftpd");
+    let uid = wu_ftpd::uid_address(&ftpd);
+    let ftpd_pad = calibrate_format_pad(&ftpd, |p| wu_ftpd::attack_world(&ftpd, p), uid, 48)
+        .expect("wu_ftpd calibrates");
+    let httpd = ptaint_guest::build(null_httpd::SOURCE).expect("null_httpd");
+    let ghttpd_img = ptaint_guest::build(ghttpd::SOURCE).expect("ghttpd");
+    let tracer = ptaint_guest::build(traceroute::SOURCE).expect("traceroute");
+    let glob = ptaint_guest::build(globd::SOURCE).expect("globd");
+    let dispatch = ptaint_guest::build(dispatchd::SOURCE).expect("dispatchd");
+
+    vec![
+        AttackSpec {
+            name: "exp1 stack smash (ret addr)",
+            class: AttackClass::ControlData,
+            world: synthetic::exp1_attack_world(),
+            image: exp1,
+            compromise_marker: None,
+        },
+        AttackSpec {
+            name: "exp2 heap chunk links",
+            class: AttackClass::NonControlData,
+            world: synthetic::exp2_attack_world(),
+            image: exp2,
+            compromise_marker: None,
+        },
+        AttackSpec {
+            name: "exp3 format string %n",
+            class: AttackClass::NonControlData,
+            world: synthetic::exp3_attack_world(exp3_pad),
+            image: exp3,
+            compromise_marker: None,
+        },
+        AttackSpec {
+            name: "WU-FTPD uid overwrite",
+            class: AttackClass::NonControlData,
+            world: wu_ftpd::attack_world(&ftpd, ftpd_pad),
+            image: ftpd,
+            compromise_marker: Some("226 transfer complete"),
+        },
+        AttackSpec {
+            name: "NULL HTTPD cgi-root retarget",
+            class: AttackClass::NonControlData,
+            world: null_httpd::attack_world(&httpd),
+            image: httpd,
+            compromise_marker: Some("EXEC /bin/sh"),
+        },
+        AttackSpec {
+            name: "GHTTPD url-pointer corrupt",
+            class: AttackClass::NonControlData,
+            world: ghttpd::attack_world(&ghttpd_img),
+            image: ghttpd_img,
+            compromise_marker: Some("EXEC /cgi-bin/../../../../bin/sh"),
+        },
+        AttackSpec {
+            name: "traceroute double free",
+            class: AttackClass::NonControlData,
+            world: traceroute::attack_world(),
+            image: tracer,
+            compromise_marker: None,
+        },
+        AttackSpec {
+            name: "globd ~user heap overflow",
+            class: AttackClass::NonControlData,
+            world: globd::attack_world(),
+            image: glob,
+            compromise_marker: None,
+        },
+        AttackSpec {
+            name: "dispatchd fn-ptr overwrite",
+            class: AttackClass::ControlData,
+            world: dispatchd::attack_world(),
+            image: dispatch,
+            compromise_marker: None,
+        },
+    ]
+}
+
+/// Runs the complete attack suite under all three policies (27 runs, plus
+/// the calibration probes).
+#[must_use]
+pub fn run_coverage_matrix() -> CoverageMatrix {
+    let rows = attack_suite()
+        .into_iter()
+        .map(|spec| {
+            let outcome_for = |policy| {
+                let out = run_app(&spec.image, spec.world.clone(), policy);
+                classify(&out, spec.compromise_marker)
+            };
+            CoverageRow {
+                attack: spec.name,
+                class: spec.class,
+                unprotected: outcome_for(DetectionPolicy::Off),
+                control_only: outcome_for(DetectionPolicy::ControlOnly),
+                pointer_taintedness: outcome_for(DetectionPolicy::PointerTaintedness),
+            }
+        })
+        .collect();
+    CoverageMatrix { rows }
+}
+
+impl fmt::Display for CoverageMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§5.1 — security coverage: attacks × protection policies")?;
+        writeln!(
+            f,
+            "  {:<30} {:<17} {:<12} {:<12} {:<12}",
+            "attack", "class", "unprotected", "control-only", "ptaint"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<30} {:<17} {:<12} {:<12} {:<12}",
+                r.attack,
+                r.class.to_string(),
+                r.unprotected.short(),
+                r.control_only.short(),
+                r.pointer_taintedness.short()
+            )?;
+        }
+        writeln!(
+            f,
+            "\n  paper's claim (full detection catches all; control-only \
+             catches only control-data): {}",
+            if self.matches_paper_claims() { "REPRODUCED" } else { "NOT reproduced" }
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_matrix_reproduces_the_papers_claims() {
+        let matrix = run_coverage_matrix();
+        assert_eq!(matrix.rows.len(), 9);
+        assert!(matrix.matches_paper_claims(), "{matrix}");
+
+        // Full detection catches every attack.
+        for r in &matrix.rows {
+            assert_eq!(r.pointer_taintedness, CoverageOutcome::Detected, "{}", r.attack);
+        }
+        // Both control-data attacks (return address and function pointer)
+        // are caught by the control-only baseline.
+        let control: Vec<_> = matrix
+            .rows
+            .iter()
+            .filter(|r| r.class == AttackClass::ControlData)
+            .collect();
+        assert_eq!(control.len(), 2);
+        for row in control {
+            assert_eq!(row.control_only, CoverageOutcome::Detected, "{}", row.attack);
+        }
+        // The daemons are genuinely compromised when unprotected.
+        let compromised = matrix
+            .rows
+            .iter()
+            .filter(|r| r.unprotected == CoverageOutcome::Compromised)
+            .count();
+        assert!(compromised >= 3, "{matrix}");
+    }
+}

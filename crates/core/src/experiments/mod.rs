@@ -1,0 +1,42 @@
+//! One entry point per table and figure of the paper's evaluation (§5).
+//!
+//! | Item | Function | Paper reference |
+//! |---|---|---|
+//! | Figure 1 | [`crate::cert::render_figure_1`] | CERT advisory breakdown |
+//! | Figure 2 | [`synthetic::run_synthetic_suite`] | exp1/exp2/exp3 detection |
+//! | Figure 3 | [`figure3::run_pipeline_walk`] | detector staging in the pipeline |
+//! | Table 1 | exhaustive tests in `ptaint_cpu::taint_alu`; demonstrated by [`table1::verify_propagation_rules`] | taint propagation rules |
+//! | Table 2 | [`table2::run_wu_ftpd_transcript`] | WU-FTPD attack/detection session |
+//! | Table 3 | [`table3::run_false_positive_suite`] | SPEC-like workloads, zero alerts |
+//! | Table 4 | [`table4::run_false_negative_suite`] | engineered undetected attacks |
+//! | §5.1 coverage | [`coverage::run_coverage_matrix`] | all attacks × {off, control-only, ptaint} |
+//! | §5.4 overhead | [`overhead::run_overhead_report`] | taint-tracking cost accounting |
+//!
+//! Two studies extend the paper:
+//!
+//! * [`ablation`] removes each Table 1 special-case rule in turn, showing
+//!   empirically why the rules exist (compare-untaint is load-bearing for
+//!   the zero-false-positive result);
+//! * [`annotations`] implements §5.3's future-work idea — programmer
+//!   annotations on never-tainted data — and shows it closing the Table
+//!   4(B) false negative;
+//! * [`optimizer`] is a substrate-quality study: the mini-C peephole
+//!   optimizer changes code shape without changing any observable —
+//!   detection behaviour is code-shape independent.
+//!
+//! Every report type implements [`std::fmt::Display`], printing rows shaped
+//! like the paper's tables; the `ptaint-bench` binaries simply print them.
+
+pub mod ablation;
+pub mod caches;
+pub mod annotations;
+pub mod coverage;
+pub mod figure2_layout;
+pub mod figure3;
+pub mod optimizer;
+pub mod overhead;
+pub mod synthetic;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,143 @@
+//! Toolchain study — what the mini-C peephole optimizer is worth on the
+//! Table 3 workloads, and that it changes nothing observable.
+//!
+//! This is a substrate-quality experiment rather than a paper experiment:
+//! it quantifies how far the naive accumulator-machine code generator is
+//! from reasonable code, and (more importantly for the reproduction) it
+//! verifies that taint tracking and detection behave identically across
+//! code shapes — outputs, alert-freedom, and tainted-instruction accounting
+//! are all preserved under the rewrite.
+
+use std::fmt;
+
+use ptaint_guest::workloads;
+use ptaint_os::ExitReason;
+
+use crate::Machine;
+
+/// Per-workload optimizer effect.
+#[derive(Debug, Clone)]
+pub struct OptimizerRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Dynamic instructions, unoptimized.
+    pub instructions_plain: u64,
+    /// Dynamic instructions, optimized.
+    pub instructions_opt: u64,
+    /// Static text words, unoptimized.
+    pub text_words_plain: usize,
+    /// Static text words, optimized.
+    pub text_words_opt: usize,
+    /// Whether outputs matched exactly.
+    pub outputs_match: bool,
+}
+
+impl OptimizerRow {
+    /// Dynamic instruction reduction in percent.
+    #[must_use]
+    pub fn dynamic_saving_pct(&self) -> f64 {
+        if self.instructions_plain == 0 {
+            0.0
+        } else {
+            (1.0 - self.instructions_opt as f64 / self.instructions_plain as f64) * 100.0
+        }
+    }
+}
+
+/// The optimizer study.
+#[derive(Debug, Clone)]
+pub struct OptimizerReport {
+    /// Per-workload rows.
+    pub rows: Vec<OptimizerRow>,
+    /// Input scale used.
+    pub scale: u32,
+}
+
+/// Runs every workload with and without the peephole optimizer.
+///
+/// # Panics
+///
+/// Panics if any run fails or raises an alert (both builds must stay
+/// alert-free).
+#[must_use]
+pub fn run_optimizer_study(scale: u32) -> OptimizerReport {
+    let mut rows = Vec::new();
+    for w in workloads::all() {
+        let plain = Machine::from_c(w.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+            .world(w.world(scale));
+        let opt = Machine::from_c_optimized(w.source)
+            .unwrap_or_else(|e| panic!("{} (optimized): {e}", w.name))
+            .world(w.world(scale));
+        let out_plain = plain.run();
+        let out_opt = opt.run();
+        assert_eq!(out_plain.reason, ExitReason::Exited(0), "{}", w.name);
+        assert_eq!(out_opt.reason, ExitReason::Exited(0), "{} (optimized)", w.name);
+        rows.push(OptimizerRow {
+            name: w.name,
+            instructions_plain: out_plain.stats.instructions,
+            instructions_opt: out_opt.stats.instructions,
+            text_words_plain: plain.image().text.len(),
+            text_words_opt: opt.image().text.len(),
+            outputs_match: out_plain.stdout == out_opt.stdout,
+        });
+    }
+    OptimizerReport { rows, scale }
+}
+
+impl fmt::Display for OptimizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Toolchain study — peephole optimizer on the workloads (scale {})",
+            self.scale
+        )?;
+        writeln!(
+            f,
+            "  {:<8} {:>14} {:>14} {:>8} {:>12} {:>12} {:>8}",
+            "program", "insns (plain)", "insns (opt)", "saved", "text (plain)", "text (opt)", "output"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<8} {:>14} {:>14} {:>7.1}% {:>12} {:>12} {:>8}",
+                r.name,
+                r.instructions_plain,
+                r.instructions_opt,
+                r.dynamic_saving_pct(),
+                r.text_words_plain,
+                r.text_words_opt,
+                if r.outputs_match { "same" } else { "DIFFERS" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimizer_saves_instructions_and_preserves_outputs() {
+        let report = run_optimizer_study(2);
+        assert_eq!(report.rows.len(), 6);
+        for row in &report.rows {
+            assert!(row.outputs_match, "{}", row.name);
+            assert!(
+                row.instructions_opt <= row.instructions_plain,
+                "{}: {} -> {}",
+                row.name,
+                row.instructions_plain,
+                row.instructions_opt
+            );
+            assert!(row.text_words_opt <= row.text_words_plain, "{}", row.name);
+        }
+        let total_plain: u64 = report.rows.iter().map(|r| r.instructions_plain).sum();
+        let total_opt: u64 = report.rows.iter().map(|r| r.instructions_opt).sum();
+        assert!(
+            total_opt * 100 <= total_plain * 97,
+            "expected >=3% overall saving: {total_plain} -> {total_opt}"
+        );
+    }
+}

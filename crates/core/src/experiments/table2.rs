@@ -1,0 +1,154 @@
+//! Table 2 — attacking WU-FTPD on the proposed architecture: the full
+//! client/server session transcript ending in the detector's alert.
+
+use std::fmt;
+
+use ptaint_cpu::{DetectionPolicy, SecurityAlert};
+use ptaint_guest::apps::{calibrate_format_pad, run_app, wu_ftpd};
+
+/// Who said a transcript line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Speaker {
+    /// The FTP server (the victim).
+    Server,
+    /// The FTP client (the attacker).
+    Client,
+    /// The pointer-taintedness detector.
+    Detector,
+}
+
+/// One line of the Table 2 transcript.
+#[derive(Debug, Clone)]
+pub struct TranscriptLine {
+    /// Who produced the line.
+    pub speaker: Speaker,
+    /// The text.
+    pub text: String,
+}
+
+/// The reproduced Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Report {
+    /// The session transcript, in order.
+    pub lines: Vec<TranscriptLine>,
+    /// The detection alert that stopped the attack.
+    pub alert: SecurityAlert,
+    /// Address of the targeted `session_uid` word.
+    pub target_address: u32,
+    /// Calibrated `%x` pad count used by the exploit.
+    pub pad: usize,
+}
+
+/// Runs the WU-FTPD attack session under full detection and reconstructs
+/// the paper's Table 2 transcript.
+///
+/// # Panics
+///
+/// Panics if the attack calibration fails or the attack goes undetected
+/// (either would falsify the reproduction).
+#[must_use]
+pub fn run_wu_ftpd_transcript() -> Table2Report {
+    let image = ptaint_guest::build(wu_ftpd::SOURCE).expect("wu_ftpd builds");
+    let target = wu_ftpd::uid_address(&image);
+    let pad = calibrate_format_pad(&image, |p| wu_ftpd::attack_world(&image, p), target, 48)
+        .expect("format pad calibrates");
+    let world = wu_ftpd::attack_world(&image, pad);
+    let out = run_app(&image, world, DetectionPolicy::PointerTaintedness);
+    let alert = *out.reason.alert().expect("attack detected");
+
+    // Reconstruct the conversation: client lines are the scripted session;
+    // server lines come from the captured transcript.
+    let mut lines = Vec::new();
+    let server_text = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
+    let mut server_lines = server_text.lines();
+    if let Some(banner) = server_lines.next() {
+        lines.push(TranscriptLine {
+            speaker: Speaker::Server,
+            text: banner.trim().to_owned(),
+        });
+    }
+    let client_msgs: Vec<String> = vec![
+        "USER user1".into(),
+        "PASS xxxxxxx".into(),
+        format!(
+            "SITE EXEC ..\\x{:02x}\\x{:02x}\\x{:02x}\\x{:02x}{}%n",
+            target & 0xff,
+            (target >> 8) & 0xff,
+            (target >> 16) & 0xff,
+            (target >> 24) & 0xff,
+            "%x".repeat(pad)
+        ),
+    ];
+    for msg in client_msgs {
+        lines.push(TranscriptLine {
+            speaker: Speaker::Client,
+            text: msg,
+        });
+        if let Some(reply) = server_lines.next() {
+            let trimmed = reply.trim();
+            if !trimmed.is_empty() {
+                lines.push(TranscriptLine {
+                    speaker: Speaker::Server,
+                    text: trimmed.to_owned(),
+                });
+            }
+        }
+    }
+    lines.push(TranscriptLine {
+        speaker: Speaker::Detector,
+        text: alert.to_string(),
+    });
+
+    Table2Report {
+        lines,
+        alert,
+        target_address: target,
+        pad,
+    }
+}
+
+impl fmt::Display for Table2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2 — attacking WU-FTPD on the proposed architecture")?;
+        writeln!(
+            f,
+            "  (target word session_uid at {:#010x}, calibrated pad = {} %x directives)\n",
+            self.target_address, self.pad
+        )?;
+        for line in &self.lines {
+            let who = match line.speaker {
+                Speaker::Server => "FTP Server",
+                Speaker::Client => "FTP Client",
+                Speaker::Detector => "Alert",
+            };
+            writeln!(f, "  {who:<11} {}", line.text)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_cpu::AlertKind;
+
+    #[test]
+    fn transcript_reproduces_table_2() {
+        let report = run_wu_ftpd_transcript();
+        // The alert is a store-word through the tainted uid address —
+        // the paper's `sw $21,0($3)  $3=0x1002bc20` shape.
+        assert_eq!(report.alert.kind, AlertKind::DataPointer);
+        assert_eq!(report.alert.pointer, report.target_address);
+        assert!(report.alert.instr.to_string().starts_with("sw "));
+
+        let text = report.to_string();
+        assert!(text.contains("220 FTP server"), "{text}");
+        assert!(text.contains("USER user1"), "{text}");
+        assert!(text.contains("331 Password required"), "{text}");
+        assert!(text.contains("PASS xxxxxxx"), "{text}");
+        assert!(text.contains("230 User logged in"), "{text}");
+        assert!(text.contains("SITE EXEC"), "{text}");
+        assert!(text.contains("%n"), "{text}");
+        assert!(text.contains("Alert"), "{text}");
+    }
+}

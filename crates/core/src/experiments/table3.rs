@@ -1,0 +1,153 @@
+//! Table 3 — the false-positive experiment: run the six SPEC-2000-like
+//! workloads under full pointer-taintedness detection and verify that not a
+//! single alert is raised.
+
+use std::fmt;
+
+use ptaint_cpu::DetectionPolicy;
+use ptaint_guest::apps::run_app;
+use ptaint_guest::workloads;
+
+/// One Table 3 row.
+#[derive(Debug, Clone)]
+pub struct WorkloadRow {
+    /// Workload name (SPEC counterpart, lowercase).
+    pub name: &'static str,
+    /// The SPEC 2000 benchmark this mirrors.
+    pub spec_name: &'static str,
+    /// Static program size in bytes (text + data).
+    pub program_bytes: u32,
+    /// Input bytes consumed (all tainted at the kernel boundary).
+    pub input_bytes: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Instructions that touched tainted data.
+    pub tainted_instructions: u64,
+    /// Alerts raised (the experiment's claim: always zero).
+    pub alerts: u32,
+    /// The workload's self-reported result line.
+    pub output: String,
+}
+
+/// The reproduced Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Report {
+    /// Per-workload rows in the paper's order.
+    pub rows: Vec<WorkloadRow>,
+    /// Input scale used (larger = longer runs).
+    pub scale: u32,
+}
+
+impl Table3Report {
+    /// Total alerts across the suite (the headline number: 0).
+    #[must_use]
+    pub fn total_alerts(&self) -> u32 {
+        self.rows.iter().map(|r| r.alerts).sum()
+    }
+
+    /// Total instructions executed.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.rows.iter().map(|r| r.instructions).sum()
+    }
+
+    /// Total input bytes.
+    #[must_use]
+    pub fn total_input_bytes(&self) -> u64 {
+        self.rows.iter().map(|r| r.input_bytes).sum()
+    }
+}
+
+/// Runs the six workloads at the given input scale under full detection.
+///
+/// # Panics
+///
+/// Panics if a workload fails to build or crashes (as opposed to raising an
+/// alert, which is *counted*, not panicked on — a nonzero count is the
+/// falsification signal the tests assert against).
+#[must_use]
+pub fn run_false_positive_suite(scale: u32) -> Table3Report {
+    let mut rows = Vec::new();
+    for w in workloads::all() {
+        let image = ptaint_guest::build(w.source)
+            .unwrap_or_else(|e| panic!("{} failed to build: {e}", w.name));
+        let program_bytes = image.text.len() as u32 * 4 + image.data.len() as u32;
+        let out = run_app(&image, w.world(scale), DetectionPolicy::PointerTaintedness);
+        let alerts = u32::from(out.reason.is_detected());
+        assert!(
+            matches!(out.reason, ptaint_os::ExitReason::Exited(0)) || alerts > 0,
+            "{} neither exited cleanly nor alerted: {:?}",
+            w.name,
+            out.reason
+        );
+        rows.push(WorkloadRow {
+            name: w.name,
+            spec_name: w.spec_name,
+            program_bytes,
+            input_bytes: out.tainted_input_bytes,
+            instructions: out.stats.instructions,
+            tainted_instructions: out.stats.tainted_operand_instructions,
+            alerts,
+            output: out.stdout_text().trim().to_owned(),
+        });
+    }
+    Table3Report { rows, scale }
+}
+
+impl fmt::Display for Table3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 3 — false-positive test with SPEC-2000-like workloads (scale {})",
+            self.scale
+        )?;
+        writeln!(
+            f,
+            "  {:<8} {:>12} {:>12} {:>14} {:>14} {:>7}",
+            "program", "size (B)", "input (B)", "instructions", "tainted-insn", "alerts"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<8} {:>12} {:>12} {:>14} {:>14} {:>7}",
+                r.name, r.program_bytes, r.input_bytes, r.instructions, r.tainted_instructions, r.alerts
+            )?;
+        }
+        writeln!(
+            f,
+            "  {:<8} {:>12} {:>12} {:>14} {:>14} {:>7}",
+            "total",
+            self.rows.iter().map(|r| r.program_bytes).sum::<u32>(),
+            self.total_input_bytes(),
+            self.total_instructions(),
+            self.rows.iter().map(|r| r.tainted_instructions).sum::<u64>(),
+            self.total_alerts()
+        )?;
+        writeln!(f, "\n  outputs:")?;
+        for r in &self.rows {
+            writeln!(f, "    {}", r.output)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_positives_at_test_scale() {
+        let report = run_false_positive_suite(3);
+        assert_eq!(report.rows.len(), 6);
+        assert_eq!(report.total_alerts(), 0, "{report}");
+        assert!(report.total_instructions() > 50_000, "{report}");
+        assert!(report.total_input_bytes() > 200, "{report}");
+        for row in &report.rows {
+            assert!(row.tainted_instructions > 0, "{} never saw taint", row.name);
+        }
+        let text = report.to_string();
+        for name in ["bzip2", "gcc", "gzip", "mcf", "parser", "vpr"] {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The top-level machine builder.
+
+use ptaint_asm::Image;
+use ptaint_cpu::pipeline::{Pipeline, PipelineReport};
+use ptaint_cpu::{Cpu, CpuException, DetectionPolicy, StepEvent, TaintRules};
+use ptaint_guest::BuildError;
+use ptaint_mem::HierarchyConfig;
+use ptaint_os::{load, run_to_exit, ExitReason, Os, RunOutcome, WorldConfig};
+
+/// A configured guest machine: program image, outside world, detection
+/// policy, and memory hierarchy. Each [`Machine::run`] boots a fresh
+/// instance, so one `Machine` can be run many times (e.g. under different
+/// payload calibrations).
+///
+/// ```
+/// use ptaint::{Machine, WorldConfig};
+///
+/// let m = Machine::from_c(r#"int main() { printf("hi\n"); return 0; }"#)?;
+/// assert_eq!(m.run().stdout_text(), "hi\n");
+/// # Ok::<(), ptaint::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    image: Image,
+    world: WorldConfig,
+    policy: DetectionPolicy,
+    hierarchy: HierarchyConfig,
+    rules: TaintRules,
+    watches: Vec<(u32, u32, String)>,
+    step_limit: u64,
+}
+
+impl Machine {
+    /// Default step budget (ample for every program in this workspace).
+    pub const DEFAULT_STEP_LIMIT: u64 = 500_000_000;
+
+    /// Compiles a mini-C program (linked against the guest libc and
+    /// runtime) into a machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when compilation or assembly fails.
+    pub fn from_c(source: &str) -> Result<Machine, BuildError> {
+        Ok(Machine::from_image(ptaint_guest::build(source)?))
+    }
+
+    /// Like [`Machine::from_c`], with the mini-C peephole optimizer enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when compilation or assembly fails.
+    pub fn from_c_optimized(source: &str) -> Result<Machine, BuildError> {
+        Ok(Machine::from_image(ptaint_guest::build_optimized(source)?))
+    }
+
+    /// Assembles a bare-metal assembly program (no libc) into a machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when assembly fails.
+    pub fn from_asm(source: &str) -> Result<Machine, BuildError> {
+        Ok(Machine::from_image(ptaint_asm::assemble(source)?))
+    }
+
+    /// Wraps an already-built image.
+    #[must_use]
+    pub fn from_image(image: Image) -> Machine {
+        Machine {
+            image,
+            world: WorldConfig::new(),
+            policy: DetectionPolicy::PointerTaintedness,
+            hierarchy: HierarchyConfig::flat(),
+            rules: TaintRules::PAPER,
+            watches: Vec::new(),
+            step_limit: Machine::DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Sets the taint-propagation rule set (default: the paper's Table 1;
+    /// ablated variants via [`TaintRules`]).
+    #[must_use]
+    pub fn taint_rules(mut self, rules: TaintRules) -> Machine {
+        self.rules = rules;
+        self
+    }
+
+    /// Adds a §5.3 programmer annotation on the *global symbol* `name`:
+    /// execution stops as soon as any of its `len` bytes becomes tainted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the symbol is not defined by the program.
+    #[must_use]
+    pub fn taint_watch_symbol(mut self, name: &str, len: u32) -> Machine {
+        let addr = self
+            .image
+            .symbol(name)
+            .unwrap_or_else(|| panic!("no such symbol `{name}` to annotate"));
+        self.watches.push((addr, len, name.to_owned()));
+        self
+    }
+
+    /// Sets the outside world (stdin, files, network sessions, argv/envp).
+    #[must_use]
+    pub fn world(mut self, world: WorldConfig) -> Machine {
+        self.world = world;
+        self
+    }
+
+    /// Sets the detection policy (default: full pointer taintedness).
+    #[must_use]
+    pub fn policy(mut self, policy: DetectionPolicy) -> Machine {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the cache hierarchy (default: no caches).
+    #[must_use]
+    pub fn hierarchy(mut self, hierarchy: HierarchyConfig) -> Machine {
+        self.hierarchy = hierarchy;
+        self
+    }
+
+    /// Sets the step budget.
+    #[must_use]
+    pub fn step_limit(mut self, limit: u64) -> Machine {
+        self.step_limit = limit;
+        self
+    }
+
+    /// The program image (symbol table, segments) — payload builders use
+    /// this to locate attack targets.
+    #[must_use]
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    fn boot(&self) -> (Cpu, Os) {
+        let (mut cpu, os) = load(&self.image, self.world.clone(), self.policy, self.hierarchy);
+        cpu.set_taint_rules(self.rules);
+        for (addr, len, label) in &self.watches {
+            cpu.add_taint_watch(*addr, *len, label.clone());
+        }
+        (cpu, os)
+    }
+
+    /// Boots a fresh instance and runs it to completion.
+    #[must_use]
+    pub fn run(&self) -> RunOutcome {
+        let (mut cpu, mut os) = self.boot();
+        run_to_exit(&mut cpu, &mut os, self.step_limit)
+    }
+
+    /// Boots a fresh instance and runs it through the 5-stage pipeline
+    /// timing model (Figure 3), returning both the functional outcome and
+    /// the cycle-level report (detection staging, stalls, IPC).
+    #[must_use]
+    pub fn run_pipelined(&self) -> (RunOutcome, PipelineReport) {
+        let (cpu, mut os) = self.boot();
+        let mut pipe = Pipeline::new(cpu);
+        let mut reason = ExitReason::StepLimit;
+        for _ in 0..self.step_limit {
+            match pipe.step() {
+                Ok(StepEvent::Executed) => {}
+                Ok(StepEvent::SyscallTrap) => {
+                    os.handle_syscall(pipe.cpu_mut());
+                    if let Some(status) = os.exit_status() {
+                        reason = ExitReason::Exited(status);
+                        break;
+                    }
+                }
+                Ok(StepEvent::BreakTrap(code)) => {
+                    reason = ExitReason::BreakTrap(code);
+                    break;
+                }
+                Err(CpuException::Security(alert)) => {
+                    reason = ExitReason::Security(alert);
+                    break;
+                }
+                Err(CpuException::Mem(fault)) => {
+                    reason = ExitReason::MemFault(fault);
+                    break;
+                }
+                Err(CpuException::Decode { pc, .. }) => {
+                    reason = ExitReason::DecodeFault(pc);
+                    break;
+                }
+            }
+        }
+        let outcome = RunOutcome {
+            reason,
+            stats: pipe.cpu().stats(),
+            stdout: os.stdout().to_vec(),
+            stderr: os.stderr().to_vec(),
+            transcripts: os.session_transcripts().iter().map(|s| s.to_vec()).collect(),
+            tainted_input_bytes: os.tainted_input_bytes,
+        };
+        (outcome, pipe.report())
+    }
+
+    /// Runs to completion and returns the outcome together with a
+    /// disassembled tail of the execution (the most recently retired
+    /// instructions, oldest first) — the `--trace` view of `ptaint-run`.
+    #[must_use]
+    pub fn run_traced(&self) -> (RunOutcome, Vec<String>) {
+        let (mut cpu, mut os) = self.boot();
+        let outcome = run_to_exit(&mut cpu, &mut os, self.step_limit);
+        let trace = cpu
+            .recent_trace()
+            .into_iter()
+            .map(|(pc, instr)| {
+                let sym = self
+                    .image
+                    .symbol_at(pc)
+                    .map(|s| format!(" <{s}>"))
+                    .unwrap_or_default();
+                format!("{pc:08x}{sym}: {instr}")
+            })
+            .collect();
+        (outcome, trace)
+    }
+
+    /// Static program size in bytes (text + data), the "program size"
+    /// column of Table 3.
+    #[must_use]
+    pub fn program_size_bytes(&self) -> u32 {
+        self.image.text.len() as u32 * 4 + self.image.data.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_c_builds_and_runs() {
+        let m = Machine::from_c("int main() { return 7; }").unwrap();
+        assert_eq!(m.run().reason, ExitReason::Exited(7));
+        assert!(m.program_size_bytes() > 100);
+    }
+
+    #[test]
+    fn machine_is_reusable() {
+        let m = Machine::from_c(
+            r#"int main() {
+                char b[16];
+                int n = read(0, b, 15);
+                b[n] = 0;
+                printf("<%s>", b);
+                return 0;
+            }"#,
+        )
+        .unwrap();
+        let a = m.clone().world(WorldConfig::new().stdin(b"one".to_vec())).run();
+        let b = m.world(WorldConfig::new().stdin(b"two".to_vec())).run();
+        assert_eq!(a.stdout_text(), "<one>");
+        assert_eq!(b.stdout_text(), "<two>");
+    }
+
+    #[test]
+    fn from_asm_builds_bare_programs() {
+        let m = Machine::from_asm(
+            "main: li $v0, 1
+                   li $a0, 9
+                   syscall",
+        )
+        .unwrap();
+        assert_eq!(m.run().reason, ExitReason::Exited(9));
+    }
+
+    #[test]
+    fn pipelined_run_matches_functional_run() {
+        let m = Machine::from_c(
+            "int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); }
+             int main() { return f(10); }",
+        )
+        .unwrap();
+        let plain = m.run();
+        let (piped, report) = m.run_pipelined();
+        assert_eq!(plain.reason, ExitReason::Exited(55));
+        assert_eq!(piped.reason, plain.reason);
+        assert_eq!(piped.stats.instructions, plain.stats.instructions);
+        assert!(report.cycles >= report.instructions);
+        assert!(report.ipc() > 0.3 && report.ipc() <= 1.0);
+    }
+
+    #[test]
+    fn hierarchy_does_not_change_results() {
+        let m = Machine::from_c(
+            r#"int main() {
+                int i; int s = 0;
+                int a[64];
+                for (i = 0; i < 64; i++) a[i] = i;
+                for (i = 0; i < 64; i++) s += a[i];
+                return s & 0x7f;
+            }"#,
+        )
+        .unwrap();
+        let flat = m.run();
+        let cached = m.hierarchy(HierarchyConfig::two_level()).run();
+        assert_eq!(flat.reason, cached.reason);
+    }
+
+    #[test]
+    fn step_limit_is_respected() {
+        let m = Machine::from_asm("main: b main").unwrap().step_limit(1000);
+        assert_eq!(m.run().reason, ExitReason::StepLimit);
+    }
+}

@@ -1,0 +1,163 @@
+//! Detection policies and security alerts.
+
+use std::fmt;
+
+use ptaint_isa::Instr;
+use ptaint_mem::WordTaint;
+
+/// Which pointer-taintedness checks the processor performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum DetectionPolicy {
+    /// No checks — the unprotected baseline. Attacks succeed (or crash the
+    /// process through memory faults).
+    Off,
+    /// Control-data protection only: alert when a *register-indirect jump*
+    /// (`jr`/`jalr`) targets a tainted word. This models the control-flow
+    /// integrity baselines the paper compares against (Minos, Secure Program
+    /// Execution): identical taint machinery, but taintedness of *data*
+    /// pointers is not checked.
+    ControlOnly,
+    /// Full pointer-taintedness detection (the paper's proposal): alert when
+    /// any tainted word is dereferenced — as a load/store address *or* as a
+    /// register-jump target.
+    #[default]
+    PointerTaintedness,
+}
+
+impl DetectionPolicy {
+    /// Whether load/store address words are checked under this policy.
+    #[must_use]
+    pub const fn checks_data_pointers(self) -> bool {
+        matches!(self, DetectionPolicy::PointerTaintedness)
+    }
+
+    /// Whether register-jump targets are checked under this policy.
+    #[must_use]
+    pub const fn checks_jump_pointers(self) -> bool {
+        !matches!(self, DetectionPolicy::Off)
+    }
+
+    /// Short display name used in experiment tables.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            DetectionPolicy::Off => "off",
+            DetectionPolicy::ControlOnly => "control-only",
+            DetectionPolicy::PointerTaintedness => "ptaint",
+        }
+    }
+}
+
+impl fmt::Display for DetectionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which detector fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertKind {
+    /// The load/store detector (after EX/MEM): a tainted word was used as a
+    /// data address.
+    DataPointer,
+    /// The jump detector (after ID/EX): a tainted word was used as a
+    /// `jr`/`jalr` target.
+    JumpPointer,
+    /// A programmer-annotated memory region became tainted — the paper's
+    /// §5.3 extension for reducing false negatives at the cost of
+    /// transparency (see [`Cpu::add_taint_watch`](crate::Cpu::add_taint_watch)).
+    AnnotationTainted,
+}
+
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AlertKind::DataPointer => "tainted data pointer dereference",
+            AlertKind::JumpPointer => "tainted jump target",
+            AlertKind::AnnotationTainted => "annotated data became tainted",
+        })
+    }
+}
+
+/// A pointer-taintedness security exception, the paper's detection event.
+///
+/// Its [`Display`](fmt::Display) form matches the paper's alert transcripts,
+/// e.g. Table 2's `44d7b0: sw $21,0($3)  $3=0x1002bc20`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecurityAlert {
+    /// Address of the offending instruction.
+    pub pc: u32,
+    /// The offending instruction.
+    pub instr: Instr,
+    /// Which detector fired.
+    pub kind: AlertKind,
+    /// The register holding the tainted pointer (base register of a
+    /// load/store, or the jump target register).
+    pub pointer_reg: ptaint_isa::Reg,
+    /// The tainted pointer value that was about to be dereferenced.
+    pub pointer: u32,
+    /// The taint bits of the pointer word.
+    pub taint: WordTaint,
+}
+
+impl fmt::Display for SecurityAlert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kind == AlertKind::AnnotationTainted {
+            return write!(
+                f,
+                "{:x}: {}  annotated byte at {:#010x} became tainted",
+                self.pc, self.instr, self.pointer
+            );
+        }
+        write!(
+            f,
+            "{:x}: {}  {}={:#010x} [{}]",
+            self.pc, self.instr, self.pointer_reg, self.pointer, self.taint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_isa::{MemWidth, Reg};
+
+    #[test]
+    fn policy_check_matrix() {
+        use DetectionPolicy::*;
+        assert!(!Off.checks_data_pointers() && !Off.checks_jump_pointers());
+        assert!(!ControlOnly.checks_data_pointers() && ControlOnly.checks_jump_pointers());
+        assert!(
+            PointerTaintedness.checks_data_pointers() && PointerTaintedness.checks_jump_pointers()
+        );
+        assert_eq!(DetectionPolicy::default(), PointerTaintedness);
+    }
+
+    #[test]
+    fn alert_display_matches_paper_style() {
+        let alert = SecurityAlert {
+            pc: 0x44d7b0,
+            instr: Instr::Store {
+                width: MemWidth::Word,
+                rt: Reg::new(21),
+                base: Reg::new(3),
+                offset: 0,
+            },
+            kind: AlertKind::DataPointer,
+            pointer_reg: Reg::new(3),
+            pointer: 0x1002_bc20,
+            taint: WordTaint::ALL,
+        };
+        assert_eq!(
+            alert.to_string(),
+            "44d7b0: sw $21,0($3)  $3=0x1002bc20 [TTTT]"
+        );
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(DetectionPolicy::Off.to_string(), "off");
+        assert_eq!(DetectionPolicy::ControlOnly.to_string(), "control-only");
+        assert_eq!(DetectionPolicy::PointerTaintedness.to_string(), "ptaint");
+    }
+}

@@ -1,0 +1,1009 @@
+//! The functional executor with taint tracking and pointer-taintedness
+//! detection.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ptaint_isa::{
+    BranchCond, BranchZCond, DecodeError, IAluOp, Instr, MemWidth, MulDivOp, RAluOp, Reg,
+};
+use ptaint_mem::{MemFault, MemorySystem, WordTaint};
+
+use crate::taint_alu;
+use crate::{AlertKind, DetectionPolicy, ExecStats, RegisterFile, SecurityAlert, TaintRules};
+
+/// A programmer annotation (the paper's §5.3 extension): a memory region
+/// that must never become tainted. The processor raises a security
+/// exception whenever a tainted byte lands inside the region — closing
+/// false negatives like Table 4(B)'s authentication-flag overwrite, at the
+/// cost of requiring annotations (i.e., giving up full transparency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintWatch {
+    /// First byte of the protected region.
+    pub addr: u32,
+    /// Region length in bytes.
+    pub len: u32,
+    /// Human-readable label reported in alerts.
+    pub label: String,
+}
+
+/// What a successfully executed step produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// An ordinary instruction retired.
+    Executed,
+    /// A `syscall` trapped to the host; `$v0` holds the syscall number and
+    /// `$a0..$a3` the arguments. The PC has already advanced, so the host
+    /// writes results and resumes with [`Cpu::step`].
+    SyscallTrap,
+    /// A `break` instruction trapped with its code.
+    BreakTrap(u32),
+}
+
+/// A condition that stops execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuException {
+    /// The pointer-taintedness detector fired — the paper's security
+    /// exception. The operating system terminates the process.
+    Security(SecurityAlert),
+    /// A memory fault (unaligned access or null-page dereference). This is
+    /// how undetected attacks typically crash on the unprotected baseline.
+    Mem(MemFault),
+    /// The PC reached a word that does not decode.
+    Decode {
+        /// Address of the undecodable word.
+        pc: u32,
+        /// The decode failure.
+        err: DecodeError,
+    },
+}
+
+impl fmt::Display for CpuException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuException::Security(a) => write!(f, "security exception: {a}"),
+            CpuException::Mem(e) => write!(f, "memory fault: {e}"),
+            CpuException::Decode { pc, err } => write!(f, "at {pc:#010x}: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CpuException {}
+
+impl From<MemFault> for CpuException {
+    fn from(e: MemFault) -> CpuException {
+        CpuException::Mem(e)
+    }
+}
+
+/// How many recently retired instructions the diagnostic ring buffer keeps.
+const TRACE_DEPTH: usize = 64;
+
+/// The taint-tracking processor (paper §4).
+///
+/// Each [`Cpu::step`] fetches, decodes, and executes one instruction,
+/// propagating taintedness per Table 1 and applying the detection checks of
+/// §4.3 under the configured [`DetectionPolicy`].
+///
+/// ```
+/// use ptaint_cpu::{Cpu, DetectionPolicy, StepEvent};
+/// use ptaint_isa::{Instr, Reg, TEXT_BASE};
+/// use ptaint_mem::{MemorySystem, WordTaint};
+///
+/// let mut mem = MemorySystem::flat();
+/// // jr $t0 with a tainted target must raise a security exception.
+/// mem.write_u32(TEXT_BASE, Instr::JumpReg { rs: Reg::T0 }.encode(), WordTaint::CLEAN)?;
+/// let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+/// cpu.set_pc(TEXT_BASE);
+/// cpu.regs_mut().set(Reg::T0, 0x61616161, WordTaint::ALL);
+/// let err = cpu.step().unwrap_err();
+/// assert!(matches!(err, ptaint_cpu::CpuException::Security(_)));
+/// # Ok::<(), ptaint_mem::MemFault>(())
+/// ```
+pub struct Cpu {
+    regs: RegisterFile,
+    mem: MemorySystem,
+    pc: u32,
+    policy: DetectionPolicy,
+    rules: TaintRules,
+    watches: Vec<TaintWatch>,
+    stats: ExecStats,
+    recent: VecDeque<(u32, Instr)>,
+}
+
+impl fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cpu")
+            .field("pc", &format_args!("{:#010x}", self.pc))
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Cpu {
+    /// Creates a CPU over `mem` with the given detection policy. The PC
+    /// starts at zero; set it with [`Cpu::set_pc`] (the loader uses the
+    /// image entry point).
+    #[must_use]
+    pub fn new(mem: MemorySystem, policy: DetectionPolicy) -> Cpu {
+        Cpu {
+            regs: RegisterFile::new(),
+            mem,
+            pc: 0,
+            policy,
+            rules: TaintRules::PAPER,
+            watches: Vec::new(),
+            stats: ExecStats::default(),
+            recent: VecDeque::with_capacity(TRACE_DEPTH),
+        }
+    }
+
+    /// Replaces the active taint-propagation rule set (default:
+    /// [`TaintRules::PAPER`]). Used by the ablation experiments.
+    pub fn set_taint_rules(&mut self, rules: TaintRules) {
+        self.rules = rules;
+    }
+
+    /// The active taint-propagation rules.
+    #[must_use]
+    pub fn taint_rules(&self) -> TaintRules {
+        self.rules
+    }
+
+    /// Registers a programmer annotation (§5.3 extension): raise a security
+    /// exception as soon as any byte of `[addr, addr+len)` becomes tainted.
+    pub fn add_taint_watch(&mut self, addr: u32, len: u32, label: impl Into<String>) {
+        self.watches.push(TaintWatch {
+            addr,
+            len,
+            label: label.into(),
+        });
+    }
+
+    /// The registered annotations.
+    #[must_use]
+    pub fn taint_watches(&self) -> &[TaintWatch] {
+        &self.watches
+    }
+
+    /// Scans all annotated regions for tainted bytes; returns an alert for
+    /// the first violation. `instr`/`pc` describe the operation being
+    /// blamed (the store that landed the taint, or the syscall whose buffer
+    /// copy did).
+    pub fn scan_taint_watches(&mut self, pc: u32, instr: Instr) -> Option<SecurityAlert> {
+        for watch in &self.watches {
+            let Ok(taint) = self.mem.read_taint(watch.addr, watch.len) else {
+                continue;
+            };
+            if let Some(offset) = taint.iter().position(|&t| t) {
+                return Some(SecurityAlert {
+                    pc,
+                    instr,
+                    kind: AlertKind::AnnotationTainted,
+                    pointer_reg: ptaint_isa::Reg::ZERO,
+                    pointer: watch.addr + offset as u32,
+                    taint: ptaint_mem::WordTaint::ALL,
+                });
+            }
+        }
+        None
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// The active detection policy.
+    #[must_use]
+    pub fn policy(&self) -> DetectionPolicy {
+        self.policy
+    }
+
+    /// Register file (read).
+    #[must_use]
+    pub fn regs(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// Register file (write) — used by the loader and the syscall layer.
+    pub fn regs_mut(&mut self) -> &mut RegisterFile {
+        &mut self.regs
+    }
+
+    /// Memory system (read).
+    #[must_use]
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Memory system (write) — used by the loader and the syscall layer.
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Execution statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// The most recently retired instructions (oldest first), for
+    /// diagnostics.
+    #[must_use]
+    pub fn recent_trace(&self) -> Vec<(u32, Instr)> {
+        self.recent.iter().copied().collect()
+    }
+
+    fn push_trace(&mut self, pc: u32, instr: Instr) {
+        if self.recent.len() == TRACE_DEPTH {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((pc, instr));
+    }
+
+    /// Builds the load/store detector's alert (paper §4.3: OR the taint bits
+    /// of the address word; placed after EX/MEM).
+    fn check_data_pointer(
+        &mut self,
+        pc: u32,
+        instr: Instr,
+        base: Reg,
+    ) -> Result<(), CpuException> {
+        let (value, taint) = self.regs.get(base);
+        if taint.any() {
+            self.stats.tainted_pointer_dereferences += 1;
+            if self.policy.checks_data_pointers() {
+                return Err(CpuException::Security(SecurityAlert {
+                    pc,
+                    instr,
+                    kind: AlertKind::DataPointer,
+                    pointer_reg: base,
+                    pointer: value,
+                    taint,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the jump detector's alert (paper §4.3: OR the taint bits of the
+    /// target register; placed after ID/EX).
+    fn check_jump_pointer(
+        &mut self,
+        pc: u32,
+        instr: Instr,
+        target: Reg,
+    ) -> Result<(), CpuException> {
+        let (value, taint) = self.regs.get(target);
+        if taint.any() {
+            self.stats.tainted_pointer_dereferences += 1;
+            if self.policy.checks_jump_pointers() {
+                return Err(CpuException::Security(SecurityAlert {
+                    pc,
+                    instr,
+                    kind: AlertKind::JumpPointer,
+                    pointer_reg: target,
+                    pointer: value,
+                    taint,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    fn note_tainted_operands(&mut self, taints: &[WordTaint]) {
+        if taints.iter().any(|t| t.any()) {
+            self.stats.tainted_operand_instructions += 1;
+        }
+    }
+
+    /// Fetch, decode, execute one instruction.
+    ///
+    /// # Errors
+    ///
+    /// * [`CpuException::Security`] — a pointer-taintedness detector fired;
+    /// * [`CpuException::Mem`] — unaligned or null-page access (fetch or
+    ///   data);
+    /// * [`CpuException::Decode`] — the PC reached an undecodable word.
+    #[allow(clippy::too_many_lines)]
+    pub fn step(&mut self) -> Result<StepEvent, CpuException> {
+        let pc = self.pc;
+        let word = self.mem.fetch_u32(pc)?;
+        let instr = Instr::decode(word).map_err(|err| CpuException::Decode { pc, err })?;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut event = StepEvent::Executed;
+
+        match instr {
+            Instr::RAlu { op, rd, rs, rt } => {
+                let (a, ta) = self.regs.get(rs);
+                let (b, tb) = self.regs.get(rt);
+                self.note_tainted_operands(&[ta, tb]);
+                let value = match op {
+                    RAluOp::Add | RAluOp::Addu => a.wrapping_add(b),
+                    RAluOp::Sub | RAluOp::Subu => a.wrapping_sub(b),
+                    RAluOp::And => a & b,
+                    RAluOp::Or => a | b,
+                    RAluOp::Xor => a ^ b,
+                    RAluOp::Nor => !(a | b),
+                    RAluOp::Slt => u32::from((a as i32) < (b as i32)),
+                    RAluOp::Sltu => u32::from(a < b),
+                };
+                let taint = taint_alu::ralu_result_with(self.rules, op, a, ta, b, tb, rs == rt);
+                if op.is_compare() && self.rules.compare_untaints {
+                    // Table 1: compare untaints its operands in place.
+                    self.regs.set_taint(rs, taint_alu::compare_operand_taint());
+                    self.regs.set_taint(rt, taint_alu::compare_operand_taint());
+                }
+                self.regs.set(rd, value, taint);
+            }
+            Instr::IAlu { op, rt, rs, imm } => {
+                let (a, ta) = self.regs.get(rs);
+                self.note_tainted_operands(&[ta]);
+                let ext: u32 = if op.zero_extends() {
+                    u32::from(imm as u16)
+                } else {
+                    imm as i32 as u32
+                };
+                let value = match op {
+                    IAluOp::Addi | IAluOp::Addiu => a.wrapping_add(ext),
+                    IAluOp::Slti => u32::from((a as i32) < (ext as i32)),
+                    IAluOp::Sltiu => u32::from(a < ext),
+                    IAluOp::Andi => a & ext,
+                    IAluOp::Ori => a | ext,
+                    IAluOp::Xori => a ^ ext,
+                };
+                let taint = taint_alu::ialu_result_with(self.rules, op, a, ta, ext);
+                if op.is_compare() && self.rules.compare_untaints {
+                    self.regs.set_taint(rs, taint_alu::compare_operand_taint());
+                }
+                self.regs.set(rt, value, taint);
+            }
+            Instr::Shift { op, rd, rt, shamt } => {
+                let (v, tv) = self.regs.get(rt);
+                self.note_tainted_operands(&[tv]);
+                let value = shift_value(op, v, u32::from(shamt));
+                let taint = taint_alu::shift_result_with(self.rules, op, tv, WordTaint::CLEAN);
+                self.regs.set(rd, value, taint);
+            }
+            Instr::ShiftV { op, rd, rt, rs } => {
+                let (v, tv) = self.regs.get(rt);
+                let (amt, tamt) = self.regs.get(rs);
+                self.note_tainted_operands(&[tv, tamt]);
+                let value = shift_value(op, v, amt & 0x1f);
+                let taint = taint_alu::shift_result_with(self.rules, op, tv, tamt);
+                self.regs.set(rd, value, taint);
+            }
+            Instr::Lui { rt, imm } => {
+                // A program constant: untainted (paper §4.2).
+                self.regs.set(rt, u32::from(imm) << 16, WordTaint::CLEAN);
+            }
+            Instr::MulDiv { op, rs, rt } => {
+                let (a, ta) = self.regs.get(rs);
+                let (b, tb) = self.regs.get(rt);
+                self.note_tainted_operands(&[ta, tb]);
+                let taint = taint_alu::generic(ta, tb);
+                match op {
+                    MulDivOp::Mult => {
+                        let prod = i64::from(a as i32).wrapping_mul(i64::from(b as i32)) as u64;
+                        self.regs.set_lo(prod as u32, taint);
+                        self.regs.set_hi((prod >> 32) as u32, taint);
+                    }
+                    MulDivOp::Multu => {
+                        let prod = u64::from(a).wrapping_mul(u64::from(b));
+                        self.regs.set_lo(prod as u32, taint);
+                        self.regs.set_hi((prod >> 32) as u32, taint);
+                    }
+                    MulDivOp::Div => {
+                        // Division by zero is architecturally undefined on
+                        // MIPS; we pick the common emulator convention.
+                        if b == 0 {
+                            self.regs.set_lo(u32::MAX, taint);
+                            self.regs.set_hi(a, taint);
+                        } else {
+                            let (a, b) = (a as i32, b as i32);
+                            self.regs.set_lo(a.wrapping_div(b) as u32, taint);
+                            self.regs.set_hi(a.wrapping_rem(b) as u32, taint);
+                        }
+                    }
+                    MulDivOp::Divu => match (a.checked_div(b), a.checked_rem(b)) {
+                        (Some(q), Some(r)) => {
+                            self.regs.set_lo(q, taint);
+                            self.regs.set_hi(r, taint);
+                        }
+                        _ => {
+                            self.regs.set_lo(u32::MAX, taint);
+                            self.regs.set_hi(a, taint);
+                        }
+                    },
+                }
+            }
+            Instr::MoveFromHi { rd } => {
+                let (v, t) = self.regs.hi();
+                self.regs.set(rd, v, t);
+            }
+            Instr::MoveFromLo { rd } => {
+                let (v, t) = self.regs.lo();
+                self.regs.set(rd, v, t);
+            }
+            Instr::MoveToHi { rs } => {
+                let (v, t) = self.regs.get(rs);
+                self.regs.set_hi(v, t);
+            }
+            Instr::MoveToLo { rs } => {
+                let (v, t) = self.regs.get(rs);
+                self.regs.set_lo(v, t);
+            }
+            Instr::Load {
+                width,
+                signed,
+                rt,
+                base,
+                offset,
+            } => {
+                self.stats.loads += 1;
+                let (bv, bt) = self.regs.get(base);
+                self.note_tainted_operands(&[bt]);
+                self.check_data_pointer(pc, instr, base)?;
+                let addr = bv.wrapping_add(offset as i32 as u32);
+                let (value, taint) = match width {
+                    MemWidth::Byte => {
+                        let (b, t) = self.mem.read_u8(addr)?;
+                        let v = if signed {
+                            b as i8 as i32 as u32
+                        } else {
+                            u32::from(b)
+                        };
+                        (v, WordTaint::CLEAN.with_byte(0, t))
+                    }
+                    MemWidth::Half => {
+                        let (h, t) = self.mem.read_u16(addr)?;
+                        let v = if signed {
+                            h as i16 as i32 as u32
+                        } else {
+                            u32::from(h)
+                        };
+                        (v, t)
+                    }
+                    MemWidth::Word => self.mem.read_u32(addr)?,
+                };
+                self.regs
+                    .set(rt, value, taint_alu::load_result(width, signed, taint));
+            }
+            Instr::Store {
+                width,
+                rt,
+                base,
+                offset,
+            } => {
+                self.stats.stores += 1;
+                let (bv, bt) = self.regs.get(base);
+                let (v, tv) = self.regs.get(rt);
+                self.note_tainted_operands(&[bt, tv]);
+                self.check_data_pointer(pc, instr, base)?;
+                let addr = bv.wrapping_add(offset as i32 as u32);
+                match width {
+                    MemWidth::Byte => self.mem.write_u8(addr, v as u8, tv.byte(0))?,
+                    MemWidth::Half => self.mem.write_u16(addr, v as u16, tv.low_half())?,
+                    MemWidth::Word => self.mem.write_u32(addr, v, tv)?,
+                }
+                // §5.3 extension: annotated regions must never become
+                // tainted. Only stores of tainted data can violate this.
+                if tv.any() && !self.watches.is_empty() {
+                    if let Some(alert) = self.scan_taint_watches(pc, instr) {
+                        return Err(CpuException::Security(alert));
+                    }
+                }
+            }
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                offset,
+            } => {
+                self.stats.branches += 1;
+                let (a, ta) = self.regs.get(rs);
+                let (b, tb) = self.regs.get(rt);
+                self.note_tainted_operands(&[ta, tb]);
+                // Branches are compare instructions: untaint the operands.
+                if self.rules.compare_untaints {
+                    self.regs.set_taint(rs, taint_alu::compare_operand_taint());
+                    self.regs.set_taint(rt, taint_alu::compare_operand_taint());
+                }
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                };
+                if taken {
+                    next_pc = branch_target(pc, offset);
+                }
+            }
+            Instr::BranchZ { cond, rs, offset } => {
+                self.stats.branches += 1;
+                let (a, ta) = self.regs.get(rs);
+                self.note_tainted_operands(&[ta]);
+                if self.rules.compare_untaints {
+                    self.regs.set_taint(rs, taint_alu::compare_operand_taint());
+                }
+                let a = a as i32;
+                let taken = match cond {
+                    BranchZCond::Lez => a <= 0,
+                    BranchZCond::Gtz => a > 0,
+                    BranchZCond::Ltz => a < 0,
+                    BranchZCond::Gez => a >= 0,
+                };
+                if taken {
+                    next_pc = branch_target(pc, offset);
+                }
+            }
+            Instr::Jump { target, link } => {
+                if link {
+                    self.regs.set(Reg::RA, pc.wrapping_add(4), WordTaint::CLEAN);
+                }
+                next_pc = (pc & 0xf000_0000) | (target << 2);
+            }
+            Instr::JumpReg { rs } => {
+                self.stats.register_jumps += 1;
+                let (_, t) = self.regs.get(rs);
+                self.note_tainted_operands(&[t]);
+                self.check_jump_pointer(pc, instr, rs)?;
+                next_pc = self.regs.value(rs);
+            }
+            Instr::JumpAndLinkReg { rd, rs } => {
+                self.stats.register_jumps += 1;
+                let (_, t) = self.regs.get(rs);
+                self.note_tainted_operands(&[t]);
+                self.check_jump_pointer(pc, instr, rs)?;
+                next_pc = self.regs.value(rs);
+                self.regs.set(rd, pc.wrapping_add(4), WordTaint::CLEAN);
+            }
+            Instr::Syscall => {
+                self.stats.syscalls += 1;
+                event = StepEvent::SyscallTrap;
+            }
+            Instr::Break { code } => {
+                event = StepEvent::BreakTrap(code);
+            }
+        }
+
+        self.stats.instructions += 1;
+        self.push_trace(pc, instr);
+        self.pc = next_pc;
+        Ok(event)
+    }
+}
+
+fn shift_value(op: ptaint_isa::ShiftOp, v: u32, amount: u32) -> u32 {
+    use ptaint_isa::ShiftOp;
+    match op {
+        ShiftOp::Sll => v << amount,
+        ShiftOp::Srl => v >> amount,
+        ShiftOp::Sra => ((v as i32) >> amount) as u32,
+    }
+}
+
+fn branch_target(pc: u32, offset: i16) -> u32 {
+    pc.wrapping_add(4)
+        .wrapping_add((i32::from(offset) << 2) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_asm::assemble;
+    use ptaint_isa::TEXT_BASE;
+
+    /// Assembles `src`, loads it flat, returns a CPU at its entry.
+    fn boot(src: &str, policy: DetectionPolicy) -> Cpu {
+        let image = assemble(src).expect("test program must assemble");
+        let mut mem = MemorySystem::flat();
+        for (i, &w) in image.text.iter().enumerate() {
+            mem.write_u32(image.text_base + 4 * i as u32, w, WordTaint::CLEAN)
+                .unwrap();
+        }
+        mem.write_bytes(image.data_base, &image.data, false).unwrap();
+        let mut cpu = Cpu::new(mem, policy);
+        cpu.set_pc(image.entry);
+        cpu
+    }
+
+    /// Steps until a break trap, a limit, or an exception.
+    fn run(cpu: &mut Cpu, limit: u64) -> Result<u32, CpuException> {
+        for _ in 0..limit {
+            match cpu.step()? {
+                StepEvent::BreakTrap(code) => return Ok(code),
+                StepEvent::SyscallTrap | StepEvent::Executed => {}
+            }
+        }
+        panic!("program did not finish within {limit} steps");
+    }
+
+    #[test]
+    fn arithmetic_executes() {
+        let mut cpu = boot(
+            "main: li $t0, 6
+                   li $t1, 7
+                   addu $t2, $t0, $t1
+                   mult $t0, $t1
+                   mflo $t3
+                   break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        run(&mut cpu, 100).unwrap();
+        assert_eq!(cpu.regs().value(Reg::T2), 13);
+        assert_eq!(cpu.regs().value(Reg::T3), 42);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // sum 1..=10
+        let mut cpu = boot(
+            "main:  li $t0, 0      # i
+                    li $t1, 0      # sum
+loop:               addiu $t0, $t0, 1
+                    addu $t1, $t1, $t0
+                    li $t2, 10
+                    bne $t0, $t2, loop
+                    break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        run(&mut cpu, 1000).unwrap();
+        assert_eq!(cpu.regs().value(Reg::T1), 55);
+        assert!(cpu.stats().branches >= 10);
+    }
+
+    #[test]
+    fn memory_load_store_roundtrip() {
+        let mut cpu = boot(
+            ".data
+buf:    .space 16
+        .text
+main:   la $t0, buf
+        li $t1, 0x12345678
+        sw $t1, 4($t0)
+        lw $t2, 4($t0)
+        lbu $t3, 4($t0)
+        lb  $t4, 7($t0)
+        break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        run(&mut cpu, 100).unwrap();
+        assert_eq!(cpu.regs().value(Reg::T2), 0x12345678);
+        assert_eq!(cpu.regs().value(Reg::T3), 0x78);
+        assert_eq!(cpu.regs().value(Reg::T4), 0x12);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let mut cpu = boot(
+            "main:   jal f
+                    break 0
+f:      li $v0, 99
+        jr $ra",
+            DetectionPolicy::PointerTaintedness,
+        );
+        run(&mut cpu, 100).unwrap();
+        assert_eq!(cpu.regs().value(Reg::V0), 99);
+        assert_eq!(cpu.stats().register_jumps, 1);
+    }
+
+    #[test]
+    fn taint_propagates_through_alu_chain() {
+        let mut cpu = boot(
+            "main: addu $t1, $t0, $zero    # copy tainted t0
+                   addiu $t2, $t1, 4
+                   sll $t3, $t2, 2
+                   break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut().set(Reg::T0, 0x100, WordTaint::ALL);
+        run(&mut cpu, 100).unwrap();
+        assert_eq!(cpu.regs().taint(Reg::T1), WordTaint::ALL);
+        assert_eq!(cpu.regs().taint(Reg::T2), WordTaint::ALL);
+        assert_eq!(cpu.regs().taint(Reg::T3), WordTaint::ALL);
+        assert!(cpu.stats().tainted_operand_instructions >= 3);
+    }
+
+    #[test]
+    fn tainted_load_address_raises_alert() {
+        let mut cpu = boot(
+            "main: lw $t1, 0($t0)\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut()
+            .set(Reg::T0, 0x6161_6161, WordTaint::ALL);
+        let err = run(&mut cpu, 10).unwrap_err();
+        match err {
+            CpuException::Security(alert) => {
+                assert_eq!(alert.kind, AlertKind::DataPointer);
+                assert_eq!(alert.pointer, 0x6161_6161);
+                assert_eq!(alert.pc, TEXT_BASE);
+                assert_eq!(alert.instr.to_string(), "lw $9,0($8)");
+            }
+            other => panic!("expected security exception, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tainted_store_address_raises_alert() {
+        let mut cpu = boot(
+            "main: sw $t1, 0($t0)\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut().set(Reg::T0, 0x1002_bc20, WordTaint::from_bits(0b0001));
+        let err = run(&mut cpu, 10).unwrap_err();
+        assert!(matches!(
+            err,
+            CpuException::Security(SecurityAlert {
+                kind: AlertKind::DataPointer,
+                pointer: 0x1002_bc20,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn partially_tainted_pointer_still_detected() {
+        // Even a single tainted byte in the address word trips the OR-gate.
+        let mut cpu = boot(
+            "main: lb $t1, 0($t0)\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut().set(Reg::T0, 0x1000_0000, WordTaint::from_bits(0b0100));
+        assert!(matches!(
+            run(&mut cpu, 10),
+            Err(CpuException::Security(_))
+        ));
+    }
+
+    #[test]
+    fn tainted_jump_target_raises_alert_under_both_policies() {
+        for policy in [DetectionPolicy::PointerTaintedness, DetectionPolicy::ControlOnly] {
+            let mut cpu = boot("main: jr $t0\nbreak 0", policy);
+            cpu.regs_mut().set(Reg::T0, 0x6161_6161, WordTaint::ALL);
+            let err = run(&mut cpu, 10).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CpuException::Security(SecurityAlert {
+                        kind: AlertKind::JumpPointer,
+                        ..
+                    })
+                ),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn control_only_policy_misses_data_pointer_attacks() {
+        let mut cpu = boot(
+            ".data
+scratch: .space 64
+        .text
+main:   sw $t1, 0($t0)
+        break 0",
+            DetectionPolicy::ControlOnly,
+        );
+        cpu.regs_mut()
+            .set(Reg::T0, ptaint_isa::DATA_BASE, WordTaint::ALL);
+        // No alert: the store silently lands.
+        run(&mut cpu, 10).unwrap();
+        assert_eq!(cpu.stats().tainted_pointer_dereferences, 1);
+    }
+
+    #[test]
+    fn off_policy_detects_nothing() {
+        let mut cpu = boot("main: jr $t0", DetectionPolicy::Off);
+        cpu.regs_mut()
+            .set(Reg::T0, TEXT_BASE, WordTaint::ALL); // jump to self: fine
+        cpu.step().unwrap();
+        assert_eq!(cpu.pc(), TEXT_BASE);
+        assert_eq!(cpu.stats().tainted_pointer_dereferences, 1);
+    }
+
+    #[test]
+    fn compare_untaints_operands_in_register_file() {
+        let mut cpu = boot(
+            "main: slt $t2, $t0, $t1\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut().set(Reg::T0, 5, WordTaint::ALL);
+        cpu.regs_mut().set(Reg::T1, 9, WordTaint::ALL);
+        run(&mut cpu, 10).unwrap();
+        assert_eq!(cpu.regs().taint(Reg::T0), WordTaint::CLEAN);
+        assert_eq!(cpu.regs().taint(Reg::T1), WordTaint::CLEAN);
+        assert_eq!(cpu.regs().taint(Reg::T2), WordTaint::CLEAN);
+        assert_eq!(cpu.regs().value(Reg::T2), 1);
+    }
+
+    #[test]
+    fn branch_untaints_compared_registers() {
+        let mut cpu = boot(
+            "main: beq $t0, $t1, out\nout: break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut().set(Reg::T0, 1, WordTaint::ALL);
+        cpu.regs_mut().set(Reg::T1, 2, WordTaint::ALL);
+        run(&mut cpu, 10).unwrap();
+        assert_eq!(cpu.regs().taint(Reg::T0), WordTaint::CLEAN);
+        assert_eq!(cpu.regs().taint(Reg::T1), WordTaint::CLEAN);
+    }
+
+    #[test]
+    fn xor_zero_idiom_untaints() {
+        let mut cpu = boot(
+            "main: xor $t1, $t0, $t0\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut().set(Reg::T0, 0x4141_4141, WordTaint::ALL);
+        run(&mut cpu, 10).unwrap();
+        assert_eq!(cpu.regs().get(Reg::T1), (0, WordTaint::CLEAN));
+    }
+
+    #[test]
+    fn and_mask_untaints_constant_zero_bytes() {
+        let mut cpu = boot(
+            "main: li $t1, 0xff
+                   and $t2, $t0, $t1
+                   lw $t3, 0($t2)      # would alert if $t2 were tainted beyond byte 0
+                   break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut().set(Reg::T0, 0x4141_4141, WordTaint::ALL);
+        // $t2 = 0x41 with only byte 0 tainted -> still tainted -> alert expected.
+        let err = run(&mut cpu, 10).unwrap_err();
+        assert!(matches!(err, CpuException::Security(_)));
+        // But the upper three bytes were untainted by the mask:
+        // re-run and inspect the taint before the load.
+        let mut cpu2 = boot(
+            "main: li $t1, 0xff\nand $t2, $t0, $t1\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu2.regs_mut().set(Reg::T0, 0x4141_4141, WordTaint::ALL);
+        run(&mut cpu2, 10).unwrap();
+        assert_eq!(cpu2.regs().taint(Reg::T2).bits(), 0b0001);
+    }
+
+    #[test]
+    fn loads_copy_memory_taint() {
+        let mut cpu = boot(
+            ".data
+buf:    .space 8
+        .text
+main:   la $t0, buf
+        lw $t1, 0($t0)
+        lb $t2, 0($t0)
+        lbu $t3, 0($t0)
+        break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        // Taint the buffer as if recv() had filled it.
+        let buf = ptaint_isa::DATA_BASE;
+        cpu.mem_mut().write_bytes(buf, &[0x80, 0, 0, 0], true).unwrap();
+        run(&mut cpu, 100).unwrap();
+        assert_eq!(cpu.regs().taint(Reg::T1), WordTaint::ALL);
+        // lb sign-extends: all four bytes derived from the tainted byte.
+        assert_eq!(cpu.regs().taint(Reg::T2), WordTaint::ALL);
+        assert_eq!(cpu.regs().value(Reg::T2), 0xffff_ff80);
+        // lbu zero-extends: only byte 0 tainted.
+        assert_eq!(cpu.regs().taint(Reg::T3).bits(), 0b0001);
+    }
+
+    #[test]
+    fn stores_write_taint_to_memory() {
+        let mut cpu = boot(
+            ".data
+buf:    .space 8
+        .text
+main:   la $t0, buf
+        sw $t1, 0($t0)
+        sb $t1, 4($t0)
+        break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut()
+            .set(Reg::T1, 0xaabb_ccdd, WordTaint::from_bits(0b0011));
+        run(&mut cpu, 100).unwrap();
+        let buf = ptaint_isa::DATA_BASE;
+        let taint = cpu.mem().read_taint(buf, 5).unwrap();
+        assert_eq!(taint, vec![true, true, false, false, true]);
+    }
+
+    #[test]
+    fn syscall_traps_and_resumes() {
+        let mut cpu = boot(
+            "main: li $v0, 42\nsyscall\nmove $t0, $v0\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        assert!(matches!(cpu.step().unwrap(), StepEvent::Executed));
+        assert!(matches!(cpu.step().unwrap(), StepEvent::SyscallTrap));
+        // Host handles the syscall: writes a result.
+        cpu.regs_mut().set(Reg::V0, 7, WordTaint::CLEAN);
+        run(&mut cpu, 10).unwrap();
+        assert_eq!(cpu.regs().value(Reg::T0), 7);
+        assert_eq!(cpu.stats().syscalls, 1);
+    }
+
+    #[test]
+    fn null_dereference_faults() {
+        let mut cpu = boot("main: lw $t0, 0($zero)\nbreak 0", DetectionPolicy::Off);
+        assert!(matches!(run(&mut cpu, 10), Err(CpuException::Mem(_))));
+    }
+
+    #[test]
+    fn undecodable_pc_reports_decode_error() {
+        let mut mem = MemorySystem::flat();
+        mem.write_u32(TEXT_BASE, 0xffff_ffff, WordTaint::CLEAN).unwrap();
+        let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+        cpu.set_pc(TEXT_BASE);
+        assert!(matches!(
+            cpu.step(),
+            Err(CpuException::Decode { pc: TEXT_BASE, .. })
+        ));
+    }
+
+    #[test]
+    fn recent_trace_keeps_tail() {
+        let mut cpu = boot(
+            "main: li $t0, 1\nli $t1, 2\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        run(&mut cpu, 10).unwrap();
+        let trace = cpu.recent_trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].0, TEXT_BASE);
+    }
+
+    #[test]
+    fn sra_vs_srl_semantics() {
+        let mut cpu = boot(
+            "main: li $t0, 0x80000000
+                   sra $t1, $t0, 4
+                   srl $t2, $t0, 4
+                   break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        run(&mut cpu, 10).unwrap();
+        assert_eq!(cpu.regs().value(Reg::T1), 0xf800_0000);
+        assert_eq!(cpu.regs().value(Reg::T2), 0x0800_0000);
+    }
+
+    #[test]
+    fn division_semantics_and_taint() {
+        let mut cpu = boot(
+            "main: li $t0, -7
+                   li $t1, 2
+                   div $t0, $t1
+                   mflo $t2     # -3
+                   mfhi $t3     # -1
+                   break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut().set_taint(Reg::T0, WordTaint::ALL);
+        // note: li overwrote the taint; retaint after the li executes instead
+        run(&mut cpu, 10).unwrap();
+        assert_eq!(cpu.regs().value(Reg::T2) as i32, -3);
+        assert_eq!(cpu.regs().value(Reg::T3) as i32, -1);
+
+        // Tainted dividend taints both HI and LO.
+        let mut cpu = boot(
+            "main: divu $t0, $t1\nmflo $t2\nmfhi $t3\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        cpu.regs_mut().set(Reg::T0, 10, WordTaint::ALL);
+        cpu.regs_mut().set(Reg::T1, 3, WordTaint::CLEAN);
+        run(&mut cpu, 10).unwrap();
+        assert_eq!(cpu.regs().value(Reg::T2), 3);
+        assert_eq!(cpu.regs().value(Reg::T3), 1);
+        assert_eq!(cpu.regs().taint(Reg::T2), WordTaint::ALL);
+        assert_eq!(cpu.regs().taint(Reg::T3), WordTaint::ALL);
+    }
+}

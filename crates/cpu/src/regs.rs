@@ -1,0 +1,188 @@
+//! The taint-extended register file.
+
+use std::fmt;
+
+use ptaint_isa::Reg;
+use ptaint_mem::WordTaint;
+
+/// The 32 general-purpose registers plus `HI`/`LO`, each extended with four
+/// taintedness bits (one per byte), exactly as the paper extends
+/// SimpleScalar's register file (§4.1–4.2).
+///
+/// Register `$0` is hardwired: its value and taint are always zero and writes
+/// to it are discarded.
+///
+/// ```
+/// use ptaint_cpu::RegisterFile;
+/// use ptaint_isa::Reg;
+/// use ptaint_mem::WordTaint;
+///
+/// let mut regs = RegisterFile::new();
+/// regs.set(Reg::A0, 0x6463_6261, WordTaint::ALL);
+/// assert_eq!(regs.get(Reg::A0), (0x6463_6261, WordTaint::ALL));
+/// regs.set(Reg::ZERO, 7, WordTaint::ALL); // discarded
+/// assert_eq!(regs.get(Reg::ZERO), (0, WordTaint::CLEAN));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct RegisterFile {
+    values: [u32; 32],
+    taints: [WordTaint; 32],
+    hi: (u32, WordTaint),
+    lo: (u32, WordTaint),
+}
+
+impl Default for RegisterFile {
+    fn default() -> RegisterFile {
+        RegisterFile::new()
+    }
+}
+
+impl RegisterFile {
+    /// All registers zero and untainted.
+    #[must_use]
+    pub fn new() -> RegisterFile {
+        RegisterFile {
+            values: [0; 32],
+            taints: [WordTaint::CLEAN; 32],
+            hi: (0, WordTaint::CLEAN),
+            lo: (0, WordTaint::CLEAN),
+        }
+    }
+
+    /// Reads a register's value and taint bits.
+    #[must_use]
+    pub fn get(&self, r: Reg) -> (u32, WordTaint) {
+        (self.values[r.index()], self.taints[r.index()])
+    }
+
+    /// The value alone.
+    #[must_use]
+    pub fn value(&self, r: Reg) -> u32 {
+        self.values[r.index()]
+    }
+
+    /// The taint bits alone.
+    #[must_use]
+    pub fn taint(&self, r: Reg) -> WordTaint {
+        self.taints[r.index()]
+    }
+
+    /// Writes a register (value and taint). Writes to `$0` are discarded.
+    pub fn set(&mut self, r: Reg, value: u32, taint: WordTaint) {
+        if r.is_zero() {
+            return;
+        }
+        self.values[r.index()] = value;
+        self.taints[r.index()] = taint;
+    }
+
+    /// Overwrites only the taint bits (used by the compare-untaint rule of
+    /// Table 1, which clears the *operands'* taint in place).
+    pub fn set_taint(&mut self, r: Reg, taint: WordTaint) {
+        if r.is_zero() {
+            return;
+        }
+        self.taints[r.index()] = taint;
+    }
+
+    /// Reads `HI`.
+    #[must_use]
+    pub fn hi(&self) -> (u32, WordTaint) {
+        self.hi
+    }
+
+    /// Reads `LO`.
+    #[must_use]
+    pub fn lo(&self) -> (u32, WordTaint) {
+        self.lo
+    }
+
+    /// Writes `HI`.
+    pub fn set_hi(&mut self, value: u32, taint: WordTaint) {
+        self.hi = (value, taint);
+    }
+
+    /// Writes `LO`.
+    pub fn set_lo(&mut self, value: u32, taint: WordTaint) {
+        self.lo = (value, taint);
+    }
+
+    /// Number of registers (excluding `HI`/`LO`) with any tainted byte.
+    #[must_use]
+    pub fn tainted_register_count(&self) -> usize {
+        self.taints.iter().filter(|t| t.any()).count()
+    }
+}
+
+impl fmt::Debug for RegisterFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RegisterFile {{")?;
+        for r in Reg::all() {
+            let (v, t) = self.get(r);
+            if v != 0 || t.any() {
+                writeln!(f, "  {r} ({}) = {v:#010x} [{t}]", r.abi_name())?;
+            }
+        }
+        writeln!(f, "  hi = {:#010x} [{}]", self.hi.0, self.hi.1)?;
+        writeln!(f, "  lo = {:#010x} [{}]", self.lo.0, self.lo.1)?;
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_file_is_clean() {
+        let regs = RegisterFile::new();
+        for r in Reg::all() {
+            assert_eq!(regs.get(r), (0, WordTaint::CLEAN));
+        }
+        assert_eq!(regs.tainted_register_count(), 0);
+    }
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut regs = RegisterFile::new();
+        regs.set(Reg::ZERO, 123, WordTaint::ALL);
+        regs.set_taint(Reg::ZERO, WordTaint::ALL);
+        assert_eq!(regs.get(Reg::ZERO), (0, WordTaint::CLEAN));
+    }
+
+    #[test]
+    fn value_and_taint_are_independent() {
+        let mut regs = RegisterFile::new();
+        regs.set(Reg::T0, 42, WordTaint::from_bits(0b0001));
+        regs.set_taint(Reg::T0, WordTaint::CLEAN);
+        assert_eq!(regs.get(Reg::T0), (42, WordTaint::CLEAN));
+        assert_eq!(regs.value(Reg::T0), 42);
+        assert_eq!(regs.taint(Reg::T0), WordTaint::CLEAN);
+    }
+
+    #[test]
+    fn hi_lo_carry_taint() {
+        let mut regs = RegisterFile::new();
+        regs.set_hi(7, WordTaint::ALL);
+        regs.set_lo(8, WordTaint::from_bits(0b0010));
+        assert_eq!(regs.hi(), (7, WordTaint::ALL));
+        assert_eq!(regs.lo(), (8, WordTaint::from_bits(0b0010)));
+    }
+
+    #[test]
+    fn tainted_register_count_counts_words() {
+        let mut regs = RegisterFile::new();
+        regs.set(Reg::T0, 1, WordTaint::from_bits(0b0001));
+        regs.set(Reg::T1, 2, WordTaint::ALL);
+        regs.set(Reg::T2, 3, WordTaint::CLEAN);
+        assert_eq!(regs.tainted_register_count(), 2);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let regs = RegisterFile::new();
+        let dbg = format!("{regs:?}");
+        assert!(dbg.contains("RegisterFile"));
+        assert!(dbg.contains("hi ="));
+    }
+}

@@ -1,0 +1,121 @@
+//! Configurable taint-propagation rules, for ablation studies.
+//!
+//! The paper's Table 1 contains four *special-case* rules layered on the
+//! generic bytewise-OR propagation. Each exists for a reason the paper
+//! argues informally; this configuration makes every special case
+//! switchable so the workspace's ablation benches can demonstrate those
+//! reasons empirically:
+//!
+//! * disabling **compare-untaint** floods benign programs with taint and
+//!   produces false positives on the Table 3 workloads (validated input is
+//!   no longer trusted);
+//! * disabling the **`xor r,r` idiom** or **AND-with-zero** rules leaves
+//!   compiler-zeroed registers tainted, again risking false positives;
+//! * disabling **shift smear** lets taint escape through sub-byte shifts
+//!   (a byte-granular model of bit flow), weakening detection of attacks
+//!   that assemble pointers with shift arithmetic.
+
+/// Which Table 1 special cases are active. [`TaintRules::PAPER`] (the
+/// default) enables all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaintRules {
+    /// Compare instructions untaint their operands (Table 1 row 5).
+    pub compare_untaints: bool,
+    /// AND with an untainted zero byte untaints (row 3).
+    pub and_untaints: bool,
+    /// `xor r1, r2, r2` produces an untainted zero (row 4).
+    pub xor_idiom_untaints: bool,
+    /// Shifts smear taint to the adjacent byte along the shift direction
+    /// (row 2).
+    pub shift_smear: bool,
+}
+
+impl TaintRules {
+    /// The paper's full rule set.
+    pub const PAPER: TaintRules = TaintRules {
+        compare_untaints: true,
+        and_untaints: true,
+        xor_idiom_untaints: true,
+        shift_smear: true,
+    };
+
+    /// Pure bytewise-OR propagation with no special cases — the maximally
+    /// conservative (and false-positive-prone) variant.
+    pub const GENERIC_ONLY: TaintRules = TaintRules {
+        compare_untaints: false,
+        and_untaints: false,
+        xor_idiom_untaints: false,
+        shift_smear: false,
+    };
+
+    /// The paper's rules with one switch flipped off, for ablations.
+    #[must_use]
+    pub const fn without_compare_untaint() -> TaintRules {
+        TaintRules {
+            compare_untaints: false,
+            ..TaintRules::PAPER
+        }
+    }
+
+    /// The paper's rules without the AND-with-zero untaint.
+    #[must_use]
+    pub const fn without_and_untaint() -> TaintRules {
+        TaintRules {
+            and_untaints: false,
+            ..TaintRules::PAPER
+        }
+    }
+
+    /// The paper's rules without the xor-zeroing idiom.
+    #[must_use]
+    pub const fn without_xor_idiom() -> TaintRules {
+        TaintRules {
+            xor_idiom_untaints: false,
+            ..TaintRules::PAPER
+        }
+    }
+
+    /// The paper's rules without shift smearing.
+    #[must_use]
+    pub const fn without_shift_smear() -> TaintRules {
+        TaintRules {
+            shift_smear: false,
+            ..TaintRules::PAPER
+        }
+    }
+}
+
+impl Default for TaintRules {
+    fn default() -> TaintRules {
+        TaintRules::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rules_are_the_default_and_fully_enabled() {
+        let rules = TaintRules::default();
+        assert_eq!(rules, TaintRules::PAPER);
+        assert!(rules.compare_untaints);
+        assert!(rules.and_untaints);
+        assert!(rules.xor_idiom_untaints);
+        assert!(rules.shift_smear);
+    }
+
+    #[test]
+    fn ablation_constructors_flip_exactly_one_switch() {
+        let r = TaintRules::without_compare_untaint();
+        assert!(!r.compare_untaints && r.and_untaints && r.xor_idiom_untaints && r.shift_smear);
+        let r = TaintRules::without_and_untaint();
+        assert!(r.compare_untaints && !r.and_untaints && r.xor_idiom_untaints && r.shift_smear);
+        let r = TaintRules::without_xor_idiom();
+        assert!(r.compare_untaints && r.and_untaints && !r.xor_idiom_untaints && r.shift_smear);
+        let r = TaintRules::without_shift_smear();
+        assert!(r.compare_untaints && r.and_untaints && r.xor_idiom_untaints && !r.shift_smear);
+        let r = TaintRules::GENERIC_ONLY;
+        assert!(!r.compare_untaints && !r.and_untaints && !r.xor_idiom_untaints && !r.shift_smear);
+    }
+}

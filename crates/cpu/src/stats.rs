@@ -1,0 +1,82 @@
+//! Execution statistics.
+
+use std::fmt;
+
+/// Counters accumulated by the [`Cpu`](crate::Cpu) while executing.
+///
+/// These feed the paper's evaluation tables: instruction counts for the
+/// false-positive runs of Table 3, and the tainted-instruction ratios behind
+/// the overhead discussion of §5.4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Load instructions retired.
+    pub loads: u64,
+    /// Store instructions retired.
+    pub stores: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Register-indirect jumps (`jr`/`jalr`) retired.
+    pub register_jumps: u64,
+    /// `syscall` traps taken.
+    pub syscalls: u64,
+    /// Instructions that read at least one tainted source operand.
+    pub tainted_operand_instructions: u64,
+    /// Loads/stores whose *address word* was tainted (counted even when the
+    /// detection policy does not raise an alert, so the baseline policies can
+    /// report what they missed).
+    pub tainted_pointer_dereferences: u64,
+}
+
+impl ExecStats {
+    /// Fraction of instructions that touched tainted data — the dynamic
+    /// taint activity of a workload.
+    #[must_use]
+    pub fn tainted_instruction_ratio(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.tainted_operand_instructions as f64 / self.instructions as f64
+        }
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instructions ({} loads, {} stores, {} branches, {} reg-jumps, {} syscalls), \
+             {} tainted-operand ({:.4}%)",
+            self.instructions,
+            self.loads,
+            self.stores,
+            self.branches,
+            self.register_jumps,
+            self.syscalls,
+            self.tainted_operand_instructions,
+            self.tainted_instruction_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_instructions() {
+        assert_eq!(ExecStats::default().tainted_instruction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratio_math() {
+        let stats = ExecStats {
+            instructions: 200,
+            tainted_operand_instructions: 50,
+            ..ExecStats::default()
+        };
+        assert!((stats.tainted_instruction_ratio() - 0.25).abs() < 1e-12);
+        assert!(stats.to_string().contains("200 instructions"));
+    }
+}

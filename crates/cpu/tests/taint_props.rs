@@ -1,0 +1,319 @@
+//! Property tests for taint-tracking soundness.
+
+use proptest::prelude::*;
+use ptaint_cpu::{taint_alu, Cpu, DetectionPolicy, StepEvent};
+use ptaint_isa::{IAluOp, Instr, RAluOp, Reg, ShiftOp, TEXT_BASE};
+use ptaint_mem::{MemorySystem, WordTaint};
+
+fn arb_ralu() -> impl Strategy<Value = RAluOp> {
+    (0usize..RAluOp::ALL.len()).prop_map(|i| RAluOp::ALL[i])
+}
+
+fn arb_ialu() -> impl Strategy<Value = IAluOp> {
+    (0usize..IAluOp::ALL.len()).prop_map(|i| IAluOp::ALL[i])
+}
+
+proptest! {
+    /// Soundness: ALU results over untainted operands are never tainted.
+    #[test]
+    fn no_taint_from_clean_operands(op in arb_ralu(), a in any::<u32>(), b in any::<u32>()) {
+        let t = taint_alu::ralu_result(op, a, WordTaint::CLEAN, b, WordTaint::CLEAN, false);
+        prop_assert_eq!(t, WordTaint::CLEAN);
+    }
+
+    /// AND can only ever *reduce* the generic OR taint, never add to it.
+    #[test]
+    fn and_is_a_refinement(a in any::<u32>(), b in any::<u32>(), ta in 0u8..16, tb in 0u8..16) {
+        let (ta, tb) = (WordTaint::from_bits(ta), WordTaint::from_bits(tb));
+        let and = taint_alu::and_result(a, ta, b, tb);
+        let or = taint_alu::generic(ta, tb);
+        prop_assert_eq!(and & or, and, "AND taint must be a subset of the OR taint");
+    }
+
+    /// Shift smear is a superset of the pre-smear taint.
+    #[test]
+    fn shift_never_drops_taint(bits in 0u8..16, amt_bits in 0u8..16) {
+        for op in ShiftOp::ALL {
+            let t0 = WordTaint::from_bits(bits) | WordTaint::from_bits(amt_bits);
+            let t = taint_alu::shift_result(op, WordTaint::from_bits(bits), WordTaint::from_bits(amt_bits));
+            prop_assert_eq!(t & t0, t0);
+        }
+    }
+
+    /// Immediate operations never invent taint on clean sources.
+    #[test]
+    fn ialu_clean_sources_stay_clean(op in arb_ialu(), a in any::<u32>(), imm in any::<u32>()) {
+        prop_assert_eq!(taint_alu::ialu_result(op, a, WordTaint::CLEAN, imm), WordTaint::CLEAN);
+    }
+
+    /// End-to-end: executing random ALU instruction streams starting from a
+    /// fully untainted machine never produces a tainted register (there is no
+    /// taint source), and never raises a security alert.
+    #[test]
+    fn clean_machines_stay_clean(words in proptest::collection::vec(any::<u32>(), 1..64)) {
+        let mut mem = MemorySystem::flat();
+        let mut count = 0u32;
+        for w in &words {
+            if let Ok(insn) = Instr::decode(*w) {
+                // Keep only side-effect-free ALU work.
+                let ok = matches!(
+                    insn,
+                    Instr::RAlu { .. }
+                        | Instr::IAlu { .. }
+                        | Instr::Shift { .. }
+                        | Instr::ShiftV { .. }
+                        | Instr::Lui { .. }
+                        | Instr::MulDiv { .. }
+                        | Instr::MoveFromHi { .. }
+                        | Instr::MoveFromLo { .. }
+                        | Instr::MoveToHi { .. }
+                        | Instr::MoveToLo { .. }
+                );
+                if ok {
+                    mem.write_u32(TEXT_BASE + 4 * count, *w, WordTaint::CLEAN).unwrap();
+                    count += 1;
+                }
+            }
+        }
+        mem.write_u32(TEXT_BASE + 4 * count, Instr::Break { code: 0 }.encode(), WordTaint::CLEAN)
+            .unwrap();
+        let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+        cpu.set_pc(TEXT_BASE);
+        loop {
+            if let StepEvent::BreakTrap(_) = cpu.step().expect("no exceptions possible") { break }
+        }
+        for r in Reg::all() {
+            prop_assert_eq!(cpu.regs().taint(r), WordTaint::CLEAN);
+        }
+        prop_assert_eq!(cpu.stats().tainted_operand_instructions, 0);
+    }
+
+    /// End-to-end: a tainted register value fed through a chain of generic
+    /// ALU copies still trips the detector at the final dereference.
+    #[test]
+    fn taint_survives_copy_chains(hops in 1usize..12) {
+        let mut mem = MemorySystem::flat();
+        let mut pc = TEXT_BASE;
+        // t0 tainted; copy chain t0 -> t1 -> ... -> tN; then lw from tN.
+        let regs = [Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5, Reg::T6, Reg::T7,
+                    Reg::S0, Reg::S1, Reg::S2, Reg::S3];
+        for i in 0..hops {
+            let insn = Instr::RAlu { op: RAluOp::Addu, rd: regs[i + 1], rs: regs[i], rt: Reg::ZERO };
+            mem.write_u32(pc, insn.encode(), WordTaint::CLEAN).unwrap();
+            pc += 4;
+        }
+        let deref = Instr::Load {
+            width: ptaint_isa::MemWidth::Word,
+            signed: true,
+            rt: Reg::V0,
+            base: regs[hops],
+            offset: 0,
+        };
+        mem.write_u32(pc, deref.encode(), WordTaint::CLEAN).unwrap();
+        let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+        cpu.set_pc(TEXT_BASE);
+        cpu.regs_mut().set(Reg::T0, 0x6161_6161, WordTaint::ALL);
+        let result = (0..hops + 1).map(|_| cpu.step()).last().unwrap();
+        prop_assert!(matches!(result, Err(ptaint_cpu::CpuException::Security(_))));
+    }
+}
+
+mod taint_watches {
+    use ptaint_cpu::{Cpu, CpuException, DetectionPolicy, StepEvent};
+    use ptaint_isa::{Instr, MemWidth, Reg, TEXT_BASE};
+    use ptaint_mem::{MemorySystem, WordTaint};
+
+    /// A store of tainted data into a watched region raises the annotation
+    /// alert even though the *pointer* used is clean.
+    #[test]
+    fn tainted_store_into_watched_region_alerts() {
+        let mut mem = MemorySystem::flat();
+        let sw = Instr::Store {
+            width: MemWidth::Word,
+            rt: Reg::T1,
+            base: Reg::T0,
+            offset: 0,
+        };
+        mem.write_u32(TEXT_BASE, sw.encode(), WordTaint::CLEAN).unwrap();
+        let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+        cpu.set_pc(TEXT_BASE);
+        cpu.add_taint_watch(0x1000_0000, 4, "secret");
+        cpu.regs_mut().set(Reg::T0, 0x1000_0000, WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::T1, 0xbeef, WordTaint::ALL);
+        match cpu.step() {
+            Err(CpuException::Security(alert)) => {
+                assert_eq!(alert.kind, ptaint_cpu::AlertKind::AnnotationTainted);
+                assert_eq!(alert.pointer, 0x1000_0000);
+                assert!(alert.to_string().contains("annotated byte"));
+            }
+            other => panic!("expected annotation alert, got {other:?}"),
+        }
+    }
+
+    /// Clean stores into the watched region are fine; tainted stores right
+    /// next to it are fine too.
+    #[test]
+    fn watch_is_byte_precise() {
+        let mut mem = MemorySystem::flat();
+        let sw = Instr::Store {
+            width: MemWidth::Word,
+            rt: Reg::T1,
+            base: Reg::T0,
+            offset: 0,
+        };
+        mem.write_u32(TEXT_BASE, sw.encode(), WordTaint::CLEAN).unwrap();
+        mem.write_u32(TEXT_BASE + 4, sw.encode(), WordTaint::CLEAN).unwrap();
+        let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+        cpu.set_pc(TEXT_BASE);
+        cpu.add_taint_watch(0x1000_0010, 4, "flag");
+        // Clean data INTO the watch: no alert.
+        cpu.regs_mut().set(Reg::T0, 0x1000_0010, WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::T1, 7, WordTaint::CLEAN);
+        assert!(matches!(cpu.step(), Ok(StepEvent::Executed)));
+        // Tainted data NEXT TO the watch: no alert either.
+        cpu.regs_mut().set(Reg::T0, 0x1000_0014, WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::T1, 7, WordTaint::ALL);
+        assert!(matches!(cpu.step(), Ok(StepEvent::Executed)));
+        assert_eq!(cpu.taint_watches().len(), 1);
+    }
+
+    /// Ablated rule sets are queryable and actually change propagation.
+    #[test]
+    fn rules_are_live_configuration() {
+        use ptaint_cpu::TaintRules;
+        let mut mem = MemorySystem::flat();
+        // slt $t2, $t0, $t1 — under PAPER rules this untaints $t0/$t1.
+        let slt = Instr::RAlu {
+            op: ptaint_isa::RAluOp::Slt,
+            rd: Reg::T2,
+            rs: Reg::T0,
+            rt: Reg::T1,
+        };
+        mem.write_u32(TEXT_BASE, slt.encode(), WordTaint::CLEAN).unwrap();
+        let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+        cpu.set_taint_rules(TaintRules::without_compare_untaint());
+        assert!(!cpu.taint_rules().compare_untaints);
+        cpu.set_pc(TEXT_BASE);
+        cpu.regs_mut().set(Reg::T0, 1, WordTaint::ALL);
+        cpu.regs_mut().set(Reg::T1, 2, WordTaint::ALL);
+        cpu.step().unwrap();
+        // Operands stay tainted with the rule ablated.
+        assert_eq!(cpu.regs().taint(Reg::T0), WordTaint::ALL);
+        assert_eq!(cpu.regs().taint(Reg::T1), WordTaint::ALL);
+    }
+}
+
+mod alu_differential {
+    use proptest::prelude::*;
+    use ptaint_cpu::{Cpu, DetectionPolicy, StepEvent};
+    use ptaint_isa::{IAluOp, Instr, RAluOp, Reg, ShiftOp, TEXT_BASE};
+    use ptaint_mem::{MemorySystem, WordTaint};
+
+    /// Host-side reference semantics for R-type ALU ops.
+    fn ralu_ref(op: RAluOp, a: u32, b: u32) -> u32 {
+        match op {
+            RAluOp::Add | RAluOp::Addu => a.wrapping_add(b),
+            RAluOp::Sub | RAluOp::Subu => a.wrapping_sub(b),
+            RAluOp::And => a & b,
+            RAluOp::Or => a | b,
+            RAluOp::Xor => a ^ b,
+            RAluOp::Nor => !(a | b),
+            RAluOp::Slt => u32::from((a as i32) < (b as i32)),
+            RAluOp::Sltu => u32::from(a < b),
+        }
+    }
+
+    fn ialu_ref(op: IAluOp, a: u32, imm: i16) -> u32 {
+        let ext = if op.zero_extends() {
+            u32::from(imm as u16)
+        } else {
+            imm as i32 as u32
+        };
+        match op {
+            IAluOp::Addi | IAluOp::Addiu => a.wrapping_add(ext),
+            IAluOp::Slti => u32::from((a as i32) < (ext as i32)),
+            IAluOp::Sltiu => u32::from(a < ext),
+            IAluOp::Andi => a & ext,
+            IAluOp::Ori => a | ext,
+            IAluOp::Xori => a ^ ext,
+        }
+    }
+
+    fn exec_one(insn: Instr, a: u32, b: u32) -> u32 {
+        let mut mem = MemorySystem::flat();
+        mem.write_u32(TEXT_BASE, insn.encode(), WordTaint::CLEAN).unwrap();
+        let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+        cpu.set_pc(TEXT_BASE);
+        cpu.regs_mut().set(Reg::T0, a, WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::T1, b, WordTaint::CLEAN);
+        assert!(matches!(cpu.step().unwrap(), StepEvent::Executed));
+        cpu.regs().value(Reg::T2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn ralu_matches_reference(a in any::<u32>(), b in any::<u32>(), i in 0usize..10) {
+            let op = RAluOp::ALL[i];
+            let insn = Instr::RAlu { op, rd: Reg::T2, rs: Reg::T0, rt: Reg::T1 };
+            prop_assert_eq!(exec_one(insn, a, b), ralu_ref(op, a, b), "{:?} {:#x} {:#x}", op, a, b);
+        }
+
+        #[test]
+        fn ialu_matches_reference(a in any::<u32>(), imm in any::<i16>(), i in 0usize..7) {
+            let op = IAluOp::ALL[i];
+            let insn = Instr::IAlu { op, rt: Reg::T2, rs: Reg::T0, imm };
+            prop_assert_eq!(exec_one(insn, a, 0), ialu_ref(op, a, imm), "{:?} {:#x} {}", op, a, imm);
+        }
+
+        #[test]
+        fn shifts_match_reference(a in any::<u32>(), sh in 0u8..32, i in 0usize..3) {
+            let op = ShiftOp::ALL[i];
+            let expected = match op {
+                ShiftOp::Sll => a << sh,
+                ShiftOp::Srl => a >> sh,
+                ShiftOp::Sra => ((a as i32) >> sh) as u32,
+            };
+            let imm = Instr::Shift { op, rd: Reg::T2, rt: Reg::T0, shamt: sh };
+            prop_assert_eq!(exec_one(imm, a, 0), expected);
+            // Variable form masks the amount to 5 bits.
+            let var = Instr::ShiftV { op, rd: Reg::T2, rt: Reg::T0, rs: Reg::T1 };
+            prop_assert_eq!(exec_one(var, a, u32::from(sh) | 0xffff_ffe0), expected);
+        }
+
+        #[test]
+        fn mult_div_match_reference(a in any::<u32>(), b in any::<u32>()) {
+            use ptaint_isa::MulDivOp;
+            for op in MulDivOp::ALL {
+                let mut mem = MemorySystem::flat();
+                mem.write_u32(TEXT_BASE, Instr::MulDiv { op, rs: Reg::T0, rt: Reg::T1 }.encode(), WordTaint::CLEAN).unwrap();
+                let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
+                cpu.set_pc(TEXT_BASE);
+                cpu.regs_mut().set(Reg::T0, a, WordTaint::CLEAN);
+                cpu.regs_mut().set(Reg::T1, b, WordTaint::CLEAN);
+                cpu.step().unwrap();
+                let (lo, _) = cpu.regs().lo();
+                let (hi, _) = cpu.regs().hi();
+                match op {
+                    MulDivOp::Mult => {
+                        let p = i64::from(a as i32).wrapping_mul(i64::from(b as i32)) as u64;
+                        prop_assert_eq!((lo, hi), (p as u32, (p >> 32) as u32));
+                    }
+                    MulDivOp::Multu => {
+                        let p = u64::from(a) * u64::from(b);
+                        prop_assert_eq!((lo, hi), (p as u32, (p >> 32) as u32));
+                    }
+                    MulDivOp::Div if b != 0 => {
+                        let (x, y) = (a as i32, b as i32);
+                        prop_assert_eq!((lo as i32, hi as i32), (x.wrapping_div(y), x.wrapping_rem(y)));
+                    }
+                    MulDivOp::Divu if b != 0 => {
+                        prop_assert_eq!((lo, hi), (a / b, a % b));
+                    }
+                    _ => { /* division by zero: implementation-defined, deterministic */ }
+                }
+            }
+        }
+    }
+}

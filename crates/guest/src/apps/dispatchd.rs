@@ -1,0 +1,167 @@
+//! A dispatch-table daemon — the **GOT-overwrite-style control-data
+//! attack** (the paper's footnote 3 describes GOT entries as classic
+//! control-data targets).
+//!
+//! The server routes commands through a global table of function pointers
+//! sitting directly after a writable settings array. The `POKE` command has
+//! a flawed bound check (`<=` instead of `<`), so index `N` writes four
+//! raw, attacker-supplied bytes over the first handler pointer. The next
+//! dispatched command jumps through the corrupted pointer.
+//!
+//! Because this *is* a control-data attack, both full pointer-taintedness
+//! detection **and** the Minos-style control-only baseline catch it at the
+//! `jalr` — making the coverage matrix's baseline column meaningful in both
+//! directions (control-data rows detected, non-control rows missed).
+
+use ptaint_os::{NetSession, WorldConfig};
+
+/// The dispatch daemon: `STAT`, `SET <idx> <val>`, `POKE <idx> <4 bytes>`,
+/// `QUIT`.
+pub const SOURCE: &str = r#"
+int settings[4];
+int (*handlers[2])(int);        /* directly after settings in .data */
+
+void reply(int s, char *msg) {
+    send(s, msg, strlen(msg));
+}
+
+int handle_stat(int s) {
+    char line[64];
+    snprintf(line, 60, "200 settings %d %d %d %d\r\n",
+             settings[0], settings[1], settings[2], settings[3]);
+    reply(s, line);
+    return 0;
+}
+
+int handle_quit(int s) {
+    reply(s, "221 bye\r\n");
+    return 1;
+}
+
+int main() {
+    char req[128];
+    int s;
+    int c;
+    int n;
+    int idx;
+    char *p;
+    handlers[0] = handle_stat;
+    handlers[1] = handle_quit;
+    s = socket();
+    bind(s, 9000);
+    listen(s);
+    c = accept(s);
+    while (1) {
+        n = recv(c, req, 127, 0);
+        if (n <= 0) break;
+        req[n] = 0;
+        if (strncmp(req, "SET ", 4) == 0) {
+            idx = atoi(req + 4);
+            p = strchr(req + 4, ' ');
+            if (idx >= 0 && idx <= 4 && p) {     /* BUG: <= admits idx 4 */
+                settings[idx] = atoi(p + 1);
+                reply(c, "200 set\r\n");
+            } else {
+                reply(c, "500 bad index\r\n");
+            }
+        } else if (strncmp(req, "POKE ", 5) == 0) {
+            idx = atoi(req + 5);
+            p = strchr(req + 5, ' ');
+            if (idx >= 0 && idx <= 4 && p) {     /* BUG: <= admits idx 4 */
+                memcpy((char *)&settings[idx], p + 1, 4);
+                reply(c, "200 poked\r\n");
+            } else {
+                reply(c, "500 bad index\r\n");
+            }
+        } else if (strncmp(req, "STAT", 4) == 0) {
+            if (handlers[0](c)) break;           /* jalr through the table */
+        } else if (strncmp(req, "QUIT", 4) == 0) {
+            if (handlers[1](c)) break;
+        } else {
+            reply(c, "500 unknown\r\n");
+        }
+    }
+    close(c);
+    return 0;
+}
+"#;
+
+/// The attack session: `POKE 4 aaaa` writes the raw tainted bytes
+/// `0x61616161` over `handlers[0]`; the following `STAT` dispatch jumps
+/// through it.
+#[must_use]
+pub fn attack_world() -> WorldConfig {
+    WorldConfig::new().session(NetSession::new(vec![
+        b"POKE 4 aaaa".to_vec(),
+        b"STAT".to_vec(),
+    ]))
+}
+
+/// A benign session exercising the in-bounds paths.
+#[must_use]
+pub fn benign_world() -> WorldConfig {
+    WorldConfig::new().session(NetSession::new(vec![
+        b"SET 2 77".to_vec(),
+        b"STAT".to_vec(),
+        b"SET 9 1".to_vec(), // rejected
+        b"QUIT".to_vec(),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::run_app;
+    use crate::build;
+    use ptaint_cpu::{AlertKind, DetectionPolicy};
+    use ptaint_os::ExitReason;
+
+    #[test]
+    fn table_layout_places_handlers_after_settings() {
+        let image = build(SOURCE).unwrap();
+        let settings = image.symbol("settings").unwrap();
+        let handlers = image.symbol("handlers").unwrap();
+        assert_eq!(handlers, settings + 16, "settings[4] must alias handlers[0]");
+    }
+
+    #[test]
+    fn got_style_attack_detected_by_both_policies_at_the_jalr() {
+        let image = build(SOURCE).unwrap();
+        for policy in [DetectionPolicy::PointerTaintedness, DetectionPolicy::ControlOnly] {
+            let out = run_app(&image, attack_world(), policy);
+            let alert = out
+                .reason
+                .alert()
+                .unwrap_or_else(|| panic!("{policy}: {:?}", out.reason));
+            assert_eq!(alert.kind, AlertKind::JumpPointer, "{policy}");
+            assert_eq!(alert.pointer, 0x6161_6161, "{policy}");
+            assert!(
+                alert.instr.to_string().starts_with("jalr"),
+                "{policy}: {}",
+                alert.instr
+            );
+        }
+    }
+
+    #[test]
+    fn attack_crashes_wild_without_protection() {
+        let image = build(SOURCE).unwrap();
+        let out = run_app(&image, attack_world(), DetectionPolicy::Off);
+        assert!(
+            matches!(out.reason, ExitReason::MemFault(_) | ExitReason::DecodeFault(_)),
+            "{:?}",
+            out.reason
+        );
+    }
+
+    #[test]
+    fn benign_session_exercises_bounds() {
+        let image = build(SOURCE).unwrap();
+        let out = run_app(&image, benign_world(), DetectionPolicy::PointerTaintedness);
+        assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
+        let t = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
+        assert!(t.contains("200 settings 0 0 77 0"), "{t}");
+        assert!(t.contains("500 bad index"), "{t}");
+        assert!(t.contains("221 bye"), "{t}");
+    }
+}

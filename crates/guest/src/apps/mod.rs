@@ -1,0 +1,67 @@
+//! The victim programs of the paper's evaluation (§5.1), with attack
+//! payload builders and benign inputs.
+//!
+//! | Module | Paper experiment | Attack class |
+//! |---|---|---|
+//! | [`synthetic`] | Figure 2 / §5.1.1 exp1–exp3 | stack smash, heap corruption, format string |
+//! | [`wu_ftpd`] | Table 2 / §5.1.2 | format string overwriting a UID word (non-control data) |
+//! | [`null_httpd`] | §5.1.2 | heap chunk-link corruption retargeting the CGI-BIN config (non-control data) |
+//! | [`ghttpd`] | §5.1.2 | stack overflow corrupting a URL data pointer (non-control data) |
+//! | [`traceroute`] | §5.1.2 | double free dereferencing argv bytes as chunk links |
+//! | [`globd`] | Figure 1's "globbing" category (CA-2001-07 style) | `~user` tilde-expansion heap overflow |
+//! | [`dispatchd`] | footnote 3's GOT-entry target | function-pointer table overwrite (control data) |
+//! | [`table4`] | §5.3 Table 4 | the three engineered false-negative scenarios |
+//!
+//! Each module exposes its mini-C `SOURCE`, world builders for the attack
+//! and a benign run, and (where the paper's exploit needs stack-layout
+//! knowledge) a calibration helper that discovers the right amount of
+//! format-string padding the same way a real attacker would — by probing.
+
+pub mod dispatchd;
+pub mod ghttpd;
+pub mod globd;
+pub mod null_httpd;
+pub mod synthetic;
+pub mod table4;
+pub mod traceroute;
+pub mod wu_ftpd;
+
+use ptaint_asm::Image;
+use ptaint_cpu::DetectionPolicy;
+use ptaint_mem::HierarchyConfig;
+use ptaint_os::{load, run_to_exit, RunOutcome, WorldConfig};
+
+/// Default step budget for app runs (generous; the daemons run a few
+/// million instructions).
+pub const STEP_LIMIT: u64 = 200_000_000;
+
+/// Loads `image` into a fresh machine with `world` and runs it to
+/// completion under `policy`.
+#[must_use]
+pub fn run_app(image: &Image, world: WorldConfig, policy: DetectionPolicy) -> RunOutcome {
+    let (mut cpu, mut os) = load(image, world, policy, HierarchyConfig::flat());
+    run_to_exit(&mut cpu, &mut os, STEP_LIMIT)
+}
+
+/// Probes format-string padding like a real attacker: tries `%x` pad counts
+/// `0..max_pad`, running the attack under full pointer-taintedness detection
+/// until the `%n` store dereferences exactly `target` (the alert's tainted
+/// pointer equals the address the payload embedded).
+///
+/// Returns the first working pad count.
+pub fn calibrate_format_pad(
+    image: &Image,
+    mut world_for_pad: impl FnMut(usize) -> WorldConfig,
+    target: u32,
+    max_pad: usize,
+) -> Option<usize> {
+    for pad in 0..max_pad {
+        let outcome = run_app(image, world_for_pad(pad), DetectionPolicy::PointerTaintedness);
+        if let Some(alert) = outcome.reason.alert() {
+            if alert.pointer == target {
+                return Some(pad);
+            }
+        }
+    }
+    None
+}

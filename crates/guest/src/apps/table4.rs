@@ -1,0 +1,186 @@
+//! The three engineered **false-negative** scenarios of the paper's §5.3 /
+//! Table 4 — attacks that succeed *without* tainting any pointer, so the
+//! architecture (by design) does not detect them.
+//!
+//! * (A) integer overflow → out-of-bounds array index: the bound check
+//!   untaints the index (Table 1's compare rule), and the index was always
+//!   *meant* to be used in address arithmetic;
+//! * (B) buffer overflow corrupting an adjacent authentication flag: the
+//!   corrupted value is only ever branched on, never dereferenced;
+//! * (C) format-string information leak: `%x` directives read stack words
+//!   (including a secret) without dereferencing any tainted value.
+
+use ptaint_os::WorldConfig;
+
+/// Table 4(A): flawed array-index bound check (no lower bound). The guard
+/// word sits immediately below the table in the data segment, so index -1
+/// corrupts it — silently, because the compared index is untainted.
+pub const INT_OVERFLOW_SOURCE: &str = r#"
+int guard;                      /* the word at table[-1] */
+int table[16];
+
+int main() {
+    char buf[32];
+    int i;
+    scanf("%s", buf);
+    i = atoi(buf);              /* attacker: "-1" (or a huge unsigned) */
+    if (i <= 15) {              /* bound check forgets the lower bound */
+        table[i] = 1;
+    }
+    if (guard != 0) {
+        printf("GUARD CORRUPTED\n");
+        return 0;
+    }
+    printf("table updated safely\n");
+    return 0;
+}
+"#;
+
+/// Attack input for scenario (A).
+#[must_use]
+pub fn int_overflow_attack_world() -> WorldConfig {
+    WorldConfig::new().stdin(b"-1".to_vec())
+}
+
+/// Benign input for scenario (A).
+#[must_use]
+pub fn int_overflow_benign_world() -> WorldConfig {
+    WorldConfig::new().stdin(b"7".to_vec())
+}
+
+/// Table 4(B): authentication-flag overwrite. `auth` is declared before
+/// the buffer, so it sits at the higher address and an overflow of exactly
+/// 20 bytes sets it — no pointer is ever tainted.
+pub const AUTH_FLAG_SOURCE: &str = r#"
+int check_password(char *pw) {
+    return strcmp(pw, "letmein") == 0;
+}
+
+int main() {
+    int auth;
+    char pw[16];
+    auth = 0;
+    gets(pw);                   /* overflow reaches auth */
+    if (check_password(pw)) auth = 1;
+    if (auth) {
+        printf("ACCESS GRANTED\n");
+        return 0;
+    }
+    printf("access denied\n");
+    return 1;
+}
+"#;
+
+/// Attack input for scenario (B): 16 filler bytes, then a nonzero word
+/// lands in `auth`.
+#[must_use]
+pub fn auth_flag_attack_world() -> WorldConfig {
+    let mut input = vec![b'x'; 16];
+    input.extend_from_slice(b"AAAA\n");
+    WorldConfig::new().stdin(input)
+}
+
+/// Benign inputs for scenario (B).
+#[must_use]
+pub fn auth_flag_good_password_world() -> WorldConfig {
+    WorldConfig::new().stdin(b"letmein\n".to_vec())
+}
+
+/// Wrong-password input for scenario (B).
+#[must_use]
+pub fn auth_flag_bad_password_world() -> WorldConfig {
+    WorldConfig::new().stdin(b"guess\n".to_vec())
+}
+
+/// Table 4(C): format-string information leak. The declaration order puts
+/// `secret_key` two words above the formatter's initial argument pointer,
+/// so `%x%x%x` prints it.
+pub const FMT_LEAK_SOURCE: &str = r#"
+int main() {
+    char buf[100];
+    int secret_key;
+    int n;
+    secret_key = 0x12345678;
+    n = read(0, buf, 99);
+    if (n < 0) return 1;
+    buf[n] = 0;
+    printf(buf);                /* format-string vulnerability */
+    printf("\n");
+    return 0;
+}
+"#;
+
+/// Attack input for scenario (C): enough `%x` directives to walk past the
+/// locals up to the secret.
+#[must_use]
+pub fn fmt_leak_attack_world() -> WorldConfig {
+    WorldConfig::new().stdin(b"%x%x%x%x".to_vec())
+}
+
+/// Benign input for scenario (C).
+#[must_use]
+pub fn fmt_leak_benign_world() -> WorldConfig {
+    WorldConfig::new().stdin(b"hello".to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::run_app;
+    use crate::build;
+    use ptaint_cpu::DetectionPolicy;
+    use ptaint_os::ExitReason;
+
+    #[test]
+    fn scenario_a_corrupts_memory_without_any_alert() {
+        let image = build(INT_OVERFLOW_SOURCE).unwrap();
+        let out = run_app(&image, int_overflow_attack_world(), DetectionPolicy::PointerTaintedness);
+        // Undetected by design: the compared index is untainted.
+        assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
+        assert!(out.stdout_text().contains("GUARD CORRUPTED"), "{}", out.stdout_text());
+    }
+
+    #[test]
+    fn scenario_a_benign_index_is_inbounds() {
+        let image = build(INT_OVERFLOW_SOURCE).unwrap();
+        let out = run_app(&image, int_overflow_benign_world(), DetectionPolicy::PointerTaintedness);
+        assert_eq!(out.stdout_text(), "table updated safely\n");
+    }
+
+    #[test]
+    fn scenario_b_grants_access_without_any_alert() {
+        let image = build(AUTH_FLAG_SOURCE).unwrap();
+        let out = run_app(&image, auth_flag_attack_world(), DetectionPolicy::PointerTaintedness);
+        assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
+        assert!(out.stdout_text().contains("ACCESS GRANTED"), "{}", out.stdout_text());
+    }
+
+    #[test]
+    fn scenario_b_password_paths_work() {
+        let image = build(AUTH_FLAG_SOURCE).unwrap();
+        let ok = run_app(&image, auth_flag_good_password_world(), DetectionPolicy::PointerTaintedness);
+        assert!(ok.stdout_text().contains("ACCESS GRANTED"));
+        let bad = run_app(&image, auth_flag_bad_password_world(), DetectionPolicy::PointerTaintedness);
+        assert!(bad.stdout_text().contains("access denied"));
+        assert_eq!(bad.reason, ExitReason::Exited(1));
+    }
+
+    #[test]
+    fn scenario_c_leaks_the_secret_without_any_alert() {
+        let image = build(FMT_LEAK_SOURCE).unwrap();
+        let out = run_app(&image, fmt_leak_attack_world(), DetectionPolicy::PointerTaintedness);
+        assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
+        assert!(
+            out.stdout_text().contains("12345678"),
+            "secret must leak: {}",
+            out.stdout_text()
+        );
+    }
+
+    #[test]
+    fn scenario_c_benign_echo() {
+        let image = build(FMT_LEAK_SOURCE).unwrap();
+        let out = run_app(&image, fmt_leak_benign_world(), DetectionPolicy::PointerTaintedness);
+        assert_eq!(out.stdout_text(), "hello\n");
+    }
+}

@@ -1,0 +1,607 @@
+/* ptaint-guest libc — the guest-side C runtime library.
+ *
+ * Everything here compiles with ptaint-cc and runs on the taint-tracking
+ * CPU. The library deliberately reproduces the *vulnerable* idioms of the
+ * C libraries the DSN 2005 paper attacks:
+ *
+ *   - malloc/free use boundary tags with a doubly-linked free list and the
+ *     classic unchecked `unlink` (fd/bk) — the heap-corruption attack path
+ *     (paper Figure 2, exp2; NULL HTTPD §5.1.2; traceroute double free);
+ *   - printf-family formatting walks a stack argument pointer and supports
+ *     `%n` — the format-string attack path (exp3; WU-FTPD §5.1.2);
+ *   - scanf("%s"), gets() and strcpy() are unbounded — the stack-smashing
+ *     path (exp1; GHTTPD §5.1.2).
+ *
+ * Names prefixed `__` are internal. All syscall stubs (read, write, open,
+ * close, brk, getuid, socket, bind, listen, accept, recv, send, exit) are
+ * provided in assembly by the runtime module.
+ */
+
+int read(int fd, char *buf, int len);
+int write(int fd, char *buf, int len);
+int open(char *path, int flags);
+int close(int fd);
+unsigned brk(unsigned addr);
+int getuid();
+/* Range validation helper (assembly): returns v clamped to [lo, hi] with
+ * the compare-untaint applied to the result — see the runtime module. */
+int checked_index(int v, int lo, int hi);
+int socket();
+int bind(int fd, int port);
+int listen(int fd);
+int accept(int fd);
+int recv(int fd, char *buf, int len, int flags);
+int send(int fd, char *buf, int len);
+void exit(int status);
+
+/* ---------------- string/memory ---------------- */
+
+unsigned strlen(char *s) {
+    unsigned n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+/* Unbounded copy — the stack-smashing primitive. */
+char *strcpy(char *dst, char *src) {
+    int i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+    return dst;
+}
+
+char *strncpy(char *dst, char *src, int n) {
+    int i = 0;
+    while (i < n && src[i]) { dst[i] = src[i]; i++; }
+    while (i < n) { dst[i] = 0; i++; }
+    return dst;
+}
+
+char *strcat(char *dst, char *src) {
+    strcpy(dst + strlen(dst), src);
+    return dst;
+}
+
+int strcmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && b[i] && a[i] == b[i]) i++;
+    return (a[i] & 0xff) - (b[i] & 0xff);
+}
+
+int strncmp(char *a, char *b, int n) {
+    int i = 0;
+    while (i < n) {
+        if ((a[i] & 0xff) != (b[i] & 0xff)) return (a[i] & 0xff) - (b[i] & 0xff);
+        if (!a[i]) return 0;
+        i++;
+    }
+    return 0;
+}
+
+char *strchr(char *s, int c) {
+    while (*s) {
+        if ((*s & 0xff) == (c & 0xff)) return s;
+        s++;
+    }
+    if (c == 0) return s;
+    return 0;
+}
+
+/* Naive substring search (enough for header / ".." policy checks). */
+char *strstr(char *hay, char *needle) {
+    int nl = strlen(needle);
+    if (nl == 0) return hay;
+    while (*hay) {
+        if (strncmp(hay, needle, nl) == 0) return hay;
+        hay++;
+    }
+    return 0;
+}
+
+void *memset(void *p, int c, unsigned n) {
+    char *b = (char *)p;
+    unsigned i;
+    for (i = 0; i < n; i++) b[i] = c;
+    return p;
+}
+
+void *memcpy(void *dst, void *src, unsigned n) {
+    char *d = (char *)dst;
+    char *s = (char *)src;
+    unsigned i;
+    for (i = 0; i < n; i++) d[i] = s[i];
+    return dst;
+}
+
+int memcmp(void *a, void *b, unsigned n) {
+    char *x = (char *)a;
+    char *y = (char *)b;
+    unsigned i;
+    for (i = 0; i < n; i++) {
+        if ((x[i] & 0xff) != (y[i] & 0xff)) return (x[i] & 0xff) - (y[i] & 0xff);
+    }
+    return 0;
+}
+
+/* atoi validates every digit (range compare), so per the paper's Table 1
+ * compare rule the converted value is *untainted*: validated input is
+ * trusted. This is why a length computed from attacker input can still
+ * drive a vulnerable malloc without tripping the detector — exactly the
+ * NULL HTTPD scenario (§5.1.2), and also why the flawed bound check of
+ * Table 4(A) escapes detection. */
+int atoi(char *s) {
+    int v = 0;
+    int neg = 0;
+    int d;
+    while (*s == ' ' || *s == '\t') s++;
+    if (*s == '-') { neg = 1; s++; }
+    else if (*s == '+') s++;
+    while (*s >= '0' && *s <= '9') {
+        d = checked_index(*s - '0', 0, 9);   /* digit range validation */
+        v = v * 10 + d;
+        s++;
+    }
+    if (neg) return -v;
+    return v;
+}
+
+/* ---------------- heap allocator ----------------
+ *
+ * Boundary-tag allocator in the dlmalloc tradition:
+ *
+ *   chunk layout: [prev_size][size|INUSE][payload ...]
+ *   free payload: [fd][bk] — doubly-linked list through a sentinel bin.
+ *
+ * `__unlink` performs the classic unchecked `fd->bk = bk; bk->fd = fd;`.
+ * When an attacker overflows a buffer into the following free chunk, the
+ * fd/bk words become tainted, and the unlink during free()'s forward
+ * coalescing dereferences a tainted pointer — the alert the paper reports
+ * inside free() for exp2, NULL HTTPD, and traceroute.
+ */
+
+struct __chunk {
+    unsigned prev_size;
+    unsigned size;          /* low bit: in use */
+    struct __chunk *fd;     /* only valid when free */
+    struct __chunk *bk;
+};
+
+struct __chunk __bin;       /* sentinel: fd/bk circular list head */
+int __heap_ready;
+unsigned __heap_top;        /* current break (first unowned byte) */
+
+unsigned __csize(struct __chunk *c) { return c->size & 0xfffffffe; }
+
+struct __chunk *__cnext(struct __chunk *c) {
+    return (struct __chunk *)((char *)c + __csize(c));
+}
+
+void __unlink(struct __chunk *c) {
+    struct __chunk *f = c->fd;
+    struct __chunk *b = c->bk;
+    f->bk = b;              /* << attack detection point: tainted f */
+    b->fd = f;
+}
+
+void __insert(struct __chunk *c) {
+    c->fd = __bin.fd;
+    c->bk = &__bin;
+    __bin.fd->bk = c;
+    __bin.fd = c;
+}
+
+void __heap_init() {
+    __bin.fd = &__bin;
+    __bin.bk = &__bin;
+    __heap_top = brk(0);
+    __heap_ready = 1;
+}
+
+void *malloc(unsigned n) {
+    unsigned need;
+    struct __chunk *c;
+    struct __chunk *r;
+    if (!__heap_ready) __heap_init();
+    need = ((n + 7) & 0xfffffff8) + 8;
+    if (need < 24) need = 24;
+    c = __bin.fd;
+    while (c != &__bin) {
+        if (__csize(c) >= need) {
+            __unlink(c);
+            if (__csize(c) >= need + 24) {
+                /* split: the remainder becomes a free chunk right after the
+                 * allocation — the physical neighbour the heap attacks
+                 * overflow into. */
+                r = (struct __chunk *)((char *)c + need);
+                r->prev_size = need;
+                r->size = __csize(c) - need;
+                __insert(r);
+                c->size = need | 1;
+            } else {
+                c->size = __csize(c) | 1;
+            }
+            return (char *)c + 8;
+        }
+        c = c->fd;
+    }
+    /* grow the heap */
+    c = (struct __chunk *)__heap_top;
+    brk(__heap_top + need);
+    c->prev_size = 0;
+    c->size = need | 1;
+    __heap_top = __heap_top + need;
+    return (char *)c + 8;
+}
+
+void free(void *p) {
+    struct __chunk *c;
+    struct __chunk *n;
+    if (!p) return;
+    c = (struct __chunk *)((char *)p - 8);
+    if (!(c->size & 1)) {
+        /* Double free: the chunk is already linked into the bin. Like the
+         * historical dlmalloc, take it off the list before re-inserting —
+         * through fd/bk words the program may have scribbled over since
+         * (the traceroute attack). */
+        __unlink(c);
+    }
+    c->size = __csize(c);
+    n = __cnext(c);
+    if ((unsigned)n + 8 <= __heap_top && !(n->size & 1) && __csize(n) >= 24) {
+        /* forward coalescing: unlink the physical neighbour (exp2 and
+         * NULL HTTPD attack path). */
+        __unlink(n);
+        c->size = __csize(c) + __csize(n);
+    }
+    __insert(c);
+}
+
+void *calloc(unsigned count, unsigned size) {
+    unsigned total = count * size;
+    void *p = malloc(total);
+    memset(p, 0, total);
+    return p;
+}
+
+void *realloc(void *p, unsigned n) {
+    struct __chunk *c;
+    unsigned old_payload;
+    void *q;
+    if (!p) return malloc(n);
+    if (n == 0) { free(p); return 0; }
+    c = (struct __chunk *)((char *)p - 8);
+    old_payload = __csize(c) - 8;
+    if (old_payload >= n) return p;      /* shrink in place */
+    q = malloc(n);
+    memcpy(q, p, old_payload);
+    free(p);
+    return q;
+}
+
+/* ---------------- character I/O ---------------- */
+
+int getchar() {
+    char c;
+    int n = read(0, &c, 1);
+    if (n <= 0) return -1;
+    return c & 0xff;
+}
+
+int putchar(int c) {
+    char b = c;
+    write(1, &b, 1);
+    return c & 0xff;
+}
+
+/* Unbounded line read — the classic gets() hazard. */
+char *gets(char *buf) {
+    int i = 0;
+    int c = getchar();
+    if (c < 0) return 0;
+    while (c >= 0 && c != '\n') {
+        buf[i] = c;
+        i++;
+        c = getchar();
+    }
+    buf[i] = 0;
+    return buf;
+}
+
+/* ---------------- formatted output ----------------
+ *
+ * The core formatter walks `ap` — a pointer up the caller's stack — one
+ * word per directive, exactly like vfprintf in the paper's Figure 2. `%n`
+ * stores the running count through the word `ap` currently points to:
+ * when a format string is attacker-controlled, `ap` can be marched into
+ * the attacker's buffer and the `*(int*)ptr = count` store dereferences an
+ * attacker-supplied (tainted) pointer.
+ *
+ * Supported: %s %d %u %x %c %% %n.  Output: fd >= 0 writes to the
+ * descriptor; otherwise chars go to *dst (cap < 0 means unbounded).
+ */
+
+int __fmt_putc(int fd, char *dst, int cap, int n, int c) {
+    char b;
+    if (fd >= 0) {
+        b = c;
+        write(fd, &b, 1);
+    } else {
+        if (cap < 0 || n < cap - 1) dst[n] = c;
+    }
+    return n + 1;
+}
+
+int __fmt_num(int fd, char *dst, int cap, int n, unsigned v, int base, int neg) {
+    char tmp[12];
+    int i = 0;
+    unsigned d;
+    if (neg) n = __fmt_putc(fd, dst, cap, n, '-');
+    if (v == 0) return __fmt_putc(fd, dst, cap, n, '0');
+    while (v > 0) {
+        d = v % base;
+        if (d < 10) tmp[i] = '0' + d;
+        else tmp[i] = 'a' + (d - 10);
+        v = v / base;
+        i++;
+    }
+    while (i > 0) {
+        i--;
+        n = __fmt_putc(fd, dst, cap, n, tmp[i]);
+    }
+    return n;
+}
+
+int __vformat(int fd, char *dst, int cap, char *fmt, char *ap) {
+    int n = 0;
+    int v;
+    char *s;
+    while (*fmt) {
+        if (*fmt != '%') {
+            n = __fmt_putc(fd, dst, cap, n, *fmt);
+            fmt++;
+            continue;
+        }
+        fmt++;
+        if (*fmt == 0) break;
+        if (*fmt == '%') {
+            n = __fmt_putc(fd, dst, cap, n, '%');
+        } else if (*fmt == 'd') {
+            v = *(int *)ap; ap += 4;
+            if (v < 0) n = __fmt_num(fd, dst, cap, n, -v, 10, 1);
+            else n = __fmt_num(fd, dst, cap, n, v, 10, 0);
+        } else if (*fmt == 'u') {
+            n = __fmt_num(fd, dst, cap, n, *(unsigned *)ap, 10, 0); ap += 4;
+        } else if (*fmt == 'x') {
+            n = __fmt_num(fd, dst, cap, n, *(unsigned *)ap, 16, 0); ap += 4;
+        } else if (*fmt == 'c') {
+            n = __fmt_putc(fd, dst, cap, n, *(int *)ap); ap += 4;
+        } else if (*fmt == 's') {
+            s = *(char **)ap; ap += 4;
+            while (*s) { n = __fmt_putc(fd, dst, cap, n, *s); s++; }
+        } else if (*fmt == 'n') {
+            /* The store the paper's Table 2 alert fires on:
+             * *ap = count with an attacker-positioned ap. */
+            v = *(int *)ap; ap += 4;
+            *(int *)v = n;
+        } else {
+            n = __fmt_putc(fd, dst, cap, n, *fmt);
+        }
+        fmt++;
+    }
+    if (fd < 0) {
+        if (cap < 0 || n < cap) dst[n] = 0;
+        else dst[cap - 1] = 0;
+    }
+    return n;
+}
+
+int printf(char *fmt, ...) {
+    char *ap = (char *)&fmt + 4;
+    return __vformat(1, (char *)0, 0, fmt, ap);
+}
+
+int fprintf(int fd, char *fmt, ...) {
+    char *ap = (char *)&fmt + 4;
+    return __vformat(fd, (char *)0, 0, fmt, ap);
+}
+
+int sprintf(char *dst, char *fmt, ...) {
+    char *ap = (char *)&fmt + 4;
+    return __vformat(-1, dst, -1, fmt, ap);
+}
+
+int snprintf(char *dst, int cap, char *fmt, ...) {
+    char *ap = (char *)&fmt + 4;
+    return __vformat(-1, dst, cap, fmt, ap);
+}
+
+/* ---------------- formatted input (scanf subset) ---------------- */
+
+int __scan_string(char *out) {
+    int c = getchar();
+    int i = 0;
+    while (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = getchar();
+    if (c < 0) return -1;
+    /* Unbounded %s — the exp1 vulnerability. */
+    while (c >= 0 && c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        out[i] = c;
+        i++;
+        c = getchar();
+    }
+    out[i] = 0;
+    return 1;
+}
+
+int __scan_int(int *out) {
+    int c = getchar();
+    int v = 0;
+    int neg = 0;
+    int any = 0;
+    while (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = getchar();
+    if (c == '-') { neg = 1; c = getchar(); }
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + checked_index(c - '0', 0, 9);  /* validated digit */
+        any = 1;
+        c = getchar();
+    }
+    if (!any) return -1;
+    if (neg) *out = -v;
+    else *out = v;
+    return 1;
+}
+
+/* sscanf: "%s" and "%d" over an in-memory string. */
+int sscanf(char *src, char *fmt, ...) {
+    char *ap = (char *)&fmt + 4;
+    int matched = 0;
+    int pos = 0;
+    int v;
+    int neg;
+    int any;
+    char *out;
+    int i;
+    while (*fmt) {
+        if (*fmt == '%') {
+            fmt++;
+            while (src[pos] == ' ' || src[pos] == '\t' || src[pos] == '\n' || src[pos] == '\r') pos++;
+            if (*fmt == 's') {
+                if (!src[pos]) return matched;
+                out = *(char **)ap;
+                ap += 4;
+                i = 0;
+                while (src[pos] && src[pos] != ' ' && src[pos] != '\t'
+                       && src[pos] != '\n' && src[pos] != '\r') {
+                    out[i] = src[pos];
+                    i++;
+                    pos++;
+                }
+                out[i] = 0;
+                matched++;
+            } else if (*fmt == 'd') {
+                v = 0;
+                neg = 0;
+                any = 0;
+                if (src[pos] == '-') { neg = 1; pos++; }
+                while (src[pos] >= '0' && src[pos] <= '9') {
+                    v = v * 10 + checked_index(src[pos] - '0', 0, 9);
+                    any = 1;
+                    pos++;
+                }
+                if (!any) return matched;
+                if (neg) v = -v;
+                **(int **)ap = v;
+                ap += 4;
+                matched++;
+            }
+        }
+        fmt++;
+    }
+    return matched;
+}
+
+/* Handles "%s" and "%d" directives (one per argument). */
+int scanf(char *fmt, ...) {
+    char *ap = (char *)&fmt + 4;
+    int matched = 0;
+    while (*fmt) {
+        if (*fmt == '%') {
+            fmt++;
+            if (*fmt == 's') {
+                if (__scan_string(*(char **)ap) < 0) return matched;
+                ap += 4;
+                matched++;
+            } else if (*fmt == 'd') {
+                if (__scan_int(*(int **)ap) < 0) return matched;
+                ap += 4;
+                matched++;
+            }
+        }
+        fmt++;
+    }
+    return matched;
+}
+
+/* ---------------- misc ---------------- */
+
+int abs(int v) {
+    if (v < 0) return -v;
+    return v;
+}
+
+/* Deterministic LCG for the workload programs (no rand syscall needed). */
+unsigned __rand_state;
+
+void srand(unsigned seed) { __rand_state = seed; }
+
+int rand() {
+    __rand_state = __rand_state * 1103515245 + 12345;
+    return (__rand_state >> 16) & 0x7fff;
+}
+
+/* ---------------- ctype ---------------- */
+
+int isdigit(int c) { return c >= '0' && c <= '9'; }
+int isalpha(int c) {
+    if (c >= 'a' && c <= 'z') return 1;
+    return c >= 'A' && c <= 'Z';
+}
+int isspace(int c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+int toupper(int c) {
+    if (c >= 'a' && c <= 'z') return c - 32;
+    return c;
+}
+int tolower(int c) {
+    if (c >= 'A' && c <= 'Z') return c + 32;
+    return c;
+}
+
+/* ---------------- sorting & searching ----------------
+ *
+ * qsort over word-sized elements with a user comparator — exercised
+ * through function-pointer indirect calls (jalr), the control transfer
+ * the jump taintedness detector guards. */
+
+void __qsort_words(int *base, int lo, int hi, int (*cmp)(int, int)) {
+    int pivot;
+    int i;
+    int j;
+    int tmp;
+    if (lo >= hi) return;
+    pivot = base[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (cmp(base[i], pivot) < 0) i++;
+        while (cmp(base[j], pivot) > 0) j--;
+        if (i <= j) {
+            tmp = base[i];
+            base[i] = base[j];
+            base[j] = tmp;
+            i++;
+            j--;
+        }
+    }
+    __qsort_words(base, lo, j, cmp);
+    __qsort_words(base, i, hi, cmp);
+}
+
+/* qsort(base, count, cmp): sorts `count` ints in place. */
+void qsort(int *base, int count, int (*cmp)(int, int)) {
+    if (count > 1) __qsort_words(base, 0, count - 1, cmp);
+}
+
+/* Binary search over sorted ints; returns the index or -1. */
+int bsearch_int(int *base, int count, int key) {
+    int lo = 0;
+    int hi = count - 1;
+    int mid;
+    while (lo <= hi) {
+        mid = (lo + hi) / 2;
+        if (base[mid] == key) return mid;
+        if (base[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return -1;
+}

@@ -1,0 +1,765 @@
+//! SPEC-2000-like workload programs for the false-positive experiment
+//! (paper §5.2, Table 3).
+//!
+//! The paper runs six SPEC 2000 INT binaries (BZIP2, GCC, GZIP, MCF,
+//! PARSER, VPR) on the taint-tracking architecture and observes **zero
+//! alerts**. SPEC binaries and inputs are licensed and unavailable here, so
+//! each workload below mirrors the corresponding benchmark's computational
+//! kernel in mini-C:
+//!
+//! | Workload | SPEC counterpart | Kernel |
+//! |---|---|---|
+//! | `bzip2` | 256.bzip2 | RLE + move-to-front + byte frequency modelling |
+//! | `gcc` | 176.gcc | expression tokenizer → parser → stack-code generator → evaluator |
+//! | `gzip` | 164.gzip | LZ77 with a hashed match finder over a sliding window |
+//! | `mcf` | 181.mcf | network flow: Bellman-Ford cost relaxation on a generated graph |
+//! | `parser` | 197.parser | dictionary hash table + sentence grammar checker |
+//! | `vpr` | 175.vpr | simulated-annealing placement with a deterministic LCG |
+//!
+//! Every workload consumes tainted input bytes (the OS taints all
+//! `read`/`recv` data) and exercises heavy pointer/ALU traffic over data
+//! derived from them. Where an input-derived value indexes a table, the
+//! code validates it first (`checked_index`, the paper's §4.2
+//! compare-untaints-validation idiom) — the same reason the paper's SPEC
+//! runs are alert-free.
+
+use ptaint_os::WorldConfig;
+
+/// A workload: name, guest source, and a deterministic input generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Display name (matches the SPEC counterpart, lowercase).
+    pub name: &'static str,
+    /// The SPEC 2000 benchmark this mirrors.
+    pub spec_name: &'static str,
+    /// Mini-C program source.
+    pub source: &'static str,
+    /// Deterministic input generator; `scale` controls input size.
+    pub input: fn(scale: u32) -> Vec<u8>,
+}
+
+impl Workload {
+    /// Builds the world (stdin = generated input) for a given scale.
+    #[must_use]
+    pub fn world(&self, scale: u32) -> WorldConfig {
+        WorldConfig::new().stdin((self.input)(scale))
+    }
+}
+
+/// All six workloads, in the paper's Table 3 order.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "bzip2",
+            spec_name: "256.bzip2",
+            source: BZIP2_SOURCE,
+            input: text_input,
+        },
+        Workload {
+            name: "gcc",
+            spec_name: "176.gcc",
+            source: GCC_SOURCE,
+            input: expr_input,
+        },
+        Workload {
+            name: "gzip",
+            spec_name: "164.gzip",
+            source: GZIP_SOURCE,
+            input: text_input,
+        },
+        Workload {
+            name: "mcf",
+            spec_name: "181.mcf",
+            source: MCF_SOURCE,
+            input: graph_input,
+        },
+        Workload {
+            name: "parser",
+            spec_name: "197.parser",
+            source: PARSER_SOURCE,
+            input: sentence_input,
+        },
+        Workload {
+            name: "vpr",
+            spec_name: "175.vpr",
+            source: VPR_SOURCE,
+            input: place_input,
+        },
+    ]
+}
+
+/// Pseudo-text with repetitions and structure (compresses interestingly).
+fn text_input(scale: u32) -> Vec<u8> {
+    let words: [&[u8]; 8] = [
+        b"the ", b"quick ", b"brown ", b"fox ", b"jumps ", b"over ", b"lazy ", b"dog ",
+    ];
+    let mut out = Vec::new();
+    let mut state = 0x1234_5678u32;
+    for i in 0..scale * 80 {
+        state = state.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+        let w = words[(state >> 16) as usize % words.len()];
+        out.extend_from_slice(w);
+        if i % 7 == 0 {
+            // Runs for the RLE stage.
+            out.extend_from_slice(&[b'a' + (i % 26) as u8; 12]);
+        }
+        if i % 13 == 0 {
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+/// Arithmetic expressions, one per line.
+fn expr_input(scale: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut state = 0x9e37_79b9u32;
+    for _ in 0..scale * 12 {
+        let mut rnd = || {
+            state = state.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            (state >> 16) % 90 + 1
+        };
+        let line = format!(
+            "({} + {}) * {} - {} / {} + {} * ({} - {})\n",
+            rnd(),
+            rnd(),
+            rnd(),
+            rnd(),
+            rnd(),
+            rnd(),
+            rnd(),
+            rnd()
+        );
+        out.extend_from_slice(line.as_bytes());
+    }
+    out
+}
+
+/// Graph description: `nodes edges` then per-node supply values.
+fn graph_input(scale: u32) -> Vec<u8> {
+    let nodes = (8 + scale * 4).min(180);
+    let mut out = format!("{nodes}\n").into_bytes();
+    let mut state = 0xdead_beefu32;
+    for _ in 0..nodes {
+        state = state.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+        out.extend_from_slice(format!("{} ", (state >> 16) % 97).as_bytes());
+    }
+    out.push(b'\n');
+    out
+}
+
+/// Sentences over a small vocabulary, one per line.
+fn sentence_input(scale: u32) -> Vec<u8> {
+    let nouns = ["dog", "cat", "bird", "fish", "tree"];
+    let verbs = ["sees", "chases", "likes", "eats"];
+    let mut out = Vec::new();
+    let mut state = 0x0bad_cafeu32;
+    for i in 0..scale * 25 {
+        let mut rnd = |m: usize| {
+            state = state.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            ((state >> 16) as usize) % m
+        };
+        let n1 = nouns[rnd(nouns.len())];
+        let v = verbs[rnd(verbs.len())];
+        let n2 = nouns[rnd(nouns.len())];
+        if i % 9 == 0 {
+            // An ungrammatical (noun noun noun) line exercising the reject
+            // path; still three tokens so the token stream stays aligned.
+            out.extend_from_slice(format!("{n1} {n2} {n2}\n").as_bytes());
+        } else {
+            out.extend_from_slice(format!("{n1} {v} {n2}\n").as_bytes());
+        }
+    }
+    out
+}
+
+/// Placement parameters: `cells nets moves`.
+fn place_input(scale: u32) -> Vec<u8> {
+    let cells = (12 + scale * 2).min(120);
+    let nets = (cells * 3) / 2;
+    let moves = 200 + scale * 50;
+    format!("{cells} {nets} {moves}\n").into_bytes()
+}
+
+/// RLE + move-to-front + frequency model (the bzip2 pipeline's shape).
+pub const BZIP2_SOURCE: &str = r#"
+char block[16384];
+char rle[20000];
+char mtf_table[256];
+int freq[256];
+
+int main() {
+    int n = 0;
+    int c;
+    int i;
+    int run;
+    int out = 0;
+    int sym;
+    int j;
+    int checksum = 0;
+
+    /* slurp the block */
+    c = getchar();
+    while (c >= 0 && n < 16000) {
+        block[n] = c;
+        n++;
+        c = getchar();
+    }
+
+    /* stage 1: run-length encoding */
+    i = 0;
+    while (i < n) {
+        run = 1;
+        while (i + run < n && block[i + run] == block[i] && run < 255) run++;
+        if (run >= 4) {
+            rle[out] = block[i]; out++;
+            rle[out] = block[i]; out++;
+            rle[out] = block[i]; out++;
+            rle[out] = block[i]; out++;
+            rle[out] = run - 4; out++;
+        } else {
+            for (j = 0; j < run; j++) { rle[out] = block[i]; out++; }
+        }
+        i += run;
+    }
+
+    /* stage 2: move-to-front transform */
+    for (i = 0; i < 256; i++) mtf_table[i] = i;
+    for (i = 0; i < out; i++) {
+        sym = checked_index(rle[i] & 0xff, 0, 255);
+        j = 0;
+        while ((mtf_table[j] & 0xff) != sym) j++;
+        checksum += j;
+        while (j > 0) { mtf_table[j] = mtf_table[j - 1]; j--; }
+        mtf_table[0] = sym;
+        /* stage 3: frequency model */
+        freq[sym]++;
+    }
+
+    /* entropy proxy: sum of f*log2-ish weights */
+    for (i = 0; i < 256; i++) {
+        j = freq[i];
+        while (j > 1) { checksum += 1; j = j >> 1; }
+    }
+
+    printf("bzip2: in=%d rle=%d checksum=%d\n", n, out, checksum);
+    return 0;
+}
+"#;
+
+/// Tokenizer → recursive-descent parser → stack-code generator → evaluator
+/// (the shape of a compiler front end plus constant evaluation).
+pub const GCC_SOURCE: &str = r#"
+char src[8192];
+int pos;
+int code[4096];
+int ncode;
+int stack[256];
+
+int peek_ch() { return src[pos] & 0xff; }
+
+void skip_ws() {
+    while (src[pos] == ' ' || src[pos] == '\t') pos++;
+}
+
+/* emit: 1=push imm, 2=add, 3=sub, 4=mul, 5=div */
+void emit(int op, int arg) {
+    code[ncode] = op;
+    code[ncode + 1] = arg;
+    ncode += 2;
+}
+
+void expr();
+
+void primary() {
+    int v = 0;
+    skip_ws();
+    if (src[pos] == '(') {
+        pos++;
+        expr();
+        skip_ws();
+        if (src[pos] == ')') pos++;
+        return;
+    }
+    while (src[pos] >= '0' && src[pos] <= '9') {
+        v = v * 10 + checked_index(src[pos] - '0', 0, 9);
+        pos++;
+    }
+    emit(1, v);
+}
+
+void term() {
+    int op;
+    primary();
+    skip_ws();
+    while (src[pos] == '*' || src[pos] == '/') {
+        op = src[pos];
+        pos++;
+        primary();
+        skip_ws();
+        if (op == '*') emit(4, 0); else emit(5, 0);
+    }
+}
+
+void expr() {
+    int op;
+    term();
+    skip_ws();
+    while (src[pos] == '+' || src[pos] == '-') {
+        op = src[pos];
+        pos++;
+        term();
+        skip_ws();
+        if (op == '+') emit(2, 0); else emit(3, 0);
+    }
+}
+
+int execute() {
+    int pc = 0;
+    int sp = 0;
+    int a;
+    int b;
+    while (pc < ncode) {
+        int op = code[pc];
+        int arg = code[pc + 1];
+        if (op == 1) { stack[sp] = arg; sp++; }
+        else {
+            b = stack[sp - 1];
+            a = stack[sp - 2];
+            sp -= 2;
+            if (op == 2) stack[sp] = a + b;
+            else if (op == 3) stack[sp] = a - b;
+            else if (op == 4) stack[sp] = a * b;
+            else if (op == 5) { if (b == 0) stack[sp] = 0; else stack[sp] = a / b; }
+            sp++;
+        }
+        pc += 2;
+    }
+    if (sp > 0) return stack[sp - 1];
+    return 0;
+}
+
+int main() {
+    int n = 0;
+    int c;
+    int lines = 0;
+    int total = 0;
+    int start;
+    c = getchar();
+    while (c >= 0 && n < 8000) {
+        src[n] = c;
+        n++;
+        c = getchar();
+    }
+    src[n] = 0;
+    pos = 0;
+    while (pos < n) {
+        start = pos;
+        ncode = 0;
+        expr();
+        total += execute();
+        lines++;
+        while (pos < n && src[pos] != '\n') pos++;
+        if (pos < n) pos++;
+        if (pos == start) break;
+    }
+    printf("gcc: lines=%d total=%d\n", lines, total);
+    return 0;
+}
+"#;
+
+/// LZ77 with a hashed match finder over a sliding window (gzip's deflate
+/// core shape).
+pub const GZIP_SOURCE: &str = r#"
+char window[16384];
+int head[1024];
+int prev[16384];
+
+int hash3(int a, int b, int c) {
+    int h = ((a << 6) ^ (b << 3) ^ c) & 1023;
+    return checked_index(h, 0, 1023);
+}
+
+int main() {
+    int n = 0;
+    int c;
+    int i;
+    int h;
+    int cand;
+    int len;
+    int best_len;
+    int best_dist;
+    int literals = 0;
+    int matches = 0;
+    int outbits = 0;
+    int checksum = 1;
+
+    c = getchar();
+    while (c >= 0 && n < 16000) {
+        window[n] = c;
+        /* adler-ish checksum over tainted data: pure ALU, no deref */
+        checksum = (checksum + (c & 0xff)) % 65521;
+        n++;
+        c = getchar();
+    }
+    for (i = 0; i < 1024; i++) head[i] = -1;
+
+    i = 0;
+    while (i + 3 < n) {
+        h = hash3(window[i] & 0xff, window[i+1] & 0xff, window[i+2] & 0xff);
+        cand = head[h];
+        best_len = 0;
+        best_dist = 0;
+        while (cand >= 0 && i - cand < 8192) {
+            len = 0;
+            while (i + len < n && window[cand + len] == window[i + len] && len < 258) len++;
+            if (len > best_len) { best_len = len; best_dist = i - cand; }
+            cand = prev[cand];
+        }
+        prev[i] = head[h];
+        head[h] = i;
+        if (best_len >= 3) {
+            matches++;
+            outbits += 15;        /* pretend: length+distance code */
+            /* insert the skipped positions into the hash chains */
+            len = best_len - 1;
+            while (len > 0 && i + 3 < n) {
+                i++;
+                h = hash3(window[i] & 0xff, window[i+1] & 0xff, window[i+2] & 0xff);
+                prev[i] = head[h];
+                head[h] = i;
+                len--;
+            }
+            i++;
+        } else {
+            literals++;
+            outbits += 9;
+            i++;
+        }
+    }
+    printf("gzip: in=%d literals=%d matches=%d bits=%d adler=%d\n",
+           n, literals, matches, outbits, checksum);
+    return 0;
+}
+"#;
+
+/// Network-flow relaxation: build a layered graph from input supplies and
+/// run Bellman-Ford until no cost improves (mcf's pricing loop shape).
+pub const MCF_SOURCE: &str = r#"
+int supply[200];
+int arc_from[2048];
+int arc_to[2048];
+int arc_cost[2048];
+int dist[200];
+
+int main() {
+    int nodes;
+    int i;
+    int j;
+    int narcs = 0;
+    int rounds = 0;
+    int changed = 1;
+    int checksum = 0;
+    scanf("%d", &nodes);
+    if (nodes < 2) nodes = 2;
+    if (nodes > 180) nodes = 180;
+    for (i = 0; i < nodes; i++) {
+        scanf("%d", &supply[i]);
+    }
+    /* ring + chords, costs from the (validated) supplies */
+    for (i = 0; i < nodes; i++) {
+        arc_from[narcs] = i;
+        arc_to[narcs] = (i + 1) % nodes;
+        arc_cost[narcs] = checked_index(supply[i], 0, 96) + 1;
+        narcs++;
+        if (i % 3 == 0) {
+            arc_from[narcs] = i;
+            arc_to[narcs] = (i + 7) % nodes;
+            arc_cost[narcs] = checked_index(supply[(i + 1) % nodes], 0, 96) + 5;
+            narcs++;
+        }
+    }
+    for (i = 0; i < nodes; i++) dist[i] = 1000000;
+    dist[0] = 0;
+    while (changed && rounds < nodes + 1) {
+        changed = 0;
+        for (j = 0; j < narcs; j++) {
+            int u = arc_from[j];
+            int v = arc_to[j];
+            if (dist[u] + arc_cost[j] < dist[v]) {
+                dist[v] = dist[u] + arc_cost[j];
+                changed = 1;
+            }
+        }
+        rounds++;
+    }
+    for (i = 0; i < nodes; i++) checksum += dist[i];
+    printf("mcf: nodes=%d arcs=%d rounds=%d cost=%d\n", nodes, narcs, rounds, checksum);
+    return 0;
+}
+"#;
+
+/// Dictionary hash table + grammar check (parser's dictionary-lookup
+/// shape): sentences must match noun–verb–noun.
+pub const PARSER_SOURCE: &str = r#"
+char words[64][12];
+int kinds[64];          /* 1 = noun, 2 = verb */
+int nwords;
+int buckets[64];
+int chain[64];
+
+int word_hash(char *w) {
+    int h = 0;
+    int i = 0;
+    while (w[i]) {
+        h = h * 31 + (w[i] & 0xff);
+        i++;
+    }
+    return checked_index(h & 63, 0, 63);
+}
+
+void define_word(char *w, int kind) {
+    int h;
+    strcpy(words[nwords], w);
+    kinds[nwords] = kind;
+    h = word_hash(w);
+    chain[nwords] = buckets[h];
+    buckets[h] = nwords + 1;       /* 0 = empty */
+    nwords++;
+}
+
+int lookup(char *w) {
+    int slot = buckets[word_hash(w)];
+    while (slot) {
+        if (strcmp(words[slot - 1], w) == 0) return kinds[slot - 1];
+        slot = chain[slot - 1];
+    }
+    return 0;
+}
+
+int main() {
+    char token[3][16];
+    int t;
+    int ok = 0;
+    int bad = 0;
+    int unknown = 0;
+    int k1;
+    int k2;
+    int k3;
+    int got;
+
+    define_word("dog", 1);
+    define_word("cat", 1);
+    define_word("bird", 1);
+    define_word("fish", 1);
+    define_word("tree", 1);
+    define_word("sees", 2);
+    define_word("chases", 2);
+    define_word("likes", 2);
+    define_word("eats", 2);
+
+    while (1) {
+        got = 0;
+        for (t = 0; t < 3; t++) {
+            if (scanf("%s", token[t]) < 1) break;
+            got++;
+        }
+        if (got == 0) break;
+        if (got < 3) { bad++; break; }
+        k1 = lookup(token[0]);
+        k2 = lookup(token[1]);
+        k3 = lookup(token[2]);
+        if (k1 == 0 || k2 == 0 || k3 == 0) unknown++;
+        else if (k1 == 1 && k2 == 2 && k3 == 1) ok++;
+        else bad++;
+    }
+    printf("parser: ok=%d bad=%d unknown=%d dict=%d\n", ok, bad, unknown, nwords);
+    return 0;
+}
+"#;
+
+/// Simulated-annealing placement on a grid with a deterministic LCG
+/// (vpr's placer shape).
+pub const VPR_SOURCE: &str = r#"
+int cell_x[128];
+int cell_y[128];
+int net_a[256];
+int net_b[256];
+
+int net_len(int i) {
+    int dx = cell_x[net_a[i]] - cell_x[net_b[i]];
+    int dy = cell_y[net_a[i]] - cell_y[net_b[i]];
+    return abs(dx) + abs(dy);
+}
+
+int main() {
+    int cells;
+    int nets;
+    int moves;
+    int i;
+    int m;
+    int cost = 0;
+    int c;
+    int ox;
+    int oy;
+    int before;
+    int after;
+    int accepted = 0;
+    int temperature;
+
+    scanf("%d", &cells);
+    scanf("%d", &nets);
+    scanf("%d", &moves);
+    cells = checked_index(cells, 2, 120);
+    nets = checked_index(nets, 1, 250);
+    moves = checked_index(moves, 1, 20000);
+
+    srand(20050628);   /* DSN 2005 */
+    for (i = 0; i < cells; i++) {
+        cell_x[i] = rand() % 16;
+        cell_y[i] = rand() % 16;
+    }
+    for (i = 0; i < nets; i++) {
+        net_a[i] = rand() % cells;
+        net_b[i] = rand() % cells;
+    }
+    for (i = 0; i < nets; i++) cost += net_len(i);
+
+    temperature = 8;
+    for (m = 0; m < moves; m++) {
+        c = rand() % cells;
+        ox = cell_x[c];
+        oy = cell_y[c];
+        before = 0;
+        for (i = 0; i < nets; i++) {
+            if (net_a[i] == c || net_b[i] == c) before += net_len(i);
+        }
+        cell_x[c] = rand() % 16;
+        cell_y[c] = rand() % 16;
+        after = 0;
+        for (i = 0; i < nets; i++) {
+            if (net_a[i] == c || net_b[i] == c) after += net_len(i);
+        }
+        if (after <= before + temperature) {
+            cost = cost - before + after;
+            accepted++;
+        } else {
+            cell_x[c] = ox;
+            cell_y[c] = oy;
+        }
+        if (m % 100 == 99 && temperature > 0) temperature--;
+    }
+    printf("vpr: cells=%d nets=%d moves=%d accepted=%d cost=%d\n",
+           cells, nets, moves, accepted, cost);
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::run_app;
+    use crate::build;
+    use ptaint_cpu::DetectionPolicy;
+    use ptaint_os::ExitReason;
+
+    /// Every workload must run to completion under full pointer-taintedness
+    /// detection without a single alert — the Table 3 property.
+    #[test]
+    fn all_workloads_run_alert_free_under_full_detection() {
+        for w in all() {
+            let image = build(w.source)
+                .unwrap_or_else(|e| panic!("{} failed to build: {e}", w.name));
+            let out = run_app(&image, w.world(3), DetectionPolicy::PointerTaintedness);
+            assert_eq!(
+                out.reason,
+                ExitReason::Exited(0),
+                "{}: {:?}\nstdout: {}",
+                w.name,
+                out.reason,
+                out.stdout_text()
+            );
+            assert!(
+                out.stdout_text().starts_with(w.name),
+                "{} must report stats: {}",
+                w.name,
+                out.stdout_text()
+            );
+            assert!(out.stats.instructions > 1_000, "{} too trivial", w.name);
+        }
+    }
+
+    /// Outputs must be identical across detection policies (taint tracking
+    /// never changes architectural results) and deterministic across runs.
+    #[test]
+    fn workload_outputs_are_policy_independent_and_deterministic() {
+        for w in all() {
+            let image = build(w.source).unwrap();
+            let full = run_app(&image, w.world(2), DetectionPolicy::PointerTaintedness);
+            let off = run_app(&image, w.world(2), DetectionPolicy::Off);
+            let again = run_app(&image, w.world(2), DetectionPolicy::PointerTaintedness);
+            assert_eq!(full.stdout, off.stdout, "{}", w.name);
+            assert_eq!(full.stdout, again.stdout, "{}", w.name);
+            assert_eq!(full.stats.instructions, off.stats.instructions, "{}", w.name);
+        }
+    }
+
+    /// The workloads genuinely consume tainted input.
+    #[test]
+    fn workloads_consume_tainted_input() {
+        for w in all() {
+            let image = build(w.source).unwrap();
+            let out = run_app(&image, w.world(2), DetectionPolicy::PointerTaintedness);
+            assert!(
+                out.tainted_input_bytes > 0,
+                "{} consumed no tainted input",
+                w.name
+            );
+            assert!(
+                out.stats.tainted_operand_instructions > 0,
+                "{} never touched tainted data",
+                w.name
+            );
+        }
+    }
+
+    /// Spot-check a couple of program outputs for correctness.
+    #[test]
+    fn gcc_workload_computes_correct_totals() {
+        let image = build(GCC_SOURCE).unwrap();
+        let out = run_app(
+            &image,
+            WorldConfig::new().stdin(b"1 + 2 * 3\n(4 - 1) * 5\n10 / 2 - 3\n".to_vec()),
+            DetectionPolicy::PointerTaintedness,
+        );
+        // 7 + 15 + 2 = 24
+        assert_eq!(out.stdout_text(), "gcc: lines=3 total=24\n");
+    }
+
+    #[test]
+    fn parser_workload_classifies_sentences() {
+        let image = build(PARSER_SOURCE).unwrap();
+        let out = run_app(
+            &image,
+            WorldConfig::new().stdin(b"dog sees cat\ncat eats fish\ndog cat bird\nwug sees dog\n".to_vec()),
+            DetectionPolicy::PointerTaintedness,
+        );
+        assert_eq!(out.stdout_text(), "parser: ok=2 bad=1 unknown=1 dict=9\n");
+    }
+
+    #[test]
+    fn gzip_workload_finds_matches_in_repetitive_text() {
+        let image = build(GZIP_SOURCE).unwrap();
+        let out = run_app(
+            &image,
+            WorldConfig::new().stdin(b"abcabcabcabcabcabcabcabc".to_vec()),
+            DetectionPolicy::PointerTaintedness,
+        );
+        let text = out.stdout_text();
+        assert!(text.starts_with("gzip: in=24"), "{text}");
+        assert!(text.contains("matches="), "{text}");
+        // Strong repetition must yield at least one match.
+        assert!(!text.contains("matches=0"), "{text}");
+    }
+}

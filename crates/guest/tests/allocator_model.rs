@@ -1,0 +1,157 @@
+//! Model-based testing of the guest heap allocator.
+//!
+//! Random malloc/free sequences are compiled into a guest program that
+//! prints every allocation's address; the host then checks the allocator's
+//! invariants against a reference model:
+//!
+//! * payloads are 8-byte aligned and 8 bytes past their chunk header;
+//! * live payloads never overlap;
+//! * everything stays inside the heap segment;
+//! * memory is actually recycled (a free followed by an equal-size malloc
+//!   reuses space rather than growing the heap forever).
+
+use proptest::prelude::*;
+use ptaint_cpu::DetectionPolicy;
+use ptaint_isa::PAGE_SIZE;
+use ptaint_mem::HierarchyConfig;
+use ptaint_os::{load, run_to_exit, ExitReason, WorldConfig};
+
+/// One scripted heap operation.
+#[derive(Debug, Clone)]
+enum HeapOp {
+    /// Allocate `size` bytes into slot `slot`.
+    Alloc { slot: usize, size: u32 },
+    /// Free whatever slot `slot` holds (no-op when empty).
+    Free { slot: usize },
+}
+
+const SLOTS: usize = 8;
+
+fn arb_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..SLOTS, 1u32..300).prop_map(|(slot, size)| HeapOp::Alloc { slot, size }),
+            (0..SLOTS).prop_map(|slot| HeapOp::Free { slot }),
+        ],
+        1..40,
+    )
+}
+
+/// Builds a guest program that performs `ops` and prints a line per event:
+/// `A <slot> <addr-hex>` or `F <slot>`.
+fn guest_program(ops: &[HeapOp]) -> String {
+    let mut body = String::new();
+    for op in ops {
+        match op {
+            HeapOp::Alloc { slot, size } => {
+                body.push_str(&format!(
+                    "    if (slots[{slot}]) {{ free(slots[{slot}]); printf(\"F {slot}\\n\"); }}\n\
+                     \x20   slots[{slot}] = malloc({size});\n\
+                     \x20   printf(\"A {slot} %x\\n\", slots[{slot}]);\n"
+                ));
+            }
+            HeapOp::Free { slot } => {
+                body.push_str(&format!(
+                    "    if (slots[{slot}]) {{ free(slots[{slot}]); slots[{slot}] = 0; printf(\"F {slot}\\n\"); }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "char *slots[{SLOTS}];\nint main() {{\n{body}    printf(\"END %x\\n\", brk(0));\n    return 0;\n}}"
+    )
+}
+
+/// The host-side reference model checking the printed trace.
+fn check_trace(ops: &[HeapOp], stdout: &str, heap_base: u32) {
+    let mut live: Vec<Option<(u32, u32)>> = vec![None; SLOTS]; // (addr, size)
+    let mut lines = stdout.lines();
+    let mut final_brk = None;
+    let mut max_live_bytes = 0u32;
+    let mut sizes: Vec<Option<u32>> = vec![None; SLOTS];
+
+    for op in ops {
+        match op {
+            HeapOp::Alloc { slot, size } => {
+                // Optional implicit free line first.
+                let mut line = lines.next().expect("trace line");
+                if line.starts_with("F ") {
+                    live[*slot] = None;
+                    line = lines.next().expect("alloc line after free");
+                }
+                let mut parts = line.split_whitespace();
+                assert_eq!(parts.next(), Some("A"), "line: {line}");
+                let s: usize = parts.next().unwrap().parse().unwrap();
+                assert_eq!(s, *slot);
+                let addr = u32::from_str_radix(parts.next().unwrap(), 16).unwrap();
+
+                // Invariants.
+                assert_eq!(addr % 8, 0, "payload must be 8-aligned, got {addr:#x}");
+                assert!(addr >= heap_base + 8, "below heap: {addr:#x}");
+                for (other, entry) in live.iter().enumerate() {
+                    if let Some((oaddr, osize)) = entry {
+                        let a0 = addr;
+                        let a1 = addr + size;
+                        let b0 = *oaddr;
+                        let b1 = *oaddr + *osize;
+                        assert!(
+                            a1 <= b0 || b1 <= a0,
+                            "overlap: slot {slot} [{a0:#x},{a1:#x}) vs slot {other} [{b0:#x},{b1:#x})"
+                        );
+                    }
+                }
+                live[*slot] = Some((addr, *size));
+                sizes[*slot] = Some(*size);
+                let live_now: u32 = live.iter().flatten().map(|(_, s)| s + 24).sum();
+                max_live_bytes = max_live_bytes.max(live_now);
+            }
+            HeapOp::Free { slot } => {
+                if live[*slot].is_some() || sizes[*slot].is_some() {
+                    if let Some(line) = lines.next() {
+                        if line.starts_with("F ") {
+                            live[*slot] = None;
+                            sizes[*slot] = None;
+                            continue;
+                        }
+                        panic!("expected free line, got {line}");
+                    }
+                }
+            }
+        }
+    }
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("END ") {
+            final_brk = Some(u32::from_str_radix(rest.trim(), 16).unwrap());
+        }
+    }
+    // Recycling: the heap never grows beyond the peak live footprint plus
+    // slack for headers, rounding, and split remainders.
+    let brk = final_brk.expect("END line");
+    let grown = brk - heap_base;
+    let bound = max_live_bytes * 3 + 4096;
+    assert!(
+        grown <= bound,
+        "heap grew to {grown} bytes for a peak live footprint of {max_live_bytes}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allocator_respects_its_invariants(ops in arb_ops()) {
+        let source = guest_program(&ops);
+        let image = ptaint_guest::build(&source)
+            .unwrap_or_else(|e| panic!("build: {e}\n{source}"));
+        let heap_base = image.data_end().div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let (mut cpu, mut os) = load(
+            &image,
+            WorldConfig::new(),
+            DetectionPolicy::PointerTaintedness,
+            HierarchyConfig::flat(),
+        );
+        let out = run_to_exit(&mut cpu, &mut os, 100_000_000);
+        prop_assert_eq!(&out.reason, &ExitReason::Exited(0));
+        check_trace(&ops, &out.stdout_text(), heap_base);
+    }
+}

@@ -1,0 +1,1222 @@
+//! Instruction formats, binary encoding, decoding and disassembly.
+//!
+//! The binary encoding follows the classic MIPS I opcode map so that
+//! disassembly output reads exactly like the instruction traces in the DSN
+//! 2005 paper (`sw $21,0($3)`, `lw $3,0($3)`, `jr $31`, …).
+
+use std::fmt;
+
+use crate::Reg;
+
+/// Register-register ALU operations (`funct` field of R-type encodings).
+///
+/// These are the "generic" ALU instructions of the paper's Table 1: the
+/// taintedness of the destination is the bytewise OR of the sources' —
+/// except for the special-cased `And` (untaint on AND with untainted zero),
+/// `Xor` (the `xor r,s,s` zeroing idiom untaints), and the compare
+/// instructions `Slt`/`Sltu` (which *untaint their operands*, modelling
+/// input-validation code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RAluOp {
+    /// Signed addition (traps on overflow in real MIPS; we wrap like ADDU).
+    Add,
+    /// Unsigned (wrapping) addition.
+    Addu,
+    /// Signed subtraction.
+    Sub,
+    /// Unsigned (wrapping) subtraction.
+    Subu,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOR.
+    Nor,
+    /// Set on less-than, signed comparison.
+    Slt,
+    /// Set on less-than, unsigned comparison.
+    Sltu,
+}
+
+impl RAluOp {
+    /// Whether this is a compare instruction in the sense of Table 1
+    /// (its operands are untainted after execution).
+    #[must_use]
+    pub const fn is_compare(self) -> bool {
+        matches!(self, RAluOp::Slt | RAluOp::Sltu)
+    }
+
+    const fn funct(self) -> u32 {
+        match self {
+            RAluOp::Add => 0x20,
+            RAluOp::Addu => 0x21,
+            RAluOp::Sub => 0x22,
+            RAluOp::Subu => 0x23,
+            RAluOp::And => 0x24,
+            RAluOp::Or => 0x25,
+            RAluOp::Xor => 0x26,
+            RAluOp::Nor => 0x27,
+            RAluOp::Slt => 0x2a,
+            RAluOp::Sltu => 0x2b,
+        }
+    }
+
+    /// Assembler mnemonic.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            RAluOp::Add => "add",
+            RAluOp::Addu => "addu",
+            RAluOp::Sub => "sub",
+            RAluOp::Subu => "subu",
+            RAluOp::And => "and",
+            RAluOp::Or => "or",
+            RAluOp::Xor => "xor",
+            RAluOp::Nor => "nor",
+            RAluOp::Slt => "slt",
+            RAluOp::Sltu => "sltu",
+        }
+    }
+
+    /// All register-register ALU operations.
+    pub const ALL: [RAluOp; 10] = [
+        RAluOp::Add,
+        RAluOp::Addu,
+        RAluOp::Sub,
+        RAluOp::Subu,
+        RAluOp::And,
+        RAluOp::Or,
+        RAluOp::Xor,
+        RAluOp::Nor,
+        RAluOp::Slt,
+        RAluOp::Sltu,
+    ];
+}
+
+/// Shift operations; used by both immediate-shamt and register-variable forms.
+///
+/// Per Table 1, shifts smear taintedness to the adjacent byte along the shift
+/// direction in addition to the generic propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+}
+
+impl ShiftOp {
+    /// Whether the shift moves bits toward more significant positions.
+    #[must_use]
+    pub const fn is_left(self) -> bool {
+        matches!(self, ShiftOp::Sll)
+    }
+
+    const fn funct_imm(self) -> u32 {
+        match self {
+            ShiftOp::Sll => 0x00,
+            ShiftOp::Srl => 0x02,
+            ShiftOp::Sra => 0x03,
+        }
+    }
+
+    const fn funct_var(self) -> u32 {
+        match self {
+            ShiftOp::Sll => 0x04,
+            ShiftOp::Srl => 0x06,
+            ShiftOp::Sra => 0x07,
+        }
+    }
+
+    /// Assembler mnemonic of the immediate form; the variable form appends `v`.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Sll => "sll",
+            ShiftOp::Srl => "srl",
+            ShiftOp::Sra => "sra",
+        }
+    }
+
+    /// All shift operations.
+    pub const ALL: [ShiftOp; 3] = [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra];
+}
+
+/// Multiply/divide operations writing the `HI`/`LO` register pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// Signed 32×32→64 multiply.
+    Mult,
+    /// Unsigned 32×32→64 multiply.
+    Multu,
+    /// Signed divide: `LO = rs / rt`, `HI = rs % rt`.
+    Div,
+    /// Unsigned divide.
+    Divu,
+}
+
+impl MulDivOp {
+    const fn funct(self) -> u32 {
+        match self {
+            MulDivOp::Mult => 0x18,
+            MulDivOp::Multu => 0x19,
+            MulDivOp::Div => 0x1a,
+            MulDivOp::Divu => 0x1b,
+        }
+    }
+
+    /// Assembler mnemonic.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            MulDivOp::Mult => "mult",
+            MulDivOp::Multu => "multu",
+            MulDivOp::Div => "div",
+            MulDivOp::Divu => "divu",
+        }
+    }
+
+    /// All multiply/divide operations.
+    pub const ALL: [MulDivOp; 4] = [MulDivOp::Mult, MulDivOp::Multu, MulDivOp::Div, MulDivOp::Divu];
+}
+
+/// Immediate ALU operations (I-type encodings).
+///
+/// For `Andi`/`Ori`/`Xori` the immediate is zero-extended at execution; for
+/// the rest it is sign-extended. `Slti`/`Sltiu` count as compare instructions
+/// for taint purposes (they untaint their register operand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IAluOp {
+    /// Add immediate (wrapping, like Addiu, to keep the ISA total).
+    Addi,
+    /// Add immediate unsigned (wrapping).
+    Addiu,
+    /// Set on less-than immediate, signed.
+    Slti,
+    /// Set on less-than immediate, unsigned.
+    Sltiu,
+    /// AND with zero-extended immediate.
+    Andi,
+    /// OR with zero-extended immediate.
+    Ori,
+    /// XOR with zero-extended immediate.
+    Xori,
+}
+
+impl IAluOp {
+    /// Whether the immediate is zero-extended (logical ops) rather than
+    /// sign-extended.
+    #[must_use]
+    pub const fn zero_extends(self) -> bool {
+        matches!(self, IAluOp::Andi | IAluOp::Ori | IAluOp::Xori)
+    }
+
+    /// Whether this is a compare instruction in the sense of Table 1.
+    #[must_use]
+    pub const fn is_compare(self) -> bool {
+        matches!(self, IAluOp::Slti | IAluOp::Sltiu)
+    }
+
+    const fn opcode(self) -> u32 {
+        match self {
+            IAluOp::Addi => 0x08,
+            IAluOp::Addiu => 0x09,
+            IAluOp::Slti => 0x0a,
+            IAluOp::Sltiu => 0x0b,
+            IAluOp::Andi => 0x0c,
+            IAluOp::Ori => 0x0d,
+            IAluOp::Xori => 0x0e,
+        }
+    }
+
+    /// Assembler mnemonic.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            IAluOp::Addi => "addi",
+            IAluOp::Addiu => "addiu",
+            IAluOp::Slti => "slti",
+            IAluOp::Sltiu => "sltiu",
+            IAluOp::Andi => "andi",
+            IAluOp::Ori => "ori",
+            IAluOp::Xori => "xori",
+        }
+    }
+
+    /// All immediate ALU operations.
+    pub const ALL: [IAluOp; 7] = [
+        IAluOp::Addi,
+        IAluOp::Addiu,
+        IAluOp::Slti,
+        IAluOp::Sltiu,
+        IAluOp::Andi,
+        IAluOp::Ori,
+        IAluOp::Xori,
+    ];
+}
+
+/// Access width of a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte.
+    Byte,
+    /// Two bytes (halfword); address must be 2-aligned.
+    Half,
+    /// Four bytes (word); address must be 4-aligned.
+    Word,
+}
+
+impl MemWidth {
+    /// Number of bytes accessed.
+    #[must_use]
+    pub const fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
+/// Two-register branch conditions (`beq`, `bne`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch when equal.
+    Eq,
+    /// Branch when not equal.
+    Ne,
+}
+
+/// Compare-with-zero branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchZCond {
+    /// Branch when `rs <= 0` (signed).
+    Lez,
+    /// Branch when `rs > 0` (signed).
+    Gtz,
+    /// Branch when `rs < 0` (signed).
+    Ltz,
+    /// Branch when `rs >= 0` (signed).
+    Gez,
+}
+
+impl BranchZCond {
+    /// Assembler mnemonic.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchZCond::Lez => "blez",
+            BranchZCond::Gtz => "bgtz",
+            BranchZCond::Ltz => "bltz",
+            BranchZCond::Gez => "bgez",
+        }
+    }
+}
+
+/// A decoded machine instruction.
+///
+/// The enum is grouped by execution semantics rather than by encoding format,
+/// which keeps the CPU's execute loop and the taint-tracking ALU
+/// (`ptaint-cpu`) free of encoding details.
+///
+/// ```
+/// use ptaint_isa::{Instr, Reg, MemWidth};
+///
+/// // The store instruction from the paper's Table 2 alert: `sw $21,0($3)`.
+/// let sw = Instr::Store { width: MemWidth::Word, rt: Reg::new(21), base: Reg::new(3), offset: 0 };
+/// assert_eq!(sw.to_string(), "sw $21,0($3)");
+/// assert!(sw.dereferences_pointer());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Shift by immediate amount: `op rd, rt, shamt`.
+    Shift {
+        /// Shift kind.
+        op: ShiftOp,
+        /// Destination register.
+        rd: Reg,
+        /// Operand register.
+        rt: Reg,
+        /// Shift amount in `0..32`.
+        shamt: u8,
+    },
+    /// Shift by register amount: `opv rd, rt, rs` (low 5 bits of `rs`).
+    ShiftV {
+        /// Shift kind.
+        op: ShiftOp,
+        /// Destination register.
+        rd: Reg,
+        /// Operand register.
+        rt: Reg,
+        /// Register holding the shift amount.
+        rs: Reg,
+    },
+    /// Register-register ALU: `op rd, rs, rt`.
+    RAlu {
+        /// Operation.
+        op: RAluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs: Reg,
+        /// Second source.
+        rt: Reg,
+    },
+    /// Multiply or divide into `HI`/`LO`.
+    MulDiv {
+        /// Operation.
+        op: MulDivOp,
+        /// First source.
+        rs: Reg,
+        /// Second source.
+        rt: Reg,
+    },
+    /// `mfhi rd` — move from `HI`.
+    MoveFromHi {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// `mflo rd` — move from `LO`.
+    MoveFromLo {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// `mthi rs` — move to `HI`.
+    MoveToHi {
+        /// Source register.
+        rs: Reg,
+    },
+    /// `mtlo rs` — move to `LO`.
+    MoveToLo {
+        /// Source register.
+        rs: Reg,
+    },
+    /// Immediate ALU: `op rt, rs, imm`.
+    IAlu {
+        /// Operation.
+        op: IAluOp,
+        /// Destination register.
+        rt: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Immediate (raw 16 bits; extension depends on `op`).
+        imm: i16,
+    },
+    /// `lui rt, imm` — load upper immediate. The result is a program constant
+    /// and therefore untainted.
+    Lui {
+        /// Destination register.
+        rt: Reg,
+        /// Upper 16 bits of the result.
+        imm: u16,
+    },
+    /// Memory load: `l{b,h,w}[u] rt, offset(base)`.
+    ///
+    /// This instruction *dereferences a pointer* (`base + offset`): the
+    /// pointer-taintedness detector checks the taint bits of `base`'s word.
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Whether sub-word results are sign-extended.
+        signed: bool,
+        /// Destination register.
+        rt: Reg,
+        /// Base address register — the pointer being dereferenced.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i16,
+    },
+    /// Memory store: `s{b,h,w} rt, offset(base)`. Also a pointer dereference.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Source register.
+        rt: Reg,
+        /// Base address register — the pointer being dereferenced.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i16,
+    },
+    /// Conditional branch comparing two registers.
+    ///
+    /// Branches are compare instructions in the sense of Table 1: their
+    /// operands are untainted (input-validation idiom).
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First operand.
+        rs: Reg,
+        /// Second operand.
+        rt: Reg,
+        /// Signed offset in *instructions* relative to the next instruction.
+        offset: i16,
+    },
+    /// Conditional branch comparing one register against zero.
+    BranchZ {
+        /// Condition.
+        cond: BranchZCond,
+        /// Operand register.
+        rs: Reg,
+        /// Signed offset in instructions relative to the next instruction.
+        offset: i16,
+    },
+    /// Unconditional jump to an absolute word index within the current 256 MiB
+    /// region; `link` stores the return address in `$ra` (`jal`).
+    Jump {
+        /// Word index (byte address divided by four, low 26 bits).
+        target: u32,
+        /// Whether to write the return address to `$ra`.
+        link: bool,
+    },
+    /// `jr rs` — register-indirect jump. This is *the* control transfer the
+    /// paper's jump taintedness detector guards (function returns use
+    /// `jr $31`).
+    JumpReg {
+        /// Register holding the target address.
+        rs: Reg,
+    },
+    /// `jalr rd, rs` — register-indirect call, return address into `rd`.
+    JumpAndLinkReg {
+        /// Register receiving the return address.
+        rd: Reg,
+        /// Register holding the target address.
+        rs: Reg,
+    },
+    /// Trap into the virtual operating system (`v0` holds the syscall number).
+    Syscall,
+    /// Software breakpoint / abort with a code.
+    Break {
+        /// Break code (20 bits).
+        code: u32,
+    },
+}
+
+/// An undecodable instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The raw instruction word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_SPECIAL: u32 = 0x00;
+const OP_REGIMM: u32 = 0x01;
+const OP_J: u32 = 0x02;
+const OP_JAL: u32 = 0x03;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_BLEZ: u32 = 0x06;
+const OP_BGTZ: u32 = 0x07;
+const OP_LUI: u32 = 0x0f;
+const OP_LB: u32 = 0x20;
+const OP_LH: u32 = 0x21;
+const OP_LW: u32 = 0x23;
+const OP_LBU: u32 = 0x24;
+const OP_LHU: u32 = 0x25;
+const OP_SB: u32 = 0x28;
+const OP_SH: u32 = 0x29;
+const OP_SW: u32 = 0x2b;
+
+fn r_type(funct: u32, rs: Reg, rt: Reg, rd: Reg, shamt: u32) -> u32 {
+    (u32::from(rs.number()) << 21)
+        | (u32::from(rt.number()) << 16)
+        | (u32::from(rd.number()) << 11)
+        | ((shamt & 0x1f) << 6)
+        | (funct & 0x3f)
+}
+
+fn i_type(opcode: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (opcode << 26)
+        | (u32::from(rs.number()) << 21)
+        | (u32::from(rt.number()) << 16)
+        | u32::from(imm)
+}
+
+impl Instr {
+    /// A canonical no-op (`sll $0,$0,0`).
+    pub const NOP: Instr = Instr::Shift {
+        op: ShiftOp::Sll,
+        rd: Reg::ZERO,
+        rt: Reg::ZERO,
+        shamt: 0,
+    };
+
+    /// Encodes the instruction into its 32-bit binary form.
+    #[must_use]
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Instr::Shift { op, rd, rt, shamt } => {
+                r_type(op.funct_imm(), Reg::ZERO, rt, rd, u32::from(shamt))
+            }
+            Instr::ShiftV { op, rd, rt, rs } => r_type(op.funct_var(), rs, rt, rd, 0),
+            Instr::RAlu { op, rd, rs, rt } => r_type(op.funct(), rs, rt, rd, 0),
+            Instr::MulDiv { op, rs, rt } => r_type(op.funct(), rs, rt, Reg::ZERO, 0),
+            Instr::MoveFromHi { rd } => r_type(0x10, Reg::ZERO, Reg::ZERO, rd, 0),
+            Instr::MoveToHi { rs } => r_type(0x11, rs, Reg::ZERO, Reg::ZERO, 0),
+            Instr::MoveFromLo { rd } => r_type(0x12, Reg::ZERO, Reg::ZERO, rd, 0),
+            Instr::MoveToLo { rs } => r_type(0x13, rs, Reg::ZERO, Reg::ZERO, 0),
+            Instr::JumpReg { rs } => r_type(0x08, rs, Reg::ZERO, Reg::ZERO, 0),
+            Instr::JumpAndLinkReg { rd, rs } => r_type(0x09, rs, Reg::ZERO, rd, 0),
+            Instr::Syscall => 0x0c,
+            Instr::Break { code } => ((code & 0xf_ffff) << 6) | 0x0d,
+            Instr::IAlu { op, rt, rs, imm } => i_type(op.opcode(), rs, rt, imm as u16),
+            Instr::Lui { rt, imm } => i_type(OP_LUI, Reg::ZERO, rt, imm),
+            Instr::Load {
+                width,
+                signed,
+                rt,
+                base,
+                offset,
+            } => {
+                let opcode = match (width, signed) {
+                    (MemWidth::Byte, true) => OP_LB,
+                    (MemWidth::Byte, false) => OP_LBU,
+                    (MemWidth::Half, true) => OP_LH,
+                    (MemWidth::Half, false) => OP_LHU,
+                    (MemWidth::Word, _) => OP_LW,
+                };
+                i_type(opcode, base, rt, offset as u16)
+            }
+            Instr::Store {
+                width,
+                rt,
+                base,
+                offset,
+            } => {
+                let opcode = match width {
+                    MemWidth::Byte => OP_SB,
+                    MemWidth::Half => OP_SH,
+                    MemWidth::Word => OP_SW,
+                };
+                i_type(opcode, base, rt, offset as u16)
+            }
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                offset,
+            } => {
+                let opcode = match cond {
+                    BranchCond::Eq => OP_BEQ,
+                    BranchCond::Ne => OP_BNE,
+                };
+                i_type(opcode, rs, rt, offset as u16)
+            }
+            Instr::BranchZ { cond, rs, offset } => match cond {
+                BranchZCond::Lez => i_type(OP_BLEZ, rs, Reg::ZERO, offset as u16),
+                BranchZCond::Gtz => i_type(OP_BGTZ, rs, Reg::ZERO, offset as u16),
+                BranchZCond::Ltz => i_type(OP_REGIMM, rs, Reg::new(0), offset as u16),
+                BranchZCond::Gez => i_type(OP_REGIMM, rs, Reg::new(1), offset as u16),
+            },
+            Instr::Jump { target, link } => {
+                let opcode = if link { OP_JAL } else { OP_J };
+                (opcode << 26) | (target & 0x03ff_ffff)
+            }
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the word does not correspond to any
+    /// instruction of this ISA.
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let opcode = word >> 26;
+        let rs = Reg::from_field(word >> 21);
+        let rt = Reg::from_field(word >> 16);
+        let rd = Reg::from_field(word >> 11);
+        let shamt = ((word >> 6) & 0x1f) as u8;
+        let imm = (word & 0xffff) as u16 as i16;
+        let err = DecodeError { word };
+
+        let insn = match opcode {
+            OP_SPECIAL => match word & 0x3f {
+                0x00 => Instr::Shift {
+                    op: ShiftOp::Sll,
+                    rd,
+                    rt,
+                    shamt,
+                },
+                0x02 => Instr::Shift {
+                    op: ShiftOp::Srl,
+                    rd,
+                    rt,
+                    shamt,
+                },
+                0x03 => Instr::Shift {
+                    op: ShiftOp::Sra,
+                    rd,
+                    rt,
+                    shamt,
+                },
+                0x04 => Instr::ShiftV {
+                    op: ShiftOp::Sll,
+                    rd,
+                    rt,
+                    rs,
+                },
+                0x06 => Instr::ShiftV {
+                    op: ShiftOp::Srl,
+                    rd,
+                    rt,
+                    rs,
+                },
+                0x07 => Instr::ShiftV {
+                    op: ShiftOp::Sra,
+                    rd,
+                    rt,
+                    rs,
+                },
+                0x08 => Instr::JumpReg { rs },
+                0x09 => Instr::JumpAndLinkReg { rd, rs },
+                0x0c => Instr::Syscall,
+                0x0d => Instr::Break {
+                    code: (word >> 6) & 0xf_ffff,
+                },
+                0x10 => Instr::MoveFromHi { rd },
+                0x11 => Instr::MoveToHi { rs },
+                0x12 => Instr::MoveFromLo { rd },
+                0x13 => Instr::MoveToLo { rs },
+                0x18 => Instr::MulDiv {
+                    op: MulDivOp::Mult,
+                    rs,
+                    rt,
+                },
+                0x19 => Instr::MulDiv {
+                    op: MulDivOp::Multu,
+                    rs,
+                    rt,
+                },
+                0x1a => Instr::MulDiv {
+                    op: MulDivOp::Div,
+                    rs,
+                    rt,
+                },
+                0x1b => Instr::MulDiv {
+                    op: MulDivOp::Divu,
+                    rs,
+                    rt,
+                },
+                0x20 => Instr::RAlu {
+                    op: RAluOp::Add,
+                    rd,
+                    rs,
+                    rt,
+                },
+                0x21 => Instr::RAlu {
+                    op: RAluOp::Addu,
+                    rd,
+                    rs,
+                    rt,
+                },
+                0x22 => Instr::RAlu {
+                    op: RAluOp::Sub,
+                    rd,
+                    rs,
+                    rt,
+                },
+                0x23 => Instr::RAlu {
+                    op: RAluOp::Subu,
+                    rd,
+                    rs,
+                    rt,
+                },
+                0x24 => Instr::RAlu {
+                    op: RAluOp::And,
+                    rd,
+                    rs,
+                    rt,
+                },
+                0x25 => Instr::RAlu {
+                    op: RAluOp::Or,
+                    rd,
+                    rs,
+                    rt,
+                },
+                0x26 => Instr::RAlu {
+                    op: RAluOp::Xor,
+                    rd,
+                    rs,
+                    rt,
+                },
+                0x27 => Instr::RAlu {
+                    op: RAluOp::Nor,
+                    rd,
+                    rs,
+                    rt,
+                },
+                0x2a => Instr::RAlu {
+                    op: RAluOp::Slt,
+                    rd,
+                    rs,
+                    rt,
+                },
+                0x2b => Instr::RAlu {
+                    op: RAluOp::Sltu,
+                    rd,
+                    rs,
+                    rt,
+                },
+                _ => return Err(err),
+            },
+            OP_REGIMM => match rt.number() {
+                0 => Instr::BranchZ {
+                    cond: BranchZCond::Ltz,
+                    rs,
+                    offset: imm,
+                },
+                1 => Instr::BranchZ {
+                    cond: BranchZCond::Gez,
+                    rs,
+                    offset: imm,
+                },
+                _ => return Err(err),
+            },
+            OP_J => Instr::Jump {
+                target: word & 0x03ff_ffff,
+                link: false,
+            },
+            OP_JAL => Instr::Jump {
+                target: word & 0x03ff_ffff,
+                link: true,
+            },
+            OP_BEQ => Instr::Branch {
+                cond: BranchCond::Eq,
+                rs,
+                rt,
+                offset: imm,
+            },
+            OP_BNE => Instr::Branch {
+                cond: BranchCond::Ne,
+                rs,
+                rt,
+                offset: imm,
+            },
+            OP_BLEZ => Instr::BranchZ {
+                cond: BranchZCond::Lez,
+                rs,
+                offset: imm,
+            },
+            OP_BGTZ => Instr::BranchZ {
+                cond: BranchZCond::Gtz,
+                rs,
+                offset: imm,
+            },
+            0x08..=0x0e => {
+                let op = match opcode {
+                    0x08 => IAluOp::Addi,
+                    0x09 => IAluOp::Addiu,
+                    0x0a => IAluOp::Slti,
+                    0x0b => IAluOp::Sltiu,
+                    0x0c => IAluOp::Andi,
+                    0x0d => IAluOp::Ori,
+                    _ => IAluOp::Xori,
+                };
+                Instr::IAlu { op, rt, rs, imm }
+            }
+            OP_LUI => Instr::Lui {
+                rt,
+                imm: imm as u16,
+            },
+            OP_LB => Instr::Load {
+                width: MemWidth::Byte,
+                signed: true,
+                rt,
+                base: rs,
+                offset: imm,
+            },
+            OP_LH => Instr::Load {
+                width: MemWidth::Half,
+                signed: true,
+                rt,
+                base: rs,
+                offset: imm,
+            },
+            OP_LW => Instr::Load {
+                width: MemWidth::Word,
+                signed: true,
+                rt,
+                base: rs,
+                offset: imm,
+            },
+            OP_LBU => Instr::Load {
+                width: MemWidth::Byte,
+                signed: false,
+                rt,
+                base: rs,
+                offset: imm,
+            },
+            OP_LHU => Instr::Load {
+                width: MemWidth::Half,
+                signed: false,
+                rt,
+                base: rs,
+                offset: imm,
+            },
+            OP_SB => Instr::Store {
+                width: MemWidth::Byte,
+                rt,
+                base: rs,
+                offset: imm,
+            },
+            OP_SH => Instr::Store {
+                width: MemWidth::Half,
+                rt,
+                base: rs,
+                offset: imm,
+            },
+            OP_SW => Instr::Store {
+                width: MemWidth::Word,
+                rt,
+                base: rs,
+                offset: imm,
+            },
+            _ => return Err(err),
+        };
+        Ok(insn)
+    }
+
+    /// Whether this instruction dereferences a pointer held in a register
+    /// (loads and stores) — the accesses guarded by the paper's load/store
+    /// taintedness detector placed after the EX/MEM stage.
+    #[must_use]
+    pub const fn dereferences_pointer(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// Whether this instruction transfers control through a register value —
+    /// the transfers guarded by the jump taintedness detector placed after
+    /// the ID/EX stage.
+    #[must_use]
+    pub const fn is_register_jump(&self) -> bool {
+        matches!(self, Instr::JumpReg { .. } | Instr::JumpAndLinkReg { .. })
+    }
+
+    /// Whether this instruction may redirect control flow at all.
+    #[must_use]
+    pub const fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::BranchZ { .. }
+                | Instr::Jump { .. }
+                | Instr::JumpReg { .. }
+                | Instr::JumpAndLinkReg { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Shift { op, rd, rt, shamt } => {
+                write!(f, "{} {rd},{rt},{shamt}", op.mnemonic())
+            }
+            Instr::ShiftV { op, rd, rt, rs } => write!(f, "{}v {rd},{rt},{rs}", op.mnemonic()),
+            Instr::RAlu { op, rd, rs, rt } => write!(f, "{} {rd},{rs},{rt}", op.mnemonic()),
+            Instr::MulDiv { op, rs, rt } => write!(f, "{} {rs},{rt}", op.mnemonic()),
+            Instr::MoveFromHi { rd } => write!(f, "mfhi {rd}"),
+            Instr::MoveFromLo { rd } => write!(f, "mflo {rd}"),
+            Instr::MoveToHi { rs } => write!(f, "mthi {rs}"),
+            Instr::MoveToLo { rs } => write!(f, "mtlo {rs}"),
+            Instr::IAlu { op, rt, rs, imm } => {
+                if op.zero_extends() {
+                    write!(f, "{} {rt},{rs},{:#x}", op.mnemonic(), imm as u16)
+                } else {
+                    write!(f, "{} {rt},{rs},{imm}", op.mnemonic())
+                }
+            }
+            Instr::Lui { rt, imm } => write!(f, "lui {rt},{imm:#x}"),
+            Instr::Load {
+                width,
+                signed,
+                rt,
+                base,
+                offset,
+            } => {
+                let mnem = match (width, signed) {
+                    (MemWidth::Byte, true) => "lb",
+                    (MemWidth::Byte, false) => "lbu",
+                    (MemWidth::Half, true) => "lh",
+                    (MemWidth::Half, false) => "lhu",
+                    (MemWidth::Word, _) => "lw",
+                };
+                write!(f, "{mnem} {rt},{offset}({base})")
+            }
+            Instr::Store {
+                width,
+                rt,
+                base,
+                offset,
+            } => {
+                let mnem = match width {
+                    MemWidth::Byte => "sb",
+                    MemWidth::Half => "sh",
+                    MemWidth::Word => "sw",
+                };
+                write!(f, "{mnem} {rt},{offset}({base})")
+            }
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                offset,
+            } => {
+                let mnem = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                };
+                write!(f, "{mnem} {rs},{rt},{offset}")
+            }
+            Instr::BranchZ { cond, rs, offset } => {
+                write!(f, "{} {rs},{offset}", cond.mnemonic())
+            }
+            Instr::Jump { target, link } => {
+                let mnem = if link { "jal" } else { "j" };
+                write!(f, "{mnem} {:#x}", target << 2)
+            }
+            Instr::JumpReg { rs } => write!(f, "jr {rs}"),
+            Instr::JumpAndLinkReg { rd, rs } => write!(f, "jalr {rd},{rs}"),
+            Instr::Syscall => write!(f, "syscall"),
+            Instr::Break { code } => write!(f, "break {code:#x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(insn: Instr) {
+        let word = insn.encode();
+        let back = Instr::decode(word).unwrap_or_else(|e| panic!("{insn} failed to decode: {e}"));
+        assert_eq!(back, insn, "round-trip mismatch for {insn} ({word:#010x})");
+    }
+
+    #[test]
+    fn ralu_roundtrip_all_ops() {
+        for op in RAluOp::ALL {
+            roundtrip(Instr::RAlu {
+                op,
+                rd: Reg::new(1),
+                rs: Reg::new(2),
+                rt: Reg::new(3),
+            });
+        }
+    }
+
+    #[test]
+    fn shift_roundtrip_all_ops_and_amounts() {
+        for op in ShiftOp::ALL {
+            for shamt in 0..32u8 {
+                roundtrip(Instr::Shift {
+                    op,
+                    rd: Reg::T0,
+                    rt: Reg::T1,
+                    shamt,
+                });
+            }
+            roundtrip(Instr::ShiftV {
+                op,
+                rd: Reg::T0,
+                rt: Reg::T1,
+                rs: Reg::T2,
+            });
+        }
+    }
+
+    #[test]
+    fn ialu_roundtrip_extreme_immediates() {
+        for op in IAluOp::ALL {
+            for imm in [i16::MIN, -1, 0, 1, i16::MAX] {
+                roundtrip(Instr::IAlu {
+                    op,
+                    rt: Reg::V0,
+                    rs: Reg::A0,
+                    imm,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn memory_roundtrip_all_widths() {
+        for (width, signed) in [
+            (MemWidth::Byte, true),
+            (MemWidth::Byte, false),
+            (MemWidth::Half, true),
+            (MemWidth::Half, false),
+            (MemWidth::Word, true),
+        ] {
+            roundtrip(Instr::Load {
+                width,
+                signed,
+                rt: Reg::new(21),
+                base: Reg::new(3),
+                offset: -8,
+            });
+        }
+        for width in [MemWidth::Byte, MemWidth::Half, MemWidth::Word] {
+            roundtrip(Instr::Store {
+                width,
+                rt: Reg::new(21),
+                base: Reg::new(3),
+                offset: 0,
+            });
+        }
+    }
+
+    #[test]
+    fn control_flow_roundtrip() {
+        roundtrip(Instr::Branch {
+            cond: BranchCond::Eq,
+            rs: Reg::A0,
+            rt: Reg::A1,
+            offset: -5,
+        });
+        roundtrip(Instr::Branch {
+            cond: BranchCond::Ne,
+            rs: Reg::A0,
+            rt: Reg::ZERO,
+            offset: 100,
+        });
+        for cond in [
+            BranchZCond::Lez,
+            BranchZCond::Gtz,
+            BranchZCond::Ltz,
+            BranchZCond::Gez,
+        ] {
+            roundtrip(Instr::BranchZ {
+                cond,
+                rs: Reg::S0,
+                offset: 7,
+            });
+        }
+        roundtrip(Instr::Jump {
+            target: 0x10_0048,
+            link: false,
+        });
+        roundtrip(Instr::Jump {
+            target: 0x03ff_ffff,
+            link: true,
+        });
+        roundtrip(Instr::JumpReg { rs: Reg::RA });
+        roundtrip(Instr::JumpAndLinkReg {
+            rd: Reg::RA,
+            rs: Reg::T9,
+        });
+    }
+
+    #[test]
+    fn misc_roundtrip() {
+        roundtrip(Instr::Syscall);
+        roundtrip(Instr::Break { code: 0 });
+        roundtrip(Instr::Break { code: 0xf_ffff });
+        roundtrip(Instr::Lui {
+            rt: Reg::AT,
+            imm: 0x1002,
+        });
+        roundtrip(Instr::MoveFromHi { rd: Reg::V0 });
+        roundtrip(Instr::MoveFromLo { rd: Reg::V0 });
+        roundtrip(Instr::MoveToHi { rs: Reg::V0 });
+        roundtrip(Instr::MoveToLo { rs: Reg::V0 });
+        for op in MulDivOp::ALL {
+            roundtrip(Instr::MulDiv {
+                op,
+                rs: Reg::A0,
+                rt: Reg::A1,
+            });
+        }
+    }
+
+    #[test]
+    fn nop_encodes_to_zero() {
+        assert_eq!(Instr::NOP.encode(), 0);
+        assert_eq!(Instr::decode(0).unwrap(), Instr::NOP);
+    }
+
+    #[test]
+    fn decode_rejects_illegal_words() {
+        // SPECIAL with an unassigned funct.
+        assert!(Instr::decode(0x3f).is_err());
+        // Unassigned primary opcode 0x3f.
+        assert!(Instr::decode(0xfc00_0000).is_err());
+        // REGIMM with an unassigned rt selector.
+        assert!(Instr::decode(0x0413_0000).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_trace_style() {
+        let sw = Instr::Store {
+            width: MemWidth::Word,
+            rt: Reg::new(21),
+            base: Reg::new(3),
+            offset: 0,
+        };
+        assert_eq!(sw.to_string(), "sw $21,0($3)");
+        let lw = Instr::Load {
+            width: MemWidth::Word,
+            signed: true,
+            rt: Reg::new(3),
+            base: Reg::new(3),
+            offset: 0,
+        };
+        assert_eq!(lw.to_string(), "lw $3,0($3)");
+        assert_eq!(Instr::JumpReg { rs: Reg::RA }.to_string(), "jr $31");
+    }
+
+    #[test]
+    fn pointer_dereference_classification() {
+        assert!(Instr::Load {
+            width: MemWidth::Byte,
+            signed: false,
+            rt: Reg::T0,
+            base: Reg::T1,
+            offset: 0
+        }
+        .dereferences_pointer());
+        assert!(Instr::Store {
+            width: MemWidth::Word,
+            rt: Reg::T0,
+            base: Reg::T1,
+            offset: 0
+        }
+        .dereferences_pointer());
+        assert!(!Instr::Syscall.dereferences_pointer());
+        assert!(Instr::JumpReg { rs: Reg::RA }.is_register_jump());
+        assert!(!Instr::Jump {
+            target: 0,
+            link: false
+        }
+        .is_register_jump());
+        assert!(Instr::Jump {
+            target: 0,
+            link: false
+        }
+        .is_control_flow());
+    }
+
+    #[test]
+    fn compare_classification_matches_table_1() {
+        assert!(RAluOp::Slt.is_compare());
+        assert!(RAluOp::Sltu.is_compare());
+        assert!(!RAluOp::Add.is_compare());
+        assert!(IAluOp::Slti.is_compare());
+        assert!(IAluOp::Sltiu.is_compare());
+        assert!(!IAluOp::Ori.is_compare());
+        assert!(IAluOp::Andi.zero_extends());
+        assert!(!IAluOp::Addiu.zero_extends());
+    }
+}

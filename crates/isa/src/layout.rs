@@ -1,0 +1,50 @@
+//! The virtual address-space layout used by the loader, OS, and guest runtime.
+//!
+//! The layout matches the classic MIPS/SimpleScalar convention the paper's
+//! traces reflect: the WU-FTPD attack of Table 2 targets `0x1002bc20` (static
+//! data segment, here based at [`DATA_BASE`]) and the GHTTPD attack pushes a
+//! URL string at `0x7fff3e94` (stack, here topped at [`STACK_TOP`]).
+
+/// Bytes per machine word.
+pub const WORD_BYTES: u32 = 4;
+
+/// Page granularity of the sparse memory in `ptaint-mem`.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Base virtual address of the text (code) segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+
+/// Base virtual address of the static data segment.
+///
+/// Matches the `0x10xx_xxxx` data addresses in the paper's attack transcripts.
+pub const DATA_BASE: u32 = 0x1000_0000;
+
+/// Default lowest heap address when a program has no static data; the actual
+/// program break starts immediately after the loaded data segment, rounded up
+/// to a page.
+pub const HEAP_BASE_DEFAULT: u32 = 0x1000_8000;
+
+/// Initial stack pointer. The stack grows down from just below this address;
+/// command-line arguments and environment strings are materialized above the
+/// initial frame, below [`ARG_BASE`].
+pub const STACK_TOP: u32 = 0x7fff_c000;
+
+/// Top of the argv/envp block placed by the loader (grows down from here).
+pub const ARG_BASE: u32 = 0x7fff_f000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the point is documenting layout invariants
+    fn segments_are_page_aligned_and_ordered() {
+        for base in [TEXT_BASE, DATA_BASE, HEAP_BASE_DEFAULT, STACK_TOP, ARG_BASE] {
+            assert_eq!(base % PAGE_SIZE, 0, "segment base {base:#x} unaligned");
+        }
+        assert!(TEXT_BASE < DATA_BASE);
+        assert!(DATA_BASE < HEAP_BASE_DEFAULT);
+        assert!(HEAP_BASE_DEFAULT < STACK_TOP);
+        assert!(STACK_TOP < ARG_BASE);
+    }
+}

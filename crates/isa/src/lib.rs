@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # ptaint-isa — the instruction set architecture of the taintedness testbed
+//!
+//! This crate defines a 32-bit, little-endian, MIPS-like RISC instruction set
+//! in the spirit of the SimpleScalar PISA architecture used by the DSN 2005
+//! paper *"Defeating Memory Corruption Attacks via Pointer Taintedness
+//! Detection"*. Every other crate in the workspace builds on these
+//! definitions: the assembler emits [`Instr`] encodings, the compiler lowers
+//! mini-C to them, and the CPU crate executes them while tracking per-byte
+//! taintedness.
+//!
+//! The ISA deliberately mirrors classic MIPS I:
+//!
+//! * 32 general-purpose registers ([`Reg`]) plus `HI`/`LO`,
+//! * R/I/J instruction formats with the standard MIPS opcode map,
+//! * register-indirect control transfer only through `jr`/`jalr` — exactly
+//!   the instructions the paper's jump-pointer taintedness detector guards,
+//! * loads and stores as the only memory accesses — the instructions guarded
+//!   by the load/store pointer taintedness detector.
+//!
+//! Unlike historical MIPS, there are **no branch delay slots** (SimpleScalar's
+//! PISA made the same simplification), and unaligned word/halfword accesses
+//! raise faults.
+//!
+//! ```
+//! use ptaint_isa::{Instr, Reg, IAluOp};
+//!
+//! let insn = Instr::IAlu { op: IAluOp::Addiu, rt: Reg::T0, rs: Reg::SP, imm: -16 };
+//! let word = insn.encode();
+//! assert_eq!(Instr::decode(word)?, insn);
+//! assert_eq!(insn.to_string(), "addiu $8,$29,-16");
+//! # Ok::<(), ptaint_isa::DecodeError>(())
+//! ```
+
+mod insn;
+mod layout;
+mod reg;
+
+pub use insn::{
+    BranchCond, BranchZCond, DecodeError, IAluOp, Instr, MemWidth, MulDivOp, RAluOp, ShiftOp,
+};
+pub use layout::{
+    ARG_BASE, DATA_BASE, HEAP_BASE_DEFAULT, PAGE_SIZE, STACK_TOP, TEXT_BASE, WORD_BYTES,
+};
+pub use reg::Reg;

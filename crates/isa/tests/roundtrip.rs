@@ -1,0 +1,44 @@
+//! Property tests: every decodable word re-encodes to itself, and every
+//! constructible instruction survives an encode/decode round trip.
+
+use proptest::prelude::*;
+use ptaint_isa::{Instr, Reg};
+
+proptest! {
+    /// decode(word) == Ok(i)  =>  encode(i) == canonical form that decodes back to i.
+    #[test]
+    fn decode_then_encode_is_stable(word in any::<u32>()) {
+        if let Ok(insn) = Instr::decode(word) {
+            let reencoded = insn.encode();
+            let redecoded = Instr::decode(reencoded).expect("re-encoded word must decode");
+            prop_assert_eq!(redecoded, insn);
+        }
+    }
+
+    /// Arbitrary R-ALU instruction round trips exactly.
+    #[test]
+    fn ralu_roundtrip(rd in 0u8..32, rs in 0u8..32, rt in 0u8..32, op_idx in 0usize..10) {
+        let op = ptaint_isa::RAluOp::ALL[op_idx];
+        let insn = Instr::RAlu { op, rd: Reg::new(rd), rs: Reg::new(rs), rt: Reg::new(rt) };
+        prop_assert_eq!(Instr::decode(insn.encode()).unwrap(), insn);
+    }
+
+    /// Arbitrary loads round trip exactly, including negative offsets.
+    #[test]
+    fn load_roundtrip(rt in 0u8..32, base in 0u8..32, offset in any::<i16>(),
+                      width_idx in 0usize..3, signed in any::<bool>()) {
+        let width = [ptaint_isa::MemWidth::Byte, ptaint_isa::MemWidth::Half, ptaint_isa::MemWidth::Word][width_idx];
+        // Word loads are canonically signed.
+        let signed = if matches!(width, ptaint_isa::MemWidth::Word) { true } else { signed };
+        let insn = Instr::Load { width, signed, rt: Reg::new(rt), base: Reg::new(base), offset };
+        prop_assert_eq!(Instr::decode(insn.encode()).unwrap(), insn);
+    }
+
+    /// Display output is always parseable back by register syntax (smoke).
+    #[test]
+    fn display_never_panics(word in any::<u32>()) {
+        if let Ok(insn) = Instr::decode(word) {
+            let _ = insn.to_string();
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # ptaint-mem — the taint-extended memory system
+//!
+//! The DSN 2005 paper extends the memory hierarchy with **one taintedness bit
+//! per byte**: physical memory, L1/L2 caches, and the register file all carry
+//! the extra bit, and the bit travels together with its data byte on every
+//! load, store, and cache fill (paper §4.1).
+//!
+//! This crate implements that memory model:
+//!
+//! * [`WordTaint`] — the four taintedness bits of a 32-bit word, one per
+//!   byte; the detector's OR-gate over them is [`WordTaint::any`];
+//! * [`TaintedMemory`] — a sparse, page-granular memory in which every byte
+//!   has a shadow taint bit;
+//! * [`Cache`] / [`MemorySystem`] — a write-through L1/L2 cache model whose
+//!   lines store taint bits next to the data bytes, so taint demonstrably
+//!   flows through every level of the hierarchy;
+//! * [`MemFault`] — alignment and null-page faults.
+//!
+//! ```
+//! use ptaint_mem::{TaintedMemory, WordTaint};
+//!
+//! let mut mem = TaintedMemory::new();
+//! // The OS writes 4 attacker-controlled bytes: they arrive tainted.
+//! mem.write_bytes(0x1000_0000, b"abcd", true)?;
+//! let (word, taint) = mem.read_u32(0x1000_0000)?;
+//! assert_eq!(word, 0x6463_6261); // little-endian "abcd" — the paper's 0x64636261!
+//! assert_eq!(taint, WordTaint::ALL);
+//! assert!(taint.any());
+//! # Ok::<(), ptaint_mem::MemFault>(())
+//! ```
+
+mod cache;
+mod memory;
+mod system;
+mod taint;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use memory::{MemFault, MemFaultKind, TaintedMemory};
+pub use system::{HierarchyConfig, MemorySystem};
+pub use taint::WordTaint;

@@ -1,0 +1,448 @@
+//! Sparse paged memory with a shadow taintedness bit per byte.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ptaint_isa::PAGE_SIZE;
+
+use crate::WordTaint;
+
+const PAGE_BYTES: usize = PAGE_SIZE as usize;
+const TAINT_WORDS: usize = PAGE_BYTES / 64;
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// What went wrong.
+    pub kind: MemFaultKind,
+    /// The offending virtual address.
+    pub addr: u32,
+}
+
+/// The kind of a [`MemFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFaultKind {
+    /// A word or halfword access to an address that is not a multiple of the
+    /// access width.
+    Unaligned,
+    /// An access inside the guard page at address zero. Dereferencing wild
+    /// pointers (e.g. NULL) crashes realistically instead of silently reading
+    /// zeroes.
+    NullDeref,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            MemFaultKind::Unaligned => write!(f, "unaligned memory access at {:#010x}", self.addr),
+            MemFaultKind::NullDeref => {
+                write!(f, "null-page dereference at {:#010x}", self.addr)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// One 4 KiB page: data bytes plus a taint bit per byte.
+struct Page {
+    data: Box<[u8; PAGE_BYTES]>,
+    taint: Box<[u64; TAINT_WORDS]>,
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            data: Box::new([0; PAGE_BYTES]),
+            taint: Box::new([0; TAINT_WORDS]),
+        }
+    }
+
+    fn taint_bit(&self, off: usize) -> bool {
+        self.taint[off / 64] & (1 << (off % 64)) != 0
+    }
+
+    fn set_taint_bit(&mut self, off: usize, tainted: bool) {
+        let (word, bit) = (off / 64, 1u64 << (off % 64));
+        if tainted {
+            self.taint[word] |= bit;
+        } else {
+            self.taint[word] &= !bit;
+        }
+    }
+
+    fn tainted_bytes(&self) -> u64 {
+        self.taint.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+}
+
+/// A sparse, little-endian, byte-addressable memory in which **every byte has
+/// a taintedness bit**, implementing the extended memory model of paper §4.1.
+///
+/// Pages are allocated on first touch. Word and halfword accesses must be
+/// naturally aligned; accesses to the zero page fault (see
+/// [`MemFaultKind::NullDeref`]).
+///
+/// ```
+/// use ptaint_mem::{TaintedMemory, WordTaint};
+///
+/// let mut mem = TaintedMemory::new();
+/// mem.write_u32(0x1000_0000, 0xdead_beef, WordTaint::from_bits(0b0010))?;
+/// let (v, t) = mem.read_u32(0x1000_0000)?;
+/// assert_eq!(v, 0xdead_beef);
+/// assert!(t.byte(1) && !t.byte(0));
+/// # Ok::<(), ptaint_mem::MemFault>(())
+/// ```
+#[derive(Default)]
+pub struct TaintedMemory {
+    pages: HashMap<u32, Page>,
+    null_guard: bool,
+}
+
+impl fmt::Debug for TaintedMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaintedMemory")
+            .field("pages", &self.pages.len())
+            .field("null_guard", &self.null_guard)
+            .finish()
+    }
+}
+
+impl TaintedMemory {
+    /// Creates an empty memory with the null-page guard enabled.
+    #[must_use]
+    pub fn new() -> TaintedMemory {
+        TaintedMemory {
+            pages: HashMap::new(),
+            null_guard: true,
+        }
+    }
+
+    /// Creates an empty memory without the null-page guard (every address,
+    /// including page zero, is readable/writable). Useful for raw unit tests.
+    #[must_use]
+    pub fn without_null_guard() -> TaintedMemory {
+        TaintedMemory {
+            pages: HashMap::new(),
+            null_guard: false,
+        }
+    }
+
+    fn check(&self, addr: u32, align: u32) -> Result<(), MemFault> {
+        if self.null_guard && addr < PAGE_SIZE {
+            return Err(MemFault {
+                kind: MemFaultKind::NullDeref,
+                addr,
+            });
+        }
+        if align > 1 && !addr.is_multiple_of(align) {
+            return Err(MemFault {
+                kind: MemFaultKind::Unaligned,
+                addr,
+            });
+        }
+        Ok(())
+    }
+
+    fn page(&mut self, addr: u32) -> &mut Page {
+        self.pages.entry(addr / PAGE_SIZE).or_insert_with(Page::new)
+    }
+
+    /// Reads one byte and its taint bit.
+    ///
+    /// # Errors
+    ///
+    /// Faults on a null-page access.
+    pub fn read_u8(&self, addr: u32) -> Result<(u8, bool), MemFault> {
+        self.check(addr, 1)?;
+        let off = (addr % PAGE_SIZE) as usize;
+        Ok(match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(p) => (p.data[off], p.taint_bit(off)),
+            None => (0, false),
+        })
+    }
+
+    /// Writes one byte and its taint bit.
+    ///
+    /// # Errors
+    ///
+    /// Faults on a null-page access.
+    pub fn write_u8(&mut self, addr: u32, value: u8, tainted: bool) -> Result<(), MemFault> {
+        self.check(addr, 1)?;
+        let off = (addr % PAGE_SIZE) as usize;
+        let page = self.page(addr);
+        page.data[off] = value;
+        page.set_taint_bit(off, tainted);
+        Ok(())
+    }
+
+    /// Reads a little-endian halfword; taint bits land in the low half of the
+    /// returned [`WordTaint`].
+    ///
+    /// # Errors
+    ///
+    /// Faults when `addr` is not 2-aligned or inside the null page.
+    pub fn read_u16(&self, addr: u32) -> Result<(u16, WordTaint), MemFault> {
+        self.check(addr, 2)?;
+        let (b0, t0) = self.read_u8(addr)?;
+        let (b1, t1) = self.read_u8(addr + 1)?;
+        let taint = WordTaint::CLEAN.with_byte(0, t0).with_byte(1, t1);
+        Ok((u16::from_le_bytes([b0, b1]), taint))
+    }
+
+    /// Writes a little-endian halfword with the low two taint bits of `taint`.
+    ///
+    /// # Errors
+    ///
+    /// Faults when `addr` is not 2-aligned or inside the null page.
+    pub fn write_u16(&mut self, addr: u32, value: u16, taint: WordTaint) -> Result<(), MemFault> {
+        self.check(addr, 2)?;
+        let [b0, b1] = value.to_le_bytes();
+        self.write_u8(addr, b0, taint.byte(0))?;
+        self.write_u8(addr + 1, b1, taint.byte(1))
+    }
+
+    /// Reads a little-endian word together with its four taint bits.
+    ///
+    /// # Errors
+    ///
+    /// Faults when `addr` is not 4-aligned or inside the null page.
+    pub fn read_u32(&self, addr: u32) -> Result<(u32, WordTaint), MemFault> {
+        self.check(addr, 4)?;
+        let mut bytes = [0u8; 4];
+        let mut taint = WordTaint::CLEAN;
+        for (i, b) in bytes.iter_mut().enumerate() {
+            let (v, t) = self.read_u8(addr + i as u32)?;
+            *b = v;
+            taint = taint.with_byte(i, t);
+        }
+        Ok((u32::from_le_bytes(bytes), taint))
+    }
+
+    /// Writes a little-endian word together with its four taint bits.
+    ///
+    /// # Errors
+    ///
+    /// Faults when `addr` is not 4-aligned or inside the null page.
+    pub fn write_u32(&mut self, addr: u32, value: u32, taint: WordTaint) -> Result<(), MemFault> {
+        self.check(addr, 4)?;
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr + i as u32, b, taint.byte(i))?;
+        }
+        Ok(())
+    }
+
+    /// Copies `data` into memory, marking every written byte with `tainted`.
+    ///
+    /// This is the primitive the virtual OS uses when returning data from
+    /// `SYS_READ`/`SYS_RECV` into a user buffer: data from an external source
+    /// arrives with `tainted == true` (paper §4.4).
+    ///
+    /// # Errors
+    ///
+    /// Faults when the range touches the null page.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8], tainted: bool) -> Result<(), MemFault> {
+        for (i, &b) in data.iter().enumerate() {
+            self.write_u8(addr + i as u32, b, tainted)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes (data only).
+    ///
+    /// # Errors
+    ///
+    /// Faults when the range touches the null page.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, MemFault> {
+        (0..len)
+            .map(|i| self.read_u8(addr + i).map(|(b, _)| b))
+            .collect()
+    }
+
+    /// Reads `len` taint bits starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the range touches the null page.
+    pub fn read_taint(&self, addr: u32, len: u32) -> Result<Vec<bool>, MemFault> {
+        (0..len)
+            .map(|i| self.read_u8(addr + i).map(|(_, t)| t))
+            .collect()
+    }
+
+    /// Reads a NUL-terminated byte string of at most `max` bytes (terminator
+    /// excluded).
+    ///
+    /// # Errors
+    ///
+    /// Faults when the scan touches the null page.
+    pub fn read_cstr(&self, addr: u32, max: u32) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let (b, _) = self.read_u8(addr + i)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    /// Marks every byte in `[addr, addr + len)` with `tainted` without
+    /// touching the data.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the range touches the null page.
+    pub fn set_taint_range(&mut self, addr: u32, len: u32, tainted: bool) -> Result<(), MemFault> {
+        for i in 0..len {
+            let a = addr + i;
+            self.check(a, 1)?;
+            let off = (a % PAGE_SIZE) as usize;
+            self.page(a).set_taint_bit(off, tainted);
+        }
+        Ok(())
+    }
+
+    /// Number of pages currently materialized.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total number of tainted bytes across all pages — the quantity behind
+    /// the paper's space-overhead discussion (§5.4).
+    #[must_use]
+    pub fn tainted_byte_count(&self) -> u64 {
+        self.pages.values().map(Page::tainted_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized_and_untainted() {
+        let mem = TaintedMemory::new();
+        assert_eq!(mem.read_u8(0x1000).unwrap(), (0, false));
+        assert_eq!(
+            mem.read_u32(0x0040_0000).unwrap(),
+            (0, WordTaint::CLEAN)
+        );
+        assert_eq!(mem.page_count(), 0);
+        assert_eq!(mem.tainted_byte_count(), 0);
+    }
+
+    #[test]
+    fn byte_write_read_with_taint() {
+        let mut mem = TaintedMemory::new();
+        mem.write_u8(0x2000, 0xab, true).unwrap();
+        assert_eq!(mem.read_u8(0x2000).unwrap(), (0xab, true));
+        mem.write_u8(0x2000, 0xcd, false).unwrap();
+        assert_eq!(mem.read_u8(0x2000).unwrap(), (0xcd, false));
+        assert_eq!(mem.page_count(), 1);
+    }
+
+    #[test]
+    fn word_is_little_endian() {
+        let mut mem = TaintedMemory::new();
+        mem.write_bytes(0x3000, &[0x61, 0x62, 0x63, 0x64], true).unwrap();
+        let (v, t) = mem.read_u32(0x3000).unwrap();
+        assert_eq!(v, 0x6463_6261);
+        assert_eq!(t, WordTaint::ALL);
+    }
+
+    #[test]
+    fn per_byte_taint_granularity_in_words() {
+        let mut mem = TaintedMemory::new();
+        mem.write_u32(0x3000, 0x1122_3344, WordTaint::from_bits(0b0110)).unwrap();
+        let (_, t) = mem.read_u32(0x3000).unwrap();
+        assert_eq!(t.bits(), 0b0110);
+        // Individual bytes see their own bit.
+        assert!(!mem.read_u8(0x3000).unwrap().1);
+        assert!(mem.read_u8(0x3001).unwrap().1);
+        assert!(mem.read_u8(0x3002).unwrap().1);
+        assert!(!mem.read_u8(0x3003).unwrap().1);
+        assert_eq!(mem.tainted_byte_count(), 2);
+    }
+
+    #[test]
+    fn halfword_roundtrip() {
+        let mut mem = TaintedMemory::new();
+        mem.write_u16(0x4000, 0xbeef, WordTaint::from_bits(0b01)).unwrap();
+        let (v, t) = mem.read_u16(0x4000).unwrap();
+        assert_eq!(v, 0xbeef);
+        assert!(t.byte(0) && !t.byte(1));
+    }
+
+    #[test]
+    fn unaligned_accesses_fault() {
+        let mut mem = TaintedMemory::new();
+        assert_eq!(
+            mem.read_u32(0x1001).unwrap_err().kind,
+            MemFaultKind::Unaligned
+        );
+        assert_eq!(
+            mem.read_u16(0x1001).unwrap_err().kind,
+            MemFaultKind::Unaligned
+        );
+        assert_eq!(
+            mem.write_u32(0x1002, 0, WordTaint::CLEAN).unwrap_err().kind,
+            MemFaultKind::Unaligned
+        );
+        // Byte accesses never require alignment.
+        mem.write_u8(0x1001, 1, false).unwrap();
+    }
+
+    #[test]
+    fn null_page_guard() {
+        let mut mem = TaintedMemory::new();
+        assert_eq!(mem.read_u8(0).unwrap_err().kind, MemFaultKind::NullDeref);
+        assert_eq!(mem.read_u8(4095).unwrap_err().kind, MemFaultKind::NullDeref);
+        assert_eq!(
+            mem.write_u32(0, 1, WordTaint::CLEAN).unwrap_err().kind,
+            MemFaultKind::NullDeref
+        );
+        mem.read_u8(4096).unwrap();
+
+        let mut raw = TaintedMemory::without_null_guard();
+        raw.write_u8(0, 7, true).unwrap();
+        assert_eq!(raw.read_u8(0).unwrap(), (7, true));
+    }
+
+    #[test]
+    fn cross_page_bulk_copy() {
+        let mut mem = TaintedMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        let base = 2 * PAGE_SIZE - 128; // straddles a page boundary
+        mem.write_bytes(base, &data, true).unwrap();
+        assert_eq!(mem.read_bytes(base, 256).unwrap(), data);
+        assert!(mem.read_taint(base, 256).unwrap().iter().all(|&t| t));
+        assert_eq!(mem.page_count(), 2);
+        assert_eq!(mem.tainted_byte_count(), 256);
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut mem = TaintedMemory::new();
+        mem.write_bytes(0x5000, b"hello\0world", false).unwrap();
+        assert_eq!(mem.read_cstr(0x5000, 64).unwrap(), b"hello");
+        // max cap respected when no terminator appears
+        assert_eq!(mem.read_cstr(0x5000, 3).unwrap(), b"hel");
+    }
+
+    #[test]
+    fn set_taint_range_preserves_data() {
+        let mut mem = TaintedMemory::new();
+        mem.write_bytes(0x6000, b"abcd", true).unwrap();
+        mem.set_taint_range(0x6000, 4, false).unwrap();
+        assert_eq!(mem.read_bytes(0x6000, 4).unwrap(), b"abcd");
+        assert!(mem.read_taint(0x6000, 4).unwrap().iter().all(|&t| !t));
+        mem.set_taint_range(0x6001, 2, true).unwrap();
+        assert_eq!(
+            mem.read_taint(0x6000, 4).unwrap(),
+            vec![false, true, true, false]
+        );
+    }
+}

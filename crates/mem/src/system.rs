@@ -1,0 +1,385 @@
+//! The assembled memory hierarchy: main memory behind optional L1/L2 caches.
+
+use std::fmt;
+
+use crate::{Cache, CacheConfig, CacheStats, MemFault, TaintedMemory, WordTaint};
+
+/// Which cache levels to model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 geometry, or `None` for no L1.
+    pub l1: Option<CacheConfig>,
+    /// L2 geometry, or `None` for no L2.
+    pub l2: Option<CacheConfig>,
+}
+
+impl HierarchyConfig {
+    /// No caches: every access goes straight to memory.
+    #[must_use]
+    pub const fn flat() -> HierarchyConfig {
+        HierarchyConfig { l1: None, l2: None }
+    }
+
+    /// Default two-level hierarchy (16 KiB L1, 256 KiB L2).
+    #[must_use]
+    pub const fn two_level() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: Some(CacheConfig::l1_default()),
+            l2: Some(CacheConfig::l2_default()),
+        }
+    }
+}
+
+/// The full taint-extended memory system of paper §4.1: sparse main memory
+/// with a taint bit per byte, optionally fronted by L1/L2 caches whose lines
+/// also carry taint bits.
+///
+/// The caches are **write-through** (memory is always authoritative) with
+/// allocation on read misses only, so the data path stays exact while the
+/// model still demonstrates taintedness resident at every level and yields
+/// hit/miss statistics.
+///
+/// ```
+/// use ptaint_mem::{HierarchyConfig, MemorySystem, WordTaint};
+///
+/// let mut sys = MemorySystem::new(HierarchyConfig::two_level());
+/// sys.write_u32(0x1000_0000, 0x6463_6261, WordTaint::ALL)?;
+/// let (v, t) = sys.read_u32(0x1000_0000)?; // fills L2 then L1
+/// assert_eq!((v, t), (0x6463_6261, WordTaint::ALL));
+/// let again = sys.read_u32(0x1000_0000)?; // L1 hit, taint served from the line
+/// assert_eq!(again.1, WordTaint::ALL);
+/// assert!(sys.l1_stats().unwrap().hits > 0);
+/// # Ok::<(), ptaint_mem::MemFault>(())
+/// ```
+pub struct MemorySystem {
+    mem: TaintedMemory,
+    l1: Option<Cache>,
+    l2: Option<Cache>,
+}
+
+impl fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("mem", &self.mem)
+            .field("l1", &self.l1)
+            .field("l2", &self.l2)
+            .finish()
+    }
+}
+
+impl Default for MemorySystem {
+    fn default() -> MemorySystem {
+        MemorySystem::new(HierarchyConfig::flat())
+    }
+}
+
+impl MemorySystem {
+    /// Creates a memory system with the requested cache levels.
+    #[must_use]
+    pub fn new(cfg: HierarchyConfig) -> MemorySystem {
+        MemorySystem {
+            mem: TaintedMemory::new(),
+            l1: cfg.l1.map(Cache::new),
+            l2: cfg.l2.map(Cache::new),
+        }
+    }
+
+    /// A system with no caches.
+    #[must_use]
+    pub fn flat() -> MemorySystem {
+        MemorySystem::new(HierarchyConfig::flat())
+    }
+
+    /// Read-only view of main memory.
+    #[must_use]
+    pub fn memory(&self) -> &TaintedMemory {
+        &self.mem
+    }
+
+    /// L1 statistics, if an L1 is configured.
+    #[must_use]
+    pub fn l1_stats(&self) -> Option<CacheStats> {
+        self.l1.as_ref().map(Cache::stats)
+    }
+
+    /// L2 statistics, if an L2 is configured.
+    #[must_use]
+    pub fn l2_stats(&self) -> Option<CacheStats> {
+        self.l2.as_ref().map(Cache::stats)
+    }
+
+    /// Resident tainted-line counts `(l1, l2)`.
+    #[must_use]
+    pub fn tainted_lines(&self) -> (usize, usize) {
+        (
+            self.l1.as_ref().map_or(0, Cache::tainted_line_count),
+            self.l2.as_ref().map_or(0, Cache::tainted_line_count),
+        )
+    }
+
+    fn fill_from_memory(mem: &TaintedMemory, cache: &mut Cache, addr: u32) -> Result<(), MemFault> {
+        let base = cache.line_base(addr);
+        let len = cache.config().line_bytes;
+        // Guard-page lines are never cached; the byte access below will fault.
+        let mut data = Vec::with_capacity(len as usize);
+        let mut taint = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let (b, t) = mem.read_u8(base + i)?;
+            data.push(b);
+            taint.push(t);
+        }
+        cache.fill_line(base, &data, &taint);
+        Ok(())
+    }
+
+    /// Reads one byte and its taint bit through the cache hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemFault`]s from main memory (null-page accesses).
+    pub fn read_u8(&mut self, addr: u32) -> Result<(u8, bool), MemFault> {
+        // Validate the access against memory first so faulting addresses are
+        // never cached.
+        let authoritative = self.mem.read_u8(addr)?;
+        if let Some(l1) = &mut self.l1 {
+            if let Some(hit) = l1.probe_read(addr) {
+                return Ok(hit);
+            }
+            if let Some(l2) = &mut self.l2 {
+                if l2.probe_read(addr).is_none() {
+                    Self::fill_from_memory(&self.mem, l2, addr)?;
+                }
+            }
+            Self::fill_from_memory(&self.mem, l1, addr)?;
+            return Ok(authoritative);
+        }
+        if let Some(l2) = &mut self.l2 {
+            if let Some(hit) = l2.probe_read(addr) {
+                return Ok(hit);
+            }
+            Self::fill_from_memory(&self.mem, l2, addr)?;
+        }
+        Ok(authoritative)
+    }
+
+    /// Writes one byte and its taint bit (write-through).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemFault`]s from main memory.
+    pub fn write_u8(&mut self, addr: u32, value: u8, tainted: bool) -> Result<(), MemFault> {
+        self.mem.write_u8(addr, value, tainted)?;
+        if let Some(l1) = &mut self.l1 {
+            l1.update_write(addr, value, tainted);
+        }
+        if let Some(l2) = &mut self.l2 {
+            l2.update_write(addr, value, tainted);
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian halfword and its taint (low two bits).
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment or null-page access.
+    pub fn read_u16(&mut self, addr: u32) -> Result<(u16, WordTaint), MemFault> {
+        // Alignment is checked by main memory.
+        let _ = self.mem.read_u16(addr)?;
+        let (b0, t0) = self.read_u8(addr)?;
+        let (b1, t1) = self.read_u8(addr + 1)?;
+        Ok((
+            u16::from_le_bytes([b0, b1]),
+            WordTaint::CLEAN.with_byte(0, t0).with_byte(1, t1),
+        ))
+    }
+
+    /// Writes a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment or null-page access.
+    pub fn write_u16(&mut self, addr: u32, value: u16, taint: WordTaint) -> Result<(), MemFault> {
+        self.mem.write_u16(addr, value, taint)?;
+        let [b0, b1] = value.to_le_bytes();
+        self.write_u8(addr, b0, taint.byte(0))?;
+        self.write_u8(addr + 1, b1, taint.byte(1))
+    }
+
+    /// Reads a little-endian word and its four taint bits.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment or null-page access.
+    pub fn read_u32(&mut self, addr: u32) -> Result<(u32, WordTaint), MemFault> {
+        let _ = self.mem.read_u32(addr)?;
+        let mut bytes = [0u8; 4];
+        let mut taint = WordTaint::CLEAN;
+        for (i, b) in bytes.iter_mut().enumerate() {
+            let (v, t) = self.read_u8(addr + i as u32)?;
+            *b = v;
+            taint = taint.with_byte(i, t);
+        }
+        Ok((u32::from_le_bytes(bytes), taint))
+    }
+
+    /// Writes a little-endian word and its four taint bits.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment or null-page access.
+    pub fn write_u32(&mut self, addr: u32, value: u32, taint: WordTaint) -> Result<(), MemFault> {
+        self.mem.write_u32(addr, value, taint)?;
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr + i as u32, b, taint.byte(i))?;
+        }
+        Ok(())
+    }
+
+    /// Fetches an instruction word, bypassing the data caches so fetch
+    /// traffic does not pollute D-cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// Faults on misalignment or null-page access.
+    pub fn fetch_u32(&self, addr: u32) -> Result<u32, MemFault> {
+        self.mem.read_u32(addr).map(|(v, _)| v)
+    }
+
+    /// Bulk copy into memory with uniform taint; keeps caches coherent.
+    ///
+    /// This is the OS's kernel→user copy primitive (paper §4.4): buffers
+    /// returned by `SYS_READ`/`SYS_RECV` are written with `tainted == true`.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the range touches the null page.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8], tainted: bool) -> Result<(), MemFault> {
+        for (i, &b) in data.iter().enumerate() {
+            self.write_u8(addr + i as u32, b, tainted)?;
+        }
+        Ok(())
+    }
+
+    /// Bulk read of data bytes.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the range touches the null page.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, MemFault> {
+        self.mem.read_bytes(addr, len)
+    }
+
+    /// Bulk read of taint bits.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the range touches the null page.
+    pub fn read_taint(&self, addr: u32, len: u32) -> Result<Vec<bool>, MemFault> {
+        self.mem.read_taint(addr, len)
+    }
+
+    /// Reads a NUL-terminated string of at most `max` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the scan touches the null page.
+    pub fn read_cstr(&self, addr: u32, max: u32) -> Result<Vec<u8>, MemFault> {
+        self.mem.read_cstr(addr, max)
+    }
+
+    /// Re-marks a taint range, keeping caches coherent.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the range touches the null page.
+    pub fn set_taint_range(&mut self, addr: u32, len: u32, tainted: bool) -> Result<(), MemFault> {
+        for i in 0..len {
+            let (b, _) = self.mem.read_u8(addr + i)?;
+            self.write_u8(addr + i, b, tainted)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_system_behaves_like_memory() {
+        let mut sys = MemorySystem::flat();
+        sys.write_u32(0x1000, 0x0102_0304, WordTaint::from_bits(0b1010)).unwrap();
+        assert_eq!(
+            sys.read_u32(0x1000).unwrap(),
+            (0x0102_0304, WordTaint::from_bits(0b1010))
+        );
+        assert!(sys.l1_stats().is_none());
+        assert!(sys.l2_stats().is_none());
+    }
+
+    #[test]
+    fn taint_travels_through_both_cache_levels() {
+        let mut sys = MemorySystem::new(HierarchyConfig::two_level());
+        sys.write_bytes(0x2000, b"evil", true).unwrap();
+        // First read misses both levels and fills them.
+        let (v, t) = sys.read_u32(0x2000).unwrap();
+        assert_eq!(v, u32::from_le_bytes(*b"evil"));
+        assert_eq!(t, WordTaint::ALL);
+        let (l1_tainted, l2_tainted) = sys.tainted_lines();
+        assert_eq!((l1_tainted, l2_tainted), (1, 1), "tainted line resident at each level");
+        // Second read is an L1 hit and still reports full taint.
+        let before = sys.l1_stats().unwrap().hits;
+        let (_, t2) = sys.read_u32(0x2000).unwrap();
+        assert_eq!(t2, WordTaint::ALL);
+        assert!(sys.l1_stats().unwrap().hits > before);
+    }
+
+    #[test]
+    fn write_through_keeps_cached_taint_coherent() {
+        let mut sys = MemorySystem::new(HierarchyConfig::two_level());
+        sys.write_u32(0x3000, 7, WordTaint::CLEAN).unwrap();
+        let _ = sys.read_u32(0x3000).unwrap(); // cache the line
+        // Now overwrite with tainted data; the cached line must update.
+        sys.write_u32(0x3000, 8, WordTaint::ALL).unwrap();
+        let (v, t) = sys.read_u32(0x3000).unwrap();
+        assert_eq!((v, t), (8, WordTaint::ALL));
+        // And untainting is visible too.
+        sys.set_taint_range(0x3000, 4, false).unwrap();
+        let (v, t) = sys.read_u32(0x3000).unwrap();
+        assert_eq!((v, t), (8, WordTaint::CLEAN));
+    }
+
+    #[test]
+    fn l1_only_hierarchy_works() {
+        let mut sys = MemorySystem::new(HierarchyConfig {
+            l1: Some(CacheConfig::l1_default()),
+            l2: None,
+        });
+        sys.write_u8(0x4000, 0x55, true).unwrap();
+        assert_eq!(sys.read_u8(0x4000).unwrap(), (0x55, true));
+        assert_eq!(sys.read_u8(0x4000).unwrap(), (0x55, true));
+        let stats = sys.l1_stats().unwrap();
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn faulting_addresses_are_never_cached() {
+        let mut sys = MemorySystem::new(HierarchyConfig::two_level());
+        assert!(sys.read_u8(0).is_err());
+        assert!(sys.read_u32(0x5001).is_err()); // unaligned
+        assert_eq!(sys.tainted_lines(), (0, 0));
+    }
+
+    #[test]
+    fn fetch_bypasses_caches() {
+        let mut sys = MemorySystem::new(HierarchyConfig::two_level());
+        sys.write_u32(0x0040_0000, 0x1234_5678, WordTaint::CLEAN).unwrap();
+        // write_u32 routes through write-through (no allocation), so stats
+        // must show no read traffic from fetches.
+        let l1_before = sys.l1_stats().unwrap();
+        assert_eq!(sys.fetch_u32(0x0040_0000).unwrap(), 0x1234_5678);
+        assert_eq!(sys.l1_stats().unwrap(), l1_before);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the taint-extended memory system.
+
+use proptest::prelude::*;
+use ptaint_mem::{HierarchyConfig, MemorySystem, TaintedMemory, WordTaint};
+
+proptest! {
+    /// Data and taint written byte-by-byte are read back exactly (flat memory).
+    #[test]
+    fn byte_roundtrip(addr in 0x1000u32..0x8000_0000, val in any::<u8>(), t in any::<bool>()) {
+        let mut mem = TaintedMemory::new();
+        mem.write_u8(addr, val, t).unwrap();
+        prop_assert_eq!(mem.read_u8(addr).unwrap(), (val, t));
+    }
+
+    /// Word round trips preserve per-byte taint (flat memory).
+    #[test]
+    fn word_roundtrip(addr_w in 0x400u32..0x1fff_ffff, val in any::<u32>(), bits in 0u8..16) {
+        let addr = addr_w * 4;
+        let taint = WordTaint::from_bits(bits);
+        let mut mem = TaintedMemory::new();
+        mem.write_u32(addr, val, taint).unwrap();
+        prop_assert_eq!(mem.read_u32(addr).unwrap(), (val, taint));
+    }
+
+    /// The cached hierarchy always agrees with flat memory on reads,
+    /// including taint, under arbitrary interleaved traffic.
+    #[test]
+    fn hierarchy_is_coherent(ops in proptest::collection::vec(
+        (0u32..64, any::<u8>(), any::<bool>(), any::<bool>()), 1..200))
+    {
+        let mut flat = MemorySystem::flat();
+        let mut cached = MemorySystem::new(HierarchyConfig::two_level());
+        let base = 0x1000_0000u32;
+        for (slot, val, tainted, is_write) in ops {
+            let addr = base + slot;
+            if is_write {
+                flat.write_u8(addr, val, tainted).unwrap();
+                cached.write_u8(addr, val, tainted).unwrap();
+            } else {
+                prop_assert_eq!(flat.read_u8(addr).unwrap(), cached.read_u8(addr).unwrap());
+            }
+        }
+        for slot in 0..64u32 {
+            prop_assert_eq!(
+                flat.read_u8(base + slot).unwrap(),
+                cached.read_u8(base + slot).unwrap()
+            );
+        }
+    }
+
+    /// Bulk writes taint exactly the written range.
+    #[test]
+    fn bulk_taint_is_exact(len in 1u32..128, pad in 1u32..16) {
+        let mut mem = TaintedMemory::new();
+        let base = 0x2000_0000;
+        let data = vec![0xabu8; len as usize];
+        mem.write_bytes(base + pad, &data, true).unwrap();
+        prop_assert!(!mem.read_u8(base + pad - 1).unwrap().1);
+        prop_assert!(mem.read_taint(base + pad, len).unwrap().iter().all(|&t| t));
+        prop_assert!(!mem.read_u8(base + pad + len).unwrap().1);
+        prop_assert_eq!(mem.tainted_byte_count(), u64::from(len));
+    }
+}

@@ -1,0 +1,624 @@
+//! The syscall layer — where taint enters the system.
+
+use std::collections::{HashMap, VecDeque};
+
+use ptaint_cpu::Cpu;
+use ptaint_isa::Reg;
+use ptaint_mem::WordTaint;
+
+use crate::WorldConfig;
+
+/// System call numbers (passed in `$v0`; arguments in `$a0..$a2`; result in
+/// `$v0`, with `-1` for errors).
+///
+/// `Read` and `Recv` are the two calls the paper singles out (§4.4): every
+/// byte they deliver to a user buffer is marked tainted, because it comes
+/// from an external, attacker-controllable source. `Read` covers local I/O
+/// (stdin and files), `Recv` network I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Sys {
+    /// `exit(status)` — terminate the process.
+    Exit = 1,
+    /// `read(fd, buf, len) -> n` — **taints** the delivered bytes.
+    Read = 3,
+    /// `write(fd, buf, len) -> n`.
+    Write = 4,
+    /// `open(path, flags) -> fd` (flags: 0 read, 1 write/create).
+    Open = 5,
+    /// `close(fd)`.
+    Close = 6,
+    /// `brk(addr) -> break` — `addr == 0` queries the current break.
+    Brk = 9,
+    /// `getpid() -> pid`.
+    GetPid = 20,
+    /// `getuid() -> uid`.
+    GetUid = 24,
+    /// `socket() -> fd` — a listening TCP-style socket.
+    Socket = 42,
+    /// `bind(fd, port) -> 0`.
+    Bind = 43,
+    /// `listen(fd) -> 0`.
+    Listen = 44,
+    /// `accept(fd) -> connfd` — next scripted client session, `-1` when the
+    /// script is exhausted.
+    Accept = 45,
+    /// `recv(fd, buf, len) -> n` — **taints** the delivered bytes; one
+    /// scripted message per call, `0` at end of session.
+    Recv = 46,
+    /// `send(fd, buf, len) -> n` — appends to the session transcript.
+    Send = 47,
+}
+
+impl Sys {
+    /// Decodes a syscall number.
+    #[must_use]
+    pub fn from_number(n: u32) -> Option<Sys> {
+        Some(match n {
+            1 => Sys::Exit,
+            3 => Sys::Read,
+            4 => Sys::Write,
+            5 => Sys::Open,
+            6 => Sys::Close,
+            9 => Sys::Brk,
+            20 => Sys::GetPid,
+            24 => Sys::GetUid,
+            42 => Sys::Socket,
+            43 => Sys::Bind,
+            44 => Sys::Listen,
+            45 => Sys::Accept,
+            46 => Sys::Recv,
+            47 => Sys::Send,
+            _ => return None,
+        })
+    }
+
+    /// The syscall number.
+    #[must_use]
+    pub const fn number(self) -> u32 {
+        self as u32
+    }
+}
+
+#[derive(Debug)]
+enum Desc {
+    StdIn,
+    StdOut,
+    StdErr,
+    File { path: String, pos: usize, write: bool },
+    ListenSocket,
+    Connection { session: usize },
+}
+
+/// The runtime kernel: descriptor table, console, file system, scripted
+/// network, program break.
+///
+/// Drive it from the CPU loop: on `StepEvent::SyscallTrap` (from
+/// `ptaint-cpu`), call [`Os::handle_syscall`].
+#[derive(Debug)]
+pub struct Os {
+    stdin: VecDeque<u8>,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    files: HashMap<String, Vec<u8>>,
+    descriptors: HashMap<i32, Desc>,
+    next_fd: i32,
+    sessions: Vec<SessionState>,
+    next_session: usize,
+    brk: u32,
+    uid: u32,
+    exit_status: Option<i32>,
+    /// Bytes tainted by the kernel on behalf of the process (for §5.4's
+    /// software-overhead accounting: one extra instruction per tainted byte).
+    pub tainted_input_bytes: u64,
+}
+
+#[derive(Debug)]
+struct SessionState {
+    incoming: VecDeque<Vec<u8>>,
+    sent: Vec<u8>,
+}
+
+impl Os {
+    /// Builds the kernel from a world description. The initial program break
+    /// must be set by the loader via [`Os::set_brk`].
+    #[must_use]
+    pub fn new(world: WorldConfig) -> Os {
+        let mut descriptors = HashMap::new();
+        descriptors.insert(0, Desc::StdIn);
+        descriptors.insert(1, Desc::StdOut);
+        descriptors.insert(2, Desc::StdErr);
+        Os {
+            stdin: world.stdin.into(),
+            stdout: Vec::new(),
+            stderr: Vec::new(),
+            files: world.files,
+            descriptors,
+            next_fd: 3,
+            sessions: world
+                .sessions
+                .into_iter()
+                .map(|s| SessionState {
+                    incoming: s.messages.into(),
+                    sent: Vec::new(),
+                })
+                .collect(),
+            next_session: 0,
+            brk: 0,
+            uid: world.uid,
+            exit_status: None,
+            tainted_input_bytes: 0,
+        }
+    }
+
+    /// Sets the initial program break (end of loaded data, page aligned).
+    pub fn set_brk(&mut self, brk: u32) {
+        self.brk = brk;
+    }
+
+    /// The exit status once the process called `exit`.
+    #[must_use]
+    pub fn exit_status(&self) -> Option<i32> {
+        self.exit_status
+    }
+
+    /// Everything written to stdout so far.
+    #[must_use]
+    pub fn stdout(&self) -> &[u8] {
+        &self.stdout
+    }
+
+    /// Everything written to stderr so far.
+    #[must_use]
+    pub fn stderr(&self) -> &[u8] {
+        &self.stderr
+    }
+
+    /// Bytes the guest sent on each network session.
+    #[must_use]
+    pub fn session_transcripts(&self) -> Vec<&[u8]> {
+        self.sessions.iter().map(|s| s.sent.as_slice()).collect()
+    }
+
+    /// Contents of a file (including files the guest wrote).
+    #[must_use]
+    pub fn file(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(Vec::as_slice)
+    }
+
+    /// Services the syscall the CPU just trapped on: reads the number from
+    /// `$v0` and arguments from `$a0..$a2`, performs the call, and writes the
+    /// result to `$v0` (untainted — kernel return values are trusted; only
+    /// *delivered input bytes* are tainted).
+    ///
+    /// Unknown syscall numbers and bad descriptors return `-1` to the guest
+    /// rather than stopping the simulation, like a real kernel.
+    pub fn handle_syscall(&mut self, cpu: &mut Cpu) {
+        let number = cpu.regs().value(Reg::V0);
+        let a0 = cpu.regs().value(Reg::A0);
+        let a1 = cpu.regs().value(Reg::A1);
+        let a2 = cpu.regs().value(Reg::A2);
+
+        let result: i32 = match Sys::from_number(number) {
+            None => -1,
+            Some(Sys::Exit) => {
+                self.exit_status = Some(a0 as i32);
+                0
+            }
+            Some(Sys::Read) => self.sys_read(cpu, a0 as i32, a1, a2),
+            Some(Sys::Write) => self.sys_write(cpu, a0 as i32, a1, a2),
+            Some(Sys::Open) => self.sys_open(cpu, a0, a1),
+            Some(Sys::Close) => -i32::from(self.descriptors.remove(&(a0 as i32)).is_none()),
+            Some(Sys::Brk) => {
+                if a0 != 0 {
+                    self.brk = a0;
+                }
+                self.brk as i32
+            }
+            Some(Sys::GetPid) => 1,
+            Some(Sys::GetUid) => self.uid as i32,
+            Some(Sys::Socket) => {
+                let fd = self.next_fd;
+                self.next_fd += 1;
+                self.descriptors.insert(fd, Desc::ListenSocket);
+                fd
+            }
+            Some(Sys::Bind | Sys::Listen) => {
+                if matches!(self.descriptors.get(&(a0 as i32)), Some(Desc::ListenSocket)) {
+                    0
+                } else {
+                    -1
+                }
+            }
+            Some(Sys::Accept) => self.sys_accept(a0 as i32),
+            Some(Sys::Recv) => self.sys_recv(cpu, a0 as i32, a1, a2),
+            Some(Sys::Send) => self.sys_send(cpu, a0 as i32, a1, a2),
+        };
+
+        cpu.regs_mut()
+            .set(Reg::V0, result as u32, WordTaint::CLEAN);
+    }
+
+    /// Copies `data` into the guest buffer **marking every byte tainted** —
+    /// the kernel→user boundary of §4.4.
+    fn deliver_tainted(&mut self, cpu: &mut Cpu, buf: u32, data: &[u8]) -> i32 {
+        match cpu.mem_mut().write_bytes(buf, data, true) {
+            Ok(()) => {
+                self.tainted_input_bytes += data.len() as u64;
+                data.len() as i32
+            }
+            Err(_) => -1, // EFAULT
+        }
+    }
+
+    fn sys_read(&mut self, cpu: &mut Cpu, fd: i32, buf: u32, len: u32) -> i32 {
+        let len = len as usize;
+        match self.descriptors.get_mut(&fd) {
+            Some(Desc::StdIn) => {
+                let take = len.min(self.stdin.len());
+                let data: Vec<u8> = self.stdin.drain(..take).collect();
+                self.deliver_tainted(cpu, buf, &data)
+            }
+            Some(Desc::File { path, pos, write: false }) => {
+                let contents = match self.files.get(path.as_str()) {
+                    Some(c) => c,
+                    None => return -1,
+                };
+                let take = len.min(contents.len().saturating_sub(*pos));
+                let data = contents[*pos..*pos + take].to_vec();
+                *pos += take;
+                self.deliver_tainted(cpu, buf, &data)
+            }
+            Some(Desc::Connection { session }) => {
+                let session = *session;
+                self.recv_from_session(cpu, session, buf, len)
+            }
+            _ => -1,
+        }
+    }
+
+    fn sys_write(&mut self, cpu: &mut Cpu, fd: i32, buf: u32, len: u32) -> i32 {
+        let data = match cpu.mem().read_bytes(buf, len) {
+            Ok(d) => d,
+            Err(_) => return -1,
+        };
+        match self.descriptors.get_mut(&fd) {
+            Some(Desc::StdOut) => {
+                self.stdout.extend_from_slice(&data);
+                len as i32
+            }
+            Some(Desc::StdErr) => {
+                self.stderr.extend_from_slice(&data);
+                len as i32
+            }
+            Some(Desc::File { path, write: true, .. }) => {
+                self.files.entry(path.clone()).or_default().extend_from_slice(&data);
+                len as i32
+            }
+            Some(Desc::Connection { session }) => {
+                let session = *session;
+                self.sessions[session].sent.extend_from_slice(&data);
+                len as i32
+            }
+            _ => -1,
+        }
+    }
+
+    fn sys_open(&mut self, cpu: &mut Cpu, path_ptr: u32, flags: u32) -> i32 {
+        let path = match cpu.mem().read_cstr(path_ptr, 4096) {
+            Ok(p) => match String::from_utf8(p) {
+                Ok(s) => s,
+                Err(_) => return -1,
+            },
+            Err(_) => return -1,
+        };
+        let write = flags & 1 != 0;
+        if write {
+            self.files.insert(path.clone(), Vec::new());
+        } else if !self.files.contains_key(&path) {
+            return -1; // ENOENT
+        }
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.descriptors.insert(fd, Desc::File { path, pos: 0, write });
+        fd
+    }
+
+    fn sys_accept(&mut self, fd: i32) -> i32 {
+        if !matches!(self.descriptors.get(&fd), Some(Desc::ListenSocket)) {
+            return -1;
+        }
+        if self.next_session >= self.sessions.len() {
+            return -1; // no more scripted clients
+        }
+        let session = self.next_session;
+        self.next_session += 1;
+        let conn = self.next_fd;
+        self.next_fd += 1;
+        self.descriptors.insert(conn, Desc::Connection { session });
+        conn
+    }
+
+    fn recv_from_session(&mut self, cpu: &mut Cpu, session: usize, buf: u32, len: usize) -> i32 {
+        let Some(state) = self.sessions.get_mut(session) else {
+            return -1;
+        };
+        let Some(mut msg) = state.incoming.pop_front() else {
+            return 0; // orderly shutdown
+        };
+        if msg.len() > len {
+            // Deliver the prefix now; requeue the rest (stream semantics).
+            let rest = msg.split_off(len);
+            state.incoming.push_front(rest);
+        }
+        self.deliver_tainted(cpu, buf, &msg)
+    }
+
+    fn sys_recv(&mut self, cpu: &mut Cpu, fd: i32, buf: u32, len: u32) -> i32 {
+        match self.descriptors.get(&fd) {
+            Some(Desc::Connection { session }) => {
+                let session = *session;
+                self.recv_from_session(cpu, session, buf, len as usize)
+            }
+            _ => -1,
+        }
+    }
+
+    fn sys_send(&mut self, cpu: &mut Cpu, fd: i32, buf: u32, len: u32) -> i32 {
+        match self.descriptors.get(&fd) {
+            Some(Desc::Connection { .. }) => self.sys_write(cpu, fd, buf, len),
+            _ => -1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_cpu::DetectionPolicy;
+    use ptaint_mem::MemorySystem;
+
+    fn cpu() -> Cpu {
+        Cpu::new(MemorySystem::flat(), DetectionPolicy::PointerTaintedness)
+    }
+
+    fn call(os: &mut Os, cpu: &mut Cpu, sys: Sys, a0: u32, a1: u32, a2: u32) -> i32 {
+        cpu.regs_mut().set(Reg::V0, sys.number(), WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::A0, a0, WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::A1, a1, WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::A2, a2, WordTaint::CLEAN);
+        os.handle_syscall(cpu);
+        cpu.regs().value(Reg::V0) as i32
+    }
+
+    const BUF: u32 = 0x1000_0000;
+
+    #[test]
+    fn read_from_stdin_taints_buffer() {
+        let mut os = Os::new(WorldConfig::new().stdin(b"attack".to_vec()));
+        let mut cpu = cpu();
+        let n = call(&mut os, &mut cpu, Sys::Read, 0, BUF, 64);
+        assert_eq!(n, 6);
+        assert_eq!(cpu.mem().read_bytes(BUF, 6).unwrap(), b"attack");
+        assert!(cpu.mem().read_taint(BUF, 6).unwrap().iter().all(|&t| t));
+        assert_eq!(os.tainted_input_bytes, 6);
+        // Second read: empty -> 0
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, 0, BUF, 64), 0);
+    }
+
+    #[test]
+    fn file_reads_are_tainted_and_positional() {
+        let mut os = Os::new(WorldConfig::new().file("/data", b"0123456789".to_vec()));
+        let mut cpu = cpu();
+        // Path string in guest memory.
+        cpu.mem_mut().write_bytes(0x2000_0000, b"/data\0", false).unwrap();
+        let fd = call(&mut os, &mut cpu, Sys::Open, 0x2000_0000, 0, 0);
+        assert!(fd >= 3);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, fd as u32, BUF, 4), 4);
+        assert_eq!(cpu.mem().read_bytes(BUF, 4).unwrap(), b"0123");
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, fd as u32, BUF, 100), 6);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, fd as u32, BUF, 100), 0);
+        assert!(cpu.mem().read_taint(BUF, 4).unwrap().iter().all(|&t| t));
+        assert_eq!(call(&mut os, &mut cpu, Sys::Close, fd as u32, 0, 0), 0);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, fd as u32, BUF, 4), -1);
+    }
+
+    #[test]
+    fn open_missing_file_fails() {
+        let mut os = Os::new(WorldConfig::new());
+        let mut cpu = cpu();
+        cpu.mem_mut().write_bytes(0x2000_0000, b"/nope\0", false).unwrap();
+        assert_eq!(call(&mut os, &mut cpu, Sys::Open, 0x2000_0000, 0, 0), -1);
+    }
+
+    #[test]
+    fn file_writes_are_visible_to_host() {
+        let mut os = Os::new(WorldConfig::new());
+        let mut cpu = cpu();
+        cpu.mem_mut().write_bytes(0x2000_0000, b"/etc/passwd\0", false).unwrap();
+        cpu.mem_mut()
+            .write_bytes(BUF, b"alice:x:0:0::/home/root:/bin/bash\n", true)
+            .unwrap();
+        let fd = call(&mut os, &mut cpu, Sys::Open, 0x2000_0000, 1, 0);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Write, fd as u32, BUF, 34), 34);
+        assert_eq!(
+            os.file("/etc/passwd").unwrap(),
+            b"alice:x:0:0::/home/root:/bin/bash\n"
+        );
+    }
+
+    #[test]
+    fn console_output_is_captured() {
+        let mut os = Os::new(WorldConfig::new());
+        let mut cpu = cpu();
+        cpu.mem_mut().write_bytes(BUF, b"hello\n", false).unwrap();
+        assert_eq!(call(&mut os, &mut cpu, Sys::Write, 1, BUF, 6), 6);
+        cpu.mem_mut().write_bytes(BUF, b"oops\n", false).unwrap();
+        assert_eq!(call(&mut os, &mut cpu, Sys::Write, 2, BUF, 5), 5);
+        assert_eq!(os.stdout(), b"hello\n");
+        assert_eq!(os.stderr(), b"oops\n");
+    }
+
+    #[test]
+    fn socket_lifecycle_and_tainted_recv() {
+        let mut os = Os::new(
+            WorldConfig::new()
+                .session(NetSessionHelper::msgs(&[b"GET /", b"more"]))
+                .session(NetSessionHelper::msgs(&[b"second client"])),
+        );
+        let mut cpu = cpu();
+        let sock = call(&mut os, &mut cpu, Sys::Socket, 0, 0, 0);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Bind, sock as u32, 80, 0), 0);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Listen, sock as u32, 0, 0), 0);
+
+        let c1 = call(&mut os, &mut cpu, Sys::Accept, sock as u32, 0, 0);
+        assert!(c1 > sock);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c1 as u32, BUF, 64), 5);
+        assert_eq!(cpu.mem().read_bytes(BUF, 5).unwrap(), b"GET /");
+        assert!(cpu.mem().read_taint(BUF, 5).unwrap().iter().all(|&t| t));
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c1 as u32, BUF, 64), 4);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c1 as u32, BUF, 64), 0);
+
+        // Send collects into the transcript.
+        cpu.mem_mut().write_bytes(BUF, b"200 OK", false).unwrap();
+        assert_eq!(call(&mut os, &mut cpu, Sys::Send, c1 as u32, BUF, 6), 6);
+        assert_eq!(os.session_transcripts()[0], b"200 OK");
+
+        let c2 = call(&mut os, &mut cpu, Sys::Accept, sock as u32, 0, 0);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c2 as u32, BUF, 64), 13);
+        // Script exhausted.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Accept, sock as u32, 0, 0), -1);
+    }
+
+    #[test]
+    fn recv_respects_buffer_length_with_stream_semantics() {
+        let mut os = Os::new(WorldConfig::new().session(NetSessionHelper::msgs(&[b"abcdefgh"])));
+        let mut cpu = cpu();
+        let sock = call(&mut os, &mut cpu, Sys::Socket, 0, 0, 0);
+        let c = call(&mut os, &mut cpu, Sys::Accept, sock as u32, 0, 0);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c as u32, BUF, 3), 3);
+        assert_eq!(cpu.mem().read_bytes(BUF, 3).unwrap(), b"abc");
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c as u32, BUF, 64), 5);
+        assert_eq!(cpu.mem().read_bytes(BUF, 5).unwrap(), b"defgh");
+    }
+
+    #[test]
+    fn brk_queries_and_moves() {
+        let mut os = Os::new(WorldConfig::new());
+        os.set_brk(0x1000_8000);
+        let mut cpu = cpu();
+        assert_eq!(call(&mut os, &mut cpu, Sys::Brk, 0, 0, 0), 0x1000_8000);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Brk, 0x1000_9000, 0, 0), 0x1000_9000);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Brk, 0, 0, 0), 0x1000_9000);
+    }
+
+    #[test]
+    fn exit_records_status() {
+        let mut os = Os::new(WorldConfig::new());
+        let mut cpu = cpu();
+        assert_eq!(os.exit_status(), None);
+        call(&mut os, &mut cpu, Sys::Exit, 7, 0, 0);
+        assert_eq!(os.exit_status(), Some(7));
+    }
+
+    #[test]
+    fn misc_syscalls() {
+        let mut os = Os::new(WorldConfig::new().uid(42));
+        let mut cpu = cpu();
+        assert_eq!(call(&mut os, &mut cpu, Sys::GetUid, 0, 0, 0), 42);
+        assert_eq!(call(&mut os, &mut cpu, Sys::GetPid, 0, 0, 0), 1);
+        // Unknown syscall -> -1, simulation continues.
+        cpu.regs_mut().set(Reg::V0, 9999, WordTaint::CLEAN);
+        os.handle_syscall(&mut cpu);
+        assert_eq!(cpu.regs().value(Reg::V0) as i32, -1);
+    }
+
+    #[test]
+    fn syscall_numbers_roundtrip() {
+        for sys in [
+            Sys::Exit,
+            Sys::Read,
+            Sys::Write,
+            Sys::Open,
+            Sys::Close,
+            Sys::Brk,
+            Sys::GetPid,
+            Sys::GetUid,
+            Sys::Socket,
+            Sys::Bind,
+            Sys::Listen,
+            Sys::Accept,
+            Sys::Recv,
+            Sys::Send,
+        ] {
+            assert_eq!(Sys::from_number(sys.number()), Some(sys));
+        }
+        assert_eq!(Sys::from_number(0), None);
+    }
+
+    /// Test-local shim so tests read naturally.
+    struct NetSessionHelper;
+    impl NetSessionHelper {
+        fn msgs(msgs: &[&[u8]]) -> crate::NetSession {
+            crate::NetSession::new(msgs.iter().map(|m| m.to_vec()).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use ptaint_cpu::DetectionPolicy;
+    use ptaint_mem::MemorySystem;
+    use ptaint_isa::Reg;
+    use ptaint_mem::WordTaint;
+
+    fn call(os: &mut Os, cpu: &mut Cpu, sys: Sys, a0: u32, a1: u32, a2: u32) -> i32 {
+        cpu.regs_mut().set(Reg::V0, sys.number(), WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::A0, a0, WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::A1, a1, WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::A2, a2, WordTaint::CLEAN);
+        os.handle_syscall(cpu);
+        cpu.regs().value(Reg::V0) as i32
+    }
+
+    #[test]
+    fn io_on_wrong_descriptor_kinds_fails_cleanly() {
+        let mut os = Os::new(crate::WorldConfig::new());
+        let mut cpu = Cpu::new(MemorySystem::flat(), DetectionPolicy::PointerTaintedness);
+        cpu.mem_mut().write_bytes(0x1000_0000, b"x", false).unwrap();
+        // write to stdin, read from stdout: errors, not crashes.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Write, 0, 0x1000_0000, 1), -1);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, 1, 0x1000_0000, 1), -1);
+        // recv on a non-socket, accept on a file.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, 0, 0x1000_0000, 1), -1);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Accept, 0, 0, 0), -1);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Send, 2, 0x1000_0000, 1), -1);
+        // bind/listen on a non-socket.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Bind, 9, 80, 0), -1);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Listen, 9, 0, 0), -1);
+        // close of a bogus fd.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Close, 77, 0, 0), -1);
+    }
+
+    #[test]
+    fn faulting_user_buffers_return_efault() {
+        let mut os = Os::new(crate::WorldConfig::new().stdin(b"abc".to_vec()));
+        let mut cpu = Cpu::new(MemorySystem::flat(), DetectionPolicy::PointerTaintedness);
+        // Buffer inside the guard page: EFAULT, not a host panic.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, 0, 0x10, 3), -1);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Write, 1, 0x10, 3), -1);
+        // Path pointer inside the guard page.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Open, 0x10, 0, 0), -1);
+    }
+
+    #[test]
+    fn writes_to_read_only_files_fail() {
+        let mut os = Os::new(crate::WorldConfig::new().file("/ro", b"data".to_vec()));
+        let mut cpu = Cpu::new(MemorySystem::flat(), DetectionPolicy::PointerTaintedness);
+        cpu.mem_mut().write_bytes(0x1000_0000, b"/ro\0", false).unwrap();
+        let fd = call(&mut os, &mut cpu, Sys::Open, 0x1000_0000, 0, 0);
+        assert!(fd >= 3);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Write, fd as u32, 0x1000_0000, 2), -1);
+    }
+}

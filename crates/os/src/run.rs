@@ -1,0 +1,302 @@
+//! The execution driver.
+
+use std::fmt;
+
+use ptaint_cpu::{Cpu, CpuException, ExecStats, SecurityAlert, StepEvent};
+use ptaint_mem::MemFault;
+
+use crate::Os;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The process called `exit(status)` (or returned from `main`).
+    Exited(i32),
+    /// A pointer-taintedness detector fired; the OS terminated the process —
+    /// the paper's successful detection outcome.
+    Security(SecurityAlert),
+    /// The process crashed on a memory fault (typical fate of an undetected
+    /// attack on the unprotected baseline).
+    MemFault(MemFault),
+    /// The PC reached an undecodable word (e.g. control flow diverted into
+    /// attacker data on the unprotected baseline).
+    DecodeFault(u32),
+    /// The program hit a `break` instruction.
+    BreakTrap(u32),
+    /// The step budget ran out before the program finished.
+    StepLimit,
+}
+
+impl ExitReason {
+    /// Whether the run ended in a security detection.
+    #[must_use]
+    pub fn is_detected(&self) -> bool {
+        matches!(self, ExitReason::Security(_))
+    }
+
+    /// The alert, when the run was stopped by the detector.
+    #[must_use]
+    pub fn alert(&self) -> Option<&SecurityAlert> {
+        match self {
+            ExitReason::Security(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitReason::Exited(code) => write!(f, "exited with status {code}"),
+            ExitReason::Security(a) => write!(f, "SECURITY ALERT {a}"),
+            ExitReason::MemFault(e) => write!(f, "crashed: {e}"),
+            ExitReason::DecodeFault(pc) => write!(f, "crashed: illegal instruction at {pc:#010x}"),
+            ExitReason::BreakTrap(code) => write!(f, "break trap {code:#x}"),
+            ExitReason::StepLimit => write!(f, "step limit exhausted"),
+        }
+    }
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Why execution stopped.
+    pub reason: ExitReason,
+    /// CPU statistics.
+    pub stats: ExecStats,
+    /// Captured standard output.
+    pub stdout: Vec<u8>,
+    /// Captured standard error.
+    pub stderr: Vec<u8>,
+    /// Per-session bytes the guest sent to its network peers.
+    pub transcripts: Vec<Vec<u8>>,
+    /// Bytes the kernel delivered tainted (the §5.4 software-overhead
+    /// quantity).
+    pub tainted_input_bytes: u64,
+}
+
+impl RunOutcome {
+    /// Stdout as a lossy string, for assertions and reports.
+    #[must_use]
+    pub fn stdout_text(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+}
+
+/// Runs `cpu` under `os` until exit, crash, detection, or `max_steps`.
+///
+/// `syscall` traps are serviced by the kernel; a pending `exit` ends the run
+/// at the trap that requested it.
+pub fn run_to_exit(cpu: &mut Cpu, os: &mut Os, max_steps: u64) -> RunOutcome {
+    let mut reason = ExitReason::StepLimit;
+    for _ in 0..max_steps {
+        match cpu.step() {
+            Ok(StepEvent::Executed) => {}
+            Ok(StepEvent::SyscallTrap) => {
+                os.handle_syscall(cpu);
+                if let Some(status) = os.exit_status() {
+                    reason = ExitReason::Exited(status);
+                    break;
+                }
+                // §5.3 annotation extension: kernel buffer copies (read/
+                // recv) may land tainted bytes inside an annotated region.
+                if !cpu.taint_watches().is_empty() {
+                    let pc = cpu.pc().wrapping_sub(4);
+                    if let Some(alert) =
+                        cpu.scan_taint_watches(pc, ptaint_isa::Instr::Syscall)
+                    {
+                        reason = ExitReason::Security(alert);
+                        break;
+                    }
+                }
+            }
+            Ok(StepEvent::BreakTrap(code)) => {
+                reason = ExitReason::BreakTrap(code);
+                break;
+            }
+            Err(CpuException::Security(alert)) => {
+                reason = ExitReason::Security(alert);
+                break;
+            }
+            Err(CpuException::Mem(fault)) => {
+                reason = ExitReason::MemFault(fault);
+                break;
+            }
+            Err(CpuException::Decode { pc, .. }) => {
+                reason = ExitReason::DecodeFault(pc);
+                break;
+            }
+        }
+    }
+    RunOutcome {
+        reason,
+        stats: cpu.stats(),
+        stdout: os.stdout().to_vec(),
+        stderr: os.stderr().to_vec(),
+        transcripts: os.session_transcripts().iter().map(|s| s.to_vec()).collect(),
+        tainted_input_bytes: os.tainted_input_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{load, WorldConfig};
+    use ptaint_asm::assemble;
+    use ptaint_cpu::DetectionPolicy;
+    use ptaint_mem::HierarchyConfig;
+
+    fn run_program(src: &str, world: WorldConfig, policy: DetectionPolicy) -> RunOutcome {
+        let image = assemble(src).unwrap();
+        let (mut cpu, mut os) = load(&image, world, policy, HierarchyConfig::flat());
+        run_to_exit(&mut cpu, &mut os, 100_000)
+    }
+
+    #[test]
+    fn hello_world_via_syscalls() {
+        let out = run_program(
+            r#"
+        .data
+msg:    .ascii "hello, world\n"
+        .text
+main:   li $v0, 4        # write
+        li $a0, 1        # stdout
+        la $a1, msg
+        li $a2, 13
+        syscall
+        li $v0, 1        # exit
+        li $a0, 0
+        syscall
+        "#,
+            WorldConfig::new(),
+            DetectionPolicy::PointerTaintedness,
+        );
+        assert_eq!(out.reason, ExitReason::Exited(0));
+        assert_eq!(out.stdout, b"hello, world\n");
+        assert!(out.stats.instructions > 5);
+    }
+
+    #[test]
+    fn echo_stdin_shows_taint_flow_without_alert() {
+        // Reading tainted data and *copying* it is fine; only dereferencing a
+        // tainted word as a pointer alerts.
+        let out = run_program(
+            r#"
+        .data
+buf:    .space 64
+        .text
+main:   li $v0, 3        # read(0, buf, 64)
+        li $a0, 0
+        la $a1, buf
+        li $a2, 64
+        syscall
+        move $a2, $v0    # length actually read
+        li $v0, 4        # write(1, buf, n)
+        li $a0, 1
+        la $a1, buf
+        syscall
+        li $v0, 1
+        li $a0, 0
+        syscall
+        "#,
+            WorldConfig::new().stdin(b"tainted text".to_vec()),
+            DetectionPolicy::PointerTaintedness,
+        );
+        assert_eq!(out.reason, ExitReason::Exited(0));
+        assert_eq!(out.stdout, b"tainted text");
+        assert_eq!(out.tainted_input_bytes, 12);
+    }
+
+    #[test]
+    fn dereferencing_input_as_pointer_is_detected() {
+        // Load 4 input bytes as a word and dereference -> classic alert.
+        let out = run_program(
+            r#"
+        .data
+buf:    .space 8
+        .text
+main:   li $v0, 3
+        li $a0, 0
+        la $a1, buf
+        li $a2, 8
+        syscall
+        la $t0, buf
+        lw $t1, 0($t0)    # t1 = attacker word (tainted)
+        lw $t2, 0($t1)    # dereference it -> ALERT
+        li $v0, 1
+        syscall
+        "#,
+            WorldConfig::new().stdin(b"aaaa".to_vec()),
+            DetectionPolicy::PointerTaintedness,
+        );
+        let alert = out.reason.alert().expect("must be detected");
+        assert_eq!(alert.pointer, 0x6161_6161);
+        assert_eq!(alert.instr.to_string(), "lw $10,0($9)");
+        assert!(out.reason.is_detected());
+    }
+
+    #[test]
+    fn same_attack_crashes_undetected_without_protection() {
+        let out = run_program(
+            r#"
+        .data
+buf:    .space 8
+        .text
+main:   li $v0, 3
+        li $a0, 0
+        la $a1, buf
+        li $a2, 8
+        syscall
+        la $t0, buf
+        lw $t1, 0($t0)
+        lw $t2, 0($t1)
+        li $v0, 1
+        syscall
+        "#,
+            WorldConfig::new().stdin(b"\x60aaa".to_vec()),
+            DetectionPolicy::Off,
+        );
+        // 0x61616160 is unmapped but readable (sparse memory returns zeroes),
+        // so the load succeeds silently — the attack would have proceeded.
+        assert_eq!(out.reason, ExitReason::Exited(0));
+        assert_eq!(out.stats.tainted_pointer_dereferences, 1);
+    }
+
+    #[test]
+    fn argv_bytes_are_tainted_sources() {
+        // Dereference argv[1]'s first word as a pointer -> alert.
+        let out = run_program(
+            r#"
+        .text
+main:   lw $t0, 4($a1)    # argv[1] pointer (untainted, kernel-built)
+        lw $t1, 0($t0)    # the string bytes (tainted)
+        lw $t2, 0($t1)    # dereference attacker word -> ALERT
+        li $v0, 1
+        syscall
+        "#,
+            WorldConfig::new().args(["prog", "AAAA"]),
+            DetectionPolicy::PointerTaintedness,
+        );
+        let alert = out.reason.alert().expect("argv must be a taint source");
+        assert_eq!(alert.pointer, 0x4141_4141);
+    }
+
+    #[test]
+    fn step_limit_reports() {
+        let out = run_program(
+            "main: b main",
+            WorldConfig::new(),
+            DetectionPolicy::PointerTaintedness,
+        );
+        assert_eq!(out.reason, ExitReason::StepLimit);
+    }
+
+    #[test]
+    fn exit_reason_display() {
+        assert_eq!(ExitReason::Exited(0).to_string(), "exited with status 0");
+        assert_eq!(ExitReason::StepLimit.to_string(), "step limit exhausted");
+        assert!(ExitReason::DecodeFault(0x400000)
+            .to_string()
+            .contains("illegal instruction"));
+    }
+}

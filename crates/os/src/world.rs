@@ -1,0 +1,144 @@
+//! The world outside the simulated process: console, files, network peers.
+
+use std::collections::HashMap;
+
+/// One scripted network client session.
+///
+/// The guest's `accept()` produces one connection per session, in order. The
+/// guest's `recv()` consumes the session's `messages` one at a time
+/// (mirroring datagram-style `recv` boundaries: each call returns at most one
+/// message, truncated to the buffer length). Data the guest `send()`s is
+/// collected into the session transcript.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSession {
+    /// Messages the client will send, in order.
+    pub messages: Vec<Vec<u8>>,
+}
+
+impl NetSession {
+    /// A session from one or more client messages.
+    #[must_use]
+    pub fn new<M: Into<Vec<u8>>>(messages: Vec<M>) -> NetSession {
+        NetSession {
+            messages: messages.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// Configuration of everything outside the process. Built with chained
+/// setters, then passed to [`Os::new`](crate::Os::new).
+///
+/// ```
+/// use ptaint_os::{NetSession, WorldConfig};
+///
+/// let world = WorldConfig::new()
+///     .args(["traceroute", "-g", "123"])
+///     .stdin(b"hello\n".to_vec())
+///     .file("/etc/passwd", b"root:x:0:0::/root:/bin/sh\n".to_vec())
+///     .session(NetSession::new(vec![b"GET / HTTP/1.0\r\n\r\n".to_vec()]));
+/// assert_eq!(world.argv.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorldConfig {
+    /// Command-line arguments (`argv[0]` is the program name). Their string
+    /// bytes are tainted at load time.
+    pub argv: Vec<Vec<u8>>,
+    /// Environment strings (`NAME=value`). Tainted at load time.
+    pub envp: Vec<Vec<u8>>,
+    /// Bytes available on standard input; tainted when `read`.
+    pub stdin: Vec<u8>,
+    /// The in-memory file system: path → contents; tainted when `read`.
+    pub files: HashMap<String, Vec<u8>>,
+    /// Scripted clients connecting to the guest's listening socket.
+    pub sessions: Vec<NetSession>,
+    /// UID reported by `getuid` (0 = root, matching the daemons the paper
+    /// attacks).
+    pub uid: u32,
+}
+
+impl WorldConfig {
+    /// An empty world: no input, no files, no network.
+    #[must_use]
+    pub fn new() -> WorldConfig {
+        WorldConfig::default()
+    }
+
+    /// Sets `argv`.
+    #[must_use]
+    pub fn args<I, S>(mut self, args: I) -> WorldConfig
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        self.argv = args.into_iter().map(|a| a.as_ref().to_vec()).collect();
+        self
+    }
+
+    /// Adds one environment string (`NAME=value`).
+    #[must_use]
+    pub fn env(mut self, entry: impl AsRef<[u8]>) -> WorldConfig {
+        self.envp.push(entry.as_ref().to_vec());
+        self
+    }
+
+    /// Sets the bytes available on stdin.
+    #[must_use]
+    pub fn stdin(mut self, bytes: Vec<u8>) -> WorldConfig {
+        self.stdin = bytes;
+        self
+    }
+
+    /// Adds a file to the in-memory file system.
+    #[must_use]
+    pub fn file(mut self, path: impl Into<String>, contents: Vec<u8>) -> WorldConfig {
+        self.files.insert(path.into(), contents);
+        self
+    }
+
+    /// Adds a scripted client session.
+    #[must_use]
+    pub fn session(mut self, session: NetSession) -> WorldConfig {
+        self.sessions.push(session);
+        self
+    }
+
+    /// Sets the reported UID.
+    #[must_use]
+    pub fn uid(mut self, uid: u32) -> WorldConfig {
+        self.uid = uid;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let w = WorldConfig::new()
+            .args(["prog", "-x"])
+            .env("PATH=/bin")
+            .env("HOME=/root")
+            .stdin(b"in".to_vec())
+            .file("/a", b"A".to_vec())
+            .file("/b", b"B".to_vec())
+            .session(NetSession::new(vec![b"m1".to_vec(), b"m2".to_vec()]))
+            .uid(1000);
+        assert_eq!(w.argv, vec![b"prog".to_vec(), b"-x".to_vec()]);
+        assert_eq!(w.envp.len(), 2);
+        assert_eq!(w.stdin, b"in");
+        assert_eq!(w.files.len(), 2);
+        assert_eq!(w.sessions.len(), 1);
+        assert_eq!(w.sessions[0].messages.len(), 2);
+        assert_eq!(w.uid, 1000);
+    }
+
+    #[test]
+    fn default_world_is_empty() {
+        let w = WorldConfig::new();
+        assert!(w.argv.is_empty() && w.envp.is_empty() && w.stdin.is_empty());
+        assert!(w.files.is_empty() && w.sessions.is_empty());
+        assert_eq!(w.uid, 0);
+    }
+}

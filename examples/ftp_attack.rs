@@ -1,0 +1,57 @@
+//! Table 2 / §5.1.2: the WU-FTPD `SITE EXEC` format-string attack — a
+//! **non-control-data** exploit that overwrites the server's user-ID word.
+//!
+//! This example shows the full story:
+//!
+//! 1. the attack session transcript with the detection alert (Table 2);
+//! 2. the same attack against an *unprotected* machine, where it plants a
+//!    root backdoor account in `/etc/passwd`;
+//! 3. the same attack against a Minos-style control-data-only baseline,
+//!    which never notices it.
+//!
+//! ```sh
+//! cargo run --example ftp_attack
+//! ```
+
+use ptaint::experiments::table2;
+use ptaint::{DetectionPolicy, HierarchyConfig};
+use ptaint_guest::apps::{calibrate_format_pad, wu_ftpd};
+
+fn main() {
+    // 1. The protected run (Table 2).
+    let report = table2::run_wu_ftpd_transcript();
+    println!("{report}");
+
+    // 2. Unprotected: the backdoor lands.
+    let image = ptaint_guest::build(wu_ftpd::SOURCE).expect("builds");
+    let target = wu_ftpd::uid_address(&image);
+    let pad = calibrate_format_pad(&image, |p| wu_ftpd::attack_world(&image, p), target, 48)
+        .expect("calibrates");
+    let (mut cpu, mut os) = ptaint::load(
+        &image,
+        wu_ftpd::attack_world(&image, pad),
+        DetectionPolicy::Off,
+        HierarchyConfig::flat(),
+    );
+    let out = ptaint::run_to_exit(&mut cpu, &mut os, 200_000_000);
+    println!("\n== the same attack, unprotected ==");
+    println!("  outcome: {}", out.reason);
+    if let Some(passwd) = os.file("/etc/passwd") {
+        println!(
+            "  /etc/passwd now contains: {}",
+            String::from_utf8_lossy(passwd).trim()
+        );
+        println!("  (a root backdoor account — the paper's §5.1.2 compromise)");
+    }
+
+    // 3. Control-only baseline: blind to the attack.
+    let (mut cpu, mut os) = ptaint::load(
+        &image,
+        wu_ftpd::attack_world(&image, pad),
+        DetectionPolicy::ControlOnly,
+        HierarchyConfig::flat(),
+    );
+    let out = ptaint::run_to_exit(&mut cpu, &mut os, 200_000_000);
+    println!("\n== the same attack under control-data-only protection ==");
+    println!("  outcome: {} (no control data was corrupted, so nothing fired)", out.reason);
+}

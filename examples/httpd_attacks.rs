@@ -1,0 +1,58 @@
+//! §5.1.2: the two web-server attacks and the traceroute double free —
+//! all **non-control-data** exploits — under all three protection policies,
+//! ending with the full coverage matrix.
+//!
+//! ```sh
+//! cargo run --example httpd_attacks
+//! ```
+
+use ptaint::experiments::coverage;
+use ptaint::DetectionPolicy;
+use ptaint_guest::apps::{ghttpd, null_httpd, run_app, traceroute};
+
+fn main() {
+    // NULL HTTPD: negative Content-Length heap overflow retargets the
+    // CGI-BIN configuration at "/bin".
+    let image = ptaint_guest::build(null_httpd::SOURCE).expect("builds");
+    println!("== NULL HTTPD heap corruption (negative Content-Length) ==");
+    let out = run_app(&image, null_httpd::attack_world(&image), DetectionPolicy::Off);
+    let transcript = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
+    println!("  unprotected : {}", out.reason);
+    for line in transcript.lines().filter(|l| !l.trim().is_empty()) {
+        println!("      server> {line}");
+    }
+    let out = run_app(
+        &image,
+        null_httpd::attack_world(&image),
+        DetectionPolicy::PointerTaintedness,
+    );
+    println!("  protected   : {}", out.reason);
+
+    // GHTTPD: stack overflow corrupts the already-validated URL pointer.
+    let image = ptaint_guest::build(ghttpd::SOURCE).expect("builds");
+    println!("\n== GHTTPD URL-pointer corruption (log buffer overflow) ==");
+    let out = run_app(&image, ghttpd::attack_world(&image), DetectionPolicy::Off);
+    let transcript = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
+    println!("  unprotected : {} — server replied: {}", out.reason, transcript.trim());
+    let out = run_app(
+        &image,
+        ghttpd::attack_world(&image),
+        DetectionPolicy::PointerTaintedness,
+    );
+    println!("  protected   : {}", out.reason);
+
+    // Traceroute: double free walks argv bytes as chunk links.
+    let image = ptaint_guest::build(traceroute::SOURCE).expect("builds");
+    println!("\n== traceroute double free (-g x -g y) ==");
+    let out = run_app(&image, traceroute::attack_world(), DetectionPolicy::Off);
+    println!("  unprotected : {}", out.reason);
+    let out = run_app(
+        &image,
+        traceroute::attack_world(),
+        DetectionPolicy::PointerTaintedness,
+    );
+    println!("  protected   : {}", out.reason);
+
+    // The full §5.1 matrix.
+    println!("\n{}", coverage::run_coverage_matrix());
+}

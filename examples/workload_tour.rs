@@ -1,0 +1,24 @@
+//! Table 3's workloads, §5.4's overhead accounting, and the cache study —
+//! the performance side of the evaluation in one tour.
+//!
+//! ```sh
+//! cargo run --release --example workload_tour        # default scale 4
+//! cargo run --release --example workload_tour -- 8   # bigger inputs
+//! ```
+
+use ptaint::experiments::{caches, optimizer, overhead, table3};
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    println!("{}", table3::run_false_positive_suite(scale));
+    println!();
+    println!("{}", overhead::run_overhead_report(scale.min(4)));
+    println!();
+    println!("{}", caches::run_cache_study(scale.min(4)));
+    println!();
+    println!("{}", optimizer::run_optimizer_study(scale.min(4)));
+}

@@ -1,0 +1,4 @@
+//! Root reproduction package. Integration tests live in `tests/`, runnable
+//! examples in `examples/`. The public API is re-exported from the [`ptaint`]
+//! crate.
+pub use ptaint::*;

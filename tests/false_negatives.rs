@@ -1,0 +1,61 @@
+//! Integration: §5.3 / Table 4 — the engineered false negatives. The
+//! architecture must *not* detect these (that is the paper's point), and
+//! the damage must really happen.
+
+use ptaint::experiments::table4;
+use ptaint::{ExitReason, Machine};
+use ptaint_guest::apps::table4 as scenarios;
+
+#[test]
+fn table_4_suite_reproduces() {
+    let report = table4::run_false_negative_suite();
+    assert!(report.all_missed_with_damage(), "{report}");
+}
+
+#[test]
+fn integer_overflow_index_writes_out_of_bounds_silently() {
+    let m = Machine::from_c(scenarios::INT_OVERFLOW_SOURCE).unwrap();
+    let out = m.world(scenarios::int_overflow_attack_world()).run();
+    assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
+    assert!(out.stdout_text().contains("GUARD CORRUPTED"));
+}
+
+#[test]
+fn auth_flag_overflow_grants_access_silently() {
+    let m = Machine::from_c(scenarios::AUTH_FLAG_SOURCE).unwrap();
+    let out = m.world(scenarios::auth_flag_attack_world()).run();
+    assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
+    assert!(out.stdout_text().contains("ACCESS GRANTED"));
+}
+
+#[test]
+fn format_leak_reads_the_secret_silently() {
+    let m = Machine::from_c(scenarios::FMT_LEAK_SOURCE).unwrap();
+    let out = m.world(scenarios::fmt_leak_attack_world()).run();
+    assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
+    assert!(out.stdout_text().contains("12345678"), "{}", out.stdout_text());
+}
+
+#[test]
+fn but_the_same_leak_program_is_caught_when_percent_n_is_used() {
+    // §5.3's contrast: with %n instead of a trailing %x, the same program
+    // *is* caught, because the store dereferences a tainted word.
+    let m = Machine::from_c(scenarios::FMT_LEAK_SOURCE).unwrap();
+    let out = m
+        .world(ptaint::WorldConfig::new().stdin(b"abcd%x%x%x%n".to_vec()))
+        .run();
+    assert!(out.reason.is_detected(), "{:?}", out.reason);
+}
+
+#[test]
+fn scenario_programs_behave_correctly_on_honest_inputs() {
+    let m = Machine::from_c(scenarios::INT_OVERFLOW_SOURCE).unwrap();
+    let out = m.world(scenarios::int_overflow_benign_world()).run();
+    assert!(out.stdout_text().contains("safely"));
+
+    let m = Machine::from_c(scenarios::AUTH_FLAG_SOURCE).unwrap();
+    let ok = m.clone().world(scenarios::auth_flag_good_password_world()).run();
+    assert!(ok.stdout_text().contains("ACCESS GRANTED"));
+    let denied = m.world(scenarios::auth_flag_bad_password_world()).run();
+    assert!(denied.stdout_text().contains("access denied"));
+}

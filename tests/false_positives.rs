@@ -1,0 +1,112 @@
+//! Integration: §5.2 / Table 3 — the false-positive experiment. No benign
+//! execution may ever raise an alert, however much tainted data it chews
+//! through.
+
+use ptaint::experiments::table3;
+use ptaint::{DetectionPolicy, ExitReason, Machine, WorldConfig};
+use ptaint_guest::workloads;
+
+#[test]
+fn table_3_reports_zero_alerts() {
+    let report = table3::run_false_positive_suite(4);
+    assert_eq!(report.total_alerts(), 0, "{report}");
+    assert_eq!(report.rows.len(), 6);
+    for row in &report.rows {
+        assert!(row.instructions > 10_000, "{} ran too little", row.name);
+        assert!(row.input_bytes > 0, "{} consumed no input", row.name);
+    }
+}
+
+#[test]
+fn workloads_stay_clean_at_a_larger_scale() {
+    // A second scale point: more input, more instructions, still no alerts.
+    for w in workloads::all() {
+        let out = Machine::from_c(w.source)
+            .unwrap()
+            .world(w.world(8))
+            .run();
+        assert_eq!(out.reason, ExitReason::Exited(0), "{}: {:?}", w.name, out.reason);
+    }
+}
+
+#[test]
+fn workloads_stay_clean_behind_the_cache_hierarchy() {
+    for w in workloads::all().into_iter().take(3) {
+        let out = Machine::from_c(w.source)
+            .unwrap()
+            .world(w.world(2))
+            .hierarchy(ptaint::HierarchyConfig::two_level())
+            .run();
+        assert_eq!(out.reason, ExitReason::Exited(0), "{}: {:?}", w.name, out.reason);
+    }
+}
+
+#[test]
+fn heavy_tainted_string_processing_raises_no_alert() {
+    // A worst-case benign program: every byte it touches is tainted, it
+    // copies, compares, formats, allocates and frees — and never
+    // dereferences a tainted word.
+    let out = Machine::from_c(
+        r#"
+        int main() {
+            char line[256];
+            char *copy;
+            char out[300];
+            int total = 0;
+            while (scanf("%s", line) > 0) {
+                copy = malloc(strlen(line) + 1);
+                strcpy(copy, line);
+                if (strcmp(copy, "quit") == 0) break;
+                if (strstr(copy, "abc")) total++;
+                snprintf(out, 300, "<%s:%d>", copy, total);
+                printf("%s", out);
+                free(copy);
+            }
+            printf("|total=%d", total);
+            return 0;
+        }
+        "#,
+    )
+    .unwrap()
+    .world(WorldConfig::new().stdin(b"xabc yyy zabcz quit".to_vec()))
+    .run();
+    assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
+    assert_eq!(
+        out.stdout_text(),
+        "<xabc:1><yyy:1><zabcz:2>|total=2"
+    );
+}
+
+#[test]
+fn benign_percent_n_through_a_program_pointer_is_fine() {
+    // %n itself is not the problem — dereferencing *tainted* pointers is.
+    let out = Machine::from_c(
+        r#"
+        int main() {
+            int n = 0;
+            char buf[64];
+            scanf("%s", buf);
+            printf("%s%n", buf, &n);
+            printf("|%d", n);
+            return 0;
+        }
+        "#,
+    )
+    .unwrap()
+    .world(WorldConfig::new().stdin(b"hello".to_vec()))
+    .run();
+    assert_eq!(out.reason, ExitReason::Exited(0));
+    assert_eq!(out.stdout_text(), "hello|5");
+}
+
+#[test]
+fn policy_has_no_effect_on_benign_behaviour() {
+    let w = &workloads::all()[0];
+    let m = Machine::from_c(w.source).unwrap().world(w.world(2));
+    let full = m.clone().policy(DetectionPolicy::PointerTaintedness).run();
+    let ctrl = m.clone().policy(DetectionPolicy::ControlOnly).run();
+    let off = m.policy(DetectionPolicy::Off).run();
+    assert_eq!(full.stdout, ctrl.stdout);
+    assert_eq!(full.stdout, off.stdout);
+    assert_eq!(full.stats.instructions, off.stats.instructions);
+}

@@ -1,0 +1,109 @@
+//! Keeps `docs/TUTORIAL.md` honest: the walkthrough's vault service,
+//! benign session, attack, and annotation all behave as documented.
+
+use ptaint::{AlertKind, DetectionPolicy, ExitReason, Machine, NetSession, WorldConfig};
+
+const VAULT_C: &str = r#"
+struct vault {
+    char *master;
+};
+
+struct vault v;
+
+void reply(int s, char *msg) { send(s, msg, strlen(msg)); }
+
+int main() {
+    char req[256];
+    char *entry;
+    char *scratch;
+    int s; int c; int n;
+    v.master = "hunter2";
+    scratch = malloc(200);
+    free(scratch);
+    s = socket(); bind(s, 7000); listen(s);
+    c = accept(s);
+    while (1) {
+        n = recv(c, req, 255, 0);
+        if (n <= 0) break;
+        req[n] = 0;
+        if (strncmp(req, "STORE ", 6) == 0) {
+            entry = malloc(24);
+            strcpy(entry, req + 6);
+            reply(c, "200 stored\r\n");
+            free(entry);
+        } else if (strncmp(req, "MASTER", 6) == 0) {
+            reply(c, v.master);
+            reply(c, "\r\n");
+        } else {
+            reply(c, "500 ?\r\n");
+        }
+    }
+    close(c);
+    return 0;
+}
+"#;
+
+/// The tutorial's attack payload: 24 bytes fill the entry chunk's payload,
+/// then prev_size, a forged even size, and the fd/bk links — all NUL-free
+/// because `strcpy` is the copying primitive.
+fn attack_payload() -> Vec<u8> {
+    let mut p = b"STORE ".to_vec();
+    p.extend_from_slice(&[b'A'; 24]); // entry payload (malloc(24) -> 24+8 chunk)
+    p.extend_from_slice(b"...."); // prev_size (ignored)
+    p.extend_from_slice(b"...."); // forged size 0x2e2e2e2e: even, large
+    p.extend_from_slice(b"aaaa"); // fd
+    p.extend_from_slice(b"bbbb"); // bk
+    p
+}
+
+#[test]
+fn benign_session_works_as_documented() {
+    let out = Machine::from_c(VAULT_C)
+        .unwrap()
+        .world(WorldConfig::new().session(NetSession::new(vec![
+            b"STORE hello".to_vec(),
+            b"MASTER".to_vec(),
+        ])))
+        .run();
+    assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
+    let t = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
+    assert!(t.contains("200 stored"), "{t}");
+    assert!(t.contains("hunter2"), "{t}");
+}
+
+#[test]
+fn attack_detected_inside_free_as_documented() {
+    let m = Machine::from_c(VAULT_C)
+        .unwrap()
+        .world(WorldConfig::new().session(NetSession::new(vec![attack_payload()])));
+    let out = m.run();
+    let alert = out.reason.alert().expect("detected");
+    assert_eq!(alert.kind, AlertKind::DataPointer);
+    // The pointer derives from the payload's "aaaa" fd link.
+    assert_eq!(alert.pointer & 0xffff_ff00, 0x6161_6100);
+    let unlink = m.image().symbol("__unlink").unwrap();
+    assert!((unlink..unlink + 0x100).contains(&alert.pc), "{:#x}", alert.pc);
+}
+
+#[test]
+fn unprotected_attack_proceeds_or_crashes_undetected() {
+    let out = Machine::from_c(VAULT_C)
+        .unwrap()
+        .world(WorldConfig::new().session(NetSession::new(vec![attack_payload()])))
+        .policy(DetectionPolicy::Off)
+        .run();
+    assert!(!out.reason.is_detected(), "{:?}", out.reason);
+}
+
+#[test]
+fn annotation_watches_the_vault_struct_as_documented() {
+    let out = Machine::from_c(VAULT_C)
+        .unwrap()
+        .taint_watch_symbol("v", 4)
+        .world(WorldConfig::new().session(NetSession::new(vec![attack_payload()])))
+        .run();
+    // The pointer-taintedness detector fires first (inside free), before
+    // any write could reach the annotated struct — annotations are a
+    // *fallback*, not a replacement.
+    assert!(out.reason.is_detected(), "{:?}", out.reason);
+}
