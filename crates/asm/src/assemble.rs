@@ -176,8 +176,7 @@ impl Assembler {
             if !is_ident(name) {
                 return Err(AsmError::new(line, format!("invalid label name `{name}`")));
             }
-            if self.symbols.contains_key(name)
-                || self.pending_labels.iter().any(|(n, _)| n == name)
+            if self.symbols.contains_key(name) || self.pending_labels.iter().any(|(n, _)| n == name)
             {
                 return Err(AsmError::new(line, format!("duplicate label `{name}`")));
             }
@@ -348,11 +347,10 @@ impl Assembler {
             if (c == '+' || c == '-') && i > 0 {
                 let (sym, off) = (expr[..i].trim(), &expr[i..]);
                 if is_ident(sym) {
-                    let base = self
-                        .symbols
-                        .get(sym)
-                        .copied()
-                        .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{sym}`")))?;
+                    let base =
+                        self.symbols.get(sym).copied().ok_or_else(|| {
+                            AsmError::new(line, format!("undefined symbol `{sym}`"))
+                        })?;
                     let delta = parse_int(off)
                         .ok_or_else(|| AsmError::new(line, format!("bad offset `{off}`")))?;
                     return Ok(i64::from(base) + delta);
@@ -366,7 +364,10 @@ impl Assembler {
                 .map(|&a| i64::from(a))
                 .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{expr}`")));
         }
-        Err(AsmError::new(line, format!("cannot parse expression `{expr}`")))
+        Err(AsmError::new(
+            line,
+            format!("cannot parse expression `{expr}`"),
+        ))
     }
 
     fn reg(op: &str, line: u32) -> Result<Reg, AsmError> {
@@ -396,8 +397,12 @@ impl Assembler {
             return Err(AsmError::new(line, "branch target is not word aligned"));
         }
         let delta = (i64::from(t) - i64::from(pc) - 4) / 4;
-        i16::try_from(delta)
-            .map_err(|_| AsmError::new(line, format!("branch target {delta} words away is out of range")))
+        i16::try_from(delta).map_err(|_| {
+            AsmError::new(
+                line,
+                format!("branch target {delta} words away is out of range"),
+            )
+        })
     }
 
     fn memop(&self, op: &str, line: u32) -> Result<(i16, Reg), AsmError> {
@@ -744,7 +749,10 @@ fn instruction_words(mnemonic: &str, ops: &[String], line: u32) -> Result<u32, A
 
 fn expand_li(rt: Reg, v: i64, line: u32) -> Result<Vec<Instr>, AsmError> {
     if v < -(1 << 31) || v > u32::MAX as i64 {
-        return Err(AsmError::new(line, format!("immediate {v} exceeds 32 bits")));
+        return Err(AsmError::new(
+            line,
+            format!("immediate {v} exceeds 32 bits"),
+        ));
     }
     if (-32768..=32767).contains(&v) {
         return Ok(vec![Instr::IAlu {
@@ -895,7 +903,9 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -1021,7 +1031,10 @@ mod tests {
     }
 
     fn decode_all(img: &Image) -> Vec<Instr> {
-        img.text.iter().map(|&w| Instr::decode(w).unwrap()).collect()
+        img.text
+            .iter()
+            .map(|&w| Instr::decode(w).unwrap())
+            .collect()
     }
 
     #[test]

@@ -38,10 +38,8 @@ mod tests {
 
     #[test]
     fn disassembly_round_trips_through_display() {
-        let img = assemble(
-            "main: addiu $sp, $sp, -32\n      sw $ra, 28($sp)\n      jr $ra\n",
-        )
-        .unwrap();
+        let img =
+            assemble("main: addiu $sp, $sp, -32\n      sw $ra, 28($sp)\n      jr $ra\n").unwrap();
         let text = disassemble(&img);
         assert!(text.contains("<main>:"), "{text}");
         assert!(text.contains("addiu $29,$29,-32"), "{text}");

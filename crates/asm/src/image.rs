@@ -80,7 +80,9 @@ impl Image {
         if addr < self.text_base || !addr.is_multiple_of(4) {
             return None;
         }
-        self.lines.get(((addr - self.text_base) / 4) as usize).copied()
+        self.lines
+            .get(((addr - self.text_base) / 4) as usize)
+            .copied()
     }
 }
 

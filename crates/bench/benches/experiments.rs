@@ -63,7 +63,9 @@ fn bench_optimizer_effect(c: &mut Criterion) {
     // instructions -> proportionally faster simulation.
     let w = &workloads::all()[1]; // gcc workload: biggest optimizer win
     let plain = Machine::from_c(w.source).unwrap().world(w.world(3));
-    let optimized = Machine::from_c_optimized(w.source).unwrap().world(w.world(3));
+    let optimized = Machine::from_c_optimized(w.source)
+        .unwrap()
+        .world(w.world(3));
     let mut group = c.benchmark_group("optimizer");
     group.sample_size(10);
     group.bench_function("gcc-plain", |b| b.iter(|| plain.run().stats.instructions));

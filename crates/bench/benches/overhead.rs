@@ -88,9 +88,7 @@ fn bench_taint_alu(c: &mut Criterion) {
         bch.iter(|| taint_alu::shift_result(ShiftOp::Sll, std::hint::black_box(a), b_t))
     });
     group.bench_function("ralu-dispatch", |bch| {
-        bch.iter(|| {
-            taint_alu::ralu_result(RAluOp::Xor, 1, std::hint::black_box(a), 2, b_t, false)
-        })
+        bch.iter(|| taint_alu::ralu_result(RAluOp::Xor, 1, std::hint::black_box(a), 2, b_t, false))
     });
     group.bench_function("load-extend", |bch| {
         bch.iter(|| taint_alu::load_result(MemWidth::Byte, true, std::hint::black_box(a)))

@@ -13,10 +13,7 @@ use ptaint::experiments::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
-    let scale: u32 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(6);
+    let scale: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
 
     let run_all = which == "all";
     if run_all || which == "table1" {

@@ -15,9 +15,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use crate::ast::{
-    BinOp, Expr, ExprKind, GlobalInit, Item, Program, Stmt, StructDef, Type, UnOp,
-};
+use crate::ast::{BinOp, Expr, ExprKind, GlobalInit, Item, Program, Stmt, StructDef, Type, UnOp};
 use crate::CcError;
 
 /// Compiles a parsed [`Program`] to assembly text.
@@ -163,7 +161,12 @@ impl<'a> Codegen<'a> {
                     ..
                 } => self.gen_function(name, params, body, *line)?,
                 Item::Func { .. } => {}
-                Item::Global { ty, name, init, line } => {
+                Item::Global {
+                    ty,
+                    name,
+                    init,
+                    line,
+                } => {
                     self.emit_global(ty, name, init.as_ref(), *line)?;
                 }
             }
@@ -226,7 +229,11 @@ impl<'a> Codegen<'a> {
                 }
                 let mut bytes = s.clone();
                 bytes.resize(*n as usize, 0);
-                let list = bytes.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(", ");
+                let list = bytes
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 let _ = writeln!(self.data, "        .byte {list}");
             }
             (Type::Array(elem, n), Some(GlobalInit::List(vals)))
@@ -347,10 +354,13 @@ impl<'a> Codegen<'a> {
                 for (ty, name, init) in decls {
                     let line = init.as_ref().map_or(0, |e| e.line);
                     let offset = self.alloc_local(ty, line)?;
-                    self.scopes
-                        .last_mut()
-                        .expect("scope")
-                        .insert(name.clone(), LocalSlot { offset, ty: ty.clone() });
+                    self.scopes.last_mut().expect("scope").insert(
+                        name.clone(),
+                        LocalSlot {
+                            offset,
+                            ty: ty.clone(),
+                        },
+                    );
                     if let Some(e) = init {
                         if matches!(ty, Type::Array(..) | Type::Struct(_)) {
                             return Err(CcError::new(
@@ -621,12 +631,15 @@ impl<'a> Codegen<'a> {
                     .structs
                     .get(&struct_name)
                     .ok_or_else(|| CcError::new(line, format!("unknown struct `{struct_name}`")))?;
-                let (offset, fty) = def
-                    .field(field)
-                    .map(|(o, t)| (o, t.clone()))
-                    .ok_or_else(|| {
-                        CcError::new(line, format!("struct `{struct_name}` has no field `{field}`"))
-                    })?;
+                let (offset, fty) =
+                    def.field(field)
+                        .map(|(o, t)| (o, t.clone()))
+                        .ok_or_else(|| {
+                            CcError::new(
+                                line,
+                                format!("struct `{struct_name}` has no field `{field}`"),
+                            )
+                        })?;
                 if offset != 0 {
                     self.o(&format!("addiu $v0, $v0, {offset}"));
                 }
@@ -706,9 +719,7 @@ impl<'a> Codegen<'a> {
             ExprKind::SizeofExpr(inner) => {
                 // Compute the type without emitting code.
                 let snapshot = self.body.len();
-                let ty = self
-                    .gen_addr(inner)
-                    .or_else(|_| self.gen_expr(inner))?;
+                let ty = self.gen_addr(inner).or_else(|_| self.gen_expr(inner))?;
                 self.body.truncate(snapshot);
                 let size = self.size_of(&ty, e.line)?;
                 self.o(&format!("li $v0, {size}"));
@@ -965,7 +976,9 @@ impl<'a> Codegen<'a> {
     fn gen_call(&mut self, callee: &Expr, args: &[Expr], line: u32) -> Result<Type, CcError> {
         // Direct call to a named function?
         let direct = match &callee.kind {
-            ExprKind::Ident(name) if self.lookup(name).is_none() && self.funcs.contains_key(name) => {
+            ExprKind::Ident(name)
+                if self.lookup(name).is_none() && self.funcs.contains_key(name) =>
+            {
                 Some(name.clone())
             }
             _ => None,
@@ -978,9 +991,11 @@ impl<'a> Codegen<'a> {
             let ty = self.gen_expr(callee)?;
             self.push_v0(); // callee address on the expression stack
             match strip_func_ptr(&ty) {
-                Some(Type::Func { ret, params, variadic }) => {
-                    ((**ret).clone(), params.clone(), *variadic)
-                }
+                Some(Type::Func {
+                    ret,
+                    params,
+                    variadic,
+                }) => ((**ret).clone(), params.clone(), *variadic),
                 _ => {
                     return Err(CcError::new(
                         line,

@@ -207,8 +207,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CcError> {
                 i = next;
             }
             _ => {
-                let (kind, len) = lex_punct(bytes, i)
-                    .ok_or_else(|| CcError::new(line, format!("unexpected character `{}`", c as char)))?;
+                let (kind, len) = lex_punct(bytes, i).ok_or_else(|| {
+                    CcError::new(line, format!("unexpected character `{}`", c as char))
+                })?;
                 push!(kind);
                 i += len;
             }
@@ -447,7 +448,10 @@ mod tests {
         assert_eq!(
             kinds("x += 1; y %= 2; z &= 3;")
                 .into_iter()
-                .filter(|k| matches!(k, TokenKind::PlusEq | TokenKind::PercentEq | TokenKind::AmpEq))
+                .filter(|k| matches!(
+                    k,
+                    TokenKind::PlusEq | TokenKind::PercentEq | TokenKind::AmpEq
+                ))
                 .count(),
             3
         );

@@ -55,8 +55,8 @@ fn sweep(lines: &mut Vec<String>) -> bool {
     // Rule A: spill/reload elimination around trivial setups.
     let mut i = 0;
     while i + 4 < lines.len() {
-        let window_ok = lines[i].trim() == "addiu $sp, $sp, -4"
-            && lines[i + 1].trim() == "sw $v0, 0($sp)";
+        let window_ok =
+            lines[i].trim() == "addiu $sp, $sp, -4" && lines[i + 1].trim() == "sw $v0, 0($sp)";
         if window_ok {
             // Find the reload after at most 3 trivial setup lines.
             let mut j = i + 2;
@@ -208,7 +208,8 @@ _L2_end:
 
     #[test]
     fn noop_addiu_removed() {
-        let asm = "        addiu $sp, $sp, 0\n        addiu $v0, $v0, 0\n        addiu $v0, $t1, 0\n";
+        let asm =
+            "        addiu $sp, $sp, 0\n        addiu $v0, $v0, 0\n        addiu $v0, $t1, 0\n";
         let opt = optimize_asm(asm);
         assert_eq!(opt.trim(), "addiu $v0, $t1, 0");
     }

@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::ast::{
-    BinOp, Expr, ExprKind, GlobalInit, Item, Program, Stmt, StructDef, Type, UnOp,
-};
+use crate::ast::{BinOp, Expr, ExprKind, GlobalInit, Item, Program, Stmt, StructDef, Type, UnOp};
 use crate::lexer::{Token, TokenKind};
 use crate::CcError;
 
@@ -272,7 +270,14 @@ impl<'a> Parser<'a> {
         let size = offset.div_ceil(align) * align;
         if self
             .structs
-            .insert(name.clone(), StructDef { fields, size, align })
+            .insert(
+                name.clone(),
+                StructDef {
+                    fields,
+                    size,
+                    align,
+                },
+            )
             .is_some()
         {
             return Err(CcError::new(line, format!("duplicate struct `{name}`")));
@@ -881,7 +886,9 @@ mod tests {
         );
         assert_eq!(p.items.len(), 2);
         match &p.items[0] {
-            Item::Func { name, body, params, .. } => {
+            Item::Func {
+                name, body, params, ..
+            } => {
                 assert_eq!(name, "recv");
                 assert!(body.is_none());
                 assert_eq!(params.len(), 4);
@@ -924,9 +931,8 @@ mod tests {
 
     #[test]
     fn struct_layout() {
-        let p = parse_ok(
-            "struct chunk { int size; struct chunk *fd; struct chunk *bk; char tag; };",
-        );
+        let p =
+            parse_ok("struct chunk { int size; struct chunk *fd; struct chunk *bk; char tag; };");
         let def = &p.structs["chunk"];
         assert_eq!(def.field("size").unwrap().0, 0);
         assert_eq!(def.field("fd").unwrap().0, 4);
@@ -952,10 +958,15 @@ mod tests {
     #[test]
     fn expression_precedence_shape() {
         let p = parse_ok("int main() { return 1 + 2 * 3; }");
-        let Item::Func { body: Some(body), .. } = &p.items[0] else {
+        let Item::Func {
+            body: Some(body), ..
+        } = &p.items[0]
+        else {
             panic!()
         };
-        let Stmt::Return(Some(e), _) = &body[0] else { panic!() };
+        let Stmt::Return(Some(e), _) = &body[0] else {
+            panic!()
+        };
         // Must be Add(1, Mul(2, 3)).
         match &e.kind {
             ExprKind::Binary(BinOp::Add, l, r) => {

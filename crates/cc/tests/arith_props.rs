@@ -91,12 +91,16 @@ fn run_main_returning(src: &str) -> i32 {
         mem.write_u32(image.text_base + 4 * i as u32, w, WordTaint::CLEAN)
             .unwrap();
     }
-    mem.write_bytes(image.data_base, &image.data, false).unwrap();
+    mem.write_bytes(image.data_base, &image.data, false)
+        .unwrap();
     let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
     cpu.set_pc(image.entry);
-    cpu.regs_mut().set(Reg::SP, STACK_TOP - 64, WordTaint::CLEAN);
+    cpu.regs_mut()
+        .set(Reg::SP, STACK_TOP - 64, WordTaint::CLEAN);
     for _ in 0..2_000_000 {
-        if let StepEvent::BreakTrap(_) = cpu.step().expect("no faults") { return cpu.regs().value(Reg::V0) as i32 }
+        if let StepEvent::BreakTrap(_) = cpu.step().expect("no faults") {
+            return cpu.regs().value(Reg::V0) as i32;
+        }
     }
     panic!("did not terminate");
 }

@@ -26,10 +26,12 @@ fn run_c(src: &str) -> Cpu {
         mem.write_u32(image.text_base + 4 * i as u32, w, WordTaint::CLEAN)
             .unwrap();
     }
-    mem.write_bytes(image.data_base, &image.data, false).unwrap();
+    mem.write_bytes(image.data_base, &image.data, false)
+        .unwrap();
     let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
     cpu.set_pc(image.entry);
-    cpu.regs_mut().set(Reg::SP, STACK_TOP - 64, WordTaint::CLEAN);
+    cpu.regs_mut()
+        .set(Reg::SP, STACK_TOP - 64, WordTaint::CLEAN);
     for step in 0..10_000_000u64 {
         match cpu.step() {
             Ok(StepEvent::BreakTrap(_)) => return cpu,
@@ -40,7 +42,10 @@ fn run_c(src: &str) -> Cpu {
                     .iter()
                     .map(|(pc, i)| format!("{pc:#x}: {i}"))
                     .collect();
-                panic!("execution failed at step {step}: {e}\ntrace:\n{}", trace.join("\n"));
+                panic!(
+                    "execution failed at step {step}: {e}\ntrace:\n{}",
+                    trace.join("\n")
+                );
             }
         }
     }
@@ -70,7 +75,10 @@ fn bitwise_and_shifts() {
     assert_eq!(ret("int main() { return ~0; }"), -1);
     assert_eq!(ret("int main() { return 1 << 10; }"), 1024);
     assert_eq!(ret("int main() { return -8 >> 1; }"), -4);
-    assert_eq!(ret("int main() { unsigned x = 0x80000000; return x >> 28; }"), 8);
+    assert_eq!(
+        ret("int main() { unsigned x = 0x80000000; return x >> 28; }"),
+        8
+    );
 }
 
 #[test]
@@ -113,11 +121,26 @@ fn short_circuit_does_not_evaluate_rhs() {
 
 #[test]
 fn variables_and_assignment() {
-    assert_eq!(ret("int main() { int a = 3; int b = 4; return a * b; }"), 12);
-    assert_eq!(ret("int main() { int a; int b; a = b = 5; return a + b; }"), 10);
-    assert_eq!(ret("int main() { int a = 10; a += 5; a -= 3; a *= 2; a /= 4; return a; }"), 6);
-    assert_eq!(ret("int main() { int a = 6; a %= 4; a <<= 3; a >>= 1; a |= 1; return a; }"), 9);
-    assert_eq!(ret("int main() { int a = 0xff; a &= 0x0f; a ^= 0xff; return a; }"), 0xf0);
+    assert_eq!(
+        ret("int main() { int a = 3; int b = 4; return a * b; }"),
+        12
+    );
+    assert_eq!(
+        ret("int main() { int a; int b; a = b = 5; return a + b; }"),
+        10
+    );
+    assert_eq!(
+        ret("int main() { int a = 10; a += 5; a -= 3; a *= 2; a /= 4; return a; }"),
+        6
+    );
+    assert_eq!(
+        ret("int main() { int a = 6; a %= 4; a <<= 3; a >>= 1; a |= 1; return a; }"),
+        9
+    );
+    assert_eq!(
+        ret("int main() { int a = 0xff; a &= 0x0f; a ^= 0xff; return a; }"),
+        0xf0
+    );
 }
 
 #[test]
@@ -169,8 +192,10 @@ fn functions_and_recursion() {
         42
     );
     assert_eq!(
-        ret("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
-             int main() { return fib(12); }"),
+        ret(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+             int main() { return fib(12); }"
+        ),
         144
     );
     assert_eq!(
@@ -247,14 +272,8 @@ fn strings_and_globals() {
 #[test]
 fn char_semantics() {
     // chars load sign-extended (lb), mask to recover bytes >= 0x80.
-    assert_eq!(
-        ret("int main() { char c = 200; return c; }"),
-        200i32 - 256
-    );
-    assert_eq!(
-        ret("int main() { char c = 200; return c & 0xff; }"),
-        200
-    );
+    assert_eq!(ret("int main() { char c = 200; return c; }"), 200i32 - 256);
+    assert_eq!(ret("int main() { char c = 200; return c & 0xff; }"), 200);
     assert_eq!(ret("int main() { char c = 'A'; return c + 1; }"), 66);
 }
 
@@ -428,10 +447,19 @@ fn compile_errors() {
         ("int main() { return x; }", "undefined name"),
         ("int main() { int x; return x(); }", "not a function"),
         ("int main() { 5 = 6; return 0; }", "not an lvalue"),
-        ("int f(int a); int main() { return f(1, 2); }", "wrong number of arguments"),
+        (
+            "int f(int a); int main() { return f(1, 2); }",
+            "wrong number of arguments",
+        ),
         ("int main() { int x; return x.y; }", "`.` on non-struct"),
-        ("int main() { int x; return *x; }", "dereference non-pointer"),
-        ("struct s { int a; }; int main() { struct s v; return v.b; }", "no field"),
+        (
+            "int main() { int x; return *x; }",
+            "dereference non-pointer",
+        ),
+        (
+            "struct s { int a; }; int main() { struct s v; return v.b; }",
+            "no field",
+        ),
         ("int main() { break; }", "outside a loop"),
         ("int main() { continue; }", "outside a loop"),
         ("int x; int x;", "duplicate global"),

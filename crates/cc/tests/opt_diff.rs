@@ -6,7 +6,8 @@ use ptaint_cpu::{Cpu, DetectionPolicy, StepEvent};
 use ptaint_isa::{Reg, STACK_TOP};
 use ptaint_mem::{MemorySystem, WordTaint};
 
-const TEST_CRT: &str = "\n_start:\n        addiu $sp, $sp, -16\n        jal main\n        break 0\n";
+const TEST_CRT: &str =
+    "\n_start:\n        addiu $sp, $sp, -16\n        jal main\n        break 0\n";
 
 /// Runs `asm` to the break trap; returns (return value, instruction count).
 fn run_asm(asm: &str) -> (i32, u64) {
@@ -17,13 +18,15 @@ fn run_asm(asm: &str) -> (i32, u64) {
         mem.write_u32(image.text_base + 4 * i as u32, w, WordTaint::CLEAN)
             .unwrap();
     }
-    mem.write_bytes(image.data_base, &image.data, false).unwrap();
+    mem.write_bytes(image.data_base, &image.data, false)
+        .unwrap();
     let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
     cpu.set_pc(image.entry);
-    cpu.regs_mut().set(Reg::SP, STACK_TOP - 64, WordTaint::CLEAN);
+    cpu.regs_mut()
+        .set(Reg::SP, STACK_TOP - 64, WordTaint::CLEAN);
     for _ in 0..50_000_000u64 {
         if let StepEvent::BreakTrap(_) = cpu.step().expect("clean execution") {
-            return (cpu.regs().value(Reg::V0) as i32, cpu.stats().instructions)
+            return (cpu.regs().value(Reg::V0) as i32, cpu.stats().instructions);
         }
     }
     panic!("did not terminate");

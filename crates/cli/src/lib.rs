@@ -15,11 +15,17 @@
 //!   --env NAME=VALUE      append an environment string (repeatable)
 //!   --file PATH=HOSTFILE  mount HOSTFILE at PATH in the guest FS (repeatable)
 //!   --session FILE        one network client session; FILE holds one
-//!                         message per line (repeatable)
+//!                         message per line, with `\xNN` hex escapes and
+//!                         `\\` for raw bytes (repeatable)
 //!   --watch SYMBOL:LEN    annotate SYMBOL (never-tainted, §5.3 extension)
 //!   --caches              model the two-level cache hierarchy
 //!   --pipeline            run through the 5-stage pipeline timing model
 //!   --steps N             step budget (default 500M)
+//!   --trace-out FILE      write the structured event stream (JSONL) to FILE
+//!   --metrics-out FILE    write the aggregated metrics snapshot (JSON) to FILE
+//!   --provenance          track taint provenance; on a detection, print the
+//!                         forensic chain from input byte to flagged pointer
+//!   --trace-depth N       depth of the recently-retired diagnostic ring
 //!   --disasm              print the program disassembly and exit
 //!   --quiet               suppress the banner and statistics
 //! ```
@@ -28,7 +34,9 @@
 
 use std::fmt::Write as _;
 
-use ptaint::{DetectionPolicy, ExitReason, Machine, NetSession, WorldConfig};
+use ptaint::{
+    DetectionPolicy, ExitReason, Machine, NetSession, ToJson, TraceConfig, TraceReport, WorldConfig,
+};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -63,6 +71,14 @@ pub struct Options {
     pub disasm: bool,
     /// Print the last retired instructions after the run.
     pub trace: bool,
+    /// Write the JSONL event stream here.
+    pub trace_out: Option<String>,
+    /// Write the metrics snapshot (JSON) here.
+    pub metrics_out: Option<String>,
+    /// Track taint provenance and print the forensic chain on a detection.
+    pub provenance: bool,
+    /// Depth of the recently-retired diagnostic ring.
+    pub trace_depth: Option<usize>,
     /// Suppress banner/statistics.
     pub quiet: bool,
 }
@@ -84,6 +100,47 @@ fn read_host(path: &str) -> Result<Vec<u8>, UsageError> {
     std::fs::read(path).map_err(|e| UsageError(format!("cannot read `{path}`: {e}")))
 }
 
+/// Decodes one session-file line into message bytes.
+///
+/// Session files are line-oriented text, but real exploit payloads carry
+/// raw bytes (addresses, NULs) that cannot survive a UTF-8 text file: the
+/// escapes `\xNN` (one byte from two hex digits) and `\\` (a literal
+/// backslash) express them. Any other sequence is a usage error.
+fn unescape_session_line(line: &str) -> Result<Vec<u8>, UsageError> {
+    let mut bytes = Vec::with_capacity(line.len());
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => bytes.push(b'\\'),
+            Some('x') => {
+                let hi = chars.next();
+                let lo = chars.next();
+                let (Some(hi), Some(lo)) = (
+                    hi.and_then(|c| c.to_digit(16)),
+                    lo.and_then(|c| c.to_digit(16)),
+                ) else {
+                    return Err(UsageError(format!(
+                        "bad `\\x` escape in session line `{line}` (expects two hex digits)"
+                    )));
+                };
+                bytes.push((hi * 16 + lo) as u8);
+            }
+            other => {
+                return Err(UsageError(format!(
+                    "unknown escape `\\{}` in session line `{line}` (use \\xNN or \\\\)",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(bytes)
+}
+
 /// Parses the argument vector (without the leading program name).
 ///
 /// # Errors
@@ -93,7 +150,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
     let mut opts = Options::default();
     let mut it = args.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                     flag: &str|
+                 flag: &str|
      -> Result<String, UsageError> {
         it.next()
             .cloned()
@@ -142,8 +199,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
                 let bytes = read_host(&path)?;
                 let messages = String::from_utf8_lossy(&bytes)
                     .lines()
-                    .map(|l| l.as_bytes().to_vec())
-                    .collect();
+                    .map(unescape_session_line)
+                    .collect::<Result<Vec<_>, _>>()?;
                 opts.sessions.push(messages);
             }
             "--watch" => {
@@ -163,6 +220,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
                         .map_err(|_| UsageError(format!("bad step count `{v}`")))?,
                 );
             }
+            "--trace-out" => opts.trace_out = Some(value(&mut it, "--trace-out")?),
+            "--metrics-out" => opts.metrics_out = Some(value(&mut it, "--metrics-out")?),
+            "--provenance" => opts.provenance = true,
+            "--trace-depth" => {
+                let v = value(&mut it, "--trace-depth")?;
+                opts.trace_depth = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("bad trace depth `{v}`")))?,
+                );
+            }
             flag if flag.starts_with("--") => {
                 return Err(UsageError(format!("unknown flag `{flag}`")));
             }
@@ -175,7 +242,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
         }
     }
     if opts.program.is_empty() {
-        return Err(UsageError("no program given (usage: ptaint-run prog.c [options])".into()));
+        return Err(UsageError(
+            "no program given (usage: ptaint-run prog.c [options])".into(),
+        ));
     }
     Ok(opts)
 }
@@ -219,6 +288,9 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
     if let Some(steps) = opts.steps {
         machine = machine.step_limit(steps);
     }
+    if let Some(depth) = opts.trace_depth {
+        machine = machine.trace_depth(depth);
+    }
     for (sym, len) in &opts.watches {
         if machine.image().symbol(sym).is_none() {
             return Err(UsageError(format!("no symbol `{sym}` to watch")));
@@ -229,23 +301,40 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
 }
 
 /// Runs the machine and renders the report. Returns `(report, exit_code)`.
+///
+/// With `--trace-out` / `--metrics-out` the collected artifacts are written
+/// to the named host files; write failures are reported in the text output
+/// without changing the exit code.
 #[must_use]
 pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
     if opts.disasm {
         return (ptaint::disassemble(machine.image()), 0);
     }
+    let trace_cfg = TraceConfig {
+        jsonl: opts.trace_out.is_some(),
+        metrics: opts.metrics_out.is_some(),
+        provenance: opts.provenance,
+        ..TraceConfig::default()
+    };
     let mut report = String::new();
     let mut trace = Vec::new();
+    let mut trace_report = TraceReport::default();
     let (outcome, pipeline) = if opts.pipeline {
         let (o, p) = machine.run_pipelined();
         (o, Some(p))
-    } else if opts.trace {
+    } else if trace_cfg.any() {
+        let (o, t, r) = machine.run_with_trace(&trace_cfg);
+        trace = t;
+        trace_report = r;
+        (o, None)
+    } else {
+        // The retired-instruction ring is maintained regardless, so always
+        // collect the tail: it backs `--trace` and the alert report.
         let (o, t) = machine.run_traced();
         trace = t;
         (o, None)
-    } else {
-        (machine.run(), None)
     };
+    let detected = matches!(outcome.reason, ExitReason::Security(_));
 
     if !outcome.stdout.is_empty() {
         report.push_str(&String::from_utf8_lossy(&outcome.stdout));
@@ -262,7 +351,9 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
             );
         }
     }
-    if opts.trace && !trace.is_empty() {
+    // The execution tail is printed when asked for (`--trace`) and, so the
+    // detection report stands on its own, whenever an alert fired.
+    if (opts.trace || (detected && !opts.quiet)) && !trace.is_empty() {
         let _ = writeln!(report, "--- last {} instructions ---", trace.len());
         for line in &trace {
             let _ = writeln!(report, "{line}");
@@ -280,6 +371,40 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
                 p.load_use_stalls,
                 p.control_flushes
             );
+        }
+    }
+    if let Some(chain) = &trace_report.forensic {
+        let _ = writeln!(report, "--- provenance ---\n{chain}");
+    } else if opts.provenance && detected {
+        let _ = writeln!(report, "--- provenance: no chain reconstructed ---");
+    }
+    if let Some(path) = &opts.trace_out {
+        let bytes = trace_report.jsonl.take().unwrap_or_default();
+        let events = bytes.iter().filter(|&&b| b == b'\n').count();
+        match std::fs::write(path, &bytes) {
+            Ok(()) if !opts.quiet => {
+                let _ = writeln!(report, "--- trace: wrote {events} events to {path}");
+            }
+            Ok(()) => {}
+            Err(e) => {
+                let _ = writeln!(report, "--- trace: cannot write `{path}`: {e}");
+            }
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        let json = trace_report
+            .metrics
+            .as_ref()
+            .map(|m| m.to_json() + "\n")
+            .unwrap_or_default();
+        match std::fs::write(path, &json) {
+            Ok(()) if !opts.quiet => {
+                let _ = writeln!(report, "--- metrics: wrote {path}");
+            }
+            Ok(()) => {}
+            Err(e) => {
+                let _ = writeln!(report, "--- metrics: cannot write `{path}`: {e}");
+            }
         }
     }
     let code = match outcome.reason {
@@ -344,10 +469,25 @@ mod tests {
     }
 
     #[test]
+    fn session_lines_decode_hex_escapes() {
+        assert_eq!(unescape_session_line("GET /x").unwrap(), b"GET /x");
+        assert_eq!(
+            unescape_session_line("A\\x00\\xd0\\x01B\\\\").unwrap(),
+            [b'A', 0x00, 0xd0, 0x01, b'B', b'\\']
+        );
+        assert!(unescape_session_line("\\x2").is_err());
+        assert!(unescape_session_line("\\q").is_err());
+        assert!(unescape_session_line("trailing\\").is_err());
+    }
+
+    #[test]
     fn end_to_end_hello() {
         let opts = parse(&["hello.c", "--quiet"]).unwrap();
-        let machine =
-            build_machine(&opts, r#"int main() { printf("hi from cli\n"); return 3; }"#).unwrap();
+        let machine = build_machine(
+            &opts,
+            r#"int main() { printf("hi from cli\n"); return 3; }"#,
+        )
+        .unwrap();
         let (report, code) = run_machine(&opts, &machine);
         assert_eq!(report, "hi from cli\n");
         assert_eq!(code, 3);

@@ -17,11 +17,16 @@ fn main() -> ExitCode {
              --stdin-text STRING  stdin bytes inline (tainted)\n\
              --arg S / --env K=V  guest argv / environment (repeatable)\n\
              --file PATH=HOST     mount HOST file at guest PATH (repeatable)\n\
-             --session FILE       scripted network client, one message per line\n\
+             --session FILE       scripted client, one message per line\n\
+                                  (\\xNN hex escapes for raw payload bytes)\n\
              --watch SYMBOL:LEN   annotate never-tainted data (§5.3)\n\
              --caches             model L1/L2 caches\n\
              --pipeline           5-stage pipeline timing model\n\
              --steps N            step budget\n\
+             --trace-out FILE     write the event stream (JSONL) to FILE\n\
+             --metrics-out FILE   write the metrics snapshot (JSON) to FILE\n\
+             --provenance         print the forensic taint chain on detection\n\
+             --trace-depth N      retired-instruction ring depth\n\
              --disasm             print disassembly and exit\n\
              --quiet              program output only\n\
              \n\

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn buffer_overflow_dominates() {
-        let bo = CATEGORIES.iter().find(|c| c.name == "buffer overflow").unwrap();
+        let bo = CATEGORIES
+            .iter()
+            .find(|c| c.name == "buffer overflow")
+            .unwrap();
         for c in &CATEGORIES {
             assert!(bo.advisories >= c.advisories);
         }

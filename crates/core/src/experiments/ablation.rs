@@ -107,9 +107,21 @@ fn run_variant(variant: &'static str, rules: TaintRules, scale: u32) -> Ablation
 pub fn run_ablation_study(scale: u32) -> AblationReport {
     let rows = vec![
         run_variant("paper (all rules)", TaintRules::PAPER, scale),
-        run_variant("no compare-untaint", TaintRules::without_compare_untaint(), scale),
-        run_variant("no AND-zero untaint", TaintRules::without_and_untaint(), scale),
-        run_variant("no xor-idiom untaint", TaintRules::without_xor_idiom(), scale),
+        run_variant(
+            "no compare-untaint",
+            TaintRules::without_compare_untaint(),
+            scale,
+        ),
+        run_variant(
+            "no AND-zero untaint",
+            TaintRules::without_and_untaint(),
+            scale,
+        ),
+        run_variant(
+            "no xor-idiom untaint",
+            TaintRules::without_xor_idiom(),
+            scale,
+        ),
         run_variant("no shift smear", TaintRules::without_shift_smear(), scale),
         run_variant("generic OR only", TaintRules::GENERIC_ONLY, scale),
     ];

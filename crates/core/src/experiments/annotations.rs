@@ -93,8 +93,7 @@ pub fn run_annotation_experiment() -> AnnotationReport {
         .taint_watch_symbol("authenticated", 4)
         .world(WorldConfig::new().stdin(b"letmein\n".to_vec()))
         .run();
-    let benign_ok =
-        !benign.reason.is_detected() && benign.stdout_text().contains("ACCESS GRANTED");
+    let benign_ok = !benign.reason.is_detected() && benign.stdout_text().contains("ACCESS GRANTED");
 
     AnnotationReport {
         unannotated_missed,
@@ -105,11 +104,18 @@ pub fn run_annotation_experiment() -> AnnotationReport {
 
 impl fmt::Display for AnnotationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§5.3 extension — programmer annotations on critical data")?;
+        writeln!(
+            f,
+            "§5.3 extension — programmer annotations on critical data"
+        )?;
         writeln!(
             f,
             "  without annotation : attack {} (the Table 4(B) false negative)",
-            if self.unannotated_missed { "succeeds silently" } else { "did not reproduce" }
+            if self.unannotated_missed {
+                "succeeds silently"
+            } else {
+                "did not reproduce"
+            }
         )?;
         match &self.annotated_alert {
             Some(alert) => {
@@ -120,7 +126,11 @@ impl fmt::Display for AnnotationReport {
         writeln!(
             f,
             "  honest login       : {}",
-            if self.benign_ok { "works, no alert" } else { "BROKEN" }
+            if self.benign_ok {
+                "works, no alert"
+            } else {
+                "BROKEN"
+            }
         )
     }
 }

@@ -84,7 +84,12 @@ impl fmt::Display for CacheReport {
         writeln!(
             f,
             "  {:<8} {:>9} {:>9} {:>16} {:>16} {:>13}",
-            "program", "L1 hit%", "L2 hit%", "L1 tainted lines", "L2 tainted lines", "tainted bytes"
+            "program",
+            "L1 hit%",
+            "L2 hit%",
+            "L1 tainted lines",
+            "L2 tainted lines",
+            "tainted bytes"
         )?;
         for r in &self.rows {
             writeln!(
@@ -111,7 +116,12 @@ mod tests {
         let report = run_cache_study(2);
         assert_eq!(report.rows.len(), 6);
         for row in &report.rows {
-            assert!(row.l1_hit_rate > 0.5, "{}: {:.3}", row.name, row.l1_hit_rate);
+            assert!(
+                row.l1_hit_rate > 0.5,
+                "{}: {:.3}",
+                row.name,
+                row.l1_hit_rate
+            );
             assert!(
                 row.tainted_bytes > 0,
                 "{} left no tainted footprint",
@@ -120,7 +130,10 @@ mod tests {
         }
         // At least the input-heavy workloads keep tainted lines resident.
         assert!(
-            report.rows.iter().any(|r| r.l1_tainted_lines > 0 || r.l2_tainted_lines > 0),
+            report
+                .rows
+                .iter()
+                .any(|r| r.l1_tainted_lines > 0 || r.l2_tainted_lines > 0),
             "{report}"
         );
     }

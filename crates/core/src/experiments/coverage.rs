@@ -260,7 +260,11 @@ impl fmt::Display for CoverageMatrix {
             f,
             "\n  paper's claim (full detection catches all; control-only \
              catches only control-data): {}",
-            if self.matches_paper_claims() { "REPRODUCED" } else { "NOT reproduced" }
+            if self.matches_paper_claims() {
+                "REPRODUCED"
+            } else {
+                "NOT reproduced"
+            }
         )?;
         Ok(())
     }
@@ -278,7 +282,12 @@ mod tests {
 
         // Full detection catches every attack.
         for r in &matrix.rows {
-            assert_eq!(r.pointer_taintedness, CoverageOutcome::Detected, "{}", r.attack);
+            assert_eq!(
+                r.pointer_taintedness,
+                CoverageOutcome::Detected,
+                "{}",
+                r.attack
+            );
         }
         // Both control-data attacks (return address and function pointer)
         // are caught by the control-only baseline.
@@ -289,7 +298,12 @@ mod tests {
             .collect();
         assert_eq!(control.len(), 2);
         for row in control {
-            assert_eq!(row.control_only, CoverageOutcome::Detected, "{}", row.attack);
+            assert_eq!(
+                row.control_only,
+                CoverageOutcome::Detected,
+                "{}",
+                row.attack
+            );
         }
         // The daemons are genuinely compromised when unprotected.
         let compromised = matrix

@@ -105,7 +105,11 @@ impl fmt::Display for Figure2Layout {
             "Figure 2 (live) — exp1's victim frame at the instant of detection"
         )?;
         writeln!(f, "  alert: {}\n", self.alert)?;
-        writeln!(f, "  {:>10}  {:>10}  {:<8} role", "address", "value", "taint")?;
+        writeln!(
+            f,
+            "  {:>10}  {:>10}  {:<8} role",
+            "address", "value", "taint"
+        )?;
         writeln!(f, "  low addresses — the overflow ran upward ↓")?;
         for w in &self.words {
             let taint: String = (0..4)

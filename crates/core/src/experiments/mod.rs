@@ -28,8 +28,8 @@
 //! like the paper's tables; the `ptaint-bench` binaries simply print them.
 
 pub mod ablation;
-pub mod caches;
 pub mod annotations;
+pub mod caches;
 pub mod coverage;
 pub mod figure2_layout;
 pub mod figure3;

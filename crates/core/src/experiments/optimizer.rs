@@ -72,7 +72,12 @@ pub fn run_optimizer_study(scale: u32) -> OptimizerReport {
         let out_plain = plain.run();
         let out_opt = opt.run();
         assert_eq!(out_plain.reason, ExitReason::Exited(0), "{}", w.name);
-        assert_eq!(out_opt.reason, ExitReason::Exited(0), "{} (optimized)", w.name);
+        assert_eq!(
+            out_opt.reason,
+            ExitReason::Exited(0),
+            "{} (optimized)",
+            w.name
+        );
         rows.push(OptimizerRow {
             name: w.name,
             instructions_plain: out_plain.stats.instructions,
@@ -95,7 +100,13 @@ impl fmt::Display for OptimizerReport {
         writeln!(
             f,
             "  {:<8} {:>14} {:>14} {:>8} {:>12} {:>12} {:>8}",
-            "program", "insns (plain)", "insns (opt)", "saved", "text (plain)", "text (opt)", "output"
+            "program",
+            "insns (plain)",
+            "insns (opt)",
+            "saved",
+            "text (plain)",
+            "text (opt)",
+            "output"
         )?;
         for r in &self.rows {
             writeln!(

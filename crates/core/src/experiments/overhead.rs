@@ -73,10 +73,7 @@ pub fn run_overhead_report(scale: u32) -> OverheadReport {
             .world(w.world(scale))
             .hierarchy(HierarchyConfig::flat());
 
-        let (out_off, pipe_off) = machine
-            .clone()
-            .policy(DetectionPolicy::Off)
-            .run_pipelined();
+        let (out_off, pipe_off) = machine.clone().policy(DetectionPolicy::Off).run_pipelined();
         let (out_full, pipe_full) = machine
             .clone()
             .policy(DetectionPolicy::PointerTaintedness)
@@ -127,12 +124,22 @@ impl fmt::Display for OverheadReport {
         writeln!(
             f,
             "  performance: taint tracking off the critical path — zero extra cycles: {}",
-            if self.zero_cycle_overhead() { "verified" } else { "VIOLATED" }
+            if self.zero_cycle_overhead() {
+                "verified"
+            } else {
+                "VIOLATED"
+            }
         )?;
         writeln!(
             f,
             "\n  {:<8} {:>13} {:>13} {:>13} {:>10} {:>10} {:>10}",
-            "program", "instructions", "cycles(off)", "cycles(full)", "input B", "sw ovh %", "tainted B"
+            "program",
+            "instructions",
+            "cycles(off)",
+            "cycles(full)",
+            "input B",
+            "sw ovh %",
+            "tainted B"
         )?;
         for r in &self.rows {
             writeln!(

@@ -39,16 +39,25 @@ pub fn run_synthetic_suite() -> SyntheticSuite {
     let mut detections = Vec::new();
 
     let exp1 = ptaint_guest::build(synthetic::EXP1_SOURCE).expect("exp1 builds");
-    let out = run_app(&exp1, synthetic::exp1_attack_world(), DetectionPolicy::PointerTaintedness);
+    let out = run_app(
+        &exp1,
+        synthetic::exp1_attack_world(),
+        DetectionPolicy::PointerTaintedness,
+    );
     detections.push(SyntheticDetection {
         name: "exp1 (stack buffer overflow)",
         attack: "stdin: 24 x 'a' into char buf[10] via scanf(\"%s\")".into(),
         alert: *out.reason.alert().expect("exp1 detected"),
-        paper_expectation: "alert at the return instruction (jr $31), return address tainted 0x61616161",
+        paper_expectation:
+            "alert at the return instruction (jr $31), return address tainted 0x61616161",
     });
 
     let exp2 = ptaint_guest::build(synthetic::EXP2_SOURCE).expect("exp2 builds");
-    let out = run_app(&exp2, synthetic::exp2_attack_world(), DetectionPolicy::PointerTaintedness);
+    let out = run_app(
+        &exp2,
+        synthetic::exp2_attack_world(),
+        DetectionPolicy::PointerTaintedness,
+    );
     detections.push(SyntheticDetection {
         name: "exp2 (heap corruption)",
         attack: "stdin: overflow of malloc(8) into the next free chunk's fd/bk links".into(),

@@ -36,7 +36,8 @@ pub struct Table1Report {
 
 fn exec_one(insn: Instr, setup: impl FnOnce(&mut Cpu)) -> Cpu {
     let mut mem = MemorySystem::flat();
-    mem.write_u32(TEXT_BASE, insn.encode(), WordTaint::CLEAN).expect("text");
+    mem.write_u32(TEXT_BASE, insn.encode(), WordTaint::CLEAN)
+        .expect("text");
     let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
     cpu.set_pc(TEXT_BASE);
     setup(&mut cpu);
@@ -78,7 +79,8 @@ pub fn verify_propagation_rules() -> Table1Report {
         shamt: 8,
     };
     let cpu = exec_one(insn, |cpu| {
-        cpu.regs_mut().set(Reg::T0, 0xab, WordTaint::from_bits(0b0001));
+        cpu.regs_mut()
+            .set(Reg::T0, 0xab, WordTaint::from_bits(0b0001));
     });
     rules.push(RuleDemonstration {
         rule: "shift: tainted byte also taints its neighbour along the shift direction",
@@ -165,7 +167,11 @@ impl fmt::Display for Table1Report {
                 r.instruction,
                 r.before,
                 r.after,
-                if r.matches_table { "matches Table 1" } else { "MISMATCH" }
+                if r.matches_table {
+                    "matches Table 1"
+                } else {
+                    "MISMATCH"
+                }
             )?;
         }
         Ok(())

@@ -109,7 +109,10 @@ pub fn run_wu_ftpd_transcript() -> Table2Report {
 
 impl fmt::Display for Table2Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 2 — attacking WU-FTPD on the proposed architecture")?;
+        writeln!(
+            f,
+            "Table 2 — attacking WU-FTPD on the proposed architecture"
+        )?;
         writeln!(
             f,
             "  (target word session_uid at {:#010x}, calibrated pad = {} %x directives)\n",

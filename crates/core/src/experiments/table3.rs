@@ -110,7 +110,12 @@ impl fmt::Display for Table3Report {
             writeln!(
                 f,
                 "  {:<8} {:>12} {:>12} {:>14} {:>14} {:>7}",
-                r.name, r.program_bytes, r.input_bytes, r.instructions, r.tainted_instructions, r.alerts
+                r.name,
+                r.program_bytes,
+                r.input_bytes,
+                r.instructions,
+                r.tainted_instructions,
+                r.alerts
             )?;
         }
         writeln!(
@@ -120,7 +125,10 @@ impl fmt::Display for Table3Report {
             self.rows.iter().map(|r| r.program_bytes).sum::<u32>(),
             self.total_input_bytes(),
             self.total_instructions(),
-            self.rows.iter().map(|r| r.tainted_instructions).sum::<u64>(),
+            self.rows
+                .iter()
+                .map(|r| r.tainted_instructions)
+                .sum::<u64>(),
             self.total_alerts()
         )?;
         writeln!(f, "\n  outputs:")?;

@@ -48,8 +48,7 @@ fn run_scenario(
         scenario,
         attack,
         alerted,
-        damage_done: stdout.contains(damage_marker)
-            && matches!(out.reason, ExitReason::Exited(_)),
+        damage_done: stdout.contains(damage_marker) && matches!(out.reason, ExitReason::Exited(_)),
         evidence: stdout.trim().to_owned(),
         why_missed,
     }
@@ -100,7 +99,10 @@ impl Table4Report {
 
 impl fmt::Display for Table4Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 4 / §5.3 — false-negative scenarios (undetected by design)")?;
+        writeln!(
+            f,
+            "Table 4 / §5.3 — false-negative scenarios (undetected by design)"
+        )?;
         for r in &self.rows {
             writeln!(f, "\n  {}", r.scenario)?;
             writeln!(f, "    attack   : {}", r.attack)?;
@@ -108,7 +110,11 @@ impl fmt::Display for Table4Report {
                 f,
                 "    result   : alert={} damage={}",
                 if r.alerted { "YES (unexpected!)" } else { "no" },
-                if r.damage_done { "yes" } else { "NO (unexpected!)" }
+                if r.damage_done {
+                    "yes"
+                } else {
+                    "NO (unexpected!)"
+                }
             )?;
             writeln!(f, "    evidence : {}", r.evidence)?;
             writeln!(f, "    why      : {}", r.why_missed)?;

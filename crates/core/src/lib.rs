@@ -63,11 +63,15 @@ pub use ptaint_asm::{assemble, disassemble, AsmError, Image};
 pub use ptaint_cc::compile;
 pub use ptaint_cpu::pipeline::{Pipeline, PipelineReport};
 pub use ptaint_cpu::{
-    AlertKind, Cpu, CpuException, DetectionPolicy, ExecStats, SecurityAlert, StepEvent,
-    TaintRules, TaintWatch,
+    AlertKind, Cpu, CpuException, DetectionPolicy, ExecStats, SecurityAlert, StepEvent, TaintRules,
+    TaintWatch,
 };
 pub use ptaint_guest::{BuildError, LIBC_C};
 pub use ptaint_mem::{CacheConfig, HierarchyConfig, MemorySystem, TaintedMemory, WordTaint};
 pub use ptaint_os::{
-    load, run_to_exit, ExitReason, NetSession, Os, RunOutcome, Sys, WorldConfig,
+    load, load_with_observer, run_to_exit, ExitReason, NetSession, Os, RunOutcome, Sys, WorldConfig,
+};
+pub use ptaint_trace::{
+    Event, ForensicChain, MetricsSnapshot, Observer, SharedObserver, ToJson, TraceConfig, TraceHub,
+    TraceReport,
 };

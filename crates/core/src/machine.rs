@@ -1,11 +1,14 @@
 //! The top-level machine builder.
 
+use std::rc::Rc;
+
 use ptaint_asm::Image;
 use ptaint_cpu::pipeline::{Pipeline, PipelineReport};
 use ptaint_cpu::{Cpu, CpuException, DetectionPolicy, StepEvent, TaintRules};
 use ptaint_guest::BuildError;
 use ptaint_mem::HierarchyConfig;
-use ptaint_os::{load, run_to_exit, ExitReason, Os, RunOutcome, WorldConfig};
+use ptaint_os::{load_with_observer, run_to_exit, ExitReason, Os, RunOutcome, WorldConfig};
+use ptaint_trace::{SharedObserver, TraceConfig, TraceHub, TraceReport};
 
 /// A configured guest machine: program image, outside world, detection
 /// policy, and memory hierarchy. Each [`Machine::run`] boots a fresh
@@ -28,6 +31,7 @@ pub struct Machine {
     rules: TaintRules,
     watches: Vec<(u32, u32, String)>,
     step_limit: u64,
+    trace_depth: Option<usize>,
 }
 
 impl Machine {
@@ -73,6 +77,7 @@ impl Machine {
             rules: TaintRules::PAPER,
             watches: Vec::new(),
             step_limit: Machine::DEFAULT_STEP_LIMIT,
+            trace_depth: None,
         }
     }
 
@@ -128,6 +133,15 @@ impl Machine {
         self
     }
 
+    /// Sets the depth of the CPU's recently-retired diagnostic ring (default
+    /// [`ptaint_cpu::DEFAULT_TRACE_DEPTH`]) — the tail reported by
+    /// [`Machine::run_traced`] and the CLI's alert report.
+    #[must_use]
+    pub fn trace_depth(mut self, depth: usize) -> Machine {
+        self.trace_depth = Some(depth);
+        self
+    }
+
     /// The program image (symbol table, segments) — payload builders use
     /// this to locate attack targets.
     #[must_use]
@@ -136,8 +150,21 @@ impl Machine {
     }
 
     fn boot(&self) -> (Cpu, Os) {
-        let (mut cpu, os) = load(&self.image, self.world.clone(), self.policy, self.hierarchy);
+        self.boot_with(None)
+    }
+
+    fn boot_with(&self, observer: Option<SharedObserver>) -> (Cpu, Os) {
+        let (mut cpu, os) = load_with_observer(
+            &self.image,
+            self.world.clone(),
+            self.policy,
+            self.hierarchy,
+            observer,
+        );
         cpu.set_taint_rules(self.rules);
+        if let Some(depth) = self.trace_depth {
+            cpu.set_trace_depth(depth);
+        }
         for (addr, len, label) in &self.watches {
             cpu.add_taint_watch(*addr, *len, label.clone());
         }
@@ -192,7 +219,11 @@ impl Machine {
             stats: pipe.cpu().stats(),
             stdout: os.stdout().to_vec(),
             stderr: os.stderr().to_vec(),
-            transcripts: os.session_transcripts().iter().map(|s| s.to_vec()).collect(),
+            transcripts: os
+                .session_transcripts()
+                .iter()
+                .map(|s| s.to_vec())
+                .collect(),
             tainted_input_bytes: os.tainted_input_bytes,
         };
         (outcome, pipe.report())
@@ -205,8 +236,39 @@ impl Machine {
     pub fn run_traced(&self) -> (RunOutcome, Vec<String>) {
         let (mut cpu, mut os) = self.boot();
         let outcome = run_to_exit(&mut cpu, &mut os, self.step_limit);
-        let trace = cpu
-            .recent_trace()
+        let trace = self.render_tail(&cpu);
+        (outcome, trace)
+    }
+
+    /// Boots with the observability sinks `cfg` enables, runs to completion,
+    /// and returns the outcome, the disassembled execution tail, and the
+    /// collected [`TraceReport`] (JSONL stream, metrics, forensic chain).
+    ///
+    /// With every sink disabled this is equivalent to [`Machine::run_traced`]
+    /// plus an empty report — no observer is attached at all.
+    #[must_use]
+    pub fn run_with_trace(&self, cfg: &TraceConfig) -> (RunOutcome, Vec<String>, TraceReport) {
+        if !cfg.any() {
+            let (outcome, tail) = self.run_traced();
+            return (outcome, tail, TraceReport::default());
+        }
+        let hub = TraceHub::shared(cfg);
+        let observer: SharedObserver = hub.clone();
+        let (mut cpu, mut os) = self.boot_with(Some(observer));
+        let outcome = run_to_exit(&mut cpu, &mut os, self.step_limit);
+        let tail = self.render_tail(&cpu);
+        // Release the emulator's observer handles so the hub is uniquely
+        // owned again and can be consumed into its report.
+        drop(cpu);
+        drop(os);
+        let report = Rc::try_unwrap(hub)
+            .map(|cell| cell.into_inner().into_report())
+            .unwrap_or_default();
+        (outcome, tail, report)
+    }
+
+    fn render_tail(&self, cpu: &Cpu) -> Vec<String> {
+        cpu.recent_trace()
             .into_iter()
             .map(|(pc, instr)| {
                 let sym = self
@@ -216,8 +278,7 @@ impl Machine {
                     .unwrap_or_default();
                 format!("{pc:08x}{sym}: {instr}")
             })
-            .collect();
-        (outcome, trace)
+            .collect()
     }
 
     /// Static program size in bytes (text + data), the "program size"
@@ -251,7 +312,10 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let a = m.clone().world(WorldConfig::new().stdin(b"one".to_vec())).run();
+        let a = m
+            .clone()
+            .world(WorldConfig::new().stdin(b"one".to_vec()))
+            .run();
         let b = m.world(WorldConfig::new().stdin(b"two".to_vec())).run();
         assert_eq!(a.stdout_text(), "<one>");
         assert_eq!(b.stdout_text(), "<two>");

@@ -4,6 +4,7 @@ use std::fmt;
 
 use ptaint_isa::Instr;
 use ptaint_mem::WordTaint;
+use ptaint_trace::{json, ToJson};
 
 /// Which pointer-taintedness checks the processor performs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -69,13 +70,22 @@ pub enum AlertKind {
     AnnotationTainted,
 }
 
-impl fmt::Display for AlertKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl AlertKind {
+    /// The kind's display string, available as a `&'static str` so trace
+    /// events can carry it without allocating.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
             AlertKind::DataPointer => "tainted data pointer dereference",
             AlertKind::JumpPointer => "tainted jump target",
             AlertKind::AnnotationTainted => "annotated data became tainted",
-        })
+        }
+    }
+}
+
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -113,6 +123,26 @@ impl fmt::Display for SecurityAlert {
             f,
             "{:x}: {}  {}={:#010x} [{}]",
             self.pc, self.instr, self.pointer_reg, self.pointer, self.taint
+        )
+    }
+}
+
+impl ToJson for DetectionPolicy {
+    fn to_json(&self) -> String {
+        json::escape(self.name())
+    }
+}
+
+impl ToJson for SecurityAlert {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"pc\":\"0x{:x}\",\"instr\":{},\"kind\":{},\"pointer_reg\":{},\"pointer\":\"0x{:x}\",\"taint\":{}}}",
+            self.pc,
+            json::escape(&self.instr.to_string()),
+            json::escape(self.kind.name()),
+            json::escape(&self.pointer_reg.to_string()),
+            self.pointer,
+            json::escape(&self.taint.to_string()),
         )
     }
 }

@@ -8,6 +8,7 @@ use ptaint_isa::{
     BranchCond, BranchZCond, DecodeError, IAluOp, Instr, MemWidth, MulDivOp, RAluOp, Reg,
 };
 use ptaint_mem::{MemFault, MemorySystem, WordTaint};
+use ptaint_trace::{Event, Loc, SharedObserver, Transfer};
 
 use crate::taint_alu;
 use crate::{AlertKind, DetectionPolicy, ExecStats, RegisterFile, SecurityAlert, TaintRules};
@@ -76,8 +77,9 @@ impl From<MemFault> for CpuException {
     }
 }
 
-/// How many recently retired instructions the diagnostic ring buffer keeps.
-const TRACE_DEPTH: usize = 64;
+/// Default depth of the recently-retired diagnostic ring buffer; override
+/// per-CPU with [`Cpu::set_trace_depth`].
+pub const DEFAULT_TRACE_DEPTH: usize = 64;
 
 /// The taint-tracking processor (paper §4).
 ///
@@ -109,6 +111,9 @@ pub struct Cpu {
     watches: Vec<TaintWatch>,
     stats: ExecStats,
     recent: VecDeque<(u32, Instr)>,
+    trace_depth: usize,
+    observer: Option<SharedObserver>,
+    last_step_tainted: bool,
 }
 
 impl fmt::Debug for Cpu {
@@ -135,8 +140,50 @@ impl Cpu {
             rules: TaintRules::PAPER,
             watches: Vec::new(),
             stats: ExecStats::default(),
-            recent: VecDeque::with_capacity(TRACE_DEPTH),
+            recent: VecDeque::with_capacity(DEFAULT_TRACE_DEPTH),
+            trace_depth: DEFAULT_TRACE_DEPTH,
+            observer: None,
+            last_step_tainted: false,
         }
+    }
+
+    /// Attaches (or detaches) the structured-event observer. The same
+    /// observer is handed to the memory system so cache probes report to it
+    /// too. With no observer (the default) every hook is a `None` check.
+    pub fn set_observer(&mut self, observer: Option<SharedObserver>) {
+        self.mem.set_observer(observer.clone());
+        self.observer = observer;
+    }
+
+    /// Whether an observer is attached — callers (the OS model) use this to
+    /// skip building event labels that would go nowhere.
+    #[must_use]
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Forwards an event to the attached observer, if any. The OS model and
+    /// loader emit their [`Event::Syscall`] / [`Event::TaintSource`] events
+    /// through this.
+    pub fn emit_event(&self, event: &Event) {
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_event(event);
+        }
+    }
+
+    /// Resizes the recently-retired diagnostic ring (default
+    /// [`DEFAULT_TRACE_DEPTH`]). Shrinking drops the oldest entries.
+    pub fn set_trace_depth(&mut self, depth: usize) {
+        self.trace_depth = depth.max(1);
+        while self.recent.len() > self.trace_depth {
+            self.recent.pop_front();
+        }
+    }
+
+    /// Current depth of the recently-retired ring.
+    #[must_use]
+    pub fn trace_depth(&self) -> usize {
+        self.trace_depth
     }
 
     /// Replaces the active taint-propagation rule set (default:
@@ -243,24 +290,59 @@ impl Cpu {
     }
 
     fn push_trace(&mut self, pc: u32, instr: Instr) {
-        if self.recent.len() == TRACE_DEPTH {
+        if self.recent.len() == self.trace_depth {
             self.recent.pop_front();
         }
         self.recent.push_back((pc, instr));
     }
 
-    /// Builds the load/store detector's alert (paper §4.3: OR the taint bits
-    /// of the address word; placed after EX/MEM).
-    fn check_data_pointer(
-        &mut self,
+    /// Emits a [`Event::TaintPropagate`] when taint is actually in motion:
+    /// the destination ends up tainted, or a tainted source got overwritten
+    /// clean (provenance needs the clearing too). No-op without an observer.
+    #[allow(clippy::too_many_arguments)] // mirrors the Transfer field list
+    fn emit_transfer(
+        &self,
         pc: u32,
         instr: Instr,
-        base: Reg,
-    ) -> Result<(), CpuException> {
+        rule: &'static str,
+        dst: Loc,
+        srcs: [Option<Loc>; 2],
+        dst_taint: WordTaint,
+        src_taints: &[WordTaint],
+    ) {
+        if self.observer.is_none() {
+            return;
+        }
+        if !dst_taint.any() && !src_taints.iter().any(|t| t.any()) {
+            return;
+        }
+        self.emit_event(&Event::TaintPropagate(Transfer {
+            pc,
+            instr,
+            rule,
+            dst,
+            srcs,
+            taint_bits: dst_taint.bits(),
+        }));
+    }
+
+    /// Builds the load/store detector's alert (paper §4.3: OR the taint bits
+    /// of the address word; placed after EX/MEM).
+    fn check_data_pointer(&mut self, pc: u32, instr: Instr, base: Reg) -> Result<(), CpuException> {
         let (value, taint) = self.regs.get(base);
         if taint.any() {
             self.stats.tainted_pointer_dereferences += 1;
-            if self.policy.checks_data_pointers() {
+            let flagged = self.policy.checks_data_pointers();
+            self.emit_event(&Event::PointerCheck {
+                pc,
+                instr,
+                reg: base,
+                value,
+                taint_bits: taint.bits(),
+                flagged,
+            });
+            if flagged {
+                self.emit_alert_event(pc, instr, AlertKind::DataPointer, base, value, taint);
                 return Err(CpuException::Security(SecurityAlert {
                     pc,
                     instr,
@@ -285,7 +367,17 @@ impl Cpu {
         let (value, taint) = self.regs.get(target);
         if taint.any() {
             self.stats.tainted_pointer_dereferences += 1;
-            if self.policy.checks_jump_pointers() {
+            let flagged = self.policy.checks_jump_pointers();
+            self.emit_event(&Event::PointerCheck {
+                pc,
+                instr,
+                reg: target,
+                value,
+                taint_bits: taint.bits(),
+                flagged,
+            });
+            if flagged {
+                self.emit_alert_event(pc, instr, AlertKind::JumpPointer, target, value, taint);
                 return Err(CpuException::Security(SecurityAlert {
                     pc,
                     instr,
@@ -299,9 +391,46 @@ impl Cpu {
         Ok(())
     }
 
+    fn emit_alert_event(
+        &self,
+        pc: u32,
+        instr: Instr,
+        kind: AlertKind,
+        reg: Reg,
+        value: u32,
+        taint: WordTaint,
+    ) {
+        self.emit_event(&Event::Alert {
+            pc,
+            instr,
+            kind: kind.name(),
+            policy: self.policy.name(),
+            reg,
+            value,
+            taint_bits: taint.bits(),
+        });
+    }
+
+    /// Emits the in-place untainting a compare applies to an operand
+    /// (Table 1's compare rule) so provenance sees the taint disappear.
+    fn emit_compare_untaint(&self, pc: u32, instr: Instr, reg: Reg, old_taint: WordTaint) {
+        if old_taint.any() {
+            self.emit_transfer(
+                pc,
+                instr,
+                "compare-untaint",
+                Loc::Reg(reg),
+                [Some(Loc::Reg(reg)), None],
+                WordTaint::CLEAN,
+                &[old_taint],
+            );
+        }
+    }
+
     fn note_tainted_operands(&mut self, taints: &[WordTaint]) {
         if taints.iter().any(|t| t.any()) {
             self.stats.tainted_operand_instructions += 1;
+            self.last_step_tainted = true;
         }
     }
 
@@ -320,6 +449,7 @@ impl Cpu {
         let instr = Instr::decode(word).map_err(|err| CpuException::Decode { pc, err })?;
         let mut next_pc = pc.wrapping_add(4);
         let mut event = StepEvent::Executed;
+        self.last_step_tainted = false;
 
         match instr {
             Instr::RAlu { op, rd, rs, rt } => {
@@ -341,8 +471,19 @@ impl Cpu {
                     // Table 1: compare untaints its operands in place.
                     self.regs.set_taint(rs, taint_alu::compare_operand_taint());
                     self.regs.set_taint(rt, taint_alu::compare_operand_taint());
+                    self.emit_compare_untaint(pc, instr, rs, ta);
+                    self.emit_compare_untaint(pc, instr, rt, tb);
                 }
                 self.regs.set(rd, value, taint);
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    taint_alu::ralu_rule(self.rules, op, rs == rt),
+                    Loc::Reg(rd),
+                    [Some(Loc::Reg(rs)), Some(Loc::Reg(rt))],
+                    taint,
+                    &[ta, tb],
+                );
             }
             Instr::IAlu { op, rt, rs, imm } => {
                 let (a, ta) = self.regs.get(rs);
@@ -363,8 +504,18 @@ impl Cpu {
                 let taint = taint_alu::ialu_result_with(self.rules, op, a, ta, ext);
                 if op.is_compare() && self.rules.compare_untaints {
                     self.regs.set_taint(rs, taint_alu::compare_operand_taint());
+                    self.emit_compare_untaint(pc, instr, rs, ta);
                 }
                 self.regs.set(rt, value, taint);
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    taint_alu::ialu_rule(self.rules, op),
+                    Loc::Reg(rt),
+                    [Some(Loc::Reg(rs)), None],
+                    taint,
+                    &[ta],
+                );
             }
             Instr::Shift { op, rd, rt, shamt } => {
                 let (v, tv) = self.regs.get(rt);
@@ -372,6 +523,15 @@ impl Cpu {
                 let value = shift_value(op, v, u32::from(shamt));
                 let taint = taint_alu::shift_result_with(self.rules, op, tv, WordTaint::CLEAN);
                 self.regs.set(rd, value, taint);
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    taint_alu::shift_rule(self.rules, op),
+                    Loc::Reg(rd),
+                    [Some(Loc::Reg(rt)), None],
+                    taint,
+                    &[tv],
+                );
             }
             Instr::ShiftV { op, rd, rt, rs } => {
                 let (v, tv) = self.regs.get(rt);
@@ -380,6 +540,15 @@ impl Cpu {
                 let value = shift_value(op, v, amt & 0x1f);
                 let taint = taint_alu::shift_result_with(self.rules, op, tv, tamt);
                 self.regs.set(rd, value, taint);
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    taint_alu::shift_rule(self.rules, op),
+                    Loc::Reg(rd),
+                    [Some(Loc::Reg(rt)), Some(Loc::Reg(rs))],
+                    taint,
+                    &[tv, tamt],
+                );
             }
             Instr::Lui { rt, imm } => {
                 // A program constant: untainted (paper §4.2).
@@ -424,22 +593,67 @@ impl Cpu {
                         }
                     },
                 }
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    "generic",
+                    Loc::HiLo,
+                    [Some(Loc::Reg(rs)), Some(Loc::Reg(rt))],
+                    taint,
+                    &[ta, tb],
+                );
             }
             Instr::MoveFromHi { rd } => {
                 let (v, t) = self.regs.hi();
                 self.regs.set(rd, v, t);
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    "move",
+                    Loc::Reg(rd),
+                    [Some(Loc::HiLo), None],
+                    t,
+                    &[t],
+                );
             }
             Instr::MoveFromLo { rd } => {
                 let (v, t) = self.regs.lo();
                 self.regs.set(rd, v, t);
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    "move",
+                    Loc::Reg(rd),
+                    [Some(Loc::HiLo), None],
+                    t,
+                    &[t],
+                );
             }
             Instr::MoveToHi { rs } => {
                 let (v, t) = self.regs.get(rs);
                 self.regs.set_hi(v, t);
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    "move",
+                    Loc::HiLo,
+                    [Some(Loc::Reg(rs)), None],
+                    t,
+                    &[t],
+                );
             }
             Instr::MoveToLo { rs } => {
                 let (v, t) = self.regs.get(rs);
                 self.regs.set_lo(v, t);
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    "move",
+                    Loc::HiLo,
+                    [Some(Loc::Reg(rs)), None],
+                    t,
+                    &[t],
+                );
             }
             Instr::Load {
                 width,
@@ -474,8 +688,17 @@ impl Cpu {
                     }
                     MemWidth::Word => self.mem.read_u32(addr)?,
                 };
-                self.regs
-                    .set(rt, value, taint_alu::load_result(width, signed, taint));
+                let result_taint = taint_alu::load_result(width, signed, taint);
+                self.regs.set(rt, value, result_taint);
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    "load",
+                    Loc::Reg(rt),
+                    [Some(Loc::Mem(addr)), None],
+                    result_taint,
+                    &[taint],
+                );
             }
             Instr::Store {
                 width,
@@ -489,11 +712,29 @@ impl Cpu {
                 self.note_tainted_operands(&[bt, tv]);
                 self.check_data_pointer(pc, instr, base)?;
                 let addr = bv.wrapping_add(offset as i32 as u32);
-                match width {
-                    MemWidth::Byte => self.mem.write_u8(addr, v as u8, tv.byte(0))?,
-                    MemWidth::Half => self.mem.write_u16(addr, v as u16, tv.low_half())?,
-                    MemWidth::Word => self.mem.write_u32(addr, v, tv)?,
-                }
+                let stored_taint = match width {
+                    MemWidth::Byte => {
+                        self.mem.write_u8(addr, v as u8, tv.byte(0))?;
+                        WordTaint::from_bits(tv.bits() & 1)
+                    }
+                    MemWidth::Half => {
+                        self.mem.write_u16(addr, v as u16, tv.low_half())?;
+                        tv.low_half()
+                    }
+                    MemWidth::Word => {
+                        self.mem.write_u32(addr, v, tv)?;
+                        tv
+                    }
+                };
+                self.emit_transfer(
+                    pc,
+                    instr,
+                    "store",
+                    Loc::Mem(addr),
+                    [Some(Loc::Reg(rt)), None],
+                    stored_taint,
+                    &[tv],
+                );
                 // §5.3 extension: annotated regions must never become
                 // tainted. Only stores of tainted data can violate this.
                 if tv.any() && !self.watches.is_empty() {
@@ -516,6 +757,8 @@ impl Cpu {
                 if self.rules.compare_untaints {
                     self.regs.set_taint(rs, taint_alu::compare_operand_taint());
                     self.regs.set_taint(rt, taint_alu::compare_operand_taint());
+                    self.emit_compare_untaint(pc, instr, rs, ta);
+                    self.emit_compare_untaint(pc, instr, rt, tb);
                 }
                 let taken = match cond {
                     BranchCond::Eq => a == b,
@@ -531,6 +774,7 @@ impl Cpu {
                 self.note_tainted_operands(&[ta]);
                 if self.rules.compare_untaints {
                     self.regs.set_taint(rs, taint_alu::compare_operand_taint());
+                    self.emit_compare_untaint(pc, instr, rs, ta);
                 }
                 let a = a as i32;
                 let taken = match cond {
@@ -576,6 +820,11 @@ impl Cpu {
         self.stats.instructions += 1;
         self.push_trace(pc, instr);
         self.pc = next_pc;
+        self.emit_event(&Event::Retire {
+            pc,
+            instr,
+            tainted: self.last_step_tainted,
+        });
         Ok(event)
     }
 }
@@ -608,7 +857,8 @@ mod tests {
             mem.write_u32(image.text_base + 4 * i as u32, w, WordTaint::CLEAN)
                 .unwrap();
         }
-        mem.write_bytes(image.data_base, &image.data, false).unwrap();
+        mem.write_bytes(image.data_base, &image.data, false)
+            .unwrap();
         let mut cpu = Cpu::new(mem, policy);
         cpu.set_pc(image.entry);
         cpu
@@ -717,8 +967,7 @@ f:      li $v0, 99
             "main: lw $t1, 0($t0)\nbreak 0",
             DetectionPolicy::PointerTaintedness,
         );
-        cpu.regs_mut()
-            .set(Reg::T0, 0x6161_6161, WordTaint::ALL);
+        cpu.regs_mut().set(Reg::T0, 0x6161_6161, WordTaint::ALL);
         let err = run(&mut cpu, 10).unwrap_err();
         match err {
             CpuException::Security(alert) => {
@@ -737,7 +986,8 @@ f:      li $v0, 99
             "main: sw $t1, 0($t0)\nbreak 0",
             DetectionPolicy::PointerTaintedness,
         );
-        cpu.regs_mut().set(Reg::T0, 0x1002_bc20, WordTaint::from_bits(0b0001));
+        cpu.regs_mut()
+            .set(Reg::T0, 0x1002_bc20, WordTaint::from_bits(0b0001));
         let err = run(&mut cpu, 10).unwrap_err();
         assert!(matches!(
             err,
@@ -756,16 +1006,17 @@ f:      li $v0, 99
             "main: lb $t1, 0($t0)\nbreak 0",
             DetectionPolicy::PointerTaintedness,
         );
-        cpu.regs_mut().set(Reg::T0, 0x1000_0000, WordTaint::from_bits(0b0100));
-        assert!(matches!(
-            run(&mut cpu, 10),
-            Err(CpuException::Security(_))
-        ));
+        cpu.regs_mut()
+            .set(Reg::T0, 0x1000_0000, WordTaint::from_bits(0b0100));
+        assert!(matches!(run(&mut cpu, 10), Err(CpuException::Security(_))));
     }
 
     #[test]
     fn tainted_jump_target_raises_alert_under_both_policies() {
-        for policy in [DetectionPolicy::PointerTaintedness, DetectionPolicy::ControlOnly] {
+        for policy in [
+            DetectionPolicy::PointerTaintedness,
+            DetectionPolicy::ControlOnly,
+        ] {
             let mut cpu = boot("main: jr $t0\nbreak 0", policy);
             cpu.regs_mut().set(Reg::T0, 0x6161_6161, WordTaint::ALL);
             let err = run(&mut cpu, 10).unwrap_err();
@@ -802,8 +1053,7 @@ main:   sw $t1, 0($t0)
     #[test]
     fn off_policy_detects_nothing() {
         let mut cpu = boot("main: jr $t0", DetectionPolicy::Off);
-        cpu.regs_mut()
-            .set(Reg::T0, TEXT_BASE, WordTaint::ALL); // jump to self: fine
+        cpu.regs_mut().set(Reg::T0, TEXT_BASE, WordTaint::ALL); // jump to self: fine
         cpu.step().unwrap();
         assert_eq!(cpu.pc(), TEXT_BASE);
         assert_eq!(cpu.stats().tainted_pointer_dereferences, 1);
@@ -887,7 +1137,9 @@ main:   la $t0, buf
         );
         // Taint the buffer as if recv() had filled it.
         let buf = ptaint_isa::DATA_BASE;
-        cpu.mem_mut().write_bytes(buf, &[0x80, 0, 0, 0], true).unwrap();
+        cpu.mem_mut()
+            .write_bytes(buf, &[0x80, 0, 0, 0], true)
+            .unwrap();
         run(&mut cpu, 100).unwrap();
         assert_eq!(cpu.regs().taint(Reg::T1), WordTaint::ALL);
         // lb sign-extends: all four bytes derived from the tainted byte.
@@ -941,7 +1193,8 @@ main:   la $t0, buf
     #[test]
     fn undecodable_pc_reports_decode_error() {
         let mut mem = MemorySystem::flat();
-        mem.write_u32(TEXT_BASE, 0xffff_ffff, WordTaint::CLEAN).unwrap();
+        mem.write_u32(TEXT_BASE, 0xffff_ffff, WordTaint::CLEAN)
+            .unwrap();
         let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
         cpu.set_pc(TEXT_BASE);
         assert!(matches!(

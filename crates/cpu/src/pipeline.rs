@@ -16,6 +16,11 @@
 //!   **no extra cycles** for taint tracking; cycles come only from the usual
 //!   hazards (a one-cycle load-use stall and a two-cycle taken-control-flow
 //!   penalty in this classic 5-stage configuration).
+//!
+//! Observability: the pipeline delegates all architectural work to the
+//! wrapped [`Cpu`], so any [`ptaint_trace::Observer`] attached to it sees
+//! the full event stream unchanged; the hazard pre-decode fetches through
+//! the cache-bypassing instruction path and emits no extra events.
 
 use ptaint_isa::Instr;
 
@@ -265,7 +270,8 @@ mod tests {
             mem.write_u32(image.text_base + 4 * i as u32, w, WordTaint::CLEAN)
                 .unwrap();
         }
-        mem.write_bytes(image.data_base, &image.data, false).unwrap();
+        mem.write_bytes(image.data_base, &image.data, false)
+            .unwrap();
         let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
         cpu.set_pc(image.entry);
         Pipeline::new(cpu)

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use ptaint_trace::ToJson;
+
 /// Counters accumulated by the [`Cpu`](crate::Cpu) while executing.
 ///
 /// These feed the paper's evaluation tables: instruction counts for the
@@ -47,7 +49,7 @@ impl fmt::Display for ExecStats {
         write!(
             f,
             "{} instructions ({} loads, {} stores, {} branches, {} reg-jumps, {} syscalls), \
-             {} tainted-operand ({:.4}%)",
+             {} tainted-operand ({:.4}%), {} tainted-pointer derefs",
             self.instructions,
             self.loads,
             self.stores,
@@ -55,7 +57,28 @@ impl fmt::Display for ExecStats {
             self.register_jumps,
             self.syscalls,
             self.tainted_operand_instructions,
-            self.tainted_instruction_ratio() * 100.0
+            self.tainted_instruction_ratio() * 100.0,
+            self.tainted_pointer_dereferences
+        )
+    }
+}
+
+impl ToJson for ExecStats {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"instructions\":{},\"loads\":{},\"stores\":{},\"branches\":{},",
+                "\"register_jumps\":{},\"syscalls\":{},\"tainted_operand_instructions\":{},",
+                "\"tainted_pointer_dereferences\":{}}}"
+            ),
+            self.instructions,
+            self.loads,
+            self.stores,
+            self.branches,
+            self.register_jumps,
+            self.syscalls,
+            self.tainted_operand_instructions,
+            self.tainted_pointer_dereferences
         )
     }
 }
@@ -78,5 +101,29 @@ mod tests {
         };
         assert!((stats.tainted_instruction_ratio() - 0.25).abs() < 1e-12);
         assert!(stats.to_string().contains("200 instructions"));
+    }
+
+    #[test]
+    fn display_reports_tainted_pointer_dereferences() {
+        // Regression: baseline policies exist to report what they *missed*,
+        // so the summary line must include this counter.
+        let stats = ExecStats {
+            instructions: 10,
+            tainted_pointer_dereferences: 3,
+            ..ExecStats::default()
+        };
+        assert!(stats.to_string().contains("3 tainted-pointer derefs"));
+    }
+
+    #[test]
+    fn json_includes_every_counter() {
+        let stats = ExecStats {
+            instructions: 7,
+            tainted_pointer_dereferences: 2,
+            ..ExecStats::default()
+        };
+        let json = stats.to_json();
+        assert!(json.contains("\"instructions\":7"));
+        assert!(json.contains("\"tainted_pointer_dereferences\":2"));
     }
 }

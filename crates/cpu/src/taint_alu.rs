@@ -157,6 +157,40 @@ pub fn compare_operand_taint() -> WordTaint {
     WordTaint::CLEAN
 }
 
+/// Name of the Table 1 rule [`ralu_result_with`] applies for this operation,
+/// for labeling trace events. Mirrors that function's dispatch exactly.
+#[must_use]
+pub fn ralu_rule(rules: TaintRules, op: RAluOp, same_source_reg: bool) -> &'static str {
+    match op {
+        RAluOp::Xor if same_source_reg && rules.xor_idiom_untaints => "xor-idiom",
+        RAluOp::And if rules.and_untaints => "and-mask",
+        _ if op.is_compare() && rules.compare_untaints => "compare",
+        _ => "generic",
+    }
+}
+
+/// Name of the rule [`ialu_result_with`] applies, for labeling trace events.
+#[must_use]
+pub fn ialu_rule(rules: TaintRules, op: IAluOp) -> &'static str {
+    match op {
+        IAluOp::Andi if rules.and_untaints => "and-mask",
+        _ if op.is_compare() && rules.compare_untaints => "compare",
+        _ => "generic",
+    }
+}
+
+/// Name of the rule [`shift_result_with`] applies, for labeling trace events.
+#[must_use]
+pub fn shift_rule(rules: TaintRules, op: ShiftOp) -> &'static str {
+    if !rules.shift_smear {
+        "generic"
+    } else if op.is_left() {
+        "shift-smear-left"
+    } else {
+        "shift-smear-right"
+    }
+}
+
 /// Result taint of a load, given the taint bits read from memory.
 ///
 /// * word loads copy all four bits;
@@ -210,7 +244,14 @@ mod tests {
 
     #[test]
     fn add_like_ops_use_generic_rule() {
-        for op in [RAluOp::Add, RAluOp::Addu, RAluOp::Sub, RAluOp::Subu, RAluOp::Or, RAluOp::Nor] {
+        for op in [
+            RAluOp::Add,
+            RAluOp::Addu,
+            RAluOp::Sub,
+            RAluOp::Subu,
+            RAluOp::Or,
+            RAluOp::Nor,
+        ] {
             assert_eq!(
                 ralu_result(op, 5, t(0b0001), 6, t(0b1000), false),
                 t(0b1001),
@@ -289,7 +330,14 @@ mod tests {
     #[test]
     fn xor_same_register_untaints() {
         assert_eq!(
-            ralu_result(RAluOp::Xor, 0x41414141, WordTaint::ALL, 0x41414141, WordTaint::ALL, true),
+            ralu_result(
+                RAluOp::Xor,
+                0x41414141,
+                WordTaint::ALL,
+                0x41414141,
+                WordTaint::ALL,
+                true
+            ),
             T0
         );
         // Different registers holding tainted data still propagate.
@@ -318,9 +366,15 @@ mod tests {
 
     #[test]
     fn immediate_ops_propagate_source_taint_only() {
-        assert_eq!(ialu_result(IAluOp::Addiu, 5, t(0b0110), 0xffff_fff0), t(0b0110));
+        assert_eq!(
+            ialu_result(IAluOp::Addiu, 5, t(0b0110), 0xffff_fff0),
+            t(0b0110)
+        );
         assert_eq!(ialu_result(IAluOp::Ori, 5, t(0b0001), 0x00ff), t(0b0001));
-        assert_eq!(ialu_result(IAluOp::Xori, 5, WordTaint::ALL, 0x00ff), WordTaint::ALL);
+        assert_eq!(
+            ialu_result(IAluOp::Xori, 5, WordTaint::ALL, 0x00ff),
+            WordTaint::ALL
+        );
     }
 
     #[test]
@@ -357,12 +411,18 @@ mod tests {
     #[test]
     fn unsigned_byte_load_zero_extension_is_untainted() {
         assert_eq!(load_result(MemWidth::Byte, false, t(0b0001)), t(0b0001));
-        assert_eq!(load_result(MemWidth::Byte, false, WordTaint::ALL), t(0b0001));
+        assert_eq!(
+            load_result(MemWidth::Byte, false, WordTaint::ALL),
+            t(0b0001)
+        );
     }
 
     #[test]
     fn half_loads() {
-        assert_eq!(load_result(MemWidth::Half, false, WordTaint::ALL), t(0b0011));
+        assert_eq!(
+            load_result(MemWidth::Half, false, WordTaint::ALL),
+            t(0b0011)
+        );
         // Sign extension inherits the high byte's taint.
         assert_eq!(load_result(MemWidth::Half, true, t(0b0010)), t(0b1110));
         assert_eq!(load_result(MemWidth::Half, true, t(0b0001)), t(0b0001));

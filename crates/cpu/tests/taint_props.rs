@@ -134,7 +134,8 @@ mod taint_watches {
             base: Reg::T0,
             offset: 0,
         };
-        mem.write_u32(TEXT_BASE, sw.encode(), WordTaint::CLEAN).unwrap();
+        mem.write_u32(TEXT_BASE, sw.encode(), WordTaint::CLEAN)
+            .unwrap();
         let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
         cpu.set_pc(TEXT_BASE);
         cpu.add_taint_watch(0x1000_0000, 4, "secret");
@@ -161,8 +162,10 @@ mod taint_watches {
             base: Reg::T0,
             offset: 0,
         };
-        mem.write_u32(TEXT_BASE, sw.encode(), WordTaint::CLEAN).unwrap();
-        mem.write_u32(TEXT_BASE + 4, sw.encode(), WordTaint::CLEAN).unwrap();
+        mem.write_u32(TEXT_BASE, sw.encode(), WordTaint::CLEAN)
+            .unwrap();
+        mem.write_u32(TEXT_BASE + 4, sw.encode(), WordTaint::CLEAN)
+            .unwrap();
         let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
         cpu.set_pc(TEXT_BASE);
         cpu.add_taint_watch(0x1000_0010, 4, "flag");
@@ -189,7 +192,8 @@ mod taint_watches {
             rs: Reg::T0,
             rt: Reg::T1,
         };
-        mem.write_u32(TEXT_BASE, slt.encode(), WordTaint::CLEAN).unwrap();
+        mem.write_u32(TEXT_BASE, slt.encode(), WordTaint::CLEAN)
+            .unwrap();
         let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
         cpu.set_taint_rules(TaintRules::without_compare_untaint());
         assert!(!cpu.taint_rules().compare_untaints);
@@ -241,7 +245,8 @@ mod alu_differential {
 
     fn exec_one(insn: Instr, a: u32, b: u32) -> u32 {
         let mut mem = MemorySystem::flat();
-        mem.write_u32(TEXT_BASE, insn.encode(), WordTaint::CLEAN).unwrap();
+        mem.write_u32(TEXT_BASE, insn.encode(), WordTaint::CLEAN)
+            .unwrap();
         let mut cpu = Cpu::new(mem, DetectionPolicy::PointerTaintedness);
         cpu.set_pc(TEXT_BASE);
         cpu.regs_mut().set(Reg::T0, a, WordTaint::CLEAN);

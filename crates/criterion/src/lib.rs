@@ -1,0 +1,208 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate provides the subset of the criterion API that the bench targets in
+//! `crates/bench` use: [`Criterion::benchmark_group`], group configuration
+//! (`throughput`, `sample_size`), `bench_function` / `bench_with_input`,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Timing is a plain wall-clock measurement with one warmup pass —
+//! fine for spotting order-of-magnitude regressions, not for statistics.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group (printed, not used
+/// for statistics in this stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    /// Measured mean time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`: one warmup call, then batches until ~100 ms or 10 batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let budget = Duration::from_millis(100);
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        while iters < 10 || (started.elapsed() < budget && iters < 1_000_000) {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed_per_iter = started.elapsed() / u32::try_from(self.iters).unwrap_or(u32::MAX);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warmup is fixed at one pass.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed_per_iter;
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                format!("  ({rate:.0} elem/s)")
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                let rate = n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  ({rate:.1} MiB/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:40} {:>12.3?}/iter over {} iters{}",
+            format!("{}/{}", self.name, id),
+            per_iter,
+            b.iters,
+            thr
+        );
+        self.criterion.benches_run += 1;
+    }
+
+    /// Runs a benchmark named `id` within this group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            criterion: self,
+            throughput: None,
+        };
+        group.run_one(id, f);
+        self
+    }
+}
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles bench functions into one group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main()` running each group (bench targets set
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

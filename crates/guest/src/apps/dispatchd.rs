@@ -121,13 +121,20 @@ mod tests {
         let image = build(SOURCE).unwrap();
         let settings = image.symbol("settings").unwrap();
         let handlers = image.symbol("handlers").unwrap();
-        assert_eq!(handlers, settings + 16, "settings[4] must alias handlers[0]");
+        assert_eq!(
+            handlers,
+            settings + 16,
+            "settings[4] must alias handlers[0]"
+        );
     }
 
     #[test]
     fn got_style_attack_detected_by_both_policies_at_the_jalr() {
         let image = build(SOURCE).unwrap();
-        for policy in [DetectionPolicy::PointerTaintedness, DetectionPolicy::ControlOnly] {
+        for policy in [
+            DetectionPolicy::PointerTaintedness,
+            DetectionPolicy::ControlOnly,
+        ] {
             let out = run_app(&image, attack_world(), policy);
             let alert = out
                 .reason
@@ -148,7 +155,10 @@ mod tests {
         let image = build(SOURCE).unwrap();
         let out = run_app(&image, attack_world(), DetectionPolicy::Off);
         assert!(
-            matches!(out.reason, ExitReason::MemFault(_) | ExitReason::DecodeFault(_)),
+            matches!(
+                out.reason,
+                ExitReason::MemFault(_) | ExitReason::DecodeFault(_)
+            ),
             "{:?}",
             out.reason
         );

@@ -108,9 +108,7 @@ pub fn attack_world(image: &Image) -> WorldConfig {
 /// A benign session; also exercises the 403 policy path.
 #[must_use]
 pub fn benign_world() -> WorldConfig {
-    WorldConfig::new().session(NetSession::new(vec![
-        b"GET /index.html HTTP/1.0".to_vec(),
-    ]))
+    WorldConfig::new().session(NetSession::new(vec![b"GET /index.html HTTP/1.0".to_vec()]))
 }
 
 /// A session whose URL violates the "/.." policy — rejected up front.
@@ -137,13 +135,23 @@ mod tests {
     #[test]
     fn attack_detected_at_load_byte_through_tainted_url_pointer() {
         let image = image();
-        let out = run_app(&image, attack_world(&image), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            attack_world(&image),
+            DetectionPolicy::PointerTaintedness,
+        );
         let alert = out.reason.alert().expect("detected");
         assert_eq!(alert.kind, AlertKind::DataPointer);
         // The paper: "stops the attack when the tainted URL pointer is
         // dereferenced in a load-byte instruction (LB)".
         assert!(
-            matches!(alert.instr, Instr::Load { width: ptaint_isa::MemWidth::Byte, .. }),
+            matches!(
+                alert.instr,
+                Instr::Load {
+                    width: ptaint_isa::MemWidth::Byte,
+                    ..
+                }
+            ),
             "{}",
             alert.instr
         );
@@ -177,9 +185,16 @@ mod tests {
         let out = run_app(&image, benign_world(), DetectionPolicy::PointerTaintedness);
         assert_eq!(out.reason, ExitReason::Exited(0));
         let transcript = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
-        assert!(transcript.contains("200 OK static /index.html"), "{transcript}");
+        assert!(
+            transcript.contains("200 OK static /index.html"),
+            "{transcript}"
+        );
 
-        let out = run_app(&image, policy_violation_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            policy_violation_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert_eq!(out.reason, ExitReason::Exited(0));
         let transcript = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
         assert!(transcript.contains("403 forbidden"), "{transcript}");

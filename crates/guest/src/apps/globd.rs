@@ -164,7 +164,11 @@ mod tests {
         assert_eq!(alert.kind, AlertKind::DataPointer);
         assert_eq!(alert.pointer & 0xffff_ff00, 0x6161_6100);
         let unlink = image.symbol("__unlink").unwrap();
-        assert!((unlink..unlink + 0x100).contains(&alert.pc), "{:#x}", alert.pc);
+        assert!(
+            (unlink..unlink + 0x100).contains(&alert.pc),
+            "{:#x}",
+            alert.pc
+        );
     }
 
     #[test]

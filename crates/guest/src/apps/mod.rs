@@ -56,7 +56,11 @@ pub fn calibrate_format_pad(
     max_pad: usize,
 ) -> Option<usize> {
     for pad in 0..max_pad {
-        let outcome = run_app(image, world_for_pad(pad), DetectionPolicy::PointerTaintedness);
+        let outcome = run_app(
+            image,
+            world_for_pad(pad),
+            DetectionPolicy::PointerTaintedness,
+        );
         if let Some(alert) = outcome.reason.alert() {
             if alert.pointer == target {
                 return Some(pad);

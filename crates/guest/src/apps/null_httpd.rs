@@ -188,7 +188,11 @@ mod tests {
     #[test]
     fn attack_detected_inside_free() {
         let image = image();
-        let out = run_app(&image, attack_world(&image), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            attack_world(&image),
+            DetectionPolicy::PointerTaintedness,
+        );
         let alert = out.reason.alert().expect("heap attack must be detected");
         assert_eq!(alert.kind, AlertKind::DataPointer);
         // The faulting access is the unlink's `fd->bk = bk` store: its
@@ -198,8 +202,11 @@ mod tests {
         let conf = image.symbol("conf").unwrap();
         assert_eq!(alert.pointer, conf);
         let unlink = image.symbol("__unlink").unwrap();
-        assert!(alert.pc >= unlink && alert.pc < unlink + 0x100,
-            "alert at {:#x}, unlink at {unlink:#x}", alert.pc);
+        assert!(
+            alert.pc >= unlink && alert.pc < unlink + 0x100,
+            "alert at {:#x}, unlink at {unlink:#x}",
+            alert.pc
+        );
     }
 
     #[test]
@@ -228,7 +235,10 @@ mod tests {
         assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
         let transcript = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
         assert!(transcript.contains("200 OK posted"), "{transcript}");
-        assert!(transcript.contains("EXEC /usr/local/httpd/cgi-bin/status"), "{transcript}");
+        assert!(
+            transcript.contains("EXEC /usr/local/httpd/cgi-bin/status"),
+            "{transcript}"
+        );
         assert!(transcript.contains("200 OK static"), "{transcript}");
     }
 }
@@ -245,7 +255,9 @@ mod multi_client_tests {
     fn serves_multiple_clients_sequentially() {
         let image = build(SOURCE).unwrap();
         let world = WorldConfig::new()
-            .session(NetSession::new(vec![b"GET /index.html HTTP/1.0\r\n\r\n".to_vec()]))
+            .session(NetSession::new(vec![
+                b"GET /index.html HTTP/1.0\r\n\r\n".to_vec()
+            ]))
             .session(NetSession::new(vec![
                 b"GET /cgi-bin/status HTTP/1.0\r\n\r\n".to_vec(),
             ]));

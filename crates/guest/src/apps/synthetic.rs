@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn exp1_detected_at_return_instruction() {
         let image = build(EXP1_SOURCE).unwrap();
-        let out = run_app(&image, exp1_attack_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            exp1_attack_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         let alert = out.reason.alert().expect("stack smash must be detected");
         // The paper: alert at `jr $31`, return address tainted 0x61616161.
         assert_eq!(alert.kind, AlertKind::JumpPointer);
@@ -159,7 +163,10 @@ mod tests {
         // Control flow lands at 0x61616161 — a crash, or worse if the
         // attacker had placed real code bytes there.
         assert!(
-            matches!(out.reason, ExitReason::MemFault(_) | ExitReason::DecodeFault(_)),
+            matches!(
+                out.reason,
+                ExitReason::MemFault(_) | ExitReason::DecodeFault(_)
+            ),
             "{:?}",
             out.reason
         );
@@ -182,8 +189,15 @@ mod tests {
     #[test]
     fn exp2_detected_inside_free() {
         let image = build(EXP2_SOURCE).unwrap();
-        let out = run_app(&image, exp2_attack_world(), DetectionPolicy::PointerTaintedness);
-        let alert = out.reason.alert().expect("heap corruption must be detected");
+        let out = run_app(
+            &image,
+            exp2_attack_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
+        let alert = out
+            .reason
+            .alert()
+            .expect("heap corruption must be detected");
         assert_eq!(alert.kind, AlertKind::DataPointer);
         // The dereferenced pointer derives from the attacker's "aaaa" links.
         assert_eq!(alert.pointer & 0xffff_ff00, 0x6161_6100);
@@ -209,28 +223,38 @@ mod tests {
     #[test]
     fn exp2_benign_run_is_clean() {
         let image = build(EXP2_SOURCE).unwrap();
-        let out = run_app(&image, exp2_benign_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            exp2_benign_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert_eq!(out.reason, ExitReason::Exited(0));
     }
 
     #[test]
     fn exp3_detected_at_percent_n_store_with_papers_pointer() {
         let image = build(EXP3_SOURCE).unwrap();
-        let pad = calibrate_format_pad(
-            &image,
-            exp3_attack_world,
-            0x6463_6261,
-            16,
-        )
-        .expect("some pad count must reach the buffer");
+        let pad = calibrate_format_pad(&image, exp3_attack_world, 0x6463_6261, 16)
+            .expect("some pad count must reach the buffer");
         // The paper's vfprintf needed three %x pads; our printf frame
         // geometry needs one. Either way ap lands on buf[0..4].
         assert_eq!(pad, 1, "guest libc frame geometry");
-        let out = run_app(&image, exp3_attack_world(pad), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            exp3_attack_world(pad),
+            DetectionPolicy::PointerTaintedness,
+        );
         let alert = out.reason.alert().expect("format string must be detected");
         assert_eq!(alert.kind, AlertKind::DataPointer);
-        assert_eq!(alert.pointer, 0x6463_6261, "first four payload bytes 'abcd'");
-        assert!(alert.instr.to_string().starts_with("sw "), "{}", alert.instr);
+        assert_eq!(
+            alert.pointer, 0x6463_6261,
+            "first four payload bytes 'abcd'"
+        );
+        assert!(
+            alert.instr.to_string().starts_with("sw "),
+            "{}",
+            alert.instr
+        );
     }
 
     #[test]
@@ -243,7 +267,11 @@ mod tests {
     #[test]
     fn exp3_benign_run_is_clean() {
         let image = build(EXP3_SOURCE).unwrap();
-        let out = run_app(&image, exp3_benign_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            exp3_benign_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert_eq!(out.reason, ExitReason::Exited(0));
         assert_eq!(out.transcripts[0], b"done\n");
     }

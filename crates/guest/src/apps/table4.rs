@@ -134,33 +134,61 @@ mod tests {
     #[test]
     fn scenario_a_corrupts_memory_without_any_alert() {
         let image = build(INT_OVERFLOW_SOURCE).unwrap();
-        let out = run_app(&image, int_overflow_attack_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            int_overflow_attack_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         // Undetected by design: the compared index is untainted.
         assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
-        assert!(out.stdout_text().contains("GUARD CORRUPTED"), "{}", out.stdout_text());
+        assert!(
+            out.stdout_text().contains("GUARD CORRUPTED"),
+            "{}",
+            out.stdout_text()
+        );
     }
 
     #[test]
     fn scenario_a_benign_index_is_inbounds() {
         let image = build(INT_OVERFLOW_SOURCE).unwrap();
-        let out = run_app(&image, int_overflow_benign_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            int_overflow_benign_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert_eq!(out.stdout_text(), "table updated safely\n");
     }
 
     #[test]
     fn scenario_b_grants_access_without_any_alert() {
         let image = build(AUTH_FLAG_SOURCE).unwrap();
-        let out = run_app(&image, auth_flag_attack_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            auth_flag_attack_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
-        assert!(out.stdout_text().contains("ACCESS GRANTED"), "{}", out.stdout_text());
+        assert!(
+            out.stdout_text().contains("ACCESS GRANTED"),
+            "{}",
+            out.stdout_text()
+        );
     }
 
     #[test]
     fn scenario_b_password_paths_work() {
         let image = build(AUTH_FLAG_SOURCE).unwrap();
-        let ok = run_app(&image, auth_flag_good_password_world(), DetectionPolicy::PointerTaintedness);
+        let ok = run_app(
+            &image,
+            auth_flag_good_password_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert!(ok.stdout_text().contains("ACCESS GRANTED"));
-        let bad = run_app(&image, auth_flag_bad_password_world(), DetectionPolicy::PointerTaintedness);
+        let bad = run_app(
+            &image,
+            auth_flag_bad_password_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert!(bad.stdout_text().contains("access denied"));
         assert_eq!(bad.reason, ExitReason::Exited(1));
     }
@@ -168,7 +196,11 @@ mod tests {
     #[test]
     fn scenario_c_leaks_the_secret_without_any_alert() {
         let image = build(FMT_LEAK_SOURCE).unwrap();
-        let out = run_app(&image, fmt_leak_attack_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            fmt_leak_attack_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
         assert!(
             out.stdout_text().contains("12345678"),
@@ -180,7 +212,11 @@ mod tests {
     #[test]
     fn scenario_c_benign_echo() {
         let image = build(FMT_LEAK_SOURCE).unwrap();
-        let out = run_app(&image, fmt_leak_benign_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            fmt_leak_benign_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert_eq!(out.stdout_text(), "hello\n");
     }
 }

@@ -90,8 +90,11 @@ mod tests {
         assert_eq!(alert.pointer, 0x2e36_2e35 + 12);
         // And it fires inside the allocator.
         let unlink = image.symbol("__unlink").unwrap();
-        assert!(alert.pc >= unlink && alert.pc < unlink + 0x100,
-            "alert pc {:#x}", alert.pc);
+        assert!(
+            alert.pc >= unlink && alert.pc < unlink + 0x100,
+            "alert pc {:#x}",
+            alert.pc
+        );
     }
 
     #[test]
@@ -114,7 +117,11 @@ mod tests {
 
     #[test]
     fn benign_run_is_clean() {
-        let out = run_app(&image(), benign_world(), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image(),
+            benign_world(),
+            DetectionPolicy::PointerTaintedness,
+        );
         assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
         let text = out.stdout_text();
         assert!(text.contains("gateway 10.0.0.1"), "{text}");

@@ -118,7 +118,9 @@ pub fn site_exec_payload(uid_addr: u32, pad: usize) -> Vec<u8> {
 /// Panics if the image does not contain the symbol (wrong program).
 #[must_use]
 pub fn uid_address(image: &Image) -> u32 {
-    image.symbol("session_uid").expect("wu_ftpd defines session_uid")
+    image
+        .symbol("session_uid")
+        .expect("wu_ftpd defines session_uid")
 }
 
 /// The full attack session of Table 2: authenticate, fire the format
@@ -162,8 +164,10 @@ mod tests {
     fn uid_word_sits_at_a_nul_free_address() {
         let image = image();
         let addr = uid_address(&image);
-        assert!(addr.to_le_bytes().iter().all(|&b| b != 0),
-            "session_uid at {addr:#x} must have no NUL bytes for the format payload");
+        assert!(
+            addr.to_le_bytes().iter().all(|&b| b != 0),
+            "session_uid at {addr:#x} must have no NUL bytes for the format payload"
+        );
     }
 
     #[test]
@@ -172,7 +176,11 @@ mod tests {
         let target = uid_address(&image);
         let pad = calibrate_format_pad(&image, |p| attack_world(&image, p), target, 48)
             .expect("a pad count must land ap on the embedded address");
-        let out = run_app(&image, attack_world(&image, pad), DetectionPolicy::PointerTaintedness);
+        let out = run_app(
+            &image,
+            attack_world(&image, pad),
+            DetectionPolicy::PointerTaintedness,
+        );
         let alert = out.reason.alert().expect("detected");
         // Table 2's alert: a store-word through the tainted uid address.
         assert_eq!(alert.kind, AlertKind::DataPointer);
@@ -208,7 +216,11 @@ mod tests {
         let image = image();
         let target = uid_address(&image);
         let pad = calibrate_format_pad(&image, |p| attack_world(&image, p), target, 48).unwrap();
-        let out = run_app(&image, attack_world(&image, pad), DetectionPolicy::ControlOnly);
+        let out = run_app(
+            &image,
+            attack_world(&image, pad),
+            DetectionPolicy::ControlOnly,
+        );
         // Non-control-data attack: no control transfer is ever corrupted.
         assert!(!out.reason.is_detected(), "{:?}", out.reason);
     }

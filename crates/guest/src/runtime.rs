@@ -246,7 +246,12 @@ mod tests {
             }"#,
             WorldConfig::new(),
         );
-        assert_eq!(out.reason, ExitReason::Exited(0), "stdout: {}", out.stdout_text());
+        assert_eq!(
+            out.reason,
+            ExitReason::Exited(0),
+            "stdout: {}",
+            out.stdout_text()
+        );
         assert_eq!(out.stdout_text(), "heap ok\n");
     }
 
@@ -465,7 +470,12 @@ mod tests {
             }"#,
             WorldConfig::new().stdin(b"aabbaacc".to_vec()),
         );
-        assert_eq!(out.reason, ExitReason::Exited(0), "stdout: {}", out.stdout_text());
+        assert_eq!(
+            out.reason,
+            ExitReason::Exited(0),
+            "stdout: {}",
+            out.stdout_text()
+        );
         assert_eq!(out.stdout_text(), "8 4");
     }
 }

@@ -669,8 +669,8 @@ mod tests {
     #[test]
     fn all_workloads_run_alert_free_under_full_detection() {
         for w in all() {
-            let image = build(w.source)
-                .unwrap_or_else(|e| panic!("{} failed to build: {e}", w.name));
+            let image =
+                build(w.source).unwrap_or_else(|e| panic!("{} failed to build: {e}", w.name));
             let out = run_app(&image, w.world(3), DetectionPolicy::PointerTaintedness);
             assert_eq!(
                 out.reason,
@@ -701,7 +701,11 @@ mod tests {
             let again = run_app(&image, w.world(2), DetectionPolicy::PointerTaintedness);
             assert_eq!(full.stdout, off.stdout, "{}", w.name);
             assert_eq!(full.stdout, again.stdout, "{}", w.name);
-            assert_eq!(full.stats.instructions, off.stats.instructions, "{}", w.name);
+            assert_eq!(
+                full.stats.instructions, off.stats.instructions,
+                "{}",
+                w.name
+            );
         }
     }
 
@@ -742,7 +746,8 @@ mod tests {
         let image = build(PARSER_SOURCE).unwrap();
         let out = run_app(
             &image,
-            WorldConfig::new().stdin(b"dog sees cat\ncat eats fish\ndog cat bird\nwug sees dog\n".to_vec()),
+            WorldConfig::new()
+                .stdin(b"dog sees cat\ncat eats fish\ndog cat bird\nwug sees dog\n".to_vec()),
             DetectionPolicy::PointerTaintedness,
         );
         assert_eq!(out.stdout_text(), "parser: ok=2 bad=1 unknown=1 dict=9\n");

@@ -181,7 +181,12 @@ impl MulDivOp {
     }
 
     /// All multiply/divide operations.
-    pub const ALL: [MulDivOp; 4] = [MulDivOp::Mult, MulDivOp::Multu, MulDivOp::Div, MulDivOp::Divu];
+    pub const ALL: [MulDivOp; 4] = [
+        MulDivOp::Mult,
+        MulDivOp::Multu,
+        MulDivOp::Div,
+        MulDivOp::Divu,
+    ];
 }
 
 /// Immediate ALU operations (I-type encodings).

@@ -105,7 +105,10 @@ impl Cache {
     /// zero ways, or capacity not divisible into sets).
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Cache {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.assoc > 0, "associativity must be positive");
         assert!(
             cfg.size_bytes.is_multiple_of(cfg.line_bytes * cfg.assoc) && cfg.sets() > 0,
@@ -176,8 +179,16 @@ impl Cache {
     ///
     /// Panics when `data`/`taint` are not exactly one line long.
     pub fn fill_line(&mut self, addr: u32, data: &[u8], taint: &[bool]) {
-        assert_eq!(data.len(), self.cfg.line_bytes as usize, "fill must be one line");
-        assert_eq!(taint.len(), self.cfg.line_bytes as usize, "fill must be one line");
+        assert_eq!(
+            data.len(),
+            self.cfg.line_bytes as usize,
+            "fill must be one line"
+        );
+        assert_eq!(
+            taint.len(),
+            self.cfg.line_bytes as usize,
+            "fill must be one line"
+        );
         self.clock += 1;
         let (set, tag) = (self.set_index(addr), self.tag(addr));
         let clock = self.clock;

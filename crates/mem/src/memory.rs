@@ -97,6 +97,7 @@ impl Page {
 pub struct TaintedMemory {
     pages: HashMap<u32, Page>,
     null_guard: bool,
+    tainted_writes: u64,
 }
 
 impl fmt::Debug for TaintedMemory {
@@ -104,6 +105,7 @@ impl fmt::Debug for TaintedMemory {
         f.debug_struct("TaintedMemory")
             .field("pages", &self.pages.len())
             .field("null_guard", &self.null_guard)
+            .field("tainted_writes", &self.tainted_writes)
             .finish()
     }
 }
@@ -115,6 +117,7 @@ impl TaintedMemory {
         TaintedMemory {
             pages: HashMap::new(),
             null_guard: true,
+            tainted_writes: 0,
         }
     }
 
@@ -125,6 +128,7 @@ impl TaintedMemory {
         TaintedMemory {
             pages: HashMap::new(),
             null_guard: false,
+            tainted_writes: 0,
         }
     }
 
@@ -169,6 +173,9 @@ impl TaintedMemory {
     /// Faults on a null-page access.
     pub fn write_u8(&mut self, addr: u32, value: u8, tainted: bool) -> Result<(), MemFault> {
         self.check(addr, 1)?;
+        if tainted {
+            self.tainted_writes += 1;
+        }
         let off = (addr % PAGE_SIZE) as usize;
         let page = self.page(addr);
         page.data[off] = value;
@@ -316,6 +323,15 @@ impl TaintedMemory {
     pub fn tainted_byte_count(&self) -> u64 {
         self.pages.values().map(Page::tainted_bytes).sum()
     }
+
+    /// Cumulative count of byte writes that carried taint, over the whole
+    /// run. Unlike [`TaintedMemory::tainted_byte_count`] this never
+    /// decreases when bytes are overwritten clean, so it measures taint
+    /// *traffic* rather than taint *residency*.
+    #[must_use]
+    pub fn tainted_write_count(&self) -> u64 {
+        self.tainted_writes
+    }
 }
 
 #[cfg(test)]
@@ -326,10 +342,7 @@ mod tests {
     fn zero_initialized_and_untainted() {
         let mem = TaintedMemory::new();
         assert_eq!(mem.read_u8(0x1000).unwrap(), (0, false));
-        assert_eq!(
-            mem.read_u32(0x0040_0000).unwrap(),
-            (0, WordTaint::CLEAN)
-        );
+        assert_eq!(mem.read_u32(0x0040_0000).unwrap(), (0, WordTaint::CLEAN));
         assert_eq!(mem.page_count(), 0);
         assert_eq!(mem.tainted_byte_count(), 0);
     }
@@ -347,7 +360,8 @@ mod tests {
     #[test]
     fn word_is_little_endian() {
         let mut mem = TaintedMemory::new();
-        mem.write_bytes(0x3000, &[0x61, 0x62, 0x63, 0x64], true).unwrap();
+        mem.write_bytes(0x3000, &[0x61, 0x62, 0x63, 0x64], true)
+            .unwrap();
         let (v, t) = mem.read_u32(0x3000).unwrap();
         assert_eq!(v, 0x6463_6261);
         assert_eq!(t, WordTaint::ALL);
@@ -356,7 +370,8 @@ mod tests {
     #[test]
     fn per_byte_taint_granularity_in_words() {
         let mut mem = TaintedMemory::new();
-        mem.write_u32(0x3000, 0x1122_3344, WordTaint::from_bits(0b0110)).unwrap();
+        mem.write_u32(0x3000, 0x1122_3344, WordTaint::from_bits(0b0110))
+            .unwrap();
         let (_, t) = mem.read_u32(0x3000).unwrap();
         assert_eq!(t.bits(), 0b0110);
         // Individual bytes see their own bit.
@@ -370,7 +385,8 @@ mod tests {
     #[test]
     fn halfword_roundtrip() {
         let mut mem = TaintedMemory::new();
-        mem.write_u16(0x4000, 0xbeef, WordTaint::from_bits(0b01)).unwrap();
+        mem.write_u16(0x4000, 0xbeef, WordTaint::from_bits(0b01))
+            .unwrap();
         let (v, t) = mem.read_u16(0x4000).unwrap();
         assert_eq!(v, 0xbeef);
         assert!(t.byte(0) && !t.byte(1));

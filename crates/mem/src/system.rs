@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use ptaint_trace::{Event, SharedObserver};
+
 use crate::{Cache, CacheConfig, CacheStats, MemFault, TaintedMemory, WordTaint};
 
 /// Which cache levels to model.
@@ -55,6 +57,7 @@ pub struct MemorySystem {
     mem: TaintedMemory,
     l1: Option<Cache>,
     l2: Option<Cache>,
+    observer: Option<SharedObserver>,
 }
 
 impl fmt::Debug for MemorySystem {
@@ -63,6 +66,7 @@ impl fmt::Debug for MemorySystem {
             .field("mem", &self.mem)
             .field("l1", &self.l1)
             .field("l2", &self.l2)
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -81,7 +85,15 @@ impl MemorySystem {
             mem: TaintedMemory::new(),
             l1: cfg.l1.map(Cache::new),
             l2: cfg.l2.map(Cache::new),
+            observer: None,
         }
+    }
+
+    /// Attaches an observer that receives a [`Event::CacheAccess`] for every
+    /// cache-level probe. With no observer attached (the default) the probe
+    /// paths pay only a `None` check.
+    pub fn set_observer(&mut self, observer: Option<SharedObserver>) {
+        self.observer = observer;
     }
 
     /// A system with no caches.
@@ -141,12 +153,25 @@ impl MemorySystem {
         // Validate the access against memory first so faulting addresses are
         // never cached.
         let authoritative = self.mem.read_u8(addr)?;
+        // The caches are mutably borrowed below, so snapshot the observer
+        // handle up front (a `None` copy in the common untraced case).
+        let observer = self.observer.clone();
+        let emit = |level: u8, hit: bool| {
+            if let Some(obs) = &observer {
+                obs.borrow_mut()
+                    .on_event(&Event::CacheAccess { level, addr, hit });
+            }
+        };
         if let Some(l1) = &mut self.l1 {
-            if let Some(hit) = l1.probe_read(addr) {
+            let probe = l1.probe_read(addr);
+            emit(1, probe.is_some());
+            if let Some(hit) = probe {
                 return Ok(hit);
             }
             if let Some(l2) = &mut self.l2 {
-                if l2.probe_read(addr).is_none() {
+                let l2_hit = l2.probe_read(addr).is_some();
+                emit(2, l2_hit);
+                if !l2_hit {
                     Self::fill_from_memory(&self.mem, l2, addr)?;
                 }
             }
@@ -154,7 +179,9 @@ impl MemorySystem {
             return Ok(authoritative);
         }
         if let Some(l2) = &mut self.l2 {
-            if let Some(hit) = l2.probe_read(addr) {
+            let probe = l2.probe_read(addr);
+            emit(2, probe.is_some());
+            if let Some(hit) = probe {
                 return Ok(hit);
             }
             Self::fill_from_memory(&self.mem, l2, addr)?;
@@ -309,7 +336,8 @@ mod tests {
     #[test]
     fn flat_system_behaves_like_memory() {
         let mut sys = MemorySystem::flat();
-        sys.write_u32(0x1000, 0x0102_0304, WordTaint::from_bits(0b1010)).unwrap();
+        sys.write_u32(0x1000, 0x0102_0304, WordTaint::from_bits(0b1010))
+            .unwrap();
         assert_eq!(
             sys.read_u32(0x1000).unwrap(),
             (0x0102_0304, WordTaint::from_bits(0b1010))
@@ -327,7 +355,11 @@ mod tests {
         assert_eq!(v, u32::from_le_bytes(*b"evil"));
         assert_eq!(t, WordTaint::ALL);
         let (l1_tainted, l2_tainted) = sys.tainted_lines();
-        assert_eq!((l1_tainted, l2_tainted), (1, 1), "tainted line resident at each level");
+        assert_eq!(
+            (l1_tainted, l2_tainted),
+            (1, 1),
+            "tainted line resident at each level"
+        );
         // Second read is an L1 hit and still reports full taint.
         let before = sys.l1_stats().unwrap().hits;
         let (_, t2) = sys.read_u32(0x2000).unwrap();
@@ -340,7 +372,7 @@ mod tests {
         let mut sys = MemorySystem::new(HierarchyConfig::two_level());
         sys.write_u32(0x3000, 7, WordTaint::CLEAN).unwrap();
         let _ = sys.read_u32(0x3000).unwrap(); // cache the line
-        // Now overwrite with tainted data; the cached line must update.
+                                               // Now overwrite with tainted data; the cached line must update.
         sys.write_u32(0x3000, 8, WordTaint::ALL).unwrap();
         let (v, t) = sys.read_u32(0x3000).unwrap();
         assert_eq!((v, t), (8, WordTaint::ALL));
@@ -375,7 +407,8 @@ mod tests {
     #[test]
     fn fetch_bypasses_caches() {
         let mut sys = MemorySystem::new(HierarchyConfig::two_level());
-        sys.write_u32(0x0040_0000, 0x1234_5678, WordTaint::CLEAN).unwrap();
+        sys.write_u32(0x0040_0000, 0x1234_5678, WordTaint::CLEAN)
+            .unwrap();
         // write_u32 routes through write-through (no allocation), so stats
         // must show no read traffic from fetches.
         let l1_before = sys.l1_stats().unwrap();

@@ -113,6 +113,18 @@ impl WordTaint {
         WordTaint(self.0 | (self.0 >> 1))
     }
 
+    /// Index of the least-significant tainted byte, or `None` when clean.
+    /// Forensic output uses this to name the first attacker-controlled byte
+    /// of a flagged pointer.
+    #[must_use]
+    pub const fn first_tainted_byte(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
     /// Iterates over the four per-byte taint flags, least significant first.
     pub fn iter(self) -> impl Iterator<Item = bool> {
         (0..4).map(move |i| self.byte(i))

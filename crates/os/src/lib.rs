@@ -28,7 +28,7 @@ mod os;
 mod run;
 mod world;
 
-pub use loader::load;
+pub use loader::{load, load_with_observer};
 pub use os::{Os, Sys};
 pub use run::{run_to_exit, ExitReason, RunOutcome};
 pub use world::{NetSession, WorldConfig};

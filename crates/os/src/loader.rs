@@ -4,6 +4,7 @@ use ptaint_asm::Image;
 use ptaint_cpu::{Cpu, DetectionPolicy};
 use ptaint_isa::{Instr, Reg, ARG_BASE, PAGE_SIZE, STACK_TOP};
 use ptaint_mem::{HierarchyConfig, MemorySystem, WordTaint};
+use ptaint_trace::{Event, SharedObserver};
 
 use crate::{Os, WorldConfig};
 
@@ -32,6 +33,20 @@ pub fn load(
     world: WorldConfig,
     policy: DetectionPolicy,
     hierarchy: HierarchyConfig,
+) -> (Cpu, Os) {
+    load_with_observer(image, world, policy, hierarchy, None)
+}
+
+/// Like [`load`], but also attaches a trace observer to the CPU before any
+/// taint lands, so the `argv[i]` / `env[i]` string bytes are reported as
+/// [`Event::TaintSource`]s and provenance can root chains in them.
+#[must_use]
+pub fn load_with_observer(
+    image: &Image,
+    world: WorldConfig,
+    policy: DetectionPolicy,
+    hierarchy: HierarchyConfig,
+    observer: Option<SharedObserver>,
 ) -> (Cpu, Os) {
     let mut mem = MemorySystem::new(hierarchy);
 
@@ -83,34 +98,66 @@ pub fn load(
     let envp_ptrs = write_strings(&mut mem, &world.envp);
     assert!(cursor < ARG_BASE, "argv/envp exceed the argument region");
 
+    // Collect taint-source records while `world` is still ours; emitted once
+    // the CPU exists and the observer is attached.
+    let mut sources: Vec<(&'static str, String, u32, u32)> = Vec::new();
+    if observer.is_some() {
+        for (i, (&base, s)) in argv_ptrs.iter().zip(&world.argv).enumerate() {
+            if !s.is_empty() {
+                sources.push(("argv", format!("argv[{i}]"), base, s.len() as u32));
+            }
+        }
+        for (i, (&base, s)) in envp_ptrs.iter().zip(&world.envp).enumerate() {
+            if !s.is_empty() {
+                sources.push(("env", format!("env[{i}]"), base, s.len() as u32));
+            }
+        }
+    }
+
     // Pointer arrays (kernel-built, untainted), 4-aligned.
     cursor = (cursor + 3) & !3;
     let argv_array = cursor;
     for &p in &argv_ptrs {
-        mem.write_u32(cursor, p, WordTaint::CLEAN).expect("argv array fits");
+        mem.write_u32(cursor, p, WordTaint::CLEAN)
+            .expect("argv array fits");
         cursor += 4;
     }
-    mem.write_u32(cursor, 0, WordTaint::CLEAN).expect("argv array fits");
+    mem.write_u32(cursor, 0, WordTaint::CLEAN)
+        .expect("argv array fits");
     cursor += 4;
     let envp_array = cursor;
     for &p in &envp_ptrs {
-        mem.write_u32(cursor, p, WordTaint::CLEAN).expect("envp array fits");
+        mem.write_u32(cursor, p, WordTaint::CLEAN)
+            .expect("envp array fits");
         cursor += 4;
     }
-    mem.write_u32(cursor, 0, WordTaint::CLEAN).expect("envp array fits");
+    mem.write_u32(cursor, 0, WordTaint::CLEAN)
+        .expect("envp array fits");
 
     let argc = world.argv.len() as u32;
     let mut os = Os::new(world);
     os.set_brk(image.data_end().div_ceil(PAGE_SIZE) * PAGE_SIZE);
 
     let mut cpu = Cpu::new(mem, policy);
+    cpu.set_observer(observer);
+    for (kind, label, base, len) in sources {
+        cpu.emit_event(&Event::TaintSource {
+            kind,
+            label,
+            base,
+            len,
+        });
+    }
     cpu.set_pc(image.entry);
     cpu.regs_mut().set(Reg::A0, argc, WordTaint::CLEAN);
     cpu.regs_mut().set(Reg::A1, argv_array, WordTaint::CLEAN);
     cpu.regs_mut().set(Reg::A2, envp_array, WordTaint::CLEAN);
-    cpu.regs_mut().set(Reg::SP, STACK_TOP - 64, WordTaint::CLEAN);
-    cpu.regs_mut().set(Reg::FP, STACK_TOP - 64, WordTaint::CLEAN);
-    cpu.regs_mut().set(Reg::GP, image.data_base + 0x8000, WordTaint::CLEAN);
+    cpu.regs_mut()
+        .set(Reg::SP, STACK_TOP - 64, WordTaint::CLEAN);
+    cpu.regs_mut()
+        .set(Reg::FP, STACK_TOP - 64, WordTaint::CLEAN);
+    cpu.regs_mut()
+        .set(Reg::GP, image.data_base + 0x8000, WordTaint::CLEAN);
     cpu.regs_mut().set(Reg::RA, stub, WordTaint::CLEAN);
     (cpu, os)
 }
@@ -131,8 +178,12 @@ main:   li $v0, 0
         )
         .unwrap();
         let world = WorldConfig::new().args(["prog", "arg1"]).env("X=1");
-        let (cpu, os) = load(&image, world, DetectionPolicy::PointerTaintedness,
-                             HierarchyConfig::flat());
+        let (cpu, os) = load(
+            &image,
+            world,
+            DetectionPolicy::PointerTaintedness,
+            HierarchyConfig::flat(),
+        );
 
         assert_eq!(cpu.pc(), image.entry);
         assert_eq!(cpu.regs().value(Reg::A0), 2);
@@ -147,10 +198,7 @@ main:   li $v0, 0
         let (env0, _) = cpu.mem().memory().read_u32(envp_array).unwrap();
         assert_eq!(cpu.mem().read_cstr(env0, 64).unwrap(), b"X=1");
         // data
-        assert_eq!(
-            cpu.mem().read_cstr(image.data_base, 16).unwrap(),
-            b"hello"
-        );
+        assert_eq!(cpu.mem().read_cstr(image.data_base, 16).unwrap(), b"hello");
         // brk page-aligned past data
         assert_eq!(os.exit_status(), None);
         assert!(cpu.regs().value(Reg::SP) < STACK_TOP);

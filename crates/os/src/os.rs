@@ -5,6 +5,7 @@ use std::collections::{HashMap, VecDeque};
 use ptaint_cpu::Cpu;
 use ptaint_isa::Reg;
 use ptaint_mem::WordTaint;
+use ptaint_trace::Event;
 
 use crate::WorldConfig;
 
@@ -78,6 +79,27 @@ impl Sys {
     pub const fn number(self) -> u32 {
         self as u32
     }
+
+    /// The syscall's mnemonic name, for trace events and diagnostics.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Sys::Exit => "exit",
+            Sys::Read => "read",
+            Sys::Write => "write",
+            Sys::Open => "open",
+            Sys::Close => "close",
+            Sys::Brk => "brk",
+            Sys::GetPid => "getpid",
+            Sys::GetUid => "getuid",
+            Sys::Socket => "socket",
+            Sys::Bind => "bind",
+            Sys::Listen => "listen",
+            Sys::Accept => "accept",
+            Sys::Recv => "recv",
+            Sys::Send => "send",
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -85,9 +107,15 @@ enum Desc {
     StdIn,
     StdOut,
     StdErr,
-    File { path: String, pos: usize, write: bool },
+    File {
+        path: String,
+        pos: usize,
+        write: bool,
+    },
     ListenSocket,
-    Connection { session: usize },
+    Connection {
+        session: usize,
+    },
 }
 
 /// The runtime kernel: descriptor table, console, file system, scripted
@@ -111,6 +139,9 @@ pub struct Os {
     /// Bytes tainted by the kernel on behalf of the process (for §5.4's
     /// software-overhead accounting: one extra instruction per tainted byte).
     pub tainted_input_bytes: u64,
+    /// Per-name sequence numbers for taint-source labels (`read#1`, `recv#2`),
+    /// only advanced while an observer is attached.
+    source_seq: HashMap<&'static str, u64>,
 }
 
 #[derive(Debug)]
@@ -148,6 +179,7 @@ impl Os {
             uid: world.uid,
             exit_status: None,
             tainted_input_bytes: 0,
+            source_seq: HashMap::new(),
         }
     }
 
@@ -235,16 +267,43 @@ impl Os {
             Some(Sys::Send) => self.sys_send(cpu, a0 as i32, a1, a2),
         };
 
-        cpu.regs_mut()
-            .set(Reg::V0, result as u32, WordTaint::CLEAN);
+        cpu.regs_mut().set(Reg::V0, result as u32, WordTaint::CLEAN);
+        if cpu.has_observer() {
+            cpu.emit_event(&Event::Syscall {
+                // The CPU already advanced past the trapping instruction.
+                pc: cpu.pc().wrapping_sub(4),
+                number,
+                name: Sys::from_number(number).map_or("unknown", Sys::name),
+                result,
+            });
+        }
     }
 
     /// Copies `data` into the guest buffer **marking every byte tainted** —
-    /// the kernel→user boundary of §4.4.
-    fn deliver_tainted(&mut self, cpu: &mut Cpu, buf: u32, data: &[u8]) -> i32 {
+    /// the kernel→user boundary of §4.4. `name`/`fd` label the taint source
+    /// for provenance (e.g. `recv#2 fd=4`); the label is only built when an
+    /// observer is attached.
+    fn deliver_tainted(
+        &mut self,
+        cpu: &mut Cpu,
+        buf: u32,
+        data: &[u8],
+        name: &'static str,
+        fd: i32,
+    ) -> i32 {
         match cpu.mem_mut().write_bytes(buf, data, true) {
             Ok(()) => {
                 self.tainted_input_bytes += data.len() as u64;
+                if cpu.has_observer() && !data.is_empty() {
+                    let seq = self.source_seq.entry(name).or_insert(0);
+                    *seq += 1;
+                    cpu.emit_event(&Event::TaintSource {
+                        kind: "syscall",
+                        label: format!("{name}#{seq} fd={fd}"),
+                        base: buf,
+                        len: data.len() as u32,
+                    });
+                }
                 data.len() as i32
             }
             Err(_) => -1, // EFAULT
@@ -257,9 +316,13 @@ impl Os {
             Some(Desc::StdIn) => {
                 let take = len.min(self.stdin.len());
                 let data: Vec<u8> = self.stdin.drain(..take).collect();
-                self.deliver_tainted(cpu, buf, &data)
+                self.deliver_tainted(cpu, buf, &data, "read", fd)
             }
-            Some(Desc::File { path, pos, write: false }) => {
+            Some(Desc::File {
+                path,
+                pos,
+                write: false,
+            }) => {
                 let contents = match self.files.get(path.as_str()) {
                     Some(c) => c,
                     None => return -1,
@@ -267,11 +330,11 @@ impl Os {
                 let take = len.min(contents.len().saturating_sub(*pos));
                 let data = contents[*pos..*pos + take].to_vec();
                 *pos += take;
-                self.deliver_tainted(cpu, buf, &data)
+                self.deliver_tainted(cpu, buf, &data, "read", fd)
             }
             Some(Desc::Connection { session }) => {
                 let session = *session;
-                self.recv_from_session(cpu, session, buf, len)
+                self.recv_from_session(cpu, session, buf, len, "read", fd)
             }
             _ => -1,
         }
@@ -291,8 +354,13 @@ impl Os {
                 self.stderr.extend_from_slice(&data);
                 len as i32
             }
-            Some(Desc::File { path, write: true, .. }) => {
-                self.files.entry(path.clone()).or_default().extend_from_slice(&data);
+            Some(Desc::File {
+                path, write: true, ..
+            }) => {
+                self.files
+                    .entry(path.clone())
+                    .or_default()
+                    .extend_from_slice(&data);
                 len as i32
             }
             Some(Desc::Connection { session }) => {
@@ -320,7 +388,14 @@ impl Os {
         }
         let fd = self.next_fd;
         self.next_fd += 1;
-        self.descriptors.insert(fd, Desc::File { path, pos: 0, write });
+        self.descriptors.insert(
+            fd,
+            Desc::File {
+                path,
+                pos: 0,
+                write,
+            },
+        );
         fd
     }
 
@@ -339,7 +414,15 @@ impl Os {
         conn
     }
 
-    fn recv_from_session(&mut self, cpu: &mut Cpu, session: usize, buf: u32, len: usize) -> i32 {
+    fn recv_from_session(
+        &mut self,
+        cpu: &mut Cpu,
+        session: usize,
+        buf: u32,
+        len: usize,
+        name: &'static str,
+        fd: i32,
+    ) -> i32 {
         let Some(state) = self.sessions.get_mut(session) else {
             return -1;
         };
@@ -351,14 +434,14 @@ impl Os {
             let rest = msg.split_off(len);
             state.incoming.push_front(rest);
         }
-        self.deliver_tainted(cpu, buf, &msg)
+        self.deliver_tainted(cpu, buf, &msg, name, fd)
     }
 
     fn sys_recv(&mut self, cpu: &mut Cpu, fd: i32, buf: u32, len: u32) -> i32 {
         match self.descriptors.get(&fd) {
             Some(Desc::Connection { session }) => {
                 let session = *session;
-                self.recv_from_session(cpu, session, buf, len as usize)
+                self.recv_from_session(cpu, session, buf, len as usize, "recv", fd)
             }
             _ => -1,
         }
@@ -411,7 +494,9 @@ mod tests {
         let mut os = Os::new(WorldConfig::new().file("/data", b"0123456789".to_vec()));
         let mut cpu = cpu();
         // Path string in guest memory.
-        cpu.mem_mut().write_bytes(0x2000_0000, b"/data\0", false).unwrap();
+        cpu.mem_mut()
+            .write_bytes(0x2000_0000, b"/data\0", false)
+            .unwrap();
         let fd = call(&mut os, &mut cpu, Sys::Open, 0x2000_0000, 0, 0);
         assert!(fd >= 3);
         assert_eq!(call(&mut os, &mut cpu, Sys::Read, fd as u32, BUF, 4), 4);
@@ -427,7 +512,9 @@ mod tests {
     fn open_missing_file_fails() {
         let mut os = Os::new(WorldConfig::new());
         let mut cpu = cpu();
-        cpu.mem_mut().write_bytes(0x2000_0000, b"/nope\0", false).unwrap();
+        cpu.mem_mut()
+            .write_bytes(0x2000_0000, b"/nope\0", false)
+            .unwrap();
         assert_eq!(call(&mut os, &mut cpu, Sys::Open, 0x2000_0000, 0, 0), -1);
     }
 
@@ -435,7 +522,9 @@ mod tests {
     fn file_writes_are_visible_to_host() {
         let mut os = Os::new(WorldConfig::new());
         let mut cpu = cpu();
-        cpu.mem_mut().write_bytes(0x2000_0000, b"/etc/passwd\0", false).unwrap();
+        cpu.mem_mut()
+            .write_bytes(0x2000_0000, b"/etc/passwd\0", false)
+            .unwrap();
         cpu.mem_mut()
             .write_bytes(BUF, b"alice:x:0:0::/home/root:/bin/bash\n", true)
             .unwrap();
@@ -508,7 +597,10 @@ mod tests {
         os.set_brk(0x1000_8000);
         let mut cpu = cpu();
         assert_eq!(call(&mut os, &mut cpu, Sys::Brk, 0, 0, 0), 0x1000_8000);
-        assert_eq!(call(&mut os, &mut cpu, Sys::Brk, 0x1000_9000, 0, 0), 0x1000_9000);
+        assert_eq!(
+            call(&mut os, &mut cpu, Sys::Brk, 0x1000_9000, 0, 0),
+            0x1000_9000
+        );
         assert_eq!(call(&mut os, &mut cpu, Sys::Brk, 0, 0, 0), 0x1000_9000);
     }
 
@@ -569,8 +661,8 @@ mod tests {
 mod edge_tests {
     use super::*;
     use ptaint_cpu::DetectionPolicy;
-    use ptaint_mem::MemorySystem;
     use ptaint_isa::Reg;
+    use ptaint_mem::MemorySystem;
     use ptaint_mem::WordTaint;
 
     fn call(os: &mut Os, cpu: &mut Cpu, sys: Sys, a0: u32, a1: u32, a2: u32) -> i32 {
@@ -616,9 +708,14 @@ mod edge_tests {
     fn writes_to_read_only_files_fail() {
         let mut os = Os::new(crate::WorldConfig::new().file("/ro", b"data".to_vec()));
         let mut cpu = Cpu::new(MemorySystem::flat(), DetectionPolicy::PointerTaintedness);
-        cpu.mem_mut().write_bytes(0x1000_0000, b"/ro\0", false).unwrap();
+        cpu.mem_mut()
+            .write_bytes(0x1000_0000, b"/ro\0", false)
+            .unwrap();
         let fd = call(&mut os, &mut cpu, Sys::Open, 0x1000_0000, 0, 0);
         assert!(fd >= 3);
-        assert_eq!(call(&mut os, &mut cpu, Sys::Write, fd as u32, 0x1000_0000, 2), -1);
+        assert_eq!(
+            call(&mut os, &mut cpu, Sys::Write, fd as u32, 0x1000_0000, 2),
+            -1
+        );
     }
 }

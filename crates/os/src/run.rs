@@ -102,9 +102,7 @@ pub fn run_to_exit(cpu: &mut Cpu, os: &mut Os, max_steps: u64) -> RunOutcome {
                 // recv) may land tainted bytes inside an annotated region.
                 if !cpu.taint_watches().is_empty() {
                     let pc = cpu.pc().wrapping_sub(4);
-                    if let Some(alert) =
-                        cpu.scan_taint_watches(pc, ptaint_isa::Instr::Syscall)
-                    {
+                    if let Some(alert) = cpu.scan_taint_watches(pc, ptaint_isa::Instr::Syscall) {
                         reason = ExitReason::Security(alert);
                         break;
                     }
@@ -133,7 +131,11 @@ pub fn run_to_exit(cpu: &mut Cpu, os: &mut Os, max_steps: u64) -> RunOutcome {
         stats: cpu.stats(),
         stdout: os.stdout().to_vec(),
         stderr: os.stderr().to_vec(),
-        transcripts: os.session_transcripts().iter().map(|s| s.to_vec()).collect(),
+        transcripts: os
+            .session_transcripts()
+            .iter()
+            .map(|s| s.to_vec())
+            .collect(),
         tainted_input_bytes: os.tainted_input_bytes,
     }
 }

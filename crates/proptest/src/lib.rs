@@ -1,0 +1,736 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this workspace-local crate provides the subset of the proptest API that
+//! the test suite actually uses: the [`proptest!`] macro, `prop_assert*`,
+//! [`prop_oneof!`], numeric range and `any::<T>()` strategies, tuple and
+//! `collection::vec` combinators, `prop_map`/`prop_filter_map`/
+//! `prop_recursive`, and string strategies generated from a small regex
+//! dialect (character classes, groups, alternation, `{m,n}` repetition, and
+//! the `\PC` printable-character class).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * generation is **deterministic**: the RNG is seeded from the test's
+//!   module path and name, so failures reproduce exactly on every run;
+//! * there is **no shrinking** — a failing case panics with the assertion
+//!   message of the underlying `assert!`;
+//! * `proptest-regressions` files are not consulted.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! Configuration and the deterministic RNG.
+
+    /// Per-`proptest!` block configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    /// The name real proptest exports in its prelude.
+    pub use Config as ProptestConfig;
+
+    impl Config {
+        /// A config running `cases` random cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// SplitMix64: small, fast, and good enough for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG from an arbitrary label (FNV-1a), so each property
+        /// gets a distinct but reproducible stream.
+        #[must_use]
+        pub fn deterministic(label: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`. `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+
+        /// A random boolean.
+        pub fn next_bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::regex;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values for which `f` returns `Some`, retrying
+        /// generation. `whence` labels the filter in the panic raised when
+        /// no value passes after many attempts.
+        fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Recursive strategies: `f` builds a strategy for one more level of
+        /// nesting on top of an inner strategy. `depth` bounds the nesting;
+        /// `_desired_size` and `_expected_branch_size` are accepted for API
+        /// compatibility and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut level = BoxedStrategy::new(self);
+            let mut levels = vec![level.clone()];
+            for _ in 0..depth {
+                level = BoxedStrategy::new(f(level.clone()));
+                levels.push(level.clone());
+            }
+            BoxedStrategy::new(Union::from_boxed(levels))
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy::new(self)
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T: 'static> BoxedStrategy<T> {
+        /// Erases `s`.
+        pub fn new<S: Strategy<Value = T> + 'static>(s: S) -> BoxedStrategy<T> {
+            BoxedStrategy {
+                gen: Rc::new(move |rng| s.generate(rng)),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            for _ in 0..100_000 {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map `{}`: no value accepted", self.whence);
+        }
+    }
+
+    /// Uniform choice between strategies of one value type (`prop_oneof!`).
+    pub struct Union<T> {
+        choices: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over already-boxed choices.
+        #[must_use]
+        pub fn from_boxed(choices: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!choices.is_empty(), "empty union");
+            Union { choices }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.choices.len() as u64) as usize;
+            self.choices[i].generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Work in i128 so signed spans cannot overflow.
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    let span = (hi - lo) as u128;
+                    let r = u128::from(rng.next_u64()) % span;
+                    (lo + r as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $S:ident),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// String-valued strategy: a `&str` pattern in the supported regex
+    /// dialect generates matching strings.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            regex::generate(self, rng)
+        }
+    }
+
+    /// See [`crate::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical strategy for a type.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_bool()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A vector of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+mod regex {
+    //! A tiny regex-dialect string generator covering the patterns used by
+    //! this workspace's tests: literals, escapes, `[...]` classes (with
+    //! ranges and escapes), `(...)` groups, `|` alternation, `?`/`*`/`+`,
+    //! `{n}`/`{m,n}` repetition, and `\PC` (any printable ASCII char).
+
+    use super::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        /// Expanded set of candidate characters.
+        Class(Vec<char>),
+        /// `\PC`: printable ASCII.
+        Printable,
+        Group(Vec<Vec<(Atom, (u32, u32))>>),
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        pattern: &'a str,
+    }
+
+    impl<'a> Parser<'a> {
+        fn fail(&self, what: &str) -> ! {
+            panic!("unsupported regex pattern `{}`: {what}", self.pattern)
+        }
+
+        /// Parses alternatives until end of input or an unbalanced `)`.
+        fn alternatives(&mut self, in_group: bool) -> Vec<Vec<(Atom, (u32, u32))>> {
+            let mut alts = vec![Vec::new()];
+            loop {
+                match self.chars.peek().copied() {
+                    None => {
+                        if in_group {
+                            self.fail("unterminated group");
+                        }
+                        break;
+                    }
+                    Some(')') if in_group => break,
+                    Some(')') => self.fail("unbalanced `)`"),
+                    Some('|') => {
+                        self.chars.next();
+                        alts.push(Vec::new());
+                    }
+                    Some(_) => {
+                        let atom = self.atom();
+                        let rep = self.repetition();
+                        alts.last_mut().unwrap().push((atom, rep));
+                    }
+                }
+            }
+            alts
+        }
+
+        fn atom(&mut self) -> Atom {
+            match self.chars.next().unwrap() {
+                '(' => {
+                    let alts = self.alternatives(true);
+                    assert_eq!(self.chars.next(), Some(')'));
+                    Atom::Group(alts)
+                }
+                '[' => Atom::Class(self.class()),
+                '\\' => match self.chars.next() {
+                    Some('P') => {
+                        // Unicode category complement; the tests only use
+                        // `\PC` ("not control"), rendered as printable ASCII.
+                        match self.chars.next() {
+                            Some('C') => Atom::Printable,
+                            _ => self.fail("only \\PC is supported"),
+                        }
+                    }
+                    Some('d') => Atom::Class(('0'..='9').collect()),
+                    Some(c) => Atom::Literal(c),
+                    None => self.fail("trailing backslash"),
+                },
+                '.' => Atom::Printable,
+                c @ ('?' | '*' | '+' | '{') => self.fail(&format!("dangling repetition `{c}`")),
+                c => Atom::Literal(c),
+            }
+        }
+
+        fn class(&mut self) -> Vec<char> {
+            let mut out = Vec::new();
+            loop {
+                let c = match self.chars.next() {
+                    None => self.fail("unterminated class"),
+                    Some(']') => break,
+                    Some('\\') => match self.chars.next() {
+                        Some(e) => e,
+                        None => self.fail("trailing backslash in class"),
+                    },
+                    Some(c) => c,
+                };
+                // Range `a-z` (a `-` before `]` is a literal).
+                if self.chars.peek() == Some(&'-') {
+                    let mut look = self.chars.clone();
+                    look.next();
+                    if look.peek().is_some_and(|&n| n != ']') {
+                        self.chars.next(); // consume '-'
+                        let hi = match self.chars.next() {
+                            Some('\\') => self.chars.next().unwrap_or(c),
+                            Some(h) => h,
+                            None => self.fail("unterminated range"),
+                        };
+                        for ch in c..=hi {
+                            out.push(ch);
+                        }
+                        continue;
+                    }
+                }
+                out.push(c);
+            }
+            if out.is_empty() {
+                self.fail("empty class");
+            }
+            out
+        }
+
+        /// `{n}`, `{m,n}`, `?`, `*`, `+`, or exactly-once.
+        fn repetition(&mut self) -> (u32, u32) {
+            match self.chars.peek().copied() {
+                Some('?') => {
+                    self.chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    self.chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    self.chars.next();
+                    (1, 8)
+                }
+                Some('{') => {
+                    self.chars.next();
+                    let mut spec = String::new();
+                    loop {
+                        match self.chars.next() {
+                            Some('}') => break,
+                            Some(c) => spec.push(c),
+                            None => self.fail("unterminated repetition"),
+                        }
+                    }
+                    let parse = |s: &str| -> u32 {
+                        s.parse().unwrap_or_else(|_| self.fail("bad repetition"))
+                    };
+                    match spec.split_once(',') {
+                        None => {
+                            let n = parse(&spec);
+                            (n, n)
+                        }
+                        Some((m, n)) => (parse(m), parse(n)),
+                    }
+                }
+                _ => (1, 1),
+            }
+        }
+    }
+
+    fn emit(seq: &[(Atom, (u32, u32))], rng: &mut TestRng, out: &mut String) {
+        for (atom, (min, max)) in seq {
+            let count = min + rng.below(u64::from(max - min + 1)) as u32;
+            for _ in 0..count {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Printable => {
+                        out.push(char::from(0x20 + rng.below(0x5f) as u8));
+                    }
+                    Atom::Group(alts) => {
+                        let alt = &alts[rng.below(alts.len() as u64) as usize];
+                        emit(alt, rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut parser = Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        };
+        let alts = parser.alternatives(false);
+        let mut out = String::new();
+        let alt = &alts[rng.below(alts.len() as u64) as usize];
+        emit(alt, rng, &mut out);
+        out
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Marker so generated values are droppable in the macro without warnings.
+#[doc(hidden)]
+pub fn __touch<T>(_: &T) {}
+
+#[doc(hidden)]
+pub use std::rc::Rc as __Rc;
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// In this stand-in, `prop_assert!` is `assert!` (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// In this stand-in, `prop_assert_eq!` is `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// In this stand-in, `prop_assert_ne!` is `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::from_boxed(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+// Silence the unused import of Rc at crate root when macros are not expanded.
+#[doc(hidden)]
+pub type __KeepRc = Rc<()>;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(10u32..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let s = Strategy::generate(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn regex_patterns_generate_matching_shapes() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[A-Z]{1,8}=[a-z0-9]{0,12}", &mut rng);
+            let (k, v) = s.split_once('=').expect("must contain =");
+            assert!((1..=8).contains(&k.len()), "{s}");
+            assert!(v.len() <= 12, "{s}");
+            assert!(k.chars().all(|c| c.is_ascii_uppercase()));
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let p = Strategy::generate(&"\\PC{0,200}", &mut rng);
+            assert!(p.len() <= 200);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+
+            let asm = Strategy::generate(
+                &"[a-z]{1,6} \\$[a-z0-9]{1,4}(, ?(\\$[a-z0-9]{1,4}|-?[0-9]{1,5}|0x[0-9a-f]{1,8})){0,3}",
+                &mut rng,
+            );
+            assert!(asm.contains('$'), "{asm}");
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mk = || {
+            let mut rng = TestRng::deterministic("same-label");
+            (0..16).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: plain args, tuples, vec, oneof, recursion.
+        #[test]
+        fn macro_surface(
+            x in 0u32..100,
+            pair in (0usize..4, any::<bool>()),
+            v in crate::collection::vec(0u8..16, 0..6),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(pair.0 < 4);
+            prop_assert!(v.len() < 6, "len {}", v.len());
+            prop_assert_eq!(v.iter().filter(|&&b| b >= 16).count(), 0);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The composite observer wiring sinks together, plus its configuration
+//! and the report extracted after a run.
+
+use crate::event::Event;
+use crate::jsonl::JsonlSink;
+use crate::metrics::{MetricsCollector, MetricsSnapshot};
+use crate::provenance::{ForensicChain, ProvenanceTracker, DEFAULT_RING_DEPTH};
+use crate::Observer;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which sinks a [`TraceHub`] should run.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Buffer the full event stream as JSON Lines.
+    pub jsonl: bool,
+    /// Aggregate a [`MetricsSnapshot`].
+    pub metrics: bool,
+    /// Track taint provenance and build forensic chains on alerts.
+    pub provenance: bool,
+    /// Capacity of the provenance propagation ring.
+    pub ring_depth: usize,
+}
+
+impl Default for TraceConfig {
+    /// Everything off; enable the sinks you need.
+    fn default() -> TraceConfig {
+        TraceConfig {
+            jsonl: false,
+            metrics: false,
+            provenance: false,
+            ring_depth: DEFAULT_RING_DEPTH,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Enables every sink — what `--trace-out --provenance --metrics-out`
+    /// together ask for.
+    #[must_use]
+    pub fn all() -> TraceConfig {
+        TraceConfig {
+            jsonl: true,
+            metrics: true,
+            provenance: true,
+            ring_depth: DEFAULT_RING_DEPTH,
+        }
+    }
+
+    /// Whether any sink is enabled (if not, skip attaching an observer).
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.jsonl || self.metrics || self.provenance
+    }
+}
+
+/// What a [`TraceHub`] collected over one run.
+#[derive(Debug, Default)]
+pub struct TraceReport {
+    /// The JSONL event stream, when enabled.
+    pub jsonl: Option<Vec<u8>>,
+    /// Aggregated metrics, when enabled.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Forensic chain of the last alert, when provenance was enabled and an
+    /// alert fired.
+    pub forensic: Option<ForensicChain>,
+}
+
+/// Fans events out to the enabled sinks.
+#[derive(Debug, Default)]
+pub struct TraceHub {
+    jsonl: Option<JsonlSink>,
+    metrics: Option<MetricsCollector>,
+    provenance: Option<ProvenanceTracker>,
+}
+
+impl TraceHub {
+    /// A hub running the sinks `cfg` enables.
+    #[must_use]
+    pub fn new(cfg: &TraceConfig) -> TraceHub {
+        TraceHub {
+            jsonl: cfg.jsonl.then(JsonlSink::new),
+            metrics: cfg.metrics.then(MetricsCollector::new),
+            provenance: cfg
+                .provenance
+                .then(|| ProvenanceTracker::new(cfg.ring_depth)),
+        }
+    }
+
+    /// A hub wrapped for sharing with the emulator's observer slots.
+    #[must_use]
+    pub fn shared(cfg: &TraceConfig) -> Rc<RefCell<TraceHub>> {
+        Rc::new(RefCell::new(TraceHub::new(cfg)))
+    }
+
+    /// Read access to the provenance tracker, when enabled.
+    #[must_use]
+    pub fn provenance(&self) -> Option<&ProvenanceTracker> {
+        self.provenance.as_ref()
+    }
+
+    /// Consumes the hub into its collected artifacts.
+    #[must_use]
+    pub fn into_report(self) -> TraceReport {
+        TraceReport {
+            jsonl: self.jsonl.map(JsonlSink::into_bytes),
+            metrics: self.metrics.map(MetricsCollector::snapshot),
+            forensic: self.provenance.and_then(ProvenanceTracker::into_last_chain),
+        }
+    }
+}
+
+impl Observer for TraceHub {
+    fn on_event(&mut self, event: &Event) {
+        if let Some(jsonl) = &mut self.jsonl {
+            jsonl.record(event);
+        }
+        if let Some(metrics) = &mut self.metrics {
+            metrics.record(event);
+        }
+        if let Some(provenance) = &mut self.provenance {
+            provenance.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_collects_nothing() {
+        let mut hub = TraceHub::new(&TraceConfig::default());
+        hub.on_event(&Event::CacheAccess {
+            level: 1,
+            addr: 0,
+            hit: true,
+        });
+        let report = hub.into_report();
+        assert!(report.jsonl.is_none());
+        assert!(report.metrics.is_none());
+        assert!(report.forensic.is_none());
+    }
+
+    #[test]
+    fn all_sinks_receive_the_event() {
+        let mut hub = TraceHub::new(&TraceConfig::all());
+        hub.on_event(&Event::TaintSource {
+            kind: "argv",
+            label: "argv[1]".to_string(),
+            base: 0x7fff_0000,
+            len: 8,
+        });
+        let report = hub.into_report();
+        let jsonl = String::from_utf8(report.jsonl.unwrap()).unwrap();
+        assert!(jsonl.contains("\"event\":\"taint_source\""));
+        assert_eq!(report.metrics.unwrap().taint_sources, 1);
+    }
+}

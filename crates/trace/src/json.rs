@@ -1,0 +1,64 @@
+//! Hand-rolled JSON rendering.
+//!
+//! The build environment cannot reach crates.io, so instead of deriving
+//! `serde::Serialize` the observability layer renders JSON with this small
+//! module: a [`ToJson`] trait plus string escaping. Field order is fixed by
+//! each implementation, which is exactly what the golden-file schema test
+//! wants anyway.
+
+/// Types that render themselves as one JSON value.
+pub trait ToJson {
+    /// The JSON encoding of `self` (a complete value, no trailing newline).
+    fn to_json(&self) -> String;
+}
+
+/// Escapes `s` as a JSON string literal, including the surrounding quotes.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders word-taint bits in the paper's MSB-first style: `0b1001` → `T--T`.
+#[must_use]
+pub fn taint_str(bits: u8) -> String {
+    (0..4)
+        .rev()
+        .map(|i| if bits & (1 << i) != 0 { 'T' } else { '-' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape("a\nb"), "\"a\\nb\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escape("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn taint_str_is_msb_first() {
+        assert_eq!(taint_str(0b0000), "----");
+        assert_eq!(taint_str(0b1111), "TTTT");
+        assert_eq!(taint_str(0b1001), "T--T");
+        assert_eq!(taint_str(0b0001), "---T");
+    }
+}

@@ -53,5 +53,8 @@ fn main() {
     );
     let out = ptaint::run_to_exit(&mut cpu, &mut os, 200_000_000);
     println!("\n== the same attack under control-data-only protection ==");
-    println!("  outcome: {} (no control data was corrupted, so nothing fired)", out.reason);
+    println!(
+        "  outcome: {} (no control data was corrupted, so nothing fired)",
+        out.reason
+    );
 }

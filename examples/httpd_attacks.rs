@@ -15,7 +15,11 @@ fn main() {
     // CGI-BIN configuration at "/bin".
     let image = ptaint_guest::build(null_httpd::SOURCE).expect("builds");
     println!("== NULL HTTPD heap corruption (negative Content-Length) ==");
-    let out = run_app(&image, null_httpd::attack_world(&image), DetectionPolicy::Off);
+    let out = run_app(
+        &image,
+        null_httpd::attack_world(&image),
+        DetectionPolicy::Off,
+    );
     let transcript = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
     println!("  unprotected : {}", out.reason);
     for line in transcript.lines().filter(|l| !l.trim().is_empty()) {
@@ -33,7 +37,11 @@ fn main() {
     println!("\n== GHTTPD URL-pointer corruption (log buffer overflow) ==");
     let out = run_app(&image, ghttpd::attack_world(&image), DetectionPolicy::Off);
     let transcript = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
-    println!("  unprotected : {} — server replied: {}", out.reason, transcript.trim());
+    println!(
+        "  unprotected : {} — server replied: {}",
+        out.reason,
+        transcript.trim()
+    );
     let out = run_app(
         &image,
         ghttpd::attack_world(&image),

@@ -1,0 +1,56 @@
+//! The observability layer end to end: run the GHTTPD URL-pointer attack
+//! (§5.1.2, a non-control-data exploit) with every trace sink enabled and
+//! show what each one collected — the forensic provenance chain from the
+//! tainting `recv` to the dereferenced pointer, the tail of the JSONL
+//! event stream, and the run metrics.
+//!
+//! ```sh
+//! cargo run --example trace_forensics
+//! ```
+
+use ptaint::{DetectionPolicy, Machine, TraceConfig};
+use ptaint_guest::apps::ghttpd;
+
+fn main() {
+    let image = ptaint_guest::build(ghttpd::SOURCE).expect("builds");
+    let machine = Machine::from_image(image.clone())
+        .world(ghttpd::attack_world(&image))
+        .policy(DetectionPolicy::PointerTaintedness);
+
+    let (outcome, tail, report) = machine.run_with_trace(&TraceConfig::all());
+    println!("== GHTTPD attack under full tracing ==");
+    println!("outcome : {}\n", outcome.reason);
+
+    println!("-- last instructions (diagnostic ring) --");
+    for line in tail.iter().rev().take(5).rev() {
+        println!("  {line}");
+    }
+
+    println!("\n-- forensic provenance chain --");
+    match &report.forensic {
+        Some(chain) => println!("{chain}"),
+        None => println!("  (no chain: no alert fired)"),
+    }
+
+    println!("\n-- JSONL event stream (last 8 of the run) --");
+    let jsonl = String::from_utf8(report.jsonl.unwrap_or_default()).unwrap_or_default();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    for line in lines.iter().rev().take(8).rev() {
+        println!("  {line}");
+    }
+
+    println!("\n-- metrics --");
+    if let Some(m) = &report.metrics {
+        println!(
+            "  retired {} ({} tainted), {} sources / {} bytes, {} propagations,",
+            m.retired, m.tainted_retired, m.taint_sources, m.source_bytes, m.propagations
+        );
+        println!(
+            "  {} tainted pointer checks, {} alert(s)",
+            m.pointer_checks, m.alerts
+        );
+        for (rule, n) in &m.propagations_by_rule {
+            println!("    rule {rule:<18} {n}");
+        }
+    }
+}

@@ -89,13 +89,19 @@ fn function_pointer_overwrite_is_caught_as_a_jump_alert() {
         }"#;
     let mut input = vec![b'x'; 16];
     input.extend_from_slice(b"BBBB\n");
-    for policy in [DetectionPolicy::PointerTaintedness, DetectionPolicy::ControlOnly] {
+    for policy in [
+        DetectionPolicy::PointerTaintedness,
+        DetectionPolicy::ControlOnly,
+    ] {
         let out = Machine::from_c(source)
             .unwrap()
             .world(WorldConfig::new().stdin(input.clone()))
             .policy(policy)
             .run();
-        let alert = out.reason.alert().unwrap_or_else(|| panic!("{policy}: {:?}", out.reason));
+        let alert = out
+            .reason
+            .alert()
+            .unwrap_or_else(|| panic!("{policy}: {:?}", out.reason));
         assert_eq!(alert.kind, AlertKind::JumpPointer, "{policy}");
         assert_eq!(alert.pointer, 0x4242_4242, "{policy}");
     }

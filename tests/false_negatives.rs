@@ -33,7 +33,11 @@ fn format_leak_reads_the_secret_silently() {
     let m = Machine::from_c(scenarios::FMT_LEAK_SOURCE).unwrap();
     let out = m.world(scenarios::fmt_leak_attack_world()).run();
     assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
-    assert!(out.stdout_text().contains("12345678"), "{}", out.stdout_text());
+    assert!(
+        out.stdout_text().contains("12345678"),
+        "{}",
+        out.stdout_text()
+    );
 }
 
 #[test]
@@ -54,7 +58,10 @@ fn scenario_programs_behave_correctly_on_honest_inputs() {
     assert!(out.stdout_text().contains("safely"));
 
     let m = Machine::from_c(scenarios::AUTH_FLAG_SOURCE).unwrap();
-    let ok = m.clone().world(scenarios::auth_flag_good_password_world()).run();
+    let ok = m
+        .clone()
+        .world(scenarios::auth_flag_good_password_world())
+        .run();
     assert!(ok.stdout_text().contains("ACCESS GRANTED"));
     let denied = m.world(scenarios::auth_flag_bad_password_world()).run();
     assert!(denied.stdout_text().contains("access denied"));

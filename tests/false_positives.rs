@@ -21,11 +21,14 @@ fn table_3_reports_zero_alerts() {
 fn workloads_stay_clean_at_a_larger_scale() {
     // A second scale point: more input, more instructions, still no alerts.
     for w in workloads::all() {
-        let out = Machine::from_c(w.source)
-            .unwrap()
-            .world(w.world(8))
-            .run();
-        assert_eq!(out.reason, ExitReason::Exited(0), "{}: {:?}", w.name, out.reason);
+        let out = Machine::from_c(w.source).unwrap().world(w.world(8)).run();
+        assert_eq!(
+            out.reason,
+            ExitReason::Exited(0),
+            "{}: {:?}",
+            w.name,
+            out.reason
+        );
     }
 }
 
@@ -37,7 +40,13 @@ fn workloads_stay_clean_behind_the_cache_hierarchy() {
             .world(w.world(2))
             .hierarchy(ptaint::HierarchyConfig::two_level())
             .run();
-        assert_eq!(out.reason, ExitReason::Exited(0), "{}: {:?}", w.name, out.reason);
+        assert_eq!(
+            out.reason,
+            ExitReason::Exited(0),
+            "{}: {:?}",
+            w.name,
+            out.reason
+        );
     }
 }
 
@@ -71,10 +80,7 @@ fn heavy_tainted_string_processing_raises_no_alert() {
     .world(WorldConfig::new().stdin(b"xabc yyy zabcz quit".to_vec()))
     .run();
     assert_eq!(out.reason, ExitReason::Exited(0), "{:?}", out.reason);
-    assert_eq!(
-        out.stdout_text(),
-        "<xabc:1><yyy:1><zabcz:2>|total=2"
-    );
+    assert_eq!(out.stdout_text(), "<xabc:1><yyy:1><zabcz:2>|total=2");
 }
 
 #[test]

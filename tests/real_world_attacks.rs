@@ -8,8 +8,13 @@ use ptaint_guest::apps::{calibrate_format_pad, ghttpd, null_httpd, traceroute, w
 fn wu_ftpd_format_string_full_story() {
     let m = Machine::from_c(wu_ftpd::SOURCE).unwrap();
     let target = wu_ftpd::uid_address(m.image());
-    let pad = calibrate_format_pad(m.image(), |p| wu_ftpd::attack_world(m.image(), p), target, 48)
-        .expect("calibrates");
+    let pad = calibrate_format_pad(
+        m.image(),
+        |p| wu_ftpd::attack_world(m.image(), p),
+        target,
+        48,
+    )
+    .expect("calibrates");
     let world = wu_ftpd::attack_world(m.image(), pad);
 
     // Full detection: Table 2's alert — a store-word through the tainted
@@ -21,7 +26,11 @@ fn wu_ftpd_format_string_full_story() {
 
     // Control-only baseline: blind (non-control-data attack), and the
     // compromise actually lands — the privileged STOR is accepted.
-    let out = m.clone().policy(DetectionPolicy::ControlOnly).world(world.clone()).run();
+    let out = m
+        .clone()
+        .policy(DetectionPolicy::ControlOnly)
+        .world(world.clone())
+        .run();
     assert!(!out.reason.is_detected());
     let t = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
     assert!(t.contains("226 transfer complete"), "{t}");
@@ -37,8 +46,13 @@ fn wu_ftpd_detection_survives_the_cache_hierarchy() {
         .unwrap()
         .hierarchy(HierarchyConfig::two_level());
     let target = wu_ftpd::uid_address(m.image());
-    let pad = calibrate_format_pad(m.image(), |p| wu_ftpd::attack_world(m.image(), p), target, 48)
-        .expect("calibrates");
+    let pad = calibrate_format_pad(
+        m.image(),
+        |p| wu_ftpd::attack_world(m.image(), p),
+        target,
+        48,
+    )
+    .expect("calibrates");
     let world = wu_ftpd::attack_world(m.image(), pad);
     let out = m.world(world).run();
     assert_eq!(out.reason.alert().expect("detected").pointer, target);
@@ -74,7 +88,11 @@ fn ghttpd_url_pointer_attack_full_story() {
     // Paper: stopped at a load-byte (LB) dereferencing the tainted URL ptr.
     assert!(alert.instr.to_string().starts_with("lb"), "{}", alert.instr);
 
-    let out = m.clone().policy(DetectionPolicy::Off).world(world.clone()).run();
+    let out = m
+        .clone()
+        .policy(DetectionPolicy::Off)
+        .world(world.clone())
+        .run();
     let t = String::from_utf8_lossy(&out.transcripts[0]).into_owned();
     assert!(t.contains("/../../../../bin/sh"), "policy bypass: {t}");
 
@@ -93,8 +111,16 @@ fn traceroute_double_free_full_story() {
     assert_eq!(alert.pointer, 0x2e36_2e35 + 12);
 
     // Unprotected, the paper reports a crash — ours too.
-    let out = m.clone().policy(DetectionPolicy::Off).world(world.clone()).run();
-    assert!(matches!(out.reason, ExitReason::MemFault(_)), "{:?}", out.reason);
+    let out = m
+        .clone()
+        .policy(DetectionPolicy::Off)
+        .world(world.clone())
+        .run();
+    assert!(
+        matches!(out.reason, ExitReason::MemFault(_)),
+        "{:?}",
+        out.reason
+    );
 
     let out = m.policy(DetectionPolicy::ControlOnly).world(world).run();
     assert!(!out.reason.is_detected());

@@ -41,7 +41,10 @@ fn format_string_alert_dereferences_abcd() {
     // Probe pads like an attacker.
     let detected = (0..16).find_map(|pad| {
         let out = m.clone().world(synthetic::exp3_attack_world(pad)).run();
-        out.reason.alert().copied().filter(|a| a.pointer == 0x6463_6261)
+        out.reason
+            .alert()
+            .copied()
+            .filter(|a| a.pointer == 0x6463_6261)
     });
     let alert = detected.expect("some pad reaches the buffer");
     assert_eq!(alert.kind, AlertKind::DataPointer);
@@ -78,8 +81,18 @@ fn exp1_detected_under_both_detecting_policies_but_not_off() {
     let m = Machine::from_c(synthetic::EXP1_SOURCE)
         .unwrap()
         .world(synthetic::exp1_attack_world());
-    assert!(m.clone().policy(DetectionPolicy::PointerTaintedness).run().reason.is_detected());
-    assert!(m.clone().policy(DetectionPolicy::ControlOnly).run().reason.is_detected());
+    assert!(m
+        .clone()
+        .policy(DetectionPolicy::PointerTaintedness)
+        .run()
+        .reason
+        .is_detected());
+    assert!(m
+        .clone()
+        .policy(DetectionPolicy::ControlOnly)
+        .run()
+        .reason
+        .is_detected());
     assert!(!m.policy(DetectionPolicy::Off).run().reason.is_detected());
 }
 

@@ -82,7 +82,11 @@ fn attack_detected_inside_free_as_documented() {
     // The pointer derives from the payload's "aaaa" fd link.
     assert_eq!(alert.pointer & 0xffff_ff00, 0x6161_6100);
     let unlink = m.image().symbol("__unlink").unwrap();
-    assert!((unlink..unlink + 0x100).contains(&alert.pc), "{:#x}", alert.pc);
+    assert!(
+        (unlink..unlink + 0x100).contains(&alert.pc),
+        "{:#x}",
+        alert.pc
+    );
 }
 
 #[test]
