@@ -1,0 +1,103 @@
+//! Execution-engine microbenchmark: steps/sec for the legacy interpreter
+//! vs. the predecoded/cached engine on a tight counted loop — the workload
+//! where decode cost dominates and the decode cache pays off most.
+//!
+//! Besides the criterion groups, a machine-readable summary is written to
+//! `BENCH_engine.json` at the repository root (guest steps, steps/sec per
+//! engine, speedup). Set `BENCH_QUICK=1` to shrink the loop for CI smoke
+//! runs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ptaint::{Engine, ExitReason, Machine};
+
+/// Loop iterations: full runs measure a stable hot loop; quick mode keeps
+/// CI smoke runs under a second.
+fn iterations() -> u32 {
+    if quick() {
+        2_000
+    } else {
+        500_000
+    }
+}
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+/// A counted loop of `iters` iterations that exits with status 0.
+fn tight_loop(iters: u32) -> Machine {
+    Machine::from_asm(&format!(
+        "main:  li $t0, 0
+                li $t1, {iters}
+        loop:   addiu $t0, $t0, 1
+                bne $t0, $t1, loop
+                li $v0, 1
+                li $a0, 0
+                syscall"
+    ))
+    .expect("assembles")
+}
+
+/// Steps/sec over several whole-program runs, reporting the best (least
+/// noise-disturbed) run after one warmup.
+fn steps_per_sec(machine: &Machine) -> f64 {
+    let warmup = machine.run();
+    assert_eq!(warmup.reason, ExitReason::Exited(0));
+    let mut best = f64::MIN;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let out = machine.run();
+        let elapsed = start.elapsed();
+        assert_eq!(out.reason, ExitReason::Exited(0));
+        best = best.max(out.stats.instructions as f64 / elapsed.as_secs_f64());
+    }
+    best
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let machine = tight_loop(iterations());
+    let steps = machine.run().stats.instructions;
+
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(steps));
+    group.sample_size(10);
+    for (name, engine) in [("interp", Engine::Interp), ("cached", Engine::Cached)] {
+        let m = machine.clone().engine(engine);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = m.run();
+                assert_eq!(out.reason, ExitReason::Exited(0));
+                out.stats.instructions
+            })
+        });
+    }
+    group.finish();
+
+    // Machine-readable summary for the roadmap's before/after record.
+    let interp = steps_per_sec(&machine.clone().engine(Engine::Interp));
+    let cached = steps_per_sec(&machine.clone().engine(Engine::Cached));
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"engine\",\"guest_steps\":{},",
+            "\"interp_steps_per_sec\":{:.0},\"cached_steps_per_sec\":{:.0},",
+            "\"speedup\":{:.3},\"quick\":{}}}\n"
+        ),
+        steps,
+        interp,
+        cached,
+        cached / interp,
+        quick()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("writes BENCH_engine.json");
+    println!(
+        "engine: {steps} guest steps; interp {interp:.0} steps/s, \
+         cached {cached:.0} steps/s, speedup {:.2}x -> {path}",
+        cached / interp
+    );
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 //!   --asm                 input is assembly, not mini-C
 //!   --optimize            enable the mini-C peephole optimizer
 //!   --policy P            off | control-only | ptaint     (default: ptaint)
+//!   --engine E            interp | cached                  (default: cached)
 //!   --stdin FILE          feed FILE's bytes as standard input (tainted)
 //!   --stdin-text STRING   feed STRING as standard input (tainted)
 //!   --arg STRING          append a command-line argument (repeatable)
@@ -35,7 +36,8 @@
 use std::fmt::Write as _;
 
 use ptaint::{
-    DetectionPolicy, ExitReason, Machine, NetSession, ToJson, TraceConfig, TraceReport, WorldConfig,
+    DetectionPolicy, Engine, ExitReason, Machine, NetSession, ToJson, TraceConfig, TraceReport,
+    WorldConfig,
 };
 
 /// Parsed command-line options.
@@ -49,6 +51,9 @@ pub struct Options {
     pub optimize: bool,
     /// Detection policy.
     pub policy: Option<DetectionPolicy>,
+    /// Execution engine (predecoded cache by default; `interp` keeps the
+    /// legacy interpreter available as the differential oracle).
+    pub engine: Option<Engine>,
     /// Stdin bytes.
     pub stdin: Vec<u8>,
     /// Guest argv (the program name is prepended automatically).
@@ -178,6 +183,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
                     }
                 });
             }
+            "--engine" => {
+                let v = value(&mut it, "--engine")?;
+                opts.engine = Some(match v.as_str() {
+                    "interp" | "interpreter" => Engine::Interp,
+                    "cached" | "predecoded" => Engine::Cached,
+                    other => {
+                        return Err(UsageError(format!(
+                            "unknown engine `{other}` (interp | cached)"
+                        )))
+                    }
+                });
+            }
             "--stdin" => {
                 let path = value(&mut it, "--stdin")?;
                 opts.stdin = read_host(&path)?;
@@ -281,6 +298,9 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
     machine = machine.world(world);
     if let Some(policy) = opts.policy {
         machine = machine.policy(policy);
+    }
+    if let Some(engine) = opts.engine {
+        machine = machine.engine(engine);
     }
     if opts.caches {
         machine = machine.hierarchy(ptaint::HierarchyConfig::two_level());
@@ -466,6 +486,21 @@ mod tests {
         assert!(parse(&["a.c", "--watch", "nocolon"]).is_err());
         assert!(parse(&["a.c", "--bogus"]).is_err());
         assert!(parse(&["a.c", "--steps", "NaN"]).is_err());
+        assert!(parse(&["a.c", "--engine"]).is_err());
+        assert!(parse(&["a.c", "--engine", "jit"]).is_err());
+    }
+
+    #[test]
+    fn engine_flag_selects_the_engine() {
+        assert_eq!(parse(&["a.c"]).unwrap().engine, None);
+        assert_eq!(
+            parse(&["a.c", "--engine", "interp"]).unwrap().engine,
+            Some(Engine::Interp)
+        );
+        assert_eq!(
+            parse(&["a.c", "--engine", "cached"]).unwrap().engine,
+            Some(Engine::Cached)
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ fn main() -> ExitCode {
              --asm                input is assembly\n\
              --optimize           peephole-optimize the generated code\n\
              --policy P           off | control-only | ptaint (default)\n\
+             --engine E           interp | cached (default)\n\
              --stdin FILE         stdin bytes from FILE (tainted)\n\
              --stdin-text STRING  stdin bytes inline (tainted)\n\
              --arg S / --env K=V  guest argv / environment (repeatable)\n\

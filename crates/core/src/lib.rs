@@ -63,8 +63,8 @@ pub use ptaint_asm::{assemble, disassemble, AsmError, Image};
 pub use ptaint_cc::compile;
 pub use ptaint_cpu::pipeline::{Pipeline, PipelineReport};
 pub use ptaint_cpu::{
-    AlertKind, Cpu, CpuException, DetectionPolicy, ExecStats, SecurityAlert, StepEvent, TaintRules,
-    TaintWatch,
+    AlertKind, Cpu, CpuException, DetectionPolicy, Engine, ExecStats, SecurityAlert, StepEvent,
+    TaintRules, TaintWatch,
 };
 pub use ptaint_guest::{BuildError, LIBC_C};
 pub use ptaint_mem::{CacheConfig, HierarchyConfig, MemorySystem, TaintedMemory, WordTaint};

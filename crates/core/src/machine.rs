@@ -4,7 +4,7 @@ use std::rc::Rc;
 
 use ptaint_asm::Image;
 use ptaint_cpu::pipeline::{Pipeline, PipelineReport};
-use ptaint_cpu::{Cpu, CpuException, DetectionPolicy, StepEvent, TaintRules};
+use ptaint_cpu::{Cpu, CpuException, DetectionPolicy, Engine, StepEvent, TaintRules};
 use ptaint_guest::BuildError;
 use ptaint_mem::HierarchyConfig;
 use ptaint_os::{load_with_observer, run_to_exit, ExitReason, Os, RunOutcome, WorldConfig};
@@ -32,6 +32,7 @@ pub struct Machine {
     watches: Vec<(u32, u32, String)>,
     step_limit: u64,
     trace_depth: Option<usize>,
+    engine: Engine,
 }
 
 impl Machine {
@@ -78,7 +79,17 @@ impl Machine {
             watches: Vec::new(),
             step_limit: Machine::DEFAULT_STEP_LIMIT,
             trace_depth: None,
+            engine: Engine::default(),
         }
+    }
+
+    /// Selects the execution engine (default: the predecoded/cached engine;
+    /// [`Engine::Interp`] keeps the legacy interpreter available as the
+    /// differential-testing oracle).
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Machine {
+        self.engine = engine;
+        self
     }
 
     /// Sets the taint-propagation rule set (default: the paper's Table 1;
@@ -162,6 +173,7 @@ impl Machine {
             observer,
         );
         cpu.set_taint_rules(self.rules);
+        cpu.set_engine(self.engine);
         if let Some(depth) = self.trace_depth {
             cpu.set_trace_depth(depth);
         }
@@ -363,6 +375,21 @@ mod tests {
         let flat = m.run();
         let cached = m.hierarchy(HierarchyConfig::two_level()).run();
         assert_eq!(flat.reason, cached.reason);
+    }
+
+    #[test]
+    fn engine_selector_switches_between_interpreter_and_cache() {
+        let m = Machine::from_c("int main() { return 7; }").unwrap();
+        let cached = m.clone().engine(Engine::Cached).run();
+        let interp = m.engine(Engine::Interp).run();
+        assert_eq!(cached.reason, ExitReason::Exited(7));
+        assert_eq!(interp.reason, ExitReason::Exited(7));
+        assert!(cached.stats.decode_cache_hits > 0);
+        assert_eq!(interp.stats.decode_cache_hits, 0);
+        assert_eq!(
+            cached.stats.without_decode_cache(),
+            interp.stats.without_decode_cache()
+        );
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! The functional executor with taint tracking and pointer-taintedness
 //! detection.
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use ptaint_isa::{
-    BranchCond, BranchZCond, DecodeError, IAluOp, Instr, MemWidth, MulDivOp, RAluOp, Reg,
+    BranchCond, BranchZCond, DecodeError, DecodedInsn, IAluOp, Instr, MemWidth, MulDivOp, RAluOp,
+    Reg, PAGE_SIZE,
 };
 use ptaint_mem::{MemFault, MemorySystem, WordTaint};
 use ptaint_trace::{Event, Loc, SharedObserver, Transfer};
 
+use crate::decode_cache::DecodeCache;
 use crate::taint_alu;
 use crate::{AlertKind, DetectionPolicy, ExecStats, RegisterFile, SecurityAlert, TaintRules};
 
@@ -77,6 +78,20 @@ impl From<MemFault> for CpuException {
     }
 }
 
+/// Which execution engine drives [`Cpu::step`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Fetch + decode on every step — the legacy interpreter, kept as the
+    /// differential-testing oracle for the cached engine.
+    Interp,
+    /// Predecode straight-line blocks into a per-page decode cache on first
+    /// execution and dispatch from the cache thereafter (the default).
+    /// Stores into cached text pages invalidate them, so self-modifying
+    /// code behaves exactly as under [`Engine::Interp`].
+    #[default]
+    Cached,
+}
+
 /// Default depth of the recently-retired diagnostic ring buffer; override
 /// per-CPU with [`Cpu::set_trace_depth`].
 pub const DEFAULT_TRACE_DEPTH: usize = 64;
@@ -110,10 +125,17 @@ pub struct Cpu {
     rules: TaintRules,
     watches: Vec<TaintWatch>,
     stats: ExecStats,
-    recent: VecDeque<(u32, Instr)>,
+    // Recently-retired ring buffer: grows up to `trace_depth`, then wraps;
+    // `recent_head` is the slot holding the oldest entry (and the next one
+    // overwritten). A flat ring instead of a `VecDeque` keeps the per-step
+    // retire cost to one write.
+    recent: Vec<(u32, Instr)>,
+    recent_head: usize,
     trace_depth: usize,
     observer: Option<SharedObserver>,
     last_step_tainted: bool,
+    engine: Engine,
+    dcache: DecodeCache,
 }
 
 impl fmt::Debug for Cpu {
@@ -140,11 +162,27 @@ impl Cpu {
             rules: TaintRules::PAPER,
             watches: Vec::new(),
             stats: ExecStats::default(),
-            recent: VecDeque::with_capacity(DEFAULT_TRACE_DEPTH),
+            recent: Vec::with_capacity(DEFAULT_TRACE_DEPTH),
+            recent_head: 0,
             trace_depth: DEFAULT_TRACE_DEPTH,
             observer: None,
             last_step_tainted: false,
+            engine: Engine::default(),
+            dcache: DecodeCache::new(),
         }
+    }
+
+    /// Selects the execution engine (default: [`Engine::Cached`]). Safe to
+    /// switch at any time: the decode cache stays coherent through the
+    /// memory system's code-page watches regardless of the active engine.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The active execution engine.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Attaches (or detaches) the structured-event observer. The same
@@ -175,9 +213,14 @@ impl Cpu {
     /// [`DEFAULT_TRACE_DEPTH`]). Shrinking drops the oldest entries.
     pub fn set_trace_depth(&mut self, depth: usize) {
         self.trace_depth = depth.max(1);
-        while self.recent.len() > self.trace_depth {
-            self.recent.pop_front();
+        // Re-linearize the ring at the new depth so pushes keep appending
+        // (or wrapping) correctly.
+        let mut ordered = self.recent_trace();
+        if ordered.len() > self.trace_depth {
+            ordered.drain(..ordered.len() - self.trace_depth);
         }
+        self.recent = ordered;
+        self.recent_head = 0;
     }
 
     /// Current depth of the recently-retired ring.
@@ -286,14 +329,21 @@ impl Cpu {
     /// diagnostics.
     #[must_use]
     pub fn recent_trace(&self) -> Vec<(u32, Instr)> {
-        self.recent.iter().copied().collect()
+        let (wrapped, oldest) = self.recent.split_at(self.recent_head);
+        oldest.iter().chain(wrapped).copied().collect()
     }
 
+    #[inline]
     fn push_trace(&mut self, pc: u32, instr: Instr) {
-        if self.recent.len() == self.trace_depth {
-            self.recent.pop_front();
+        if self.recent.len() < self.trace_depth {
+            self.recent.push((pc, instr));
+        } else {
+            self.recent[self.recent_head] = (pc, instr);
+            self.recent_head += 1;
+            if self.recent_head == self.recent.len() {
+                self.recent_head = 0;
+            }
         }
-        self.recent.push_back((pc, instr));
     }
 
     /// Emits a [`Event::TaintPropagate`] when taint is actually in motion:
@@ -434,7 +484,14 @@ impl Cpu {
         }
     }
 
-    /// Fetch, decode, execute one instruction.
+    /// Executes one instruction under the active [`Engine`].
+    ///
+    /// The interpreter fetches and decodes every step. The cached engine
+    /// first drains pending code-page invalidations, then dispatches from
+    /// the decode cache; on a miss it falls back to the interpreter's
+    /// fetch+decode (reproducing its exact faults), predecodes the
+    /// straight-line block, and registers a code-page watch so later
+    /// stores into the page invalidate it.
     ///
     /// # Errors
     ///
@@ -442,11 +499,58 @@ impl Cpu {
     /// * [`CpuException::Mem`] — unaligned or null-page access (fetch or
     ///   data);
     /// * [`CpuException::Decode`] — the PC reached an undecodable word.
-    #[allow(clippy::too_many_lines)]
     pub fn step(&mut self) -> Result<StepEvent, CpuException> {
         let pc = self.pc;
+        if self.engine == Engine::Cached {
+            if self.mem.has_dirty_code_pages() {
+                self.invalidate_dirty_pages();
+            }
+            if let Some(d) = self.dcache.lookup(pc) {
+                self.stats.decode_cache_hits += 1;
+                if self.observer.is_some() {
+                    self.emit_event(&Event::DecodeCache {
+                        page: pc / PAGE_SIZE,
+                        kind: "hit",
+                    });
+                }
+                return self.exec(pc, d);
+            }
+        }
+        // Authoritative path: always for the interpreter, on a miss for the
+        // cached engine.
         let word = self.mem.fetch_u32(pc)?;
-        let instr = Instr::decode(word).map_err(|err| CpuException::Decode { pc, err })?;
+        let d = DecodedInsn::predecode(pc, word).map_err(|err| CpuException::Decode { pc, err })?;
+        if self.engine == Engine::Cached {
+            self.stats.decode_cache_misses += 1;
+            self.emit_event(&Event::DecodeCache {
+                page: pc / PAGE_SIZE,
+                kind: "miss",
+            });
+            self.dcache.fill_block(pc, self.mem.memory());
+            self.mem.watch_code_page(pc / PAGE_SIZE);
+        }
+        self.exec(pc, d)
+    }
+
+    /// Invalidates every decode-cache page the memory system reports as
+    /// written since the last drain.
+    fn invalidate_dirty_pages(&mut self) {
+        for page in self.mem.take_dirty_code_pages() {
+            if self.dcache.invalidate(page) {
+                self.stats.decode_cache_invalidations += 1;
+                self.emit_event(&Event::DecodeCache {
+                    page,
+                    kind: "invalidate",
+                });
+            }
+        }
+    }
+
+    /// The execute stage shared by both engines: applies `d` (predecoded at
+    /// `pc`) to the architectural and taint state.
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, pc: u32, d: DecodedInsn) -> Result<StepEvent, CpuException> {
+        let instr = d.instr;
         let mut next_pc = pc.wrapping_add(4);
         let mut event = StepEvent::Executed;
         self.last_step_tainted = false;
@@ -467,7 +571,7 @@ impl Cpu {
                     RAluOp::Sltu => u32::from(a < b),
                 };
                 let taint = taint_alu::ralu_result_with(self.rules, op, a, ta, b, tb, rs == rt);
-                if op.is_compare() && self.rules.compare_untaints {
+                if op.is_compare() && self.rules.compare_untaints && (ta.any() || tb.any()) {
                     // Table 1: compare untaints its operands in place.
                     self.regs.set_taint(rs, taint_alu::compare_operand_taint());
                     self.regs.set_taint(rt, taint_alu::compare_operand_taint());
@@ -485,14 +589,11 @@ impl Cpu {
                     &[ta, tb],
                 );
             }
-            Instr::IAlu { op, rt, rs, imm } => {
+            Instr::IAlu { op, rt, rs, .. } => {
                 let (a, ta) = self.regs.get(rs);
                 self.note_tainted_operands(&[ta]);
-                let ext: u32 = if op.zero_extends() {
-                    u32::from(imm as u16)
-                } else {
-                    imm as i32 as u32
-                };
+                // Sign/zero extension was done at predecode time.
+                let ext: u32 = d.imm;
                 let value = match op {
                     IAluOp::Addi | IAluOp::Addiu => a.wrapping_add(ext),
                     IAluOp::Slti => u32::from((a as i32) < (ext as i32)),
@@ -502,7 +603,7 @@ impl Cpu {
                     IAluOp::Xori => a ^ ext,
                 };
                 let taint = taint_alu::ialu_result_with(self.rules, op, a, ta, ext);
-                if op.is_compare() && self.rules.compare_untaints {
+                if op.is_compare() && self.rules.compare_untaints && ta.any() {
                     self.regs.set_taint(rs, taint_alu::compare_operand_taint());
                     self.emit_compare_untaint(pc, instr, rs, ta);
                 }
@@ -550,9 +651,10 @@ impl Cpu {
                     &[tv, tamt],
                 );
             }
-            Instr::Lui { rt, imm } => {
-                // A program constant: untainted (paper §4.2).
-                self.regs.set(rt, u32::from(imm) << 16, WordTaint::CLEAN);
+            Instr::Lui { rt, .. } => {
+                // A program constant, pre-shifted at predecode time:
+                // untainted (paper §4.2).
+                self.regs.set(rt, d.imm, WordTaint::CLEAN);
             }
             Instr::MulDiv { op, rs, rt } => {
                 let (a, ta) = self.regs.get(rs);
@@ -660,13 +762,13 @@ impl Cpu {
                 signed,
                 rt,
                 base,
-                offset,
+                ..
             } => {
                 self.stats.loads += 1;
                 let (bv, bt) = self.regs.get(base);
                 self.note_tainted_operands(&[bt]);
                 self.check_data_pointer(pc, instr, base)?;
-                let addr = bv.wrapping_add(offset as i32 as u32);
+                let addr = bv.wrapping_add(d.imm);
                 let (value, taint) = match width {
                     MemWidth::Byte => {
                         let (b, t) = self.mem.read_u8(addr)?;
@@ -701,17 +803,14 @@ impl Cpu {
                 );
             }
             Instr::Store {
-                width,
-                rt,
-                base,
-                offset,
+                width, rt, base, ..
             } => {
                 self.stats.stores += 1;
                 let (bv, bt) = self.regs.get(base);
                 let (v, tv) = self.regs.get(rt);
                 self.note_tainted_operands(&[bt, tv]);
                 self.check_data_pointer(pc, instr, base)?;
-                let addr = bv.wrapping_add(offset as i32 as u32);
+                let addr = bv.wrapping_add(d.imm);
                 let stored_taint = match width {
                     MemWidth::Byte => {
                         self.mem.write_u8(addr, v as u8, tv.byte(0))?;
@@ -743,18 +842,14 @@ impl Cpu {
                     }
                 }
             }
-            Instr::Branch {
-                cond,
-                rs,
-                rt,
-                offset,
-            } => {
+            Instr::Branch { cond, rs, rt, .. } => {
                 self.stats.branches += 1;
                 let (a, ta) = self.regs.get(rs);
                 let (b, tb) = self.regs.get(rt);
                 self.note_tainted_operands(&[ta, tb]);
                 // Branches are compare instructions: untaint the operands.
-                if self.rules.compare_untaints {
+                // (Clean operands need no write — the common case.)
+                if self.rules.compare_untaints && (ta.any() || tb.any()) {
                     self.regs.set_taint(rs, taint_alu::compare_operand_taint());
                     self.regs.set_taint(rt, taint_alu::compare_operand_taint());
                     self.emit_compare_untaint(pc, instr, rs, ta);
@@ -765,14 +860,15 @@ impl Cpu {
                     BranchCond::Ne => a != b,
                 };
                 if taken {
-                    next_pc = branch_target(pc, offset);
+                    // Target computed at predecode time.
+                    next_pc = d.target;
                 }
             }
-            Instr::BranchZ { cond, rs, offset } => {
+            Instr::BranchZ { cond, rs, .. } => {
                 self.stats.branches += 1;
                 let (a, ta) = self.regs.get(rs);
                 self.note_tainted_operands(&[ta]);
-                if self.rules.compare_untaints {
+                if self.rules.compare_untaints && ta.any() {
                     self.regs.set_taint(rs, taint_alu::compare_operand_taint());
                     self.emit_compare_untaint(pc, instr, rs, ta);
                 }
@@ -784,14 +880,14 @@ impl Cpu {
                     BranchZCond::Gez => a >= 0,
                 };
                 if taken {
-                    next_pc = branch_target(pc, offset);
+                    next_pc = d.target;
                 }
             }
-            Instr::Jump { target, link } => {
+            Instr::Jump { link, .. } => {
                 if link {
                     self.regs.set(Reg::RA, pc.wrapping_add(4), WordTaint::CLEAN);
                 }
-                next_pc = (pc & 0xf000_0000) | (target << 2);
+                next_pc = d.target;
             }
             Instr::JumpReg { rs } => {
                 self.stats.register_jumps += 1;
@@ -820,11 +916,13 @@ impl Cpu {
         self.stats.instructions += 1;
         self.push_trace(pc, instr);
         self.pc = next_pc;
-        self.emit_event(&Event::Retire {
-            pc,
-            instr,
-            tainted: self.last_step_tainted,
-        });
+        if self.observer.is_some() {
+            self.emit_event(&Event::Retire {
+                pc,
+                instr,
+                tainted: self.last_step_tainted,
+            });
+        }
         Ok(event)
     }
 }
@@ -836,11 +934,6 @@ fn shift_value(op: ptaint_isa::ShiftOp, v: u32, amount: u32) -> u32 {
         ShiftOp::Srl => v >> amount,
         ShiftOp::Sra => ((v as i32) >> amount) as u32,
     }
-}
-
-fn branch_target(pc: u32, offset: i16) -> u32 {
-    pc.wrapping_add(4)
-        .wrapping_add((i32::from(offset) << 2) as u32)
 }
 
 #[cfg(test)]
@@ -1213,6 +1306,79 @@ main:   la $t0, buf
         let trace = cpu.recent_trace();
         assert_eq!(trace.len(), 3);
         assert_eq!(trace[0].0, TEXT_BASE);
+    }
+
+    #[test]
+    fn cached_engine_is_the_default_and_counts_cache_traffic() {
+        let mut cpu = boot(
+            "main: li $t0, 1\nli $t1, 2\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        assert_eq!(cpu.engine(), Engine::Cached);
+        run(&mut cpu, 10).unwrap();
+        let stats = cpu.stats();
+        assert_eq!(stats.decode_cache_misses, 1, "one block predecode");
+        assert_eq!(
+            stats.decode_cache_hits,
+            stats.instructions - 1,
+            "everything after the first step dispatches from the cache"
+        );
+
+        let mut interp = boot(
+            "main: li $t0, 1\nli $t1, 2\nbreak 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        interp.set_engine(Engine::Interp);
+        run(&mut interp, 10).unwrap();
+        assert_eq!(interp.stats().decode_cache_hits, 0);
+        assert_eq!(interp.stats().decode_cache_misses, 0);
+        assert_eq!(
+            interp.stats().without_decode_cache(),
+            cpu.stats().without_decode_cache()
+        );
+    }
+
+    /// Self-modifying code: a store into a text page must invalidate the
+    /// decode cache and force a re-decode of the patched word.
+    #[test]
+    fn store_into_text_invalidates_decode_cache() {
+        // The patch turns `li $t2, 1` (at label `patch`) into
+        // `addiu $t2, $zero, 99`; executing a stale decode would leave 1.
+        let patched = Instr::IAlu {
+            op: IAluOp::Addiu,
+            rt: Reg::T2,
+            rs: Reg::ZERO,
+            imm: 99,
+        }
+        .encode();
+        let src = format!(
+            "main:   la $t0, patch
+                     li $t1, 0x{patched:08x}
+                     sw $t1, 0($t0)
+            patch:   li $t2, 1
+                     break 0"
+        );
+        let mut cpu = boot(&src, DetectionPolicy::PointerTaintedness);
+        run(&mut cpu, 100).unwrap();
+        assert_eq!(
+            cpu.regs().value(Reg::T2),
+            99,
+            "the patched instruction must execute, not the stale decode"
+        );
+        let stats = cpu.stats();
+        assert!(stats.decode_cache_invalidations >= 1, "{stats:?}");
+        assert!(stats.decode_cache_misses >= 2, "re-decode after the patch");
+        assert!(stats.decode_cache_hits >= 1);
+
+        // The interpreter is the oracle: same program, same result.
+        let mut interp = boot(&src, DetectionPolicy::PointerTaintedness);
+        interp.set_engine(Engine::Interp);
+        run(&mut interp, 100).unwrap();
+        assert_eq!(interp.regs().value(Reg::T2), 99);
+        assert_eq!(
+            interp.stats().without_decode_cache(),
+            cpu.stats().without_decode_cache()
+        );
     }
 
     #[test]

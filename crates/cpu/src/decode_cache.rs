@@ -1,0 +1,212 @@
+//! Per-page decode cache for the predecoded execution engine.
+//!
+//! On a miss the engine predecodes the straight-line block from the missing
+//! PC to the end of its text page ([`DecodeCache::fill_block`]) and then
+//! dispatches from the cache until the block is left or invalidated. A slot
+//! holding `None` (never predecoded, or an undecodable word) is *not* an
+//! error: the engine falls back to the authoritative fetch+decode path,
+//! which reproduces the interpreter's exact faults. Coherence with
+//! self-modifying code comes from the memory system's code-page watches:
+//! the CPU drains dirty pages and calls [`DecodeCache::invalidate`] before
+//! consulting the cache.
+
+use std::collections::HashMap;
+
+use ptaint_isa::{DecodedInsn, PAGE_SIZE};
+use ptaint_mem::TaintedMemory;
+
+/// Instruction slots per page (one per 4-aligned word).
+const SLOTS: usize = (PAGE_SIZE / 4) as usize;
+
+/// One predecoded text page.
+struct DecodedPage {
+    slots: Box<[Option<DecodedInsn>; SLOTS]>,
+}
+
+impl DecodedPage {
+    fn new() -> DecodedPage {
+        DecodedPage {
+            slots: Box::new([None; SLOTS]),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+}
+
+/// Maps text pages to predecoded slot arrays.
+///
+/// A one-entry "last page" shortcut keeps the hot loop free of hash lookups
+/// while execution stays within one page; invalidated slot arrays go on a
+/// free list and are reused by later fills.
+pub(crate) struct DecodeCache {
+    index: HashMap<u32, usize>,
+    pages: Vec<DecodedPage>,
+    free: Vec<usize>,
+    last: Option<(u32, usize)>,
+}
+
+impl DecodeCache {
+    pub(crate) fn new() -> DecodeCache {
+        DecodeCache {
+            index: HashMap::new(),
+            pages: Vec::new(),
+            free: Vec::new(),
+            last: None,
+        }
+    }
+
+    /// The cached decode at `pc`, if this word has been predecoded.
+    /// Unaligned PCs always miss, so the fetch path reproduces the exact
+    /// alignment fault.
+    #[inline]
+    pub(crate) fn lookup(&mut self, pc: u32) -> Option<DecodedInsn> {
+        if pc & 3 != 0 {
+            return None;
+        }
+        let page = pc / PAGE_SIZE;
+        let idx = match self.last {
+            Some((p, idx)) if p == page => idx,
+            _ => {
+                let idx = *self.index.get(&page)?;
+                self.last = Some((page, idx));
+                idx
+            }
+        };
+        self.pages[idx].slots[((pc % PAGE_SIZE) / 4) as usize]
+    }
+
+    /// Predecodes the straight-line block starting at the 4-aligned `pc`:
+    /// every word up to the end of its page, stopping early at the first
+    /// undecodable word or at a slot an earlier fill already populated.
+    /// Words are read from main memory directly (matching fetch semantics:
+    /// no cache traffic, unmapped words read as zero and predecode to
+    /// `nop`).
+    pub(crate) fn fill_block(&mut self, pc: u32, mem: &TaintedMemory) {
+        debug_assert_eq!(pc & 3, 0);
+        let page = pc / PAGE_SIZE;
+        let idx = match self.index.get(&page) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.free.pop().unwrap_or_else(|| {
+                    self.pages.push(DecodedPage::new());
+                    self.pages.len() - 1
+                });
+                self.index.insert(page, idx);
+                idx
+            }
+        };
+        let base = pc - pc % PAGE_SIZE;
+        for slot in ((pc % PAGE_SIZE) / 4) as usize..SLOTS {
+            if self.pages[idx].slots[slot].is_some() {
+                break;
+            }
+            let addr = base + 4 * slot as u32;
+            let Ok((word, _)) = mem.read_u32(addr) else {
+                break;
+            };
+            let Ok(d) = DecodedInsn::predecode(addr, word) else {
+                break;
+            };
+            self.pages[idx].slots[slot] = Some(d);
+        }
+    }
+
+    /// Drops the cached page, returning whether anything was cached for it.
+    pub(crate) fn invalidate(&mut self, page: u32) -> bool {
+        let Some(idx) = self.index.remove(&page) else {
+            return false;
+        };
+        self.pages[idx].clear();
+        self.free.push(idx);
+        if matches!(self.last, Some((p, _)) if p == page) {
+            self.last = None;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_isa::{IAluOp, Instr, Reg, TEXT_BASE};
+    use ptaint_mem::WordTaint;
+
+    fn addiu(imm: i16) -> Instr {
+        Instr::IAlu {
+            op: IAluOp::Addiu,
+            rt: Reg::new(8),
+            rs: Reg::new(0),
+            imm,
+        }
+    }
+
+    fn text_with(words: &[u32]) -> TaintedMemory {
+        let mut mem = TaintedMemory::new();
+        for (i, &w) in words.iter().enumerate() {
+            mem.write_u32(TEXT_BASE + 4 * i as u32, w, WordTaint::CLEAN)
+                .unwrap();
+        }
+        mem
+    }
+
+    #[test]
+    fn fill_then_lookup_roundtrips_and_extends_to_unmapped_nops() {
+        let mem = text_with(&[addiu(1).encode(), addiu(2).encode()]);
+        let mut cache = DecodeCache::new();
+        assert_eq!(cache.lookup(TEXT_BASE), None);
+        cache.fill_block(TEXT_BASE, &mem);
+        assert_eq!(cache.lookup(TEXT_BASE).unwrap().instr, addiu(1));
+        assert_eq!(cache.lookup(TEXT_BASE + 4).unwrap().instr, addiu(2));
+        // Unmapped words beyond the program read as zero -> nop, like fetch.
+        assert_eq!(cache.lookup(TEXT_BASE + 8).unwrap().instr, Instr::NOP);
+        // Unaligned lookups always miss.
+        assert_eq!(cache.lookup(TEXT_BASE + 2), None);
+    }
+
+    #[test]
+    fn fill_stops_at_undecodable_words() {
+        let mem = text_with(&[addiu(1).encode(), 0xffff_ffff, addiu(3).encode()]);
+        assert!(Instr::decode(0xffff_ffff).is_err());
+        let mut cache = DecodeCache::new();
+        cache.fill_block(TEXT_BASE, &mem);
+        assert!(cache.lookup(TEXT_BASE).is_some());
+        assert_eq!(cache.lookup(TEXT_BASE + 4), None, "bad word left uncached");
+        // A later fill starting past the bad word predecodes the rest.
+        cache.fill_block(TEXT_BASE + 8, &mem);
+        assert_eq!(cache.lookup(TEXT_BASE + 8).unwrap().instr, addiu(3));
+    }
+
+    #[test]
+    fn invalidate_drops_the_page_and_allows_refill() {
+        let mem = text_with(&[addiu(1).encode()]);
+        let page = TEXT_BASE / PAGE_SIZE;
+        let mut cache = DecodeCache::new();
+        assert!(!cache.invalidate(page), "nothing cached yet");
+        cache.fill_block(TEXT_BASE, &mem);
+        assert!(cache.invalidate(page));
+        assert_eq!(cache.lookup(TEXT_BASE), None);
+        // Refill (reusing the freed slot array) sees fresh contents.
+        let patched = text_with(&[addiu(7).encode()]);
+        cache.fill_block(TEXT_BASE, &patched);
+        assert_eq!(cache.lookup(TEXT_BASE).unwrap().instr, addiu(7));
+    }
+
+    #[test]
+    fn pages_are_independent() {
+        let mut mem = text_with(&[addiu(1).encode()]);
+        mem.write_u32(TEXT_BASE + PAGE_SIZE, addiu(2).encode(), WordTaint::CLEAN)
+            .unwrap();
+        let mut cache = DecodeCache::new();
+        cache.fill_block(TEXT_BASE, &mem);
+        cache.fill_block(TEXT_BASE + PAGE_SIZE, &mem);
+        assert!(cache.invalidate(TEXT_BASE / PAGE_SIZE));
+        assert_eq!(cache.lookup(TEXT_BASE), None);
+        assert_eq!(
+            cache.lookup(TEXT_BASE + PAGE_SIZE).unwrap().instr,
+            addiu(2),
+            "sibling page survives the invalidation"
+        );
+    }
+}

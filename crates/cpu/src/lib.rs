@@ -29,6 +29,7 @@
 
 mod alert;
 mod cpu;
+mod decode_cache;
 pub mod pipeline;
 mod regs;
 mod rules;
@@ -36,7 +37,7 @@ mod stats;
 pub mod taint_alu;
 
 pub use alert::{AlertKind, DetectionPolicy, SecurityAlert};
-pub use cpu::{Cpu, CpuException, StepEvent, TaintWatch};
+pub use cpu::{Cpu, CpuException, Engine, StepEvent, TaintWatch};
 pub use regs::RegisterFile;
 pub use rules::TaintRules;
 pub use stats::ExecStats;

@@ -29,6 +29,15 @@ pub struct ExecStats {
     /// detection policy does not raise an alert, so the baseline policies can
     /// report what they missed).
     pub tainted_pointer_dereferences: u64,
+    /// Steps the cached engine dispatched straight from its decode cache
+    /// (always zero under the interpreter).
+    pub decode_cache_hits: u64,
+    /// Steps the cached engine predecoded a straight-line block (first
+    /// execution of a page, or re-decode after an invalidation).
+    pub decode_cache_misses: u64,
+    /// Cached text pages dropped because something stored into them
+    /// (self-modifying-code coherence).
+    pub decode_cache_invalidations: u64,
 }
 
 impl ExecStats {
@@ -42,6 +51,21 @@ impl ExecStats {
             self.tainted_operand_instructions as f64 / self.instructions as f64
         }
     }
+
+    /// This record with the decode-cache counters zeroed.
+    ///
+    /// Those three counters describe *engine* activity, not guest-visible
+    /// behaviour, so the engine differential tests compare
+    /// `a.without_decode_cache() == b.without_decode_cache()` to assert
+    /// that the interpreter and the cached engine agree on everything
+    /// architecturally meaningful.
+    #[must_use]
+    pub fn without_decode_cache(mut self) -> ExecStats {
+        self.decode_cache_hits = 0;
+        self.decode_cache_misses = 0;
+        self.decode_cache_invalidations = 0;
+        self
+    }
 }
 
 impl fmt::Display for ExecStats {
@@ -49,7 +73,8 @@ impl fmt::Display for ExecStats {
         write!(
             f,
             "{} instructions ({} loads, {} stores, {} branches, {} reg-jumps, {} syscalls), \
-             {} tainted-operand ({:.4}%), {} tainted-pointer derefs",
+             {} tainted-operand ({:.4}%), {} tainted-pointer derefs, \
+             decode-cache {}h/{}m/{}inv",
             self.instructions,
             self.loads,
             self.stores,
@@ -58,7 +83,10 @@ impl fmt::Display for ExecStats {
             self.syscalls,
             self.tainted_operand_instructions,
             self.tainted_instruction_ratio() * 100.0,
-            self.tainted_pointer_dereferences
+            self.tainted_pointer_dereferences,
+            self.decode_cache_hits,
+            self.decode_cache_misses,
+            self.decode_cache_invalidations
         )
     }
 }
@@ -69,7 +97,8 @@ impl ToJson for ExecStats {
             concat!(
                 "{{\"instructions\":{},\"loads\":{},\"stores\":{},\"branches\":{},",
                 "\"register_jumps\":{},\"syscalls\":{},\"tainted_operand_instructions\":{},",
-                "\"tainted_pointer_dereferences\":{}}}"
+                "\"tainted_pointer_dereferences\":{},\"decode_cache_hits\":{},",
+                "\"decode_cache_misses\":{},\"decode_cache_invalidations\":{}}}"
             ),
             self.instructions,
             self.loads,
@@ -78,7 +107,10 @@ impl ToJson for ExecStats {
             self.register_jumps,
             self.syscalls,
             self.tainted_operand_instructions,
-            self.tainted_pointer_dereferences
+            self.tainted_pointer_dereferences,
+            self.decode_cache_hits,
+            self.decode_cache_misses,
+            self.decode_cache_invalidations
         )
     }
 }
@@ -125,5 +157,34 @@ mod tests {
         let json = stats.to_json();
         assert!(json.contains("\"instructions\":7"));
         assert!(json.contains("\"tainted_pointer_dereferences\":2"));
+    }
+
+    #[test]
+    fn decode_cache_counters_round_trip_and_normalize() {
+        let stats = ExecStats {
+            instructions: 100,
+            decode_cache_hits: 98,
+            decode_cache_misses: 2,
+            decode_cache_invalidations: 1,
+            ..ExecStats::default()
+        };
+        assert!(stats.to_string().contains("decode-cache 98h/2m/1inv"));
+        let json = stats.to_json();
+        assert!(json.contains("\"decode_cache_hits\":98"));
+        assert!(json.contains("\"decode_cache_misses\":2"));
+        assert!(json.contains("\"decode_cache_invalidations\":1"));
+        // Normalizing erases only the engine-activity counters.
+        let plain = stats.without_decode_cache();
+        assert_eq!(plain.instructions, 100);
+        assert_eq!(plain.decode_cache_hits, 0);
+        assert_eq!(plain.decode_cache_misses, 0);
+        assert_eq!(plain.decode_cache_invalidations, 0);
+        assert_eq!(
+            plain,
+            ExecStats {
+                instructions: 100,
+                ..ExecStats::default()
+            }
+        );
     }
 }

@@ -1,0 +1,174 @@
+//! Flattened, predecoded instruction representation for the cached
+//! execution engine.
+//!
+//! [`DecodedInsn`] pairs an [`Instr`] (the dispatch tag plus register
+//! fields) with the operand values that are static properties of the
+//! `(pc, word)` pair: sign/zero-extended immediates, the pre-shifted `lui`
+//! constant, and absolute branch/jump targets. Predecoding them once per
+//! word lets the execute stage skip the extension and target arithmetic
+//! on every dynamic execution of a cached instruction.
+
+use crate::insn::{DecodeError, Instr};
+
+/// An instruction plus its pre-extracted operands.
+///
+/// `imm` and `target` are only meaningful for the variants that use them
+/// (see [`DecodedInsn::from_instr`]); both are zero otherwise, so two
+/// `DecodedInsn`s built from the same `(pc, word)` always compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedInsn {
+    /// The decoded instruction: dispatch tag and register fields.
+    pub instr: Instr,
+    /// Pre-extended immediate operand:
+    /// - `IAlu`: zero-extended for the logical ops, sign-extended otherwise
+    ///   (mirroring [`crate::IAluOp::zero_extends`]);
+    /// - `Lui`: the constant already shifted into the upper half-word;
+    /// - `Load`/`Store`: the sign-extended displacement, ready for a
+    ///   `wrapping_add` with the base register.
+    pub imm: u32,
+    /// Absolute control-flow target for `Branch`/`BranchZ`
+    /// (`pc + 4 + (offset << 2)`) and `Jump`
+    /// (`(pc & 0xf000_0000) | (target << 2)`).
+    pub target: u32,
+}
+
+impl DecodedInsn {
+    /// Decodes `word` fetched from `pc` and pre-extracts its operands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeError`] from [`Instr::decode`] unchanged, so a
+    /// predecoding engine faults on exactly the words the plain decoder
+    /// faults on.
+    pub fn predecode(pc: u32, word: u32) -> Result<DecodedInsn, DecodeError> {
+        Ok(DecodedInsn::from_instr(pc, Instr::decode(word)?))
+    }
+
+    /// Pre-extracts the operands of an already decoded instruction at `pc`.
+    #[must_use]
+    pub fn from_instr(pc: u32, instr: Instr) -> DecodedInsn {
+        let (imm, target) = match instr {
+            Instr::IAlu { op, imm, .. } => {
+                let ext = if op.zero_extends() {
+                    u32::from(imm as u16)
+                } else {
+                    imm as i32 as u32
+                };
+                (ext, 0)
+            }
+            Instr::Lui { imm, .. } => (u32::from(imm) << 16, 0),
+            Instr::Load { offset, .. } | Instr::Store { offset, .. } => (offset as i32 as u32, 0),
+            Instr::Branch { offset, .. } | Instr::BranchZ { offset, .. } => {
+                (0, branch_target(pc, offset))
+            }
+            Instr::Jump { target, .. } => (0, (pc & 0xf000_0000) | (target << 2)),
+            _ => (0, 0),
+        };
+        DecodedInsn { instr, imm, target }
+    }
+}
+
+/// PC-relative branch target: `pc + 4 + (sign-extended offset << 2)`.
+fn branch_target(pc: u32, offset: i16) -> u32 {
+    pc.wrapping_add(4)
+        .wrapping_add((i32::from(offset) << 2) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{BranchCond, IAluOp, MemWidth};
+    use crate::reg::Reg;
+
+    fn predecode(pc: u32, instr: Instr) -> DecodedInsn {
+        DecodedInsn::predecode(pc, instr.encode()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_immediates_sign_extend() {
+        let d = predecode(
+            0x40_0000,
+            Instr::IAlu {
+                op: IAluOp::Addiu,
+                rt: Reg::new(8),
+                rs: Reg::new(9),
+                imm: -4,
+            },
+        );
+        assert_eq!(d.imm, 0xffff_fffc);
+    }
+
+    #[test]
+    fn logical_immediates_zero_extend() {
+        let d = predecode(
+            0x40_0000,
+            Instr::IAlu {
+                op: IAluOp::Ori,
+                rt: Reg::new(8),
+                rs: Reg::new(9),
+                imm: -4,
+            },
+        );
+        assert_eq!(d.imm, 0x0000_fffc);
+    }
+
+    #[test]
+    fn lui_constant_is_pre_shifted() {
+        let d = predecode(
+            0x40_0000,
+            Instr::Lui {
+                rt: Reg::new(8),
+                imm: 0x1234,
+            },
+        );
+        assert_eq!(d.imm, 0x1234_0000);
+    }
+
+    #[test]
+    fn load_displacement_sign_extends() {
+        let d = predecode(
+            0x40_0000,
+            Instr::Load {
+                width: MemWidth::Word,
+                signed: true,
+                rt: Reg::new(8),
+                base: Reg::new(29),
+                offset: -8,
+            },
+        );
+        assert_eq!(d.imm, 0xffff_fff8);
+    }
+
+    #[test]
+    fn branch_target_is_absolute() {
+        let d = predecode(
+            0x40_0010,
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs: Reg::new(8),
+                rt: Reg::new(9),
+                offset: -2,
+            },
+        );
+        assert_eq!(d.target, 0x40_000c);
+    }
+
+    #[test]
+    fn jump_target_keeps_pc_high_bits() {
+        let d = predecode(
+            0x40_0010,
+            Instr::Jump {
+                target: 0x10_0040,
+                link: false,
+            },
+        );
+        assert_eq!(d.target, 0x40_0100);
+    }
+
+    #[test]
+    fn bad_words_fault_like_the_plain_decoder() {
+        let word = 0xffff_ffff;
+        let err = DecodedInsn::predecode(0x40_0000, word).unwrap_err();
+        assert_eq!(err, Instr::decode(word).unwrap_err());
+    }
+}

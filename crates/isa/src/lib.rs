@@ -33,10 +33,12 @@
 //! # Ok::<(), ptaint_isa::DecodeError>(())
 //! ```
 
+mod decoded;
 mod insn;
 mod layout;
 mod reg;
 
+pub use decoded::DecodedInsn;
 pub use insn::{
     BranchCond, BranchZCond, DecodeError, IAluOp, Instr, MemWidth, MulDivOp, RAluOp, ShiftOp,
 };

@@ -211,31 +211,44 @@ impl TaintedMemory {
 
     /// Reads a little-endian word together with its four taint bits.
     ///
+    /// This is the word-granular fast path: one page lookup, one 4-byte
+    /// slice, and one shadow-word extraction. A 4-aligned word's taint bits
+    /// can never straddle a shadow `u64` (`64 % 4 == 0`), so a single shift
+    /// recovers all four.
+    ///
     /// # Errors
     ///
     /// Faults when `addr` is not 4-aligned or inside the null page.
     pub fn read_u32(&self, addr: u32) -> Result<(u32, WordTaint), MemFault> {
         self.check(addr, 4)?;
-        let mut bytes = [0u8; 4];
-        let mut taint = WordTaint::CLEAN;
-        for (i, b) in bytes.iter_mut().enumerate() {
-            let (v, t) = self.read_u8(addr + i as u32)?;
-            *b = v;
-            taint = taint.with_byte(i, t);
-        }
-        Ok((u32::from_le_bytes(bytes), taint))
+        let off = (addr % PAGE_SIZE) as usize;
+        Ok(match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(p) => {
+                let bytes: [u8; 4] = p.data[off..off + 4].try_into().unwrap();
+                let bits = ((p.taint[off / 64] >> (off % 64)) & 0xF) as u8;
+                (u32::from_le_bytes(bytes), WordTaint::from_bits(bits))
+            }
+            None => (0, WordTaint::CLEAN),
+        })
     }
 
     /// Writes a little-endian word together with its four taint bits.
+    ///
+    /// Like [`TaintedMemory::read_u32`], this resolves the page once and
+    /// patches the four taint bits with a single masked shadow-word update.
     ///
     /// # Errors
     ///
     /// Faults when `addr` is not 4-aligned or inside the null page.
     pub fn write_u32(&mut self, addr: u32, value: u32, taint: WordTaint) -> Result<(), MemFault> {
         self.check(addr, 4)?;
-        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_u8(addr + i as u32, b, taint.byte(i))?;
-        }
+        self.tainted_writes += u64::from(taint.bits().count_ones());
+        let off = (addr % PAGE_SIZE) as usize;
+        let page = self.page(addr);
+        page.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        let (word, shift) = (off / 64, off % 64);
+        page.taint[word] =
+            (page.taint[word] & !(0xF_u64 << shift)) | (u64::from(taint.bits()) << shift);
         Ok(())
     }
 
@@ -380,6 +393,38 @@ mod tests {
         assert!(mem.read_u8(0x3002).unwrap().1);
         assert!(!mem.read_u8(0x3003).unwrap().1);
         assert_eq!(mem.tainted_byte_count(), 2);
+    }
+
+    #[test]
+    fn word_fast_path_agrees_with_byte_path() {
+        // Exercise words adjacent to every interesting boundary: the shadow
+        // u64 seam (offset 64) and the page seam.
+        let mut mem = TaintedMemory::new();
+        for (i, addr) in [0x2038, 0x203c, 0x2040, 2 * PAGE_SIZE - 4, 2 * PAGE_SIZE]
+            .into_iter()
+            .enumerate()
+        {
+            let taint = WordTaint::from_bits(0b1010 >> (i % 2));
+            mem.write_u32(addr, 0x0101_0101 * (i as u32 + 1), taint)
+                .unwrap();
+            let (word, wt) = mem.read_u32(addr).unwrap();
+            assert_eq!(word, 0x0101_0101 * (i as u32 + 1));
+            assert_eq!(wt, taint);
+            for b in 0..4 {
+                let (byte, bt) = mem.read_u8(addr + b).unwrap();
+                assert_eq!(u32::from(byte), i as u32 + 1);
+                assert_eq!(bt, taint.byte(b as usize), "byte {b} of {addr:#x}");
+            }
+        }
+        // Word writes count taint traffic per tainted byte, like byte writes.
+        let mut a = TaintedMemory::new();
+        a.write_u32(0x3000, 0, WordTaint::from_bits(0b1011))
+            .unwrap();
+        let mut b = TaintedMemory::new();
+        for i in 0..4u32 {
+            b.write_u8(0x3000 + i, 0, 0b1011 & (1 << i) != 0).unwrap();
+        }
+        assert_eq!(a.tainted_write_count(), b.tainted_write_count());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The assembled memory hierarchy: main memory behind optional L1/L2 caches.
 
+use std::collections::HashSet;
 use std::fmt;
 
+use ptaint_isa::PAGE_SIZE;
 use ptaint_trace::{Event, SharedObserver};
 
 use crate::{Cache, CacheConfig, CacheStats, MemFault, TaintedMemory, WordTaint};
@@ -58,6 +60,10 @@ pub struct MemorySystem {
     l1: Option<Cache>,
     l2: Option<Cache>,
     observer: Option<SharedObserver>,
+    /// Pages registered by a decode cache: a store into one of these moves
+    /// it to `dirty_code_pages` (self-modifying-code coherence).
+    code_watches: HashSet<u32>,
+    dirty_code_pages: Vec<u32>,
 }
 
 impl fmt::Debug for MemorySystem {
@@ -67,6 +73,7 @@ impl fmt::Debug for MemorySystem {
             .field("l1", &self.l1)
             .field("l2", &self.l2)
             .field("observer", &self.observer.is_some())
+            .field("code_watches", &self.code_watches.len())
             .finish()
     }
 }
@@ -86,6 +93,8 @@ impl MemorySystem {
             l1: cfg.l1.map(Cache::new),
             l2: cfg.l2.map(Cache::new),
             observer: None,
+            code_watches: HashSet::new(),
+            dirty_code_pages: Vec::new(),
         }
     }
 
@@ -127,6 +136,41 @@ impl MemorySystem {
             self.l1.as_ref().map_or(0, Cache::tainted_line_count),
             self.l2.as_ref().map_or(0, Cache::tainted_line_count),
         )
+    }
+
+    /// Registers `page` (a byte address divided by [`PAGE_SIZE`]) for
+    /// self-modifying-code coherence: the next store into it reports the
+    /// page via [`MemorySystem::take_dirty_code_pages`] and drops the watch.
+    /// The decode cache re-registers when it re-predecodes the page.
+    pub fn watch_code_page(&mut self, page: u32) {
+        self.code_watches.insert(page);
+    }
+
+    /// Whether any watched code page has been written since the last
+    /// [`MemorySystem::take_dirty_code_pages`].
+    #[must_use]
+    pub fn has_dirty_code_pages(&self) -> bool {
+        !self.dirty_code_pages.is_empty()
+    }
+
+    /// Drains the set of watched pages that have been written to. Each page
+    /// appears at most once per watch registration.
+    pub fn take_dirty_code_pages(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.dirty_code_pages)
+    }
+
+    /// Write-path hook: if `addr` falls in a watched code page, mark the
+    /// page dirty. The common case (nothing watched, or the page already
+    /// reported) is a `HashSet` emptiness check.
+    #[inline]
+    fn note_code_write(&mut self, addr: u32) {
+        if self.code_watches.is_empty() {
+            return;
+        }
+        let page = addr / PAGE_SIZE;
+        if self.code_watches.remove(&page) {
+            self.dirty_code_pages.push(page);
+        }
     }
 
     fn fill_from_memory(mem: &TaintedMemory, cache: &mut Cache, addr: u32) -> Result<(), MemFault> {
@@ -195,6 +239,7 @@ impl MemorySystem {
     ///
     /// Propagates [`MemFault`]s from main memory.
     pub fn write_u8(&mut self, addr: u32, value: u8, tainted: bool) -> Result<(), MemFault> {
+        self.note_code_write(addr);
         self.mem.write_u8(addr, value, tainted)?;
         if let Some(l1) = &mut self.l1 {
             l1.update_write(addr, value, tainted);
@@ -211,6 +256,9 @@ impl MemorySystem {
     ///
     /// Faults on misalignment or null-page access.
     pub fn read_u16(&mut self, addr: u32) -> Result<(u16, WordTaint), MemFault> {
+        if self.l1.is_none() && self.l2.is_none() {
+            return self.mem.read_u16(addr);
+        }
         // Alignment is checked by main memory.
         let _ = self.mem.read_u16(addr)?;
         let (b0, t0) = self.read_u8(addr)?;
@@ -227,6 +275,11 @@ impl MemorySystem {
     ///
     /// Faults on misalignment or null-page access.
     pub fn write_u16(&mut self, addr: u32, value: u16, taint: WordTaint) -> Result<(), MemFault> {
+        // A 2-aligned halfword never straddles a page, so one hook suffices.
+        self.note_code_write(addr);
+        if self.l1.is_none() && self.l2.is_none() {
+            return self.mem.write_u16(addr, value, taint);
+        }
         self.mem.write_u16(addr, value, taint)?;
         let [b0, b1] = value.to_le_bytes();
         self.write_u8(addr, b0, taint.byte(0))?;
@@ -235,10 +288,17 @@ impl MemorySystem {
 
     /// Reads a little-endian word and its four taint bits.
     ///
+    /// With no caches configured this is one call into the word-granular
+    /// [`TaintedMemory::read_u32`] fast path; with caches it probes the
+    /// hierarchy byte-wise to keep line statistics exact.
+    ///
     /// # Errors
     ///
     /// Faults on misalignment or null-page access.
     pub fn read_u32(&mut self, addr: u32) -> Result<(u32, WordTaint), MemFault> {
+        if self.l1.is_none() && self.l2.is_none() {
+            return self.mem.read_u32(addr);
+        }
         let _ = self.mem.read_u32(addr)?;
         let mut bytes = [0u8; 4];
         let mut taint = WordTaint::CLEAN;
@@ -252,10 +312,18 @@ impl MemorySystem {
 
     /// Writes a little-endian word and its four taint bits.
     ///
+    /// With no caches configured this is one call into the word-granular
+    /// [`TaintedMemory::write_u32`] fast path.
+    ///
     /// # Errors
     ///
     /// Faults on misalignment or null-page access.
     pub fn write_u32(&mut self, addr: u32, value: u32, taint: WordTaint) -> Result<(), MemFault> {
+        // A 4-aligned word never straddles a page, so one hook suffices.
+        self.note_code_write(addr);
+        if self.l1.is_none() && self.l2.is_none() {
+            return self.mem.write_u32(addr, value, taint);
+        }
         self.mem.write_u32(addr, value, taint)?;
         for (i, b) in value.to_le_bytes().into_iter().enumerate() {
             self.write_u8(addr + i as u32, b, taint.byte(i))?;
@@ -265,6 +333,19 @@ impl MemorySystem {
 
     /// Fetches an instruction word, bypassing the data caches so fetch
     /// traffic does not pollute D-cache statistics.
+    ///
+    /// # Contract
+    ///
+    /// The cache bypass is *silent but safe*: the hierarchy is
+    /// write-through, so main memory is always authoritative and a fetch
+    /// observes every store the instant it retires — including stores that
+    /// travelled through the caches (pinned by the
+    /// `fetch_sees_stores_through_caches` unit test). The bypass never
+    /// allocates or probes a line, so fetching leaves D-cache statistics
+    /// untouched. Anything that *caches decoded text* on top of this (the
+    /// CPU's decode cache) must additionally register a
+    /// [`MemorySystem::watch_code_page`] per fetched page to learn about
+    /// later stores into it.
     ///
     /// # Errors
     ///
@@ -414,5 +495,43 @@ mod tests {
         let l1_before = sys.l1_stats().unwrap();
         assert_eq!(sys.fetch_u32(0x0040_0000).unwrap(), 0x1234_5678);
         assert_eq!(sys.l1_stats().unwrap(), l1_before);
+    }
+
+    #[test]
+    fn fetch_sees_stores_through_caches() {
+        // The fetch_u32 contract: the bypass is coherent because the caches
+        // are write-through — a fetch observes the newest store even when
+        // the stored-to line is resident in L1/L2.
+        let mut sys = MemorySystem::new(HierarchyConfig::two_level());
+        sys.write_u32(0x0040_0000, 0x1111_1111, WordTaint::CLEAN)
+            .unwrap();
+        let _ = sys.read_u32(0x0040_0000).unwrap(); // line now resident
+        sys.write_u32(0x0040_0000, 0x2222_2222, WordTaint::CLEAN)
+            .unwrap();
+        assert_eq!(sys.fetch_u32(0x0040_0000).unwrap(), 0x2222_2222);
+        assert_eq!(sys.read_u32(0x0040_0000).unwrap().0, 0x2222_2222);
+    }
+
+    #[test]
+    fn code_page_watches_report_dirty_pages_once() {
+        let mut sys = MemorySystem::flat();
+        let page = 0x0040_0000 / PAGE_SIZE;
+        sys.watch_code_page(page);
+        assert!(!sys.has_dirty_code_pages());
+        sys.write_u32(0x0040_0010, 1, WordTaint::CLEAN).unwrap();
+        // The second store lands after the watch already fired.
+        sys.write_u8(0x0040_0020, 2, false).unwrap();
+        assert!(sys.has_dirty_code_pages());
+        assert_eq!(sys.take_dirty_code_pages(), vec![page]);
+        assert!(!sys.has_dirty_code_pages());
+        // Stores into unwatched pages never report.
+        sys.write_u32(0x0050_0000, 3, WordTaint::CLEAN).unwrap();
+        assert!(!sys.has_dirty_code_pages());
+        // Re-registering re-arms the watch, and cached hierarchies hook the
+        // same write path.
+        let mut cached = MemorySystem::new(HierarchyConfig::two_level());
+        cached.watch_code_page(page);
+        cached.write_u16(0x0040_0002, 9, WordTaint::CLEAN).unwrap();
+        assert_eq!(cached.take_dirty_code_pages(), vec![page]);
     }
 }

@@ -145,6 +145,14 @@ pub enum Event {
         /// Whether the probe hit.
         hit: bool,
     },
+    /// The predecoded execution engine touched its decode cache.
+    DecodeCache {
+        /// The text page involved (byte address divided by the page size).
+        page: u32,
+        /// `"hit"`, `"miss"` (block predecoded), or `"invalidate"`
+        /// (store into a cached text page dropped it).
+        kind: &'static str,
+    },
 }
 
 impl Event {
@@ -159,6 +167,7 @@ impl Event {
             Event::Alert { .. } => "alert",
             Event::Syscall { .. } => "syscall",
             Event::CacheAccess { .. } => "cache_access",
+            Event::DecodeCache { .. } => "decode_cache",
         }
     }
 
@@ -238,6 +247,10 @@ impl Event {
             ),
             Event::CacheAccess { level, addr, hit } => format!(
                 "\"event\":\"cache_access\",\"level\":{level},\"addr\":\"0x{addr:x}\",\"hit\":{hit}",
+            ),
+            Event::DecodeCache { page, kind } => format!(
+                "\"event\":\"decode_cache\",\"page\":{page},\"kind\":{}",
+                escape(kind),
             ),
         }
     }

@@ -29,6 +29,19 @@ impl LevelCounters {
     }
 }
 
+/// Decode-cache counters of the predecoded execution engine, as observed
+/// through [`Event::DecodeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheCounters {
+    /// Steps dispatched straight from the decode cache.
+    pub hits: u64,
+    /// Steps that predecoded a block (first execution, or re-decode after
+    /// an invalidation).
+    pub misses: u64,
+    /// Cached text pages dropped because something stored into them.
+    pub invalidations: u64,
+}
+
 /// Aggregated view of one run, produced by [`MetricsCollector::snapshot`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
@@ -54,6 +67,8 @@ pub struct MetricsSnapshot {
     pub syscalls: BTreeMap<&'static str, u64>,
     /// L1/L2 probe counters (index 0 = L1).
     pub cache: [LevelCounters; 2],
+    /// Decode-cache activity of the predecoded execution engine.
+    pub decode_cache: DecodeCacheCounters,
     /// Tainted-retire fraction per [`DENSITY_WINDOW`]-instruction window,
     /// in execution order — the taint-density-over-time histogram.
     pub taint_density: Vec<f64>,
@@ -79,6 +94,7 @@ impl ToJson for MetricsSnapshot {
                 "\"source_bytes\":{},\"propagations\":{},\"propagations_by_rule\":{},",
                 "\"pointer_checks\":{},\"alerts\":{},\"alerts_by_kind\":{},",
                 "\"syscalls\":{},\"cache\":[{{\"hits\":{},\"misses\":{}}},{{\"hits\":{},\"misses\":{}}}],",
+                "\"decode_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
                 "\"taint_density\":[{}]}}"
             ),
             self.retired,
@@ -95,6 +111,9 @@ impl ToJson for MetricsSnapshot {
             self.cache[0].misses,
             self.cache[1].hits,
             self.cache[1].misses,
+            self.decode_cache.hits,
+            self.decode_cache.misses,
+            self.decode_cache.invalidations,
             density.join(","),
         )
     }
@@ -153,6 +172,11 @@ impl MetricsCollector {
                     self.snap.cache[idx].misses += 1;
                 }
             }
+            Event::DecodeCache { kind, .. } => match *kind {
+                "hit" => self.snap.decode_cache.hits += 1,
+                "invalidate" => self.snap.decode_cache.invalidations += 1,
+                _ => self.snap.decode_cache.misses += 1,
+            },
         }
     }
 
@@ -231,5 +255,22 @@ mod tests {
         assert_eq!(snap.source_bytes, 16);
         let json = snap.to_json();
         assert!(json.contains("\"syscalls\":{\"recv\":2}"), "{json}");
+    }
+
+    #[test]
+    fn decode_cache_counters_fold_by_kind() {
+        let mut m = MetricsCollector::new();
+        for kind in ["miss", "hit", "hit", "invalidate", "miss"] {
+            m.record(&Event::DecodeCache { page: 0x400, kind });
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.decode_cache.hits, 2);
+        assert_eq!(snap.decode_cache.misses, 2);
+        assert_eq!(snap.decode_cache.invalidations, 1);
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"decode_cache\":{\"hits\":2,\"misses\":2,\"invalidations\":1}"),
+            "{json}"
+        );
     }
 }

@@ -71,6 +71,10 @@ fn one_of_each() -> Vec<Event> {
             addr: 0x1000_0000,
             hit: false,
         },
+        Event::DecodeCache {
+            page: 0x400,
+            kind: "invalidate",
+        },
     ]
 }
 
@@ -152,6 +156,7 @@ fn pinned_keys(event: &str) -> &'static [&'static str] {
         ],
         "syscall" => &["event", "pc", "number", "name", "result"],
         "cache_access" => &["event", "level", "addr", "hit"],
+        "decode_cache" => &["event", "page", "kind"],
         other => panic!("unknown event discriminant `{other}`"),
     }
 }
@@ -209,6 +214,7 @@ fn real_run_stream_matches_the_pinned_schema() {
         "alert",
         "syscall",
         "cache_access",
+        "decode_cache",
     ] {
         assert!(counts.contains_key(expected), "no `{expected}` in stream");
     }
