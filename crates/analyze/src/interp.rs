@@ -1,0 +1,882 @@
+//! CFG recovery and fixpoint abstract interpretation.
+//!
+//! Basic blocks are discovered from a static pre-scan (branch/jump targets,
+//! call return sites, address-taken text constants) and refined dynamically:
+//! when the interpretation resolves an indirect jump to a constant landing
+//! mid-block, the containing block is split and re-queued. Indirect jumps
+//! whose target value has been widened fall back to a conservative successor
+//! set (all return sites and function entries), which keeps the analysis
+//! sound at the price of precision.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ptaint_isa::{
+    BranchCond, BranchZCond, DecodedInsn, IAluOp, Instr, MemWidth, RAluOp, Reg, ShiftOp, PAGE_SIZE,
+};
+use ptaint_os::Sys;
+
+use crate::domain::{AbsVal, Region, Taint, Value};
+use crate::state::{Ctx, State};
+
+/// Total instruction-transfer budget for the fixpoint; exceeding it marks
+/// the analysis degraded (no elision candidates). Generous: the testbed
+/// images are a few hundred instructions and converge within thousands.
+const STEP_BUDGET: usize = 2_000_000;
+
+/// Cap (in bytes) on precise tainting of a `read`/`recv` destination
+/// buffer; larger or unknown lengths degrade to a region havoc.
+const MAX_SEED_BYTES: u32 = 4096;
+
+/// How a block's control continues after its last transferred instruction.
+enum Flow {
+    /// Fall through to `pc + 4`.
+    Fall,
+    /// Conditional branch: either arm may be statically excluded.
+    Cond {
+        target: u32,
+        taken: bool,
+        fall: bool,
+    },
+    /// Unconditional jump (direct, or `jal` whose return flows via `$ra`).
+    Jump(u32),
+    /// Register-indirect jump: resolved or fallback successor set.
+    Targets(Vec<u32>),
+    /// Execution cannot continue past this instruction (exit, break,
+    /// undecodable word, jump out of text).
+    Halt,
+}
+
+/// Facts accumulated across the whole analysis, independent of any one
+/// abstract state.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Text pages targeted by statically visible stores — their
+    /// instructions are never proven clean (self-modifying code).
+    pub smc_pages: BTreeSet<u32>,
+}
+
+/// Static pre-scan products: the initial block leaders and the
+/// conservative successor sets for unresolved indirect jumps.
+pub struct Prescan {
+    /// Initial basic-block leaders.
+    pub leaders: BTreeSet<u32>,
+    /// Function entries: image entry, `jal` targets, address-taken text
+    /// constants, and the exit stub.
+    pub fn_entries: BTreeSet<u32>,
+    /// Instruction addresses following a `jal`/`jalr` (return sites).
+    pub return_sites: BTreeSet<u32>,
+}
+
+impl Prescan {
+    /// Conservative successors of an unresolved `jalr`: any function entry.
+    #[must_use]
+    pub fn jalr_fallback(&self) -> Vec<u32> {
+        self.fn_entries.iter().copied().collect()
+    }
+
+    /// Conservative successors of an unresolved `jr`: any return site (the
+    /// common case — function returns) or any function entry (tail calls).
+    #[must_use]
+    pub fn jr_fallback(&self) -> Vec<u32> {
+        self.return_sites.union(&self.fn_entries).copied().collect()
+    }
+}
+
+/// Scans the text (and data words) once, before interpretation, collecting
+/// leaders, function entries, return sites and address-taken constants.
+#[must_use]
+pub fn prescan(ctx: &Ctx) -> Prescan {
+    let mut leaders = BTreeSet::new();
+    let mut fn_entries = BTreeSet::new();
+    let mut return_sites = BTreeSet::new();
+
+    let add_leader = |set: &mut BTreeSet<u32>, addr: u32| {
+        if ctx.in_text(addr) {
+            set.insert(addr);
+        }
+    };
+    add_leader(&mut leaders, ctx.entry);
+    add_leader(&mut leaders, ctx.stub);
+    fn_entries.insert(ctx.entry);
+    fn_entries.insert(ctx.stub);
+
+    // `la fn` compiles to an adjacent lui/ori pair; track the last `lui`
+    // constant per register so address-taken functions reachable only
+    // through register-indirect calls still become entries/leaders.
+    let mut lui_val: [Option<u32>; 32] = [None; 32];
+
+    for (i, &word) in ctx.words.iter().enumerate() {
+        let pc = ctx.text_base + 4 * i as u32;
+        let Ok(d) = DecodedInsn::predecode(pc, word) else {
+            // Undecodable word: whatever follows starts fresh.
+            add_leader(&mut leaders, pc + 4);
+            lui_val = [None; 32];
+            continue;
+        };
+        match d.instr {
+            Instr::Branch { .. } | Instr::BranchZ { .. } => {
+                add_leader(&mut leaders, d.target);
+            }
+            Instr::Jump { link, .. } => {
+                add_leader(&mut leaders, d.target);
+                if link {
+                    fn_entries.insert(d.target);
+                    return_sites.insert(pc + 4);
+                }
+            }
+            Instr::JumpAndLinkReg { .. } => {
+                return_sites.insert(pc + 4);
+            }
+            Instr::Lui { rt, .. } => {
+                lui_val[rt.number() as usize] = Some(d.imm);
+            }
+            Instr::IAlu {
+                op: IAluOp::Ori,
+                rt,
+                rs,
+                ..
+            } => {
+                if let Some(hi) = lui_val[rs.number() as usize] {
+                    let addr = hi | d.imm;
+                    if addr.is_multiple_of(4) && ctx.in_text(addr) {
+                        fn_entries.insert(addr);
+                        add_leader(&mut leaders, addr);
+                    }
+                }
+                lui_val[rt.number() as usize] = None;
+            }
+            _ => {}
+        }
+        if d.instr.ends_basic_block() {
+            add_leader(&mut leaders, pc + 4);
+        }
+        // Any other definition invalidates a pending lui half.
+        if let Some(rd) = written_reg(&d.instr) {
+            if !matches!(d.instr, Instr::Lui { .. }) {
+                lui_val[rd.number() as usize] = None;
+            }
+        }
+    }
+
+    // Address-taken text constants stored in initialized data (function
+    // pointer tables).
+    let mut off = 0usize;
+    while off + 4 <= ctx.data.len() {
+        let w = u32::from_le_bytes(ctx.data[off..off + 4].try_into().unwrap());
+        if w.is_multiple_of(4) && ctx.in_text(w) {
+            fn_entries.insert(w);
+            leaders.insert(w);
+        }
+        off += 4;
+    }
+
+    // Return sites are jump targets too.
+    for &rs in &return_sites {
+        leaders.insert(rs);
+    }
+    Prescan {
+        leaders,
+        fn_entries,
+        return_sites,
+    }
+}
+
+/// The general-purpose register an instruction writes, if any (used only to
+/// invalidate pending `lui` halves in the pre-scan).
+fn written_reg(i: &Instr) -> Option<Reg> {
+    match *i {
+        Instr::Shift { rd, .. }
+        | Instr::ShiftV { rd, .. }
+        | Instr::RAlu { rd, .. }
+        | Instr::MoveFromHi { rd }
+        | Instr::MoveFromLo { rd }
+        | Instr::JumpAndLinkReg { rd, .. } => Some(rd),
+        Instr::IAlu { rt, .. } | Instr::Lui { rt, .. } | Instr::Load { rt, .. } => Some(rt),
+        Instr::Jump { link: true, .. } => Some(Reg::RA),
+        _ => None,
+    }
+}
+
+/// Evaluates one instruction against the abstract state, returning how
+/// control continues. Mirrors the dynamic Table-1 propagation from above:
+/// every rule here is an upper bound on the taint the CPU can produce.
+#[allow(clippy::too_many_lines)]
+fn transfer(
+    ctx: &Ctx,
+    pre: &Prescan,
+    st: &mut State,
+    pc: u32,
+    d: &DecodedInsn,
+    fx: &mut Effects,
+) -> Flow {
+    let lay = &ctx.layout;
+    match d.instr {
+        Instr::Shift { op, rd, rt, shamt } => {
+            let a = st.get(rt);
+            let value = a.value.map(lay, |v| shift(op, v, u32::from(shamt)));
+            st.set(
+                rd,
+                AbsVal {
+                    taint: a.taint,
+                    value,
+                },
+            );
+            Flow::Fall
+        }
+        Instr::ShiftV { op, rd, rt, rs } => {
+            let a = st.get(rt);
+            let b = st.get(rs);
+            let value = a.value.binop(&b.value, lay, |v, s| shift(op, v, s & 31));
+            st.set(
+                rd,
+                AbsVal {
+                    taint: a.taint.join(b.taint),
+                    value,
+                },
+            );
+            Flow::Fall
+        }
+        Instr::RAlu { op, rd, rs, rt } => {
+            let a = st.get(rs);
+            let b = st.get(rt);
+            let out = match op {
+                RAluOp::Slt | RAluOp::Sltu => {
+                    // Compare: clean result, operands untainted (Table 1).
+                    st.untaint(rs);
+                    st.untaint(rt);
+                    let value = a.value.binop(&b.value, lay, |x, y| match op {
+                        RAluOp::Slt => u32::from((x as i32) < (y as i32)),
+                        _ => u32::from(x < y),
+                    });
+                    AbsVal {
+                        taint: Taint::Clean,
+                        value,
+                    }
+                }
+                RAluOp::Add | RAluOp::Addu => AbsVal {
+                    taint: a.taint.join(b.taint),
+                    value: a.value.add(&b.value, lay),
+                },
+                RAluOp::Sub | RAluOp::Subu => AbsVal {
+                    taint: a.taint.join(b.taint),
+                    value: a.value.sub(&b.value, lay),
+                },
+                RAluOp::Xor if rs == rt => AbsVal::clean_const(0),
+                RAluOp::Or if b.value.singleton() == Some(0) => AbsVal {
+                    taint: a.taint.join(b.taint),
+                    value: a.value.clone(),
+                },
+                RAluOp::Or if a.value.singleton() == Some(0) => AbsVal {
+                    taint: a.taint.join(b.taint),
+                    value: b.value.clone(),
+                },
+                RAluOp::And | RAluOp::Or | RAluOp::Xor | RAluOp::Nor => AbsVal {
+                    taint: a.taint.join(b.taint),
+                    value: a.value.binop(&b.value, lay, |x, y| match op {
+                        RAluOp::And => x & y,
+                        RAluOp::Or => x | y,
+                        RAluOp::Xor => x ^ y,
+                        _ => !(x | y),
+                    }),
+                },
+            };
+            st.set(rd, out);
+            Flow::Fall
+        }
+        Instr::MulDiv { rs, rt, .. } => {
+            let t = st.get(rs).taint.join(st.get(rt).taint);
+            st.set_hilo(AbsVal::opaque(t), AbsVal::opaque(t));
+            Flow::Fall
+        }
+        Instr::MoveFromHi { rd } => {
+            let v = st.hi();
+            st.set(rd, v);
+            Flow::Fall
+        }
+        Instr::MoveFromLo { rd } => {
+            let v = st.lo();
+            st.set(rd, v);
+            Flow::Fall
+        }
+        Instr::MoveToHi { rs } => {
+            let v = st.get(rs);
+            let lo = st.lo();
+            st.set_hilo(v, lo);
+            Flow::Fall
+        }
+        Instr::MoveToLo { rs } => {
+            let v = st.get(rs);
+            let hi = st.hi();
+            st.set_hilo(hi, v);
+            Flow::Fall
+        }
+        Instr::IAlu { op, rt, rs, .. } => {
+            let a = st.get(rs);
+            let imm = Value::constant(d.imm);
+            let out = match op {
+                IAluOp::Addi | IAluOp::Addiu => AbsVal {
+                    taint: a.taint,
+                    value: a.value.add(&imm, lay),
+                },
+                IAluOp::Slti | IAluOp::Sltiu => {
+                    st.untaint(rs);
+                    let value = a.value.map(lay, |v| match op {
+                        IAluOp::Slti => u32::from((v as i32) < (d.imm as i32)),
+                        _ => u32::from(v < d.imm),
+                    });
+                    AbsVal {
+                        taint: Taint::Clean,
+                        value,
+                    }
+                }
+                IAluOp::Andi | IAluOp::Ori | IAluOp::Xori => AbsVal {
+                    taint: a.taint,
+                    value: a.value.map(lay, |v| match op {
+                        IAluOp::Andi => v & d.imm,
+                        IAluOp::Ori => v | d.imm,
+                        _ => v ^ d.imm,
+                    }),
+                },
+            };
+            st.set(rt, out);
+            Flow::Fall
+        }
+        Instr::Lui { rt, .. } => {
+            st.set(rt, AbsVal::clean_const(d.imm));
+            Flow::Fall
+        }
+        Instr::Load {
+            width,
+            signed,
+            rt,
+            base,
+            ..
+        } => {
+            let b = st.get(base);
+            // Check refinement: under the pointer-taintedness policy (the
+            // only configuration the proven set is installed for), a run
+            // survives this instruction only if the base register was
+            // clean — the dynamic check alerts otherwise. Post-states may
+            // therefore assume it clean, like the compare untaint.
+            // Extraction grades the site from the *pre*-state, so the lint
+            // still sees the unrefined taint.
+            st.untaint(base);
+            let addr = b.value.add(&Value::constant(d.imm), lay);
+            st.set(rt, load(ctx, st, &addr, width, signed));
+            Flow::Fall
+        }
+        Instr::Store {
+            width, rt, base, ..
+        } => {
+            let v = st.get(rt);
+            let b = st.get(base);
+            // Check refinement (see the Load arm).
+            st.untaint(base);
+            let addr = b.value.add(&Value::constant(d.imm), lay);
+            store(ctx, st, &addr, width, &v, fx);
+            Flow::Fall
+        }
+        Instr::Branch { cond, rs, rt, .. } => {
+            let known = match (st.get(rs).value.singleton(), st.get(rt).value.singleton()) {
+                (Some(a), Some(b)) => Some(a == b),
+                _ if rs == rt => Some(true),
+                _ => None,
+            };
+            st.untaint(rs);
+            st.untaint(rt);
+            let eq = matches!(cond, BranchCond::Eq);
+            let (taken, fall) = match known {
+                Some(same) => (same == eq, same != eq),
+                None => (true, true),
+            };
+            Flow::Cond {
+                target: d.target,
+                taken,
+                fall,
+            }
+        }
+        Instr::BranchZ { cond, rs, .. } => {
+            let known = st.get(rs).value.singleton().map(|v| {
+                let v = v as i32;
+                match cond {
+                    BranchZCond::Lez => v <= 0,
+                    BranchZCond::Gtz => v > 0,
+                    BranchZCond::Ltz => v < 0,
+                    BranchZCond::Gez => v >= 0,
+                }
+            });
+            st.untaint(rs);
+            let (taken, fall) = match known {
+                Some(t) => (t, !t),
+                None => (true, true),
+            };
+            Flow::Cond {
+                target: d.target,
+                taken,
+                fall,
+            }
+        }
+        Instr::Jump { link, .. } => {
+            if link {
+                st.set(Reg::RA, AbsVal::clean_const(pc + 4));
+            }
+            if ctx.in_text(d.target) {
+                Flow::Jump(d.target)
+            } else {
+                Flow::Halt
+            }
+        }
+        Instr::JumpReg { rs } => {
+            let v = st.get(rs);
+            // Check refinement (see the Load arm) — the post-state flowing
+            // to every successor has a clean jump register.
+            st.untaint(rs);
+            // `jr $ra` is the return idiom: an unresolved one falls back to
+            // return sites only. Any other register may implement a
+            // computed goto/tail dispatch, so it keeps the wider set.
+            Flow::Targets(resolve_indirect(ctx, &v.value, || {
+                if rs == Reg::RA {
+                    pre.return_sites.iter().copied().collect()
+                } else {
+                    pre.jr_fallback()
+                }
+            }))
+        }
+        Instr::JumpAndLinkReg { rd, rs } => {
+            let v = st.get(rs);
+            st.untaint(rs);
+            st.set(rd, AbsVal::clean_const(pc + 4));
+            Flow::Targets(resolve_indirect(ctx, &v.value, || pre.jalr_fallback()))
+        }
+        Instr::Syscall => syscall(ctx, st),
+        Instr::Break { .. } => Flow::Halt,
+    }
+}
+
+/// Successors of a register-indirect jump: exact for constant sets
+/// (dropping non-text targets — the machine cannot execute them), the
+/// conservative fallback otherwise.
+fn resolve_indirect(ctx: &Ctx, v: &Value, fallback: impl Fn() -> Vec<u32>) -> Vec<u32> {
+    match v.consts() {
+        Some(ts) => ts.iter().copied().filter(|&t| ctx.in_text(t)).collect(),
+        None => fallback(),
+    }
+}
+
+/// Constant shift evaluation.
+fn shift(op: ShiftOp, v: u32, s: u32) -> u32 {
+    match op {
+        ShiftOp::Sll => v << s,
+        ShiftOp::Srl => v >> s,
+        ShiftOp::Sra => ((v as i32) >> s) as u32,
+    }
+}
+
+/// Abstract memory load through `addr`.
+fn load(ctx: &Ctx, st: &State, addr: &Value, width: MemWidth, signed: bool) -> AbsVal {
+    let lay = &ctx.layout;
+    match addr {
+        Value::Consts(addrs) => {
+            let mut out: Option<AbsVal> = None;
+            for &a in addrs {
+                let slot = st.read_slot(ctx, a);
+                let one = if width == MemWidth::Word && a.is_multiple_of(4) {
+                    slot
+                } else {
+                    // Sub-word (or misaligned, which the CPU faults on):
+                    // keep the word's taint bound, extract a constant when
+                    // the slot value and alignment allow it.
+                    let value = if width == MemWidth::Word {
+                        Value::Unknown
+                    } else {
+                        slot.value
+                            .map(lay, |w| extract_subword(w, a, width, signed))
+                    };
+                    AbsVal {
+                        taint: slot.taint,
+                        value,
+                    }
+                };
+                out = Some(match out {
+                    None => one,
+                    Some(acc) => acc.join(&one, lay),
+                });
+            }
+            out.unwrap_or_else(|| AbsVal::opaque(Taint::Unknown))
+        }
+        // The argv/envp pointer arrays hold clean words pointing at the
+        // (tainted) string bytes; `Unknown` rather than `Clean` because the
+        // band also holds the string bytes themselves (no elision there).
+        Value::InRegion(Region::ArgPtrs) => AbsVal {
+            taint: Taint::Unknown,
+            value: Value::InRegion(Region::ArgStrings),
+        },
+        Value::InRegion(r) => AbsVal::opaque(st.region_taint(*r)),
+        // A load through a completely widened pointer *could* read the
+        // tainted argv band, so the result is not Clean — but no concrete
+        // input flow has been established either, so it is not `Tainted`
+        // (which would cascade into a lint finding at every downstream
+        // use). `Unknown` keeps the runtime check armed without flagging.
+        Value::Unknown => AbsVal::opaque(Taint::Unknown),
+    }
+}
+
+/// Little-endian sub-word extraction from a known word.
+fn extract_subword(word: u32, addr: u32, width: MemWidth, signed: bool) -> u32 {
+    match width {
+        MemWidth::Byte => {
+            let b = (word >> (8 * (addr & 3))) & 0xff;
+            if signed {
+                b as u8 as i8 as i32 as u32
+            } else {
+                b
+            }
+        }
+        MemWidth::Half => {
+            let h = (word >> (8 * (addr & 2))) & 0xffff;
+            if signed {
+                h as u16 as i16 as i32 as u32
+            } else {
+                h
+            }
+        }
+        MemWidth::Word => word,
+    }
+}
+
+/// Abstract memory store of `v` through `addr`.
+fn store(ctx: &Ctx, st: &mut State, addr: &Value, width: MemWidth, v: &AbsVal, fx: &mut Effects) {
+    match addr {
+        Value::Consts(addrs) => {
+            for &a in addrs {
+                if ctx.in_text(a & !3) {
+                    fx.smc_pages.insert(a / PAGE_SIZE);
+                }
+            }
+            if let (&[a], MemWidth::Word) = (addrs.as_slice(), width) {
+                if a.is_multiple_of(4) {
+                    st.write_slot(ctx, a, v.clone());
+                    return;
+                }
+            }
+            // Weak update: join into each possibly-written word; sub-word
+            // stores lose the word's value but keep a taint bound.
+            let stored = AbsVal {
+                taint: v.taint,
+                value: if width == MemWidth::Word {
+                    v.value.clone()
+                } else {
+                    Value::Unknown
+                },
+            };
+            for &a in addrs {
+                st.weak_write_slot(ctx, a, &stored);
+            }
+        }
+        Value::InRegion(r) => st.havoc_region(ctx, *r, v.taint),
+        Value::Unknown => st.havoc_all(v.taint),
+    }
+}
+
+/// Abstract syscall: the kernel writes only `$v0` (clean) back to the
+/// register file; `read`/`recv` additionally taint the destination buffer,
+/// `brk` returns a heap pointer, `exit` never returns.
+fn syscall(ctx: &Ctx, st: &mut State) -> Flow {
+    let v0 = st.get(Reg::V0);
+    let Some(num) = v0.value.singleton() else {
+        // Unknown syscall number: assume the worst (an unknown read
+        // destination) and keep going.
+        st.havoc_all(Taint::Tainted);
+        st.set(Reg::V0, AbsVal::opaque(Taint::Clean));
+        return Flow::Fall;
+    };
+    match Sys::from_number(num) {
+        Some(Sys::Exit) => Flow::Halt,
+        Some(Sys::Read | Sys::Recv) => {
+            let buf = st.get(Reg::A1);
+            let len = st.get(Reg::A2);
+            seed_buffer(ctx, st, &buf.value, &len.value);
+            st.set(Reg::V0, AbsVal::opaque(Taint::Clean));
+            Flow::Fall
+        }
+        Some(Sys::Brk) => {
+            st.set(
+                Reg::V0,
+                AbsVal {
+                    taint: Taint::Clean,
+                    value: Value::InRegion(Region::Heap),
+                },
+            );
+            Flow::Fall
+        }
+        _ => {
+            // Remaining syscalls (write/open/close/socket/…) read guest
+            // memory but never write it.
+            st.set(Reg::V0, AbsVal::opaque(Taint::Clean));
+            Flow::Fall
+        }
+    }
+}
+
+/// Taints the destination buffer of a `read`/`recv`: precisely when base
+/// and length are known and small, by region havoc otherwise. This is the
+/// static mirror of the kernel's tainted delivery (paper §4.4).
+fn seed_buffer(ctx: &Ctx, st: &mut State, buf: &Value, len: &Value) {
+    match buf {
+        Value::Consts(bases) => {
+            let max_len = len
+                .consts()
+                .and_then(|ls| ls.iter().copied().max())
+                .filter(|&n| n <= MAX_SEED_BYTES);
+            match max_len {
+                Some(n) => {
+                    let tainted = AbsVal::opaque(Taint::Tainted);
+                    for &base in bases {
+                        let mut a = base & !3;
+                        while a < base + n {
+                            st.weak_write_slot(ctx, a, &tainted);
+                            a += 4;
+                        }
+                    }
+                }
+                None => {
+                    for &base in bases {
+                        st.havoc_region(ctx, ctx.layout.classify(base), Taint::Tainted);
+                    }
+                }
+            }
+        }
+        Value::InRegion(r) => st.havoc_region(ctx, *r, Taint::Tainted),
+        Value::Unknown => st.havoc_all(Taint::Tainted),
+    }
+}
+
+/// A pointer-checked site and the strongest taint its address register can
+/// carry there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Instruction address.
+    pub pc: u32,
+    /// The instruction (for rendering).
+    pub instr: Instr,
+    /// Whether this is a load/store or a register jump.
+    pub is_jump: bool,
+    /// Taint bound of the address register at this site, joined over all
+    /// abstract visits.
+    pub taint: Taint,
+}
+
+/// Everything the fixpoint produces: per-leader in-states plus the global
+/// effects, ready for the extraction pass.
+pub struct Fixpoint {
+    /// Shared per-image context.
+    pub ctx: Ctx,
+    /// Pre-scan products (leaders after dynamic splitting, fallbacks).
+    pub pre: Prescan,
+    /// Converged in-state per reachable leader.
+    pub in_states: BTreeMap<u32, State>,
+    /// Global analysis facts.
+    pub fx: Effects,
+    /// `Some(reason)` when the analysis gave up (budget exhausted): the
+    /// lint report is still emitted but nothing is proven clean.
+    pub degraded: Option<String>,
+}
+
+/// Runs the worklist fixpoint to convergence (or budget exhaustion).
+#[must_use]
+pub fn fixpoint(ctx: Ctx) -> Fixpoint {
+    let mut pre = prescan(&ctx);
+    let mut in_states: BTreeMap<u32, State> = BTreeMap::new();
+    in_states.insert(ctx.entry, State::entry(&ctx));
+    let mut work: BTreeSet<u32> = BTreeSet::new();
+    work.insert(ctx.entry);
+    let mut fx = Effects::default();
+    let mut steps = 0usize;
+    let mut degraded = None;
+
+    while let Some(leader) = work.pop_first() {
+        if steps > STEP_BUDGET {
+            degraded = Some(format!("fixpoint budget exhausted ({STEP_BUDGET} steps)"));
+            break;
+        }
+        let state = in_states
+            .get(&leader)
+            .expect("worklist entries always have an in-state")
+            .clone();
+        let (edges, walked) = walk_block(&ctx, &pre, leader, state, &mut fx, None);
+        steps += walked;
+        for (target, out) in edges {
+            // Dynamic block splitting: a newly discovered mid-block target
+            // becomes a leader, and the block that previously walked across
+            // it is re-queued so its extent shrinks.
+            if !pre.leaders.contains(&target) {
+                if let Some(&prev) = pre.leaders.range(..target).next_back() {
+                    if in_states.contains_key(&prev) {
+                        work.insert(prev);
+                    }
+                }
+                pre.leaders.insert(target);
+            }
+            match in_states.get_mut(&target) {
+                Some(existing) => {
+                    if existing.join_into(&out, &ctx) {
+                        work.insert(target);
+                    }
+                }
+                None => {
+                    in_states.insert(target, out);
+                    work.insert(target);
+                }
+            }
+        }
+    }
+
+    Fixpoint {
+        ctx,
+        pre,
+        in_states,
+        fx,
+        degraded,
+    }
+}
+
+/// Sees `(pc, insn, pre-state)` for every instruction walked — the
+/// extraction pass uses it to grade pointer-checked sites and collect
+/// call edges.
+pub type WalkRecorder<'a> = &'a mut dyn FnMut(u32, &DecodedInsn, &State);
+
+/// Walks one basic block from `leader` with the given in-state, returning
+/// the out-edges (successor leader, out-state) and the number of
+/// instructions transferred.
+pub fn walk_block(
+    ctx: &Ctx,
+    pre: &Prescan,
+    leader: u32,
+    mut st: State,
+    fx: &mut Effects,
+    mut recorder: Option<WalkRecorder<'_>>,
+) -> (Vec<(u32, State)>, usize) {
+    let mut pc = leader;
+    let mut edges = Vec::new();
+    let mut steps = 0usize;
+    while let Some(word) = ctx.word_at(pc) {
+        let Ok(d) = DecodedInsn::predecode(pc, word) else {
+            break;
+        };
+        if let Some(rec) = recorder.as_mut() {
+            rec(pc, &d, &st);
+        }
+        let flow = transfer(ctx, pre, &mut st, pc, &d, fx);
+        steps += 1;
+        match flow {
+            Flow::Fall => {
+                let next = pc + 4;
+                if pre.leaders.contains(&next) {
+                    edges.push((next, st));
+                    break;
+                }
+                pc = next;
+            }
+            Flow::Cond {
+                target,
+                taken,
+                fall,
+            } => {
+                if taken && ctx.in_text(target) {
+                    edges.push((target, st.clone()));
+                }
+                if fall {
+                    edges.push((pc + 4, st));
+                }
+                break;
+            }
+            Flow::Jump(target) => {
+                edges.push((target, st));
+                break;
+            }
+            Flow::Targets(targets) => {
+                for t in targets {
+                    edges.push((t, st.clone()));
+                }
+                break;
+            }
+            Flow::Halt => break,
+        }
+    }
+    (edges, steps)
+}
+
+/// Post-fixpoint extraction: replays every reachable block against its
+/// converged in-state, grading each pointer-checked site and collecting
+/// definite call edges for the reachability chains.
+pub struct Extraction {
+    /// Pointer-checked sites by address.
+    pub sites: BTreeMap<u32, Site>,
+    /// Definite call edges `(caller pc, callee entry)` from `jal` and
+    /// constant-resolved `jalr`.
+    pub calls: BTreeSet<(u32, u32)>,
+    /// Total reachable instructions.
+    pub instructions: usize,
+}
+
+/// Runs the extraction pass over a converged fixpoint.
+#[must_use]
+pub fn extract(fp: &Fixpoint) -> Extraction {
+    let mut sites: BTreeMap<u32, Site> = BTreeMap::new();
+    let mut calls: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut instructions = 0usize;
+    // Effects are already converged; replaying must not perturb them.
+    let mut scratch = Effects::default();
+    for (&leader, state) in &fp.in_states {
+        let mut rec = |pc: u32, d: &DecodedInsn, pre_state: &State| {
+            let graded = match d.instr {
+                Instr::Load { base, .. } | Instr::Store { base, .. } => {
+                    Some((pre_state.get(base).taint, false))
+                }
+                Instr::JumpReg { rs } => Some((pre_state.get(rs).taint, true)),
+                Instr::JumpAndLinkReg { rs, .. } => Some((pre_state.get(rs).taint, true)),
+                _ => None,
+            };
+            if let Some((taint, is_jump)) = graded {
+                sites
+                    .entry(pc)
+                    .and_modify(|s| s.taint = s.taint.join(taint))
+                    .or_insert(Site {
+                        pc,
+                        instr: d.instr,
+                        is_jump,
+                        taint,
+                    });
+            }
+            match d.instr {
+                Instr::Jump { link: true, .. } => {
+                    calls.insert((pc, d.target));
+                }
+                Instr::JumpAndLinkReg { rs, .. } => {
+                    if let Some(ts) = pre_state.get(rs).value.consts() {
+                        for &t in ts {
+                            if fp.ctx.in_text(t) {
+                                calls.insert((pc, t));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        };
+        let (_, steps) = walk_block(
+            &fp.ctx,
+            &fp.pre,
+            leader,
+            state.clone(),
+            &mut scratch,
+            Some(&mut rec),
+        );
+        instructions += steps;
+    }
+    Extraction {
+        sites,
+        calls,
+        instructions,
+    }
+}

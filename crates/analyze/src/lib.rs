@@ -1,0 +1,335 @@
+#![warn(missing_docs)]
+
+//! # ptaint-analyze — static taint dataflow over guest images
+//!
+//! The paper's detector is purely dynamic: every load, store and register
+//! jump pays a taint check at runtime. This crate runs the same Table-1
+//! propagation rules *statically* — a fixpoint abstract interpretation over
+//! the recovered control-flow graph, seeding taint at exactly the sources
+//! the kernel taints dynamically (`read`/`recv` buffers, argv/envp strings)
+//! — and emits two artifacts:
+//!
+//! * a **lint report** ([`render_report`]): every load/store/`jr` whose
+//!   address register may be tainted on some path, with disassembly and a
+//!   call-chain from the entry point — the ghttpd-style bugs of §5.1.2,
+//!   surfaced before execution;
+//! * a **proven-clean set** ([`Analysis::proven`]): instruction addresses
+//!   whose pointer check can never fire, which the cached execution engine
+//!   uses to elide taint checks (see `ptaint-cpu`); soundness is a
+//!   `Clean`-means-never-tainted claim, argued in DESIGN.md §Static
+//!   analysis and enforced by a machine-level differential test.
+//!
+//! ```
+//! use ptaint_asm::assemble;
+//!
+//! let image = assemble("main: lw $2, 0($29)\n jr $31").unwrap();
+//! let analysis = ptaint_analyze::analyze(&image);
+//! // Stack load through $sp and the return jump are both provably clean.
+//! assert_eq!(analysis.stats.proven_sites, 2);
+//! assert!(analysis.findings.is_empty());
+//! ```
+
+mod domain;
+mod interp;
+mod report;
+mod state;
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ptaint_asm::Image;
+use ptaint_isa::Instr;
+
+pub use domain::{Region, Taint};
+pub use report::render_report;
+
+/// What kind of pointer-checked instruction a finding points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// A memory load (`l{b,h,w}[u]`).
+    Load,
+    /// A memory store (`s{b,h,w}`).
+    Store,
+    /// A register-indirect jump (`jr`/`jalr`).
+    RegisterJump,
+}
+
+/// One lint finding: a pointer-checked instruction whose address register
+/// may be tainted on some feasible abstract path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Instruction address.
+    pub pc: u32,
+    /// The flagged instruction.
+    pub instr: Instr,
+    /// Load, store, or register jump.
+    pub kind: SiteKind,
+    /// Name of the containing function (symbol, or hex address).
+    pub function: String,
+    /// Byte offset of `pc` within the containing function.
+    pub offset: u32,
+    /// Call chain from the entry function to the containing function
+    /// (definite `jal`/resolved-`jalr` edges only; starts at the entry).
+    pub chain: Vec<String>,
+}
+
+/// Aggregate counters describing the analysis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyzeStats {
+    /// Functions owning at least one reachable block.
+    pub functions: usize,
+    /// Reachable basic blocks.
+    pub blocks: usize,
+    /// Reachable instructions.
+    pub instructions: usize,
+    /// Reachable loads and stores.
+    pub load_store_sites: usize,
+    /// Reachable register jumps.
+    pub register_jump_sites: usize,
+    /// Sites whose address register is provably clean on every path.
+    pub proven_sites: usize,
+    /// Sites flagged tainted on some path.
+    pub flagged_sites: usize,
+    /// Sites the analysis could not decide either way.
+    pub unresolved_sites: usize,
+}
+
+/// The full result of analyzing one image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Aggregate counters.
+    pub stats: AnalyzeStats,
+    /// Tainted-pointer findings, sorted by address.
+    pub findings: Vec<Finding>,
+    /// Addresses of pointer-checked instructions proven clean — the
+    /// elision candidates handed to the decode cache. Empty when the
+    /// analysis is degraded.
+    pub proven: BTreeSet<u32>,
+    /// Text page indexes targeted by statically visible stores
+    /// (self-modifying code); their sites are never proven.
+    pub smc_pages: BTreeSet<u32>,
+    /// `Some(reason)` when the analysis gave up proving anything.
+    pub degraded: Option<String>,
+}
+
+/// Statically analyzes a loaded image: recovers the CFG, runs the taint
+/// fixpoint, and grades every pointer-checked site.
+#[must_use]
+pub fn analyze(image: &Image) -> Analysis {
+    let ctx = state::Ctx::new(image);
+    let fp = interp::fixpoint(ctx);
+    let ex = interp::extract(&fp);
+
+    // Function partitioning: each reachable block belongs to the nearest
+    // preceding function entry.
+    let entries: Vec<u32> = fp.pre.fn_entries.iter().copied().collect();
+    let owner = |pc: u32| -> Option<u32> {
+        match entries.binary_search(&pc) {
+            Ok(_) => Some(pc),
+            Err(0) => None,
+            Err(i) => Some(entries[i - 1]),
+        }
+    };
+    let fn_name = |addr: u32| -> String {
+        image
+            .symbol_at(addr)
+            .map_or_else(|| format!("{addr:#010x}"), str::to_owned)
+    };
+
+    // Definite call graph at function granularity, then a BFS from the
+    // entry function to derive reachability chains.
+    let mut graph: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for &(caller_pc, callee) in &ex.calls {
+        if let (Some(from), Some(to)) = (owner(caller_pc), owner(callee)) {
+            graph.entry(from).or_default().insert(to);
+        }
+    }
+    let root = owner(fp.ctx.entry).unwrap_or(fp.ctx.entry);
+    let mut parent: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut queue = VecDeque::from([root]);
+    let mut seen = BTreeSet::from([root]);
+    while let Some(f) = queue.pop_front() {
+        if let Some(callees) = graph.get(&f) {
+            for &c in callees {
+                if seen.insert(c) {
+                    parent.insert(c, f);
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    let chain_of = |f: u32| -> Vec<String> {
+        let mut path = vec![f];
+        let mut cur = f;
+        while let Some(&p) = parent.get(&cur) {
+            path.push(p);
+            cur = p;
+        }
+        if !seen.contains(&f) {
+            return vec![fn_name(f)];
+        }
+        path.reverse();
+        path.into_iter().map(fn_name).collect()
+    };
+
+    let mut stats = AnalyzeStats {
+        blocks: fp.in_states.len(),
+        instructions: ex.instructions,
+        ..AnalyzeStats::default()
+    };
+    let mut owners: BTreeSet<u32> = BTreeSet::new();
+    for &leader in fp.in_states.keys() {
+        if let Some(f) = owner(leader) {
+            owners.insert(f);
+        }
+    }
+    stats.functions = owners.len();
+
+    let mut findings = Vec::new();
+    let mut proven = BTreeSet::new();
+    for site in ex.sites.values() {
+        if site.is_jump {
+            stats.register_jump_sites += 1;
+        } else {
+            stats.load_store_sites += 1;
+        }
+        match site.taint {
+            Taint::Clean => {
+                let on_smc_page = fp.fx.smc_pages.contains(&(site.pc / ptaint_isa::PAGE_SIZE));
+                if fp.degraded.is_none() && !on_smc_page {
+                    proven.insert(site.pc);
+                    stats.proven_sites += 1;
+                } else {
+                    stats.unresolved_sites += 1;
+                }
+            }
+            Taint::Unknown => stats.unresolved_sites += 1,
+            Taint::Tainted => {
+                stats.flagged_sites += 1;
+                let function = owner(site.pc).unwrap_or(fp.ctx.entry);
+                findings.push(Finding {
+                    pc: site.pc,
+                    instr: site.instr,
+                    kind: match site.instr {
+                        Instr::Load { .. } => SiteKind::Load,
+                        Instr::Store { .. } => SiteKind::Store,
+                        _ => SiteKind::RegisterJump,
+                    },
+                    function: fn_name(function),
+                    offset: site.pc - function,
+                    chain: chain_of(function),
+                });
+            }
+        }
+    }
+
+    Analysis {
+        stats,
+        findings,
+        proven,
+        smc_pages: fp.fx.smc_pages.clone(),
+        degraded: fp.degraded.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_asm::assemble;
+
+    #[test]
+    fn straight_line_stack_code_is_fully_proven() {
+        let image = assemble(
+            "main: addiu $sp, $sp, -16
+                   sw $ra, 12($sp)
+                   lw $2, 8($sp)
+                   lw $ra, 12($sp)
+                   addiu $sp, $sp, 16
+                   jr $ra",
+        )
+        .unwrap();
+        let a = analyze(&image);
+        assert!(a.degraded.is_none());
+        assert_eq!(a.findings, vec![]);
+        // sw, lw, lw, jr all proven; the exit stub adds none.
+        assert_eq!(a.stats.proven_sites, 4);
+        assert_eq!(a.stats.load_store_sites, 3);
+        assert_eq!(a.stats.register_jump_sites, 1);
+    }
+
+    #[test]
+    fn loading_an_argv_string_pointer_is_not_proven_but_not_flagged() {
+        // lw $t0, 0($a1) loads argv[0] through the (clean) array pointer —
+        // provably safe. lb $t1, 0($t0) dereferences the loaded pointer:
+        // concretely clean, but it lives in the band shared with the
+        // tainted string bytes, so it stays unresolved (checked at
+        // runtime) without becoming a false lint finding.
+        let image = assemble(
+            "main: lw $8, 0($5)
+                   lb $9, 0($8)
+                   jr $31",
+        )
+        .unwrap();
+        let a = analyze(&image);
+        assert_eq!(a.findings, vec![]);
+        assert_eq!(a.stats.unresolved_sites, 1);
+        assert_eq!(a.stats.proven_sites, 2);
+    }
+
+    #[test]
+    fn dereferencing_read_data_is_flagged() {
+        // read(0, buf, 4) then use the read word as a load address:
+        // a classic tainted-pointer dereference the lint must flag.
+        let image = assemble(
+            "       .data
+buf:    .word 0
+        .text
+main:   addiu $4, $0, 0
+        lui $5, %hi(buf)
+        ori $5, $5, %lo(buf)
+        addiu $6, $0, 4
+        addiu $2, $0, 3
+        syscall
+        lui $8, %hi(buf)
+        ori $8, $8, %lo(buf)
+        lw $9, 0($8)
+        lw $10, 0($9)
+        jr $31",
+        )
+        .unwrap();
+        let a = analyze(&image);
+        assert_eq!(a.stats.flagged_sites, 1, "findings: {:?}", a.findings);
+        let f = &a.findings[0];
+        assert_eq!(f.kind, SiteKind::Load);
+        assert_eq!(f.instr.to_string(), "lw $10,0($9)");
+        assert!(!a.proven.contains(&f.pc));
+        // The load *of* the tainted word through a clean constant pointer
+        // is itself proven.
+        assert!(a.stats.proven_sites >= 1);
+    }
+
+    #[test]
+    fn compare_untaints_the_validated_register() {
+        // Same tainted pointer, but validated by a compare first: Table 1
+        // untaints the operand, so the dereference is no longer flagged.
+        let image = assemble(
+            "       .data
+buf:    .word 0
+        .text
+main:   addiu $4, $0, 0
+        lui $5, %hi(buf)
+        ori $5, $5, %lo(buf)
+        addiu $6, $0, 4
+        addiu $2, $0, 3
+        syscall
+        lui $8, %hi(buf)
+        ori $8, $8, %lo(buf)
+        lw $9, 0($8)
+        sltiu $10, $9, 256
+        lw $10, 0($9)
+        jr $31",
+        )
+        .unwrap();
+        let a = analyze(&image);
+        assert_eq!(a.findings, vec![], "compare should untaint $9");
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic, human-readable rendering of an [`Analysis`] — the lint
+//! report format pinned by `tests/golden/analyze/*.txt`.
+
+use std::fmt::Write as _;
+
+use ptaint_asm::Image;
+
+use crate::Analysis;
+
+/// Renders the lint report for `image`: the CFG/site summary followed by
+/// one line per flagged site, disassembled, with its containing function
+/// and the definite call chain from the entry point.
+///
+/// The output is fully deterministic (sites sorted by address, symbols
+/// resolved shortest-name-first) so it can be diffed against golden files
+/// in CI.
+#[must_use]
+pub fn render_report(image: &Image, analysis: &Analysis) -> String {
+    let mut out = String::new();
+    let s = &analysis.stats;
+    let entry_name = image
+        .symbol_at(image.entry)
+        .map_or_else(|| format!("{:#010x}", image.entry), str::to_owned);
+    let _ = writeln!(out, "ptaint-analyze report");
+    let _ = writeln!(
+        out,
+        "image: {} text words, entry {} ({:#010x})",
+        image.text.len(),
+        entry_name,
+        image.entry,
+    );
+    let _ = writeln!(
+        out,
+        "cfg: {} functions, {} basic blocks, {} instructions reachable",
+        s.functions, s.blocks, s.instructions,
+    );
+    let _ = writeln!(
+        out,
+        "checked sites: {} ({} loads/stores, {} register jumps)",
+        s.load_store_sites + s.register_jump_sites,
+        s.load_store_sites,
+        s.register_jump_sites,
+    );
+    let _ = writeln!(out, "  proven clean: {}", s.proven_sites);
+    let _ = writeln!(out, "  unresolved:   {}", s.unresolved_sites);
+    let _ = writeln!(out, "  flagged:      {}", s.flagged_sites);
+    if !analysis.smc_pages.is_empty() {
+        let pages: Vec<String> = analysis
+            .smc_pages
+            .iter()
+            .map(|p| format!("{:#x}", p * ptaint_isa::PAGE_SIZE))
+            .collect();
+        let _ = writeln!(out, "self-modifying text pages: {}", pages.join(", "));
+    }
+    if let Some(reason) = &analysis.degraded {
+        let _ = writeln!(out, "analysis degraded: {reason} (nothing proven clean)");
+    }
+    let _ = writeln!(out);
+    if analysis.findings.is_empty() {
+        let _ = writeln!(out, "flagged sites: none");
+        return out;
+    }
+    let _ = writeln!(out, "flagged sites (address register may be tainted):");
+    for f in &analysis.findings {
+        let location = format!("{}+{:#x}", f.function, f.offset);
+        let chain = if f.chain.len() > 1 {
+            format!(", via {}", f.chain.join(" > "))
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  {:08x}  {:<24} ; in {location}{chain}",
+            f.pc,
+            f.instr.to_string(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_asm::assemble;
+
+    #[test]
+    fn report_is_deterministic_and_mentions_flags() {
+        let src = "       .data
+buf:    .word 0
+        .text
+main:   addiu $4, $0, 0
+        lui $5, %hi(buf)
+        ori $5, $5, %lo(buf)
+        addiu $6, $0, 4
+        addiu $2, $0, 3
+        syscall
+        lw $9, 0($5)
+        lw $10, 0($9)
+        jr $31";
+        let image = assemble(src).unwrap();
+        let a = crate::analyze(&image);
+        let r1 = render_report(&image, &a);
+        let r2 = render_report(&image, &crate::analyze(&image));
+        assert_eq!(r1, r2);
+        assert!(r1.contains("flagged sites (address register may be tainted):"));
+        assert!(r1.contains("lw $10,0($9)"));
+        assert!(r1.contains("in main+"));
+    }
+
+    #[test]
+    fn clean_program_reports_no_findings() {
+        let image = assemble("main: jr $31").unwrap();
+        let a = crate::analyze(&image);
+        let report = render_report(&image, &a);
+        assert!(report.contains("flagged sites: none"));
+        assert!(report.contains("proven clean: 1"));
+    }
+}

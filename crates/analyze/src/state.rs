@@ -1,0 +1,439 @@
+//! The abstract machine state: registers, tracked memory slots, and
+//! per-region summaries.
+//!
+//! Memory is modelled lazily: a word-aligned slot enters the tracked map
+//! only once the program writes it through a known-constant address.
+//! Everything else reads its *loader-initial* contents (image bytes for
+//! text/data, zeros elsewhere, tainted-unknown for argv/envp strings) —
+//! unless the containing region has been **havocked** by a store through a
+//! widened pointer, after which the region's defaults lose their values and
+//! absorb the stored taint.
+
+use std::collections::BTreeMap;
+
+use ptaint_asm::Image;
+use ptaint_isa::{Instr, Reg, STACK_TOP, TEXT_BASE, WORD_BYTES};
+
+use crate::domain::{AbsVal, MemLayout, Region, Taint, Value};
+
+/// Upper bound on tracked memory slots per abstract state; beyond it new
+/// constant-address stores degrade to region havocs so states stay small
+/// and joins stay cheap.
+const MAX_TRACKED_SLOTS: usize = 8192;
+
+/// Immutable per-image context shared by every transfer function: the text
+/// (plus exit stub) words, initial data bytes, and derived layout.
+#[derive(Debug)]
+pub struct Ctx {
+    /// Text words including the synthesized exit stub.
+    pub words: Vec<u32>,
+    /// Base address of `words` (the image's text base).
+    pub text_base: u32,
+    /// Address of the loader's exit stub (== the image's `text_end`).
+    pub stub: u32,
+    /// Initial data bytes at `data_base`.
+    pub data: Vec<u8>,
+    /// Base address of the data segment.
+    pub data_base: u32,
+    /// Entry point.
+    pub entry: u32,
+    /// Region geometry derived from the image.
+    pub layout: MemLayout,
+}
+
+impl Ctx {
+    /// Builds the context for an image, synthesizing the same exit stub the
+    /// loader appends after text (`move $a0,$v0; li $v0,1; syscall; break`).
+    #[must_use]
+    pub fn new(image: &Image) -> Ctx {
+        let mut words = image.text.clone();
+        words.extend(stub_words());
+        let stub = image.text_end();
+        let text_limit = stub + (stub_words().len() as u32) * WORD_BYTES;
+        let brk0 = image.data_end().div_ceil(ptaint_isa::PAGE_SIZE) * ptaint_isa::PAGE_SIZE;
+        Ctx {
+            words,
+            text_base: image.text_base,
+            stub,
+            data: image.data.clone(),
+            data_base: image.data_base,
+            entry: image.entry,
+            layout: MemLayout { text_limit, brk0 },
+        }
+    }
+
+    /// The word at a text (or stub) address, if in range and aligned.
+    #[must_use]
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        if addr < self.text_base || !addr.is_multiple_of(WORD_BYTES) {
+            return None;
+        }
+        self.words
+            .get(((addr - self.text_base) / WORD_BYTES) as usize)
+            .copied()
+    }
+
+    /// Whether `addr` is a valid (aligned, in-range) instruction address.
+    #[must_use]
+    pub fn in_text(&self, addr: u32) -> bool {
+        self.word_at(addr).is_some()
+    }
+
+    /// The little-endian data word at a (word-aligned) address, reading
+    /// past the initialized bytes as zero.
+    #[must_use]
+    fn data_word(&self, addr: u32) -> u32 {
+        let mut w = 0u32;
+        for i in 0..4 {
+            let off = (addr + i).wrapping_sub(self.data_base) as usize;
+            let byte = self.data.get(off).copied().unwrap_or(0);
+            w |= u32::from(byte) << (8 * i);
+        }
+        w
+    }
+
+    /// The loader-initial contents of the word-aligned slot at `addr`
+    /// (before any havoc): what the program would read if it never wrote
+    /// there.
+    #[must_use]
+    pub fn initial_slot(&self, addr: u32) -> AbsVal {
+        match self.layout.classify(addr) {
+            Region::Text => AbsVal::clean_const(self.word_at(addr).unwrap_or(0)),
+            Region::Data => AbsVal::clean_const(self.data_word(addr)),
+            Region::Heap | Region::Stack | Region::Other => AbsVal::clean_const(0),
+            Region::ArgStrings | Region::ArgPtrs => AbsVal::opaque(Taint::Tainted),
+        }
+    }
+}
+
+/// The exit stub the loader appends after text, in instruction form.
+#[must_use]
+pub fn stub_words() -> [u32; 4] {
+    [
+        Instr::RAlu {
+            op: ptaint_isa::RAluOp::Addu,
+            rd: Reg::A0,
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+        }
+        .encode(),
+        Instr::IAlu {
+            op: ptaint_isa::IAluOp::Addiu,
+            rt: Reg::V0,
+            rs: Reg::ZERO,
+            imm: 1,
+        }
+        .encode(),
+        Instr::Syscall.encode(),
+        Instr::Break { code: 1 }.encode(),
+    ]
+}
+
+/// Abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    regs: [AbsVal; 32],
+    hi: AbsVal,
+    lo: AbsVal,
+    /// Tracked word-aligned memory slots (written via constant addresses).
+    mem: BTreeMap<u32, AbsVal>,
+    /// Per-region havoc level: `Some(t)` once a store through a widened
+    /// pointer may have hit the region, carrying taint at most `t`.
+    havoc: [Option<Taint>; Region::COUNT],
+    /// Monotone join over the taints ever written to tracked slots of each
+    /// region — the region-granular bound used by widened loads.
+    agg: [Taint; Region::COUNT],
+}
+
+impl State {
+    /// The state the loader establishes at the entry point.
+    #[must_use]
+    pub fn entry(ctx: &Ctx) -> State {
+        let zero = AbsVal::clean_const(0);
+        let mut st = State {
+            regs: std::array::from_fn(|_| zero.clone()),
+            hi: zero.clone(),
+            lo: zero,
+            mem: BTreeMap::new(),
+            havoc: [None; Region::COUNT],
+            agg: [Taint::Clean; Region::COUNT],
+        };
+        // argc is world-dependent; argv/envp point at the kernel-built
+        // pointer arrays above the stack.
+        st.set(Reg::A0, AbsVal::opaque(Taint::Clean));
+        let arg_array = AbsVal {
+            taint: Taint::Clean,
+            value: Value::InRegion(Region::ArgPtrs),
+        };
+        st.set(Reg::A1, arg_array.clone());
+        st.set(Reg::A2, arg_array);
+        st.set(Reg::SP, AbsVal::clean_const(STACK_TOP - 64));
+        st.set(Reg::FP, AbsVal::clean_const(STACK_TOP - 64));
+        st.set(Reg::GP, AbsVal::clean_const(ctx.data_base + 0x8000));
+        st.set(Reg::RA, AbsVal::clean_const(ctx.stub));
+        debug_assert_eq!(ctx.text_base, TEXT_BASE);
+        st
+    }
+
+    /// Reads a register (`$zero` is always clean zero).
+    #[must_use]
+    pub fn get(&self, r: Reg) -> AbsVal {
+        self.regs[r.number() as usize].clone()
+    }
+
+    /// Writes a register (writes to `$zero` are discarded).
+    pub fn set(&mut self, r: Reg, v: AbsVal) {
+        if r != Reg::ZERO {
+            self.regs[r.number() as usize] = v;
+        }
+    }
+
+    /// Forces a register's taint to `Clean`, keeping its value — the
+    /// Table-1 compare/branch operand untaint.
+    pub fn untaint(&mut self, r: Reg) {
+        if r != Reg::ZERO {
+            self.regs[r.number() as usize].taint = Taint::Clean;
+        }
+    }
+
+    /// `HI` accessor.
+    #[must_use]
+    pub fn hi(&self) -> AbsVal {
+        self.hi.clone()
+    }
+
+    /// `LO` accessor.
+    #[must_use]
+    pub fn lo(&self) -> AbsVal {
+        self.lo.clone()
+    }
+
+    /// Writes `HI` and `LO`.
+    pub fn set_hilo(&mut self, hi: AbsVal, lo: AbsVal) {
+        self.hi = hi;
+        self.lo = lo;
+    }
+
+    /// What a read of the word-aligned slot at `addr` observes if the slot
+    /// is untracked: loader-initial contents, degraded by any havoc of the
+    /// containing region.
+    #[must_use]
+    fn default_slot(&self, ctx: &Ctx, addr: u32) -> AbsVal {
+        let r = ctx.layout.classify(addr);
+        let init = ctx.initial_slot(addr);
+        match self.havoc[r.index()] {
+            Some(t) => AbsVal::opaque(init.taint.join(t)),
+            None => init,
+        }
+    }
+
+    /// The abstract contents of the word-aligned slot containing `addr`.
+    #[must_use]
+    pub fn read_slot(&self, ctx: &Ctx, addr: u32) -> AbsVal {
+        let wa = addr & !3;
+        self.mem
+            .get(&wa)
+            .cloned()
+            .unwrap_or_else(|| self.default_slot(ctx, wa))
+    }
+
+    /// Region-granular taint bound for loads through a widened pointer
+    /// into `r`: initial region taint, joined with havoc and with every
+    /// taint ever written to a tracked slot of the region.
+    #[must_use]
+    pub fn region_taint(&self, r: Region) -> Taint {
+        r.initial_taint()
+            .join(self.havoc[r.index()].unwrap_or(Taint::Clean))
+            .join(self.agg[r.index()])
+    }
+
+    /// Strongly updates the word-aligned slot at `addr` (a single known
+    /// address, full-word store). Falls back to a region havoc when the
+    /// tracked map is full.
+    pub fn write_slot(&mut self, ctx: &Ctx, addr: u32, v: AbsVal) {
+        let wa = addr & !3;
+        if self.mem.len() >= MAX_TRACKED_SLOTS && !self.mem.contains_key(&wa) {
+            self.havoc_region(ctx, ctx.layout.classify(wa), v.taint);
+            return;
+        }
+        let r = ctx.layout.classify(wa);
+        self.agg[r.index()] = self.agg[r.index()].join(v.taint);
+        self.mem.insert(wa, v);
+    }
+
+    /// Weakly updates the slot at `addr`: joins `v` into the current
+    /// contents (used for multi-address and sub-word stores).
+    pub fn weak_write_slot(&mut self, ctx: &Ctx, addr: u32, v: &AbsVal) {
+        let old = self.read_slot(ctx, addr);
+        self.write_slot(ctx, addr, old.join(v, &ctx.layout));
+    }
+
+    /// A store through a pointer only known to lie in `r` may have hit any
+    /// slot of the region: every tracked slot absorbs the stored taint and
+    /// loses its value, and the region's defaults degrade likewise. The
+    /// two virtual argument regions alias the same physical band, so
+    /// havocking one havocs both.
+    pub fn havoc_region(&mut self, ctx: &Ctx, r: Region, taint: Taint) {
+        self.havoc_one(ctx, r, taint);
+        match r {
+            Region::ArgStrings => self.havoc_one(ctx, Region::ArgPtrs, taint),
+            Region::ArgPtrs => self.havoc_one(ctx, Region::ArgStrings, taint),
+            _ => {}
+        }
+    }
+
+    fn havoc_one(&mut self, ctx: &Ctx, r: Region, taint: Taint) {
+        let i = r.index();
+        self.havoc[i] = Some(self.havoc[i].unwrap_or(Taint::Clean).join(taint));
+        self.agg[i] = self.agg[i].join(taint);
+        for (&addr, slot) in self.mem.iter_mut() {
+            if ctx.layout.classify(addr) == r {
+                slot.taint = slot.taint.join(taint);
+                slot.value = Value::Unknown;
+            }
+        }
+    }
+
+    /// A store through a completely unknown pointer: havoc every region.
+    pub fn havoc_all(&mut self, taint: Taint) {
+        for h in &mut self.havoc {
+            *h = Some(h.unwrap_or(Taint::Clean).join(taint));
+        }
+        for a in &mut self.agg {
+            *a = a.join(taint);
+        }
+        for slot in self.mem.values_mut() {
+            slot.taint = slot.taint.join(taint);
+            slot.value = Value::Unknown;
+        }
+    }
+
+    /// Joins `other` into `self`; returns whether `self` changed (the
+    /// fixpoint driver's convergence signal).
+    pub fn join_into(&mut self, other: &State, ctx: &Ctx) -> bool {
+        let lay = &ctx.layout;
+        let mut changed = false;
+        for i in 0..32 {
+            let j = self.regs[i].join(&other.regs[i], lay);
+            if j != self.regs[i] {
+                self.regs[i] = j;
+                changed = true;
+            }
+        }
+        let hi = self.hi.join(&other.hi, lay);
+        if hi != self.hi {
+            self.hi = hi;
+            changed = true;
+        }
+        let lo = self.lo.join(&other.lo, lay);
+        if lo != self.lo {
+            self.lo = lo;
+            changed = true;
+        }
+        // Memory: keys missing on one side read that side's default.
+        let keys: Vec<u32> = self.mem.keys().chain(other.mem.keys()).copied().collect();
+        for addr in keys {
+            let a = self.read_slot(ctx, addr);
+            let b = other.read_slot(ctx, addr);
+            let j = a.join(&b, lay);
+            if self.mem.get(&addr) != Some(&j) {
+                self.mem.insert(addr, j);
+                changed = true;
+            }
+        }
+        for i in 0..Region::COUNT {
+            let h = match (self.havoc[i], other.havoc[i]) {
+                (None, None) => None,
+                (a, b) => Some(a.unwrap_or(Taint::Clean).join(b.unwrap_or(Taint::Clean))),
+            };
+            if h != self.havoc[i] {
+                self.havoc[i] = h;
+                changed = true;
+            }
+            let g = self.agg[i].join(other.agg[i]);
+            if g != self.agg[i] {
+                self.agg[i] = g;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_isa::DATA_BASE;
+
+    fn ctx() -> Ctx {
+        let mut image = Image::new();
+        image.text = vec![Instr::Syscall.encode()];
+        image.data = vec![0x78, 0x56, 0x34, 0x12];
+        Ctx::new(&image)
+    }
+
+    #[test]
+    fn defaults_read_loader_contents() {
+        let c = ctx();
+        let st = State::entry(&c);
+        assert_eq!(
+            st.read_slot(&c, DATA_BASE),
+            AbsVal::clean_const(0x1234_5678)
+        );
+        assert_eq!(st.read_slot(&c, STACK_TOP - 64), AbsVal::clean_const(0));
+        assert_eq!(st.read_slot(&c, STACK_TOP).taint, Taint::Tainted);
+    }
+
+    #[test]
+    fn havoc_taints_tracked_slots_and_defaults() {
+        let c = ctx();
+        let mut st = State::entry(&c);
+        st.write_slot(&c, STACK_TOP - 100, AbsVal::clean_const(7));
+        st.havoc_region(&c, Region::Stack, Taint::Tainted);
+        assert_eq!(st.read_slot(&c, STACK_TOP - 100).taint, Taint::Tainted);
+        assert_eq!(st.read_slot(&c, STACK_TOP - 100).value, Value::Unknown);
+        // Untracked slots of the region degrade too.
+        assert_eq!(st.read_slot(&c, STACK_TOP - 200).taint, Taint::Tainted);
+        // Other regions are untouched.
+        assert_eq!(
+            st.read_slot(&c, DATA_BASE),
+            AbsVal::clean_const(0x1234_5678)
+        );
+        assert_eq!(st.region_taint(Region::Stack), Taint::Tainted);
+    }
+
+    #[test]
+    fn clean_havoc_destroys_values_not_taint() {
+        let c = ctx();
+        let mut st = State::entry(&c);
+        st.write_slot(&c, STACK_TOP - 100, AbsVal::clean_const(7));
+        st.havoc_region(&c, Region::Stack, Taint::Clean);
+        let slot = st.read_slot(&c, STACK_TOP - 100);
+        assert_eq!(slot.taint, Taint::Clean);
+        assert_eq!(slot.value, Value::Unknown);
+    }
+
+    #[test]
+    fn join_accounts_for_one_sided_havoc() {
+        let c = ctx();
+        let mut a = State::entry(&c);
+        let mut b = State::entry(&c);
+        // Path A tracks a clean slot; path B havocs the region tainted.
+        a.write_slot(&c, STACK_TOP - 100, AbsVal::clean_const(7));
+        b.havoc_region(&c, Region::Stack, Taint::Tainted);
+        assert!(a.join_into(&b, &c));
+        assert_eq!(a.read_slot(&c, STACK_TOP - 100).taint, Taint::Tainted);
+        // Idempotent once converged.
+        let snapshot = a.clone();
+        assert!(!a.join_into(&b, &c));
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn argument_regions_alias_for_havoc() {
+        let c = ctx();
+        let mut st = State::entry(&c);
+        st.havoc_region(&c, Region::ArgStrings, Taint::Tainted);
+        assert_eq!(st.region_taint(Region::ArgPtrs), Taint::Tainted);
+    }
+}

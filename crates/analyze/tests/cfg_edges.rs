@@ -1,0 +1,126 @@
+//! CFG-recovery edge cases: block splitting on backward branches into the
+//! middle of an already-discovered block, `jr`-terminated blocks, targets
+//! that only become known *during* the fixpoint (computed `jalr`), and
+//! self-modifying-code pages (excluded from the proven set wholesale).
+
+use ptaint_analyze::analyze;
+use ptaint_asm::assemble;
+
+#[test]
+fn backward_branch_into_a_block_middle_splits_it() {
+    // `mid` sits in the middle of the straight-line run from `main`; the
+    // backward `bne` makes it a leader, so the run must be split and the
+    // loop body re-walked from `mid` with the joined state.
+    let image = assemble(
+        "main:   addiu $8, $0, 0
+                 addiu $9, $0, 3
+                 addiu $10, $29, -4
+mid:             sw    $8, 0($10)
+                 addiu $8, $8, 1
+                 bne   $8, $9, mid
+                 jr    $31",
+    )
+    .unwrap();
+    let a = analyze(&image);
+    assert!(a.degraded.is_none(), "{:?}", a.degraded);
+    assert_eq!(a.findings, vec![], "clean loop must not be flagged");
+    // The split produces at least: [main..mid), [mid..bne], [jr].
+    assert!(a.stats.blocks >= 3, "no split happened: {:?}", a.stats);
+    let mid = image.symbol("mid").unwrap();
+    assert!(
+        a.proven.contains(&mid),
+        "the store at the split point must stay proven"
+    );
+    assert!(a.proven.contains(&(mid + 12)), "the return must be proven");
+    assert_eq!(a.stats.proven_sites, 2, "{:?}", a.stats);
+}
+
+#[test]
+fn jr_terminated_blocks_close_cleanly() {
+    // Two functions, both ending in `jr $31`, called with `jal`: every
+    // block terminator is a register jump, and both must resolve (the
+    // callee through its linked return address, `main` through the stub).
+    let image = assemble(
+        "main:   jal   f
+                 jr    $31
+f:               addiu $2, $0, 9
+                 jr    $31",
+    )
+    .unwrap();
+    let a = analyze(&image);
+    assert!(a.degraded.is_none(), "{:?}", a.degraded);
+    assert_eq!(a.stats.register_jump_sites, 2);
+    assert_eq!(a.stats.proven_sites, 2, "{:?}", a.stats);
+    assert_eq!(a.findings, vec![]);
+}
+
+#[test]
+fn computed_jalr_target_splits_a_block_mid_fixpoint() {
+    // The call target `helper+4` is computed with address arithmetic, so
+    // the pre-scan cannot see it: `helper`'s block is discovered whole,
+    // then split when the fixpoint resolves the `jalr` constant into its
+    // middle. The skipped first instruction must still belong to the
+    // fall-through walk from `helper` itself (reached via nothing here,
+    // but its bytes are shared with the split-off tail).
+    let image = assemble(
+        "main:   lui   $8, %hi(helper)
+                 ori   $8, $8, %lo(helper)
+                 addiu $8, $8, 4
+                 jalr  $8
+                 jr    $31
+helper:          addiu $9, $0, 7
+                 addiu $10, $0, 1
+                 jr    $31",
+    )
+    .unwrap();
+    let a = analyze(&image);
+    assert!(a.degraded.is_none(), "{:?}", a.degraded);
+    let main = image.symbol("main").unwrap();
+    let helper = image.symbol("helper").unwrap();
+    // The jalr (main+12), the return jr (helper+8), and main's own jr.
+    assert!(
+        a.proven.contains(&(main + 12)),
+        "jalr not proven: {:?}",
+        a.proven
+    );
+    assert!(a.proven.contains(&(helper + 8)), "helper's jr not proven");
+    assert!(a.proven.contains(&(main + 16)), "main's jr not proven");
+    assert_eq!(a.stats.proven_sites, 3, "{:?}", a.stats);
+    assert_eq!(a.findings, vec![]);
+}
+
+#[test]
+fn stores_into_text_mark_the_page_and_void_its_proofs() {
+    // A statically visible store into the text segment: the whole page is
+    // self-modifying as far as the analyzer is concerned, and nothing on
+    // it may be handed to the runtime as proven (the code could differ by
+    // the time it executes).
+    let image = assemble(
+        "main:   lui   $8, %hi(patch)
+                 ori   $8, $8, %lo(patch)
+                 lui   $9, 0
+                 sw    $9, 0($8)
+patch:           addiu $2, $0, 5
+                 jr    $31",
+    )
+    .unwrap();
+    let a = analyze(&image);
+    assert!(
+        !a.smc_pages.is_empty(),
+        "text store did not mark an SMC page: {:?}",
+        a.stats
+    );
+    // The program is a single page, so the proven set must be empty even
+    // though every site's address register is provably clean.
+    assert_eq!(
+        a.proven.len(),
+        0,
+        "proven sites on an SMC page: {:?}",
+        a.proven
+    );
+    assert_eq!(
+        a.findings,
+        vec![],
+        "clean-pointer SMC is not a taint finding"
+    );
+}

@@ -4,12 +4,22 @@
 //!
 //! ```text
 //! ptaint-run program.c [options]
+//! ptaint-run analyze program.c [options]
+//!
+//! The `analyze` subcommand runs the static taint dataflow analysis
+//! (`ptaint-analyze`) over the built image and prints the lint report —
+//! tainted-pointer dereference sites with disassembly and reachability —
+//! instead of executing the program. It exits 0 when nothing is flagged
+//! and 3 when the report contains findings.
 //!
 //! options:
 //!   --asm                 input is assembly, not mini-C
 //!   --optimize            enable the mini-C peephole optimizer
 //!   --policy P            off | control-only | ptaint     (default: ptaint)
 //!   --engine E            interp | cached                  (default: cached)
+//!   --elide-checks        statically prove check sites clean and skip
+//!                         their taint checks at runtime (cached engine,
+//!                         ptaint policy only)
 //!   --stdin FILE          feed FILE's bytes as standard input (tainted)
 //!   --stdin-text STRING   feed STRING as standard input (tainted)
 //!   --arg STRING          append a command-line argument (repeatable)
@@ -45,6 +55,9 @@ use ptaint::{
 pub struct Options {
     /// Path of the guest program source.
     pub program: String,
+    /// Run the static analyzer and print the lint report instead of
+    /// executing (the `analyze` subcommand).
+    pub analyze: bool,
     /// Treat the program as assembly instead of mini-C.
     pub asm: bool,
     /// Run the peephole optimizer (mini-C only).
@@ -54,6 +67,8 @@ pub struct Options {
     /// Execution engine (predecoded cache by default; `interp` keeps the
     /// legacy interpreter available as the differential oracle).
     pub engine: Option<Engine>,
+    /// Skip taint checks at statically proven-clean sites.
+    pub elide_checks: bool,
     /// Stdin bytes.
     pub stdin: Vec<u8>,
     /// Guest argv (the program name is prepended automatically).
@@ -165,6 +180,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
         match arg.as_str() {
             "--asm" => opts.asm = true,
             "--optimize" => opts.optimize = true,
+            "--elide-checks" => opts.elide_checks = true,
             "--caches" => opts.caches = true,
             "--pipeline" => opts.pipeline = true,
             "--disasm" => opts.disasm = true,
@@ -250,6 +266,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
             flag if flag.starts_with("--") => {
                 return Err(UsageError(format!("unknown flag `{flag}`")));
             }
+            // The first positional may be the `analyze` subcommand keyword;
+            // the program path then follows it.
+            "analyze" if !opts.analyze && opts.program.is_empty() => opts.analyze = true,
             path => {
                 if !opts.program.is_empty() {
                     return Err(UsageError(format!("unexpected extra argument `{path}`")));
@@ -302,6 +321,9 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
     if let Some(engine) = opts.engine {
         machine = machine.engine(engine);
     }
+    if opts.elide_checks {
+        machine = machine.elide_checks(true);
+    }
     if opts.caches {
         machine = machine.hierarchy(ptaint::HierarchyConfig::two_level());
     }
@@ -327,6 +349,11 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
 /// without changing the exit code.
 #[must_use]
 pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
+    if opts.analyze {
+        let analysis = ptaint::analyze(machine.image());
+        let code = i32::from(analysis.stats.flagged_sites > 0) * 3;
+        return (ptaint::render_report(machine.image(), &analysis), code);
+    }
     if opts.disasm {
         return (ptaint::disassemble(machine.image()), 0);
     }
@@ -564,6 +591,41 @@ mod tests {
         // Unknown symbol is a usage error.
         let opts = parse(&["auth.c", "--watch", "nope:4"]).unwrap();
         assert!(build_machine(&opts, source).is_err());
+    }
+
+    #[test]
+    fn analyze_subcommand_prints_the_lint_report() {
+        let opts = parse(&["analyze", "p.c"]).unwrap();
+        assert!(opts.analyze);
+        assert_eq!(opts.program, "p.c");
+
+        let machine = build_machine(&opts, "int main() { return 0; }").unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("ptaint-analyze report"), "{report}");
+
+        // A provable tainted dereference is reported and exits 3.
+        let machine = build_machine(
+            &opts,
+            r#"int main() {
+                char buf[8];
+                read(0, buf, 4);
+                int *p = (int *)(buf[0]);
+                return *p;
+            }"#,
+        )
+        .unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 3, "{report}");
+    }
+
+    #[test]
+    fn elide_checks_flag_reaches_the_machine() {
+        let opts = parse(&["p.c", "--elide-checks", "--quiet"]).unwrap();
+        assert!(opts.elide_checks);
+        let machine = build_machine(&opts, "int main() { return 5; }").unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 5, "{report}");
     }
 
     #[test]

@@ -9,11 +9,17 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "ptaint-run <program.c|program.s> [options]\n\
+             ptaint-run analyze <program.c|program.s> [options]\n\
+             \n\
+             analyze              print the static taint lint report and\n\
+                                  exit (0 clean, 3 with findings)\n\
              \n\
              --asm                input is assembly\n\
              --optimize           peephole-optimize the generated code\n\
              --policy P           off | control-only | ptaint (default)\n\
              --engine E           interp | cached (default)\n\
+             --elide-checks       skip taint checks at statically proven\n\
+                                  clean sites (ptaint policy only)\n\
              --stdin FILE         stdin bytes from FILE (tainted)\n\
              --stdin-text STRING  stdin bytes inline (tainted)\n\
              --arg S / --env K=V  guest argv / environment (repeatable)\n\

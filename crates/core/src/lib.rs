@@ -59,6 +59,7 @@ mod machine;
 pub use machine::Machine;
 
 // The user-facing vocabulary, re-exported from the substrate crates.
+pub use ptaint_analyze::{analyze, render_report, Analysis, AnalyzeStats, Finding, SiteKind};
 pub use ptaint_asm::{assemble, disassemble, AsmError, Image};
 pub use ptaint_cc::compile;
 pub use ptaint_cpu::pipeline::{Pipeline, PipelineReport};

@@ -8,7 +8,7 @@ use ptaint_cpu::{Cpu, CpuException, DetectionPolicy, Engine, StepEvent, TaintRul
 use ptaint_guest::BuildError;
 use ptaint_mem::HierarchyConfig;
 use ptaint_os::{load_with_observer, run_to_exit, ExitReason, Os, RunOutcome, WorldConfig};
-use ptaint_trace::{SharedObserver, TraceConfig, TraceHub, TraceReport};
+use ptaint_trace::{Event, SharedObserver, TraceConfig, TraceHub, TraceReport};
 
 /// A configured guest machine: program image, outside world, detection
 /// policy, and memory hierarchy. Each [`Machine::run`] boots a fresh
@@ -33,6 +33,7 @@ pub struct Machine {
     step_limit: u64,
     trace_depth: Option<usize>,
     engine: Engine,
+    elide_checks: bool,
 }
 
 impl Machine {
@@ -80,6 +81,7 @@ impl Machine {
             step_limit: Machine::DEFAULT_STEP_LIMIT,
             trace_depth: None,
             engine: Engine::default(),
+            elide_checks: false,
         }
     }
 
@@ -113,6 +115,22 @@ impl Machine {
             .symbol(name)
             .unwrap_or_else(|| panic!("no such symbol `{name}` to annotate"));
         self.watches.push((addr, len, name.to_owned()));
+        self
+    }
+
+    /// Enables static check elision: each boot runs the
+    /// [`ptaint_analyze`] taint dataflow over the image and hands the
+    /// proven-clean sites to the cached engine, which then skips the
+    /// pointer-taintedness probe at those sites.
+    ///
+    /// Elision is armed only under the exact configuration the analysis
+    /// models — [`DetectionPolicy::PointerTaintedness`] with the paper's
+    /// [`TaintRules::PAPER`] — and only the cached engine consults the
+    /// proven set (the interpreter stays the unelided oracle). Any store
+    /// into the text segment voids the whole set for the rest of the run.
+    #[must_use]
+    pub fn elide_checks(mut self, on: bool) -> Machine {
+        self.elide_checks = on;
         self
     }
 
@@ -180,6 +198,26 @@ impl Machine {
         for (addr, len, label) in &self.watches {
             cpu.add_taint_watch(*addr, *len, label.clone());
         }
+        if self.elide_checks
+            && self.policy == DetectionPolicy::PointerTaintedness
+            && self.rules == TaintRules::PAPER
+        {
+            let analysis = ptaint_analyze::analyze(&self.image);
+            if cpu.has_observer() {
+                cpu.emit_event(&Event::StaticAnalysis {
+                    functions: analysis.stats.functions as u64,
+                    blocks: analysis.stats.blocks as u64,
+                    proven: analysis.proven.len() as u64,
+                    flagged: analysis.stats.flagged_sites as u64,
+                });
+            }
+            // Watch the whole text segment, not just the pages the decode
+            // cache has predecoded: a store into a never-executed text page
+            // must still void the proven set before it can mislead anyone.
+            cpu.mem_mut()
+                .watch_code_range(self.image.text_base, self.image.text.len() as u32 * 4);
+            cpu.install_proven_checks(analysis.proven.iter().copied());
+        }
         (cpu, os)
     }
 
@@ -188,6 +226,36 @@ impl Machine {
     pub fn run(&self) -> RunOutcome {
         let (mut cpu, mut os) = self.boot();
         run_to_exit(&mut cpu, &mut os, self.step_limit)
+    }
+
+    /// Runs twice under the cached engine — once with every check executed,
+    /// once with statically proven checks elided — and asserts the two runs
+    /// are bit-identical in everything guest-visible: exit reason (including
+    /// any security alert), stdout/stderr, network transcripts, and the
+    /// retired-instruction statistics (engine-activity counters normalized
+    /// away with [`ExecStats::without_decode_cache`](ptaint_cpu::ExecStats::without_decode_cache)).
+    ///
+    /// Returns the elided outcome so callers can make scenario-specific
+    /// assertions (e.g. that elision actually fired).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the runs diverge — i.e. when the static analysis proved
+    /// a site clean that was not.
+    #[must_use]
+    pub fn run_elision_differential(&self) -> RunOutcome {
+        let full = self.clone().elide_checks(false).run();
+        let elided = self.clone().elide_checks(true).run();
+        assert_eq!(
+            full.stats.elided_checks, 0,
+            "elision leaked into the oracle"
+        );
+        let mut a = full;
+        a.stats = a.stats.without_decode_cache();
+        let mut b = elided.clone();
+        b.stats = b.stats.without_decode_cache();
+        assert_eq!(a, b, "check elision changed observable behaviour");
+        elided
     }
 
     /// Boots a fresh instance and runs it through the 5-stage pipeline
@@ -390,6 +458,45 @@ mod tests {
             cached.stats.without_decode_cache(),
             interp.stats.without_decode_cache()
         );
+    }
+
+    #[test]
+    fn elision_skips_checks_and_preserves_behaviour() {
+        let m = Machine::from_c(
+            r#"int main() {
+                int i; int s = 0;
+                int a[32];
+                for (i = 0; i < 32; i++) a[i] = i;
+                for (i = 0; i < 32; i++) s += a[i];
+                return s & 0x7f;
+            }"#,
+        )
+        .unwrap();
+        let elided = m.run_elision_differential();
+        assert!(
+            elided.stats.elided_checks > 0,
+            "an all-clean loop should elide its array accesses: {:?}",
+            elided.stats
+        );
+    }
+
+    #[test]
+    fn elision_stays_off_under_other_policies_and_rules() {
+        let m = Machine::from_c("int main() { int a[4]; a[1] = 2; return a[1]; }").unwrap();
+        let baseline = m
+            .clone()
+            .policy(DetectionPolicy::ControlOnly)
+            .elide_checks(true)
+            .run();
+        assert_eq!(baseline.stats.elided_checks, 0, "gate: policy mismatch");
+        let ablated = m
+            .taint_rules(TaintRules {
+                compare_untaints: false,
+                ..TaintRules::PAPER
+            })
+            .elide_checks(true)
+            .run();
+        assert_eq!(ablated.stats.elided_checks, 0, "gate: rules mismatch");
     }
 
     #[test]

@@ -484,6 +484,40 @@ impl Cpu {
         }
     }
 
+    /// Installs the static analyzer's proven-clean set: instruction
+    /// addresses whose pointer-taintedness check can never fire, which the
+    /// cached engine then skips ([`ExecStats::elided_checks`] counts them).
+    /// Soundness is the analyzer's contract; the machine layer only
+    /// installs a set produced for the exact image, policy, and taint
+    /// rules being run. Any store into watched text (self-modifying code)
+    /// drops the whole set for the rest of the run.
+    pub fn install_proven_checks(&mut self, pcs: impl IntoIterator<Item = u32>) {
+        self.dcache.install_proven(pcs);
+    }
+
+    /// Whether a proven-clean set is installed and still valid (it is
+    /// dropped wholesale on the first self-modifying-code invalidation).
+    #[must_use]
+    pub fn has_proven_checks(&self) -> bool {
+        self.dcache.has_proven()
+    }
+
+    /// Bookkeeping for a statically elided pointer check. The analyzer
+    /// guarantees the checked word is clean here, so skipping the check
+    /// cannot change architectural behaviour — asserted in debug builds
+    /// and by the machine-level elision differential tests.
+    #[inline]
+    fn elide_check(&mut self, pc: u32, taint: WordTaint) {
+        debug_assert!(
+            !taint.any(),
+            "elided a pointer check on a tainted word at {pc:#010x}"
+        );
+        self.stats.elided_checks += 1;
+        if self.observer.is_some() {
+            self.emit_event(&Event::CheckElided { pc });
+        }
+    }
+
     /// Executes one instruction under the active [`Engine`].
     ///
     /// The interpreter fetches and decodes every step. The cached engine
@@ -505,7 +539,7 @@ impl Cpu {
             if self.mem.has_dirty_code_pages() {
                 self.invalidate_dirty_pages();
             }
-            if let Some(d) = self.dcache.lookup(pc) {
+            if let Some((d, proven)) = self.dcache.lookup(pc) {
                 self.stats.decode_cache_hits += 1;
                 if self.observer.is_some() {
                     self.emit_event(&Event::DecodeCache {
@@ -513,11 +547,12 @@ impl Cpu {
                         kind: "hit",
                     });
                 }
-                return self.exec(pc, d);
+                return self.exec(pc, d, proven);
             }
         }
         // Authoritative path: always for the interpreter, on a miss for the
-        // cached engine.
+        // cached engine. Checks are never elided here — elision bits live in
+        // the decode cache, so the interpreter stays the unelided oracle.
         let word = self.mem.fetch_u32(pc)?;
         let d = DecodedInsn::predecode(pc, word).map_err(|err| CpuException::Decode { pc, err })?;
         if self.engine == Engine::Cached {
@@ -529,7 +564,7 @@ impl Cpu {
             self.dcache.fill_block(pc, self.mem.memory());
             self.mem.watch_code_page(pc / PAGE_SIZE);
         }
-        self.exec(pc, d)
+        self.exec(pc, d, false)
     }
 
     /// Invalidates every decode-cache page the memory system reports as
@@ -547,9 +582,12 @@ impl Cpu {
     }
 
     /// The execute stage shared by both engines: applies `d` (predecoded at
-    /// `pc`) to the architectural and taint state.
+    /// `pc`) to the architectural and taint state. With `elide` set (cached
+    /// engine, statically proven site) the pointer-taintedness check is
+    /// skipped; taint *propagation* always runs in full — elision only
+    /// removes the detector probe, never the Table 1 dataflow.
     #[allow(clippy::too_many_lines)]
-    fn exec(&mut self, pc: u32, d: DecodedInsn) -> Result<StepEvent, CpuException> {
+    fn exec(&mut self, pc: u32, d: DecodedInsn, elide: bool) -> Result<StepEvent, CpuException> {
         let instr = d.instr;
         let mut next_pc = pc.wrapping_add(4);
         let mut event = StepEvent::Executed;
@@ -767,7 +805,11 @@ impl Cpu {
                 self.stats.loads += 1;
                 let (bv, bt) = self.regs.get(base);
                 self.note_tainted_operands(&[bt]);
-                self.check_data_pointer(pc, instr, base)?;
+                if elide {
+                    self.elide_check(pc, bt);
+                } else {
+                    self.check_data_pointer(pc, instr, base)?;
+                }
                 let addr = bv.wrapping_add(d.imm);
                 let (value, taint) = match width {
                     MemWidth::Byte => {
@@ -809,7 +851,11 @@ impl Cpu {
                 let (bv, bt) = self.regs.get(base);
                 let (v, tv) = self.regs.get(rt);
                 self.note_tainted_operands(&[bt, tv]);
-                self.check_data_pointer(pc, instr, base)?;
+                if elide {
+                    self.elide_check(pc, bt);
+                } else {
+                    self.check_data_pointer(pc, instr, base)?;
+                }
                 let addr = bv.wrapping_add(d.imm);
                 let stored_taint = match width {
                     MemWidth::Byte => {
@@ -893,14 +939,22 @@ impl Cpu {
                 self.stats.register_jumps += 1;
                 let (_, t) = self.regs.get(rs);
                 self.note_tainted_operands(&[t]);
-                self.check_jump_pointer(pc, instr, rs)?;
+                if elide {
+                    self.elide_check(pc, t);
+                } else {
+                    self.check_jump_pointer(pc, instr, rs)?;
+                }
                 next_pc = self.regs.value(rs);
             }
             Instr::JumpAndLinkReg { rd, rs } => {
                 self.stats.register_jumps += 1;
                 let (_, t) = self.regs.get(rs);
                 self.note_tainted_operands(&[t]);
-                self.check_jump_pointer(pc, instr, rs)?;
+                if elide {
+                    self.elide_check(pc, t);
+                } else {
+                    self.check_jump_pointer(pc, instr, rs)?;
+                }
                 next_pc = self.regs.value(rs);
                 self.regs.set(rd, pc.wrapping_add(4), WordTaint::CLEAN);
             }
@@ -1377,6 +1431,88 @@ main:   la $t0, buf
         assert_eq!(interp.regs().value(Reg::T2), 99);
         assert_eq!(
             interp.stats().without_decode_cache(),
+            cpu.stats().without_decode_cache()
+        );
+    }
+
+    /// Elision skips the check probe at proven sites without disturbing
+    /// anything architectural: a run with every site proven matches a run
+    /// with no proven set, modulo the engine-activity counters.
+    #[test]
+    fn proven_sites_elide_checks_without_changing_state() {
+        let src = ".data
+buf:    .space 8
+        .text
+main:   la $t0, buf
+        li $t2, 0
+loop:   lw $t1, 0($t0)
+        sw $t2, 4($t0)
+        addiu $t2, $t2, 1
+        li $t3, 5
+        bne $t2, $t3, loop
+        break 0";
+        let image = assemble(src).expect("test program must assemble");
+        let every_pc: Vec<u32> = (0..image.text.len() as u32)
+            .map(|i| image.text_base + 4 * i)
+            .collect();
+
+        let mut elided = boot(src, DetectionPolicy::PointerTaintedness);
+        elided.install_proven_checks(every_pc);
+        assert!(elided.has_proven_checks());
+        run(&mut elided, 100).unwrap();
+        // Iterations after the block predecode dispatch from the cache and
+        // skip both the load and the store check.
+        assert!(elided.stats().elided_checks >= 4, "{:?}", elided.stats());
+
+        let mut full = boot(src, DetectionPolicy::PointerTaintedness);
+        run(&mut full, 100).unwrap();
+        assert_eq!(full.stats().elided_checks, 0);
+        assert_eq!(
+            full.stats().without_decode_cache(),
+            elided.stats().without_decode_cache()
+        );
+        assert_eq!(full.regs().value(Reg::T1), elided.regs().value(Reg::T1));
+    }
+
+    /// A store into text drops the whole proven set: static analysis only
+    /// described the original image, so after self-modification every check
+    /// must run again (and refills never re-prove).
+    #[test]
+    fn smc_store_drops_all_proven_sites() {
+        let patched = Instr::IAlu {
+            op: IAluOp::Addiu,
+            rt: Reg::T2,
+            rs: Reg::ZERO,
+            imm: 99,
+        }
+        .encode();
+        let src = format!(
+            "main:   la $t0, patch
+                     li $t1, 0x{patched:08x}
+                     sw $t1, 0($t0)
+            patch:   li $t2, 1
+                     break 0"
+        );
+        let image = assemble(&src).expect("test program must assemble");
+        let every_pc: Vec<u32> = (0..image.text.len() as u32)
+            .map(|i| image.text_base + 4 * i)
+            .collect();
+
+        let mut cpu = boot(&src, DetectionPolicy::PointerTaintedness);
+        cpu.install_proven_checks(every_pc);
+        run(&mut cpu, 100).unwrap();
+        assert_eq!(cpu.regs().value(Reg::T2), 99, "patched word must execute");
+        assert!(
+            !cpu.has_proven_checks(),
+            "self-modification must wipe the proven set"
+        );
+        assert!(cpu.stats().decode_cache_invalidations >= 1);
+
+        // Still architecturally identical to the uninstrumented run.
+        let mut full = boot(&src, DetectionPolicy::PointerTaintedness);
+        run(&mut full, 100).unwrap();
+        assert_eq!(
+            full.stats().without_decode_cache(),
             cpu.stats().without_decode_cache()
         );
     }

@@ -10,7 +10,7 @@
 //! the CPU drains dirty pages and calls [`DecodeCache::invalidate`] before
 //! consulting the cache.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use ptaint_isa::{DecodedInsn, PAGE_SIZE};
 use ptaint_mem::TaintedMemory;
@@ -18,20 +18,37 @@ use ptaint_mem::TaintedMemory;
 /// Instruction slots per page (one per 4-aligned word).
 const SLOTS: usize = (PAGE_SIZE / 4) as usize;
 
+/// One `u64` of proven-clean bits per 64 slots.
+const PROVEN_WORDS: usize = SLOTS / 64;
+
 /// One predecoded text page.
 struct DecodedPage {
     slots: Box<[Option<DecodedInsn>; SLOTS]>,
+    /// One bit per slot: the static analyzer proved this instruction's
+    /// pointer check can never fire, so the engine may skip it.
+    proven: Box<[u64; PROVEN_WORDS]>,
 }
 
 impl DecodedPage {
     fn new() -> DecodedPage {
         DecodedPage {
             slots: Box::new([None; SLOTS]),
+            proven: Box::new([0; PROVEN_WORDS]),
         }
     }
 
     fn clear(&mut self) {
         self.slots.fill(None);
+        self.proven.fill(0);
+    }
+
+    #[inline]
+    fn is_proven(&self, slot: usize) -> bool {
+        self.proven[slot / 64] >> (slot % 64) & 1 != 0
+    }
+
+    fn set_proven(&mut self, slot: usize) {
+        self.proven[slot / 64] |= 1 << (slot % 64);
     }
 }
 
@@ -45,6 +62,10 @@ pub(crate) struct DecodeCache {
     pages: Vec<DecodedPage>,
     free: Vec<usize>,
     last: Option<(u32, usize)>,
+    /// Master proven-clean set installed by the static analyzer; consulted
+    /// at fill time to stamp per-slot bits. Dropped wholesale on the first
+    /// invalidation (self-modifying code makes the static proof stale).
+    proven: HashSet<u32>,
 }
 
 impl DecodeCache {
@@ -54,14 +75,45 @@ impl DecodeCache {
             pages: Vec::new(),
             free: Vec::new(),
             last: None,
+            proven: HashSet::new(),
         }
     }
 
-    /// The cached decode at `pc`, if this word has been predecoded.
-    /// Unaligned PCs always miss, so the fetch path reproduces the exact
-    /// alignment fault.
+    /// Installs the analyzer's proven-clean set. Cached pages are dropped
+    /// so the next fill stamps the per-slot bits; callers install at boot,
+    /// before any execution, where the cache is empty anyway.
+    pub(crate) fn install_proven(&mut self, pcs: impl IntoIterator<Item = u32>) {
+        // Drop cached pages first: `invalidate` wipes the proven set (its
+        // self-modifying-code contract), so install after.
+        let pages: Vec<u32> = self.index.keys().copied().collect();
+        for page in pages {
+            self.invalidate(page);
+        }
+        self.proven = pcs.into_iter().collect();
+    }
+
+    /// Forgets every proven-clean bit — master set and per-page stamps.
+    /// Called when self-modifying code makes the static analysis stale.
+    pub(crate) fn clear_proven(&mut self) {
+        if self.proven.is_empty() {
+            return;
+        }
+        self.proven.clear();
+        for page in &mut self.pages {
+            page.proven.fill(0);
+        }
+    }
+
+    /// Whether a proven-clean set is installed (and not yet dropped).
+    pub(crate) fn has_proven(&self) -> bool {
+        !self.proven.is_empty()
+    }
+
+    /// The cached decode at `pc`, if this word has been predecoded, and
+    /// whether its pointer check is proven elidable. Unaligned PCs always
+    /// miss, so the fetch path reproduces the exact alignment fault.
     #[inline]
-    pub(crate) fn lookup(&mut self, pc: u32) -> Option<DecodedInsn> {
+    pub(crate) fn lookup(&mut self, pc: u32) -> Option<(DecodedInsn, bool)> {
         if pc & 3 != 0 {
             return None;
         }
@@ -74,7 +126,9 @@ impl DecodeCache {
                 idx
             }
         };
-        self.pages[idx].slots[((pc % PAGE_SIZE) / 4) as usize]
+        let slot = ((pc % PAGE_SIZE) / 4) as usize;
+        let p = &self.pages[idx];
+        p.slots[slot].map(|d| (d, p.is_proven(slot)))
     }
 
     /// Predecodes the straight-line block starting at the 4-aligned `pc`:
@@ -110,11 +164,18 @@ impl DecodeCache {
                 break;
             };
             self.pages[idx].slots[slot] = Some(d);
+            if !self.proven.is_empty() && self.proven.contains(&addr) {
+                self.pages[idx].set_proven(slot);
+            }
         }
     }
 
     /// Drops the cached page, returning whether anything was cached for it.
+    /// Any invalidation also drops the whole proven-clean set: a store into
+    /// text is self-modifying code, and the static analysis no longer
+    /// describes the program that is running.
     pub(crate) fn invalidate(&mut self, page: u32) -> bool {
+        self.clear_proven();
         let Some(idx) = self.index.remove(&page) else {
             return false;
         };
@@ -157,12 +218,14 @@ mod tests {
         let mut cache = DecodeCache::new();
         assert_eq!(cache.lookup(TEXT_BASE), None);
         cache.fill_block(TEXT_BASE, &mem);
-        assert_eq!(cache.lookup(TEXT_BASE).unwrap().instr, addiu(1));
-        assert_eq!(cache.lookup(TEXT_BASE + 4).unwrap().instr, addiu(2));
+        assert_eq!(cache.lookup(TEXT_BASE).unwrap().0.instr, addiu(1));
+        assert_eq!(cache.lookup(TEXT_BASE + 4).unwrap().0.instr, addiu(2));
         // Unmapped words beyond the program read as zero -> nop, like fetch.
-        assert_eq!(cache.lookup(TEXT_BASE + 8).unwrap().instr, Instr::NOP);
+        assert_eq!(cache.lookup(TEXT_BASE + 8).unwrap().0.instr, Instr::NOP);
         // Unaligned lookups always miss.
         assert_eq!(cache.lookup(TEXT_BASE + 2), None);
+        // No proven set installed: nothing is elidable.
+        assert!(!cache.lookup(TEXT_BASE).unwrap().1);
     }
 
     #[test]
@@ -175,7 +238,7 @@ mod tests {
         assert_eq!(cache.lookup(TEXT_BASE + 4), None, "bad word left uncached");
         // A later fill starting past the bad word predecodes the rest.
         cache.fill_block(TEXT_BASE + 8, &mem);
-        assert_eq!(cache.lookup(TEXT_BASE + 8).unwrap().instr, addiu(3));
+        assert_eq!(cache.lookup(TEXT_BASE + 8).unwrap().0.instr, addiu(3));
     }
 
     #[test]
@@ -190,7 +253,7 @@ mod tests {
         // Refill (reusing the freed slot array) sees fresh contents.
         let patched = text_with(&[addiu(7).encode()]);
         cache.fill_block(TEXT_BASE, &patched);
-        assert_eq!(cache.lookup(TEXT_BASE).unwrap().instr, addiu(7));
+        assert_eq!(cache.lookup(TEXT_BASE).unwrap().0.instr, addiu(7));
     }
 
     #[test]
@@ -204,9 +267,59 @@ mod tests {
         assert!(cache.invalidate(TEXT_BASE / PAGE_SIZE));
         assert_eq!(cache.lookup(TEXT_BASE), None);
         assert_eq!(
-            cache.lookup(TEXT_BASE + PAGE_SIZE).unwrap().instr,
+            cache.lookup(TEXT_BASE + PAGE_SIZE).unwrap().0.instr,
             addiu(2),
             "sibling page survives the invalidation"
         );
+    }
+
+    #[test]
+    fn proven_bits_are_stamped_at_fill_time() {
+        let mem = text_with(&[addiu(1).encode(), addiu(2).encode(), addiu(3).encode()]);
+        let mut cache = DecodeCache::new();
+        cache.install_proven([TEXT_BASE, TEXT_BASE + 8]);
+        assert!(cache.has_proven());
+        cache.fill_block(TEXT_BASE, &mem);
+        assert!(cache.lookup(TEXT_BASE).unwrap().1);
+        assert!(!cache.lookup(TEXT_BASE + 4).unwrap().1, "not in the set");
+        assert!(cache.lookup(TEXT_BASE + 8).unwrap().1);
+    }
+
+    #[test]
+    fn any_invalidation_drops_every_proven_bit() {
+        // Self-modifying code anywhere makes the static analysis stale, so
+        // one invalidation must clear proven bits on *all* pages — including
+        // pages the store never touched — and refills must not re-prove.
+        let mut mem = text_with(&[addiu(1).encode()]);
+        mem.write_u32(TEXT_BASE + PAGE_SIZE, addiu(2).encode(), WordTaint::CLEAN)
+            .unwrap();
+        let mut cache = DecodeCache::new();
+        cache.install_proven([TEXT_BASE, TEXT_BASE + PAGE_SIZE]);
+        cache.fill_block(TEXT_BASE, &mem);
+        cache.fill_block(TEXT_BASE + PAGE_SIZE, &mem);
+        assert!(cache.lookup(TEXT_BASE).unwrap().1);
+        assert!(cache.lookup(TEXT_BASE + PAGE_SIZE).unwrap().1);
+
+        assert!(cache.invalidate(TEXT_BASE / PAGE_SIZE));
+        assert!(!cache.has_proven());
+        // The sibling page stays decoded but loses its proven stamp.
+        let (d, proven) = cache.lookup(TEXT_BASE + PAGE_SIZE).unwrap();
+        assert_eq!(d.instr, addiu(2));
+        assert!(!proven);
+        // Refilling the invalidated page never re-proves it.
+        cache.fill_block(TEXT_BASE, &mem);
+        assert!(!cache.lookup(TEXT_BASE).unwrap().1);
+    }
+
+    #[test]
+    fn install_proven_resets_already_filled_pages() {
+        let mem = text_with(&[addiu(1).encode()]);
+        let mut cache = DecodeCache::new();
+        cache.fill_block(TEXT_BASE, &mem);
+        cache.install_proven([TEXT_BASE]);
+        // The pre-install fill was dropped; the refill stamps the bit.
+        assert_eq!(cache.lookup(TEXT_BASE), None);
+        cache.fill_block(TEXT_BASE, &mem);
+        assert!(cache.lookup(TEXT_BASE).unwrap().1);
     }
 }

@@ -38,6 +38,10 @@ pub struct ExecStats {
     /// Cached text pages dropped because something stored into them
     /// (self-modifying-code coherence).
     pub decode_cache_invalidations: u64,
+    /// Pointer-taintedness checks skipped because static analysis proved
+    /// the site clean (always zero under the interpreter, or when no
+    /// proven-clean set is installed).
+    pub elided_checks: u64,
 }
 
 impl ExecStats {
@@ -52,18 +56,21 @@ impl ExecStats {
         }
     }
 
-    /// This record with the decode-cache counters zeroed.
+    /// This record with the decode-cache and check-elision counters zeroed.
     ///
-    /// Those three counters describe *engine* activity, not guest-visible
+    /// Those counters describe *engine* activity, not guest-visible
     /// behaviour, so the engine differential tests compare
     /// `a.without_decode_cache() == b.without_decode_cache()` to assert
     /// that the interpreter and the cached engine agree on everything
-    /// architecturally meaningful.
+    /// architecturally meaningful. Elided checks belong here too: a
+    /// (sound) elision skips work whose outcome is already known, so the
+    /// count is a property of the engine configuration, not the guest.
     #[must_use]
     pub fn without_decode_cache(mut self) -> ExecStats {
         self.decode_cache_hits = 0;
         self.decode_cache_misses = 0;
         self.decode_cache_invalidations = 0;
+        self.elided_checks = 0;
         self
     }
 }
@@ -74,7 +81,7 @@ impl fmt::Display for ExecStats {
             f,
             "{} instructions ({} loads, {} stores, {} branches, {} reg-jumps, {} syscalls), \
              {} tainted-operand ({:.4}%), {} tainted-pointer derefs, \
-             decode-cache {}h/{}m/{}inv",
+             decode-cache {}h/{}m/{}inv, {} elided checks",
             self.instructions,
             self.loads,
             self.stores,
@@ -86,7 +93,8 @@ impl fmt::Display for ExecStats {
             self.tainted_pointer_dereferences,
             self.decode_cache_hits,
             self.decode_cache_misses,
-            self.decode_cache_invalidations
+            self.decode_cache_invalidations,
+            self.elided_checks
         )
     }
 }
@@ -98,7 +106,8 @@ impl ToJson for ExecStats {
                 "{{\"instructions\":{},\"loads\":{},\"stores\":{},\"branches\":{},",
                 "\"register_jumps\":{},\"syscalls\":{},\"tainted_operand_instructions\":{},",
                 "\"tainted_pointer_dereferences\":{},\"decode_cache_hits\":{},",
-                "\"decode_cache_misses\":{},\"decode_cache_invalidations\":{}}}"
+                "\"decode_cache_misses\":{},\"decode_cache_invalidations\":{},",
+                "\"elided_checks\":{}}}"
             ),
             self.instructions,
             self.loads,
@@ -110,7 +119,8 @@ impl ToJson for ExecStats {
             self.tainted_pointer_dereferences,
             self.decode_cache_hits,
             self.decode_cache_misses,
-            self.decode_cache_invalidations
+            self.decode_cache_invalidations,
+            self.elided_checks
         )
     }
 }
@@ -166,19 +176,23 @@ mod tests {
             decode_cache_hits: 98,
             decode_cache_misses: 2,
             decode_cache_invalidations: 1,
+            elided_checks: 40,
             ..ExecStats::default()
         };
         assert!(stats.to_string().contains("decode-cache 98h/2m/1inv"));
+        assert!(stats.to_string().contains("40 elided checks"));
         let json = stats.to_json();
         assert!(json.contains("\"decode_cache_hits\":98"));
         assert!(json.contains("\"decode_cache_misses\":2"));
         assert!(json.contains("\"decode_cache_invalidations\":1"));
+        assert!(json.contains("\"elided_checks\":40"));
         // Normalizing erases only the engine-activity counters.
         let plain = stats.without_decode_cache();
         assert_eq!(plain.instructions, 100);
         assert_eq!(plain.decode_cache_hits, 0);
         assert_eq!(plain.decode_cache_misses, 0);
         assert_eq!(plain.decode_cache_invalidations, 0);
+        assert_eq!(plain.elided_checks, 0);
         assert_eq!(
             plain,
             ExecStats {
@@ -186,5 +200,27 @@ mod tests {
                 ..ExecStats::default()
             }
         );
+    }
+
+    #[test]
+    fn elision_counter_normalizes_across_engines() {
+        // The elision counter is engine activity: a run with checks elided
+        // and a run with every check executed must normalize to the same
+        // record when everything architectural matches.
+        let elided = ExecStats {
+            instructions: 500,
+            loads: 80,
+            elided_checks: 77,
+            decode_cache_hits: 499,
+            decode_cache_misses: 1,
+            ..ExecStats::default()
+        };
+        let full = ExecStats {
+            instructions: 500,
+            loads: 80,
+            ..ExecStats::default()
+        };
+        assert_ne!(elided, full);
+        assert_eq!(elided.without_decode_cache(), full.without_decode_cache());
     }
 }

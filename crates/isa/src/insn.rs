@@ -921,6 +921,16 @@ impl Instr {
                 | Instr::JumpAndLinkReg { .. }
         )
     }
+
+    /// Whether a basic block necessarily ends after this instruction: any
+    /// control transfer, or a `break` (which never falls through). Used by
+    /// the static analyzer's CFG recovery; `syscall` does *not* end a
+    /// block — it falls through except for `exit`, which the analyzer
+    /// models separately.
+    #[must_use]
+    pub const fn ends_basic_block(&self) -> bool {
+        self.is_control_flow() || matches!(self, Instr::Break { .. })
+    }
 }
 
 impl fmt::Display for Instr {

@@ -146,6 +146,23 @@ impl MemorySystem {
         self.code_watches.insert(page);
     }
 
+    /// Watches every page overlapping the byte range `[base, base + len)`.
+    ///
+    /// Check elision uses this to cover the *whole* text segment at boot:
+    /// the decode cache only watches pages it has predecoded, but a store
+    /// into a not-yet-executed text page must still void the statically
+    /// proven set before any stale proof can be consulted.
+    pub fn watch_code_range(&mut self, base: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let first = base / PAGE_SIZE;
+        let last = base.saturating_add(len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            self.code_watches.insert(page);
+        }
+    }
+
     /// Whether any watched code page has been written since the last
     /// [`MemorySystem::take_dirty_code_pages`].
     #[must_use]
@@ -533,5 +550,30 @@ mod tests {
         cached.watch_code_page(page);
         cached.write_u16(0x0040_0002, 9, WordTaint::CLEAN).unwrap();
         assert_eq!(cached.take_dirty_code_pages(), vec![page]);
+    }
+
+    #[test]
+    fn code_range_watch_covers_every_overlapping_page() {
+        let mut sys = MemorySystem::flat();
+        // Three pages: a range from mid-page to mid-page two pages later.
+        let base = 0x0040_0000 + PAGE_SIZE / 2;
+        sys.watch_code_range(base, 2 * PAGE_SIZE);
+        // A store into the last (partially covered) page reports it.
+        sys.write_u8(base + 2 * PAGE_SIZE - 1, 7, false).unwrap();
+        assert_eq!(
+            sys.take_dirty_code_pages(),
+            vec![(base + 2 * PAGE_SIZE - 1) / PAGE_SIZE]
+        );
+        // First page is watched too.
+        sys.write_u8(base, 7, false).unwrap();
+        assert_eq!(sys.take_dirty_code_pages(), vec![base / PAGE_SIZE]);
+        // Just past the end is not.
+        sys.write_u8(base + 3 * PAGE_SIZE, 7, false).unwrap();
+        assert!(!sys.has_dirty_code_pages());
+        // Empty ranges watch nothing.
+        let mut empty = MemorySystem::flat();
+        empty.watch_code_range(0x0040_0000, 0);
+        empty.write_u8(0x0040_0000, 1, false).unwrap();
+        assert!(!empty.has_dirty_code_pages());
     }
 }

@@ -153,6 +153,24 @@ pub enum Event {
         /// (store into a cached text page dropped it).
         kind: &'static str,
     },
+    /// The static taint analyzer finished a pass over the guest image
+    /// (emitted once at boot when check elision is enabled).
+    StaticAnalysis {
+        /// Functions partitioned from the recovered control-flow graph.
+        functions: u64,
+        /// Basic blocks discovered.
+        blocks: u64,
+        /// Check sites proven clean (eligible for runtime elision).
+        proven: u64,
+        /// Check sites flagged as statically tainted in the lint report.
+        flagged: u64,
+    },
+    /// The cached engine skipped a pointer-taintedness check at a site the
+    /// static analyzer proved clean.
+    CheckElided {
+        /// Address of the instruction whose check was skipped.
+        pc: u32,
+    },
 }
 
 impl Event {
@@ -168,6 +186,8 @@ impl Event {
             Event::Syscall { .. } => "syscall",
             Event::CacheAccess { .. } => "cache_access",
             Event::DecodeCache { .. } => "decode_cache",
+            Event::StaticAnalysis { .. } => "static_analysis",
+            Event::CheckElided { .. } => "check_elided",
         }
     }
 
@@ -252,6 +272,17 @@ impl Event {
                 "\"event\":\"decode_cache\",\"page\":{page},\"kind\":{}",
                 escape(kind),
             ),
+            Event::StaticAnalysis {
+                functions,
+                blocks,
+                proven,
+                flagged,
+            } => format!(
+                "\"event\":\"static_analysis\",\"functions\":{functions},\"blocks\":{blocks},\"proven\":{proven},\"flagged\":{flagged}",
+            ),
+            Event::CheckElided { pc } => {
+                format!("\"event\":\"check_elided\",\"pc\":\"0x{pc:x}\"")
+            }
         }
     }
 }

@@ -69,6 +69,11 @@ pub struct MetricsSnapshot {
     pub cache: [LevelCounters; 2],
     /// Decode-cache activity of the predecoded execution engine.
     pub decode_cache: DecodeCacheCounters,
+    /// Pointer-taintedness checks skipped at statically proven-clean sites.
+    pub elided_checks: u64,
+    /// Check sites the static analyzer proved clean (from the boot-time
+    /// [`Event::StaticAnalysis`] summary; zero when analysis never ran).
+    pub statically_proven: u64,
     /// Tainted-retire fraction per [`DENSITY_WINDOW`]-instruction window,
     /// in execution order — the taint-density-over-time histogram.
     pub taint_density: Vec<f64>,
@@ -95,6 +100,7 @@ impl ToJson for MetricsSnapshot {
                 "\"pointer_checks\":{},\"alerts\":{},\"alerts_by_kind\":{},",
                 "\"syscalls\":{},\"cache\":[{{\"hits\":{},\"misses\":{}}},{{\"hits\":{},\"misses\":{}}}],",
                 "\"decode_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
+                "\"elided_checks\":{},\"statically_proven\":{},",
                 "\"taint_density\":[{}]}}"
             ),
             self.retired,
@@ -114,6 +120,8 @@ impl ToJson for MetricsSnapshot {
             self.decode_cache.hits,
             self.decode_cache.misses,
             self.decode_cache.invalidations,
+            self.elided_checks,
+            self.statically_proven,
             density.join(","),
         )
     }
@@ -177,6 +185,10 @@ impl MetricsCollector {
                 "invalidate" => self.snap.decode_cache.invalidations += 1,
                 _ => self.snap.decode_cache.misses += 1,
             },
+            Event::StaticAnalysis { proven, .. } => {
+                self.snap.statically_proven += proven;
+            }
+            Event::CheckElided { .. } => self.snap.elided_checks += 1,
         }
     }
 
@@ -270,6 +282,28 @@ mod tests {
         let json = snap.to_json();
         assert!(
             json.contains("\"decode_cache\":{\"hits\":2,\"misses\":2,\"invalidations\":1}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn elision_counters_fold_from_both_events() {
+        let mut m = MetricsCollector::new();
+        m.record(&Event::StaticAnalysis {
+            functions: 4,
+            blocks: 20,
+            proven: 13,
+            flagged: 2,
+        });
+        for pc in [0x400010, 0x400010, 0x400024] {
+            m.record(&Event::CheckElided { pc });
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.statically_proven, 13);
+        assert_eq!(snap.elided_checks, 3);
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"elided_checks\":3,\"statically_proven\":13"),
             "{json}"
         );
     }

@@ -1,0 +1,77 @@
+//! Golden-file tests for the static taint lint report.
+//!
+//! The rendered report for each pinned guest app is diffed byte-for-byte
+//! against `tests/golden/analyze/<name>.txt`. The format is part of the
+//! tool's contract (CI diffs it, humans read it); regenerate deliberately
+//! with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test analyze_golden
+//! ```
+
+use std::path::PathBuf;
+
+use ptaint::{analyze, render_report};
+use ptaint_guest::apps::{ghttpd, null_httpd, synthetic, wu_ftpd};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/analyze")
+        .join(format!("{name}.txt"))
+}
+
+fn check(name: &str, source: &str) -> String {
+    let image = ptaint_guest::build(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let report = render_report(&image, &analyze(&image));
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &report).unwrap();
+        return report;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{name}: missing golden {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        report,
+        want,
+        "{name}: lint report drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+    report
+}
+
+#[test]
+fn exp1_report_matches_golden() {
+    check("exp1", synthetic::EXP1_SOURCE);
+}
+
+#[test]
+fn wu_ftpd_report_matches_golden() {
+    check("wu_ftpd", wu_ftpd::SOURCE);
+}
+
+#[test]
+fn null_httpd_report_matches_golden() {
+    check("null_httpd", null_httpd::SOURCE);
+}
+
+#[test]
+fn ghttpd_report_matches_golden_and_flags_the_tainted_deref() {
+    let report = check("ghttpd", ghttpd::SOURCE);
+    // The headline finding: ghttpd dereferences a pointer derived from
+    // request bytes; the analyzer must call it out statically.
+    assert!(
+        report.contains("flagged sites (address register may be tainted):"),
+        "ghttpd lint lost its tainted-pointer finding:\n{report}"
+    );
+    // ...and specifically on the request-handling path, not just deep in
+    // libc: the overflow the paper detects flows through `handle`.
+    assert!(
+        report.contains("via _start > main > handle"),
+        "ghttpd finding lost its request-path witness:\n{report}"
+    );
+}

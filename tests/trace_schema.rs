@@ -75,6 +75,13 @@ fn one_of_each() -> Vec<Event> {
             page: 0x400,
             kind: "invalidate",
         },
+        Event::StaticAnalysis {
+            functions: 26,
+            blocks: 405,
+            proven: 1074,
+            flagged: 0,
+        },
+        Event::CheckElided { pc: 0x40_0108 },
     ]
 }
 
@@ -157,6 +164,8 @@ fn pinned_keys(event: &str) -> &'static [&'static str] {
         "syscall" => &["event", "pc", "number", "name", "result"],
         "cache_access" => &["event", "level", "addr", "hit"],
         "decode_cache" => &["event", "page", "kind"],
+        "static_analysis" => &["event", "functions", "blocks", "proven", "flagged"],
+        "check_elided" => &["event", "pc"],
         other => panic!("unknown event discriminant `{other}`"),
     }
 }
