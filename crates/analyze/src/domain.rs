@@ -112,6 +112,59 @@ pub struct MemLayout {
 const HEAP_STACK_SPLIT: u32 = 0x4000_0000;
 
 impl MemLayout {
+    /// The contiguous segments of the address space in ascending order,
+    /// with *inclusive* bounds and the owning region. [`Region::Other`]
+    /// appears several times (below text, between text and data, above the
+    /// argument band); a segment whose region is empty for this image
+    /// (e.g. `Data` when there is no data) has `start > end` and must be
+    /// skipped.
+    fn segments(&self) -> [(u32, u32, Region); 8] {
+        [
+            (0, TEXT_BASE - 1, Region::Other),
+            (TEXT_BASE, self.text_limit - 1, Region::Text),
+            (self.text_limit, DATA_BASE - 1, Region::Other),
+            (DATA_BASE, self.brk0.wrapping_sub(1), Region::Data),
+            (self.brk0, HEAP_STACK_SPLIT - 1, Region::Heap),
+            (HEAP_STACK_SPLIT, STACK_TOP - 1, Region::Stack),
+            (STACK_TOP, ARG_BASE - 1, Region::ArgStrings),
+            (ARG_BASE, u32::MAX, Region::Other),
+        ]
+    }
+
+    /// The regions overlapping the inclusive byte span `[lo, hi]` — i.e.
+    /// every region a linear byte write covering the span can touch.
+    /// Kernel buffer copies (`read`/`recv`) do not stop at region
+    /// boundaries, so an imprecisely-bounded delivery must havoc all of
+    /// these, not just the region containing its base.
+    #[must_use]
+    pub fn span_regions(&self, lo: u32, hi: u32) -> Vec<Region> {
+        let mut out = Vec::new();
+        for (s, e, r) in self.segments() {
+            if s > e || e < lo || s > hi {
+                continue;
+            }
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Inclusive address bounds of a region's single contiguous extent;
+    /// `None` for [`Region::Other`], which is scattered across the space.
+    /// The two virtual argument regions share the same physical band.
+    #[must_use]
+    pub fn region_span(&self, r: Region) -> Option<(u32, u32)> {
+        match r {
+            Region::Text => Some((TEXT_BASE, self.text_limit - 1)),
+            Region::Data => Some((DATA_BASE, self.brk0.wrapping_sub(1))),
+            Region::Heap => Some((self.brk0, HEAP_STACK_SPLIT - 1)),
+            Region::Stack => Some((HEAP_STACK_SPLIT, STACK_TOP - 1)),
+            Region::ArgStrings | Region::ArgPtrs => Some((STACK_TOP, ARG_BASE - 1)),
+            Region::Other => None,
+        }
+    }
+
     /// Total classification of an address into its region.
     #[must_use]
     pub fn classify(&self, addr: u32) -> Region {
@@ -346,6 +399,60 @@ mod tests {
         assert_eq!(l.classify(STACK_TOP), Region::ArgStrings);
         assert_eq!(l.classify(ARG_BASE), Region::Other);
         assert_eq!(l.classify(0), Region::Other);
+    }
+
+    #[test]
+    fn span_regions_walks_every_band_the_span_touches() {
+        let l = lay();
+        // Entirely inside one region.
+        assert_eq!(
+            l.span_regions(DATA_BASE, DATA_BASE + 16),
+            vec![Region::Data]
+        );
+        // A delivery starting in the last data page and running past the
+        // initial break reaches the heap too (the REVIEW.md seed fix).
+        assert_eq!(
+            l.span_regions(DATA_BASE, DATA_BASE + PAGE_SIZE + 4),
+            vec![Region::Data, Region::Heap]
+        );
+        // Statically unbounded span: every band from data upward.
+        assert_eq!(
+            l.span_regions(DATA_BASE, u32::MAX),
+            vec![
+                Region::Data,
+                Region::Heap,
+                Region::Stack,
+                Region::ArgStrings,
+                Region::Other
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_data_segment_is_skipped_in_spans() {
+        // brk0 == DATA_BASE (no .data): the degenerate data segment must
+        // not swallow addresses that belong to the heap.
+        let l = MemLayout {
+            text_limit: TEXT_BASE + 0x100,
+            brk0: DATA_BASE,
+        };
+        assert_eq!(l.span_regions(DATA_BASE, DATA_BASE + 8), vec![Region::Heap]);
+    }
+
+    #[test]
+    fn region_span_matches_classify_at_the_edges() {
+        let l = lay();
+        for r in [Region::Text, Region::Data, Region::Heap, Region::Stack] {
+            let (lo, hi) = l.region_span(r).unwrap();
+            assert_eq!(l.classify(lo), r, "{r:?} low edge");
+            assert_eq!(l.classify(hi), r, "{r:?} high edge");
+        }
+        // The two virtual argument regions share one physical band.
+        assert_eq!(
+            l.region_span(Region::ArgPtrs),
+            l.region_span(Region::ArgStrings)
+        );
+        assert_eq!(l.region_span(Region::Other), None);
     }
 
     #[test]

@@ -4,9 +4,13 @@
 //! call return sites, address-taken text constants) and refined dynamically:
 //! when the interpretation resolves an indirect jump to a constant landing
 //! mid-block, the containing block is split and re-queued. Indirect jumps
-//! whose target value has been widened fall back to a conservative successor
-//! set (all return sites and function entries), which keeps the analysis
-//! sound at the price of precision.
+//! whose target value has been widened fan out to **every** instruction
+//! address — a computed jump (`jr base+4*i`) can land mid-block at a pc no
+//! narrower heuristic (return sites, function entries) anticipates, and an
+//! unjoined landing point would let downstream sites be proven clean
+//! against a path that taints them. Fanning out to all pcs keeps the
+//! analysis sound at the price of precision around unresolved computed
+//! jumps.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -39,8 +43,13 @@ enum Flow {
     },
     /// Unconditional jump (direct, or `jal` whose return flows via `$ra`).
     Jump(u32),
-    /// Register-indirect jump: resolved or fallback successor set.
+    /// Register-indirect jump with a resolved (constant) target set.
     Targets(Vec<u32>),
+    /// Register-indirect jump whose target value was widened: control can
+    /// continue at *any* instruction address. The driver folds the
+    /// out-state into a single accumulator joined at every pc instead of
+    /// materializing one edge per instruction.
+    Anywhere,
     /// Execution cannot continue past this instruction (exit, break,
     /// undecodable word, jump out of text).
     Halt,
@@ -55,31 +64,14 @@ pub struct Effects {
     pub smc_pages: BTreeSet<u32>,
 }
 
-/// Static pre-scan products: the initial block leaders and the
-/// conservative successor sets for unresolved indirect jumps.
+/// Static pre-scan products: the initial block leaders and the function
+/// entries used for report partitioning.
 pub struct Prescan {
-    /// Initial basic-block leaders.
+    /// Initial basic-block leaders (includes `jal`/`jalr` return sites).
     pub leaders: BTreeSet<u32>,
     /// Function entries: image entry, `jal` targets, address-taken text
     /// constants, and the exit stub.
     pub fn_entries: BTreeSet<u32>,
-    /// Instruction addresses following a `jal`/`jalr` (return sites).
-    pub return_sites: BTreeSet<u32>,
-}
-
-impl Prescan {
-    /// Conservative successors of an unresolved `jalr`: any function entry.
-    #[must_use]
-    pub fn jalr_fallback(&self) -> Vec<u32> {
-        self.fn_entries.iter().copied().collect()
-    }
-
-    /// Conservative successors of an unresolved `jr`: any return site (the
-    /// common case — function returns) or any function entry (tail calls).
-    #[must_use]
-    pub fn jr_fallback(&self) -> Vec<u32> {
-        self.return_sites.union(&self.fn_entries).copied().collect()
-    }
 }
 
 /// Scans the text (and data words) once, before interpretation, collecting
@@ -177,7 +169,6 @@ pub fn prescan(ctx: &Ctx) -> Prescan {
     Prescan {
         leaders,
         fn_entries,
-        return_sites,
     }
 }
 
@@ -201,14 +192,7 @@ fn written_reg(i: &Instr) -> Option<Reg> {
 /// control continues. Mirrors the dynamic Table-1 propagation from above:
 /// every rule here is an upper bound on the taint the CPU can produce.
 #[allow(clippy::too_many_lines)]
-fn transfer(
-    ctx: &Ctx,
-    pre: &Prescan,
-    st: &mut State,
-    pc: u32,
-    d: &DecodedInsn,
-    fx: &mut Effects,
-) -> Flow {
+fn transfer(ctx: &Ctx, st: &mut State, pc: u32, d: &DecodedInsn, fx: &mut Effects) -> Flow {
     let lay = &ctx.layout;
     match d.instr {
         Instr::Shift { op, rd, rt, shamt } => {
@@ -431,22 +415,13 @@ fn transfer(
             // Check refinement (see the Load arm) — the post-state flowing
             // to every successor has a clean jump register.
             st.untaint(rs);
-            // `jr $ra` is the return idiom: an unresolved one falls back to
-            // return sites only. Any other register may implement a
-            // computed goto/tail dispatch, so it keeps the wider set.
-            Flow::Targets(resolve_indirect(ctx, &v.value, || {
-                if rs == Reg::RA {
-                    pre.return_sites.iter().copied().collect()
-                } else {
-                    pre.jr_fallback()
-                }
-            }))
+            resolve_indirect(ctx, &v.value)
         }
         Instr::JumpAndLinkReg { rd, rs } => {
             let v = st.get(rs);
             st.untaint(rs);
             st.set(rd, AbsVal::clean_const(pc + 4));
-            Flow::Targets(resolve_indirect(ctx, &v.value, || pre.jalr_fallback()))
+            resolve_indirect(ctx, &v.value)
         }
         Instr::Syscall => syscall(ctx, st),
         Instr::Break { .. } => Flow::Halt,
@@ -454,12 +429,16 @@ fn transfer(
 }
 
 /// Successors of a register-indirect jump: exact for constant sets
-/// (dropping non-text targets — the machine cannot execute them), the
-/// conservative fallback otherwise.
-fn resolve_indirect(ctx: &Ctx, v: &Value, fallback: impl Fn() -> Vec<u32>) -> Vec<u32> {
+/// (dropping non-text targets — the machine cannot execute them); a
+/// widened target fans out to **every** instruction address, including the
+/// exit stub's. A computed jump can land mid-block at a pc that appears in
+/// no static successor heuristic, so anything narrower would leave the
+/// landing point's in-state unjoined and could unsoundly prove downstream
+/// sites clean (see the module doc).
+fn resolve_indirect(ctx: &Ctx, v: &Value) -> Flow {
     match v.consts() {
-        Some(ts) => ts.iter().copied().filter(|&t| ctx.in_text(t)).collect(),
-        None => fallback(),
+        Some(ts) => Flow::Targets(ts.iter().copied().filter(|&t| ctx.in_text(t)).collect()),
+        None => Flow::Anywhere,
     }
 }
 
@@ -621,32 +600,53 @@ fn syscall(ctx: &Ctx, st: &mut State) -> Flow {
 /// Taints the destination buffer of a `read`/`recv`: precisely when base
 /// and length are known and small, by region havoc otherwise. This is the
 /// static mirror of the kernel's tainted delivery (paper §4.4).
+///
+/// The kernel writes `[base, base + n)` byte-wise, so the delivery can
+/// cross region boundaries (a buffer in the last data page can spill
+/// tainted bytes into the heap). The imprecise paths therefore havoc
+/// *every* region the possible span reaches — not just the base's region —
+/// with the span end taken as the address-space top when the length is
+/// statically unbounded.
 fn seed_buffer(ctx: &Ctx, st: &mut State, buf: &Value, len: &Value) {
+    let lay = ctx.layout;
+    // Largest statically known delivery length, if any.
+    let max_len = len.consts().and_then(|ls| ls.iter().copied().max());
+    let havoc_span = |st: &mut State, lo: u32, hi: u32| {
+        for r in lay.span_regions(lo, hi) {
+            st.havoc_region(ctx, r, Taint::Tainted);
+        }
+    };
     match buf {
-        Value::Consts(bases) => {
-            let max_len = len
-                .consts()
-                .and_then(|ls| ls.iter().copied().max())
-                .filter(|&n| n <= MAX_SEED_BYTES);
-            match max_len {
-                Some(n) => {
-                    let tainted = AbsVal::opaque(Taint::Tainted);
-                    for &base in bases {
-                        let mut a = base & !3;
-                        while a < base + n {
-                            st.weak_write_slot(ctx, a, &tainted);
-                            a += 4;
-                        }
-                    }
-                }
-                None => {
-                    for &base in bases {
-                        st.havoc_region(ctx, ctx.layout.classify(base), Taint::Tainted);
+        Value::Consts(bases) => match max_len {
+            Some(n) if n <= MAX_SEED_BYTES => {
+                let tainted = AbsVal::opaque(Taint::Tainted);
+                for &base in bases {
+                    let mut a = base & !3;
+                    while a < base + n {
+                        st.weak_write_slot(ctx, a, &tainted);
+                        a += 4;
                     }
                 }
             }
+            Some(n) => {
+                for &base in bases {
+                    havoc_span(st, base, base.saturating_add(n - 1));
+                }
+            }
+            None => {
+                for &base in bases {
+                    havoc_span(st, base, u32::MAX);
+                }
+            }
+        },
+        Value::InRegion(r) => {
+            let (lo, hi) = lay.region_span(*r).unwrap_or((0, u32::MAX));
+            let hi = match max_len {
+                Some(n) => hi.saturating_add(n.saturating_sub(1)),
+                None => u32::MAX,
+            };
+            havoc_span(st, lo, hi);
         }
-        Value::InRegion(r) => st.havoc_region(ctx, *r, Taint::Tainted),
         Value::Unknown => st.havoc_all(Taint::Tainted),
     }
 }
@@ -671,7 +671,7 @@ pub struct Site {
 pub struct Fixpoint {
     /// Shared per-image context.
     pub ctx: Ctx,
-    /// Pre-scan products (leaders after dynamic splitting, fallbacks).
+    /// Pre-scan products (leaders after dynamic splitting, fn entries).
     pub pre: Prescan,
     /// Converged in-state per reachable leader.
     pub in_states: BTreeMap<u32, State>,
@@ -693,6 +693,11 @@ pub fn fixpoint(ctx: Ctx) -> Fixpoint {
     let mut fx = Effects::default();
     let mut steps = 0usize;
     let mut degraded = None;
+    // Join of every widened indirect jump's out-state: an abstraction of
+    // "control can be here with this state" that applies to *every*
+    // instruction address. Folding the fan-out into one accumulator keeps
+    // the driver from cloning an out-state per pc per walk.
+    let mut anywhere: Option<State> = None;
 
     while let Some(leader) = work.pop_first() {
         if steps > STEP_BUDGET {
@@ -703,9 +708,39 @@ pub fn fixpoint(ctx: Ctx) -> Fixpoint {
             .get(&leader)
             .expect("worklist entries always have an in-state")
             .clone();
-        let (edges, walked) = walk_block(&ctx, &pre, leader, state, &mut fx, None);
-        steps += walked;
-        for (target, out) in edges {
+        let walk = walk_block(&ctx, &pre, leader, state, &mut fx, None);
+        steps += walk.steps;
+        if let Some(out) = walk.anywhere {
+            let grew = match anywhere.as_mut() {
+                Some(acc) => acc.join_into(&out, &ctx),
+                None => {
+                    anywhere = Some(out);
+                    true
+                }
+            };
+            if grew {
+                // Every instruction address is a successor: make every pc
+                // a leader (blocks become single instructions) and fold
+                // the accumulator into each in-state.
+                let acc = anywhere.as_ref().expect("just set").clone();
+                for i in 0..ctx.words.len() as u32 {
+                    let pc = ctx.text_base + 4 * i;
+                    pre.leaders.insert(pc);
+                    match in_states.get_mut(&pc) {
+                        Some(existing) => {
+                            if existing.join_into(&acc, &ctx) {
+                                work.insert(pc);
+                            }
+                        }
+                        None => {
+                            in_states.insert(pc, acc.clone());
+                            work.insert(pc);
+                        }
+                    }
+                }
+            }
+        }
+        for (target, mut out) in walk.edges {
             // Dynamic block splitting: a newly discovered mid-block target
             // becomes a leader, and the block that previously walked across
             // it is re-queued so its extent shrinks.
@@ -724,6 +759,11 @@ pub fn fixpoint(ctx: Ctx) -> Fixpoint {
                     }
                 }
                 None => {
+                    // Keep the invariant that every in-state subsumes the
+                    // anywhere accumulator.
+                    if let Some(acc) = &anywhere {
+                        out.join_into(acc, &ctx);
+                    }
                     in_states.insert(target, out);
                     work.insert(target);
                 }
@@ -745,6 +785,18 @@ pub fn fixpoint(ctx: Ctx) -> Fixpoint {
 /// call edges.
 pub type WalkRecorder<'a> = &'a mut dyn FnMut(u32, &DecodedInsn, &State);
 
+/// Everything one block walk produces.
+pub struct BlockWalk {
+    /// Out-edges `(successor leader, out-state)`.
+    pub edges: Vec<(u32, State)>,
+    /// Out-state of a widened indirect jump terminating the block: control
+    /// can land at *any* instruction address, so the driver joins this
+    /// into its global accumulator rather than into one edge per pc.
+    pub anywhere: Option<State>,
+    /// Instructions transferred.
+    pub steps: usize,
+}
+
 /// Walks one basic block from `leader` with the given in-state, returning
 /// the out-edges (successor leader, out-state) and the number of
 /// instructions transferred.
@@ -755,9 +807,10 @@ pub fn walk_block(
     mut st: State,
     fx: &mut Effects,
     mut recorder: Option<WalkRecorder<'_>>,
-) -> (Vec<(u32, State)>, usize) {
+) -> BlockWalk {
     let mut pc = leader;
     let mut edges = Vec::new();
+    let mut anywhere = None;
     let mut steps = 0usize;
     while let Some(word) = ctx.word_at(pc) {
         let Ok(d) = DecodedInsn::predecode(pc, word) else {
@@ -766,7 +819,7 @@ pub fn walk_block(
         if let Some(rec) = recorder.as_mut() {
             rec(pc, &d, &st);
         }
-        let flow = transfer(ctx, pre, &mut st, pc, &d, fx);
+        let flow = transfer(ctx, &mut st, pc, &d, fx);
         steps += 1;
         match flow {
             Flow::Fall => {
@@ -800,10 +853,18 @@ pub fn walk_block(
                 }
                 break;
             }
+            Flow::Anywhere => {
+                anywhere = Some(st);
+                break;
+            }
             Flow::Halt => break,
         }
     }
-    (edges, steps)
+    BlockWalk {
+        edges,
+        anywhere,
+        steps,
+    }
 }
 
 /// Post-fixpoint extraction: replays every reachable block against its
@@ -864,7 +925,7 @@ pub fn extract(fp: &Fixpoint) -> Extraction {
                 _ => {}
             }
         };
-        let (_, steps) = walk_block(
+        let walk = walk_block(
             &fp.ctx,
             &fp.pre,
             leader,
@@ -872,7 +933,7 @@ pub fn extract(fp: &Fixpoint) -> Extraction {
             &mut scratch,
             Some(&mut rec),
         );
-        instructions += steps;
+        instructions += walk.steps;
     }
     Extraction {
         sites,

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use ptaint_asm::Image;
-use ptaint_isa::{Instr, Reg, STACK_TOP, TEXT_BASE, WORD_BYTES};
+use ptaint_isa::{Reg, STACK_TOP, TEXT_BASE, WORD_BYTES};
 
 use crate::domain::{AbsVal, MemLayout, Region, Taint, Value};
 
@@ -106,27 +106,13 @@ impl Ctx {
     }
 }
 
-/// The exit stub the loader appends after text, in instruction form.
+/// The exit stub the loader appends after text, in encoded form. The
+/// loader's [`ptaint_os::exit_stub`] is the single source of truth, so the
+/// analyzed program and the running program can never disagree about these
+/// words.
 #[must_use]
 pub fn stub_words() -> [u32; 4] {
-    [
-        Instr::RAlu {
-            op: ptaint_isa::RAluOp::Addu,
-            rd: Reg::A0,
-            rs: Reg::V0,
-            rt: Reg::ZERO,
-        }
-        .encode(),
-        Instr::IAlu {
-            op: ptaint_isa::IAluOp::Addiu,
-            rt: Reg::V0,
-            rs: Reg::ZERO,
-            imm: 1,
-        }
-        .encode(),
-        Instr::Syscall.encode(),
-        Instr::Break { code: 1 }.encode(),
-    ]
+    ptaint_os::exit_stub().map(|i| i.encode())
 }
 
 /// Abstract machine state at one program point.
@@ -363,7 +349,7 @@ impl State {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ptaint_isa::DATA_BASE;
+    use ptaint_isa::{Instr, DATA_BASE};
 
     fn ctx() -> Ctx {
         let mut image = Image::new();

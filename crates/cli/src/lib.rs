@@ -10,7 +10,9 @@
 //! (`ptaint-analyze`) over the built image and prints the lint report —
 //! tainted-pointer dereference sites with disassembly and reachability —
 //! instead of executing the program. It exits 0 when nothing is flagged
-//! and 3 when the report contains findings.
+//! and 3 when the report contains findings. The keyword is recognized only
+//! as the **first** argument, so a source file that happens to be named
+//! `analyze` can still be run: `ptaint-run ./analyze`.
 //!
 //! options:
 //!   --asm                 input is assembly, not mini-C
@@ -169,6 +171,13 @@ fn unescape_session_line(line: &str) -> Result<Vec<u8>, UsageError> {
 pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
     let mut opts = Options::default();
     let mut it = args.iter().peekable();
+    // `analyze` is a subcommand only in the very first argument position,
+    // so a source file literally named `analyze` stays runnable and
+    // analyzable (`ptaint-run ./analyze`, `ptaint-run --asm analyze`).
+    if args.first().map(String::as_str) == Some("analyze") {
+        opts.analyze = true;
+        it.next();
+    }
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                  flag: &str|
      -> Result<String, UsageError> {
@@ -266,9 +275,6 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
             flag if flag.starts_with("--") => {
                 return Err(UsageError(format!("unknown flag `{flag}`")));
             }
-            // The first positional may be the `analyze` subcommand keyword;
-            // the program path then follows it.
-            "analyze" if !opts.analyze && opts.program.is_empty() => opts.analyze = true,
             path => {
                 if !opts.program.is_empty() {
                     return Err(UsageError(format!("unexpected extra argument `{path}`")));
@@ -617,6 +623,28 @@ mod tests {
         .unwrap();
         let (report, code) = run_machine(&opts, &machine);
         assert_eq!(code, 3, "{report}");
+    }
+
+    #[test]
+    fn analyze_keyword_is_positional_only() {
+        // Only the first argument is the subcommand keyword: later
+        // positionals named `analyze` are program paths.
+        let opts = parse(&["--asm", "analyze"]).unwrap();
+        assert!(!opts.analyze);
+        assert_eq!(opts.program, "analyze");
+
+        // The `./` escape hatch works even in the first position.
+        let opts = parse(&["./analyze"]).unwrap();
+        assert!(!opts.analyze);
+        assert_eq!(opts.program, "./analyze");
+
+        // Flags may precede the program after the keyword.
+        let opts = parse(&["analyze", "--asm", "p.s"]).unwrap();
+        assert!(opts.analyze && opts.asm);
+        assert_eq!(opts.program, "p.s");
+
+        // A bare `analyze` still reports the missing program.
+        assert!(parse(&["analyze"]).unwrap_err().0.contains("no program"));
     }
 
     #[test]

@@ -12,7 +12,10 @@ fn main() -> ExitCode {
              ptaint-run analyze <program.c|program.s> [options]\n\
              \n\
              analyze              print the static taint lint report and\n\
-                                  exit (0 clean, 3 with findings)\n\
+                                  exit (0 clean, 3 with findings); only\n\
+                                  recognized as the first argument (use\n\
+                                  `ptaint-run ./analyze` to run a file of\n\
+                                  that name)\n\
              \n\
              --asm                input is assembly\n\
              --optimize           peephole-optimize the generated code\n\

@@ -211,11 +211,17 @@ impl Machine {
                     flagged: analysis.stats.flagged_sites as u64,
                 });
             }
-            // Watch the whole text segment, not just the pages the decode
-            // cache has predecoded: a store into a never-executed text page
-            // must still void the proven set before it can mislead anyone.
-            cpu.mem_mut()
-                .watch_code_range(self.image.text_base, self.image.text.len() as u32 * 4);
+            // Watch the whole analyzed program — text *plus* the loader's
+            // exit stub, which the analyzer treats as code — not just the
+            // pages the decode cache has predecoded: a store into a
+            // never-executed text (or stub) page must still void the proven
+            // set before it can mislead anyone. Without the stub bytes, a
+            // text segment that is an exact page multiple would leave the
+            // stub on an unwatched page.
+            cpu.mem_mut().watch_code_range(
+                self.image.text_base,
+                self.image.text.len() as u32 * 4 + ptaint_os::EXIT_STUB_BYTES,
+            );
             cpu.install_proven_checks(analysis.proven.iter().copied());
         }
         (cpu, os)
@@ -477,6 +483,31 @@ mod tests {
             elided.stats.elided_checks > 0,
             "an all-clean loop should elide its array accesses: {:?}",
             elided.stats
+        );
+    }
+
+    #[test]
+    fn elision_watch_covers_the_exit_stub_page() {
+        use ptaint_isa::PAGE_SIZE;
+        use ptaint_mem::WordTaint;
+
+        // Pad text to an exact page multiple so the loader's exit stub
+        // starts on its own page; a store patching the stub before it is
+        // ever executed must still dirty a watched page (and hence void
+        // the proven set), or the analyzed exit path and the running
+        // program could silently diverge.
+        let body = "nop\n".repeat(PAGE_SIZE as usize / 4 - 1);
+        let m = Machine::from_asm(&format!("main: {body} jr $31"))
+            .unwrap()
+            .elide_checks(true);
+        assert_eq!(m.image().text.len() as u32 * 4 % PAGE_SIZE, 0);
+        let (mut cpu, _os) = m.boot();
+        assert!(cpu.has_proven_checks());
+        let stub = m.image().text_end();
+        cpu.mem_mut().write_u32(stub, 0, WordTaint::CLEAN).unwrap();
+        assert!(
+            cpu.mem().has_dirty_code_pages(),
+            "store into the exit stub went unwatched"
         );
     }
 

@@ -28,7 +28,7 @@ mod os;
 mod run;
 mod world;
 
-pub use loader::{load, load_with_observer};
+pub use loader::{exit_stub, load, load_with_observer, EXIT_STUB_BYTES};
 pub use os::{Os, Sys};
 pub use run::{run_to_exit, ExitReason, RunOutcome};
 pub use world::{NetSession, WorldConfig};

@@ -8,6 +8,33 @@ use ptaint_trace::{Event, SharedObserver};
 
 use crate::{Os, WorldConfig};
 
+/// Byte length of the loader's [`exit_stub`] (4 words).
+pub const EXIT_STUB_BYTES: u32 = 16;
+
+/// The exit stub the loader appends directly after the text segment:
+/// `move $a0,$v0 ; li $v0,1 ; syscall ; break 1`. The static analyzer and
+/// the check-elision code watch must agree with the loader on these words,
+/// so this function is the single source of truth.
+#[must_use]
+pub fn exit_stub() -> [Instr; 4] {
+    [
+        Instr::RAlu {
+            op: ptaint_isa::RAluOp::Addu,
+            rd: Reg::A0,
+            rs: Reg::V0,
+            rt: Reg::ZERO,
+        },
+        Instr::IAlu {
+            op: ptaint_isa::IAluOp::Addiu,
+            rt: Reg::V0,
+            rs: Reg::ZERO,
+            imm: 1, // Sys::Exit
+        },
+        Instr::Syscall,
+        Instr::Break { code: 1 },
+    ]
+}
+
 /// Maps `image` into a fresh machine and prepares the initial process state:
 ///
 /// * text and data segments are written untainted (program bytes are
@@ -59,23 +86,7 @@ pub fn load_with_observer(
 
     // Exit stub after text: move $a0,$v0 ; li $v0,1 ; syscall ; break 1.
     let stub = image.text_end();
-    let stub_insns = [
-        Instr::RAlu {
-            op: ptaint_isa::RAluOp::Addu,
-            rd: Reg::A0,
-            rs: Reg::V0,
-            rt: Reg::ZERO,
-        },
-        Instr::IAlu {
-            op: ptaint_isa::IAluOp::Addiu,
-            rt: Reg::V0,
-            rs: Reg::ZERO,
-            imm: 1, // Sys::Exit
-        },
-        Instr::Syscall,
-        Instr::Break { code: 1 },
-    ];
-    for (i, insn) in stub_insns.iter().enumerate() {
+    for (i, insn) in exit_stub().iter().enumerate() {
         mem.write_u32(stub + 4 * i as u32, insn.encode(), WordTaint::CLEAN)
             .expect("exit stub must be mappable");
     }
