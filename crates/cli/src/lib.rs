@@ -5,6 +5,7 @@
 //! ```text
 //! ptaint-run program.c [options]
 //! ptaint-run analyze program.c [options]
+//! ptaint-run inject program.c [options]
 //!
 //! The `analyze` subcommand runs the static taint dataflow analysis
 //! (`ptaint-analyze`) over the built image and prints the lint report —
@@ -13,6 +14,13 @@
 //! and 3 when the report contains findings. The keyword is recognized only
 //! as the **first** argument, so a source file that happens to be named
 //! `analyze` can still be run: `ptaint-run ./analyze`.
+//!
+//! The `inject` subcommand runs a deterministic fault-injection campaign
+//! (`ptaint-inject`) against the configured workload: a fault-free
+//! baseline plus `--trials` seeded injections, each classified against the
+//! baseline's verdict (detected / missed / false-alert / benign /
+//! guest-fault / watchdog). The JSON report is byte-identical for the same
+//! `--seed` and workload. Like `analyze`, the keyword is positional.
 //!
 //! options:
 //!   --asm                 input is assembly, not mini-C
@@ -34,6 +42,15 @@
 //!   --caches              model the two-level cache hierarchy
 //!   --pipeline            run through the 5-stage pipeline timing model
 //!   --steps N             step budget (default 500M)
+//!   --watchdog-ms N       wall-clock watchdog: runs exceeding N milliseconds
+//!                         stop with a `watchdog expired` outcome
+//!   --seed N              (inject) campaign seed             (default 1)
+//!   --trials N            (inject) faulted trials            (default 32)
+//!   --faults LIST         (inject) comma-separated fault kinds to sample:
+//!                         short_read,eintr,conn_reset,fragment,data_bit,
+//!                         taint_clear,taint_set,register_bit,cache_line
+//!   --report FILE         (inject) write the campaign JSON to FILE instead
+//!                         of stdout
 //!   --trace-out FILE      write the structured event stream (JSONL) to FILE
 //!   --metrics-out FILE    write the aggregated metrics snapshot (JSON) to FILE
 //!   --provenance          track taint provenance; on a detection, print the
@@ -43,14 +60,21 @@
 //!   --quiet               suppress the banner and statistics
 //! ```
 //!
-//! The process exit code is the guest's exit status; detections exit 42.
+//! The process exit code is the guest's exit status; detections exit 42;
+//! usage, read, and build errors exit 2; `analyze` findings exit 3; a
+//! failure to write a requested artifact (`--trace-out`, `--metrics-out`,
+//! `--report`) exits 4 so scripts never mistake lost data for success.
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use ptaint::{
-    DetectionPolicy, Engine, ExitReason, Machine, NetSession, ToJson, TraceConfig, TraceReport,
-    WorldConfig,
+    CampaignSpec, DetectionPolicy, Engine, ExitReason, FaultKind, Machine, NetSession, ToJson,
+    TraceConfig, TraceReport, WorldConfig,
 };
+
+/// Exit code for a failure to persist a requested artifact.
+pub const EXIT_ARTIFACT: i32 = 4;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -60,6 +84,17 @@ pub struct Options {
     /// Run the static analyzer and print the lint report instead of
     /// executing (the `analyze` subcommand).
     pub analyze: bool,
+    /// Run a fault-injection campaign instead of a single execution (the
+    /// `inject` subcommand).
+    pub inject: bool,
+    /// Campaign seed (`--seed`, inject only).
+    pub seed: Option<u64>,
+    /// Campaign trial count (`--trials`, inject only).
+    pub trials: Option<u64>,
+    /// Restricted fault kinds (`--faults`, inject only; empty = all).
+    pub fault_kinds: Vec<FaultKind>,
+    /// Write the campaign JSON here instead of stdout (`--report`).
+    pub report_out: Option<String>,
     /// Treat the program as assembly instead of mini-C.
     pub asm: bool,
     /// Run the peephole optimizer (mini-C only).
@@ -89,6 +124,8 @@ pub struct Options {
     pub pipeline: bool,
     /// Step budget.
     pub steps: Option<u64>,
+    /// Wall-clock watchdog in milliseconds.
+    pub watchdog_ms: Option<u64>,
     /// Print disassembly and exit.
     pub disasm: bool,
     /// Print the last retired instructions after the run.
@@ -171,12 +208,19 @@ fn unescape_session_line(line: &str) -> Result<Vec<u8>, UsageError> {
 pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
     let mut opts = Options::default();
     let mut it = args.iter().peekable();
-    // `analyze` is a subcommand only in the very first argument position,
-    // so a source file literally named `analyze` stays runnable and
-    // analyzable (`ptaint-run ./analyze`, `ptaint-run --asm analyze`).
-    if args.first().map(String::as_str) == Some("analyze") {
-        opts.analyze = true;
-        it.next();
+    // `analyze`/`inject` are subcommands only in the very first argument
+    // position, so a source file literally named after one stays runnable
+    // (`ptaint-run ./analyze`, `ptaint-run --asm inject`).
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            opts.analyze = true;
+            it.next();
+        }
+        Some("inject") => {
+            opts.inject = true;
+            it.next();
+        }
+        _ => {}
     }
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                  flag: &str|
@@ -262,6 +306,40 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
                         .map_err(|_| UsageError(format!("bad step count `{v}`")))?,
                 );
             }
+            "--watchdog-ms" => {
+                let v = value(&mut it, "--watchdog-ms")?;
+                opts.watchdog_ms = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("bad watchdog `{v}` (milliseconds)")))?,
+                );
+            }
+            "--seed" => {
+                let v = value(&mut it, "--seed")?;
+                opts.seed = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("bad seed `{v}`")))?,
+                );
+            }
+            "--trials" => {
+                let v = value(&mut it, "--trials")?;
+                opts.trials = Some(
+                    v.parse()
+                        .map_err(|_| UsageError(format!("bad trial count `{v}`")))?,
+                );
+            }
+            "--faults" => {
+                let v = value(&mut it, "--faults")?;
+                for token in v.split(',').filter(|t| !t.is_empty()) {
+                    let kind = FaultKind::parse(token).ok_or_else(|| {
+                        UsageError(format!(
+                            "unknown fault kind `{token}` (one of: {})",
+                            FaultKind::ALL.map(FaultKind::name).join(", ")
+                        ))
+                    })?;
+                    opts.fault_kinds.push(kind);
+                }
+            }
+            "--report" => opts.report_out = Some(value(&mut it, "--report")?),
             "--trace-out" => opts.trace_out = Some(value(&mut it, "--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value(&mut it, "--metrics-out")?),
             "--provenance" => opts.provenance = true,
@@ -336,6 +414,9 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
     if let Some(steps) = opts.steps {
         machine = machine.step_limit(steps);
     }
+    if let Some(ms) = opts.watchdog_ms {
+        machine = machine.watchdog(Duration::from_millis(ms));
+    }
     if let Some(depth) = opts.trace_depth {
         machine = machine.trace_depth(depth);
     }
@@ -350,15 +431,19 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
 
 /// Runs the machine and renders the report. Returns `(report, exit_code)`.
 ///
-/// With `--trace-out` / `--metrics-out` the collected artifacts are written
-/// to the named host files; write failures are reported in the text output
-/// without changing the exit code.
+/// With `--trace-out` / `--metrics-out` / `--report` the collected
+/// artifacts are written to the named host files; a write failure is
+/// reported in the text output and forces exit code [`EXIT_ARTIFACT`], so
+/// lost data is never mistaken for success.
 #[must_use]
 pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
     if opts.analyze {
         let analysis = ptaint::analyze(machine.image());
         let code = i32::from(analysis.stats.flagged_sites > 0) * 3;
         return (ptaint::render_report(machine.image(), &analysis), code);
+    }
+    if opts.inject {
+        return run_campaign_cli(opts, machine);
     }
     if opts.disasm {
         return (ptaint::disassemble(machine.image()), 0);
@@ -431,6 +516,7 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
     } else if opts.provenance && detected {
         let _ = writeln!(report, "--- provenance: no chain reconstructed ---");
     }
+    let mut artifact_failed = false;
     if let Some(path) = &opts.trace_out {
         let bytes = trace_report.jsonl.take().unwrap_or_default();
         let events = bytes.iter().filter(|&&b| b == b'\n').count();
@@ -441,6 +527,7 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
             Ok(()) => {}
             Err(e) => {
                 let _ = writeln!(report, "--- trace: cannot write `{path}`: {e}");
+                artifact_failed = true;
             }
         }
     }
@@ -457,14 +544,62 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
             Ok(()) => {}
             Err(e) => {
                 let _ = writeln!(report, "--- metrics: cannot write `{path}`: {e}");
+                artifact_failed = true;
             }
         }
     }
-    let code = match outcome.reason {
-        ExitReason::Exited(status) => status,
-        ExitReason::Security(_) => 42,
-        _ => 1,
+    let code = if artifact_failed {
+        EXIT_ARTIFACT
+    } else {
+        match outcome.reason {
+            ExitReason::Exited(status) => status,
+            ExitReason::Security(_) => 42,
+            _ => 1,
+        }
     };
+    (report, code)
+}
+
+/// The `inject` subcommand: runs a seeded campaign and emits the JSON
+/// report (to `--report FILE`, or into the text output).
+fn run_campaign_cli(opts: &Options, machine: &Machine) -> (String, i32) {
+    let spec = CampaignSpec::new(opts.seed.unwrap_or(1), opts.trials.unwrap_or(32))
+        .kinds(opts.fault_kinds.clone());
+    let campaign = machine.run_campaign(&spec);
+    let json = campaign.to_json() + "\n";
+
+    let mut report = String::new();
+    if !opts.quiet {
+        let counts = ptaint::OutcomeClass::ALL
+            .iter()
+            .map(|&c| format!("{} {}", campaign.count(c), c.name()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            report,
+            "--- campaign: seed {}, {} trials over `{}`: {counts}",
+            campaign.seed, campaign.trials, opts.program
+        );
+        let _ = writeln!(
+            report,
+            "--- baseline: {} ({} taint-delivering calls)",
+            campaign.baseline_reason, campaign.baseline_io_calls
+        );
+    }
+    let mut code = 0;
+    match &opts.report_out {
+        Some(path) => match std::fs::write(path, &json) {
+            Ok(()) if !opts.quiet => {
+                let _ = writeln!(report, "--- report: wrote {path}");
+            }
+            Ok(()) => {}
+            Err(e) => {
+                let _ = writeln!(report, "--- report: cannot write `{path}`: {e}");
+                code = EXIT_ARTIFACT;
+            }
+        },
+        None => report.push_str(&json),
+    }
     (report, code)
 }
 
@@ -671,5 +806,100 @@ mod tests {
         let machine = build_machine(&opts, "int main() { return 0; }").unwrap();
         let (report, _) = run_machine(&opts, &machine);
         assert!(report.contains("--- pipeline:"), "{report}");
+    }
+
+    #[test]
+    fn inject_subcommand_parses_campaign_flags() {
+        let opts = parse(&[
+            "inject",
+            "p.c",
+            "--seed",
+            "7",
+            "--trials",
+            "4",
+            "--faults",
+            "taint_clear,eintr",
+            "--report",
+            "out.json",
+        ])
+        .unwrap();
+        assert!(opts.inject);
+        assert_eq!(opts.seed, Some(7));
+        assert_eq!(opts.trials, Some(4));
+        assert_eq!(
+            opts.fault_kinds,
+            vec![FaultKind::TaintClear, FaultKind::Eintr]
+        );
+        assert_eq!(opts.report_out.as_deref(), Some("out.json"));
+
+        assert!(parse(&["inject", "p.c", "--faults", "cosmic_ray"]).is_err());
+        assert!(parse(&["p.c", "--seed", "NaN"]).is_err());
+        assert!(parse(&["p.c", "--watchdog-ms", "x"]).is_err());
+        // Positional-only, like `analyze`.
+        let opts = parse(&["--asm", "inject"]).unwrap();
+        assert!(!opts.inject);
+        assert_eq!(opts.program, "inject");
+    }
+
+    #[test]
+    fn inject_campaign_runs_and_is_deterministic() {
+        let mut opts =
+            parse(&["inject", "p.c", "--seed", "3", "--trials", "4", "--quiet"]).unwrap();
+        opts.stdin = b"abcd".to_vec();
+        let machine = build_machine(
+            &opts,
+            r#"int main() {
+                char b[8];
+                read(0, b, 8);
+                return 0;
+            }"#,
+        )
+        .unwrap();
+        let (a, code_a) = run_machine(&opts, &machine);
+        let (b, code_b) = run_machine(&opts, &machine);
+        assert_eq!(code_a, 0);
+        assert_eq!(code_b, 0);
+        assert_eq!(a, b, "same seed must give byte-identical output");
+        assert!(a.contains("\"seed\":3"), "{a}");
+        assert!(a.contains("\"records\":["), "{a}");
+    }
+
+    #[test]
+    fn artifact_write_failures_exit_4() {
+        // Campaign report into a directory that does not exist.
+        let mut opts = parse(&[
+            "inject",
+            "p.c",
+            "--trials",
+            "1",
+            "--report",
+            "/nonexistent-dir/r.json",
+        ])
+        .unwrap();
+        opts.quiet = true;
+        let machine = build_machine(&opts, "int main() { return 0; }").unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, EXIT_ARTIFACT, "{report}");
+        assert!(report.contains("cannot write"), "{report}");
+
+        // Trace stream into an unwritable path: exit 4, not the guest's 0.
+        let opts2 = {
+            let mut o =
+                parse(&["p.c", "--quiet", "--trace-out", "/nonexistent-dir/t.jsonl"]).unwrap();
+            o.quiet = true;
+            o
+        };
+        let machine2 = build_machine(&opts2, "int main() { return 0; }").unwrap();
+        let (report2, code2) = run_machine(&opts2, &machine2);
+        assert_eq!(code2, EXIT_ARTIFACT, "{report2}");
+    }
+
+    #[test]
+    fn watchdog_flag_reaches_the_run() {
+        let mut opts = parse(&["p.s", "--asm", "--watchdog-ms", "10"]).unwrap();
+        opts.quiet = true;
+        let machine = build_machine(&opts, "main: b main").unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 1, "{report}");
     }
 }

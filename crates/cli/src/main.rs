@@ -10,12 +10,17 @@ fn main() -> ExitCode {
         println!(
             "ptaint-run <program.c|program.s> [options]\n\
              ptaint-run analyze <program.c|program.s> [options]\n\
+             ptaint-run inject <program.c|program.s> [options]\n\
              \n\
              analyze              print the static taint lint report and\n\
                                   exit (0 clean, 3 with findings); only\n\
                                   recognized as the first argument (use\n\
                                   `ptaint-run ./analyze` to run a file of\n\
                                   that name)\n\
+             inject               run a deterministic fault-injection\n\
+                                  campaign (baseline + --trials seeded\n\
+                                  faults) and emit the JSON report; same\n\
+                                  seed => byte-identical report\n\
              \n\
              --asm                input is assembly\n\
              --optimize           peephole-optimize the generated code\n\
@@ -33,6 +38,11 @@ fn main() -> ExitCode {
              --caches             model L1/L2 caches\n\
              --pipeline           5-stage pipeline timing model\n\
              --steps N            step budget\n\
+             --watchdog-ms N      wall-clock watchdog on the run\n\
+             --seed N             (inject) campaign seed, default 1\n\
+             --trials N           (inject) faulted trials, default 32\n\
+             --faults LIST        (inject) comma-separated fault kinds\n\
+             --report FILE        (inject) write campaign JSON to FILE\n\
              --trace-out FILE     write the event stream (JSONL) to FILE\n\
              --metrics-out FILE   write the metrics snapshot (JSON) to FILE\n\
              --provenance         print the forensic taint chain on detection\n\
@@ -40,7 +50,9 @@ fn main() -> ExitCode {
              --disasm             print disassembly and exit\n\
              --quiet              program output only\n\
              \n\
-             exit code: guest status; 42 on a security detection"
+             exit code: guest status; 42 on a security detection; 2 on\n\
+             usage/read/build errors; 3 on analyze findings; 4 when a\n\
+             requested artifact file cannot be written"
         );
         return ExitCode::SUCCESS;
     }

@@ -105,10 +105,11 @@ impl CoverageMatrix {
 fn classify(outcome: &RunOutcome, compromise_marker: Option<&str>) -> CoverageOutcome {
     match &outcome.reason {
         ExitReason::Security(_) => CoverageOutcome::Detected,
-        ExitReason::MemFault(_) | ExitReason::DecodeFault(_) | ExitReason::BreakTrap(_) => {
-            CoverageOutcome::Crashed
-        }
-        ExitReason::Exited(_) | ExitReason::StepLimit => {
+        ExitReason::MemFault(_)
+        | ExitReason::DecodeFault(_)
+        | ExitReason::BreakTrap(_)
+        | ExitReason::GuestFault(_) => CoverageOutcome::Crashed,
+        ExitReason::Exited(_) | ExitReason::StepLimit | ExitReason::Watchdog => {
             if let Some(marker) = compromise_marker {
                 let mut all = outcome.stdout_text();
                 for t in &outcome.transcripts {

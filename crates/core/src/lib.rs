@@ -68,9 +68,14 @@ pub use ptaint_cpu::{
     TaintRules, TaintWatch,
 };
 pub use ptaint_guest::{BuildError, LIBC_C};
+pub use ptaint_inject::{
+    classify, CampaignReport, CampaignSpec, Fault, FaultKind, OutcomeClass, SplitMix64,
+    StateInjector, TrialRecord, TrialRun,
+};
 pub use ptaint_mem::{CacheConfig, HierarchyConfig, MemorySystem, TaintedMemory, WordTaint};
 pub use ptaint_os::{
-    load, load_with_observer, run_to_exit, ExitReason, NetSession, Os, RunOutcome, Sys, WorldConfig,
+    load, load_with_observer, run_to_exit, run_to_exit_with, ExitReason, IoFault, IoFaultPlan,
+    NetSession, Os, RunLimits, RunOutcome, StepHook, Sys, WorldConfig, EINTR,
 };
 pub use ptaint_trace::{
     Event, ForensicChain, MetricsSnapshot, Observer, SharedObserver, ToJson, TraceConfig, TraceHub,

@@ -1,13 +1,15 @@
 //! The top-level machine builder.
 
 use std::rc::Rc;
+use std::time::Duration;
 
 use ptaint_asm::Image;
 use ptaint_cpu::pipeline::{Pipeline, PipelineReport};
-use ptaint_cpu::{Cpu, CpuException, DetectionPolicy, Engine, StepEvent, TaintRules};
+use ptaint_cpu::{Cpu, DetectionPolicy, Engine, TaintRules};
 use ptaint_guest::BuildError;
+use ptaint_inject::{CampaignReport, CampaignSpec, Fault, StateInjector, TrialRun};
 use ptaint_mem::HierarchyConfig;
-use ptaint_os::{load_with_observer, run_to_exit, ExitReason, Os, RunOutcome, WorldConfig};
+use ptaint_os::{load_with_observer, run_to_exit_with, Os, RunLimits, RunOutcome, WorldConfig};
 use ptaint_trace::{Event, SharedObserver, TraceConfig, TraceHub, TraceReport};
 
 /// A configured guest machine: program image, outside world, detection
@@ -31,6 +33,7 @@ pub struct Machine {
     rules: TaintRules,
     watches: Vec<(u32, u32, String)>,
     step_limit: u64,
+    watchdog: Option<Duration>,
     trace_depth: Option<usize>,
     engine: Engine,
     elide_checks: bool,
@@ -79,6 +82,7 @@ impl Machine {
             rules: TaintRules::PAPER,
             watches: Vec::new(),
             step_limit: Machine::DEFAULT_STEP_LIMIT,
+            watchdog: None,
             trace_depth: None,
             engine: Engine::default(),
             elide_checks: false,
@@ -162,6 +166,24 @@ impl Machine {
         self
     }
 
+    /// Arms a wall-clock watchdog: runs exceeding `limit` stop with
+    /// [`ptaint_os::ExitReason::Watchdog`] instead of spinning until the
+    /// step budget.
+    /// Off by default — campaign reports stay deterministic when only the
+    /// (deterministic) step budget can end a hung run.
+    #[must_use]
+    pub fn watchdog(mut self, limit: Duration) -> Machine {
+        self.watchdog = Some(limit);
+        self
+    }
+
+    fn limits(&self) -> RunLimits {
+        RunLimits {
+            max_steps: self.step_limit,
+            watchdog: self.watchdog,
+        }
+    }
+
     /// Sets the depth of the CPU's recently-retired diagnostic ring (default
     /// [`ptaint_cpu::DEFAULT_TRACE_DEPTH`]) — the tail reported by
     /// [`Machine::run_traced`] and the CLI's alert report.
@@ -231,7 +253,43 @@ impl Machine {
     #[must_use]
     pub fn run(&self) -> RunOutcome {
         let (mut cpu, mut os) = self.boot();
-        run_to_exit(&mut cpu, &mut os, self.step_limit)
+        run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut ())
+    }
+
+    /// Boots a fresh instance and runs it under one injected [`Fault`]:
+    /// I/O kinds are scheduled on the kernel, state kinds armed as a
+    /// [`StateInjector`] step hook. Returns the trial result the campaign
+    /// classifier consumes.
+    #[must_use]
+    pub fn run_injected(&self, fault: &Fault) -> TrialRun {
+        let (mut cpu, mut os) = self.boot();
+        os.set_io_faults(fault.io_plan());
+        let mut injector = StateInjector::new(*fault);
+        let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut injector);
+        TrialRun {
+            outcome,
+            io_calls: os.io_call_count(),
+            applied: injector.applied().map(str::to_owned),
+        }
+    }
+
+    /// Runs a whole fault-injection campaign against this workload: one
+    /// fault-free baseline plus `spec.trials` seeded injections, each a
+    /// fresh boot, classified against the baseline's verdict.
+    #[must_use]
+    pub fn run_campaign(&self, spec: &CampaignSpec) -> CampaignReport {
+        ptaint_inject::run_campaign(spec, |fault| match fault {
+            Some(f) => self.run_injected(f),
+            None => {
+                let (mut cpu, mut os) = self.boot();
+                let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut ());
+                TrialRun {
+                    outcome,
+                    io_calls: os.io_call_count(),
+                    applied: None,
+                }
+            }
+        })
     }
 
     /// Runs twice under the cached engine — once with every check executed,
@@ -271,47 +329,7 @@ impl Machine {
     pub fn run_pipelined(&self) -> (RunOutcome, PipelineReport) {
         let (cpu, mut os) = self.boot();
         let mut pipe = Pipeline::new(cpu);
-        let mut reason = ExitReason::StepLimit;
-        for _ in 0..self.step_limit {
-            match pipe.step() {
-                Ok(StepEvent::Executed) => {}
-                Ok(StepEvent::SyscallTrap) => {
-                    os.handle_syscall(pipe.cpu_mut());
-                    if let Some(status) = os.exit_status() {
-                        reason = ExitReason::Exited(status);
-                        break;
-                    }
-                }
-                Ok(StepEvent::BreakTrap(code)) => {
-                    reason = ExitReason::BreakTrap(code);
-                    break;
-                }
-                Err(CpuException::Security(alert)) => {
-                    reason = ExitReason::Security(alert);
-                    break;
-                }
-                Err(CpuException::Mem(fault)) => {
-                    reason = ExitReason::MemFault(fault);
-                    break;
-                }
-                Err(CpuException::Decode { pc, .. }) => {
-                    reason = ExitReason::DecodeFault(pc);
-                    break;
-                }
-            }
-        }
-        let outcome = RunOutcome {
-            reason,
-            stats: pipe.cpu().stats(),
-            stdout: os.stdout().to_vec(),
-            stderr: os.stderr().to_vec(),
-            transcripts: os
-                .session_transcripts()
-                .iter()
-                .map(|s| s.to_vec())
-                .collect(),
-            tainted_input_bytes: os.tainted_input_bytes,
-        };
+        let outcome = run_to_exit_with(&mut pipe, &mut os, self.limits(), &mut ());
         (outcome, pipe.report())
     }
 
@@ -321,7 +339,7 @@ impl Machine {
     #[must_use]
     pub fn run_traced(&self) -> (RunOutcome, Vec<String>) {
         let (mut cpu, mut os) = self.boot();
-        let outcome = run_to_exit(&mut cpu, &mut os, self.step_limit);
+        let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut ());
         let trace = self.render_tail(&cpu);
         (outcome, trace)
     }
@@ -341,7 +359,7 @@ impl Machine {
         let hub = TraceHub::shared(cfg);
         let observer: SharedObserver = hub.clone();
         let (mut cpu, mut os) = self.boot_with(Some(observer));
-        let outcome = run_to_exit(&mut cpu, &mut os, self.step_limit);
+        let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut ());
         let tail = self.render_tail(&cpu);
         // Release the emulator's observer handles so the hub is uniquely
         // owned again and can be consumed into its report.
@@ -378,6 +396,7 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ptaint_os::ExitReason;
 
     #[test]
     fn from_c_builds_and_runs() {
@@ -534,5 +553,87 @@ mod tests {
     fn step_limit_is_respected() {
         let m = Machine::from_asm("main: b main").unwrap().step_limit(1000);
         assert_eq!(m.run().reason, ExitReason::StepLimit);
+    }
+
+    #[test]
+    fn watchdog_stops_a_hung_machine() {
+        let m = Machine::from_asm("main: b main")
+            .unwrap()
+            .watchdog(Duration::from_millis(10));
+        assert_eq!(m.run().reason, ExitReason::Watchdog);
+    }
+
+    #[test]
+    fn injected_taint_clear_defeats_detection() {
+        use ptaint_inject::FaultKind;
+        // Baseline: dereferencing input is detected. With the shadow bits
+        // cleared right before the dereference, the same run exits clean.
+        let m = Machine::from_asm(
+            r#"
+        .data
+buf:    .space 8
+        .text
+main:   li $v0, 3
+        li $a0, 0
+        la $a1, buf
+        li $a2, 8
+        syscall
+        la $t0, buf
+        lw $t1, 0($t0)
+        li $v0, 1
+        li $a0, 0
+        lw $t2, 0($t1)
+        syscall
+        "#,
+        )
+        .unwrap()
+        .world(WorldConfig::new().stdin(b"\x60aaa".to_vec()));
+        let baseline = m.run();
+        assert!(baseline.reason.is_detected());
+        // Some trigger step between the read (taint arrives) and the load
+        // (taint reaches the register file) must defeat the detector: the
+        // cleared word dereferences into sparse zero memory and exits clean.
+        let mut defeated = false;
+        for step in 0..baseline.stats.instructions {
+            let trial = m.run_injected(&ptaint_inject::Fault {
+                kind: FaultKind::TaintClear,
+                io_call: 0,
+                step,
+                salt: 0,
+            });
+            if trial.applied.is_some() && trial.outcome.reason == ExitReason::Exited(0) {
+                assert_eq!(trial.io_calls, 1);
+                assert_eq!(trial.outcome.stats.injected_faults, 1);
+                defeated = true;
+                break;
+            }
+        }
+        assert!(
+            defeated,
+            "no taint-clear trigger step defeated the detector"
+        );
+    }
+
+    #[test]
+    fn campaign_reports_are_seed_deterministic() {
+        use ptaint_inject::CampaignSpec;
+        use ptaint_trace::ToJson;
+        let m = Machine::from_c(
+            r#"int main() {
+                char b[16];
+                int n = read(0, b, 15);
+                b[n] = 0;
+                printf("<%s>", b);
+                return 0;
+            }"#,
+        )
+        .unwrap()
+        .world(WorldConfig::new().stdin(b"benign input".to_vec()))
+        .step_limit(2_000_000);
+        let spec = CampaignSpec::new(0xfeed, 6);
+        let a = m.run_campaign(&spec).to_json();
+        let b = m.run_campaign(&spec).to_json();
+        assert_eq!(a, b, "same seed must reproduce the report byte-for-byte");
+        assert!(a.contains("\"baseline\":{\"detected\":false"));
     }
 }

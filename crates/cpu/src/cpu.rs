@@ -96,6 +96,41 @@ pub enum Engine {
 /// per-CPU with [`Cpu::set_trace_depth`].
 pub const DEFAULT_TRACE_DEPTH: usize = 64;
 
+/// Anything that advances the architectural state one instruction at a time
+/// around a [`Cpu`] — the functional executor itself, or the pipelined
+/// timing model wrapped around one. Execution drivers (the OS run loop, the
+/// fault-injection harness) are generic over this so the functional and
+/// pipelined paths share one loop.
+pub trait Steppable {
+    /// Executes one instruction (or pipeline issue).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`CpuException`] that stopped the step.
+    fn step(&mut self) -> Result<StepEvent, CpuException>;
+
+    /// The architectural CPU state (read).
+    fn cpu(&self) -> &Cpu;
+
+    /// The architectural CPU state (write) — used by the syscall layer and
+    /// injection hooks.
+    fn cpu_mut(&mut self) -> &mut Cpu;
+}
+
+impl Steppable for Cpu {
+    fn step(&mut self) -> Result<StepEvent, CpuException> {
+        Cpu::step(self)
+    }
+
+    fn cpu(&self) -> &Cpu {
+        self
+    }
+
+    fn cpu_mut(&mut self) -> &mut Cpu {
+        self
+    }
+}
+
 /// The taint-tracking processor (paper §4).
 ///
 /// Each [`Cpu::step`] fetches, decodes, and executes one instruction,
@@ -323,6 +358,12 @@ impl Cpu {
     #[must_use]
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// Counts one applied fault from the injection harness (I/O degradation
+    /// or state corruption) in [`ExecStats::injected_faults`].
+    pub fn note_injected_fault(&mut self) {
+        self.stats.injected_faults += 1;
     }
 
     /// The most recently retired instructions (oldest first), for

@@ -232,6 +232,20 @@ impl Pipeline {
     }
 }
 
+impl crate::Steppable for Pipeline {
+    fn step(&mut self) -> Result<StepEvent, CpuException> {
+        Pipeline::step(self)
+    }
+
+    fn cpu(&self) -> &Cpu {
+        Pipeline::cpu(self)
+    }
+
+    fn cpu_mut(&mut self) -> &mut Cpu {
+        Pipeline::cpu_mut(self)
+    }
+}
+
 /// Whether `instr` reads `reg` as a source operand.
 fn reads_register(instr: &Instr, reg: ptaint_isa::Reg) -> bool {
     if reg.is_zero() {

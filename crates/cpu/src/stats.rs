@@ -42,6 +42,9 @@ pub struct ExecStats {
     /// the site clean (always zero under the interpreter, or when no
     /// proven-clean set is installed).
     pub elided_checks: u64,
+    /// Faults the injection harness applied to this run (I/O degradations
+    /// and state corruptions). Zero outside fault-injection campaigns.
+    pub injected_faults: u64,
 }
 
 impl ExecStats {
@@ -81,7 +84,7 @@ impl fmt::Display for ExecStats {
             f,
             "{} instructions ({} loads, {} stores, {} branches, {} reg-jumps, {} syscalls), \
              {} tainted-operand ({:.4}%), {} tainted-pointer derefs, \
-             decode-cache {}h/{}m/{}inv, {} elided checks",
+             decode-cache {}h/{}m/{}inv, {} elided checks, {} injected faults",
             self.instructions,
             self.loads,
             self.stores,
@@ -94,7 +97,8 @@ impl fmt::Display for ExecStats {
             self.decode_cache_hits,
             self.decode_cache_misses,
             self.decode_cache_invalidations,
-            self.elided_checks
+            self.elided_checks,
+            self.injected_faults
         )
     }
 }
@@ -107,7 +111,7 @@ impl ToJson for ExecStats {
                 "\"register_jumps\":{},\"syscalls\":{},\"tainted_operand_instructions\":{},",
                 "\"tainted_pointer_dereferences\":{},\"decode_cache_hits\":{},",
                 "\"decode_cache_misses\":{},\"decode_cache_invalidations\":{},",
-                "\"elided_checks\":{}}}"
+                "\"elided_checks\":{},\"injected_faults\":{}}}"
             ),
             self.instructions,
             self.loads,
@@ -120,7 +124,8 @@ impl ToJson for ExecStats {
             self.decode_cache_hits,
             self.decode_cache_misses,
             self.decode_cache_invalidations,
-            self.elided_checks
+            self.elided_checks,
+            self.injected_faults
         )
     }
 }
@@ -200,6 +205,20 @@ mod tests {
                 ..ExecStats::default()
             }
         );
+    }
+
+    #[test]
+    fn injected_fault_counter_round_trips_and_survives_normalization() {
+        // Injected faults are a property of the *experiment*, not of the
+        // engine, so without_decode_cache must not erase them.
+        let stats = ExecStats {
+            instructions: 50,
+            injected_faults: 3,
+            ..ExecStats::default()
+        };
+        assert!(stats.to_string().contains("3 injected faults"));
+        assert!(stats.to_json().contains("\"injected_faults\":3"));
+        assert_eq!(stats.without_decode_cache().injected_faults, 3);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Seeded pseudo-randomness for campaign reproducibility.
+
+/// SplitMix64 — a tiny, statistically solid PRNG whose entire state is one
+/// `u64`. Chosen over anything fancier because campaign reproducibility
+/// demands an algorithm simple enough to never change: the same seed must
+/// produce the same fault schedule forever.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform-ish in `0..n` (`n > 0`); modulo bias is irrelevant at
+    /// campaign scales.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0) is meaningless");
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(0xfeed);
+        let mut b = SplitMix64::new(0xfeed);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_vector_pins_the_algorithm() {
+        // First outputs for seed 0 from the reference SplitMix64; a failure
+        // here means old campaign reports are no longer reproducible.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..256 {
+            assert!(r.below(13) < 13);
+        }
+    }
+}

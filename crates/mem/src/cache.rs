@@ -247,6 +247,45 @@ impl Cache {
             line.valid = false;
         }
     }
+
+    /// Fault-injection hook: flips one bit in a resident line, modelling a
+    /// single-event upset in the cache array.
+    ///
+    /// `pick` selects among the valid lines (in set/way order, so the choice
+    /// is deterministic) and `bit` selects the bit within the line: bits
+    /// `0..8*line_bytes` address the data array, and the next `line_bytes`
+    /// "bits" flip the per-byte taint bit instead — the paper's shadow bits
+    /// are cache state too (§4.1). Returns the byte address of the corrupted
+    /// cell and whether the taint bit (rather than a data bit) was hit, or
+    /// `None` when the cache holds no valid line.
+    pub fn corrupt_line(&mut self, pick: u64, bit: u64) -> Option<(u32, bool)> {
+        let line_bytes = self.cfg.line_bytes as usize;
+        let sets = self.cfg.sets();
+        let coords: Vec<(usize, usize)> = (0..self.sets.len())
+            .flat_map(|si| (0..self.sets[si].len()).map(move |wi| (si, wi)))
+            .filter(|&(si, wi)| self.sets[si][wi].valid)
+            .collect();
+        if coords.is_empty() {
+            return None;
+        }
+        let (si, wi) = coords[(pick % coords.len() as u64) as usize];
+        let line = &mut self.sets[si][wi];
+        // 8 data bits + 1 taint bit per cached byte.
+        let b = (bit % (line_bytes as u64 * 9)) as usize;
+        let off = if b < line_bytes * 8 {
+            b / 8
+        } else {
+            b - line_bytes * 8
+        };
+        let addr = (line.tag * sets + si as u32) * self.cfg.line_bytes + off as u32;
+        if b < line_bytes * 8 {
+            line.data[off] ^= 1 << (b % 8);
+            Some((addr, false))
+        } else {
+            line.taint[off] = !line.taint[off];
+            Some((addr, true))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +326,26 @@ mod tests {
         assert_eq!(c.probe_read(0x203), Some((1, true)));
         assert_eq!(c.probe_read(0x204), Some((1, false)));
         assert_eq!(c.tainted_line_count(), 1);
+    }
+
+    #[test]
+    fn corrupt_line_flips_data_and_taint_bits_deterministically() {
+        let mut c = tiny();
+        assert_eq!(c.corrupt_line(0, 0), None, "empty cache has no target");
+        let (d, t) = line(0xaa, false);
+        c.fill_line(0x130, &d, &t);
+        // Data bit: pick the only valid line, bit 0 of byte 0.
+        let (addr, taint_bit) = c.corrupt_line(7, 0).unwrap();
+        assert_eq!((addr, taint_bit), (0x130, false));
+        assert_eq!(c.probe_read(0x130), Some((0xab, false)));
+        // Taint "bit" region: bits 8*16.. flip shadow bits.
+        let (addr, taint_bit) = c.corrupt_line(0, 16 * 8 + 5).unwrap();
+        assert_eq!((addr, taint_bit), (0x135, true));
+        assert_eq!(c.probe_read(0x135), Some((0xaa, true)));
+        // The same (pick, bit) on the same state is reproducible.
+        let mut c2 = tiny();
+        c2.fill_line(0x130, &d, &t);
+        assert_eq!(c2.corrupt_line(7, 0), Some((0x130, false)));
     }
 
     #[test]

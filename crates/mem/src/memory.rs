@@ -324,6 +324,45 @@ impl TaintedMemory {
         Ok(())
     }
 
+    /// Maximal contiguous runs of tainted bytes, as `(base, len)` pairs in
+    /// ascending address order.
+    ///
+    /// The scan visits materialized pages in sorted order (the underlying
+    /// map is unordered), so the result is deterministic for a given memory
+    /// state — the fault-injection harness relies on that to pick corruption
+    /// targets reproducibly from a seed.
+    #[must_use]
+    pub fn tainted_ranges(&self) -> Vec<(u32, u32)> {
+        let mut pages: Vec<u32> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.tainted_bytes() > 0)
+            .map(|(&i, _)| i)
+            .collect();
+        pages.sort_unstable();
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for pi in pages {
+            let page = &self.pages[&pi];
+            let base = pi * PAGE_SIZE;
+            for (wi, &word) in page.taint.iter().enumerate() {
+                if word == 0 {
+                    continue;
+                }
+                for bit in 0..64 {
+                    if word & (1 << bit) == 0 {
+                        continue;
+                    }
+                    let addr = base + (wi * 64 + bit) as u32;
+                    match ranges.last_mut() {
+                        Some((start, len)) if start.wrapping_add(*len) == addr => *len += 1,
+                        _ => ranges.push((addr, 1)),
+                    }
+                }
+            }
+        }
+        ranges
+    }
+
     /// Number of pages currently materialized.
     #[must_use]
     pub fn page_count(&self) -> usize {
@@ -491,6 +530,32 @@ mod tests {
         assert_eq!(mem.read_cstr(0x5000, 64).unwrap(), b"hello");
         // max cap respected when no terminator appears
         assert_eq!(mem.read_cstr(0x5000, 3).unwrap(), b"hel");
+    }
+
+    #[test]
+    fn tainted_ranges_merge_across_shadow_and_page_seams() {
+        let mut mem = TaintedMemory::new();
+        assert!(mem.tainted_ranges().is_empty());
+        // One run straddling a page boundary, one isolated byte, one run
+        // straddling a shadow-u64 seam.
+        mem.write_bytes(2 * PAGE_SIZE - 3, b"abcdef", true).unwrap();
+        mem.write_u8(0x9000, 1, true).unwrap();
+        mem.write_bytes(0x703e, b"xyzw", true).unwrap();
+        assert_eq!(
+            mem.tainted_ranges(),
+            vec![(2 * PAGE_SIZE - 3, 6), (0x703e, 4), (0x9000, 1)]
+        );
+        // Clearing splits a run.
+        mem.set_taint_range(0x7040, 1, false).unwrap();
+        assert_eq!(
+            mem.tainted_ranges(),
+            vec![
+                (2 * PAGE_SIZE - 3, 6),
+                (0x703e, 2),
+                (0x7041, 1),
+                (0x9000, 1)
+            ]
+        );
     }
 
     #[test]

@@ -425,6 +425,30 @@ impl MemorySystem {
         }
         Ok(())
     }
+
+    /// Maximal contiguous runs of tainted bytes in main memory, in ascending
+    /// address order (see [`TaintedMemory::tainted_ranges`]). Cached copies
+    /// are coherent with this view because the hierarchy is write-through.
+    #[must_use]
+    pub fn tainted_ranges(&self) -> Vec<(u32, u32)> {
+        self.mem.tainted_ranges()
+    }
+
+    /// Fault-injection hook: flips one bit in a resident line of the given
+    /// cache level (1 or 2) — see [`Cache::corrupt_line`]. Unlike every
+    /// other mutation here this deliberately breaks write-through coherence:
+    /// main memory keeps the pristine value, the cache serves the corrupted
+    /// one until the line is evicted or overwritten. Returns the corrupted
+    /// byte address and whether a shadow taint bit (rather than a data bit)
+    /// was hit; `None` when the level is absent or holds no valid line.
+    pub fn corrupt_cache_line(&mut self, level: u8, pick: u64, bit: u64) -> Option<(u32, bool)> {
+        let cache = match level {
+            1 => self.l1.as_mut(),
+            2 => self.l2.as_mut(),
+            _ => None,
+        }?;
+        cache.corrupt_line(pick, bit)
+    }
 }
 
 #[cfg(test)]
@@ -527,6 +551,32 @@ mod tests {
             .unwrap();
         assert_eq!(sys.fetch_u32(0x0040_0000).unwrap(), 0x2222_2222);
         assert_eq!(sys.read_u32(0x0040_0000).unwrap().0, 0x2222_2222);
+    }
+
+    #[test]
+    fn corrupt_cache_line_diverges_cache_from_memory_until_overwrite() {
+        let mut sys = MemorySystem::new(HierarchyConfig::two_level());
+        sys.write_bytes(0x2000, b"data", false).unwrap();
+        let _ = sys.read_u32(0x2000).unwrap(); // line resident in L1+L2
+        let (addr, taint_bit) = sys.corrupt_cache_line(1, 0, 0).unwrap();
+        assert!(!taint_bit);
+        // Memory stays pristine; the L1 read hit serves the flipped bit.
+        let clean = sys.memory().read_u8(addr).unwrap().0;
+        let (cached, _) = sys.read_u8(addr).unwrap();
+        assert_eq!(cached, clean ^ 1);
+        // A write-through store re-synchronizes the line.
+        sys.write_u8(addr, clean, false).unwrap();
+        assert_eq!(sys.read_u8(addr).unwrap().0, clean);
+        // Absent levels and flat systems report no target.
+        assert!(sys.corrupt_cache_line(3, 0, 0).is_none());
+        assert!(MemorySystem::flat().corrupt_cache_line(1, 0, 0).is_none());
+        // Shadow-bit upsets flip taint without touching data.
+        let _ = sys.read_u32(0x2000).unwrap();
+        let line_bits = 8 * u64::from(CacheConfig::l1_default().line_bytes);
+        let (taddr, tbit) = sys.corrupt_cache_line(1, 0, line_bits).unwrap();
+        assert!(tbit);
+        assert!(sys.read_u8(taddr).unwrap().1, "cached taint bit gained");
+        assert!(!sys.memory().read_u8(taddr).unwrap().1, "memory unchanged");
     }
 
     #[test]

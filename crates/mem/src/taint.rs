@@ -113,6 +113,19 @@ impl WordTaint {
         WordTaint(self.0 | (self.0 >> 1))
     }
 
+    /// Returns a copy with byte `i`'s taint bit inverted — the
+    /// fault-injection harness's single-event-upset model for the register
+    /// file's shadow bits (a flip is a taint *loss* as often as a gain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[must_use]
+    pub const fn toggle_byte(self, i: usize) -> WordTaint {
+        assert!(i < 4, "word byte index out of range");
+        WordTaint(self.0 ^ (1 << i))
+    }
+
     /// Index of the least-significant tainted byte, or `None` when clean.
     /// Forensic output uses this to name the first attacker-controlled byte
     /// of a flagged pointer.
@@ -223,6 +236,14 @@ mod tests {
         let mut c = a;
         c |= b;
         assert_eq!(c.bits(), 0b0111);
+    }
+
+    #[test]
+    fn toggle_byte_inverts_one_shadow_bit() {
+        let t = WordTaint::from_bits(0b0101);
+        assert_eq!(t.toggle_byte(0).bits(), 0b0100); // loss
+        assert_eq!(t.toggle_byte(1).bits(), 0b0111); // gain
+        assert_eq!(t.toggle_byte(2).toggle_byte(2), t); // involution
     }
 
     #[test]

@@ -23,12 +23,16 @@
 //! copies and the loader's `argv`/`envp` strings. Everything after that is
 //! the CPU's Table-1 propagation.
 
+mod faults;
 mod loader;
 mod os;
 mod run;
 mod world;
 
+pub use faults::{IoFault, IoFaultPlan, EINTR};
 pub use loader::{exit_stub, load, load_with_observer, EXIT_STUB_BYTES};
 pub use os::{Os, Sys};
-pub use run::{run_to_exit, ExitReason, RunOutcome};
+pub use run::{
+    run_to_exit, run_to_exit_with, ExitReason, RunLimits, RunOutcome, StepHook, WATCHDOG_STRIDE,
+};
 pub use world::{NetSession, WorldConfig};

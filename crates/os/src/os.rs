@@ -7,6 +7,7 @@ use ptaint_isa::Reg;
 use ptaint_mem::WordTaint;
 use ptaint_trace::Event;
 
+use crate::faults::{IoFault, IoFaultPlan, EINTR};
 use crate::WorldConfig;
 
 /// System call numbers (passed in `$v0`; arguments in `$a0..$a2`; result in
@@ -142,6 +143,11 @@ pub struct Os {
     /// Per-name sequence numbers for taint-source labels (`read#1`, `recv#2`),
     /// only advanced while an observer is attached.
     source_seq: HashMap<&'static str, u64>,
+    /// Scheduled I/O degradations (empty outside injection campaigns).
+    io_faults: IoFaultPlan,
+    /// Taint-delivering calls serviced so far — the index space of
+    /// [`IoFaultPlan`].
+    io_calls: u64,
 }
 
 #[derive(Debug)]
@@ -180,7 +186,50 @@ impl Os {
             exit_status: None,
             tainted_input_bytes: 0,
             source_seq: HashMap::new(),
+            io_faults: IoFaultPlan::new(),
+            io_calls: 0,
         }
+    }
+
+    /// Installs an I/O degradation schedule (see [`IoFaultPlan`]); replaces
+    /// any previous plan. The default plan is empty.
+    pub fn set_io_faults(&mut self, plan: IoFaultPlan) {
+        self.io_faults = plan;
+    }
+
+    /// Taint-delivering calls (`read`/`recv` on readable descriptors)
+    /// serviced so far. Campaigns use a baseline run's count to pick which
+    /// call to degrade.
+    #[must_use]
+    pub fn io_call_count(&self) -> u64 {
+        self.io_calls
+    }
+
+    /// Advances the delivery-call counter and looks up the scheduled fault.
+    fn next_io_fault(&mut self) -> (u64, Option<IoFault>) {
+        let idx = self.io_calls;
+        self.io_calls += 1;
+        (idx, self.io_faults.at(idx))
+    }
+
+    /// Books an applied I/O fault: bumps the CPU's counter, emits the
+    /// `fault_injected` event, and passes `result` through to the guest.
+    fn apply_io_fault(
+        &mut self,
+        cpu: &mut Cpu,
+        idx: u64,
+        fault: IoFault,
+        fd: i32,
+        result: i32,
+    ) -> i32 {
+        cpu.note_injected_fault();
+        if cpu.has_observer() {
+            cpu.emit_event(&Event::FaultInjected {
+                kind: fault.name(),
+                detail: format!("io call#{idx} fd={fd} -> {result}"),
+            });
+        }
+        result
     }
 
     /// Sets the initial program break (end of loaded data, page aligned).
@@ -312,31 +361,58 @@ impl Os {
 
     fn sys_read(&mut self, cpu: &mut Cpu, fd: i32, buf: u32, len: u32) -> i32 {
         let len = len as usize;
-        match self.descriptors.get_mut(&fd) {
-            Some(Desc::StdIn) => {
-                let take = len.min(self.stdin.len());
-                let data: Vec<u8> = self.stdin.drain(..take).collect();
-                self.deliver_tainted(cpu, buf, &data, "read", fd)
-            }
-            Some(Desc::File {
-                path,
-                pos,
-                write: false,
-            }) => {
-                let contents = match self.files.get(path.as_str()) {
-                    Some(c) => c,
-                    None => return -1,
+        // Classify first, so the fault-plan counter only advances on calls
+        // that would deliver tainted bytes.
+        enum Source {
+            Stdin,
+            File,
+            Conn(usize),
+        }
+        let source = match self.descriptors.get(&fd) {
+            Some(Desc::StdIn) => Source::Stdin,
+            Some(Desc::File { write: false, .. }) => Source::File,
+            Some(Desc::Connection { session }) => Source::Conn(*session),
+            _ => return -1,
+        };
+        if let Source::Conn(session) = source {
+            return self.recv_from_session(cpu, session, buf, len, "read", fd);
+        }
+        let (idx, fault) = self.next_io_fault();
+        match fault {
+            Some(IoFault::Eintr) => self.apply_io_fault(cpu, idx, IoFault::Eintr, fd, EINTR),
+            // No connection behind stdin/files: a reset degrades to a plain
+            // transient error, nothing is consumed.
+            Some(IoFault::Reset) => self.apply_io_fault(cpu, idx, IoFault::Reset, fd, -1),
+            _ => {
+                let cap = match fault.and_then(IoFault::keep) {
+                    Some(keep) => len.min(keep as usize),
+                    None => len,
                 };
-                let take = len.min(contents.len().saturating_sub(*pos));
-                let data = contents[*pos..*pos + take].to_vec();
-                *pos += take;
-                self.deliver_tainted(cpu, buf, &data, "read", fd)
+                let data = match source {
+                    Source::Stdin => {
+                        let take = cap.min(self.stdin.len());
+                        self.stdin.drain(..take).collect::<Vec<u8>>()
+                    }
+                    Source::File => match self.descriptors.get_mut(&fd) {
+                        Some(Desc::File { path, pos, .. }) => {
+                            let Some(contents) = self.files.get(path.as_str()) else {
+                                return -1;
+                            };
+                            let take = cap.min(contents.len().saturating_sub(*pos));
+                            let data = contents[*pos..*pos + take].to_vec();
+                            *pos += take;
+                            data
+                        }
+                        _ => return -1,
+                    },
+                    Source::Conn(_) => unreachable!("handled above"),
+                };
+                let n = self.deliver_tainted(cpu, buf, &data, "read", fd);
+                match fault {
+                    Some(f) => self.apply_io_fault(cpu, idx, f, fd, n),
+                    None => n,
+                }
             }
-            Some(Desc::Connection { session }) => {
-                let session = *session;
-                self.recv_from_session(cpu, session, buf, len, "read", fd)
-            }
-            _ => -1,
         }
     }
 
@@ -365,8 +441,15 @@ impl Os {
             }
             Some(Desc::Connection { session }) => {
                 let session = *session;
-                self.sessions[session].sent.extend_from_slice(&data);
-                len as i32
+                // Hardened: a dangling session index is a guest-visible
+                // error, not a host panic.
+                match self.sessions.get_mut(session) {
+                    Some(s) => {
+                        s.sent.extend_from_slice(&data);
+                        len as i32
+                    }
+                    None => -1,
+                }
             }
             _ => -1,
         }
@@ -423,18 +506,46 @@ impl Os {
         name: &'static str,
         fd: i32,
     ) -> i32 {
-        let Some(state) = self.sessions.get_mut(session) else {
+        if self.sessions.get(session).is_none() {
             return -1;
+        }
+        let (idx, fault) = self.next_io_fault();
+        let state = match self.sessions.get_mut(session) {
+            Some(s) => s,
+            None => return -1,
         };
+        match fault {
+            Some(IoFault::Eintr) => {
+                return self.apply_io_fault(cpu, idx, IoFault::Eintr, fd, EINTR);
+            }
+            Some(IoFault::Reset) => {
+                // Connection reset by peer: the rest of the scripted session
+                // is gone for good.
+                state.incoming.clear();
+                return self.apply_io_fault(cpu, idx, IoFault::Reset, fd, -1);
+            }
+            _ => {}
+        }
         let Some(mut msg) = state.incoming.pop_front() else {
             return 0; // orderly shutdown
         };
-        if msg.len() > len {
-            // Deliver the prefix now; requeue the rest (stream semantics).
-            let rest = msg.split_off(len);
-            state.incoming.push_front(rest);
+        let cap = match fault.and_then(IoFault::keep) {
+            Some(keep) => len.min(keep as usize),
+            None => len,
+        };
+        if msg.len() > cap {
+            let rest = msg.split_off(cap);
+            // Deliver the prefix now. A short read *drops* the remainder
+            // (truncation); everything else requeues it (stream semantics).
+            if !matches!(fault, Some(IoFault::ShortRead { .. })) {
+                state.incoming.push_front(rest);
+            }
         }
-        self.deliver_tainted(cpu, buf, &msg, name, fd)
+        let n = self.deliver_tainted(cpu, buf, &msg, name, fd);
+        match fault {
+            Some(f) => self.apply_io_fault(cpu, idx, f, fd, n),
+            None => n,
+        }
     }
 
     fn sys_recv(&mut self, cpu: &mut Cpu, fd: i32, buf: u32, len: u32) -> i32 {
@@ -589,6 +700,59 @@ mod tests {
         assert_eq!(cpu.mem().read_bytes(BUF, 3).unwrap(), b"abc");
         assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c as u32, BUF, 64), 5);
         assert_eq!(cpu.mem().read_bytes(BUF, 5).unwrap(), b"defgh");
+    }
+
+    #[test]
+    fn io_fault_plan_degrades_stdin_reads_deterministically() {
+        let mut os = Os::new(WorldConfig::new().stdin(b"abcdef".to_vec()));
+        os.set_io_faults(
+            IoFaultPlan::new()
+                .on_call(0, IoFault::Eintr)
+                .on_call(1, IoFault::ShortRead { keep: 2 }),
+        );
+        let mut cpu = cpu();
+        // Call 0: interrupted, nothing consumed.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, 0, BUF, 64), EINTR);
+        // Call 1: short read delivers 2 bytes; stdin retains the rest.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, 0, BUF, 64), 2);
+        assert_eq!(cpu.mem().read_bytes(BUF, 2).unwrap(), b"ab");
+        // Call 2: undegraded, drains the remainder.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Read, 0, BUF, 64), 4);
+        assert_eq!(cpu.mem().read_bytes(BUF, 4).unwrap(), b"cdef");
+        assert_eq!(os.io_call_count(), 3);
+        assert_eq!(cpu.stats().injected_faults, 2);
+    }
+
+    #[test]
+    fn socket_faults_truncate_fragment_and_reset() {
+        let mut os =
+            Os::new(WorldConfig::new().session(NetSessionHelper::msgs(&[b"abcdefgh", b"tailmsg"])));
+        os.set_io_faults(
+            IoFaultPlan::new()
+                .on_call(0, IoFault::ShortRead { keep: 3 })
+                .on_call(1, IoFault::Fragment { keep: 2 }),
+        );
+        let mut cpu = cpu();
+        let sock = call(&mut os, &mut cpu, Sys::Socket, 0, 0, 0);
+        let c = call(&mut os, &mut cpu, Sys::Accept, sock as u32, 0, 0);
+        // Short read: 3 bytes delivered, the message's remainder is LOST.
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c as u32, BUF, 64), 3);
+        assert_eq!(cpu.mem().read_bytes(BUF, 3).unwrap(), b"abc");
+        // Fragment: 2 bytes now, the rest requeued (lossless).
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c as u32, BUF, 64), 2);
+        assert_eq!(cpu.mem().read_bytes(BUF, 2).unwrap(), b"ta");
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c as u32, BUF, 64), 5);
+        assert_eq!(cpu.mem().read_bytes(BUF, 5).unwrap(), b"ilmsg");
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c as u32, BUF, 64), 0);
+
+        // Reset drops everything still queued on the session.
+        let mut os =
+            Os::new(WorldConfig::new().session(NetSessionHelper::msgs(&[b"first", b"second"])));
+        os.set_io_faults(IoFaultPlan::new().on_call(0, IoFault::Reset));
+        let sock = call(&mut os, &mut cpu, Sys::Socket, 0, 0, 0);
+        let c = call(&mut os, &mut cpu, Sys::Accept, sock as u32, 0, 0);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c as u32, BUF, 64), -1);
+        assert_eq!(call(&mut os, &mut cpu, Sys::Recv, c as u32, BUF, 64), 0);
     }
 
     #[test]

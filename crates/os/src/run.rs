@@ -1,9 +1,13 @@
 //! The execution driver.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
-use ptaint_cpu::{Cpu, CpuException, ExecStats, SecurityAlert, StepEvent};
+use ptaint_cpu::{Cpu, CpuException, ExecStats, SecurityAlert, StepEvent, Steppable};
 use ptaint_mem::MemFault;
+use ptaint_trace::json::escape;
+use ptaint_trace::ToJson;
 
 use crate::Os;
 
@@ -25,6 +29,14 @@ pub enum ExitReason {
     BreakTrap(u32),
     /// The step budget ran out before the program finished.
     StepLimit,
+    /// The host emulator panicked while executing the guest (a hardening
+    /// backstop: any residual `unwrap()`/`panic!` reachable from guest state
+    /// — including state corrupted by fault injection — is converted into
+    /// this structured outcome instead of aborting the process).
+    GuestFault(String),
+    /// The wall-clock watchdog of [`RunLimits::watchdog`] expired before
+    /// the program finished.
+    Watchdog,
 }
 
 impl ExitReason {
@@ -53,6 +65,39 @@ impl fmt::Display for ExitReason {
             ExitReason::DecodeFault(pc) => write!(f, "crashed: illegal instruction at {pc:#010x}"),
             ExitReason::BreakTrap(code) => write!(f, "break trap {code:#x}"),
             ExitReason::StepLimit => write!(f, "step limit exhausted"),
+            ExitReason::GuestFault(msg) => write!(f, "guest fault: {msg}"),
+            ExitReason::Watchdog => write!(f, "watchdog expired"),
+        }
+    }
+}
+
+impl ToJson for ExitReason {
+    fn to_json(&self) -> String {
+        match self {
+            ExitReason::Exited(code) => format!("{{\"kind\":\"exited\",\"status\":{code}}}"),
+            ExitReason::Security(a) => {
+                format!(
+                    "{{\"kind\":\"security\",\"alert\":{}}}",
+                    escape(&a.to_string())
+                )
+            }
+            ExitReason::MemFault(e) => {
+                format!(
+                    "{{\"kind\":\"mem_fault\",\"detail\":{}}}",
+                    escape(&e.to_string())
+                )
+            }
+            ExitReason::DecodeFault(pc) => {
+                format!("{{\"kind\":\"decode_fault\",\"pc\":\"0x{pc:x}\"}}")
+            }
+            ExitReason::BreakTrap(code) => format!("{{\"kind\":\"break_trap\",\"code\":{code}}}"),
+            ExitReason::StepLimit => "{\"kind\":\"step_limit\"}".to_string(),
+            ExitReason::GuestFault(msg) => {
+                format!("{{\"kind\":\"guest_fault\",\"detail\":{}}}", escape(msg))
+            }
+            // Deliberately carries no timing data, so campaign reports stay
+            // byte-identical across hosts of different speeds.
+            ExitReason::Watchdog => "{\"kind\":\"watchdog\"}".to_string(),
         }
     }
 }
@@ -83,52 +128,86 @@ impl RunOutcome {
     }
 }
 
+impl ToJson for RunOutcome {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"reason\":{},\"stats\":{},\"tainted_input_bytes\":{}}}",
+            self.reason.to_json(),
+            self.stats.to_json(),
+            self.tainted_input_bytes
+        )
+    }
+}
+
+/// Budgets on a run: a step count and an optional wall-clock watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Maximum instructions before [`ExitReason::StepLimit`].
+    pub max_steps: u64,
+    /// Wall-clock budget before [`ExitReason::Watchdog`], or `None` for no
+    /// watchdog. The clock is polled every [`WATCHDOG_STRIDE`] steps, so
+    /// enforcement is coarse but the per-step cost is one integer mask.
+    pub watchdog: Option<Duration>,
+}
+
+impl RunLimits {
+    /// A step budget with no watchdog — the classic limit.
+    #[must_use]
+    pub fn steps(max_steps: u64) -> RunLimits {
+        RunLimits {
+            max_steps,
+            watchdog: None,
+        }
+    }
+
+    /// Adds a wall-clock watchdog (builder).
+    #[must_use]
+    pub fn watchdog(mut self, limit: Duration) -> RunLimits {
+        self.watchdog = Some(limit);
+        self
+    }
+}
+
+/// Steps between watchdog clock polls.
+pub const WATCHDOG_STRIDE: u64 = 1 << 16;
+
+/// A per-step callback invoked by [`run_to_exit_with`] *before* each step —
+/// the attachment point for the fault-injection harness's state corruptions.
+pub trait StepHook {
+    /// Called before step `step` (0-based) executes, with the architectural
+    /// CPU state open for inspection or corruption.
+    fn on_step(&mut self, step: u64, cpu: &mut Cpu);
+}
+
+/// The no-op hook, for ordinary (uninjected) runs.
+impl StepHook for () {
+    fn on_step(&mut self, _step: u64, _cpu: &mut Cpu) {}
+}
+
 /// Runs `cpu` under `os` until exit, crash, detection, or `max_steps`.
 ///
 /// `syscall` traps are serviced by the kernel; a pending `exit` ends the run
 /// at the trap that requested it.
 pub fn run_to_exit(cpu: &mut Cpu, os: &mut Os, max_steps: u64) -> RunOutcome {
-    let mut reason = ExitReason::StepLimit;
-    for _ in 0..max_steps {
-        match cpu.step() {
-            Ok(StepEvent::Executed) => {}
-            Ok(StepEvent::SyscallTrap) => {
-                os.handle_syscall(cpu);
-                if let Some(status) = os.exit_status() {
-                    reason = ExitReason::Exited(status);
-                    break;
-                }
-                // §5.3 annotation extension: kernel buffer copies (read/
-                // recv) may land tainted bytes inside an annotated region.
-                if !cpu.taint_watches().is_empty() {
-                    let pc = cpu.pc().wrapping_sub(4);
-                    if let Some(alert) = cpu.scan_taint_watches(pc, ptaint_isa::Instr::Syscall) {
-                        reason = ExitReason::Security(alert);
-                        break;
-                    }
-                }
-            }
-            Ok(StepEvent::BreakTrap(code)) => {
-                reason = ExitReason::BreakTrap(code);
-                break;
-            }
-            Err(CpuException::Security(alert)) => {
-                reason = ExitReason::Security(alert);
-                break;
-            }
-            Err(CpuException::Mem(fault)) => {
-                reason = ExitReason::MemFault(fault);
-                break;
-            }
-            Err(CpuException::Decode { pc, .. }) => {
-                reason = ExitReason::DecodeFault(pc);
-                break;
-            }
-        }
-    }
+    run_to_exit_with(cpu, os, RunLimits::steps(max_steps), &mut ())
+}
+
+/// The generalized driver behind [`run_to_exit`]: generic over the stepper
+/// (functional [`Cpu`] or the pipelined timing model), with a wall-clock
+/// watchdog and a per-step hook, and hardened so that **no outcome aborts
+/// the host** — a panic reachable from guest or injected state is caught
+/// and reported as [`ExitReason::GuestFault`].
+pub fn run_to_exit_with<S: Steppable>(
+    stepper: &mut S,
+    os: &mut Os,
+    limits: RunLimits,
+    hook: &mut dyn StepHook,
+) -> RunOutcome {
+    let reason = catch_unwind(AssertUnwindSafe(|| drive(stepper, os, limits, hook)))
+        .unwrap_or_else(|payload| ExitReason::GuestFault(panic_message(payload.as_ref())));
     RunOutcome {
         reason,
-        stats: cpu.stats(),
+        stats: stepper.cpu().stats(),
         stdout: os.stdout().to_vec(),
         stderr: os.stderr().to_vec(),
         transcripts: os
@@ -137,6 +216,61 @@ pub fn run_to_exit(cpu: &mut Cpu, os: &mut Os, max_steps: u64) -> RunOutcome {
             .map(|s| s.to_vec())
             .collect(),
         tainted_input_bytes: os.tainted_input_bytes,
+    }
+}
+
+fn drive<S: Steppable>(
+    stepper: &mut S,
+    os: &mut Os,
+    limits: RunLimits,
+    hook: &mut dyn StepHook,
+) -> ExitReason {
+    let started = limits.watchdog.map(|_| Instant::now());
+    for step in 0..limits.max_steps {
+        if step & (WATCHDOG_STRIDE - 1) == 0 {
+            if let (Some(t0), Some(budget)) = (started, limits.watchdog) {
+                if t0.elapsed() >= budget {
+                    return ExitReason::Watchdog;
+                }
+            }
+        }
+        hook.on_step(step, stepper.cpu_mut());
+        match stepper.step() {
+            Ok(StepEvent::Executed) => {}
+            Ok(StepEvent::SyscallTrap) => {
+                os.handle_syscall(stepper.cpu_mut());
+                if let Some(status) = os.exit_status() {
+                    return ExitReason::Exited(status);
+                }
+                // §5.3 annotation extension: kernel buffer copies (read/
+                // recv) may land tainted bytes inside an annotated region.
+                if !stepper.cpu().taint_watches().is_empty() {
+                    let pc = stepper.cpu().pc().wrapping_sub(4);
+                    if let Some(alert) = stepper
+                        .cpu_mut()
+                        .scan_taint_watches(pc, ptaint_isa::Instr::Syscall)
+                    {
+                        return ExitReason::Security(alert);
+                    }
+                }
+            }
+            Ok(StepEvent::BreakTrap(code)) => return ExitReason::BreakTrap(code),
+            Err(CpuException::Security(alert)) => return ExitReason::Security(alert),
+            Err(CpuException::Mem(fault)) => return ExitReason::MemFault(fault),
+            Err(CpuException::Decode { pc, .. }) => return ExitReason::DecodeFault(pc),
+        }
+    }
+    ExitReason::StepLimit
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -300,5 +434,115 @@ main:   lw $t0, 4($a1)    # argv[1] pointer (untainted, kernel-built)
         assert!(ExitReason::DecodeFault(0x400000)
             .to_string()
             .contains("illegal instruction"));
+        assert_eq!(
+            ExitReason::GuestFault("boom".into()).to_string(),
+            "guest fault: boom"
+        );
+        assert_eq!(ExitReason::Watchdog.to_string(), "watchdog expired");
+    }
+
+    #[test]
+    fn exit_reason_json_is_stable() {
+        assert_eq!(
+            ExitReason::Exited(42).to_json(),
+            "{\"kind\":\"exited\",\"status\":42}"
+        );
+        assert_eq!(ExitReason::StepLimit.to_json(), "{\"kind\":\"step_limit\"}");
+        assert_eq!(
+            ExitReason::GuestFault("index out of \"bounds\"".into()).to_json(),
+            "{\"kind\":\"guest_fault\",\"detail\":\"index out of \\\"bounds\\\"\"}"
+        );
+        // Deliberately carries no timing data: watchdog outcomes must not
+        // perturb byte-identical campaign reports.
+        assert_eq!(ExitReason::Watchdog.to_json(), "{\"kind\":\"watchdog\"}");
+        assert_eq!(
+            ExitReason::DecodeFault(0x40_0000).to_json(),
+            "{\"kind\":\"decode_fault\",\"pc\":\"0x400000\"}"
+        );
+    }
+
+    #[test]
+    fn run_outcome_json_embeds_reason_and_stats() {
+        let out = run_program(
+            "main: li $v0, 1\n li $a0, 7\n syscall",
+            WorldConfig::new(),
+            DetectionPolicy::PointerTaintedness,
+        );
+        let json = out.to_json();
+        assert!(json.starts_with("{\"reason\":{\"kind\":\"exited\",\"status\":7}"));
+        assert!(json.contains("\"stats\":{"));
+        assert!(json.ends_with("\"tainted_input_bytes\":0}"));
+    }
+
+    #[test]
+    fn watchdog_interrupts_infinite_loop() {
+        let image = assemble("main: b main").unwrap();
+        let (mut cpu, mut os) = load(
+            &image,
+            WorldConfig::new(),
+            DetectionPolicy::PointerTaintedness,
+            HierarchyConfig::flat(),
+        );
+        let limits = RunLimits::steps(u64::MAX).watchdog(Duration::from_millis(10));
+        let out = run_to_exit_with(&mut cpu, &mut os, limits, &mut ());
+        assert_eq!(out.reason, ExitReason::Watchdog);
+    }
+
+    #[test]
+    fn step_hook_sees_every_step_and_can_mutate_state() {
+        // The hook plants $v0=1/$a0=9 right before the guest's syscall step,
+        // turning a would-be getpid into exit(9) — proving hooks observe the
+        // step index and can corrupt architectural state mid-run.
+        struct ForceExit;
+        impl StepHook for ForceExit {
+            fn on_step(&mut self, step: u64, cpu: &mut Cpu) {
+                if step == 4 {
+                    let regs = cpu.regs_mut();
+                    regs.set(ptaint_isa::Reg::V0, 1, ptaint_mem::WordTaint::CLEAN);
+                    regs.set(ptaint_isa::Reg::A0, 9, ptaint_mem::WordTaint::CLEAN);
+                }
+            }
+        }
+        let image = assemble("main: nop\n nop\n nop\n li $v0, 20\n syscall\n b main").unwrap();
+        let (mut cpu, mut os) = load(
+            &image,
+            WorldConfig::new(),
+            DetectionPolicy::PointerTaintedness,
+            HierarchyConfig::flat(),
+        );
+        let out = run_to_exit_with(&mut cpu, &mut os, RunLimits::steps(100), &mut ForceExit);
+        assert_eq!(out.reason, ExitReason::Exited(9));
+    }
+
+    #[test]
+    fn host_panic_is_reported_as_guest_fault() {
+        struct PanicAtStep(u64);
+        impl StepHook for PanicAtStep {
+            fn on_step(&mut self, step: u64, _cpu: &mut Cpu) {
+                assert!(step < self.0, "injected host panic at step {step}");
+            }
+        }
+        let image = assemble("main: b main").unwrap();
+        let (mut cpu, mut os) = load(
+            &image,
+            WorldConfig::new(),
+            DetectionPolicy::PointerTaintedness,
+            HierarchyConfig::flat(),
+        );
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected backtrace
+        let out = run_to_exit_with(
+            &mut cpu,
+            &mut os,
+            RunLimits::steps(100),
+            &mut PanicAtStep(5),
+        );
+        std::panic::set_hook(prev);
+        match &out.reason {
+            ExitReason::GuestFault(msg) => {
+                assert!(msg.contains("injected host panic at step 5"), "{msg}");
+            }
+            other => panic!("expected GuestFault, got {other:?}"),
+        }
     }
 }

@@ -171,6 +171,13 @@ pub enum Event {
         /// Address of the instruction whose check was skipped.
         pc: u32,
     },
+    /// The fault-injection harness applied a fault to this run.
+    FaultInjected {
+        /// Fault kind name (e.g. `"taint_clear"`, `"short_read"`).
+        kind: &'static str,
+        /// Human-readable description of what was corrupted.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -188,6 +195,7 @@ impl Event {
             Event::DecodeCache { .. } => "decode_cache",
             Event::StaticAnalysis { .. } => "static_analysis",
             Event::CheckElided { .. } => "check_elided",
+            Event::FaultInjected { .. } => "fault_injected",
         }
     }
 
@@ -283,6 +291,11 @@ impl Event {
             Event::CheckElided { pc } => {
                 format!("\"event\":\"check_elided\",\"pc\":\"0x{pc:x}\"")
             }
+            Event::FaultInjected { kind, detail } => format!(
+                "\"event\":\"fault_injected\",\"kind\":{},\"detail\":{}",
+                escape(kind),
+                escape(detail),
+            ),
         }
     }
 }

@@ -74,6 +74,10 @@ pub struct MetricsSnapshot {
     /// Check sites the static analyzer proved clean (from the boot-time
     /// [`Event::StaticAnalysis`] summary; zero when analysis never ran).
     pub statically_proven: u64,
+    /// Faults the injection harness applied (zero outside campaigns).
+    pub faults_injected: u64,
+    /// Applied faults broken down by fault-kind name.
+    pub faults_by_kind: BTreeMap<&'static str, u64>,
     /// Tainted-retire fraction per [`DENSITY_WINDOW`]-instruction window,
     /// in execution order — the taint-density-over-time histogram.
     pub taint_density: Vec<f64>,
@@ -101,6 +105,7 @@ impl ToJson for MetricsSnapshot {
                 "\"syscalls\":{},\"cache\":[{{\"hits\":{},\"misses\":{}}},{{\"hits\":{},\"misses\":{}}}],",
                 "\"decode_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
                 "\"elided_checks\":{},\"statically_proven\":{},",
+                "\"faults_injected\":{},\"faults_by_kind\":{},",
                 "\"taint_density\":[{}]}}"
             ),
             self.retired,
@@ -122,6 +127,8 @@ impl ToJson for MetricsSnapshot {
             self.decode_cache.invalidations,
             self.elided_checks,
             self.statically_proven,
+            self.faults_injected,
+            map(&self.faults_by_kind),
             density.join(","),
         )
     }
@@ -189,6 +196,10 @@ impl MetricsCollector {
                 self.snap.statically_proven += proven;
             }
             Event::CheckElided { .. } => self.snap.elided_checks += 1,
+            Event::FaultInjected { kind, .. } => {
+                self.snap.faults_injected += 1;
+                *self.snap.faults_by_kind.entry(kind).or_insert(0) += 1;
+            }
         }
     }
 
@@ -282,6 +293,27 @@ mod tests {
         let json = snap.to_json();
         assert!(
             json.contains("\"decode_cache\":{\"hits\":2,\"misses\":2,\"invalidations\":1}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn fault_injection_counters_fold_by_kind() {
+        let mut m = MetricsCollector::new();
+        for kind in ["taint_clear", "short_read", "taint_clear"] {
+            m.record(&Event::FaultInjected {
+                kind,
+                detail: "x".to_string(),
+            });
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.faults_injected, 3);
+        assert_eq!(snap.faults_by_kind.get("taint_clear"), Some(&2));
+        let json = snap.to_json();
+        assert!(
+            json.contains(
+                "\"faults_injected\":3,\"faults_by_kind\":{\"short_read\":1,\"taint_clear\":2}"
+            ),
             "{json}"
         );
     }

@@ -82,6 +82,10 @@ fn one_of_each() -> Vec<Event> {
             flagged: 0,
         },
         Event::CheckElided { pc: 0x40_0108 },
+        Event::FaultInjected {
+            kind: "taint_clear",
+            detail: "taint cleared on [0x10000000, +256)".to_string(),
+        },
     ]
 }
 
@@ -166,6 +170,7 @@ fn pinned_keys(event: &str) -> &'static [&'static str] {
         "decode_cache" => &["event", "page", "kind"],
         "static_analysis" => &["event", "functions", "blocks", "proven", "flagged"],
         "check_elided" => &["event", "pc"],
+        "fault_injected" => &["event", "kind", "detail"],
         other => panic!("unknown event discriminant `{other}`"),
     }
 }
