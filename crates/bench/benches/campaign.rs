@@ -1,0 +1,100 @@
+//! Fault-injection campaign throughput: trials/sec for a full deterministic
+//! campaign (baseline + seeded faulted trials across every `FaultKind`) on
+//! two workloads — the synthetic Experiment 1 stack smash and the ghttpd
+//! log-handler attack. Each trial boots a fresh machine, so this measures
+//! the end-to-end cost of one campaign data point, not just the hot loop.
+//!
+//! Besides the criterion groups, a machine-readable summary is written to
+//! `BENCH_campaign.json` at the repository root (trials per campaign,
+//! trials/sec per workload). Set `BENCH_QUICK=1` to shrink the campaign for
+//! CI smoke runs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ptaint::{CampaignSpec, Machine};
+use ptaint_guest::apps::{ghttpd, synthetic};
+
+/// Faulted trials per campaign: full runs average over a broad fault
+/// sample; quick mode keeps CI smoke runs under a second.
+fn trials() -> u64 {
+    if quick() {
+        4
+    } else {
+        32
+    }
+}
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+/// Campaign seed: fixed so every run samples the identical fault schedule.
+const SEED: u64 = 1;
+
+/// The two campaign workloads, built once and reused across trials.
+fn workloads() -> Vec<(&'static str, Machine)> {
+    let exp1 = Machine::from_c(synthetic::EXP1_SOURCE)
+        .expect("exp1 builds")
+        .world(synthetic::exp1_attack_world());
+    let ghttpd_m = Machine::from_c(ghttpd::SOURCE).expect("ghttpd builds");
+    let world = ghttpd::attack_world(ghttpd_m.image());
+    vec![("exp1", exp1), ("ghttpd", ghttpd_m.world(world))]
+}
+
+/// Trials/sec over several whole-campaign runs, reporting the best (least
+/// noise-disturbed) run after one warmup.
+fn trials_per_sec(machine: &Machine, spec: &CampaignSpec) -> f64 {
+    // Count the unfaulted baseline run along with the faulted trials.
+    let runs = machine.run_campaign(spec).records.len() as f64 + 1.0;
+    let mut best = f64::MIN;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = machine.run_campaign(spec);
+        let elapsed = start.elapsed();
+        assert_eq!(report.records.len() as f64 + 1.0, runs);
+        best = best.max(runs / elapsed.as_secs_f64());
+    }
+    best
+}
+
+fn bench_campaigns(c: &mut Criterion) {
+    let spec = CampaignSpec::new(SEED, trials());
+    let workloads = workloads();
+
+    let mut group = c.benchmark_group("campaign");
+    // Each campaign runs the unfaulted baseline plus `trials()` faulted runs.
+    group.throughput(Throughput::Elements(trials() + 1));
+    group.sample_size(10);
+    for (name, machine) in &workloads {
+        group.bench_function(*name, |b| {
+            b.iter(|| machine.run_campaign(&spec).records.len())
+        });
+    }
+    group.finish();
+
+    // Machine-readable summary for the trend consolidator.
+    let mut rates = Vec::new();
+    for (name, machine) in &workloads {
+        rates.push((*name, trials_per_sec(machine, &spec)));
+    }
+    let mut json = format!("{{\"bench\":\"campaign\",\"trials\":{}", trials());
+    for (name, rate) in &rates {
+        json.push_str(&format!(",\"{name}_trials_per_sec\":{rate:.0}"));
+    }
+    json.push_str(&format!(",\"quick\":{}}}\n", quick()));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, &json).expect("writes BENCH_campaign.json");
+    let summary: Vec<String> = rates
+        .iter()
+        .map(|(name, rate)| format!("{name} {rate:.0} trials/s"))
+        .collect();
+    println!(
+        "campaign: {} faulted trials/campaign; {} -> {path}",
+        trials(),
+        summary.join(", ")
+    );
+}
+
+criterion_group!(benches, bench_campaigns);
+criterion_main!(benches);

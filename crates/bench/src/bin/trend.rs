@@ -1,0 +1,94 @@
+//! `trend` — consolidate `BENCH_*.json` summaries and fixed-seed campaign
+//! outcome counts into `TREND.json`, and gate the current numbers against
+//! the checked-in baseline. See the `ptaint_bench` crate docs for the
+//! comparison rules (exact campaign counts, tolerance-banded throughput).
+//!
+//! ```text
+//! trend print          write the fresh collection to stdout
+//! trend write          refresh TREND.json at the repository root
+//! trend check          compare a fresh collection against TREND.json;
+//!                      exit 1 on any violation, 2 on usage/baseline errors
+//! ```
+//!
+//! `TREND_TOLERANCE=0.4` overrides the default throughput tolerance band.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use ptaint_bench::{check_trend, collect_trend, render_trend, Value, DEFAULT_TOLERANCE};
+
+fn main() -> ExitCode {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let baseline_path = root.join("TREND.json");
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "print".into());
+
+    let mut notes = Vec::new();
+    let current = collect_trend(root, &mut notes);
+    for note in &notes {
+        eprintln!("trend: note: {note}");
+    }
+
+    match mode.as_str() {
+        "print" => {
+            print!("{}", render_trend(&current));
+            ExitCode::SUCCESS
+        }
+        "write" => {
+            if let Err(e) = std::fs::write(&baseline_path, render_trend(&current)) {
+                eprintln!("trend: cannot write {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            println!("trend: wrote {}", baseline_path.display());
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let text = match std::fs::read_to_string(&baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "trend: cannot read baseline {}: {e} (run `trend write` first)",
+                        baseline_path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            let baseline = match Value::parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!(
+                        "trend: baseline {} is not JSON: {e}",
+                        baseline_path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            let tolerance = std::env::var("TREND_TOLERANCE")
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .filter(|t| (0.0..1.0).contains(t))
+                .unwrap_or(DEFAULT_TOLERANCE);
+            let gate = check_trend(&baseline, &current, tolerance);
+            for skip in &gate.skipped {
+                println!("trend: skipped: {skip}");
+            }
+            for violation in &gate.violations {
+                println!("trend: FAIL: {violation}");
+            }
+            println!(
+                "trend: {} values checked, {} skipped, {} violations (tolerance {tolerance})",
+                gate.checked,
+                gate.skipped.len(),
+                gate.violations.len()
+            );
+            if gate.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("trend: unknown mode `{other}` (expected print | write | check)");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! ptaint-run program.c [options]
 //! ptaint-run analyze program.c [options]
 //! ptaint-run inject program.c [options]
+//! ptaint-run profile program.c [options]
 //!
 //! The `analyze` subcommand runs the static taint dataflow analysis
 //! (`ptaint-analyze`) over the built image and prints the lint report —
@@ -21,6 +22,17 @@
 //! baseline's verdict (detected / missed / false-alert / benign /
 //! guest-fault / watchdog). The JSON report is byte-identical for the same
 //! `--seed` and workload. Like `analyze`, the keyword is positional.
+//!
+//! The `profile` subcommand (`ptaint-profile`) runs the program with the
+//! hot-loop profiler enabled and prints a top-N report: hot blocks and pcs
+//! (per-PC retirement histogram, symbolized), taint hotspots (the
+//! TaintSource/PointerCheck/Alert/check-elided heatmap by site and
+//! symbol), the per-syscall count/step-latency table, and collapsed call
+//! stacks. `--profile-out FILE` writes the full profile as JSON — counts
+//! only, no wall-clock data, so a deterministic guest profiles
+//! byte-identically. `--profile-out` also works without the subcommand
+//! (collect during a normal run, skip the printed report). Like
+//! `analyze`, the keyword is positional.
 //!
 //! options:
 //!   --asm                 input is assembly, not mini-C
@@ -53,6 +65,11 @@
 //!                         of stdout
 //!   --trace-out FILE      write the structured event stream (JSONL) to FILE
 //!   --metrics-out FILE    write the aggregated metrics snapshot (JSON) to FILE
+//!   --metrics-interval N  interleave a `metrics_snapshot` record into the
+//!                         JSONL stream every N retired instructions
+//!                         (time-series metrics; needs --trace-out)
+//!   --profile-out FILE    write the profile JSON (per-PC histogram, taint
+//!                         heatmap, syscall table, collapsed stacks) to FILE
 //!   --provenance          track taint provenance; on a detection, print the
 //!                         forensic chain from input byte to flagged pointer
 //!   --trace-depth N       depth of the recently-retired diagnostic ring
@@ -63,7 +80,8 @@
 //! The process exit code is the guest's exit status; detections exit 42;
 //! usage, read, and build errors exit 2; `analyze` findings exit 3; a
 //! failure to write a requested artifact (`--trace-out`, `--metrics-out`,
-//! `--report`) exits 4 so scripts never mistake lost data for success.
+//! `--profile-out`, `--report`) exits 4 so scripts never mistake lost
+//! data for success.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -76,6 +94,9 @@ use ptaint::{
 /// Exit code for a failure to persist a requested artifact.
 pub const EXIT_ARTIFACT: i32 = 4;
 
+/// Rows per section in the `profile` subcommand's printed report.
+const PROFILE_TOP_N: usize = 10;
+
 /// Parsed command-line options.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Options {
@@ -87,6 +108,14 @@ pub struct Options {
     /// Run a fault-injection campaign instead of a single execution (the
     /// `inject` subcommand).
     pub inject: bool,
+    /// Run with the profiler and print the top-N report (the `profile`
+    /// subcommand).
+    pub profile: bool,
+    /// Write the profile JSON here (implies profile collection).
+    pub profile_out: Option<String>,
+    /// Interleave `metrics_snapshot` records into the JSONL stream every N
+    /// retired instructions (`--metrics-interval`; needs `--trace-out`).
+    pub metrics_interval: Option<u64>,
     /// Campaign seed (`--seed`, inject only).
     pub seed: Option<u64>,
     /// Campaign trial count (`--trials`, inject only).
@@ -220,6 +249,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
             opts.inject = true;
             it.next();
         }
+        Some("profile") => {
+            opts.profile = true;
+            it.next();
+        }
         _ => {}
     }
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -342,6 +375,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
             "--report" => opts.report_out = Some(value(&mut it, "--report")?),
             "--trace-out" => opts.trace_out = Some(value(&mut it, "--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value(&mut it, "--metrics-out")?),
+            "--profile-out" => opts.profile_out = Some(value(&mut it, "--profile-out")?),
+            "--metrics-interval" => {
+                let v = value(&mut it, "--metrics-interval")?;
+                let n: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| UsageError(format!("bad metrics interval `{v}`")))?;
+                opts.metrics_interval = Some(n);
+            }
             "--provenance" => opts.provenance = true,
             "--trace-depth" => {
                 let v = value(&mut it, "--trace-depth")?;
@@ -364,6 +407,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
     if opts.program.is_empty() {
         return Err(UsageError(
             "no program given (usage: ptaint-run prog.c [options])".into(),
+        ));
+    }
+    if opts.metrics_interval.is_some() && opts.trace_out.is_none() {
+        return Err(UsageError(
+            "`--metrics-interval` needs `--trace-out FILE` (the periodic snapshots land in the JSONL stream)".into(),
+        ));
+    }
+    if (opts.profile || opts.profile_out.is_some()) && opts.pipeline {
+        return Err(UsageError(
+            "`--pipeline` cannot be profiled (the profiler rides the functional engine)".into(),
         ));
     }
     Ok(opts)
@@ -452,14 +505,23 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
         jsonl: opts.trace_out.is_some(),
         metrics: opts.metrics_out.is_some(),
         provenance: opts.provenance,
+        metrics_interval: opts.metrics_interval,
         ..TraceConfig::default()
     };
+    let profiling = opts.profile || opts.profile_out.is_some();
     let mut report = String::new();
     let mut trace = Vec::new();
     let mut trace_report = TraceReport::default();
+    let mut profile = None;
     let (outcome, pipeline) = if opts.pipeline {
         let (o, p) = machine.run_pipelined();
         (o, Some(p))
+    } else if profiling {
+        let (o, t, r, p) = machine.run_profile(&trace_cfg);
+        trace = t;
+        trace_report = r;
+        profile = Some(p);
+        (o, None)
     } else if trace_cfg.any() {
         let (o, t, r) = machine.run_with_trace(&trace_cfg);
         trace = t;
@@ -516,7 +578,29 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
     } else if opts.provenance && detected {
         let _ = writeln!(report, "--- provenance: no chain reconstructed ---");
     }
+    // The `profile` subcommand's reason to exist: the human top-N report.
+    if opts.profile && !opts.quiet {
+        if let Some(p) = &profile {
+            report.push_str(&p.render_text(PROFILE_TOP_N));
+        }
+    }
     let mut artifact_failed = false;
+    if let Some(path) = &opts.profile_out {
+        let json = profile
+            .as_ref()
+            .map(|p| p.to_json() + "\n")
+            .unwrap_or_default();
+        match std::fs::write(path, &json) {
+            Ok(()) if !opts.quiet => {
+                let _ = writeln!(report, "--- profile: wrote {path}");
+            }
+            Ok(()) => {}
+            Err(e) => {
+                let _ = writeln!(report, "--- profile: cannot write `{path}`: {e}");
+                artifact_failed = true;
+            }
+        }
+    }
     if let Some(path) = &opts.trace_out {
         let bytes = trace_report.jsonl.take().unwrap_or_default();
         let events = bytes.iter().filter(|&&b| b == b'\n').count();
@@ -865,6 +949,66 @@ mod tests {
     }
 
     #[test]
+    fn profile_subcommand_prints_the_report() {
+        let opts = parse(&["profile", "p.c"]).unwrap();
+        assert!(opts.profile);
+        assert_eq!(opts.program, "p.c");
+
+        let machine = build_machine(&opts, "int main() { return 0; }").unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("--- profile:"), "{report}");
+        assert!(report.contains("hot blocks"), "{report}");
+        assert!(report.contains("main"), "{report}");
+
+        // Positional-only, like `analyze` and `inject`.
+        let opts = parse(&["--asm", "profile"]).unwrap();
+        assert!(!opts.profile);
+        assert_eq!(opts.program, "profile");
+    }
+
+    #[test]
+    fn profile_out_writes_deterministic_json() {
+        let dir = std::env::temp_dir().join("ptaint-cli-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        let mut opts = parse(&["p.c", "--quiet"]).unwrap();
+        opts.profile_out = Some(path.to_string_lossy().into_owned());
+        let machine = build_machine(
+            &opts,
+            "int f(int x) { return x + 1; } int main() { return f(4); }",
+        )
+        .unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 5, "{report}");
+        let first = std::fs::read(&path).unwrap();
+        let (_, code2) = run_machine(&opts, &machine);
+        assert_eq!(code2, 5);
+        let second = std::fs::read(&path).unwrap();
+        assert_eq!(first, second, "profile JSON must be byte-deterministic");
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.starts_with("{\"steps\":"), "{text}");
+        assert!(text.contains("\"symbol\":\"main\""), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_interval_needs_trace_out_and_rejects_zero() {
+        assert!(parse(&["p.c", "--metrics-interval", "100"])
+            .unwrap_err()
+            .0
+            .contains("--trace-out"));
+        assert!(parse(&["p.c", "--metrics-interval", "0", "--trace-out", "t"]).is_err());
+        assert!(parse(&["p.c", "--metrics-interval", "x", "--trace-out", "t"]).is_err());
+        let opts = parse(&["p.c", "--metrics-interval", "512", "--trace-out", "t.jsonl"]).unwrap();
+        assert_eq!(opts.metrics_interval, Some(512));
+
+        // Profiling the pipeline timing model is a usage error.
+        assert!(parse(&["profile", "p.c", "--pipeline"]).is_err());
+        assert!(parse(&["p.c", "--pipeline", "--profile-out", "f"]).is_err());
+    }
+
+    #[test]
     fn artifact_write_failures_exit_4() {
         // Campaign report into a directory that does not exist.
         let mut opts = parse(&[
@@ -892,6 +1036,17 @@ mod tests {
         let machine2 = build_machine(&opts2, "int main() { return 0; }").unwrap();
         let (report2, code2) = run_machine(&opts2, &machine2);
         assert_eq!(code2, EXIT_ARTIFACT, "{report2}");
+
+        // Profile JSON into an unwritable path: same contract.
+        let opts3 = {
+            let mut o = parse(&["p.c", "--profile-out", "/nonexistent-dir/p.json"]).unwrap();
+            o.quiet = true;
+            o
+        };
+        let machine3 = build_machine(&opts3, "int main() { return 0; }").unwrap();
+        let (report3, code3) = run_machine(&opts3, &machine3);
+        assert_eq!(code3, EXIT_ARTIFACT, "{report3}");
+        assert!(report3.contains("cannot write"), "{report3}");
     }
 
     #[test]

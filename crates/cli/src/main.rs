@@ -11,6 +11,7 @@ fn main() -> ExitCode {
             "ptaint-run <program.c|program.s> [options]\n\
              ptaint-run analyze <program.c|program.s> [options]\n\
              ptaint-run inject <program.c|program.s> [options]\n\
+             ptaint-run profile <program.c|program.s> [options]\n\
              \n\
              analyze              print the static taint lint report and\n\
                                   exit (0 clean, 3 with findings); only\n\
@@ -21,6 +22,9 @@ fn main() -> ExitCode {
                                   campaign (baseline + --trials seeded\n\
                                   faults) and emit the JSON report; same\n\
                                   seed => byte-identical report\n\
+             profile              run with the hot-loop profiler and print\n\
+                                  the top-N report: hot blocks/pcs, taint\n\
+                                  hotspots, syscall table, call paths\n\
              \n\
              --asm                input is assembly\n\
              --optimize           peephole-optimize the generated code\n\
@@ -45,6 +49,11 @@ fn main() -> ExitCode {
              --report FILE        (inject) write campaign JSON to FILE\n\
              --trace-out FILE     write the event stream (JSONL) to FILE\n\
              --metrics-out FILE   write the metrics snapshot (JSON) to FILE\n\
+             --metrics-interval N interleave a metrics_snapshot record into\n\
+                                  the JSONL stream every N retired\n\
+                                  instructions (needs --trace-out)\n\
+             --profile-out FILE   write the profile JSON to FILE (counts\n\
+                                  only; byte-deterministic)\n\
              --provenance         print the forensic taint chain on detection\n\
              --trace-depth N      retired-instruction ring depth\n\
              --disasm             print disassembly and exit\n\
@@ -52,7 +61,8 @@ fn main() -> ExitCode {
              \n\
              exit code: guest status; 42 on a security detection; 2 on\n\
              usage/read/build errors; 3 on analyze findings; 4 when a\n\
-             requested artifact file cannot be written"
+             requested artifact file (--trace-out, --metrics-out,\n\
+             --profile-out, --report) cannot be written"
         );
         return ExitCode::SUCCESS;
     }

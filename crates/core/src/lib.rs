@@ -77,6 +77,9 @@ pub use ptaint_os::{
     load, load_with_observer, run_to_exit, run_to_exit_with, ExitReason, IoFault, IoFaultPlan,
     NetSession, Os, RunLimits, RunOutcome, StepHook, Sys, WorldConfig, EINTR,
 };
+pub use ptaint_profile::{
+    EventProfile, HotProfile, ProfileReport, SymbolCount, SymbolTable, SyscallRow, TaintSite,
+};
 pub use ptaint_trace::{
     Event, ForensicChain, MetricsSnapshot, Observer, SharedObserver, ToJson, TraceConfig, TraceHub,
     TraceReport,

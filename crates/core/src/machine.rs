@@ -10,7 +10,9 @@ use ptaint_guest::BuildError;
 use ptaint_inject::{CampaignReport, CampaignSpec, Fault, StateInjector, TrialRun};
 use ptaint_mem::HierarchyConfig;
 use ptaint_os::{load_with_observer, run_to_exit_with, Os, RunLimits, RunOutcome, WorldConfig};
-use ptaint_trace::{Event, SharedObserver, TraceConfig, TraceHub, TraceReport};
+use ptaint_profile::{EventProfile, ProfileReport, SymbolTable};
+use ptaint_trace::{Event, Observer, SharedObserver, TraceConfig, TraceHub, TraceReport};
+use std::cell::RefCell;
 
 /// A configured guest machine: program image, outside world, detection
 /// policy, and memory hierarchy. Each [`Machine::run`] boots a fresh
@@ -371,6 +373,61 @@ impl Machine {
         (outcome, tail, report)
     }
 
+    /// Boots with the hot-loop profiler enabled plus an event-stream
+    /// profile collector, runs to completion, and returns the outcome, the
+    /// execution tail, the [`TraceReport`] for whatever sinks `cfg`
+    /// enables, and the merged, symbolized [`ProfileReport`] — per-PC and
+    /// per-symbol retirement counts, collapsed call stacks, the taint
+    /// heatmap, and the syscall table. The report carries counts only (no
+    /// wall-clock data), so a deterministic guest profiles
+    /// byte-identically under either engine.
+    #[must_use]
+    pub fn run_profile(
+        &self,
+        cfg: &TraceConfig,
+    ) -> (RunOutcome, Vec<String>, TraceReport, ProfileReport) {
+        let fan = Rc::new(RefCell::new(ProfileFan {
+            hub: TraceHub::new(cfg),
+            events: EventProfile::new(),
+        }));
+        let observer: SharedObserver = fan.clone();
+        let (mut cpu, mut os) = self.boot_with(Some(observer));
+        cpu.enable_profiler();
+        let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut ());
+        let tail = self.render_tail(&cpu);
+        let hot = cpu.take_profiler().unwrap_or_default();
+        drop(cpu);
+        drop(os);
+        let (trace_report, events) = Rc::try_unwrap(fan)
+            .map(|cell| {
+                let fan = cell.into_inner();
+                (fan.hub.into_report(), fan.events)
+            })
+            .unwrap_or_else(|_| (TraceReport::default(), EventProfile::new()));
+        let profile = ProfileReport::build(&hot, &events, &self.symbol_table());
+        (outcome, tail, trace_report, profile)
+    }
+
+    /// A profile-ready symbol table over the image's text segment (plus a
+    /// synthetic name for the loader's exit stub, which executes right
+    /// after text). The mini-C compiler's internal basic-block labels
+    /// (`_L<n>_<stem>`) are dropped so samples attribute to the enclosing
+    /// function, not the branch target inside it.
+    #[must_use]
+    pub fn symbol_table(&self) -> SymbolTable {
+        let stub = ("<exit-stub>".to_string(), self.image.text_end());
+        SymbolTable::build(
+            self.image
+                .symbols
+                .iter()
+                .filter(|(name, _)| !name.starts_with("_L"))
+                .map(|(name, &addr)| (name.clone(), addr))
+                .chain(std::iter::once(stub)),
+            self.image.text_base,
+            self.image.text_end() + ptaint_os::EXIT_STUB_BYTES,
+        )
+    }
+
     fn render_tail(&self, cpu: &Cpu) -> Vec<String> {
         cpu.recent_trace()
             .into_iter()
@@ -390,6 +447,20 @@ impl Machine {
     #[must_use]
     pub fn program_size_bytes(&self) -> u32 {
         self.image.text.len() as u32 * 4 + self.image.data.len() as u32
+    }
+}
+
+/// Fans the event stream to the trace hub *and* the profile collector, so
+/// one observer slot serves both (`Machine::run_profile`).
+struct ProfileFan {
+    hub: TraceHub,
+    events: EventProfile,
+}
+
+impl Observer for ProfileFan {
+    fn on_event(&mut self, event: &Event) {
+        self.hub.on_event(event);
+        self.events.on_event(event);
     }
 }
 

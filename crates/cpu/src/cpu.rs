@@ -171,6 +171,11 @@ pub struct Cpu {
     last_step_tainted: bool,
     engine: Engine,
     dcache: DecodeCache,
+    // Hot-loop profiler (per-PC histogram + shadow call stack). Boxed so the
+    // disabled case costs one `None` branch per retire and nothing in cache
+    // footprint; identical across engines because both funnel through
+    // `exec`.
+    profiler: Option<Box<ptaint_profile::HotProfile>>,
 }
 
 impl fmt::Debug for Cpu {
@@ -204,6 +209,7 @@ impl Cpu {
             last_step_tainted: false,
             engine: Engine::default(),
             dcache: DecodeCache::new(),
+            profiler: None,
         }
     }
 
@@ -233,6 +239,24 @@ impl Cpu {
     #[must_use]
     pub fn has_observer(&self) -> bool {
         self.observer.is_some()
+    }
+
+    /// Enables the hot-loop profiler (per-PC retirement histogram + shadow
+    /// call stack). Collection starts at the next retired instruction; a
+    /// fresh profile replaces any previous one.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Box::new(ptaint_profile::HotProfile::new()));
+    }
+
+    /// Detaches and returns the collected profile (disabling collection).
+    pub fn take_profiler(&mut self) -> Option<Box<ptaint_profile::HotProfile>> {
+        self.profiler.take()
+    }
+
+    /// The live profile, if collection is enabled.
+    #[must_use]
+    pub fn profiler(&self) -> Option<&ptaint_profile::HotProfile> {
+        self.profiler.as_deref()
     }
 
     /// Forwards an event to the attached observer, if any. The OS model and
@@ -1010,6 +1034,10 @@ impl Cpu {
 
         self.stats.instructions += 1;
         self.push_trace(pc, instr);
+        if let Some(profiler) = &mut self.profiler {
+            profiler.on_retire(pc);
+            profiler.on_control(&instr, next_pc);
+        }
         self.pc = next_pc;
         if self.observer.is_some() {
             self.emit_event(&Event::Retire {

@@ -182,15 +182,18 @@ mod tests {
             decode_cache_misses: 2,
             decode_cache_invalidations: 1,
             elided_checks: 40,
+            injected_faults: 5,
             ..ExecStats::default()
         };
         assert!(stats.to_string().contains("decode-cache 98h/2m/1inv"));
         assert!(stats.to_string().contains("40 elided checks"));
+        assert!(stats.to_string().contains("5 injected faults"));
         let json = stats.to_json();
         assert!(json.contains("\"decode_cache_hits\":98"));
         assert!(json.contains("\"decode_cache_misses\":2"));
         assert!(json.contains("\"decode_cache_invalidations\":1"));
         assert!(json.contains("\"elided_checks\":40"));
+        assert!(json.contains("\"injected_faults\":5"));
         // Normalizing erases only the engine-activity counters.
         let plain = stats.without_decode_cache();
         assert_eq!(plain.instructions, 100);
@@ -202,6 +205,7 @@ mod tests {
             plain,
             ExecStats {
                 instructions: 100,
+                injected_faults: 5,
                 ..ExecStats::default()
             }
         );

@@ -1,0 +1,116 @@
+//! Address-to-symbol resolution for profile reports.
+
+/// A sorted symbol table over the guest text segment.
+///
+/// Built from `(name, addr)` pairs (the `Machine` layer feeds it the
+/// assembled image's symbol map restricted to text). When several names
+/// share an address the shortest one wins, ties broken lexicographically —
+/// the same preference `Image::symbol_at` applies, so profile output and
+/// disassembly agree on names.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// `(addr, name)`, sorted ascending by address, one entry per address.
+    syms: Vec<(u32, String)>,
+    /// Address range the table covers; lookups outside resolve to raw hex.
+    lo: u32,
+    hi: u32,
+}
+
+impl SymbolTable {
+    /// Builds a table from `(name, addr)` pairs covering `[lo, hi)`.
+    /// Pairs outside the range are dropped.
+    #[must_use]
+    pub fn build(pairs: impl IntoIterator<Item = (String, u32)>, lo: u32, hi: u32) -> SymbolTable {
+        let mut by_addr: Vec<(u32, String)> = Vec::new();
+        for (name, addr) in pairs {
+            if addr < lo || addr >= hi {
+                continue;
+            }
+            match by_addr.iter_mut().find(|(a, _)| *a == addr) {
+                Some((_, existing)) => {
+                    if (name.len(), &name) < (existing.len(), existing) {
+                        *existing = name;
+                    }
+                }
+                None => by_addr.push((addr, name)),
+            }
+        }
+        by_addr.sort();
+        SymbolTable {
+            syms: by_addr,
+            lo,
+            hi,
+        }
+    }
+
+    /// The symbol covering `addr`, as `(name, offset)`, if any.
+    #[must_use]
+    pub fn lookup(&self, addr: u32) -> Option<(&str, u32)> {
+        if addr < self.lo || addr >= self.hi {
+            return None;
+        }
+        let idx = match self.syms.binary_search_by_key(&addr, |(a, _)| *a) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let (base, name) = &self.syms[idx];
+        Some((name.as_str(), addr - base))
+    }
+
+    /// A display name for `addr`: `sym`, `sym+0x1c`, or bare `0x400104`.
+    #[must_use]
+    pub fn name(&self, addr: u32) -> String {
+        match self.lookup(addr) {
+            Some((name, 0)) => name.to_string(),
+            Some((name, off)) => format!("{name}+0x{off:x}"),
+            None => format!("0x{addr:x}"),
+        }
+    }
+
+    /// The bare symbol name covering `addr` (no offset), or raw hex.
+    #[must_use]
+    pub fn owner(&self, addr: u32) -> String {
+        match self.lookup(addr) {
+            Some((name, _)) => name.to_string(),
+            None => format!("0x{addr:x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SymbolTable {
+        SymbolTable::build(
+            [
+                ("main".to_string(), 0x40_0100),
+                ("handle".to_string(), 0x40_0200),
+                ("handle_alias_longer".to_string(), 0x40_0200),
+                ("outside".to_string(), 0x50_0000),
+            ],
+            0x40_0000,
+            0x40_1000,
+        )
+    }
+
+    #[test]
+    fn lookup_prefers_shortest_name_and_respects_range() {
+        let t = table();
+        assert_eq!(t.lookup(0x40_0200), Some(("handle", 0)));
+        assert_eq!(t.lookup(0x40_0204), Some(("handle", 4)));
+        assert_eq!(t.lookup(0x40_0100), Some(("main", 0)));
+        assert_eq!(t.lookup(0x40_00fc), None); // before the first symbol
+        assert_eq!(t.lookup(0x50_0000), None); // outside [lo, hi)
+    }
+
+    #[test]
+    fn names_render_with_offsets() {
+        let t = table();
+        assert_eq!(t.name(0x40_0200), "handle");
+        assert_eq!(t.name(0x40_021c), "handle+0x1c");
+        assert_eq!(t.name(0x7000_0000), "0x70000000");
+        assert_eq!(t.owner(0x40_021c), "handle");
+    }
+}

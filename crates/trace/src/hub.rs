@@ -2,6 +2,7 @@
 //! and the report extracted after a run.
 
 use crate::event::Event;
+use crate::json::ToJson;
 use crate::jsonl::JsonlSink;
 use crate::metrics::{MetricsCollector, MetricsSnapshot};
 use crate::provenance::{ForensicChain, ProvenanceTracker, DEFAULT_RING_DEPTH};
@@ -20,6 +21,10 @@ pub struct TraceConfig {
     pub provenance: bool,
     /// Capacity of the provenance propagation ring.
     pub ring_depth: usize,
+    /// Interleave a `metrics_snapshot` record into the JSONL stream every N
+    /// retired instructions (time-series metrics instead of one final
+    /// snapshot). Requires the JSONL sink; implies the metrics sink.
+    pub metrics_interval: Option<u64>,
 }
 
 impl Default for TraceConfig {
@@ -30,6 +35,7 @@ impl Default for TraceConfig {
             metrics: false,
             provenance: false,
             ring_depth: DEFAULT_RING_DEPTH,
+            metrics_interval: None,
         }
     }
 }
@@ -44,13 +50,14 @@ impl TraceConfig {
             metrics: true,
             provenance: true,
             ring_depth: DEFAULT_RING_DEPTH,
+            metrics_interval: None,
         }
     }
 
     /// Whether any sink is enabled (if not, skip attaching an observer).
     #[must_use]
     pub fn any(&self) -> bool {
-        self.jsonl || self.metrics || self.provenance
+        self.jsonl || self.metrics || self.provenance || self.metrics_interval.is_some()
     }
 }
 
@@ -72,18 +79,30 @@ pub struct TraceHub {
     jsonl: Option<JsonlSink>,
     metrics: Option<MetricsCollector>,
     provenance: Option<ProvenanceTracker>,
+    /// `metrics_snapshot` cadence in retires; `0` = disabled.
+    interval: u64,
+    /// Retires seen since the last periodic snapshot.
+    since_snapshot: u64,
+    /// Total retires seen (stamped into each snapshot record).
+    retired: u64,
 }
 
 impl TraceHub {
-    /// A hub running the sinks `cfg` enables.
+    /// A hub running the sinks `cfg` enables. A `metrics_interval` forces
+    /// the JSONL and metrics sinks on: the periodic records need a stream
+    /// to land in and a collector to snapshot.
     #[must_use]
     pub fn new(cfg: &TraceConfig) -> TraceHub {
+        let interval = cfg.metrics_interval.unwrap_or(0);
         TraceHub {
-            jsonl: cfg.jsonl.then(JsonlSink::new),
-            metrics: cfg.metrics.then(MetricsCollector::new),
+            jsonl: (cfg.jsonl || interval > 0).then(JsonlSink::new),
+            metrics: (cfg.metrics || interval > 0).then(MetricsCollector::new),
             provenance: cfg
                 .provenance
                 .then(|| ProvenanceTracker::new(cfg.ring_depth)),
+            interval,
+            since_snapshot: 0,
+            retired: 0,
         }
     }
 
@@ -121,6 +140,29 @@ impl Observer for TraceHub {
         if let Some(provenance) = &mut self.provenance {
             provenance.record(event);
         }
+        // Periodic time-series snapshot, after the retire has been folded so
+        // the record covers everything up to and including it.
+        if self.interval > 0 && matches!(event, Event::Retire { .. }) {
+            self.retired += 1;
+            self.since_snapshot += 1;
+            if self.since_snapshot == self.interval {
+                self.since_snapshot = 0;
+                let snap = self
+                    .metrics
+                    .as_ref()
+                    .expect("interval forces the metrics sink")
+                    .peek();
+                let fields = format!(
+                    "\"event\":\"metrics_snapshot\",\"retired\":{},\"metrics\":{}",
+                    self.retired,
+                    snap.to_json()
+                );
+                self.jsonl
+                    .as_mut()
+                    .expect("interval forces the jsonl sink")
+                    .record_fields(&fields);
+            }
+        }
     }
 }
 
@@ -140,6 +182,50 @@ mod tests {
         assert!(report.jsonl.is_none());
         assert!(report.metrics.is_none());
         assert!(report.forensic.is_none());
+    }
+
+    #[test]
+    fn metrics_interval_interleaves_snapshot_records() {
+        let cfg = TraceConfig {
+            metrics_interval: Some(2),
+            ..TraceConfig::default()
+        };
+        assert!(cfg.any(), "an interval alone must attach the observer");
+        let mut hub = TraceHub::new(&cfg);
+        for i in 0..5u32 {
+            hub.on_event(&Event::CheckElided { pc: i * 4 });
+            hub.on_event(&Event::Retire {
+                pc: i * 4,
+                instr: ptaint_isa::Instr::Break { code: 0 },
+                tainted: i % 2 == 0,
+            });
+        }
+        let report = hub.into_report();
+        let jsonl = String::from_utf8(report.jsonl.unwrap()).unwrap();
+        let snapshots: Vec<&str> = jsonl
+            .lines()
+            .filter(|l| l.contains("\"event\":\"metrics_snapshot\""))
+            .collect();
+        // 5 retires at interval 2 => snapshots after retire 2 and 4.
+        assert_eq!(snapshots.len(), 2);
+        assert!(
+            snapshots[0].contains("\"retired\":2,\"metrics\":{\"retired\":2,"),
+            "{}",
+            snapshots[0]
+        );
+        assert!(snapshots[1].contains("\"retired\":4"), "{}", snapshots[1]);
+        // The snapshot reflects the stream so far (2 elisions by retire 2).
+        assert!(
+            snapshots[0].contains("\"elided_checks\":2"),
+            "{}",
+            snapshots[0]
+        );
+        // Sequence numbers stay dense across interleaved records: 10 events
+        // + 2 snapshots = 12 lines numbered 0..=11.
+        assert_eq!(jsonl.lines().count(), 12);
+        assert!(jsonl.lines().last().unwrap().starts_with("{\"seq\":11,"));
+        // The final consuming snapshot still works and saw every retire.
+        assert_eq!(report.metrics.unwrap().retired, 5);
     }
 
     #[test]

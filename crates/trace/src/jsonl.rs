@@ -22,10 +22,18 @@ impl JsonlSink {
 
     /// Appends one event line.
     pub fn record(&mut self, event: &Event) {
+        self.record_fields(&event.json_fields());
+    }
+
+    /// Appends one line from pre-rendered JSON fields (no enclosing braces;
+    /// the sink supplies them plus the sequence number). Interleaves
+    /// non-`Event` records — the periodic `metrics_snapshot` rows — into the
+    /// stream under the same dense numbering.
+    pub fn record_fields(&mut self, fields: &str) {
         self.buf.extend_from_slice(b"{\"seq\":");
         self.buf.extend_from_slice(self.seq.to_string().as_bytes());
         self.buf.push(b',');
-        self.buf.extend_from_slice(event.json_fields().as_bytes());
+        self.buf.extend_from_slice(fields.as_bytes());
         self.buf.extend_from_slice(b"}\n");
         self.seq += 1;
     }

@@ -219,6 +219,20 @@ impl MetricsCollector {
         self.flush_window();
         self.snap
     }
+
+    /// A point-in-time copy of the totals *without* consuming the collector
+    /// — the trailing partial density window is appended to the copy but
+    /// collection continues unperturbed. Drives the periodic
+    /// `metrics_snapshot` records of `--metrics-interval`.
+    #[must_use]
+    pub fn peek(&self) -> MetricsSnapshot {
+        let mut snap = self.snap.clone();
+        if self.window_retired > 0 {
+            snap.taint_density
+                .push(self.window_tainted as f64 / self.window_retired as f64);
+        }
+        snap
+    }
 }
 
 #[cfg(test)]

@@ -190,6 +190,39 @@ fn table4_false_negative_scenarios_agree() {
 }
 
 #[test]
+fn per_pc_profiles_are_engine_invariant() {
+    use ptaint::{ToJson, TraceConfig};
+
+    // The profiler hooks `Cpu::exec`, which both engines funnel through —
+    // so the full profile (per-PC histogram, call tree, taint heatmap,
+    // syscall table) must be byte-identical across engines, not merely
+    // equivalent.
+    let ghttpd_m = Machine::from_c(ghttpd::SOURCE).unwrap();
+    let ghttpd_world = ghttpd::attack_world(ghttpd_m.image());
+    for (label, machine) in [
+        (
+            "exp1/attack",
+            Machine::from_c(synthetic::EXP1_SOURCE)
+                .unwrap()
+                .world(synthetic::exp1_attack_world()),
+        ),
+        ("ghttpd/attack", ghttpd_m.world(ghttpd_world)),
+    ] {
+        let cfg = TraceConfig::default();
+        let (cached_out, _, _, cached) = machine.clone().engine(Engine::Cached).run_profile(&cfg);
+        let (interp_out, _, _, interp) = machine.clone().engine(Engine::Interp).run_profile(&cfg);
+        assert_eq!(
+            cached.to_json(),
+            interp.to_json(),
+            "{label}: engine profiles diverged"
+        );
+        // And the histogram really covered the whole run.
+        assert_eq!(cached.steps, cached_out.stats.instructions, "{label}");
+        assert_eq!(interp.steps, interp_out.stats.instructions, "{label}");
+    }
+}
+
+#[test]
 fn workloads_agree_at_small_scale() {
     for w in workloads::all() {
         let m = Machine::from_c(w.source).unwrap().world(w.world(1));

@@ -6,7 +6,7 @@ use ptaint::{
     AlertKind, DetectionPolicy, ExitReason, HierarchyConfig, Machine, TraceConfig, WorldConfig,
 };
 use ptaint_isa::{Instr, MemWidth, Reg};
-use ptaint_trace::{Event, JsonlSink, Loc, Transfer};
+use ptaint_trace::{Event, JsonlSink, Loc, MetricsCollector, ToJson, Transfer};
 
 /// One hand-built event of every variant, in a fixed order.
 fn one_of_each() -> Vec<Event> {
@@ -92,10 +92,29 @@ fn one_of_each() -> Vec<Event> {
 #[test]
 fn golden_file_pins_every_event_rendering() {
     let mut sink = JsonlSink::new();
+    let mut metrics = MetricsCollector::new();
     for event in one_of_each() {
         sink.record(&event);
+        metrics.record(&event);
     }
+    // The periodic `metrics_snapshot` row is not an `Event` variant — it is
+    // a raw record interleaved into the same stream (sharing its dense seq
+    // space) by the hub's `--metrics-interval` support. Pin it the same way.
+    sink.record_fields(&format!(
+        "\"event\":\"metrics_snapshot\",\"retired\":1,\"metrics\":{}",
+        metrics.peek().to_json()
+    ));
     let got = String::from_utf8(sink.into_bytes()).unwrap();
+    // `BLESS=1 cargo test --test trace_schema` regenerates the golden file
+    // after an intentional schema change (review the diff before commit).
+    if std::env::var_os("BLESS").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/trace_events.jsonl"
+        );
+        std::fs::write(path, &got).expect("writes golden");
+        return;
+    }
     let golden = include_str!("golden/trace_events.jsonl");
     assert_eq!(got, golden, "JSONL schema drifted from the golden file");
 }
@@ -171,6 +190,7 @@ fn pinned_keys(event: &str) -> &'static [&'static str] {
         "static_analysis" => &["event", "functions", "blocks", "proven", "flagged"],
         "check_elided" => &["event", "pc"],
         "fault_injected" => &["event", "kind", "detail"],
+        "metrics_snapshot" => &["event", "retired", "metrics"],
         other => panic!("unknown event discriminant `{other}`"),
     }
 }
@@ -241,4 +261,58 @@ fn real_run_stream_matches_the_pinned_schema() {
     assert_eq!(metrics.pointer_checks, counts["pointer_check"]);
     assert_eq!(metrics.alerts, counts["alert"]);
     assert_eq!(metrics.alerts, 1);
+}
+
+#[test]
+fn metrics_interval_interleaves_pinned_snapshot_records() {
+    const INTERVAL: u64 = 50;
+    let machine = Machine::from_c(
+        r#"
+        void vulnerable() {
+            char buf[10];
+            scanf("%s", buf);
+        }
+        int main() { vulnerable(); return 0; }
+        "#,
+    )
+    .unwrap()
+    .world(WorldConfig::new().stdin(vec![b'a'; 24]))
+    .policy(DetectionPolicy::PointerTaintedness);
+
+    let cfg = TraceConfig {
+        jsonl: true,
+        metrics_interval: Some(INTERVAL),
+        ..TraceConfig::default()
+    };
+    let (outcome, _tail, report) = machine.run_with_trace(&cfg);
+    assert!(matches!(outcome.reason, ExitReason::Security(_)));
+
+    let jsonl = String::from_utf8(report.jsonl.expect("jsonl forced on")).unwrap();
+    let mut snapshots = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        // Snapshot rows share the stream's dense seq space.
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{i},")),
+            "line {i}: {line}"
+        );
+        if !line.contains("\"event\":\"metrics_snapshot\"") {
+            continue;
+        }
+        let keys = keys_of(line);
+        assert_eq!(&keys[1..], pinned_keys("metrics_snapshot"), "{line}");
+        let at = line.find("\"retired\":").unwrap() + "\"retired\":".len();
+        let digits: String = line[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        snapshots.push(digits.parse::<u64>().unwrap());
+    }
+
+    // One snapshot per full interval, at exact multiples of it.
+    let retired = report.metrics.expect("metrics forced on").retired;
+    assert_eq!(snapshots.len() as u64, retired / INTERVAL);
+    assert!(!snapshots.is_empty(), "run too short to snapshot");
+    for (i, &at) in snapshots.iter().enumerate() {
+        assert_eq!(at, (i as u64 + 1) * INTERVAL);
+    }
 }
