@@ -1,18 +1,33 @@
 //! Fault-injection campaign throughput: trials/sec for a full deterministic
 //! campaign (baseline + seeded faulted trials across every `FaultKind`) on
 //! two workloads — the synthetic Experiment 1 stack smash and the ghttpd
-//! log-handler attack. Each trial boots a fresh machine, so this measures
-//! the end-to-end cost of one campaign data point, not just the hot loop.
+//! log-handler attack. Both trial mechanisms are measured: the default
+//! forks every trial copy-on-write from one post-boot snapshot; the
+//! `--no-fork` escape hatch reboots each trial from `_start`. The reports
+//! are byte-identical either way, so the gap between the two series is
+//! pure per-trial boot work recovered by forking.
 //!
-//! Besides the criterion groups, a machine-readable summary is written to
-//! `BENCH_campaign.json` at the repository root (trials per campaign,
-//! trials/sec per workload). Set `BENCH_QUICK=1` to shrink the campaign for
-//! CI smoke runs.
+//! Two configurations are summarized:
+//!
+//! * **plain** (`*_trials_per_sec` reboot / `*_forked_trials_per_sec`
+//!   forked) — the default machine, where boot is a cheap image load and
+//!   the gap is modest.
+//! * **elided** (`*_elided_trials_per_sec` reboot /
+//!   `*_elided_forked_trials_per_sec` forked) — the paper configuration
+//!   with `--elide-checks`, where every boot re-runs the whole-program
+//!   static taint analysis before the first instruction. Rebooting pays
+//!   that per trial; a fork inherits the proven-clean set from the
+//!   snapshot, so the analysis is paid once per campaign. This is where
+//!   snapshot/fork turns campaigns from minutes into seconds.
+//!
+//! Besides the criterion groups, the machine-readable summary is written
+//! to `BENCH_campaign.json` at the repository root. Set `BENCH_QUICK=1`
+//! to shrink the campaigns for CI smoke runs.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ptaint::{CampaignSpec, Machine};
+use ptaint::{CampaignSpec, Machine, ToJson};
 use ptaint_guest::apps::{ghttpd, synthetic};
 
 /// Faulted trials per campaign: full runs average over a broad fault
@@ -25,22 +40,36 @@ fn trials() -> u64 {
     }
 }
 
+/// Faulted trials for the elided *reboot* series, where every trial costs
+/// a whole-program analysis: enough runs to average, few enough to keep
+/// the bench finite. (The rate is analysis-dominated, so a short campaign
+/// measures it faithfully.)
+const ELIDED_REBOOT_TRIALS: u64 = 2;
+
 fn quick() -> bool {
     std::env::var_os("BENCH_QUICK").is_some()
 }
 
-/// Campaign seed: fixed so every run samples the identical fault schedule.
-const SEED: u64 = 1;
+/// Campaign seed: fixed so every run samples the identical fault schedule
+/// (the trend gate's seed, so the summary measures the gated campaign).
+const SEED: u64 = 7;
 
-/// The two campaign workloads, built once and reused across trials.
-fn workloads() -> Vec<(&'static str, Machine)> {
-    let exp1 = Machine::from_c(synthetic::EXP1_SOURCE)
-        .expect("exp1 builds")
-        .world(synthetic::exp1_attack_world());
-    let ghttpd_m = Machine::from_c(ghttpd::SOURCE).expect("ghttpd builds");
-    let world = ghttpd::attack_world(ghttpd_m.image());
-    vec![("exp1", exp1), ("ghttpd", ghttpd_m.world(world))]
+/// One campaign workload by name, in the default (plain) configuration.
+fn build(name: &str) -> Machine {
+    match name {
+        "exp1" => Machine::from_c(synthetic::EXP1_SOURCE)
+            .expect("exp1 builds")
+            .world(synthetic::exp1_attack_world()),
+        "ghttpd" => {
+            let m = Machine::from_c(ghttpd::SOURCE).expect("ghttpd builds");
+            let world = ghttpd::attack_world(m.image());
+            m.world(world)
+        }
+        other => unreachable!("unknown workload {other}"),
+    }
 }
+
+const WORKLOADS: [&str; 2] = ["exp1", "ghttpd"];
 
 /// Trials/sec over several whole-campaign runs, reporting the best (least
 /// noise-disturbed) run after one warmup.
@@ -58,41 +87,92 @@ fn trials_per_sec(machine: &Machine, spec: &CampaignSpec) -> f64 {
     best
 }
 
+/// Trials/sec from a single timed campaign (no warmup, no repetition) —
+/// for the analysis-dominated elided reboot series, where repetition
+/// would cost minutes and the rate is stable anyway.
+fn trials_per_sec_once(machine: &Machine, spec: &CampaignSpec) -> f64 {
+    let start = Instant::now();
+    let report = machine.run_campaign(spec);
+    (report.records.len() as f64 + 1.0) / start.elapsed().as_secs_f64()
+}
+
 fn bench_campaigns(c: &mut Criterion) {
     let spec = CampaignSpec::new(SEED, trials());
-    let workloads = workloads();
 
     let mut group = c.benchmark_group("campaign");
     // Each campaign runs the unfaulted baseline plus `trials()` faulted runs.
     group.throughput(Throughput::Elements(trials() + 1));
     group.sample_size(10);
-    for (name, machine) in &workloads {
-        group.bench_function(*name, |b| {
-            b.iter(|| machine.run_campaign(&spec).records.len())
+    for name in WORKLOADS {
+        let forked = build(name);
+        let rebooted = build(name).fork_trials(false);
+        group.bench_function(format!("{name}_forked"), |b| {
+            b.iter(|| forked.run_campaign(&spec).records.len())
+        });
+        group.bench_function(format!("{name}_reboot"), |b| {
+            b.iter(|| rebooted.run_campaign(&spec).records.len())
         });
     }
     group.finish();
 
-    // Machine-readable summary for the trend consolidator.
-    let mut rates = Vec::new();
-    for (name, machine) in &workloads {
-        rates.push((*name, trials_per_sec(machine, &spec)));
+    // Machine-readable summary for the trend consolidator. Each mode pair
+    // must produce the same report bytes — assert it here so the
+    // throughput comparison is guaranteed to be apples-to-apples.
+    let mut fields = Vec::new();
+    let mut lines = Vec::new();
+    for name in WORKLOADS {
+        let forked = build(name);
+        let rebooted = build(name).fork_trials(false);
+        assert_eq!(
+            forked.run_campaign(&spec).to_json(),
+            rebooted.run_campaign(&spec).to_json(),
+            "{name}: forked and rebooted campaigns must be byte-identical"
+        );
+        let reboot_rate = trials_per_sec(&rebooted, &spec);
+        let forked_rate = trials_per_sec(&forked, &spec);
+        fields.push((format!("{name}_trials_per_sec"), reboot_rate));
+        fields.push((format!("{name}_forked_trials_per_sec"), forked_rate));
+        lines.push(format!(
+            "{name} plain {reboot_rate:.0} reboot / {forked_rate:.0} forked trials/s ({:.1}x)",
+            forked_rate / reboot_rate
+        ));
+    }
+    // The elided (paper) configuration: every reboot re-runs the static
+    // analysis, so its reboot series uses a short campaign (the rate is
+    // analysis-dominated) while the forked series runs the full one.
+    let short = CampaignSpec::new(SEED, ELIDED_REBOOT_TRIALS.min(trials()));
+    for name in WORKLOADS {
+        let forked = build(name).elide_checks(true);
+        let rebooted = build(name).elide_checks(true).fork_trials(false);
+        assert_eq!(
+            forked.run_campaign(&short).to_json(),
+            rebooted.run_campaign(&short).to_json(),
+            "{name}: elided forked and rebooted campaigns must be byte-identical"
+        );
+        let reboot_rate = trials_per_sec_once(&rebooted, &short);
+        let forked_rate = trials_per_sec_once(&forked, &spec);
+        fields.push((format!("{name}_elided_trials_per_sec"), reboot_rate));
+        fields.push((format!("{name}_elided_forked_trials_per_sec"), forked_rate));
+        lines.push(format!(
+            "{name} elided {reboot_rate:.1} reboot / {forked_rate:.0} forked trials/s ({:.0}x)",
+            forked_rate / reboot_rate
+        ));
     }
     let mut json = format!("{{\"bench\":\"campaign\",\"trials\":{}", trials());
-    for (name, rate) in &rates {
-        json.push_str(&format!(",\"{name}_trials_per_sec\":{rate:.0}"));
+    for (field, rate) in &fields {
+        if *rate >= 100.0 {
+            json.push_str(&format!(",\"{field}\":{rate:.0}"));
+        } else {
+            json.push_str(&format!(",\"{field}\":{rate:.2}"));
+        }
     }
     json.push_str(&format!(",\"quick\":{}}}\n", quick()));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
     std::fs::write(path, &json).expect("writes BENCH_campaign.json");
-    let summary: Vec<String> = rates
-        .iter()
-        .map(|(name, rate)| format!("{name} {rate:.0} trials/s"))
-        .collect();
     println!(
         "campaign: {} faulted trials/campaign; {} -> {path}",
         trials(),
-        summary.join(", ")
+        lines.join("; ")
     );
 }
 

@@ -56,7 +56,48 @@ fn steps_per_sec(machine: &Machine) -> f64 {
     best
 }
 
+/// Quick-mode micro-assert: the chunked `write_bytes`/`set_taint_range`
+/// fast paths (one page lookup per crossed page) must agree byte-for-byte
+/// with a per-byte reference on a page-straddling range. Runs in CI smoke
+/// mode so a fast-path regression fails the bench before it can skew any
+/// throughput number.
+fn assert_chunked_write_parity() {
+    use ptaint::TaintedMemory;
+    let base = 0x1000_0ff0; // straddles a page boundary
+    let data: Vec<u8> = (0..64u32).map(|i| (i * 37 + 11) as u8).collect();
+
+    let mut chunked = TaintedMemory::new();
+    chunked.write_bytes(base, &data, true).expect("writes");
+    chunked
+        .set_taint_range(base + 8, 48, false)
+        .expect("clears taint");
+
+    let mut reference = TaintedMemory::new();
+    for (i, &b) in data.iter().enumerate() {
+        reference
+            .write_u8(base + i as u32, b, true)
+            .expect("writes");
+    }
+    for i in 0..48u32 {
+        let addr = base + 8 + i;
+        let (value, _) = reference.read_u8(addr).expect("reads");
+        reference.write_u8(addr, value, false).expect("clears");
+    }
+
+    for i in 0..64u32 {
+        let addr = base + i;
+        assert_eq!(
+            chunked.read_u8(addr).expect("reads"),
+            reference.read_u8(addr).expect("reads"),
+            "chunked write paths diverged from the per-byte reference at {addr:#x}"
+        );
+    }
+}
+
 fn bench_engines(c: &mut Criterion) {
+    if quick() {
+        assert_chunked_write_parity();
+    }
     let machine = tight_loop(iterations());
     let steps = machine.run().stats.instructions;
 

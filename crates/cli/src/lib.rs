@@ -7,6 +7,7 @@
 //! ptaint-run analyze program.c [options]
 //! ptaint-run inject program.c [options]
 //! ptaint-run profile program.c [options]
+//! ptaint-run replay program.c --journal FILE [options]
 //!
 //! The `analyze` subcommand runs the static taint dataflow analysis
 //! (`ptaint-analyze`) over the built image and prints the lint report —
@@ -34,6 +35,16 @@
 //! (collect during a normal run, skip the printed report). Like
 //! `analyze`, the keyword is positional.
 //!
+//! The `replay` subcommand re-executes a run from a syscall journal
+//! recorded with `--journal-out`: every syscall result and every delivered
+//! input byte is re-served from the journal instead of the world, so the
+//! guest retraces the recorded execution bit-exactly — same exit reason,
+//! same statistics — with no stdin, files, or scripted sessions attached.
+//! A guest that issues a different syscall than the journal recorded stops
+//! with a structured `replay diverged` outcome (exit 1). World side
+//! effects (stdout, transcripts) are not re-performed. Like `analyze`,
+//! the keyword is positional.
+//!
 //! options:
 //!   --asm                 input is assembly, not mini-C
 //!   --optimize            enable the mini-C peephole optimizer
@@ -58,11 +69,18 @@
 //!                         stop with a `watchdog expired` outcome
 //!   --seed N              (inject) campaign seed             (default 1)
 //!   --trials N            (inject) faulted trials            (default 32)
+//!   --fork / --no-fork    (inject) fork each trial copy-on-write from one
+//!                         post-boot snapshot (default) or reboot every
+//!                         trial from `_start`; the report is byte-
+//!                         identical either way
 //!   --faults LIST         (inject) comma-separated fault kinds to sample:
 //!                         short_read,eintr,conn_reset,fragment,data_bit,
 //!                         taint_clear,taint_set,register_bit,cache_line
 //!   --report FILE         (inject) write the campaign JSON to FILE instead
 //!                         of stdout
+//!   --journal-out FILE    record the run's syscall journal (results and
+//!                         delivered input bytes) to FILE for `replay`
+//!   --journal FILE        (replay) the journal to re-serve the run from
 //!   --trace-out FILE      write the structured event stream (JSONL) to FILE
 //!   --metrics-out FILE    write the aggregated metrics snapshot (JSON) to FILE
 //!   --metrics-interval N  interleave a `metrics_snapshot` record into the
@@ -78,17 +96,18 @@
 //! ```
 //!
 //! The process exit code is the guest's exit status; detections exit 42;
-//! usage, read, and build errors exit 2; `analyze` findings exit 3; a
-//! failure to write a requested artifact (`--trace-out`, `--metrics-out`,
-//! `--profile-out`, `--report`) exits 4 so scripts never mistake lost
-//! data for success.
+//! usage, read, and build errors exit 2 (including an unreadable or
+//! malformed `--journal` file); `analyze` findings exit 3; a failure to
+//! write a requested artifact (`--trace-out`, `--metrics-out`,
+//! `--profile-out`, `--report`, `--journal-out`) exits 4 so scripts never
+//! mistake lost data for success.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use ptaint::{
-    CampaignSpec, DetectionPolicy, Engine, ExitReason, FaultKind, Machine, NetSession, ToJson,
-    TraceConfig, TraceReport, WorldConfig,
+    CampaignSpec, DetectionPolicy, Engine, ExitReason, FaultKind, Machine, NetSession,
+    SyscallJournal, ToJson, TraceConfig, TraceReport, WorldConfig,
 };
 
 /// Exit code for a failure to persist a requested artifact.
@@ -111,6 +130,17 @@ pub struct Options {
     /// Run with the profiler and print the top-N report (the `profile`
     /// subcommand).
     pub profile: bool,
+    /// Re-serve a recorded syscall journal instead of running against the
+    /// world (the `replay` subcommand).
+    pub replay: bool,
+    /// Path of the journal to replay (`--journal`, replay only).
+    pub journal_in: Option<String>,
+    /// Record the run's syscall journal here (`--journal-out`).
+    pub journal_out: Option<String>,
+    /// Reboot campaign trials from `_start` instead of forking them
+    /// copy-on-write from one post-boot snapshot (`--no-fork`, inject
+    /// only; forking is the default and byte-identical).
+    pub no_fork: bool,
     /// Write the profile JSON here (implies profile collection).
     pub profile_out: Option<String>,
     /// Interleave `metrics_snapshot` records into the JSONL stream every N
@@ -253,6 +283,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
             opts.profile = true;
             it.next();
         }
+        Some("replay") => {
+            opts.replay = true;
+            it.next();
+        }
         _ => {}
     }
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -372,6 +406,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
                     opts.fault_kinds.push(kind);
                 }
             }
+            "--fork" => opts.no_fork = false,
+            "--no-fork" => opts.no_fork = true,
+            "--journal" => opts.journal_in = Some(value(&mut it, "--journal")?),
+            "--journal-out" => opts.journal_out = Some(value(&mut it, "--journal-out")?),
             "--report" => opts.report_out = Some(value(&mut it, "--report")?),
             "--trace-out" => opts.trace_out = Some(value(&mut it, "--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value(&mut it, "--metrics-out")?),
@@ -417,6 +455,33 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
     if (opts.profile || opts.profile_out.is_some()) && opts.pipeline {
         return Err(UsageError(
             "`--pipeline` cannot be profiled (the profiler rides the functional engine)".into(),
+        ));
+    }
+    if opts.replay && opts.journal_in.is_none() {
+        return Err(UsageError(
+            "`replay` needs `--journal FILE` (a journal recorded with `--journal-out`)".into(),
+        ));
+    }
+    if opts.journal_in.is_some() && !opts.replay {
+        return Err(UsageError(
+            "`--journal` only applies to the `replay` subcommand".into(),
+        ));
+    }
+    if opts.journal_out.is_some()
+        && (opts.analyze
+            || opts.inject
+            || opts.replay
+            || opts.profile
+            || opts.profile_out.is_some()
+            || opts.pipeline
+            || opts.disasm
+            || opts.trace_out.is_some()
+            || opts.metrics_out.is_some())
+    {
+        return Err(UsageError(
+            "`--journal-out` records a plain run (no subcommand, --pipeline, --disasm, \
+             --profile-out, --trace-out, or --metrics-out)"
+                .into(),
         ));
     }
     Ok(opts)
@@ -479,6 +544,9 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
         }
         machine = machine.taint_watch_symbol(sym, *len);
     }
+    if opts.no_fork {
+        machine = machine.fork_trials(false);
+    }
     Ok(machine)
 }
 
@@ -498,6 +566,9 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
     if opts.inject {
         return run_campaign_cli(opts, machine);
     }
+    if opts.replay {
+        return run_replay_cli(opts, machine);
+    }
     if opts.disasm {
         return (ptaint::disassemble(machine.image()), 0);
     }
@@ -513,6 +584,7 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
     let mut trace = Vec::new();
     let mut trace_report = TraceReport::default();
     let mut profile = None;
+    let mut journal = None;
     let (outcome, pipeline) = if opts.pipeline {
         let (o, p) = machine.run_pipelined();
         (o, Some(p))
@@ -521,6 +593,10 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
         trace = t;
         trace_report = r;
         profile = Some(p);
+        (o, None)
+    } else if opts.journal_out.is_some() {
+        let (o, j) = machine.record();
+        journal = Some(j);
         (o, None)
     } else if trace_cfg.any() {
         let (o, t, r) = machine.run_with_trace(&trace_cfg);
@@ -632,6 +708,20 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
             }
         }
     }
+    if let Some(path) = &opts.journal_out {
+        let journal = journal.unwrap_or_default();
+        let calls = journal.len();
+        match std::fs::write(path, journal.to_text()) {
+            Ok(()) if !opts.quiet => {
+                let _ = writeln!(report, "--- journal: wrote {calls} calls to {path}");
+            }
+            Ok(()) => {}
+            Err(e) => {
+                let _ = writeln!(report, "--- journal: cannot write `{path}`: {e}");
+                artifact_failed = true;
+            }
+        }
+    }
     let code = if artifact_failed {
         EXIT_ARTIFACT
     } else {
@@ -684,6 +774,37 @@ fn run_campaign_cli(opts: &Options, machine: &Machine) -> (String, i32) {
         },
         None => report.push_str(&json),
     }
+    (report, code)
+}
+
+/// The `replay` subcommand: re-serves a recorded journal against the
+/// built image and reports the retraced outcome. An unreadable or
+/// malformed journal file is a read error (exit 2), matching the other
+/// input files; a divergence is an abnormal stop (exit 1) whose outcome
+/// line names the call where the guest left the recording.
+fn run_replay_cli(opts: &Options, machine: &Machine) -> (String, i32) {
+    let path = opts.journal_in.as_deref().unwrap_or_default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return (format!("cannot read journal `{path}`: {e}\n"), 2),
+    };
+    let journal = match SyscallJournal::from_text(&text) {
+        Ok(j) => j,
+        Err(e) => return (format!("bad journal `{path}`: {e}\n"), 2),
+    };
+    let calls = journal.len();
+    let outcome = machine.replay(journal);
+    let mut report = String::new();
+    if !opts.quiet {
+        let _ = writeln!(report, "--- replay: {calls} journaled calls from {path}");
+        let _ = writeln!(report, "--- outcome: {}", outcome.reason);
+        let _ = writeln!(report, "--- stats: {}", outcome.stats);
+    }
+    let code = match outcome.reason {
+        ExitReason::Exited(status) => status,
+        ExitReason::Security(_) => 42,
+        _ => 1,
+    };
     (report, code)
 }
 
@@ -1047,6 +1168,131 @@ mod tests {
         let (report3, code3) = run_machine(&opts3, &machine3);
         assert_eq!(code3, EXIT_ARTIFACT, "{report3}");
         assert!(report3.contains("cannot write"), "{report3}");
+    }
+
+    #[test]
+    fn replay_subcommand_parses_and_validates() {
+        let opts = parse(&["replay", "p.c", "--journal", "j.txt"]).unwrap();
+        assert!(opts.replay);
+        assert_eq!(opts.program, "p.c");
+        assert_eq!(opts.journal_in.as_deref(), Some("j.txt"));
+
+        // `replay` without a journal, and `--journal` outside `replay`,
+        // are usage errors.
+        assert!(parse(&["replay", "p.c"])
+            .unwrap_err()
+            .0
+            .contains("--journal"));
+        assert!(parse(&["p.c", "--journal", "j.txt"]).is_err());
+        // Positional-only, like the other subcommands.
+        let opts = parse(&["--asm", "replay"]).unwrap();
+        assert!(!opts.replay);
+        assert_eq!(opts.program, "replay");
+    }
+
+    #[test]
+    fn journal_out_is_a_plain_run_artifact() {
+        assert!(parse(&["p.c", "--journal-out", "j.txt", "--pipeline"]).is_err());
+        assert!(parse(&["p.c", "--journal-out", "j.txt", "--trace-out", "t"]).is_err());
+        assert!(parse(&["inject", "p.c", "--journal-out", "j.txt"]).is_err());
+        assert!(parse(&["analyze", "p.c", "--journal-out", "j.txt"]).is_err());
+        let opts = parse(&["p.c", "--journal-out", "j.txt"]).unwrap();
+        assert_eq!(opts.journal_out.as_deref(), Some("j.txt"));
+    }
+
+    #[test]
+    fn fork_flags_toggle_campaign_forking() {
+        assert!(!parse(&["inject", "p.c"]).unwrap().no_fork);
+        assert!(!parse(&["inject", "p.c", "--fork"]).unwrap().no_fork);
+        assert!(parse(&["inject", "p.c", "--no-fork"]).unwrap().no_fork);
+
+        // The escape hatch changes the mechanism, never the report.
+        let mut forked =
+            parse(&["inject", "p.c", "--seed", "3", "--trials", "4", "--quiet"]).unwrap();
+        forked.stdin = b"abcd".to_vec();
+        let mut rebooted = forked.clone();
+        rebooted.no_fork = true;
+        let source = r#"int main() {
+            char b[8];
+            read(0, b, 8);
+            return 0;
+        }"#;
+        let (a, _) = run_machine(&forked, &build_machine(&forked, source).unwrap());
+        let (b, _) = run_machine(&rebooted, &build_machine(&rebooted, source).unwrap());
+        assert_eq!(
+            a, b,
+            "--no-fork must reproduce the forked report byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn record_then_replay_round_trips_through_the_cli() {
+        let dir = std::env::temp_dir().join("ptaint-cli-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal");
+        let source = r#"int main() {
+            char b[16];
+            int n = read(0, b, 15);
+            write(1, b, n);
+            return 6;
+        }"#;
+
+        let mut rec = parse(&["p.c", "--quiet"]).unwrap();
+        rec.journal_out = Some(path.to_string_lossy().into_owned());
+        rec.stdin = b"replay me".to_vec();
+        let (report, code) = run_machine(&rec, &build_machine(&rec, source).unwrap());
+        assert_eq!(code, 6, "{report}");
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .starts_with("ptaint-journal v1"));
+
+        // Replay with no stdin attached: the journal re-serves the input.
+        let rep = {
+            let mut o = parse(&["replay", "p.c", "--journal", "x"]).unwrap();
+            o.journal_in = Some(path.to_string_lossy().into_owned());
+            o
+        };
+        let (report, code) = run_machine(&rep, &build_machine(&rep, source).unwrap());
+        assert_eq!(code, 6, "{report}");
+        assert!(report.contains("--- replay:"), "{report}");
+
+        // A different program diverges from the journal: abnormal stop.
+        let other = "int main() { printf(\"hi\\n\"); return 0; }";
+        let (report, code) = run_machine(&rep, &build_machine(&rep, other).unwrap());
+        assert_eq!(code, 1, "{report}");
+        assert!(report.contains("replay diverged"), "{report}");
+
+        // Unreadable and malformed journals are read errors (exit 2).
+        let missing = {
+            let mut o = rep.clone();
+            o.journal_in = Some("/nonexistent-dir/j.txt".into());
+            o
+        };
+        let (report, code) = run_machine(&missing, &build_machine(&missing, source).unwrap());
+        assert_eq!(code, 2, "{report}");
+        let garbled = dir.join("garbled.journal");
+        std::fs::write(&garbled, "not a journal\n").unwrap();
+        let bad = {
+            let mut o = rep.clone();
+            o.journal_in = Some(garbled.to_string_lossy().into_owned());
+            o
+        };
+        let (report, code) = run_machine(&bad, &build_machine(&bad, source).unwrap());
+        assert_eq!(code, 2, "{report}");
+        assert!(report.contains("bad journal"), "{report}");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&garbled);
+    }
+
+    #[test]
+    fn journal_write_failures_exit_4() {
+        let mut opts = parse(&["p.c", "--quiet"]).unwrap();
+        opts.journal_out = Some("/nonexistent-dir/j.txt".into());
+        let machine = build_machine(&opts, "int main() { return 0; }").unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, EXIT_ARTIFACT, "{report}");
+        assert!(report.contains("cannot write"), "{report}");
     }
 
     #[test]

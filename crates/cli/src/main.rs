@@ -12,6 +12,7 @@ fn main() -> ExitCode {
              ptaint-run analyze <program.c|program.s> [options]\n\
              ptaint-run inject <program.c|program.s> [options]\n\
              ptaint-run profile <program.c|program.s> [options]\n\
+             ptaint-run replay <program.c|program.s> --journal FILE [options]\n\
              \n\
              analyze              print the static taint lint report and\n\
                                   exit (0 clean, 3 with findings); only\n\
@@ -25,6 +26,11 @@ fn main() -> ExitCode {
              profile              run with the hot-loop profiler and print\n\
                                   the top-N report: hot blocks/pcs, taint\n\
                                   hotspots, syscall table, call paths\n\
+             replay               re-execute a run from a syscall journal\n\
+                                  recorded with --journal-out; bit-exact\n\
+                                  retrace, no world attached; a guest that\n\
+                                  leaves the recording stops with a\n\
+                                  `replay diverged` outcome\n\
              \n\
              --asm                input is assembly\n\
              --optimize           peephole-optimize the generated code\n\
@@ -46,7 +52,13 @@ fn main() -> ExitCode {
              --seed N             (inject) campaign seed, default 1\n\
              --trials N           (inject) faulted trials, default 32\n\
              --faults LIST        (inject) comma-separated fault kinds\n\
+             --fork / --no-fork   (inject) fork trials copy-on-write from\n\
+                                  one post-boot snapshot (default) or\n\
+                                  reboot each from _start; reports are\n\
+                                  byte-identical either way\n\
              --report FILE        (inject) write campaign JSON to FILE\n\
+             --journal-out FILE   record the syscall journal for `replay`\n\
+             --journal FILE       (replay) journal to re-serve the run from\n\
              --trace-out FILE     write the event stream (JSONL) to FILE\n\
              --metrics-out FILE   write the metrics snapshot (JSON) to FILE\n\
              --metrics-interval N interleave a metrics_snapshot record into\n\
@@ -60,9 +72,10 @@ fn main() -> ExitCode {
              --quiet              program output only\n\
              \n\
              exit code: guest status; 42 on a security detection; 2 on\n\
-             usage/read/build errors; 3 on analyze findings; 4 when a\n\
-             requested artifact file (--trace-out, --metrics-out,\n\
-             --profile-out, --report) cannot be written"
+             usage/read/build errors (including a missing or malformed\n\
+             --journal file); 3 on analyze findings; 4 when a requested\n\
+             artifact file (--trace-out, --metrics-out, --profile-out,\n\
+             --report, --journal-out) cannot be written"
         );
         return ExitCode::SUCCESS;
     }

@@ -108,7 +108,8 @@ fn classify(outcome: &RunOutcome, compromise_marker: Option<&str>) -> CoverageOu
         ExitReason::MemFault(_)
         | ExitReason::DecodeFault(_)
         | ExitReason::BreakTrap(_)
-        | ExitReason::GuestFault(_) => CoverageOutcome::Crashed,
+        | ExitReason::GuestFault(_)
+        | ExitReason::ReplayDivergence(_) => CoverageOutcome::Crashed,
         ExitReason::Exited(_) | ExitReason::StepLimit | ExitReason::Watchdog => {
             if let Some(marker) = compromise_marker {
                 let mut all = outcome.stdout_text();

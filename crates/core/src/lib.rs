@@ -56,7 +56,7 @@ pub mod cert;
 pub mod experiments;
 mod machine;
 
-pub use machine::Machine;
+pub use machine::{Machine, MachineSnapshot};
 
 // The user-facing vocabulary, re-exported from the substrate crates.
 pub use ptaint_analyze::{analyze, render_report, Analysis, AnalyzeStats, Finding, SiteKind};
@@ -74,8 +74,9 @@ pub use ptaint_inject::{
 };
 pub use ptaint_mem::{CacheConfig, HierarchyConfig, MemorySystem, TaintedMemory, WordTaint};
 pub use ptaint_os::{
-    load, load_with_observer, run_to_exit, run_to_exit_with, ExitReason, IoFault, IoFaultPlan,
-    NetSession, Os, RunLimits, RunOutcome, StepHook, Sys, WorldConfig, EINTR,
+    load, load_with_observer, run_to_exit, run_to_exit_with, DeliveredInput, ExitReason, IoFault,
+    IoFaultPlan, JournalEntry, JournalFormatError, NetSession, Os, ReplayDivergence, RunLimits,
+    RunOutcome, StepHook, Sys, SyscallJournal, WorldConfig, EINTR,
 };
 pub use ptaint_profile::{
     EventProfile, HotProfile, ProfileReport, SymbolCount, SymbolTable, SyscallRow, TaintSite,

@@ -9,7 +9,9 @@ use ptaint_cpu::{Cpu, DetectionPolicy, Engine, TaintRules};
 use ptaint_guest::BuildError;
 use ptaint_inject::{CampaignReport, CampaignSpec, Fault, StateInjector, TrialRun};
 use ptaint_mem::HierarchyConfig;
-use ptaint_os::{load_with_observer, run_to_exit_with, Os, RunLimits, RunOutcome, WorldConfig};
+use ptaint_os::{
+    load_with_observer, run_to_exit_with, Os, RunLimits, RunOutcome, SyscallJournal, WorldConfig,
+};
 use ptaint_profile::{EventProfile, ProfileReport, SymbolTable};
 use ptaint_trace::{Event, Observer, SharedObserver, TraceConfig, TraceHub, TraceReport};
 use std::cell::RefCell;
@@ -39,6 +41,7 @@ pub struct Machine {
     trace_depth: Option<usize>,
     engine: Engine,
     elide_checks: bool,
+    fork_trials: bool,
 }
 
 impl Machine {
@@ -88,6 +91,7 @@ impl Machine {
             trace_depth: None,
             engine: Engine::default(),
             elide_checks: false,
+            fork_trials: true,
         }
     }
 
@@ -275,11 +279,86 @@ impl Machine {
         }
     }
 
+    /// Selects how [`Machine::run_campaign`] provisions each trial
+    /// (default: `true`). With forking on, the campaign boots **once**,
+    /// snapshots the post-boot baseline, and copy-on-write-forks every
+    /// trial from it; with forking off, every trial reboots from `_start`
+    /// (the legacy path, kept as the determinism oracle and benchmark
+    /// baseline). Both modes produce byte-identical reports — pinned by
+    /// tests and the CI fork-determinism gate.
+    #[must_use]
+    pub fn fork_trials(mut self, on: bool) -> Machine {
+        self.fork_trials = on;
+        self
+    }
+
+    /// Boots a fresh instance and captures it, pre-execution, as a
+    /// [`MachineSnapshot`]: the post-boot baseline that campaign trials
+    /// (and any other caller) can cheaply [`MachineSnapshot::fork`] from.
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        self.snapshot_with(None)
+    }
+
+    /// Like [`Machine::snapshot`], attaching `observer` to the snapshot's
+    /// timeline and announcing the capture with an
+    /// [`Event::Snapshot`](ptaint_trace::Event) carrying the resident page
+    /// count. Each later fork is announced on the same stream.
+    #[must_use]
+    pub fn snapshot_with(&self, observer: Option<SharedObserver>) -> MachineSnapshot {
+        let (cpu, os) = self.boot_with(observer);
+        if cpu.has_observer() {
+            cpu.emit_event(&Event::Snapshot {
+                pages: cpu.mem().memory().page_count() as u64,
+            });
+        }
+        MachineSnapshot {
+            cpu,
+            os,
+            limits: self.limits(),
+        }
+    }
+
+    /// Boots a fresh instance, records every serviced syscall into a
+    /// [`SyscallJournal`], and runs to completion. The journal replays the
+    /// run instruction-exactly via [`Machine::replay`] — including on a
+    /// machine whose world has been stripped — for forensics over the
+    /// paper's provenance chains.
+    #[must_use]
+    pub fn record(&self) -> (RunOutcome, SyscallJournal) {
+        let (mut cpu, mut os) = self.boot();
+        os.start_recording();
+        let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut ());
+        let journal = os.take_journal().unwrap_or_default();
+        (outcome, journal)
+    }
+
+    /// Boots a fresh instance and re-serves `journal` byte-exactly instead
+    /// of consulting the world. A guest that departs from the journal stops
+    /// with [`ptaint_os::ExitReason::ReplayDivergence`] — a structured
+    /// outcome, never a panic.
+    #[must_use]
+    pub fn replay(&self, journal: SyscallJournal) -> RunOutcome {
+        let (mut cpu, mut os) = self.boot();
+        os.start_replay(journal);
+        run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut ())
+    }
+
     /// Runs a whole fault-injection campaign against this workload: one
-    /// fault-free baseline plus `spec.trials` seeded injections, each a
-    /// fresh boot, classified against the baseline's verdict.
+    /// fault-free baseline plus `spec.trials` seeded injections, classified
+    /// against the baseline's verdict. Trials fork copy-on-write from a
+    /// single post-boot snapshot by default; [`Machine::fork_trials`]`(false)`
+    /// reboots each trial from `_start` instead. The report is byte-
+    /// identical either way.
     #[must_use]
     pub fn run_campaign(&self, spec: &CampaignSpec) -> CampaignReport {
+        if self.fork_trials {
+            let snap = self.snapshot();
+            return ptaint_inject::run_campaign(spec, |fault| match fault {
+                Some(f) => snap.run_injected(f),
+                None => snap.run(),
+            });
+        }
         ptaint_inject::run_campaign(spec, |fault| match fault {
             Some(f) => self.run_injected(f),
             None => {
@@ -447,6 +526,76 @@ impl Machine {
     #[must_use]
     pub fn program_size_bytes(&self) -> u32 {
         self.image.text.len() as u32 * 4 + self.image.data.len() as u32
+    }
+}
+
+/// A booted, pre-execution machine captured as a copy-on-write baseline.
+///
+/// Produced by [`Machine::snapshot`]. Every [`MachineSnapshot::fork`]
+/// yields an independent `(Cpu, Os)` pair whose memory shares pages with
+/// the snapshot until written (see `ptaint_mem`'s COW model); kernel state
+/// is copied outright (it is small), and the decode cache is rebuilt on
+/// demand with a private copy of the proven-clean set, so a forked run is
+/// bit-identical to a fresh boot of the same machine — stats, traces, and
+/// campaign reports included.
+#[derive(Debug)]
+pub struct MachineSnapshot {
+    cpu: Cpu,
+    os: Os,
+    limits: RunLimits,
+}
+
+impl MachineSnapshot {
+    /// Forks an independent, runnable machine instance off the baseline.
+    /// When the snapshot carries an observer (see
+    /// [`Machine::snapshot_with`]), the fork is announced on its stream
+    /// with an [`Event::Fork`] carrying the COW sharing counters; the
+    /// forked instance itself starts unobserved.
+    #[must_use]
+    pub fn fork(&self) -> (Cpu, Os) {
+        let pair = (self.cpu.fork(), self.os.fork());
+        if self.cpu.has_observer() {
+            self.cpu.emit_event(&Event::Fork {
+                pages_shared: self.cpu.mem().pages_shared() as u64,
+                cow_faults: self.cpu.mem().cow_fault_count(),
+            });
+        }
+        pair
+    }
+
+    /// Forks and runs to completion under the machine's limits — the
+    /// baseline trial of a forked campaign.
+    #[must_use]
+    pub fn run(&self) -> TrialRun {
+        let (mut cpu, mut os) = self.fork();
+        let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits, &mut ());
+        TrialRun {
+            outcome,
+            io_calls: os.io_call_count(),
+            applied: None,
+        }
+    }
+
+    /// Forks and runs under one injected [`Fault`] — the forked
+    /// counterpart of [`Machine::run_injected`], producing bit-identical
+    /// [`TrialRun`]s.
+    #[must_use]
+    pub fn run_injected(&self, fault: &Fault) -> TrialRun {
+        let (mut cpu, mut os) = self.fork();
+        os.set_io_faults(fault.io_plan());
+        let mut injector = StateInjector::new(*fault);
+        let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits, &mut injector);
+        TrialRun {
+            outcome,
+            io_calls: os.io_call_count(),
+            applied: injector.applied().map(str::to_owned),
+        }
+    }
+
+    /// Baseline pages currently shared copy-on-write with live forks.
+    #[must_use]
+    pub fn pages_shared(&self) -> usize {
+        self.cpu.mem().pages_shared()
     }
 }
 
@@ -706,5 +855,88 @@ main:   li $v0, 3
         let b = m.run_campaign(&spec).to_json();
         assert_eq!(a, b, "same seed must reproduce the report byte-for-byte");
         assert!(a.contains("\"baseline\":{\"detected\":false"));
+    }
+
+    #[test]
+    fn forked_campaign_matches_rebooted_campaign_byte_for_byte() {
+        use ptaint_inject::CampaignSpec;
+        use ptaint_trace::ToJson;
+        let m = Machine::from_c(
+            r#"int main() {
+                char b[16];
+                int n = read(0, b, 15);
+                b[n] = 0;
+                printf("<%s>", b);
+                return 0;
+            }"#,
+        )
+        .unwrap()
+        .world(WorldConfig::new().stdin(b"benign input".to_vec()))
+        .step_limit(2_000_000);
+        let spec = CampaignSpec::new(0xfeed, 6);
+        let forked = m.run_campaign(&spec).to_json();
+        let rebooted = m.fork_trials(false).run_campaign(&spec).to_json();
+        assert_eq!(
+            forked, rebooted,
+            "fork-per-trial must reproduce the reboot-per-trial report byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn snapshot_forks_run_bit_identical_to_fresh_boots() {
+        let m = Machine::from_c(
+            r#"int main() {
+                char b[32];
+                int n = read(0, b, 31);
+                write(1, b, n);
+                return n;
+            }"#,
+        )
+        .unwrap()
+        .world(WorldConfig::new().stdin(b"cow snapshot".to_vec()));
+        let fresh = m.run();
+        let snap = m.snapshot();
+        for _ in 0..3 {
+            let trial = snap.run();
+            assert_eq!(trial.outcome.reason, fresh.reason);
+            assert_eq!(trial.outcome.stats, fresh.stats);
+            assert_eq!(trial.outcome.stdout, fresh.stdout);
+        }
+        // Sharing is live only while a fork exists: completed trials drop
+        // their pages, so hold one open to observe the COW state.
+        let held = snap.fork();
+        assert!(
+            snap.pages_shared() > 0,
+            "a live fork should share the baseline's read-only pages"
+        );
+        drop(held);
+        assert_eq!(snap.pages_shared(), 0);
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_the_run_without_the_world() {
+        let m = Machine::from_c(
+            r#"int main() {
+                char b[32];
+                int n = read(0, b, 31);
+                write(1, b, n);
+                return 7;
+            }"#,
+        )
+        .unwrap()
+        .world(WorldConfig::new().stdin(b"journal me".to_vec()));
+        let (live, journal) = m.record();
+        assert!(!journal.is_empty());
+        // Replay against an empty world: every result comes from the journal.
+        let empty = Machine {
+            world: WorldConfig::new(),
+            ..m
+        };
+        let replayed = empty.replay(journal);
+        assert_eq!(replayed.reason, live.reason);
+        assert_eq!(replayed.stats, live.stats);
+        // Replay reproduces guest-visible execution from the journal; it
+        // does not re-perform world side effects, so stdout stays empty.
+        assert!(replayed.stdout.is_empty());
     }
 }

@@ -567,6 +567,44 @@ impl Cpu {
         self.dcache.has_proven()
     }
 
+    /// Forks the processor: a new [`Cpu`] with identical architectural
+    /// state whose memory shares pages copy-on-write with this one
+    /// ([`MemorySystem::fork`]). Writes on either side never alias the
+    /// other.
+    ///
+    /// The decode cache is **rebuilt on demand** rather than shared: the
+    /// fork starts with no decoded pages and a private copy of the
+    /// analyzer's proven-clean set, exactly the state a fresh boot has
+    /// after [`Cpu::install_proven_checks`]. Sharing decoded pages would
+    /// couple the proof machinery across timelines — a self-modifying
+    /// store in one fork must never revoke (or preserve) proofs in
+    /// another. Forked from a pre-execution snapshot, the child is
+    /// bit-identical to a fresh boot by construction, decode-cache
+    /// counters included.
+    ///
+    /// The observer and profiler are deliberately *not* inherited — both
+    /// are single-timeline sinks; attach fresh ones to the fork if needed.
+    #[must_use]
+    pub fn fork(&self) -> Cpu {
+        Cpu {
+            regs: self.regs.clone(),
+            mem: self.mem.fork(),
+            pc: self.pc,
+            policy: self.policy,
+            rules: self.rules,
+            watches: self.watches.clone(),
+            stats: self.stats,
+            recent: self.recent.clone(),
+            recent_head: self.recent_head,
+            trace_depth: self.trace_depth,
+            observer: None,
+            last_step_tainted: self.last_step_tainted,
+            engine: self.engine,
+            dcache: self.dcache.fork_rebuild(),
+            profiler: None,
+        }
+    }
+
     /// Bookkeeping for a statically elided pointer check. The analyzer
     /// guarantees the checked word is clean here, so skipping the check
     /// cannot change architectural behaviour — asserted in debug builds
@@ -1629,5 +1667,70 @@ loop:   lw $t1, 0($t0)
         assert_eq!(cpu.regs().value(Reg::T3), 1);
         assert_eq!(cpu.regs().taint(Reg::T2), WordTaint::ALL);
         assert_eq!(cpu.regs().taint(Reg::T3), WordTaint::ALL);
+    }
+
+    #[test]
+    fn fork_runs_bit_identical_to_source() {
+        let src = "main:  li $t0, 0
+                          li $t1, 0
+        loop:             addiu $t0, $t0, 1
+                          addu $t1, $t1, $t0
+                          li $t2, 25
+                          bne $t0, $t2, loop
+                          break 0";
+        let cpu = boot(src, DetectionPolicy::PointerTaintedness);
+        let mut fresh = boot(src, DetectionPolicy::PointerTaintedness);
+        let mut child = cpu.fork();
+        run(&mut child, 1000).unwrap();
+        run(&mut fresh, 1000).unwrap();
+        assert_eq!(child.regs(), fresh.regs());
+        assert_eq!(child.pc(), fresh.pc());
+        // From a pre-execution fork even the decode-cache counters match a
+        // fresh boot: the fork rebuilds its cache on demand.
+        assert_eq!(child.stats(), fresh.stats());
+        assert_eq!(child.recent_trace(), fresh.recent_trace());
+    }
+
+    #[test]
+    fn fork_stores_never_alias_the_parent() {
+        let mut cpu = boot(
+            ".data
+        buf:    .space 8
+                .text
+        main:   la $t0, buf
+                li $t1, 0x11111111
+                sw $t1, 0($t0)
+                break 0",
+            DetectionPolicy::PointerTaintedness,
+        );
+        let mut child = cpu.fork();
+        run(&mut child, 100).unwrap();
+        let buf = child.regs().value(Reg::T0);
+        assert_eq!(child.mem_mut().read_u32(buf).unwrap().0, 0x1111_1111);
+        // The parent's copy of `buf` is untouched by the child's store.
+        assert_eq!(cpu.mem_mut().read_u32(buf).unwrap().0, 0);
+        // ...and the parent still runs to the same result itself.
+        run(&mut cpu, 100).unwrap();
+        assert_eq!(cpu.mem_mut().read_u32(buf).unwrap().0, 0x1111_1111);
+    }
+
+    #[test]
+    fn fork_carries_a_private_proven_set() {
+        let cpu = {
+            let mut c = boot("main: break 0", DetectionPolicy::PointerTaintedness);
+            c.install_proven_checks([TEXT_BASE]);
+            c
+        };
+        let mut child = cpu.fork();
+        assert!(child.has_proven_checks());
+        // Invalidation in the child must not revoke the parent's proofs.
+        child.mem_mut().watch_code_page(TEXT_BASE / PAGE_SIZE);
+        child
+            .mem_mut()
+            .write_u32(TEXT_BASE, 0, WordTaint::CLEAN)
+            .unwrap();
+        child.invalidate_dirty_pages();
+        assert!(!child.has_proven_checks());
+        assert!(cpu.has_proven_checks());
     }
 }

@@ -79,6 +79,27 @@ impl DecodeCache {
         }
     }
 
+    /// The fork-side decode cache: **rebuilt on demand**, not shared.
+    ///
+    /// Decoded pages are cheap to refill (one linear predecode per text
+    /// page), but the proven-clean machinery is not fork-safe to share:
+    /// `invalidate` drops the *whole* proven set, and a shared set would let
+    /// one timeline's self-modifying store revoke (or, worse, fail to
+    /// revoke) proofs in another. So a fork starts with zero decoded pages
+    /// and a private clone of the master proven set exactly as the analyzer
+    /// installed it at boot — the same state a fresh boot produces — and
+    /// proofs can never survive an invalidation across the fork boundary
+    /// because no proof state is shared at all.
+    pub(crate) fn fork_rebuild(&self) -> DecodeCache {
+        DecodeCache {
+            index: HashMap::new(),
+            pages: Vec::new(),
+            free: Vec::new(),
+            last: None,
+            proven: self.proven.clone(),
+        }
+    }
+
     /// Installs the analyzer's proven-clean set. Cached pages are dropped
     /// so the next fill stamps the per-slot bits; callers install at boot,
     /// before any execution, where the cache is empty anyway.

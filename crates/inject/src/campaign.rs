@@ -84,7 +84,8 @@ pub fn classify(reason: &ExitReason, baseline_detected: bool) -> OutcomeClass {
         ExitReason::MemFault(_)
         | ExitReason::DecodeFault(_)
         | ExitReason::BreakTrap(_)
-        | ExitReason::GuestFault(_) => OutcomeClass::GuestFault,
+        | ExitReason::GuestFault(_)
+        | ExitReason::ReplayDivergence(_) => OutcomeClass::GuestFault,
     }
 }
 

@@ -71,6 +71,7 @@ impl CacheStats {
     }
 }
 
+#[derive(Clone)]
 struct Line {
     valid: bool,
     tag: u32,
@@ -80,6 +81,12 @@ struct Line {
 }
 
 /// One level of the taint-extended cache hierarchy.
+///
+/// Cloning copies the full line arrays (data, taint, LRU state) and the
+/// statistics — a forked [`MemorySystem`](crate::MemorySystem) continues
+/// with the parent's exact cache contents, so forked and fresh executions
+/// observe identical hit/miss sequences.
+#[derive(Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,

@@ -1,7 +1,13 @@
 //! Sparse paged memory with a shadow taintedness bit per byte.
+//!
+//! Pages are reference-counted ([`Arc`]) so a whole address space can be
+//! forked in O(pages) pointer copies: [`TaintedMemory::fork`] shares every
+//! page between parent and child, and the first write to a shared page
+//! copies it (copy-on-write). Read paths never unshare.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use ptaint_isa::PAGE_SIZE;
 
@@ -45,6 +51,7 @@ impl fmt::Display for MemFault {
 impl std::error::Error for MemFault {}
 
 /// One 4 KiB page: data bytes plus a taint bit per byte.
+#[derive(Clone)]
 struct Page {
     data: Box<[u8; PAGE_BYTES]>,
     taint: Box<[u64; TAINT_WORDS]>,
@@ -95,9 +102,10 @@ impl Page {
 /// ```
 #[derive(Default)]
 pub struct TaintedMemory {
-    pages: HashMap<u32, Page>,
+    pages: HashMap<u32, Arc<Page>>,
     null_guard: bool,
     tainted_writes: u64,
+    cow_faults: u64,
 }
 
 impl fmt::Debug for TaintedMemory {
@@ -106,6 +114,7 @@ impl fmt::Debug for TaintedMemory {
             .field("pages", &self.pages.len())
             .field("null_guard", &self.null_guard)
             .field("tainted_writes", &self.tainted_writes)
+            .field("cow_faults", &self.cow_faults)
             .finish()
     }
 }
@@ -118,6 +127,7 @@ impl TaintedMemory {
             pages: HashMap::new(),
             null_guard: true,
             tainted_writes: 0,
+            cow_faults: 0,
         }
     }
 
@@ -129,7 +139,44 @@ impl TaintedMemory {
             pages: HashMap::new(),
             null_guard: false,
             tainted_writes: 0,
+            cow_faults: 0,
         }
+    }
+
+    /// A copy-on-write fork of this memory: the child shares every page
+    /// (data *and* shadow taint) with the parent by reference count, so the
+    /// fork costs O(pages) pointer copies instead of O(bytes). The first
+    /// write either side makes to a shared page unshares just that page (a
+    /// "COW fault", counted per instance by
+    /// [`TaintedMemory::cow_fault_count`]). The cumulative
+    /// [`TaintedMemory::tainted_write_count`] is inherited so a forked run
+    /// reports the same traffic statistics as a fresh one; the child's COW
+    /// fault counter starts at zero.
+    #[must_use]
+    pub fn fork(&self) -> TaintedMemory {
+        TaintedMemory {
+            pages: self.pages.clone(),
+            null_guard: self.null_guard,
+            tainted_writes: self.tainted_writes,
+            cow_faults: 0,
+        }
+    }
+
+    /// Number of materialized pages currently shared with at least one fork
+    /// (reference count above one).
+    #[must_use]
+    pub fn pages_shared(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count()
+    }
+
+    /// Number of writes that had to unshare a page since this instance was
+    /// created or forked.
+    #[must_use]
+    pub fn cow_fault_count(&self) -> u64 {
+        self.cow_faults
     }
 
     fn check(&self, addr: u32, align: u32) -> Result<(), MemFault> {
@@ -149,7 +196,14 @@ impl TaintedMemory {
     }
 
     fn page(&mut self, addr: u32) -> &mut Page {
-        self.pages.entry(addr / PAGE_SIZE).or_insert_with(Page::new)
+        let arc = self
+            .pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| Arc::new(Page::new()));
+        if Arc::strong_count(arc) > 1 {
+            self.cow_faults += 1;
+        }
+        Arc::make_mut(arc)
     }
 
     /// Reads one byte and its taint bit.
@@ -262,8 +316,25 @@ impl TaintedMemory {
     ///
     /// Faults when the range touches the null page.
     pub fn write_bytes(&mut self, addr: u32, data: &[u8], tainted: bool) -> Result<(), MemFault> {
-        for (i, &b) in data.iter().enumerate() {
-            self.write_u8(addr + i as u32, b, tainted)?;
+        // One page lookup (and one null-guard check — the guard is
+        // page-granular) per crossed page, not per byte. A fault mid-range
+        // still leaves every byte of the preceding pages written, exactly
+        // like the old byte-at-a-time loop.
+        let mut i = 0;
+        while i < data.len() {
+            let a = addr.wrapping_add(i as u32);
+            self.check(a, 1)?;
+            let off = (a % PAGE_SIZE) as usize;
+            let run = (data.len() - i).min(PAGE_BYTES - off);
+            if tainted {
+                self.tainted_writes += run as u64;
+            }
+            let page = self.page(a);
+            page.data[off..off + run].copy_from_slice(&data[i..i + run]);
+            for o in off..off + run {
+                page.set_taint_bit(o, tainted);
+            }
+            i += run;
         }
         Ok(())
     }
@@ -315,11 +386,19 @@ impl TaintedMemory {
     ///
     /// Faults when the range touches the null page.
     pub fn set_taint_range(&mut self, addr: u32, len: u32, tainted: bool) -> Result<(), MemFault> {
-        for i in 0..len {
-            let a = addr + i;
+        // Page lookup hoisted per crossed page, like `write_bytes`. The data
+        // bytes are untouched; this flips shadow bits only.
+        let mut i = 0;
+        while i < len {
+            let a = addr.wrapping_add(i);
             self.check(a, 1)?;
             let off = (a % PAGE_SIZE) as usize;
-            self.page(a).set_taint_bit(off, tainted);
+            let run = (len - i).min((PAGE_BYTES - off) as u32);
+            let page = self.page(a);
+            for o in off..off + run as usize {
+                page.set_taint_bit(o, tainted);
+            }
+            i += run;
         }
         Ok(())
     }
@@ -373,7 +452,7 @@ impl TaintedMemory {
     /// the paper's space-overhead discussion (§5.4).
     #[must_use]
     pub fn tainted_byte_count(&self) -> u64 {
-        self.pages.values().map(Page::tainted_bytes).sum()
+        self.pages.values().map(|p| p.tainted_bytes()).sum()
     }
 
     /// Cumulative count of byte writes that carried taint, over the whole
@@ -556,6 +635,62 @@ mod tests {
                 (0x9000, 1)
             ]
         );
+    }
+
+    #[test]
+    fn fork_shares_pages_until_written() {
+        let mut parent = TaintedMemory::new();
+        parent.write_bytes(0x2000, b"seed", true).unwrap();
+        parent.write_u8(0x5000, 9, false).unwrap();
+        let mut child = parent.fork();
+        assert_eq!(parent.pages_shared(), 2);
+        assert_eq!(child.pages_shared(), 2);
+        assert_eq!(child.read_bytes(0x2000, 4).unwrap(), b"seed");
+        assert_eq!(child.tainted_write_count(), parent.tainted_write_count());
+        assert_eq!(child.cow_fault_count(), 0);
+
+        // Reads never unshare.
+        let _ = child.read_u32(0x2000).unwrap();
+        assert_eq!(child.pages_shared(), 2);
+
+        // The first write to a shared page copies it; the sibling page stays
+        // shared, and the parent never sees the child's write.
+        child.write_u8(0x2000, b'X', false).unwrap();
+        assert_eq!(child.cow_fault_count(), 1);
+        assert_eq!(child.pages_shared(), 1);
+        assert_eq!(parent.read_u8(0x2000).unwrap(), (b's', true));
+        assert_eq!(child.read_u8(0x2000).unwrap(), (b'X', false));
+
+        // A second write to the now-private page is not a COW fault.
+        child.write_u8(0x2001, b'Y', false).unwrap();
+        assert_eq!(child.cow_fault_count(), 1);
+    }
+
+    #[test]
+    fn fork_isolates_taint_both_directions() {
+        let mut parent = TaintedMemory::new();
+        parent.write_bytes(0x3000, &[1, 2, 3, 4], false).unwrap();
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        a.set_taint_range(0x3000, 2, true).unwrap();
+        b.write_u32(0x3000, 0xdead_beef, WordTaint::ALL).unwrap();
+        parent.write_u8(0x3003, 7, true).unwrap();
+        // Three divergent views of the same origin page.
+        assert_eq!(a.read_bytes(0x3000, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(a.read_taint(0x3000, 4).unwrap(), [true, true, false, false]);
+        assert_eq!(b.read_u32(0x3000).unwrap(), (0xdead_beef, WordTaint::ALL));
+        assert_eq!(parent.read_u8(0x3003).unwrap(), (7, true));
+        assert!(!parent.read_u8(0x3000).unwrap().1);
+    }
+
+    #[test]
+    fn pages_materialized_after_fork_are_private() {
+        let parent = TaintedMemory::new();
+        let mut child = parent.fork();
+        child.write_u8(0x8000, 1, true).unwrap();
+        assert_eq!(child.cow_fault_count(), 0, "fresh page, nothing to copy");
+        assert_eq!(parent.page_count(), 0);
+        assert_eq!(parent.read_u8(0x8000).unwrap(), (0, false));
     }
 
     #[test]

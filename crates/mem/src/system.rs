@@ -111,6 +111,38 @@ impl MemorySystem {
         MemorySystem::new(HierarchyConfig::flat())
     }
 
+    /// A copy-on-write fork of the whole hierarchy: main memory shares its
+    /// pages with the parent (see [`TaintedMemory::fork`]), the L1/L2 line
+    /// arrays and their statistics are deep-copied (they are bounded in
+    /// size), and the self-modifying-code watch state carries over so a
+    /// forked decode cache keeps its coherence contract. The observer is
+    /// *not* inherited — observers are single-timeline sinks; attach a fresh
+    /// one per fork if tracing is wanted.
+    #[must_use]
+    pub fn fork(&self) -> MemorySystem {
+        MemorySystem {
+            mem: self.mem.fork(),
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+            observer: None,
+            code_watches: self.code_watches.clone(),
+            dirty_code_pages: self.dirty_code_pages.clone(),
+        }
+    }
+
+    /// Number of main-memory pages currently shared with a fork.
+    #[must_use]
+    pub fn pages_shared(&self) -> usize {
+        self.mem.pages_shared()
+    }
+
+    /// Writes that unshared a copy-on-write page since this instance was
+    /// created or forked.
+    #[must_use]
+    pub fn cow_fault_count(&self) -> u64 {
+        self.mem.cow_fault_count()
+    }
+
     /// Read-only view of main memory.
     #[must_use]
     pub fn memory(&self) -> &TaintedMemory {
@@ -380,8 +412,24 @@ impl MemorySystem {
     ///
     /// Faults when the range touches the null page.
     pub fn write_bytes(&mut self, addr: u32, data: &[u8], tainted: bool) -> Result<(), MemFault> {
-        for (i, &b) in data.iter().enumerate() {
-            self.write_u8(addr + i as u32, b, tainted)?;
+        if self.l1.is_some() || self.l2.is_some() {
+            // Caches want byte-wise write-through so resident lines patch.
+            for (i, &b) in data.iter().enumerate() {
+                self.write_u8(addr + i as u32, b, tainted)?;
+            }
+            return Ok(());
+        }
+        // Flat fast path: one code-watch hook and one page-chunked bulk copy
+        // per crossed page (the hook fires before the chunk's write, like
+        // the byte path's note-then-write order).
+        let mut i = 0;
+        while i < data.len() {
+            let a = addr.wrapping_add(i as u32);
+            self.note_code_write(a);
+            let off = (a % PAGE_SIZE) as usize;
+            let run = (data.len() - i).min(PAGE_SIZE as usize - off);
+            self.mem.write_bytes(a, &data[i..i + run], tainted)?;
+            i += run;
         }
         Ok(())
     }
@@ -577,6 +625,45 @@ mod tests {
         assert!(tbit);
         assert!(sys.read_u8(taddr).unwrap().1, "cached taint bit gained");
         assert!(!sys.memory().read_u8(taddr).unwrap().1, "memory unchanged");
+    }
+
+    #[test]
+    fn fork_copies_caches_and_shares_memory() {
+        let mut sys = MemorySystem::new(HierarchyConfig::two_level());
+        sys.write_bytes(0x2000, b"evil", true).unwrap();
+        let _ = sys.read_u32(0x2000).unwrap(); // lines resident
+        sys.watch_code_page(0x0040_0000 / PAGE_SIZE);
+
+        let mut child = sys.fork();
+        assert!(child.pages_shared() > 0);
+        assert_eq!(child.l1_stats(), sys.l1_stats());
+        assert_eq!(child.tainted_lines(), sys.tainted_lines());
+
+        // The child's cache traffic and stores are invisible to the parent.
+        child.write_u8(0x2000, b'X', false).unwrap();
+        assert_eq!(sys.memory().read_u8(0x2000).unwrap(), (b'e', true));
+        assert_eq!(child.memory().read_u8(0x2000).unwrap(), (b'X', false));
+        assert!(child.cow_fault_count() > 0);
+        assert_eq!(sys.cow_fault_count(), 0);
+
+        // Code watches carried over: the child notices SMC independently.
+        child.write_u32(0x0040_0000, 1, WordTaint::CLEAN).unwrap();
+        assert!(child.has_dirty_code_pages());
+        assert!(!sys.has_dirty_code_pages());
+    }
+
+    #[test]
+    fn flat_bulk_write_hooks_code_watches_per_page() {
+        let mut sys = MemorySystem::flat();
+        let base = 0x0040_0000 + PAGE_SIZE - 2;
+        sys.watch_code_page(base / PAGE_SIZE);
+        sys.watch_code_page(base / PAGE_SIZE + 1);
+        // A bulk write straddling the page seam dirties both pages.
+        sys.write_bytes(base, &[1, 2, 3, 4], false).unwrap();
+        assert_eq!(
+            sys.take_dirty_code_pages(),
+            vec![base / PAGE_SIZE, base / PAGE_SIZE + 1]
+        );
     }
 
     #[test]

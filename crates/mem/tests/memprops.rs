@@ -60,4 +60,61 @@ proptest! {
         prop_assert!(!mem.read_u8(base + pad + len).unwrap().1);
         prop_assert_eq!(mem.tainted_byte_count(), u64::from(len));
     }
+
+    /// Copy-on-write forks never alias: arbitrary interleaved writes (data
+    /// bytes, bulk writes with shadow taint, and taint-only range flips)
+    /// applied to the parent and two forked children after `fork()` leave
+    /// each timeline byte-identical to an unforked replay of its own
+    /// history — no write in one timeline is ever visible in another.
+    #[test]
+    fn forks_never_alias_parent_or_sibling(
+        setup in proptest::collection::vec((0u32..96, any::<u8>(), any::<bool>()), 0..32),
+        streams in proptest::collection::vec(
+            (0usize..3, 0u32..96, any::<u8>(), any::<bool>(), 0u8..3), 1..96))
+    {
+        // The window deliberately straddles page boundaries so COW faults
+        // split shared pages mid-stream.
+        let base = 0x3000_0fc0u32;
+        let apply = |mem: &mut TaintedMemory, slot: u32, val: u8, t: bool, kind: u8| {
+            match kind {
+                0 => mem.write_u8(base + slot, val, t).unwrap(),
+                1 => mem.write_bytes(base + slot, &[val; 5], t).unwrap(),
+                _ => mem.set_taint_range(base + slot, 7, t).unwrap(),
+            }
+        };
+
+        let mut parent = TaintedMemory::new();
+        for &(slot, val, t) in &setup {
+            parent.write_u8(base + slot, val, t).unwrap();
+        }
+        let mut children = [parent.fork(), parent.fork()];
+
+        // Replays: one unforked memory per timeline, fed the same history.
+        let mut replays = [TaintedMemory::new(), TaintedMemory::new(), TaintedMemory::new()];
+        for replay in &mut replays {
+            for &(slot, val, t) in &setup {
+                replay.write_u8(base + slot, val, t).unwrap();
+            }
+        }
+
+        for &(who, slot, val, t, kind) in &streams {
+            let target = match who {
+                0 => &mut parent,
+                i => &mut children[i - 1],
+            };
+            apply(target, slot, val, t, kind);
+            apply(&mut replays[who], slot, val, t, kind);
+        }
+
+        for (timeline, replay) in [&parent, &children[0], &children[1]].into_iter().zip(&replays) {
+            for slot in 0..104u32 {
+                prop_assert_eq!(
+                    timeline.read_u8(base + slot).unwrap(),
+                    replay.read_u8(base + slot).unwrap(),
+                    "fork timeline diverged from its unforked replay at slot {}", slot
+                );
+            }
+            prop_assert_eq!(timeline.tainted_byte_count(), replay.tainted_byte_count());
+        }
+    }
 }

@@ -24,12 +24,16 @@
 //! the CPU's Table-1 propagation.
 
 mod faults;
+mod journal;
 mod loader;
 mod os;
 mod run;
 mod world;
 
 pub use faults::{IoFault, IoFaultPlan, EINTR};
+pub use journal::{
+    DeliveredInput, JournalEntry, JournalFormatError, ReplayDivergence, SyscallJournal,
+};
 pub use loader::{exit_stub, load, load_with_observer, EXIT_STUB_BYTES};
 pub use os::{Os, Sys};
 pub use run::{

@@ -8,6 +8,7 @@ use ptaint_mem::WordTaint;
 use ptaint_trace::Event;
 
 use crate::faults::{IoFault, IoFaultPlan, EINTR};
+use crate::journal::{DeliveredInput, JournalEntry, ReplayDivergence, SyscallJournal};
 use crate::WorldConfig;
 
 /// System call numbers (passed in `$v0`; arguments in `$a0..$a2`; result in
@@ -103,7 +104,7 @@ impl Sys {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Desc {
     StdIn,
     StdOut,
@@ -148,12 +149,34 @@ pub struct Os {
     /// Taint-delivering calls serviced so far — the index space of
     /// [`IoFaultPlan`].
     io_calls: u64,
+    /// Record/replay state (off by default).
+    journal: JournalMode,
+    /// Scratch slot: the tainted delivery made while servicing the current
+    /// call, captured by `deliver_tainted` for the recorder.
+    last_delivery: Option<DeliveredInput>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SessionState {
     incoming: VecDeque<Vec<u8>>,
     sent: Vec<u8>,
+}
+
+/// Whether (and how) the kernel journals syscalls.
+#[derive(Debug)]
+enum JournalMode {
+    /// No journalling (the default, and what forks start with).
+    Off,
+    /// Every serviced call is appended to the journal.
+    Record(SyscallJournal),
+    /// Calls are answered from the journal instead of the world; a guest
+    /// call the journal did not record stops the run with a structured
+    /// [`ReplayDivergence`].
+    Replay {
+        journal: SyscallJournal,
+        cursor: usize,
+        divergence: Option<ReplayDivergence>,
+    },
 }
 
 impl Os {
@@ -188,6 +211,78 @@ impl Os {
             source_seq: HashMap::new(),
             io_faults: IoFaultPlan::new(),
             io_calls: 0,
+            journal: JournalMode::Off,
+            last_delivery: None,
+        }
+    }
+
+    /// Forks the kernel: an independent copy of every piece of world state —
+    /// descriptor table, console buffers, file system, scripted-peer
+    /// cursors, program break, I/O fault plan and its call counter. Writes
+    /// on either side never alias the other.
+    ///
+    /// Journal state is deliberately *not* inherited: record/replay is a
+    /// single-timeline activity, and a fork is a new timeline. Start a new
+    /// recording on the fork if needed.
+    #[must_use]
+    pub fn fork(&self) -> Os {
+        Os {
+            stdin: self.stdin.clone(),
+            stdout: self.stdout.clone(),
+            stderr: self.stderr.clone(),
+            files: self.files.clone(),
+            descriptors: self.descriptors.clone(),
+            next_fd: self.next_fd,
+            sessions: self.sessions.clone(),
+            next_session: self.next_session,
+            brk: self.brk,
+            uid: self.uid,
+            exit_status: self.exit_status,
+            tainted_input_bytes: self.tainted_input_bytes,
+            source_seq: self.source_seq.clone(),
+            io_faults: self.io_faults.clone(),
+            io_calls: self.io_calls,
+            journal: JournalMode::Off,
+            last_delivery: None,
+        }
+    }
+
+    /// Switches the kernel into record mode: every subsequently serviced
+    /// syscall is journalled. Replaces any previous journal state.
+    pub fn start_recording(&mut self) {
+        self.journal = JournalMode::Record(SyscallJournal::new());
+    }
+
+    /// Detaches the recorded journal, leaving journalling off. Returns
+    /// `None` when the kernel was not recording.
+    pub fn take_journal(&mut self) -> Option<SyscallJournal> {
+        match std::mem::replace(&mut self.journal, JournalMode::Off) {
+            JournalMode::Record(journal) => Some(journal),
+            other => {
+                self.journal = other;
+                None
+            }
+        }
+    }
+
+    /// Switches the kernel into replay mode: syscalls are answered from
+    /// `journal` instead of the world, byte-exactly. Replaces any previous
+    /// journal state.
+    pub fn start_replay(&mut self, journal: SyscallJournal) {
+        self.journal = JournalMode::Replay {
+            journal,
+            cursor: 0,
+            divergence: None,
+        };
+    }
+
+    /// Takes the pending replay divergence, if the last serviced call
+    /// departed from the journal. The run loop polls this after every
+    /// syscall and converts it into a structured exit reason.
+    pub fn take_replay_divergence(&mut self) -> Option<ReplayDivergence> {
+        match &mut self.journal {
+            JournalMode::Replay { divergence, .. } => divergence.take(),
+            _ => None,
         }
     }
 
@@ -280,6 +375,12 @@ impl Os {
         let a1 = cpu.regs().value(Reg::A1);
         let a2 = cpu.regs().value(Reg::A2);
 
+        if matches!(self.journal, JournalMode::Replay { .. }) {
+            self.replay_syscall(cpu, number, [a0, a1, a2]);
+            return;
+        }
+        self.last_delivery = None;
+
         let result: i32 = match Sys::from_number(number) {
             None => -1,
             Some(Sys::Exit) => {
@@ -316,6 +417,15 @@ impl Os {
             Some(Sys::Send) => self.sys_send(cpu, a0 as i32, a1, a2),
         };
 
+        if let JournalMode::Record(journal) = &mut self.journal {
+            journal.entries.push(JournalEntry {
+                number,
+                args: [a0, a1, a2],
+                result,
+                delivered: self.last_delivery.take(),
+            });
+        }
+
         cpu.regs_mut().set(Reg::V0, result as u32, WordTaint::CLEAN);
         if cpu.has_observer() {
             cpu.emit_event(&Event::Syscall {
@@ -324,6 +434,110 @@ impl Os {
                 number,
                 name: Sys::from_number(number).map_or("unknown", Sys::name),
                 result,
+            });
+        }
+    }
+
+    /// Mirrors a parked divergence into the trace stream, when observed.
+    fn emit_divergence(cpu: &Cpu, d: &ReplayDivergence) {
+        if cpu.has_observer() {
+            cpu.emit_event(&Event::ReplayDivergence {
+                index: d.index as u64,
+                expected: d.expected.clone(),
+                actual: d.actual.clone(),
+            });
+        }
+    }
+
+    /// Services one syscall from the journal instead of the world. The
+    /// guest's call must match the next recorded entry exactly (number and
+    /// all three arguments); any departure — including running past the
+    /// journal's end — parks a [`ReplayDivergence`] for the run loop
+    /// instead of answering.
+    fn replay_syscall(&mut self, cpu: &mut Cpu, number: u32, args: [u32; 3]) {
+        let actual = JournalEntry {
+            number,
+            args,
+            result: 0,
+            delivered: None,
+        }
+        .describe();
+        let JournalMode::Replay {
+            journal,
+            cursor,
+            divergence,
+        } = &mut self.journal
+        else {
+            unreachable!("caller checked the mode");
+        };
+        let index = *cursor;
+        let Some(entry) = journal.entries.get(index) else {
+            let d = ReplayDivergence {
+                index,
+                expected: "<end of journal>".to_string(),
+                actual,
+            };
+            *divergence = Some(d.clone());
+            Os::emit_divergence(cpu, &d);
+            return;
+        };
+        if entry.number != number || entry.args != args {
+            let d = ReplayDivergence {
+                index,
+                expected: entry.describe(),
+                actual,
+            };
+            *divergence = Some(d.clone());
+            Os::emit_divergence(cpu, &d);
+            return;
+        }
+        let entry = entry.clone();
+        *cursor += 1;
+
+        if let Some(d) = &entry.delivered {
+            // Re-serve the recorded tainted bytes at the recorded address.
+            // A write fault here means guest memory diverged from the
+            // recorded timeline (the recorded delivery succeeded).
+            if cpu.mem_mut().write_bytes(d.buf, &d.data, true).is_err() {
+                let diverged = ReplayDivergence {
+                    index,
+                    expected: format!("{} delivering {} bytes", entry.describe(), d.data.len()),
+                    actual: format!("{actual} with a faulting buffer"),
+                };
+                let JournalMode::Replay { divergence, .. } = &mut self.journal else {
+                    unreachable!("mode is stable across delivery");
+                };
+                *divergence = Some(diverged.clone());
+                Os::emit_divergence(cpu, &diverged);
+                return;
+            }
+            self.tainted_input_bytes += d.data.len() as u64;
+            if cpu.has_observer() && !d.data.is_empty() {
+                // Mirror `deliver_tainted`'s labelling so a traced replay
+                // produces the same provenance events as the recording.
+                let name: &'static str = if d.source == "recv" { "recv" } else { "read" };
+                let seq = self.source_seq.entry(name).or_insert(0);
+                *seq += 1;
+                cpu.emit_event(&Event::TaintSource {
+                    kind: "syscall",
+                    label: format!("{name}#{seq} fd={}", d.fd),
+                    base: d.buf,
+                    len: d.data.len() as u32,
+                });
+            }
+        }
+        if Sys::from_number(number) == Some(Sys::Exit) {
+            self.exit_status = Some(args[0] as i32);
+        }
+
+        cpu.regs_mut()
+            .set(Reg::V0, entry.result as u32, WordTaint::CLEAN);
+        if cpu.has_observer() {
+            cpu.emit_event(&Event::Syscall {
+                pc: cpu.pc().wrapping_sub(4),
+                number,
+                name: Sys::from_number(number).map_or("unknown", Sys::name),
+                result: entry.result,
             });
         }
     }
@@ -343,6 +557,16 @@ impl Os {
         match cpu.mem_mut().write_bytes(buf, data, true) {
             Ok(()) => {
                 self.tainted_input_bytes += data.len() as u64;
+                // Journal the delivery (empty deliveries are no-ops on
+                // replay, so they are not recorded).
+                if matches!(self.journal, JournalMode::Record(_)) && !data.is_empty() {
+                    self.last_delivery = Some(DeliveredInput {
+                        buf,
+                        data: data.to_vec(),
+                        source: name.to_string(),
+                        fd,
+                    });
+                }
                 if cpu.has_observer() && !data.is_empty() {
                     let seq = self.source_seq.entry(name).or_insert(0);
                     *seq += 1;
@@ -810,6 +1034,107 @@ mod tests {
             assert_eq!(Sys::from_number(sys.number()), Some(sys));
         }
         assert_eq!(Sys::from_number(0), None);
+    }
+
+    #[test]
+    fn fork_isolates_kernel_state_both_ways() {
+        let mut os = Os::new(WorldConfig::new().stdin(b"parent-bytes".to_vec()));
+        os.set_brk(0x1000_8000);
+        let mut cpu_p = cpu();
+        let mut cpu_c = cpu_p.fork();
+        let mut child = os.fork();
+
+        // The child drains stdin and moves its break; the parent sees
+        // neither.
+        assert_eq!(call(&mut child, &mut cpu_c, Sys::Read, 0, BUF, 64), 12);
+        call(&mut child, &mut cpu_c, Sys::Brk, 0x1000_9000, 0, 0);
+        assert_eq!(call(&mut os, &mut cpu_p, Sys::Read, 0, BUF, 64), 12);
+        assert_eq!(call(&mut os, &mut cpu_p, Sys::Brk, 0, 0, 0), 0x1000_8000);
+
+        // Descriptors opened in one fork do not exist in the other.
+        let mut os = Os::new(WorldConfig::new().session(NetSessionHelper::msgs(&[b"hi"])));
+        let sock = call(&mut os, &mut cpu_p, Sys::Socket, 0, 0, 0);
+        let mut child = os.fork();
+        let conn = call(&mut child, &mut cpu_c, Sys::Accept, sock as u32, 0, 0);
+        assert!(conn > sock);
+        assert_eq!(
+            call(&mut os, &mut cpu_p, Sys::Recv, conn as u32, BUF, 8),
+            -1
+        );
+        // The parent can still accept the same scripted peer itself.
+        assert_eq!(
+            call(&mut os, &mut cpu_p, Sys::Accept, sock as u32, 0, 0),
+            conn
+        );
+    }
+
+    #[test]
+    fn record_then_replay_is_byte_exact_without_the_world() {
+        let mut os = Os::new(WorldConfig::new().stdin(b"secret".to_vec()));
+        let mut cpu1 = cpu();
+        os.start_recording();
+        assert_eq!(call(&mut os, &mut cpu1, Sys::GetPid, 0, 0, 0), 1);
+        assert_eq!(call(&mut os, &mut cpu1, Sys::Read, 0, BUF, 64), 6);
+        call(&mut os, &mut cpu1, Sys::Exit, 5, 0, 0);
+        let journal = os.take_journal().expect("was recording");
+        assert_eq!(journal.len(), 3);
+
+        // Replay against an EMPTY world: results and delivered bytes come
+        // from the journal alone.
+        let mut os2 = Os::new(WorldConfig::new());
+        let mut cpu2 = cpu();
+        os2.start_replay(journal);
+        assert_eq!(call(&mut os2, &mut cpu2, Sys::GetPid, 0, 0, 0), 1);
+        assert_eq!(call(&mut os2, &mut cpu2, Sys::Read, 0, BUF, 64), 6);
+        assert_eq!(cpu2.mem().read_bytes(BUF, 6).unwrap(), b"secret");
+        assert!(cpu2.mem().read_taint(BUF, 6).unwrap().iter().all(|&t| t));
+        assert_eq!(os2.tainted_input_bytes, 6);
+        call(&mut os2, &mut cpu2, Sys::Exit, 5, 0, 0);
+        assert_eq!(os2.exit_status(), Some(5));
+        assert!(os2.take_replay_divergence().is_none());
+    }
+
+    #[test]
+    fn replay_diverges_on_mismatched_call_and_past_the_end() {
+        let mut os = Os::new(WorldConfig::new());
+        let mut cpu1 = cpu();
+        os.start_recording();
+        call(&mut os, &mut cpu1, Sys::GetPid, 0, 0, 0);
+        let journal = os.take_journal().unwrap();
+
+        // Different syscall number at position 0.
+        let mut os2 = Os::new(WorldConfig::new());
+        let mut cpu2 = cpu();
+        os2.start_replay(journal.clone());
+        call(&mut os2, &mut cpu2, Sys::GetUid, 0, 0, 0);
+        let d = os2.take_replay_divergence().expect("must diverge");
+        assert_eq!(d.index, 0);
+        assert!(d.expected.contains("syscall 20"));
+        assert!(d.actual.contains("syscall 24"));
+
+        // Matching call, then one call past the journal's end.
+        let mut os3 = Os::new(WorldConfig::new());
+        os3.start_replay(journal);
+        assert_eq!(call(&mut os3, &mut cpu2, Sys::GetPid, 0, 0, 0), 1);
+        call(&mut os3, &mut cpu2, Sys::GetPid, 0, 0, 0);
+        let d = os3.take_replay_divergence().expect("must diverge");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.expected, "<end of journal>");
+    }
+
+    #[test]
+    fn forks_do_not_inherit_journal_state() {
+        let mut os = Os::new(WorldConfig::new());
+        let mut c = cpu();
+        os.start_recording();
+        call(&mut os, &mut c, Sys::GetPid, 0, 0, 0);
+        let mut child = os.fork();
+        // The child records nothing and replays nothing.
+        call(&mut child, &mut c, Sys::GetUid, 0, 0, 0);
+        assert!(child.take_journal().is_none());
+        assert!(child.take_replay_divergence().is_none());
+        // The parent's recording is unaffected by the fork.
+        assert_eq!(os.take_journal().unwrap().len(), 1);
     }
 
     /// Test-local shim so tests read naturally.

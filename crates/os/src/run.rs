@@ -37,6 +37,10 @@ pub enum ExitReason {
     /// The wall-clock watchdog of [`RunLimits::watchdog`] expired before
     /// the program finished.
     Watchdog,
+    /// A replayed run issued a syscall its journal did not record — the
+    /// execution departed from the recorded timeline. Structured, never a
+    /// panic: divergence is the forensic signal replay exists to surface.
+    ReplayDivergence(crate::ReplayDivergence),
 }
 
 impl ExitReason {
@@ -67,6 +71,7 @@ impl fmt::Display for ExitReason {
             ExitReason::StepLimit => write!(f, "step limit exhausted"),
             ExitReason::GuestFault(msg) => write!(f, "guest fault: {msg}"),
             ExitReason::Watchdog => write!(f, "watchdog expired"),
+            ExitReason::ReplayDivergence(d) => write!(f, "{d}"),
         }
     }
 }
@@ -98,6 +103,14 @@ impl ToJson for ExitReason {
             // Deliberately carries no timing data, so campaign reports stay
             // byte-identical across hosts of different speeds.
             ExitReason::Watchdog => "{\"kind\":\"watchdog\"}".to_string(),
+            ExitReason::ReplayDivergence(d) => {
+                format!(
+                    "{{\"kind\":\"replay_divergence\",\"index\":{},\"expected\":{},\"actual\":{}}}",
+                    d.index,
+                    escape(&d.expected),
+                    escape(&d.actual)
+                )
+            }
         }
     }
 }
@@ -239,6 +252,9 @@ fn drive<S: Steppable>(
             Ok(StepEvent::Executed) => {}
             Ok(StepEvent::SyscallTrap) => {
                 os.handle_syscall(stepper.cpu_mut());
+                if let Some(d) = os.take_replay_divergence() {
+                    return ExitReason::ReplayDivergence(d);
+                }
                 if let Some(status) = os.exit_status() {
                     return ExitReason::Exited(status);
                 }
@@ -512,6 +528,79 @@ main:   lw $t0, 4($a1)    # argv[1] pointer (untainted, kernel-built)
         );
         let out = run_to_exit_with(&mut cpu, &mut os, RunLimits::steps(100), &mut ForceExit);
         assert_eq!(out.reason, ExitReason::Exited(9));
+    }
+
+    #[test]
+    fn recorded_run_replays_bit_identical_and_divergence_is_structured() {
+        let src = r#"
+        .data
+buf:    .space 64
+        .text
+main:   li $v0, 3        # read(0, buf, 64)
+        li $a0, 0
+        la $a1, buf
+        li $a2, 64
+        syscall
+        move $a2, $v0
+        li $v0, 4        # write(1, buf, n)
+        li $a0, 1
+        la $a1, buf
+        syscall
+        li $v0, 1
+        li $a0, 0
+        syscall
+        "#;
+        let image = assemble(src).unwrap();
+        let world = WorldConfig::new().stdin(b"journal me".to_vec());
+        let (mut cpu, mut os) = load(
+            &image,
+            world,
+            DetectionPolicy::PointerTaintedness,
+            HierarchyConfig::flat(),
+        );
+        os.start_recording();
+        let recorded = run_to_exit(&mut cpu, &mut os, 100_000);
+        let journal = os.take_journal().expect("was recording");
+        assert_eq!(recorded.reason, ExitReason::Exited(0));
+
+        // Replay against an empty world: the outcome is bit-identical
+        // except the console, which lives in the un-replayed kernel.
+        let (mut cpu2, mut os2) = load(
+            &image,
+            WorldConfig::new(),
+            DetectionPolicy::PointerTaintedness,
+            HierarchyConfig::flat(),
+        );
+        os2.start_replay(journal.clone());
+        let replayed = run_to_exit(&mut cpu2, &mut os2, 100_000);
+        assert_eq!(replayed.reason, recorded.reason);
+        assert_eq!(replayed.stats, recorded.stats);
+        assert_eq!(replayed.tainted_input_bytes, recorded.tainted_input_bytes);
+
+        // Replaying a DIFFERENT program against the same journal stops
+        // with a structured divergence, not a panic.
+        let other =
+            assemble("main: li $v0, 20\n syscall\n li $v0, 1\n li $a0, 0\n syscall").unwrap();
+        let (mut cpu3, mut os3) = load(
+            &other,
+            WorldConfig::new(),
+            DetectionPolicy::PointerTaintedness,
+            HierarchyConfig::flat(),
+        );
+        os3.start_replay(journal);
+        let diverged = run_to_exit(&mut cpu3, &mut os3, 100_000);
+        match &diverged.reason {
+            ExitReason::ReplayDivergence(d) => {
+                assert_eq!(d.index, 0);
+                assert!(!diverged.reason.is_detected());
+                assert!(diverged.reason.to_string().contains("replay diverged"));
+                assert!(diverged
+                    .reason
+                    .to_json()
+                    .starts_with("{\"kind\":\"replay_divergence\""));
+            }
+            other => panic!("expected ReplayDivergence, got {other:?}"),
+        }
     }
 
     #[test]

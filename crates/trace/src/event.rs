@@ -178,6 +178,30 @@ pub enum Event {
         /// Human-readable description of what was corrupted.
         detail: String,
     },
+    /// A copy-on-write machine snapshot was captured — the baseline that
+    /// later runs fork from.
+    Snapshot {
+        /// Resident guest memory pages captured in the snapshot.
+        pages: u64,
+    },
+    /// A machine forked copy-on-write from a snapshot.
+    Fork {
+        /// Pages shared with the snapshot immediately after the fork.
+        pages_shared: u64,
+        /// COW write faults the forking timeline had absorbed when it
+        /// forked (private page copies it materialized).
+        cow_faults: u64,
+    },
+    /// A replayed run issued a syscall its journal did not record, so
+    /// replay stopped with a structured divergence.
+    ReplayDivergence {
+        /// 0-based journal index where replay stopped.
+        index: u64,
+        /// The recorded call at that index (or `<end of journal>`).
+        expected: String,
+        /// The call the guest actually issued.
+        actual: String,
+    },
 }
 
 impl Event {
@@ -196,6 +220,9 @@ impl Event {
             Event::StaticAnalysis { .. } => "static_analysis",
             Event::CheckElided { .. } => "check_elided",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::Snapshot { .. } => "snapshot",
+            Event::Fork { .. } => "fork",
+            Event::ReplayDivergence { .. } => "replay_divergence",
         }
     }
 
@@ -295,6 +322,24 @@ impl Event {
                 "\"event\":\"fault_injected\",\"kind\":{},\"detail\":{}",
                 escape(kind),
                 escape(detail),
+            ),
+            Event::Snapshot { pages } => {
+                format!("\"event\":\"snapshot\",\"pages\":{pages}")
+            }
+            Event::Fork {
+                pages_shared,
+                cow_faults,
+            } => format!(
+                "\"event\":\"fork\",\"pages_shared\":{pages_shared},\"cow_faults\":{cow_faults}"
+            ),
+            Event::ReplayDivergence {
+                index,
+                expected,
+                actual,
+            } => format!(
+                "\"event\":\"replay_divergence\",\"index\":{index},\"expected\":{},\"actual\":{}",
+                escape(expected),
+                escape(actual),
             ),
         }
     }

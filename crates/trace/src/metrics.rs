@@ -78,6 +78,12 @@ pub struct MetricsSnapshot {
     pub faults_injected: u64,
     /// Applied faults broken down by fault-kind name.
     pub faults_by_kind: BTreeMap<&'static str, u64>,
+    /// Pages shared copy-on-write at the most recent observed fork (zero
+    /// when the run never forked).
+    pub pages_shared: u64,
+    /// COW write faults accumulated across observed fork events (private
+    /// page copies materialized by forking timelines).
+    pub cow_faults: u64,
     /// Tainted-retire fraction per [`DENSITY_WINDOW`]-instruction window,
     /// in execution order — the taint-density-over-time histogram.
     pub taint_density: Vec<f64>,
@@ -106,6 +112,7 @@ impl ToJson for MetricsSnapshot {
                 "\"decode_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
                 "\"elided_checks\":{},\"statically_proven\":{},",
                 "\"faults_injected\":{},\"faults_by_kind\":{},",
+                "\"pages_shared\":{},\"cow_faults\":{},",
                 "\"taint_density\":[{}]}}"
             ),
             self.retired,
@@ -129,6 +136,8 @@ impl ToJson for MetricsSnapshot {
             self.statically_proven,
             self.faults_injected,
             map(&self.faults_by_kind),
+            self.pages_shared,
+            self.cow_faults,
             density.join(","),
         )
     }
@@ -199,6 +208,16 @@ impl MetricsCollector {
             Event::FaultInjected { kind, .. } => {
                 self.snap.faults_injected += 1;
                 *self.snap.faults_by_kind.entry(kind).or_insert(0) += 1;
+            }
+            // Snapshot captures and replay divergences carry no counters of
+            // their own; fork events feed the COW metrics.
+            Event::Snapshot { .. } | Event::ReplayDivergence { .. } => {}
+            Event::Fork {
+                pages_shared,
+                cow_faults,
+            } => {
+                self.snap.pages_shared = *pages_shared;
+                self.snap.cow_faults += cow_faults;
             }
         }
     }

@@ -1,0 +1,56 @@
+//! Fork determinism on the trend gate's campaign: run the seed-7 GHTTPD
+//! fault-injection campaign with trials forked copy-on-write from the
+//! post-boot snapshot (the default) or rebooted from `_start`, and emit
+//! the byte-deterministic campaign report JSON on stdout. The CI trend
+//! gate runs both modes and `cmp`s the reports — the trial mechanism must
+//! be invisible in the bytes.
+//!
+//! ```sh
+//! cargo run --example fork_campaign -- forked   # campaign JSON, forked trials
+//! cargo run --example fork_campaign -- reboot   # same campaign, rebooted trials
+//! cargo run --example fork_campaign -- journal  # baseline run's syscall journal
+//! ```
+//!
+//! `journal` records the unfaulted baseline run's syscall journal
+//! (`ptaint-journal v1` text) for `ptaint-run replay`; CI uploads it as an
+//! artifact so any gated campaign baseline can be retraced offline.
+
+use ptaint::{CampaignSpec, DetectionPolicy, Machine, ToJson};
+use ptaint_guest::apps::ghttpd;
+
+/// The trend gate's campaign: seed 7, 12 faulted trials (see TREND.json).
+const SEED: u64 = 7;
+const TRIALS: u64 = 12;
+
+fn main() {
+    let image = ptaint_guest::build(ghttpd::SOURCE).expect("builds");
+    let machine = Machine::from_image(image.clone())
+        .world(ghttpd::attack_world(&image))
+        .policy(DetectionPolicy::PointerTaintedness);
+
+    match std::env::args().nth(1).as_deref() {
+        Some("forked") | None => {
+            let report = machine.run_campaign(&CampaignSpec::new(SEED, TRIALS));
+            println!("{}", report.to_json());
+        }
+        Some("reboot") => {
+            let report = machine
+                .fork_trials(false)
+                .run_campaign(&CampaignSpec::new(SEED, TRIALS));
+            println!("{}", report.to_json());
+        }
+        Some("journal") => {
+            let (outcome, journal) = machine.record();
+            assert!(
+                outcome.reason.is_detected(),
+                "the pinned attack must be detected, got {:?}",
+                outcome.reason
+            );
+            print!("{}", journal.to_text());
+        }
+        Some(other) => {
+            eprintln!("fork_campaign: unknown mode `{other}` (forked | reboot | journal)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -223,6 +223,44 @@ fn per_pc_profiles_are_engine_invariant() {
 }
 
 #[test]
+fn forked_runs_are_bit_identical_to_fresh_boots_under_both_engines() {
+    // A fork resumes from the post-boot snapshot with copy-on-write pages
+    // and a rebuilt decode cache, so under either engine it must retrace
+    // the fresh boot bit-exactly — decode-cache counters included (both
+    // executions start from an identical cold cache).
+    let ghttpd_m = Machine::from_c(ghttpd::SOURCE).unwrap();
+    let ghttpd_world = ghttpd::attack_world(ghttpd_m.image());
+    for (label, machine) in [
+        (
+            "exp1/attack",
+            Machine::from_c(synthetic::EXP1_SOURCE)
+                .unwrap()
+                .world(synthetic::exp1_attack_world()),
+        ),
+        (
+            "exp2/benign",
+            Machine::from_c(synthetic::EXP2_SOURCE)
+                .unwrap()
+                .world(synthetic::exp2_benign_world()),
+        ),
+        ("ghttpd/attack", ghttpd_m.world(ghttpd_world)),
+    ] {
+        for engine in [Engine::Cached, Engine::Interp] {
+            let m = machine.clone().engine(engine);
+            let fresh = m.run();
+            let snap = m.snapshot();
+            for trial in 0..2 {
+                let forked = snap.run();
+                assert_eq!(
+                    forked.outcome, fresh,
+                    "{label}: forked run #{trial} diverged from the fresh boot ({engine:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn workloads_agree_at_small_scale() {
     for w in workloads::all() {
         let m = Machine::from_c(w.source).unwrap().world(w.world(1));

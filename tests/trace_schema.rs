@@ -86,6 +86,16 @@ fn one_of_each() -> Vec<Event> {
             kind: "taint_clear",
             detail: "taint cleared on [0x10000000, +256)".to_string(),
         },
+        Event::Snapshot { pages: 42 },
+        Event::Fork {
+            pages_shared: 40,
+            cow_faults: 3,
+        },
+        Event::ReplayDivergence {
+            index: 7,
+            expected: "syscall 4003 (0x0, 0x10000000, 0x40)".to_string(),
+            actual: "syscall 4001 (0x7, 0x0, 0x0)".to_string(),
+        },
     ]
 }
 
@@ -190,6 +200,9 @@ fn pinned_keys(event: &str) -> &'static [&'static str] {
         "static_analysis" => &["event", "functions", "blocks", "proven", "flagged"],
         "check_elided" => &["event", "pc"],
         "fault_injected" => &["event", "kind", "detail"],
+        "snapshot" => &["event", "pages"],
+        "fork" => &["event", "pages_shared", "cow_faults"],
+        "replay_divergence" => &["event", "index", "expected", "actual"],
         "metrics_snapshot" => &["event", "retired", "metrics"],
         other => panic!("unknown event discriminant `{other}`"),
     }
