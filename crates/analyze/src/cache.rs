@@ -1,0 +1,352 @@
+//! Persistent, content-addressed proof cache — the `ptaint-proofs v1`
+//! format.
+//!
+//! A cache entry stores one [`Analysis`] keyed by a 64-bit FNV-1a hash of
+//! the image (entry point, segment bases, every text word and data byte)
+//! salted with [`ANALYSIS_VERSION`], so a stale cache directory can never
+//! serve proofs for a different image *or* a different analyzer. The
+//! format is hand-rolled line-oriented text like the syscall journal:
+//! deterministic to render (sorted sets), trivial to diff, and cheap to
+//! parse — a warm boot loads proofs in well under a millisecond where the
+//! cold fixpoint costs seconds.
+//!
+//! Failure contract: a **missing** entry is `Ok(None)` (cold path); an
+//! **unreadable or corrupt** entry is `Err(reason)` — callers fall back to
+//! cold analysis (and the `analyze` subcommand exits 2), but never panic.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use ptaint_asm::Image;
+use ptaint_isa::DecodedInsn;
+
+use crate::{state, Analysis, AnalyzeStats, Finding, SiteKind};
+
+/// Version salt folded into the cache key. Bump whenever the analysis
+/// semantics change so existing caches invalidate themselves.
+pub const ANALYSIS_VERSION: u32 = 2;
+
+/// First line of every cache entry.
+pub const MAGIC: &str = "ptaint-proofs v1";
+
+/// Incremental FNV-1a (64-bit).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// The content hash keying `image`'s cache entry.
+#[must_use]
+pub fn image_hash(image: &Image) -> u64 {
+    let mut h = Fnv::new();
+    h.u32(ANALYSIS_VERSION);
+    h.u32(image.entry);
+    h.u32(image.text_base);
+    h.u32(image.data_base);
+    h.u32(u32::try_from(image.text.len()).unwrap_or(u32::MAX));
+    for &w in &image.text {
+        h.u32(w);
+    }
+    h.bytes(&image.data);
+    h.0
+}
+
+/// The cache entry path for `image` under `dir`.
+#[must_use]
+pub fn path_for(dir: &Path, image: &Image) -> PathBuf {
+    dir.join(format!("{:016x}.proofs", image_hash(image)))
+}
+
+fn kind_str(k: SiteKind) -> &'static str {
+    match k {
+        SiteKind::Load => "load",
+        SiteKind::Store => "store",
+        SiteKind::RegisterJump => "jump",
+    }
+}
+
+fn kind_parse(s: &str) -> Option<SiteKind> {
+    match s {
+        "load" => Some(SiteKind::Load),
+        "store" => Some(SiteKind::Store),
+        "jump" => Some(SiteKind::RegisterJump),
+        _ => None,
+    }
+}
+
+/// Renders an analysis as a `ptaint-proofs v1` entry.
+#[must_use]
+pub fn render(image: &Image, a: &Analysis) -> String {
+    let mut out = String::new();
+    let s = &a.stats;
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "image {:016x}", image_hash(image));
+    let _ = writeln!(
+        out,
+        "stats {} {} {} {} {} {} {} {} {}",
+        s.functions,
+        s.blocks,
+        s.instructions,
+        s.load_store_sites,
+        s.register_jump_sites,
+        s.proven_sites,
+        s.flagged_sites,
+        s.unresolved_sites,
+        s.vacuous_sites,
+    );
+    if let Some(reason) = &a.degraded {
+        let _ = writeln!(out, "degraded {reason}");
+    }
+    for &p in &a.smc_pages {
+        let _ = writeln!(out, "smc {p}");
+    }
+    for &pc in &a.proven {
+        let _ = writeln!(out, "proven {pc:08x}");
+    }
+    for f in &a.findings {
+        let _ = writeln!(
+            out,
+            "finding {:08x} {} {} {:#x} {}",
+            f.pc,
+            kind_str(f.kind),
+            f.function,
+            f.offset,
+            f.chain.join(","),
+        );
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+/// Writes `image`'s cache entry under `dir` (creating it), returning the
+/// entry path.
+pub fn store(dir: &Path, image: &Image, a: &Analysis) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = path_for(dir, image);
+    std::fs::write(&path, render(image, a))?;
+    Ok(path)
+}
+
+/// Loads `image`'s cache entry from `dir`. `Ok(None)` when there is no
+/// entry (cold path); `Err(reason)` when the entry exists but cannot be
+/// read or parsed — callers fall back to cold analysis.
+pub fn load(dir: &Path, image: &Image) -> Result<Option<Analysis>, String> {
+    let path = path_for(dir, image);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    parse(image, &text)
+        .map(Some)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Parses a `ptaint-proofs v1` entry back into an [`Analysis`],
+/// re-decoding each finding's instruction from the image text.
+fn parse(image: &Image, text: &str) -> Result<Analysis, String> {
+    let ctx = state::Ctx::new(image);
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(format!("bad magic (want `{MAGIC}`)"));
+    }
+    let image_line = lines.next().unwrap_or_default();
+    let want = format!("image {:016x}", image_hash(image));
+    if image_line != want {
+        return Err(format!(
+            "image hash mismatch (`{image_line}`, want `{want}`)"
+        ));
+    }
+
+    let mut a = Analysis {
+        stats: AnalyzeStats::default(),
+        findings: Vec::new(),
+        proven: std::collections::BTreeSet::new(),
+        smc_pages: std::collections::BTreeSet::new(),
+        degraded: None,
+    };
+    let mut saw_stats = false;
+    let mut saw_end = false;
+    for line in lines {
+        if saw_end {
+            return Err("trailing content after `end`".to_owned());
+        }
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match tag {
+            "stats" => {
+                let mut nums = rest.split(' ').map(str::parse::<usize>);
+                let mut next = || -> Result<usize, String> {
+                    nums.next()
+                        .ok_or_else(|| "short stats line".to_owned())?
+                        .map_err(|e| format!("bad stats field: {e}"))
+                };
+                a.stats = AnalyzeStats {
+                    functions: next()?,
+                    blocks: next()?,
+                    instructions: next()?,
+                    load_store_sites: next()?,
+                    register_jump_sites: next()?,
+                    proven_sites: next()?,
+                    flagged_sites: next()?,
+                    unresolved_sites: next()?,
+                    vacuous_sites: next()?,
+                };
+                saw_stats = true;
+            }
+            "degraded" => a.degraded = Some(rest.to_owned()),
+            "smc" => {
+                let p = rest.parse().map_err(|e| format!("bad smc page: {e}"))?;
+                a.smc_pages.insert(p);
+            }
+            "proven" => {
+                let pc = u32::from_str_radix(rest, 16)
+                    .map_err(|e| format!("bad proven pc `{rest}`: {e}"))?;
+                a.proven.insert(pc);
+            }
+            "finding" => {
+                let mut it = rest.splitn(5, ' ');
+                let pc = it
+                    .next()
+                    .and_then(|s| u32::from_str_radix(s, 16).ok())
+                    .ok_or("bad finding pc")?;
+                let kind = it.next().and_then(kind_parse).ok_or("bad finding kind")?;
+                let function = it.next().ok_or("missing finding function")?.to_owned();
+                let offset = it
+                    .next()
+                    .and_then(|s| s.strip_prefix("0x"))
+                    .and_then(|s| u32::from_str_radix(s, 16).ok())
+                    .ok_or("bad finding offset")?;
+                let chain: Vec<String> = it
+                    .next()
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                let word = ctx
+                    .word_at(pc)
+                    .ok_or_else(|| format!("finding pc {pc:08x} outside text"))?;
+                let instr = DecodedInsn::predecode(pc, word)
+                    .map_err(|_| format!("finding pc {pc:08x} does not decode"))?
+                    .instr;
+                a.findings.push(Finding {
+                    pc,
+                    instr,
+                    kind,
+                    function,
+                    offset,
+                    chain,
+                });
+            }
+            "end" => saw_end = true,
+            _ => return Err(format!("unknown line tag `{tag}`")),
+        }
+    }
+    if !saw_stats {
+        return Err("missing stats line".to_owned());
+    }
+    if !saw_end {
+        return Err("truncated entry (missing `end`)".to_owned());
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptaint_asm::assemble;
+
+    fn sample() -> Image {
+        assemble(
+            "       .data
+buf:    .word 0
+        .text
+main:   addiu $4, $0, 0
+        lui $5, %hi(buf)
+        ori $5, $5, %lo(buf)
+        addiu $6, $0, 4
+        addiu $2, $0, 3
+        syscall
+        lui $8, %hi(buf)
+        ori $8, $8, %lo(buf)
+        lw $9, 0($8)
+        lw $10, 0($9)
+        jr $31",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let image = sample();
+        let a = crate::analyze(&image);
+        assert!(!a.findings.is_empty());
+        let text = render(&image, &a);
+        let b = parse(&image, &text).expect("round trip parses");
+        assert_eq!(a, b);
+        // Deterministic rendering of the reloaded analysis.
+        assert_eq!(text, render(&image, &b));
+    }
+
+    #[test]
+    fn store_load_round_trip_on_disk() {
+        let image = sample();
+        let a = crate::analyze(&image);
+        let dir = std::env::temp_dir().join(format!(
+            "ptaint-cache-test-{}-{}",
+            std::process::id(),
+            image_hash(&image),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(load(&dir, &image), Ok(None), "cold cache misses cleanly");
+        store(&dir, &image, &a).unwrap();
+        assert_eq!(load(&dir, &image), Ok(Some(a)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_error_instead_of_panicking() {
+        let image = sample();
+        let a = crate::analyze(&image);
+        let dir = std::env::temp_dir().join(format!(
+            "ptaint-cache-corrupt-{}-{}",
+            std::process::id(),
+            image_hash(&image),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = store(&dir, &image, &a).unwrap();
+
+        // Truncation (missing `end`).
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(load(&dir, &image).is_err());
+
+        // Garbage.
+        std::fs::write(&path, "not a proofs file\n").unwrap();
+        assert!(load(&dir, &image).is_err());
+
+        // A different analyzer version's entry (hash mismatch inside).
+        std::fs::write(&path, format!("{MAGIC}\nimage 0000000000000000\nend\n")).unwrap();
+        assert!(load(&dir, &image).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hash_is_sensitive_to_text_and_data() {
+        let a = assemble("main: jr $31").unwrap();
+        let b = assemble("main: nop\n jr $31").unwrap();
+        assert_ne!(image_hash(&a), image_hash(&b));
+    }
+}

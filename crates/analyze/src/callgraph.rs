@@ -1,0 +1,179 @@
+//! Static call graph recovery and SCC-based scheduling order.
+//!
+//! The parallel driver wants to analyze callees before callers so that exit
+//! summaries are available the first time a call site is reached — that
+//! minimizes re-runs, it does not affect the result (the fixpoint converges
+//! to the same answer under any schedule, which is what makes the parallel
+//! merge deterministic). The order comes from the *static* call graph:
+//! direct `jal` edges between the pre-scanned function entries, condensed
+//! into strongly connected components. Entries discovered only dynamically
+//! (resolved `jalr` targets, mid-function tail targets) are absent from the
+//! static graph; the driver schedules them after every ranked entry, by
+//! address.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ptaint_isa::{DecodedInsn, Instr};
+
+use crate::interp::Prescan;
+use crate::state::Ctx;
+
+/// Bottom-up schedule ranks over the static `jal` call graph: SCCs are
+/// numbered callee-first (reverse topological order of the condensation),
+/// so sorting entries by ascending rank analyzes leaves before their
+/// callers. Members of one SCC share a rank.
+#[must_use]
+pub fn ranks(ctx: &Ctx, pre: &Prescan) -> BTreeMap<u32, usize> {
+    let entries: Vec<u32> = pre.fn_entries.iter().copied().collect();
+    let owner = |pc: u32| -> Option<u32> {
+        match entries.binary_search(&pc) {
+            Ok(_) => Some(pc),
+            Err(0) => None,
+            Err(i) => Some(entries[i - 1]),
+        }
+    };
+    let mut edges: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for &e in &entries {
+        edges.insert(e, BTreeSet::new());
+    }
+    for (i, &word) in ctx.words.iter().enumerate() {
+        let pc = ctx.text_base + 4 * u32::try_from(i).unwrap_or(u32::MAX);
+        let Ok(d) = DecodedInsn::predecode(pc, word) else {
+            continue;
+        };
+        if let Instr::Jump { link: true, .. } = d.instr {
+            if ctx.in_text(d.target) {
+                if let (Some(from), Some(to)) = (owner(pc), owner(d.target)) {
+                    edges.entry(from).or_default().insert(to);
+                }
+            }
+        }
+    }
+    tarjan_ranks(&entries, &edges)
+}
+
+/// Iterative Tarjan SCC, emitting component numbers in completion order.
+/// Tarjan completes an SCC only after every component reachable from it, so
+/// the emission index *is* the reverse-topological (bottom-up) rank.
+/// Deterministic: roots and successors are iterated in sorted order.
+fn tarjan_ranks(nodes: &[u32], edges: &BTreeMap<u32, BTreeSet<u32>>) -> BTreeMap<u32, usize> {
+    let mut index: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut low: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut on_stack: BTreeSet<u32> = BTreeSet::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next = 0u32;
+    let mut rank: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut scc = 0usize;
+
+    enum Step {
+        Visit(u32, u32),
+        Pop(u32),
+    }
+
+    let succs = |v: u32| -> Vec<u32> {
+        edges
+            .get(&v)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    };
+
+    for &root in nodes {
+        if index.contains_key(&root) {
+            continue;
+        }
+        index.insert(root, next);
+        low.insert(root, next);
+        next += 1;
+        stack.push(root);
+        on_stack.insert(root);
+        // Frame: (node, successor list, next successor index).
+        let mut frames: Vec<(u32, Vec<u32>, usize)> = vec![(root, succs(root), 0)];
+        loop {
+            let step = {
+                let Some(frame) = frames.last_mut() else {
+                    break;
+                };
+                if frame.2 < frame.1.len() {
+                    let w = frame.1[frame.2];
+                    frame.2 += 1;
+                    Step::Visit(frame.0, w)
+                } else {
+                    Step::Pop(frame.0)
+                }
+            };
+            match step {
+                Step::Visit(v, w) => {
+                    if let std::collections::btree_map::Entry::Vacant(e) = index.entry(w) {
+                        e.insert(next);
+                        low.insert(w, next);
+                        next += 1;
+                        stack.push(w);
+                        on_stack.insert(w);
+                        frames.push((w, succs(w), 0));
+                    } else if on_stack.contains(&w) {
+                        let lw = index[&w];
+                        if lw < low[&v] {
+                            low.insert(v, lw);
+                        }
+                    }
+                }
+                Step::Pop(v) => {
+                    frames.pop();
+                    if let Some(parent) = frames.last() {
+                        let lv = low[&v];
+                        if lv < low[&parent.0] {
+                            low.insert(parent.0, lv);
+                        }
+                    }
+                    if low[&v] == index[&v] {
+                        loop {
+                            let w = stack.pop().expect("SCC stack underflow");
+                            on_stack.remove(&w);
+                            rank.insert(w, scc);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc += 1;
+                    }
+                }
+            }
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks_of(graph: &[(u32, &[u32])]) -> BTreeMap<u32, usize> {
+        let nodes: Vec<u32> = graph.iter().map(|&(n, _)| n).collect();
+        let mut edges: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        for &(n, succ) in graph {
+            edges.insert(n, succ.iter().copied().collect());
+        }
+        tarjan_ranks(&nodes, &edges)
+    }
+
+    #[test]
+    fn callees_rank_before_callers() {
+        // 0 -> 4 -> 8 (a chain): leaf 8 first.
+        let r = ranks_of(&[(0, &[4]), (4, &[8]), (8, &[])]);
+        assert!(r[&8] < r[&4]);
+        assert!(r[&4] < r[&0]);
+    }
+
+    #[test]
+    fn mutual_recursion_shares_a_rank() {
+        let r = ranks_of(&[(0, &[4]), (4, &[8]), (8, &[4])]);
+        assert_eq!(r[&4], r[&8]);
+        assert!(r[&4] < r[&0]);
+    }
+
+    #[test]
+    fn self_recursion_is_a_singleton_scc() {
+        let r = ranks_of(&[(0, &[0, 4]), (4, &[])]);
+        assert!(r[&4] < r[&0]);
+    }
+}

@@ -191,6 +191,13 @@ impl MemLayout {
 /// small enough that loops converge after a handful of iterations.
 pub const MAX_CONSTS: usize = 8;
 
+/// Deepest caller whose return address [`Value::RetAddr`] still tracks;
+/// values escaping past this many nested frames degrade to
+/// [`Value::Unknown`]. Compiled code only ever holds the *current* frame's
+/// return address in a register (depth 0); deeper depths arise from saved
+/// slots of enclosing frames seen across call edges.
+pub const MAX_RET_DEPTH: u8 = 3;
+
 /// Cap on the cartesian blow-up when combining two constant sets.
 const MAX_PAIRS: usize = 64;
 
@@ -202,6 +209,23 @@ pub enum Value {
     Consts(Vec<u32>),
     /// Some address within the given region (magnitude unknown).
     InRegion(Region),
+    /// The return address of the `k`-th enclosing caller of the function
+    /// under analysis (`0` = the pc this invocation must return to). The
+    /// interprocedural engine analyzes every function against an opaque
+    /// return address so that `jr $ra` resolves *structurally* — the
+    /// concrete pc is substituted only when a summary is applied at a
+    /// specific call site. Depths above [`MAX_RET_DEPTH`] are not tracked.
+    RetAddr(u8),
+    /// The saved frame pointer of the `k`-th enclosing caller of the
+    /// function under analysis. The counterpart of [`Value::RetAddr`] for
+    /// `$fp`: every call edge passes the caller's frame pointer as this
+    /// opaque token, so the callee's joined context holds *one* value no
+    /// matter how many callers (with however many distinct frame layouts)
+    /// it has, and the callee's spill/restore round-trips it unchanged.
+    /// The concrete (per-caller) value is substituted back when the exit
+    /// summary is applied at a specific call site
+    /// ([`crate::state::State::apply_return`]).
+    FrameBase(u8),
     /// No information.
     Unknown,
 }
@@ -269,6 +293,8 @@ impl Value {
                 }
             }
             (Value::InRegion(a), Value::InRegion(b)) if a == b => Value::InRegion(*a),
+            (Value::RetAddr(a), Value::RetAddr(b)) if a == b => Value::RetAddr(*a),
+            (Value::FrameBase(a), Value::FrameBase(b)) if a == b => Value::FrameBase(*a),
             _ => Value::Unknown,
         }
     }
@@ -301,17 +327,51 @@ impl Value {
         }
     }
 
+    /// Whether this value is a widened *integer* rather than a pointer:
+    /// [`Region::Other`] is the band the loader never populates (small
+    /// magnitudes below text, and everything above the argument band), so a
+    /// constant set that widened there is a loop counter or arithmetic
+    /// residue, not an address. Pointer arithmetic against it keeps the
+    /// pointer operand's region.
+    fn is_widened_int(&self) -> bool {
+        matches!(self, Value::InRegion(Region::Other))
+    }
+
+    /// The single region containing every constant of the set, if any.
+    fn consts_region(cs: &[u32], lay: &MemLayout) -> Option<Region> {
+        let r = lay.classify(cs[0]);
+        cs.iter().all(|&v| lay.classify(v) == r).then_some(r)
+    }
+
     /// Addition with pointer-arithmetic awareness: region + constant stays
-    /// in the region (the analysis does not model objects crossing a
-    /// region boundary; see DESIGN.md for why that is acceptable here).
+    /// in the region, and pointer + widened integer index (a loop counter
+    /// that outgrew [`MAX_CONSTS`]) stays in the pointer's region — the
+    /// `s[i]` idiom of every libc string loop (the analysis does not model
+    /// objects crossing a region boundary; see DESIGN.md for why that is
+    /// acceptable here).
     #[must_use]
     pub fn add(&self, other: &Value, lay: &MemLayout) -> Value {
         match (self, other) {
             (Value::Consts(_), Value::Consts(_)) => {
                 self.binop(other, lay, |a, b| a.wrapping_add(b))
             }
+            (Value::Consts(cs), w) | (w, Value::Consts(cs)) if w.is_widened_int() => {
+                Value::consts_region(cs, lay).map_or(Value::Unknown, Value::InRegion)
+            }
+            (Value::InRegion(r), w) | (w, Value::InRegion(r)) if w.is_widened_int() => {
+                Value::InRegion(*r)
+            }
             (Value::InRegion(r), Value::Consts(_)) | (Value::Consts(_), Value::InRegion(r)) => {
                 Value::InRegion(*r)
+            }
+            // `move` lowered to `addu rd, rs, $0` / `addiu rd, rs, 0` must
+            // preserve the opaque return address, or the epilogue's
+            // restored `$ra` would widen and the return would not resolve.
+            (Value::RetAddr(k), v) | (v, Value::RetAddr(k)) if v.singleton() == Some(0) => {
+                Value::RetAddr(*k)
+            }
+            (Value::FrameBase(k), v) | (v, Value::FrameBase(k)) if v.singleton() == Some(0) => {
+                Value::FrameBase(*k)
             }
             _ => Value::Unknown,
         }
@@ -325,7 +385,13 @@ impl Value {
             (Value::Consts(_), Value::Consts(_)) => {
                 self.binop(other, lay, |a, b| a.wrapping_sub(b))
             }
+            (Value::Consts(cs), w) if w.is_widened_int() => {
+                Value::consts_region(cs, lay).map_or(Value::Unknown, Value::InRegion)
+            }
+            (Value::InRegion(r), w) if w.is_widened_int() => Value::InRegion(*r),
             (Value::InRegion(r), Value::Consts(_)) => Value::InRegion(*r),
+            (Value::RetAddr(k), v) if v.singleton() == Some(0) => Value::RetAddr(*k),
+            (Value::FrameBase(k), v) if v.singleton() == Some(0) => Value::FrameBase(*k),
             _ => Value::Unknown,
         }
     }
@@ -487,6 +553,29 @@ mod tests {
             Value::InRegion(Region::Stack)
         );
         assert_eq!(Value::constant(8).sub(&p, &l), Value::Unknown);
+    }
+
+    #[test]
+    fn indexed_pointer_arithmetic_keeps_the_base_region() {
+        // A loop counter that outgrew MAX_CONSTS widens to
+        // InRegion(Other); `base + i` must keep the base's region, or a
+        // `s[i]` string loop forgets what band it walks (and an unbounded
+        // copy havocs the wrong region).
+        let l = lay();
+        let i = Value::normalize((0..=MAX_CONSTS as u32).collect(), &l);
+        assert_eq!(i, Value::InRegion(Region::Other));
+        let base = Value::constant(DATA_BASE + 16);
+        assert_eq!(base.add(&i, &l), Value::InRegion(Region::Data));
+        assert_eq!(i.add(&base, &l), Value::InRegion(Region::Data));
+        assert_eq!(base.sub(&i, &l), Value::InRegion(Region::Data));
+        let widened = Value::InRegion(Region::Stack);
+        assert_eq!(widened.add(&i, &l), Value::InRegion(Region::Stack));
+        assert_eq!(i.add(&widened, &l), Value::InRegion(Region::Stack));
+        assert_eq!(widened.sub(&i, &l), Value::InRegion(Region::Stack));
+        // int - const stays an integer (the pre-existing region arm).
+        assert_eq!(i.sub(&base, &l), Value::InRegion(Region::Other));
+        // int + int stays an integer.
+        assert_eq!(i.add(&i, &l), Value::InRegion(Region::Other));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::state::{Ctx, State};
 /// Total instruction-transfer budget for the fixpoint; exceeding it marks
 /// the analysis degraded (no elision candidates). Generous: the testbed
 /// images are a few hundred instructions and converge within thousands.
-const STEP_BUDGET: usize = 2_000_000;
+pub const STEP_BUDGET: usize = 2_000_000;
 
 /// Cap (in bytes) on precise tainting of a `read`/`recv` destination
 /// buffer; larger or unknown lengths degrade to a region havoc.
@@ -41,8 +41,17 @@ enum Flow {
         taken: bool,
         fall: bool,
     },
-    /// Unconditional jump (direct, or `jal` whose return flows via `$ra`).
+    /// Unconditional direct jump (no link).
     Jump(u32),
+    /// A call: `jal`, or `jalr` whose target set resolved to constants.
+    /// The link register is *not* written by the transfer — the
+    /// interprocedural edge installs an opaque [`Value::RetAddr`] in the
+    /// callee context and substitutes the concrete return pc when the
+    /// callee's exit summary flows back to the return site.
+    Call { targets: Vec<u32>, link: Reg },
+    /// `jr`/`jalr` through the current invocation's opaque return address:
+    /// a structural function return.
+    Return,
     /// Register-indirect jump with a resolved (constant) target set.
     Targets(Vec<u32>),
     /// Register-indirect jump whose target value was widened: control can
@@ -401,13 +410,16 @@ fn transfer(ctx: &Ctx, st: &mut State, pc: u32, d: &DecodedInsn, fx: &mut Effect
             }
         }
         Instr::Jump { link, .. } => {
-            if link {
-                st.set(Reg::RA, AbsVal::clean_const(pc + 4));
+            if !ctx.in_text(d.target) {
+                return Flow::Halt;
             }
-            if ctx.in_text(d.target) {
-                Flow::Jump(d.target)
+            if link {
+                Flow::Call {
+                    targets: vec![d.target],
+                    link: Reg::RA,
+                }
             } else {
-                Flow::Halt
+                Flow::Jump(d.target)
             }
         }
         Instr::JumpReg { rs } => {
@@ -415,13 +427,32 @@ fn transfer(ctx: &Ctx, st: &mut State, pc: u32, d: &DecodedInsn, fx: &mut Effect
             // Check refinement (see the Load arm) — the post-state flowing
             // to every successor has a clean jump register.
             st.untaint(rs);
-            resolve_indirect(ctx, &v.value)
+            match v.value {
+                Value::RetAddr(0) => Flow::Return,
+                _ => resolve_indirect(ctx, &v.value),
+            }
         }
         Instr::JumpAndLinkReg { rd, rs } => {
             let v = st.get(rs);
             st.untaint(rs);
-            st.set(rd, AbsVal::clean_const(pc + 4));
-            resolve_indirect(ctx, &v.value)
+            match v.value {
+                // `jalr` through the invocation's own return address: a
+                // (degenerate) structural return that also links.
+                Value::RetAddr(0) => {
+                    st.set(rd, AbsVal::clean_const(pc + 4));
+                    Flow::Return
+                }
+                Value::Consts(ref ts) => {
+                    let targets: Vec<u32> =
+                        ts.iter().copied().filter(|&t| ctx.in_text(t)).collect();
+                    if targets.is_empty() {
+                        Flow::Halt
+                    } else {
+                        Flow::Call { targets, link: rd }
+                    }
+                }
+                _ => Flow::Anywhere,
+            }
         }
         Instr::Syscall => syscall(ctx, st),
         Instr::Break { .. } => Flow::Halt,
@@ -492,11 +523,17 @@ fn load(ctx: &Ctx, st: &State, addr: &Value, width: MemWidth, signed: bool) -> A
         },
         Value::InRegion(r) => AbsVal::opaque(st.region_taint(*r)),
         // A load through a completely widened pointer *could* read the
-        // tainted argv band, so the result is not Clean — but no concrete
-        // input flow has been established either, so it is not `Tainted`
-        // (which would cascade into a lint finding at every downstream
-        // use). `Unknown` keeps the runtime check armed without flagging.
-        Value::Unknown => AbsVal::opaque(Taint::Unknown),
+        // tainted argv band, so the result is never Clean; beyond that it
+        // carries whatever taint the path has written anywhere (see
+        // [`State::anywhere_taint`]): `Unknown` until tainted input has
+        // actually landed in memory, `Tainted` after — the heap-unlink and
+        // `%n`-target dereferences the dynamic detector alerts on surface
+        // as findings through exactly this rule. An opaque return address
+        // or saved frame pointer used as a data pointer is treated the
+        // same way (the concrete address is only known per call site).
+        Value::Unknown | Value::RetAddr(_) | Value::FrameBase(_) => {
+            AbsVal::opaque(st.anywhere_taint())
+        }
     }
 }
 
@@ -553,7 +590,7 @@ fn store(ctx: &Ctx, st: &mut State, addr: &Value, width: MemWidth, v: &AbsVal, f
             }
         }
         Value::InRegion(r) => st.havoc_region(ctx, *r, v.taint),
-        Value::Unknown => st.havoc_all(v.taint),
+        Value::Unknown | Value::RetAddr(_) | Value::FrameBase(_) => st.havoc_all(v.taint),
     }
 }
 
@@ -647,7 +684,7 @@ fn seed_buffer(ctx: &Ctx, st: &mut State, buf: &Value, len: &Value) {
             };
             havoc_span(st, lo, hi);
         }
-        Value::Unknown => st.havoc_all(Taint::Tainted),
+        Value::Unknown | Value::RetAddr(_) | Value::FrameBase(_) => st.havoc_all(Taint::Tainted),
     }
 }
 
@@ -666,129 +703,70 @@ pub struct Site {
     pub taint: Taint,
 }
 
-/// Everything the fixpoint produces: per-leader in-states plus the global
-/// effects, ready for the extraction pass.
-pub struct Fixpoint {
-    /// Shared per-image context.
-    pub ctx: Ctx,
-    /// Pre-scan products (leaders after dynamic splitting, fn entries).
-    pub pre: Prescan,
-    /// Converged in-state per reachable leader.
-    pub in_states: BTreeMap<u32, State>,
-    /// Global analysis facts.
-    pub fx: Effects,
-    /// `Some(reason)` when the analysis gave up (budget exhausted): the
-    /// lint report is still emitted but nothing is proven clean.
-    pub degraded: Option<String>,
-}
-
-/// Runs the worklist fixpoint to convergence (or budget exhaustion).
-#[must_use]
-pub fn fixpoint(ctx: Ctx) -> Fixpoint {
-    let mut pre = prescan(&ctx);
-    let mut in_states: BTreeMap<u32, State> = BTreeMap::new();
-    in_states.insert(ctx.entry, State::entry(&ctx));
-    let mut work: BTreeSet<u32> = BTreeSet::new();
-    work.insert(ctx.entry);
-    let mut fx = Effects::default();
-    let mut steps = 0usize;
-    let mut degraded = None;
-    // Join of every widened indirect jump's out-state: an abstraction of
-    // "control can be here with this state" that applies to *every*
-    // instruction address. Folding the fan-out into one accumulator keeps
-    // the driver from cloning an out-state per pc per walk.
-    let mut anywhere: Option<State> = None;
-
-    while let Some(leader) = work.pop_first() {
-        if steps > STEP_BUDGET {
-            degraded = Some(format!("fixpoint budget exhausted ({STEP_BUDGET} steps)"));
-            break;
-        }
-        let state = in_states
-            .get(&leader)
-            .expect("worklist entries always have an in-state")
-            .clone();
-        let walk = walk_block(&ctx, &pre, leader, state, &mut fx, None);
-        steps += walk.steps;
-        if let Some(out) = walk.anywhere {
-            let grew = match anywhere.as_mut() {
-                Some(acc) => acc.join_into(&out, &ctx),
-                None => {
-                    anywhere = Some(out);
-                    true
-                }
-            };
-            if grew {
-                // Every instruction address is a successor: make every pc
-                // a leader (blocks become single instructions) and fold
-                // the accumulator into each in-state.
-                let acc = anywhere.as_ref().expect("just set").clone();
-                for i in 0..ctx.words.len() as u32 {
-                    let pc = ctx.text_base + 4 * i;
-                    pre.leaders.insert(pc);
-                    match in_states.get_mut(&pc) {
-                        Some(existing) => {
-                            if existing.join_into(&acc, &ctx) {
-                                work.insert(pc);
-                            }
-                        }
-                        None => {
-                            in_states.insert(pc, acc.clone());
-                            work.insert(pc);
-                        }
-                    }
-                }
-            }
-        }
-        for (target, mut out) in walk.edges {
-            // Dynamic block splitting: a newly discovered mid-block target
-            // becomes a leader, and the block that previously walked across
-            // it is re-queued so its extent shrinks.
-            if !pre.leaders.contains(&target) {
-                if let Some(&prev) = pre.leaders.range(..target).next_back() {
-                    if in_states.contains_key(&prev) {
-                        work.insert(prev);
-                    }
-                }
-                pre.leaders.insert(target);
-            }
-            match in_states.get_mut(&target) {
-                Some(existing) => {
-                    if existing.join_into(&out, &ctx) {
-                        work.insert(target);
-                    }
-                }
-                None => {
-                    // Keep the invariant that every in-state subsumes the
-                    // anywhere accumulator.
-                    if let Some(acc) = &anywhere {
-                        out.join_into(acc, &ctx);
-                    }
-                    in_states.insert(target, out);
-                    work.insert(target);
-                }
-            }
-        }
-    }
-
-    Fixpoint {
-        ctx,
-        pre,
-        in_states,
-        fx,
-        degraded,
-    }
-}
-
 /// Sees `(pc, insn, pre-state)` for every instruction walked — the
 /// extraction pass uses it to grade pointer-checked sites and collect
 /// call edges.
 pub type WalkRecorder<'a> = &'a mut dyn FnMut(u32, &DecodedInsn, &State);
 
+/// The address range `[lo, hi)` of the function a block walk runs inside;
+/// control leaving it becomes an interprocedural edge.
+#[derive(Debug, Clone, Copy)]
+pub struct FnView {
+    /// The function's entry address.
+    pub lo: u32,
+    /// One past the function's last instruction (the next function entry,
+    /// or the end of text + stub).
+    pub hi: u32,
+}
+
+impl FnView {
+    /// Whether `pc` lies inside the function's range.
+    #[must_use]
+    pub fn contains(&self, pc: u32) -> bool {
+        (self.lo..self.hi).contains(&pc)
+    }
+}
+
+/// One typed out-edge of a basic block.
+pub enum BlockEdge {
+    /// Intra-function edge. The target may be a new mid-block pc — the
+    /// per-function fixpoint splits the containing block dynamically.
+    Local(u32, State),
+    /// A call discovered at `site` (return site `site + 4`): the callee
+    /// context is this state translated into callee frame coordinates with
+    /// `link := RetAddr(0)`, and the callee's exit summary (translated
+    /// back) feeds the return site.
+    Call {
+        /// The calling instruction's address.
+        site: u32,
+        /// Resolved callee entry (may be mid-function: the driver then
+        /// promotes it to a new function entry).
+        callee: u32,
+        /// Register receiving the return address.
+        link: Reg,
+        /// Caller state at the call.
+        state: State,
+    },
+    /// Control transfers out of the function without pushing a frame
+    /// (cross-function jump/branch/fall-through or constant `jr`): the
+    /// target function continues on this invocation's caller chain, and
+    /// its exits become this function's exits.
+    Tail {
+        /// The transferring instruction's address.
+        site: u32,
+        /// Target address (promoted to a function entry if mid-function).
+        target: u32,
+        /// State at the transfer.
+        state: State,
+    },
+    /// Structural function return (`jr` through `RetAddr(0)`).
+    Return(State),
+}
+
 /// Everything one block walk produces.
 pub struct BlockWalk {
-    /// Out-edges `(successor leader, out-state)`.
-    pub edges: Vec<(u32, State)>,
+    /// Typed out-edges.
+    pub edges: Vec<BlockEdge>,
     /// Out-state of a widened indirect jump terminating the block: control
     /// can land at *any* instruction address, so the driver joins this
     /// into its global accumulator rather than into one edge per pc.
@@ -797,12 +775,13 @@ pub struct BlockWalk {
     pub steps: usize,
 }
 
-/// Walks one basic block from `leader` with the given in-state, returning
-/// the out-edges (successor leader, out-state) and the number of
-/// instructions transferred.
+/// Walks one basic block from `leader` with the given in-state, stopping
+/// at the next local leader in `leaders` or at any control transfer, and
+/// returning the typed out-edges.
 pub fn walk_block(
     ctx: &Ctx,
-    pre: &Prescan,
+    leaders: &BTreeSet<u32>,
+    view: FnView,
     leader: u32,
     mut st: State,
     fx: &mut Effects,
@@ -812,7 +791,25 @@ pub fn walk_block(
     let mut edges = Vec::new();
     let mut anywhere = None;
     let mut steps = 0usize;
+    // An in-range target is a local edge; anything else leaves the
+    // function on the same logical frame (a tail transfer).
+    let classify = |site: u32, target: u32, state: State| -> BlockEdge {
+        if view.contains(target) {
+            BlockEdge::Local(target, state)
+        } else {
+            BlockEdge::Tail {
+                site,
+                target,
+                state,
+            }
+        }
+    };
     while let Some(word) = ctx.word_at(pc) {
+        if pc >= view.hi {
+            // Fell across the function boundary (the boundary pc itself is
+            // handled below, so this only guards pathological views).
+            break;
+        }
         let Ok(d) = DecodedInsn::predecode(pc, word) else {
             break;
         };
@@ -824,8 +821,18 @@ pub fn walk_block(
         match flow {
             Flow::Fall => {
                 let next = pc + 4;
-                if pre.leaders.contains(&next) {
-                    edges.push((next, st));
+                if !view.contains(next) {
+                    if ctx.in_text(next) {
+                        edges.push(BlockEdge::Tail {
+                            site: pc,
+                            target: next,
+                            state: st,
+                        });
+                    }
+                    break;
+                }
+                if leaders.contains(&next) {
+                    edges.push(BlockEdge::Local(next, st));
                     break;
                 }
                 pc = next;
@@ -836,20 +843,35 @@ pub fn walk_block(
                 fall,
             } => {
                 if taken && ctx.in_text(target) {
-                    edges.push((target, st.clone()));
+                    edges.push(classify(pc, target, st.clone()));
                 }
-                if fall {
-                    edges.push((pc + 4, st));
+                if fall && ctx.in_text(pc + 4) {
+                    edges.push(classify(pc, pc + 4, st));
                 }
                 break;
             }
             Flow::Jump(target) => {
-                edges.push((target, st));
+                edges.push(classify(pc, target, st));
+                break;
+            }
+            Flow::Call { targets, link } => {
+                for &callee in &targets {
+                    edges.push(BlockEdge::Call {
+                        site: pc,
+                        callee,
+                        link,
+                        state: st.clone(),
+                    });
+                }
+                break;
+            }
+            Flow::Return => {
+                edges.push(BlockEdge::Return(st));
                 break;
             }
             Flow::Targets(targets) => {
                 for t in targets {
-                    edges.push((t, st.clone()));
+                    edges.push(classify(pc, t, st.clone()));
                 }
                 break;
             }
@@ -867,77 +889,27 @@ pub fn walk_block(
     }
 }
 
-/// Post-fixpoint extraction: replays every reachable block against its
-/// converged in-state, grading each pointer-checked site and collecting
-/// definite call edges for the reachability chains.
-pub struct Extraction {
-    /// Pointer-checked sites by address.
-    pub sites: BTreeMap<u32, Site>,
-    /// Definite call edges `(caller pc, callee entry)` from `jal` and
-    /// constant-resolved `jalr`.
-    pub calls: BTreeSet<(u32, u32)>,
-    /// Total reachable instructions.
-    pub instructions: usize,
-}
-
-/// Runs the extraction pass over a converged fixpoint.
-#[must_use]
-pub fn extract(fp: &Fixpoint) -> Extraction {
-    let mut sites: BTreeMap<u32, Site> = BTreeMap::new();
-    let mut calls: BTreeSet<(u32, u32)> = BTreeSet::new();
-    let mut instructions = 0usize;
-    // Effects are already converged; replaying must not perturb them.
-    let mut scratch = Effects::default();
-    for (&leader, state) in &fp.in_states {
-        let mut rec = |pc: u32, d: &DecodedInsn, pre_state: &State| {
-            let graded = match d.instr {
-                Instr::Load { base, .. } | Instr::Store { base, .. } => {
-                    Some((pre_state.get(base).taint, false))
-                }
-                Instr::JumpReg { rs } => Some((pre_state.get(rs).taint, true)),
-                Instr::JumpAndLinkReg { rs, .. } => Some((pre_state.get(rs).taint, true)),
-                _ => None,
-            };
-            if let Some((taint, is_jump)) = graded {
-                sites
-                    .entry(pc)
-                    .and_modify(|s| s.taint = s.taint.join(taint))
-                    .or_insert(Site {
-                        pc,
-                        instr: d.instr,
-                        is_jump,
-                        taint,
-                    });
-            }
-            match d.instr {
-                Instr::Jump { link: true, .. } => {
-                    calls.insert((pc, d.target));
-                }
-                Instr::JumpAndLinkReg { rs, .. } => {
-                    if let Some(ts) = pre_state.get(rs).value.consts() {
-                        for &t in ts {
-                            if fp.ctx.in_text(t) {
-                                calls.insert((pc, t));
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-        };
-        let walk = walk_block(
-            &fp.ctx,
-            &fp.pre,
-            leader,
-            state.clone(),
-            &mut scratch,
-            Some(&mut rec),
-        );
-        instructions += walk.steps;
-    }
-    Extraction {
-        sites,
-        calls,
-        instructions,
+/// Grades the pointer-checked site at `pc` (if the instruction is one)
+/// from its pre-state, joining into `sites` — shared by the extraction
+/// replay in `summary.rs`.
+pub fn grade_site(sites: &mut BTreeMap<u32, Site>, pc: u32, d: &DecodedInsn, pre_state: &State) {
+    let graded = match d.instr {
+        Instr::Load { base, .. } | Instr::Store { base, .. } => {
+            Some((pre_state.get(base).taint, false))
+        }
+        Instr::JumpReg { rs } => Some((pre_state.get(rs).taint, true)),
+        Instr::JumpAndLinkReg { rs, .. } => Some((pre_state.get(rs).taint, true)),
+        _ => None,
+    };
+    if let Some((taint, is_jump)) = graded {
+        sites
+            .entry(pc)
+            .and_modify(|s| s.taint = s.taint.join(taint))
+            .or_insert(Site {
+                pc,
+                instr: d.instr,
+                is_jump,
+                taint,
+            });
     }
 }

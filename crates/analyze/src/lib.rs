@@ -4,10 +4,10 @@
 //!
 //! The paper's detector is purely dynamic: every load, store and register
 //! jump pays a taint check at runtime. This crate runs the same Table-1
-//! propagation rules *statically* — a fixpoint abstract interpretation over
-//! the recovered control-flow graph, seeding taint at exactly the sources
-//! the kernel taints dynamically (`read`/`recv` buffers, argv/envp strings)
-//! — and emits two artifacts:
+//! propagation rules *statically* — an interprocedural abstract
+//! interpretation over the recovered control-flow graph, seeding taint at
+//! exactly the sources the kernel taints dynamically (`read`/`recv`
+//! buffers, argv/envp strings) — and emits two artifacts:
 //!
 //! * a **lint report** ([`render_report`]): every load/store/`jr` whose
 //!   address register may be tainted on some path, with disassembly and a
@@ -16,8 +16,15 @@
 //! * a **proven-clean set** ([`Analysis::proven`]): instruction addresses
 //!   whose pointer check can never fire, which the cached execution engine
 //!   uses to elide taint checks (see `ptaint-cpu`); soundness is a
-//!   `Clean`-means-never-tainted claim, argued in DESIGN.md §Static
-//!   analysis and enforced by a machine-level differential test.
+//!   `Clean`-means-never-tainted claim, argued in docs/ANALYSIS.md and
+//!   enforced by a machine-level differential test.
+//!
+//! The analysis is **summary-based** ([`summary`]): each function is
+//! analyzed in its canonical frame, call sites apply the callee's exit
+//! summary instead of havocking, and the per-function fixpoints run on a
+//! deterministic parallel driver ([`parallel`]) scheduled bottom-up over
+//! the static call graph's SCCs ([`callgraph`]). Results can be persisted
+//! in a content-addressed proof cache ([`cache`]).
 //!
 //! ```
 //! use ptaint_asm::assemble;
@@ -29,15 +36,19 @@
 //! assert!(analysis.findings.is_empty());
 //! ```
 
-mod domain;
-mod interp;
+pub mod cache;
+pub mod callgraph;
+pub mod domain;
+pub mod interp;
+pub mod parallel;
 mod report;
-mod state;
+pub mod state;
+pub mod summary;
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ptaint_asm::Image;
-use ptaint_isa::Instr;
+use ptaint_isa::{DecodedInsn, Instr, PAGE_SIZE};
 
 pub use domain::{Region, Taint};
 pub use report::render_report;
@@ -69,6 +80,8 @@ pub struct Finding {
     pub offset: u32,
     /// Call chain from the entry function to the containing function
     /// (definite `jal`/resolved-`jalr` edges only; starts at the entry).
+    /// A function that calls itself contributes one repeated frame, which
+    /// the report collapses to `(×N)`.
     pub chain: Vec<String>,
 }
 
@@ -81,16 +94,21 @@ pub struct AnalyzeStats {
     pub blocks: usize,
     /// Reachable instructions.
     pub instructions: usize,
-    /// Reachable loads and stores.
+    /// Loads and stores among the checked sites.
     pub load_store_sites: usize,
-    /// Reachable register jumps.
+    /// Register jumps among the checked sites.
     pub register_jump_sites: usize,
-    /// Sites whose address register is provably clean on every path.
+    /// Sites whose address register is provably clean on every path
+    /// (including the vacuously proven ones).
     pub proven_sites: usize,
     /// Sites flagged tainted on some path.
     pub flagged_sites: usize,
     /// Sites the analysis could not decide either way.
     pub unresolved_sites: usize,
+    /// Subset of `proven_sites` lying in functions the interprocedural
+    /// analysis proved unreachable: their checks can never execute, so
+    /// they are proven vacuously.
+    pub vacuous_sites: usize,
 }
 
 /// The full result of analyzing one image.
@@ -111,17 +129,56 @@ pub struct Analysis {
     pub degraded: Option<String>,
 }
 
-/// Statically analyzes a loaded image: recovers the CFG, runs the taint
-/// fixpoint, and grades every pointer-checked site.
+/// Default analysis worker count: the machine's available parallelism,
+/// clamped to `[1, 4]` (the fixpoint saturates quickly on testbed-sized
+/// images).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().clamp(1, 4))
+}
+
+/// Statically analyzes a loaded image with the default worker count.
 #[must_use]
 pub fn analyze(image: &Image) -> Analysis {
-    let ctx = state::Ctx::new(image);
-    let fp = interp::fixpoint(ctx);
-    let ex = interp::extract(&fp);
+    analyze_with(image, default_jobs())
+}
 
-    // Function partitioning: each reachable block belongs to the nearest
-    // preceding function entry.
-    let entries: Vec<u32> = fp.pre.fn_entries.iter().copied().collect();
+/// Statically analyzes a loaded image: recovers the CFG and call graph,
+/// runs the interprocedural summary fixpoint on `jobs` workers, and grades
+/// every pointer-checked site. The result is byte-identical for any
+/// `jobs` value (see [`parallel`]).
+#[must_use]
+pub fn analyze_with(image: &Image, jobs: usize) -> Analysis {
+    let ctx = state::Ctx::new(image);
+    let cv = parallel::converge(&ctx, jobs.max(1));
+
+    // Extraction: replay every analyzed function's blocks against their
+    // converged in-states, grading each pointer-checked site from its
+    // pre-state. Effects are already converged; replaying must not
+    // perturb them.
+    let mut sites: BTreeMap<u32, interp::Site> = BTreeMap::new();
+    let mut instructions = 0usize;
+    let mut scratch = interp::Effects::default();
+    for run in cv.runs.values() {
+        for (&leader, st) in &run.in_states {
+            let mut rec = |pc: u32, d: &DecodedInsn, pre: &state::State| {
+                interp::grade_site(&mut sites, pc, d, pre);
+            };
+            let walk = interp::walk_block(
+                &ctx,
+                &run.leaders,
+                run.view,
+                leader,
+                st.clone(),
+                &mut scratch,
+                Some(&mut rec),
+            );
+            instructions += walk.steps;
+        }
+    }
+
+    // Function partitioning over the final entry set.
+    let entries: Vec<u32> = cv.entries.iter().copied().collect();
     let owner = |pc: u32| -> Option<u32> {
         match entries.binary_search(&pc) {
             Ok(_) => Some(pc),
@@ -138,12 +195,14 @@ pub fn analyze(image: &Image) -> Analysis {
     // Definite call graph at function granularity, then a BFS from the
     // entry function to derive reachability chains.
     let mut graph: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
-    for &(caller_pc, callee) in &ex.calls {
-        if let (Some(from), Some(to)) = (owner(caller_pc), owner(callee)) {
-            graph.entry(from).or_default().insert(to);
+    for (&e, run) in &cv.runs {
+        for &(_, callee) in &run.calls {
+            if let Some(to) = owner(callee) {
+                graph.entry(e).or_default().insert(to);
+            }
         }
     }
-    let root = owner(fp.ctx.entry).unwrap_or(fp.ctx.entry);
+    let root = owner(ctx.entry).unwrap_or(ctx.entry);
     let mut parent: BTreeMap<u32, u32> = BTreeMap::new();
     let mut queue = VecDeque::from([root]);
     let mut seen = BTreeSet::from([root]);
@@ -158,35 +217,35 @@ pub fn analyze(image: &Image) -> Analysis {
         }
     }
     let chain_of = |f: u32| -> Vec<String> {
+        if !seen.contains(&f) {
+            return vec![fn_name(f)];
+        }
         let mut path = vec![f];
         let mut cur = f;
         while let Some(&p) = parent.get(&cur) {
             path.push(p);
             cur = p;
         }
-        if !seen.contains(&f) {
-            return vec![fn_name(f)];
-        }
         path.reverse();
-        path.into_iter().map(fn_name).collect()
+        let mut names: Vec<String> = path.into_iter().map(fn_name).collect();
+        // A self-recursive containing function genuinely re-enters itself:
+        // surface the `f > f` edge (the report collapses it to `(×2)`).
+        if graph.get(&f).is_some_and(|cs| cs.contains(&f)) {
+            names.push(fn_name(f));
+        }
+        names
     };
 
     let mut stats = AnalyzeStats {
-        blocks: fp.in_states.len(),
-        instructions: ex.instructions,
+        functions: cv.runs.len(),
+        blocks: cv.runs.values().map(|r| r.in_states.len()).sum(),
+        instructions,
         ..AnalyzeStats::default()
     };
-    let mut owners: BTreeSet<u32> = BTreeSet::new();
-    for &leader in fp.in_states.keys() {
-        if let Some(f) = owner(leader) {
-            owners.insert(f);
-        }
-    }
-    stats.functions = owners.len();
 
     let mut findings = Vec::new();
     let mut proven = BTreeSet::new();
-    for site in ex.sites.values() {
+    for site in sites.values() {
         if site.is_jump {
             stats.register_jump_sites += 1;
         } else {
@@ -194,8 +253,8 @@ pub fn analyze(image: &Image) -> Analysis {
         }
         match site.taint {
             Taint::Clean => {
-                let on_smc_page = fp.fx.smc_pages.contains(&(site.pc / ptaint_isa::PAGE_SIZE));
-                if fp.degraded.is_none() && !on_smc_page {
+                let on_smc_page = cv.fx.smc_pages.contains(&(site.pc / PAGE_SIZE));
+                if cv.degraded.is_none() && !on_smc_page {
                     proven.insert(site.pc);
                     stats.proven_sites += 1;
                 } else {
@@ -205,7 +264,7 @@ pub fn analyze(image: &Image) -> Analysis {
             Taint::Unknown => stats.unresolved_sites += 1,
             Taint::Tainted => {
                 stats.flagged_sites += 1;
-                let function = owner(site.pc).unwrap_or(fp.ctx.entry);
+                let function = owner(site.pc).unwrap_or(ctx.entry);
                 findings.push(Finding {
                     pc: site.pc,
                     instr: site.instr,
@@ -222,12 +281,59 @@ pub fn analyze(image: &Image) -> Analysis {
         }
     }
 
+    // Functions that never received a context are unreachable under the
+    // analysis' over-approximate control flow (the Anywhere accumulator,
+    // when present, makes *every* function analyzable, so absence here is
+    // a sound unreachability proof): their checks can never execute and
+    // are proven vacuously. Skipped when degraded — reachability can't be
+    // trusted after a budget blowout.
+    if cv.degraded.is_none() {
+        let text_end = ctx.text_base + 4 * u32::try_from(ctx.words.len()).unwrap_or(u32::MAX);
+        for (i, &e) in entries.iter().enumerate() {
+            if cv.runs.contains_key(&e) {
+                continue;
+            }
+            let hi = entries
+                .get(i + 1)
+                .copied()
+                .unwrap_or(text_end)
+                .min(text_end);
+            let mut pc = e;
+            while pc < hi {
+                if let Some(word) = ctx.word_at(pc) {
+                    if let Ok(d) = DecodedInsn::predecode(pc, word) {
+                        let kind = match d.instr {
+                            Instr::Load { .. } | Instr::Store { .. } => Some(false),
+                            Instr::JumpReg { .. } | Instr::JumpAndLinkReg { .. } => Some(true),
+                            _ => None,
+                        };
+                        if let Some(is_jump) = kind {
+                            if is_jump {
+                                stats.register_jump_sites += 1;
+                            } else {
+                                stats.load_store_sites += 1;
+                            }
+                            if cv.fx.smc_pages.contains(&(pc / PAGE_SIZE)) {
+                                stats.unresolved_sites += 1;
+                            } else {
+                                proven.insert(pc);
+                                stats.proven_sites += 1;
+                                stats.vacuous_sites += 1;
+                            }
+                        }
+                    }
+                }
+                pc += 4;
+            }
+        }
+    }
+
     Analysis {
         stats,
         findings,
         proven,
-        smc_pages: fp.fx.smc_pages.clone(),
-        degraded: fp.degraded.clone(),
+        smc_pages: cv.fx.smc_pages.clone(),
+        degraded: cv.degraded.clone(),
     }
 }
 
@@ -331,5 +437,56 @@ main:   addiu $4, $0, 0
         .unwrap();
         let a = analyze(&image);
         assert_eq!(a.findings, vec![], "compare should untaint $9");
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_result() {
+        let image = assemble(
+            "main:  addiu $sp, $sp, -8
+                    sw $ra, 4($sp)
+                    jal f
+                    lw $ra, 4($sp)
+                    addiu $sp, $sp, 8
+                    jr $ra
+f:      lw $2, 0($sp)
+        jr $31",
+        )
+        .unwrap();
+        let a1 = analyze_with(&image, 1);
+        let a4 = analyze_with(&image, 4);
+        assert_eq!(a1, a4);
+    }
+
+    #[test]
+    fn callee_summary_flows_back_to_the_caller() {
+        // f returns its stack argument; the caller then dereferences the
+        // returned data pointer. With summaries the call no longer havocs:
+        // every site stays proven or unresolved, none flagged.
+        let image = assemble(
+            "       .data
+tbl:    .word 7
+        .text
+main:   addiu $sp, $sp, -8
+        sw $ra, 4($sp)
+        lui $8, %hi(tbl)
+        ori $8, $8, %lo(tbl)
+        addiu $sp, $sp, -4
+        sw $8, 0($sp)
+        jal f
+        addiu $sp, $sp, 4
+        lw $9, 0($2)
+        lw $ra, 4($sp)
+        addiu $sp, $sp, 8
+        jr $ra
+f:      lw $2, 0($sp)
+        jr $31",
+        )
+        .unwrap();
+        let a = analyze(&image);
+        assert!(a.degraded.is_none());
+        assert_eq!(a.findings, vec![], "summaries should keep this clean");
+        // The deref of the returned table pointer is proven: the summary
+        // carried the constant pointer through the call.
+        assert_eq!(a.stats.unresolved_sites, 0, "stats: {:?}", a.stats);
     }
 }

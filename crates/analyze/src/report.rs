@@ -41,7 +41,15 @@ pub fn render_report(image: &Image, analysis: &Analysis) -> String {
         s.load_store_sites,
         s.register_jump_sites,
     );
-    let _ = writeln!(out, "  proven clean: {}", s.proven_sites);
+    if s.vacuous_sites > 0 {
+        let _ = writeln!(
+            out,
+            "  proven clean: {} ({} in unreachable functions)",
+            s.proven_sites, s.vacuous_sites,
+        );
+    } else {
+        let _ = writeln!(out, "  proven clean: {}", s.proven_sites);
+    }
     let _ = writeln!(out, "  unresolved:   {}", s.unresolved_sites);
     let _ = writeln!(out, "  flagged:      {}", s.flagged_sites);
     if !analysis.smc_pages.is_empty() {
@@ -64,7 +72,7 @@ pub fn render_report(image: &Image, analysis: &Analysis) -> String {
     for f in &analysis.findings {
         let location = format!("{}+{:#x}", f.function, f.offset);
         let chain = if f.chain.len() > 1 {
-            format!(", via {}", f.chain.join(" > "))
+            format!(", via {}", collapse_chain(&f.chain))
         } else {
             String::new()
         };
@@ -78,10 +86,42 @@ pub fn render_report(image: &Image, analysis: &Analysis) -> String {
     out
 }
 
+/// Joins a reachability chain with `" > "`, collapsing adjacent repeated
+/// frames (recursive functions) into `name (×N)` so recursive guests don't
+/// render `f > f > f > …`.
+fn collapse_chain(chain: &[String]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < chain.len() {
+        let mut n = 1;
+        while i + n < chain.len() && chain[i + n] == chain[i] {
+            n += 1;
+        }
+        if n > 1 {
+            parts.push(format!("{} (\u{d7}{n})", chain[i]));
+        } else {
+            parts.push(chain[i].clone());
+        }
+        i += n;
+    }
+    parts.join(" > ")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ptaint_asm::assemble;
+
+    #[test]
+    fn adjacent_repeats_collapse_with_a_multiplier() {
+        let chain: Vec<String> = ["_start", "main", "f", "f", "f", "g"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(collapse_chain(&chain), "_start > main > f (\u{d7}3) > g");
+        let plain: Vec<String> = ["_start", "main"].iter().map(|s| (*s).to_owned()).collect();
+        assert_eq!(collapse_chain(&plain), "_start > main");
+    }
 
     #[test]
     fn report_is_deterministic_and_mentions_flags() {

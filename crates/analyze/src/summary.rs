@@ -1,0 +1,376 @@
+//! Per-function summary computation.
+//!
+//! Each function is analyzed in isolation against its **canonical frame**
+//! (entry `$sp` = [`CANON_SP`]): a local worklist fixpoint over the
+//! function's blocks, fed by a *context* (the join of every caller state
+//! translated into callee coordinates) and consuming callee *exit
+//! summaries* at call sites instead of havocking. The result — the
+//! [`FnRun`] — carries everything the driver needs to merge: the converged
+//! in-states, the exit summary, context contributions to callees, and the
+//! interprocedural edges discovered.
+//!
+//! Re-runs recompute from scratch against the latest (monotonically grown)
+//! inputs; the driver joins the outputs into its accumulated maps, so the
+//! global fixpoint converges regardless of schedule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ptaint_isa::Reg;
+
+use crate::domain::{AbsVal, Taint, Value};
+use crate::interp::{walk_block, BlockEdge, Effects, FnView};
+use crate::state::{Ctx, RetXfer, StackFold, State, CANON_SP};
+
+/// Everything one per-function fixpoint run produces.
+pub struct FnRun {
+    /// The function range the run was computed against.
+    pub view: FnView,
+    /// Final local block leaders (pre-scan leaders in range plus dynamic
+    /// splits) — the extraction replay re-walks exactly these blocks.
+    pub leaders: BTreeSet<u32>,
+    /// Converged in-state per reachable local leader.
+    pub in_states: BTreeMap<u32, State>,
+    /// Join of every structural-return state (and of tail targets' exits,
+    /// translated back), in this function's canonical coordinates. `None`
+    /// when the function provably never returns.
+    pub exit: Option<State>,
+    /// Per-callee context contribution: caller state at each call/tail
+    /// site, translated into the target's canonical coordinates.
+    pub ctx_out: BTreeMap<u32, State>,
+    /// Call edges `(site, callee entry)` from `jal` and resolved `jalr` —
+    /// the reachability-chain input.
+    pub calls: BTreeSet<(u32, u32)>,
+    /// Functions whose exit summaries this run consumed (or would consume):
+    /// when one of them grows, this function must re-run.
+    pub deps: BTreeSet<u32>,
+    /// Call/tail targets that were not yet function entries — the driver
+    /// promotes them and shrinks the owning function's range.
+    pub new_entries: BTreeSet<u32>,
+    /// Folded out-state of any widened indirect jump (see
+    /// [`State::fold_for_anywhere`]).
+    pub anywhere: Option<State>,
+    /// Text pages targeted by statically visible stores.
+    pub smc_pages: BTreeSet<u32>,
+    /// Instructions transferred.
+    pub steps: usize,
+    /// The run exhausted its step budget before converging.
+    pub degraded: bool,
+}
+
+/// The affine stack shifts for an interprocedural edge leaving a state
+/// whose `$sp` resolves to `s`: forward (caller → callee canonical) and
+/// back (callee canonical → caller). `None` when `$sp` is widened — the
+/// translation then forgets all stack coordinates, which is sound.
+fn deltas(state: &State) -> (Option<i64>, Option<i64>) {
+    match state.get(Reg::SP).value.singleton() {
+        Some(s) => (
+            Some(i64::from(CANON_SP) - i64::from(s)),
+            Some(i64::from(s) - i64::from(CANON_SP)),
+        ),
+        None => (None, None),
+    }
+}
+
+/// Joins `st` into `map[key]`.
+fn join_map(map: &mut BTreeMap<u32, State>, key: u32, st: State, ctx: &Ctx) {
+    match map.get_mut(&key) {
+        Some(existing) => {
+            existing.join_into(&st, ctx);
+        }
+        None => {
+            map.insert(key, st);
+        }
+    }
+}
+
+/// Joins `st` into an optional accumulator.
+fn join_opt(slot: &mut Option<State>, st: State, ctx: &Ctx) {
+    match slot {
+        Some(existing) => {
+            existing.join_into(&st, ctx);
+        }
+        None => {
+            *slot = Some(st);
+        }
+    }
+}
+
+/// Mutable build state for one run, so edge handlers can borrow fields
+/// independently.
+struct Build<'a> {
+    ctx: &'a Ctx,
+    view: FnView,
+    entries: &'a BTreeSet<u32>,
+    exits: &'a BTreeMap<u32, State>,
+    acc: Option<&'a State>,
+    rank: &'a BTreeMap<u32, usize>,
+    leaders: BTreeSet<u32>,
+    in_states: BTreeMap<u32, State>,
+    work: BTreeSet<u32>,
+    exit: Option<State>,
+    ctx_out: BTreeMap<u32, State>,
+    calls: BTreeSet<(u32, u32)>,
+    deps: BTreeSet<u32>,
+    new_entries: BTreeSet<u32>,
+    anywhere: Option<State>,
+}
+
+impl Build<'_> {
+    /// Whether the edge to `target` is recursive: a self-call, or caller
+    /// and target share a static call-graph SCC ([`crate::callgraph`]
+    /// assigns one rank per SCC, so equal ranks ⇔ same component). Such
+    /// edges translate with [`StackFold::All`] — see there. Targets the
+    /// static graph never ranked (dynamically promoted entries) fall back
+    /// to the window fold, which still converges, just slower.
+    fn recursive_edge(&self, target: u32) -> bool {
+        target == self.view.lo
+            || matches!(
+                (self.rank.get(&self.view.lo), self.rank.get(&target)),
+                (Some(a), Some(b)) if a == b
+            )
+    }
+
+    /// Intra-function edge: dynamic block splitting plus in-state join.
+    fn local(&mut self, target: u32, state: State) {
+        if !self.leaders.contains(&target) {
+            // A newly discovered mid-block target becomes a leader; the
+            // block that previously walked across it is re-queued so its
+            // extent shrinks.
+            if let Some(&prev) = self.leaders.range(..target).next_back() {
+                if self.in_states.contains_key(&prev) {
+                    self.work.insert(prev);
+                }
+            }
+            self.leaders.insert(target);
+        }
+        match self.in_states.get_mut(&target) {
+            Some(existing) => {
+                if existing.join_into(&state, self.ctx) {
+                    self.work.insert(target);
+                }
+            }
+            None => {
+                let mut st = state;
+                // Invariant: every in-state subsumes the Anywhere
+                // accumulator once one exists.
+                if let Some(a) = self.acc {
+                    st.join_into(a, self.ctx);
+                }
+                self.in_states.insert(target, st);
+                self.work.insert(target);
+            }
+        }
+    }
+
+    /// Call edge: contribute the callee context and, if the callee's exit
+    /// summary is already known, flow it (translated back, with the
+    /// concrete return pc substituted for `RetAddr(0)`) into the return
+    /// site.
+    fn call(&mut self, site: u32, callee: u32, link: Reg, state: State) {
+        self.calls.insert((site, callee));
+        self.deps.insert(callee);
+        if !self.entries.contains(&callee) {
+            self.new_entries.insert(callee);
+        }
+        let (fwd, back) = deltas(&state);
+        let fold = if self.recursive_edge(callee) {
+            StackFold::All
+        } else {
+            StackFold::Window
+        };
+        let mut callee_ctx = state.translate(self.ctx, fwd, RetXfer::Deepen, fold);
+        callee_ctx.set(
+            link,
+            AbsVal {
+                taint: Taint::Clean,
+                value: Value::RetAddr(0),
+            },
+        );
+        // The caller's frame pointer crosses the edge as an opaque token:
+        // every caller contributes the *same* token, so the callee's joined
+        // context (and hence its restored `$fp`) stays a single value;
+        // `apply_return` substitutes each caller's own fp back.
+        callee_ctx.set(
+            Reg::FP,
+            AbsVal {
+                taint: state.get(Reg::FP).taint,
+                value: Value::FrameBase(0),
+            },
+        );
+        // The callee's run starts with an empty effect log of its own.
+        callee_ctx.reset_effects();
+        join_map(&mut self.ctx_out, callee, callee_ctx, self.ctx);
+        if let Some(cx) = self.exits.get(&callee) {
+            let ret_site = site.wrapping_add(4);
+            // Return composition: the caller's own state at the site,
+            // with the callee's MOD effects (translated back) applied —
+            // not the callee's exit wholesale, whose memory reflects the
+            // join of *every* caller's frame.
+            let ret = state.apply_return(
+                &cx.translate(self.ctx, back, RetXfer::Pop(ret_site), fold),
+                self.ctx,
+                true,
+            );
+            if self.view.contains(ret_site) {
+                self.local(ret_site, ret);
+            } else if self.ctx.in_text(ret_site) {
+                // A call as the function's last instruction: the return
+                // lands in the next function — a tail continuation.
+                self.tail(ret_site, ret);
+            }
+        }
+    }
+
+    /// Tail edge: the target runs on this invocation's frame and caller
+    /// chain, so its exits become this function's exits.
+    fn tail(&mut self, target: u32, state: State) {
+        self.deps.insert(target);
+        if !self.entries.contains(&target) {
+            self.new_entries.insert(target);
+        }
+        let (fwd, back) = deltas(&state);
+        let fold = if self.recursive_edge(target) {
+            StackFold::All
+        } else {
+            StackFold::Window
+        };
+        let mut target_ctx = state.translate(self.ctx, fwd, RetXfer::Keep, fold);
+        target_ctx.reset_effects();
+        join_map(&mut self.ctx_out, target, target_ctx, self.ctx);
+        if let Some(tx) = self.exits.get(&target) {
+            // Same MOD-effect composition as a call return, on the shared
+            // frame; the target's effects accumulate into this run's exit
+            // so they stay visible to *our* callers.
+            let composed = state.apply_return(
+                &tx.translate(self.ctx, back, RetXfer::Keep, fold),
+                self.ctx,
+                false,
+            );
+            join_opt(&mut self.exit, composed, self.ctx);
+        }
+    }
+}
+
+/// Runs the local fixpoint for one function.
+///
+/// `context` is the accumulated caller contribution (canonical callee
+/// coordinates); `acc` the global Anywhere accumulator — when set, every
+/// pc in range becomes a leader seeded with it (a widened indirect jump
+/// can land anywhere). At least one of the two must be present. `exits` is
+/// the driver's pre-wave snapshot of callee exit summaries; consuming a
+/// missing entry just leaves the return site unreached (precise for
+/// functions not yet analyzed or proven non-returning) and records the
+/// dependency for re-runs. `rank` is the static SCC rank map
+/// ([`crate::callgraph::ranks`]) used to spot recursive edges.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn analyze_fn(
+    ctx: &Ctx,
+    global_leaders: &BTreeSet<u32>,
+    entries: &BTreeSet<u32>,
+    view: FnView,
+    context: Option<&State>,
+    acc: Option<&State>,
+    exits: &BTreeMap<u32, State>,
+    rank: &BTreeMap<u32, usize>,
+    budget: usize,
+) -> FnRun {
+    let mut b = Build {
+        ctx,
+        view,
+        entries,
+        exits,
+        acc,
+        rank,
+        leaders: global_leaders.range(view.lo..view.hi).copied().collect(),
+        in_states: BTreeMap::new(),
+        work: BTreeSet::new(),
+        exit: None,
+        ctx_out: BTreeMap::new(),
+        calls: BTreeSet::new(),
+        deps: BTreeSet::new(),
+        new_entries: BTreeSet::new(),
+        anywhere: None,
+    };
+    b.leaders.insert(view.lo);
+    let seed = match (context, acc) {
+        (Some(c), Some(a)) => {
+            let mut s = c.clone();
+            s.join_into(a, ctx);
+            s
+        }
+        (Some(c), None) => c.clone(),
+        (None, Some(a)) => a.clone(),
+        (None, None) => unreachable!("driver only schedules analyzable functions"),
+    };
+    b.in_states.insert(view.lo, seed);
+    b.work.insert(view.lo);
+    if let Some(a) = acc {
+        // Widened-jump mode: every instruction address is a potential
+        // landing point, so every pc is a leader seeded with the
+        // accumulator.
+        let mut pc = view.lo;
+        while pc < view.hi {
+            b.leaders.insert(pc);
+            match b.in_states.get_mut(&pc) {
+                Some(st) => {
+                    st.join_into(a, ctx);
+                }
+                None => {
+                    b.in_states.insert(pc, a.clone());
+                }
+            }
+            b.work.insert(pc);
+            pc += 4;
+        }
+    }
+
+    let mut fx = Effects::default();
+    let mut steps = 0usize;
+    let mut degraded = false;
+    while let Some(leader) = b.work.pop_first() {
+        if steps > budget {
+            degraded = true;
+            break;
+        }
+        let st = b
+            .in_states
+            .get(&leader)
+            .expect("worklist entries always have an in-state")
+            .clone();
+        let walk = walk_block(ctx, &b.leaders, view, leader, st, &mut fx, None);
+        steps += walk.steps;
+        if let Some(a) = walk.anywhere {
+            let folded = a.fold_for_anywhere(ctx);
+            join_opt(&mut b.anywhere, folded, ctx);
+        }
+        for edge in walk.edges {
+            match edge {
+                BlockEdge::Local(target, state) => b.local(target, state),
+                BlockEdge::Call {
+                    site,
+                    callee,
+                    link,
+                    state,
+                } => b.call(site, callee, link, state),
+                BlockEdge::Tail { target, state, .. } => b.tail(target, state),
+                BlockEdge::Return(state) => join_opt(&mut b.exit, state, ctx),
+            }
+        }
+    }
+
+    FnRun {
+        view,
+        leaders: b.leaders,
+        in_states: b.in_states,
+        exit: b.exit,
+        ctx_out: b.ctx_out,
+        calls: b.calls,
+        deps: b.deps,
+        new_entries: b.new_entries,
+        anywhere: b.anywhere,
+        smc_pages: fx.smc_pages,
+        steps,
+        degraded,
+    }
+}

@@ -50,6 +50,35 @@ fn clean_array_loop_proves_most_of_the_image() {
     );
 }
 
+/// The interprocedural precision floor on the paper's Experiment-1 guest.
+///
+/// PR 3's monolithic fixpoint proved 1074 of 1685 sites on this image;
+/// the summary-based analyzer must stay *strictly* above that and hold
+/// the ≥1300 target (it currently proves 1509 — the golden in
+/// `tests/golden/analyze/exp1.txt` pins the exact figure). A drop below
+/// the floor means call sites went back to havocking.
+#[test]
+fn exp1_precision_floor_holds() {
+    let image = ptaint_guest::build(ptaint_guest::apps::synthetic::EXP1_SOURCE).unwrap();
+    let an = analyze(&image);
+    assert!(an.degraded.is_none(), "{:?}", an.degraded);
+    assert!(
+        an.proven.len() > 1074,
+        "precision fell to the pre-summary floor: {} proven",
+        an.proven.len()
+    );
+    assert!(
+        an.proven.len() >= 1300,
+        "precision below the summary-analysis target: {} proven (want >= 1300)",
+        an.proven.len()
+    );
+    assert_eq!(
+        an.stats.unresolved_sites, 0,
+        "exp1 should fully resolve: {} sites graded Unknown",
+        an.stats.unresolved_sites
+    );
+}
+
 /// A program that actually reads input: the read destination becomes
 /// tainted, but the clean prologue/epilogue machinery must stay proven —
 /// taint from the buffer must not wash out the whole image.

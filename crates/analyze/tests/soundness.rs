@@ -128,3 +128,96 @@ ret:    jr    $11",
         "register jump through a possibly-overwritten stack slot was proven"
     );
 }
+
+/// Self-recursion with a tainted pointer riding down the call chain: the
+/// recursive context folds caller frames into the stack havoc summary
+/// (`StackFold::All`), which must not launder the *register*-carried taint
+/// — the terminal dereference stays flagged, and the fixpoint converges
+/// without degrading.
+#[test]
+fn recursive_tainted_pointer_descent_is_flagged() {
+    let image = ptaint_guest::build(
+        r#"int walk(char *p, int n) {
+            if (n == 0) return p[0];
+            return walk(p, n - 1);
+        }
+        int main() {
+            char buf[8];
+            read(0, buf, 4);
+            return walk((char *)(buf[0]), 3);
+        }"#,
+    )
+    .unwrap();
+    let a = analyze(&image);
+    assert!(a.degraded.is_none(), "{:?}", a.degraded);
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.function == "walk" && f.kind == SiteKind::Load),
+        "tainted-pointer deref inside the recursion not flagged: {:?}",
+        a.findings
+    );
+}
+
+/// The mutually recursive variant: taint descends `f -> g -> f`, an SCC of
+/// two functions. Both terminal derefs must be flagged — the intra-SCC
+/// context fold applies to every edge of the component, not just
+/// self-calls.
+#[test]
+fn mutually_recursive_taint_descent_is_flagged() {
+    let image = ptaint_guest::build(
+        r#"int g(char *p, int n);
+        int f(char *p, int n) {
+            if (n == 0) return p[0];
+            return g(p, n - 1);
+        }
+        int g(char *p, int n) {
+            if (n == 0) return p[1];
+            return f(p, n - 1);
+        }
+        int main() {
+            char buf[8];
+            read(0, buf, 4);
+            return f((char *)(buf[0]), 3);
+        }"#,
+    )
+    .unwrap();
+    let a = analyze(&image);
+    assert!(a.degraded.is_none(), "{:?}", a.degraded);
+    for func in ["f", "g"] {
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.function == func && f.kind == SiteKind::Load),
+            "tainted deref inside `{func}` not flagged: {:?}",
+            a.findings
+        );
+    }
+}
+
+/// Input-free recursion: folding recursive frames must cost no findings
+/// and keep the entry prologue proven — the eager fold trades slot-granular
+/// for region-granular state, and with nothing tainted both grade Clean.
+#[test]
+fn clean_recursion_stays_proven_and_converges() {
+    let image = ptaint_guest::build(
+        r#"int fac(int n) {
+            if (n < 2) return 1;
+            return n * fac(n - 1);
+        }
+        int main() { return fac(6) & 0x7f; }"#,
+    )
+    .unwrap();
+    let a = analyze(&image);
+    assert!(a.degraded.is_none(), "{:?}", a.degraded);
+    assert_eq!(
+        a.stats.flagged_sites, 0,
+        "spurious findings on input-free recursion: {:?}",
+        a.findings
+    );
+    let main_addr = image.symbol("main").unwrap();
+    assert!(
+        a.proven.contains(&(main_addr + 4)),
+        "main's prologue spill should stay proven around clean recursion"
+    );
+}

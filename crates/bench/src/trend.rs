@@ -5,22 +5,28 @@
 //! * **campaigns** — fixed-seed deterministic fault-injection campaigns
 //!   (Experiment 1 + ghttpd under attack) reduced to outcome-class counts.
 //!   Same seed ⇒ byte-identical section; any drift is a behaviour change.
+//! * **analysis** — per-guest static-analysis precision: proven / flagged
+//!   / unresolved site counts for the four pinned guest apps. The
+//!   analyzer is deterministic, so these are exact like the campaign
+//!   counts; a drop in `proven` is a precision regression the gate
+//!   catches even when the lint goldens were (deliberately) regenerated.
 //! * **benches** — every `BENCH_*.json` summary found at the repository
 //!   root, in filename order. These carry wall-clock throughput numbers
 //!   and are the *documented wall-clock fields*: excluded from exact
-//!   identity comparisons, gated only by a tolerance band.
+//!   identity comparisons, gated only by a tolerance band. (The analyzer's
+//!   cold/warm throughput rides here via `BENCH_analyze.json`.)
 //!
 //! [`check_trend`] compares a fresh collection against a checked-in
-//! baseline: campaign counts must match exactly; `*_per_sec` fields may
-//! not regress below `baseline * (1 - tolerance)` (faster is never a
-//! failure). Throughput comparison is skipped when the two sides were
-//! measured in different modes (`quick` flags differ), since quick smoke
-//! numbers are not comparable to full runs.
+//! baseline: campaign and analysis counts must match exactly; `*_per_sec`
+//! fields may not regress below `baseline * (1 - tolerance)` (faster is
+//! never a failure). Throughput comparison is skipped when the two sides
+//! were measured in different modes (`quick` flags differ), since quick
+//! smoke numbers are not comparable to full runs.
 
 use std::path::Path;
 
 use ptaint::{CampaignSpec, Machine, OutcomeClass};
-use ptaint_guest::apps::{ghttpd, synthetic};
+use ptaint_guest::apps::{ghttpd, null_httpd, synthetic, wu_ftpd};
 
 use crate::json::Value;
 
@@ -73,6 +79,39 @@ pub fn collect_campaigns() -> Value {
     Value::Obj(rows)
 }
 
+/// Analyze the four pinned guest apps and reduce each to its precision
+/// counts. Deterministic (the parallel fixpoint merges in wave order), so
+/// the gate compares these exactly.
+#[must_use]
+pub fn collect_analysis() -> Value {
+    let guests: [(&str, &str); 4] = [
+        ("exp1", synthetic::EXP1_SOURCE),
+        ("ghttpd", ghttpd::SOURCE),
+        ("null_httpd", null_httpd::SOURCE),
+        ("wu_ftpd", wu_ftpd::SOURCE),
+    ];
+    let mut rows = Vec::new();
+    for (name, source) in guests {
+        let image = ptaint_guest::build(source).expect("pinned guest builds");
+        let a = ptaint::analyze(&image);
+        let s = &a.stats;
+        let row = Value::Obj(vec![
+            (
+                "sites".to_string(),
+                Value::Num((s.load_store_sites + s.register_jump_sites) as f64),
+            ),
+            ("proven".to_string(), Value::Num(s.proven_sites as f64)),
+            ("flagged".to_string(), Value::Num(s.flagged_sites as f64)),
+            (
+                "unresolved".to_string(),
+                Value::Num(s.unresolved_sites as f64),
+            ),
+        ]);
+        rows.push((name.to_string(), row));
+    }
+    Value::Obj(rows)
+}
+
 /// Parse every `BENCH_*.json` at `root` (filename order) into one object
 /// keyed by the bench name (`BENCH_engine.json` → `engine`). Unreadable or
 /// malformed files are skipped with a note pushed onto `notes`.
@@ -107,11 +146,12 @@ pub fn collect_benches(root: &Path, notes: &mut Vec<String>) -> Value {
     Value::Obj(rows)
 }
 
-/// Build the full trend document: deterministic campaign counts first,
-/// then the wall-clock bench summaries.
+/// Build the full trend document: deterministic campaign and analysis
+/// counts first, then the wall-clock bench summaries.
 pub fn collect_trend(root: &Path, notes: &mut Vec<String>) -> Value {
     Value::Obj(vec![
         ("campaigns".to_string(), collect_campaigns()),
+        ("analysis".to_string(), collect_analysis()),
         ("benches".to_string(), collect_benches(root, notes)),
     ])
 }
@@ -145,8 +185,9 @@ impl TrendGate {
 
 /// Compare `current` against `baseline`.
 ///
-/// Campaign fields are exact: seeds, trial counts, `baseline_detected` and
-/// every outcome count must match. Bench `*_per_sec` fields fail only when
+/// Campaign and analysis fields are exact: seeds, trial counts,
+/// `baseline_detected`, every outcome count and every per-guest precision
+/// count must match. Bench `*_per_sec` fields fail only when
 /// `current < baseline * (1 - tolerance)`; other bench fields are
 /// informational. A bench present in the baseline but missing from the
 /// current collection is a violation (coverage must not silently shrink);
@@ -165,6 +206,17 @@ pub fn check_trend(baseline: &Value, current: &Value, tolerance: f64) -> TrendGa
             continue;
         };
         check_exact(&mut gate, &format!("campaign {name}"), base_row, cur_row);
+    }
+
+    let base_analysis = baseline.get("analysis").unwrap_or(&empty);
+    let cur_analysis = current.get("analysis").unwrap_or(&empty);
+    for (name, base_row) in base_analysis.fields() {
+        let Some(cur_row) = cur_analysis.get(name) else {
+            gate.violations
+                .push(format!("analysis {name}: missing from current collection"));
+            continue;
+        };
+        check_exact(&mut gate, &format!("analysis {name}"), base_row, cur_row);
     }
 
     let base_benches = baseline.get("benches").unwrap_or(&empty);
@@ -300,6 +352,50 @@ mod tests {
         // The reverse direction (new coverage in current) is fine.
         let gate = check_trend(&empty, &sample(9, 5e7, false), 0.5);
         assert!(gate.ok());
+    }
+
+    #[test]
+    fn analysis_count_drift_is_exact_failure() {
+        let with_proven = |proven: u64| {
+            Value::parse(&format!(
+                "{{\"analysis\":{{\"exp1\":{{\"sites\":1713,\"proven\":{proven},\
+                 \"flagged\":204,\"unresolved\":0}}}}}}"
+            ))
+            .unwrap()
+        };
+        let gate = check_trend(&with_proven(1509), &with_proven(1509), 0.5);
+        assert!(gate.ok(), "{:?}", gate.violations);
+        // A precision drop is a hard failure even though no bench moved.
+        let gate = check_trend(&with_proven(1509), &with_proven(1074), 0.5);
+        assert_eq!(gate.violations.len(), 1);
+        assert!(gate.violations[0].contains("analysis exp1.proven"));
+        // A guest vanishing from the collection is a coverage failure.
+        let empty = Value::parse("{\"analysis\":{}}").unwrap();
+        let gate = check_trend(&with_proven(1509), &empty, 0.5);
+        assert!(gate
+            .violations
+            .iter()
+            .any(|v| v.contains("analysis exp1: missing")));
+    }
+
+    #[test]
+    fn analysis_collection_is_deterministic_and_holds_the_floor() {
+        let a = collect_analysis();
+        let b = collect_analysis();
+        assert_eq!(a.render(), b.render());
+        // The ISSUE-8 precision floor, visible straight from the trend row.
+        let exp1 = a.get("exp1").unwrap();
+        let proven = exp1.get("proven").unwrap().as_f64().unwrap();
+        assert!(
+            proven >= 1300.0,
+            "exp1 proven {proven} fell below the summary-analysis target"
+        );
+        for name in ["exp1", "ghttpd", "null_httpd", "wu_ftpd"] {
+            let row = a.get(name).unwrap();
+            for field in ["sites", "proven", "flagged", "unresolved"] {
+                assert!(row.get(field).is_some(), "{name} missing {field}");
+            }
+        }
     }
 
     #[test]

@@ -53,6 +53,13 @@
 //!   --elide-checks        statically prove check sites clean and skip
 //!                         their taint checks at runtime (cached engine,
 //!                         ptaint policy only)
+//!   -j N, --jobs N        analysis fixpoint worker threads; the output is
+//!                         byte-identical for every N (also `-jN`)
+//!   --analysis-cache DIR  content-addressed `ptaint-proofs v1` store: a
+//!                         warm entry keyed by the image hash skips the
+//!                         static fixpoint at boot (and for `analyze`)
+//!   --emit-proofs         (analyze) store the computed proofs into the
+//!                         `--analysis-cache` directory
 //!   --stdin FILE          feed FILE's bytes as standard input (tainted)
 //!   --stdin-text STRING   feed STRING as standard input (tainted)
 //!   --arg STRING          append a command-line argument (repeatable)
@@ -96,11 +103,15 @@
 //! ```
 //!
 //! The process exit code is the guest's exit status; detections exit 42;
-//! usage, read, and build errors exit 2 (including an unreadable or
-//! malformed `--journal` file); `analyze` findings exit 3; a failure to
-//! write a requested artifact (`--trace-out`, `--metrics-out`,
-//! `--profile-out`, `--report`, `--journal-out`) exits 4 so scripts never
-//! mistake lost data for success.
+//! usage, read, and build errors exit 2, including an unreadable or
+//! malformed `--journal` file and — for `analyze` — an unreadable or
+//! corrupt `--analysis-cache` entry (the corrupt entry is re-analyzed
+//! cold and the report still printed, never a panic, but the exit code
+//! reports the bad cache and takes priority over exit 3); `analyze`
+//! findings exit 3; a failure to write a requested artifact
+//! (`--trace-out`, `--metrics-out`, `--profile-out`, `--report`,
+//! `--journal-out`, `--emit-proofs`) exits 4 so scripts never mistake
+//! lost data for success.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -165,6 +176,12 @@ pub struct Options {
     pub engine: Option<Engine>,
     /// Skip taint checks at statically proven-clean sites.
     pub elide_checks: bool,
+    /// Analysis proof-cache directory (`--analysis-cache`).
+    pub analysis_cache: Option<String>,
+    /// Analysis fixpoint worker threads (`-j` / `--jobs`).
+    pub jobs: Option<usize>,
+    /// Store the computed proofs into the cache (`analyze --emit-proofs`).
+    pub emit_proofs: bool,
     /// Stdin bytes.
     pub stdin: Vec<u8>,
     /// Guest argv (the program name is prepended automatically).
@@ -423,12 +440,35 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
                     .ok_or_else(|| UsageError(format!("bad metrics interval `{v}`")))?;
                 opts.metrics_interval = Some(n);
             }
+            "--analysis-cache" => {
+                opts.analysis_cache = Some(value(&mut it, "--analysis-cache")?);
+            }
+            "--emit-proofs" => opts.emit_proofs = true,
+            "-j" | "--jobs" => {
+                let v = value(&mut it, "--jobs")?;
+                opts.jobs = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| UsageError(format!("bad job count `{v}`")))?,
+                );
+            }
             "--provenance" => opts.provenance = true,
             "--trace-depth" => {
                 let v = value(&mut it, "--trace-depth")?;
                 opts.trace_depth = Some(
                     v.parse()
                         .map_err(|_| UsageError(format!("bad trace depth `{v}`")))?,
+                );
+            }
+            // The attached spelling `-j4`, matching the make/cargo idiom.
+            flag if flag.len() > 2 && flag.starts_with("-j") => {
+                let v = &flag[2..];
+                opts.jobs = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| UsageError(format!("bad job count `{v}`")))?,
                 );
             }
             flag if flag.starts_with("--") => {
@@ -455,6 +495,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, UsageError> {
     if (opts.profile || opts.profile_out.is_some()) && opts.pipeline {
         return Err(UsageError(
             "`--pipeline` cannot be profiled (the profiler rides the functional engine)".into(),
+        ));
+    }
+    if opts.emit_proofs && (!opts.analyze || opts.analysis_cache.is_none()) {
+        return Err(UsageError(
+            "`--emit-proofs` belongs to the `analyze` subcommand and needs `--analysis-cache DIR` to store into".into(),
         ));
     }
     if opts.replay && opts.journal_in.is_none() {
@@ -547,6 +592,12 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
     if opts.no_fork {
         machine = machine.fork_trials(false);
     }
+    if let Some(dir) = &opts.analysis_cache {
+        machine = machine.analysis_cache(dir);
+    }
+    if let Some(jobs) = opts.jobs {
+        machine = machine.analysis_jobs(jobs);
+    }
     Ok(machine)
 }
 
@@ -559,9 +610,7 @@ pub fn build_machine(opts: &Options, source: &str) -> Result<Machine, UsageError
 #[must_use]
 pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
     if opts.analyze {
-        let analysis = ptaint::analyze(machine.image());
-        let code = i32::from(analysis.stats.flagged_sites > 0) * 3;
-        return (ptaint::render_report(machine.image(), &analysis), code);
+        return run_analyze_cli(opts, machine);
     }
     if opts.inject {
         return run_campaign_cli(opts, machine);
@@ -730,6 +779,70 @@ pub fn run_machine(opts: &Options, machine: &Machine) -> (String, i32) {
             ExitReason::Security(_) => 42,
             _ => 1,
         }
+    };
+    (report, code)
+}
+
+/// The `analyze` subcommand: prints the static lint report, optionally
+/// loading from / storing into a `--analysis-cache` directory.
+///
+/// Exit-code contract (the `--help` table): findings exit 3; an
+/// unreadable or corrupt cache entry falls back to a cold analysis — the
+/// report is still printed, never a panic — but exits 2 so scripts learn
+/// the cache needs regenerating (`--emit-proofs`); a failed
+/// `--emit-proofs` write exits [`EXIT_ARTIFACT`]. Exit 2 takes priority
+/// over 4, which takes priority over 3.
+fn run_analyze_cli(opts: &Options, machine: &Machine) -> (String, i32) {
+    let image = machine.image();
+    let mut report = String::new();
+    let mut cache_corrupt = false;
+    let mut cached = None;
+    if let Some(dir) = &opts.analysis_cache {
+        match ptaint::proof_cache::load(std::path::Path::new(dir), image) {
+            Ok(hit) => cached = hit,
+            Err(e) => {
+                let _ = writeln!(
+                    report,
+                    "--- analysis cache: entry unusable, re-analyzing cold: {e}"
+                );
+                cache_corrupt = true;
+            }
+        }
+    }
+    let from_cache = cached.is_some();
+    let analysis = cached.unwrap_or_else(|| match opts.jobs {
+        Some(jobs) => ptaint::analyze_with(image, jobs),
+        None => ptaint::analyze(image),
+    });
+    let mut emit_failed = false;
+    if opts.emit_proofs {
+        if let Some(dir) = &opts.analysis_cache {
+            match ptaint::proof_cache::store(std::path::Path::new(dir), image, &analysis) {
+                Ok(path) if !opts.quiet => {
+                    let _ = writeln!(report, "--- proofs: wrote {}", path.display());
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    let _ = writeln!(report, "--- proofs: cannot write into `{dir}`: {e}");
+                    emit_failed = true;
+                }
+            }
+        }
+    }
+    if from_cache && !opts.quiet {
+        let _ = writeln!(
+            report,
+            "--- analysis cache: loaded proofs for image {:016x}",
+            ptaint::proof_cache::image_hash(image)
+        );
+    }
+    report.push_str(&ptaint::render_report(image, &analysis));
+    let code = if cache_corrupt {
+        2
+    } else if emit_failed {
+        EXIT_ARTIFACT
+    } else {
+        i32::from(analysis.stats.flagged_sites > 0) * 3
     };
     (report, code)
 }
@@ -963,6 +1076,134 @@ mod tests {
         .unwrap();
         let (report, code) = run_machine(&opts, &machine);
         assert_eq!(code, 3, "{report}");
+    }
+
+    #[test]
+    fn jobs_flag_parses_all_spellings() {
+        assert_eq!(parse(&["p.c"]).unwrap().jobs, None);
+        assert_eq!(parse(&["p.c", "-j", "4"]).unwrap().jobs, Some(4));
+        assert_eq!(parse(&["p.c", "--jobs", "2"]).unwrap().jobs, Some(2));
+        assert_eq!(parse(&["p.c", "-j8"]).unwrap().jobs, Some(8));
+        assert!(parse(&["p.c", "-j", "0"]).is_err());
+        assert!(parse(&["p.c", "-j0"]).is_err());
+        assert!(parse(&["p.c", "-jx"]).is_err());
+        assert!(parse(&["p.c", "--jobs", "NaN"]).is_err());
+    }
+
+    #[test]
+    fn emit_proofs_needs_analyze_and_a_cache_dir() {
+        assert!(parse(&["p.c", "--emit-proofs"]).is_err());
+        assert!(parse(&["analyze", "p.c", "--emit-proofs"]).is_err());
+        assert!(parse(&["p.c", "--emit-proofs", "--analysis-cache", "d"]).is_err());
+        let opts = parse(&["analyze", "p.c", "--emit-proofs", "--analysis-cache", "d"]).unwrap();
+        assert!(opts.emit_proofs);
+        assert_eq!(opts.analysis_cache.as_deref(), Some("d"));
+        // A plain run may still point at a cache without emitting.
+        let opts = parse(&["p.c", "--analysis-cache", "d"]).unwrap();
+        assert!(!opts.emit_proofs);
+        assert_eq!(opts.analysis_cache.as_deref(), Some("d"));
+    }
+
+    #[test]
+    fn analyze_cache_round_trips_and_survives_corruption() {
+        let dir = std::env::temp_dir().join("ptaint-cli-analysis-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().into_owned();
+        let source = "int main() { return 0; }";
+
+        // Cold run with --emit-proofs populates the cache and exits 0.
+        let mut cold =
+            parse(&["analyze", "p.c", "--emit-proofs", "--analysis-cache", "d"]).unwrap();
+        cold.analysis_cache = Some(dir_s.clone());
+        let machine = build_machine(&cold, source).unwrap();
+        let (cold_report, code) = run_machine(&cold, &machine);
+        assert_eq!(code, 0, "{cold_report}");
+        assert!(cold_report.contains("--- proofs: wrote"), "{cold_report}");
+        let entry = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap();
+        assert!(entry.path().extension().is_some_and(|e| e == "proofs"));
+
+        // Warm run loads the entry and renders the identical lint report.
+        let mut warm = parse(&["analyze", "p.c"]).unwrap();
+        warm.analysis_cache = Some(dir_s.clone());
+        let (warm_report, code) = run_machine(&warm, &machine);
+        assert_eq!(code, 0, "{warm_report}");
+        assert!(
+            warm_report.contains("--- analysis cache: loaded"),
+            "{warm_report}"
+        );
+        let lint = |r: &str| {
+            r.lines()
+                .skip_while(|l| l.starts_with("---"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            lint(&cold_report),
+            lint(&warm_report),
+            "warm report must match cold byte-for-byte"
+        );
+
+        // A corrupt entry falls back to a cold analysis (the report is
+        // still rendered) but the exit code reports the bad cache: 2,
+        // taking priority over exit-3-on-findings. Never a panic.
+        std::fs::write(entry.path(), "ptaint-proofs v1\ngarbage\n").unwrap();
+        let (report, code) = run_machine(&warm, &machine);
+        assert_eq!(code, 2, "{report}");
+        assert!(report.contains("entry unusable"), "{report}");
+        assert!(report.contains("ptaint-analyze report"), "{report}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_jobs_output_is_thread_count_independent() {
+        let source = r#"int main() {
+            char buf[8];
+            read(0, buf, 4);
+            int *p = (int *)(buf[0]);
+            return *p;
+        }"#;
+        let mut one = parse(&["analyze", "p.c", "-j1"]).unwrap();
+        let machine = build_machine(&one, source).unwrap();
+        let (report_one, code_one) = run_machine(&one, &machine);
+        one.jobs = Some(4);
+        let (report_four, code_four) = run_machine(&one, &machine);
+        assert_eq!(code_one, 3, "{report_one}");
+        assert_eq!(code_four, 3);
+        assert_eq!(
+            report_one, report_four,
+            "-j1 and -j4 must render byte-identical reports"
+        );
+    }
+
+    #[test]
+    fn emit_proofs_write_failure_exits_4() {
+        let mut opts = parse(&["analyze", "p.c"]).unwrap();
+        opts.emit_proofs = true;
+        opts.analysis_cache = Some("/proc/nonexistent-dir/cache".into());
+        let machine = build_machine(&opts, "int main() { return 0; }").unwrap();
+        let (report, code) = run_machine(&opts, &machine);
+        assert_eq!(code, EXIT_ARTIFACT, "{report}");
+        assert!(report.contains("cannot write"), "{report}");
+    }
+
+    #[test]
+    fn run_mode_uses_the_analysis_cache_at_boot() {
+        let dir = std::env::temp_dir().join("ptaint-cli-run-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // The boot-time analysis runs for `--elide-checks` (the proofs
+        // back the elided sites), so that is the run mode that exercises
+        // the cache.
+        let mut opts = parse(&["p.c", "--quiet", "--elide-checks"]).unwrap();
+        opts.analysis_cache = Some(dir.to_string_lossy().into_owned());
+        let machine = build_machine(&opts, "int main() { return 7; }").unwrap();
+        // First boot is cold and populates the cache; second boots warm.
+        let (_, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 7);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let (_, code) = run_machine(&opts, &machine);
+        assert_eq!(code, 7);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

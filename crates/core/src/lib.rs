@@ -59,7 +59,10 @@ mod machine;
 pub use machine::{Machine, MachineSnapshot};
 
 // The user-facing vocabulary, re-exported from the substrate crates.
-pub use ptaint_analyze::{analyze, render_report, Analysis, AnalyzeStats, Finding, SiteKind};
+pub use ptaint_analyze::{
+    analyze, analyze_with, cache as proof_cache, render_report, Analysis, AnalyzeStats, Finding,
+    SiteKind,
+};
 pub use ptaint_asm::{assemble, disassemble, AsmError, Image};
 pub use ptaint_cc::compile;
 pub use ptaint_cpu::pipeline::{Pipeline, PipelineReport};

@@ -42,6 +42,8 @@ pub struct Machine {
     engine: Engine,
     elide_checks: bool,
     fork_trials: bool,
+    analysis_cache: Option<std::path::PathBuf>,
+    analysis_jobs: Option<usize>,
 }
 
 impl Machine {
@@ -92,6 +94,8 @@ impl Machine {
             engine: Engine::default(),
             elide_checks: false,
             fork_trials: true,
+            analysis_cache: None,
+            analysis_jobs: None,
         }
     }
 
@@ -141,6 +145,29 @@ impl Machine {
     #[must_use]
     pub fn elide_checks(mut self, on: bool) -> Machine {
         self.elide_checks = on;
+        self
+    }
+
+    /// Points boots at a persistent analysis-proof cache directory
+    /// (`ptaint-proofs v1` entries, content-addressed by image hash): a
+    /// warm boot loads the proven set in milliseconds instead of re-running
+    /// the whole-program fixpoint, and a cold boot stores its result for
+    /// the next one. A corrupt or unreadable entry is reported on stderr
+    /// and falls back to cold analysis — it never panics and never
+    /// silently serves stale proofs (the content hash covers the analyzer
+    /// version and every image byte).
+    #[must_use]
+    pub fn analysis_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Machine {
+        self.analysis_cache = Some(dir.into());
+        self
+    }
+
+    /// Sets the static-analysis worker count (default:
+    /// [`ptaint_analyze::default_jobs`]). The analysis result is
+    /// byte-identical for any value; this only trades wall-clock time.
+    #[must_use]
+    pub fn analysis_jobs(mut self, jobs: usize) -> Machine {
+        self.analysis_jobs = Some(jobs.max(1));
         self
     }
 
@@ -230,13 +257,14 @@ impl Machine {
             && self.policy == DetectionPolicy::PointerTaintedness
             && self.rules == TaintRules::PAPER
         {
-            let analysis = ptaint_analyze::analyze(&self.image);
+            let (analysis, cached) = self.analysis();
             if cpu.has_observer() {
                 cpu.emit_event(&Event::StaticAnalysis {
                     functions: analysis.stats.functions as u64,
                     blocks: analysis.stats.blocks as u64,
                     proven: analysis.proven.len() as u64,
                     flagged: analysis.stats.flagged_sites as u64,
+                    cached,
                 });
             }
             // Watch the whole analyzed program — text *plus* the loader's
@@ -253,6 +281,33 @@ impl Machine {
             cpu.install_proven_checks(analysis.proven.iter().copied());
         }
         (cpu, os)
+    }
+
+    /// Produces the image's static analysis per the builder's cache and
+    /// worker settings, reporting whether it was served from the proof
+    /// cache. A cold run stores its result when a cache directory is set;
+    /// a corrupt entry warns on stderr and falls back to cold analysis.
+    #[must_use]
+    pub fn analysis(&self) -> (ptaint_analyze::Analysis, bool) {
+        if let Some(dir) = &self.analysis_cache {
+            match ptaint_analyze::cache::load(dir, &self.image) {
+                Ok(Some(a)) => return (a, true),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("warning: analysis cache entry unusable, re-analyzing: {e}");
+                }
+            }
+        }
+        let a = match self.analysis_jobs {
+            Some(jobs) => ptaint_analyze::analyze_with(&self.image, jobs),
+            None => ptaint_analyze::analyze(&self.image),
+        };
+        if let Some(dir) = &self.analysis_cache {
+            if let Err(e) = ptaint_analyze::cache::store(dir, &self.image, &a) {
+                eprintln!("warning: analysis cache entry not written: {e}");
+            }
+        }
+        (a, false)
     }
 
     /// Boots a fresh instance and runs it to completion.

@@ -164,6 +164,9 @@ pub enum Event {
         proven: u64,
         /// Check sites flagged as statically tainted in the lint report.
         flagged: u64,
+        /// Whether the result was served from a persistent proof cache
+        /// (`true`) or computed by a cold fixpoint run (`false`).
+        cached: bool,
     },
     /// The cached engine skipped a pointer-taintedness check at a site the
     /// static analyzer proved clean.
@@ -312,8 +315,9 @@ impl Event {
                 blocks,
                 proven,
                 flagged,
+                cached,
             } => format!(
-                "\"event\":\"static_analysis\",\"functions\":{functions},\"blocks\":{blocks},\"proven\":{proven},\"flagged\":{flagged}",
+                "\"event\":\"static_analysis\",\"functions\":{functions},\"blocks\":{blocks},\"proven\":{proven},\"flagged\":{flagged},\"cached\":{cached}",
             ),
             Event::CheckElided { pc } => {
                 format!("\"event\":\"check_elided\",\"pc\":\"0x{pc:x}\"")

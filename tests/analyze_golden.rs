@@ -6,8 +6,12 @@
 //! with:
 //!
 //! ```sh
-//! UPDATE_GOLDEN=1 cargo test --test analyze_golden
+//! BLESS=1 cargo test --test analyze_golden
 //! ```
+//!
+//! `BLESS=1` is the repo-wide regeneration knob (the trace-schema golden
+//! uses the same one); the historical `UPDATE_GOLDEN=1` spelling keeps
+//! working. See `tests/golden/analyze/README.md`.
 
 use std::path::PathBuf;
 
@@ -24,21 +28,21 @@ fn check(name: &str, source: &str) -> String {
     let image = ptaint_guest::build(source).unwrap_or_else(|e| panic!("{name}: {e}"));
     let report = render_report(&image, &analyze(&image));
     let path = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+    if std::env::var_os("BLESS").is_some() || std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, &report).unwrap();
         return report;
     }
     let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!(
-            "{name}: missing golden {} ({e}); run with UPDATE_GOLDEN=1",
+            "{name}: missing golden {} ({e}); run with BLESS=1",
             path.display()
         )
     });
     assert_eq!(
         report,
         want,
-        "{name}: lint report drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        "{name}: lint report drifted from {}; if intentional, regenerate with BLESS=1",
         path.display()
     );
     report
@@ -47,6 +51,34 @@ fn check(name: &str, source: &str) -> String {
 #[test]
 fn exp1_report_matches_golden() {
     check("exp1", synthetic::EXP1_SOURCE);
+}
+
+/// A self-recursive guest that walks a tainted pointer down the recursion.
+/// Pins the `(×N)` collapse of repeated reachability-chain frames — the
+/// report must render `walk (×2)`, not `walk > walk`.
+const RECURSION_SOURCE: &str = r#"
+int walk(char *p, int n) {
+    if (n == 0) return p[0];
+    return walk(p, n - 1);
+}
+int main() {
+    char buf[8];
+    read(0, buf, 4);
+    return walk((char *)(buf[0]), 3);
+}
+"#;
+
+#[test]
+fn recursion_report_matches_golden_and_collapses_chain_frames() {
+    let report = check("recursion", RECURSION_SOURCE);
+    assert!(
+        report.contains("walk (\u{d7}2)"),
+        "recursive chain frames must collapse to `walk (\u{d7}2)`:\n{report}"
+    );
+    assert!(
+        !report.contains("walk > walk"),
+        "uncollapsed recursive chain leaked into the report:\n{report}"
+    );
 }
 
 #[test]

@@ -80,6 +80,7 @@ fn one_of_each() -> Vec<Event> {
             blocks: 405,
             proven: 1074,
             flagged: 0,
+            cached: false,
         },
         Event::CheckElided { pc: 0x40_0108 },
         Event::FaultInjected {
@@ -197,7 +198,14 @@ fn pinned_keys(event: &str) -> &'static [&'static str] {
         "syscall" => &["event", "pc", "number", "name", "result"],
         "cache_access" => &["event", "level", "addr", "hit"],
         "decode_cache" => &["event", "page", "kind"],
-        "static_analysis" => &["event", "functions", "blocks", "proven", "flagged"],
+        "static_analysis" => &[
+            "event",
+            "functions",
+            "blocks",
+            "proven",
+            "flagged",
+            "cached",
+        ],
         "check_elided" => &["event", "pc"],
         "fault_injected" => &["event", "kind", "detail"],
         "snapshot" => &["event", "pages"],
