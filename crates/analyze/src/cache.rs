@@ -13,6 +13,11 @@
 //! Failure contract: a **missing** entry is `Ok(None)` (cold path); an
 //! **unreadable or corrupt** entry is `Err(reason)` — callers fall back to
 //! cold analysis (and the `analyze` subcommand exits 2), but never panic.
+//! Besides the image hash (wrong image / wrong analyzer version), every
+//! entry carries a `sum` body checksum, so any single flipped bit on disk
+//! — the `proof_cache` fault-injection campaign does exactly this — fails
+//! the load instead of silently serving corrupted proofs. Entries written
+//! before the checksum existed lack the line and still parse.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -126,6 +131,14 @@ pub fn render(image: &Image, a: &Analysis) -> String {
             f.chain.join(","),
         );
     }
+    // Body content checksum (FNV-1a over every line above, newlines
+    // included). The image hash only proves the entry is *for* this image;
+    // the sum proves the body survived storage intact — a single flipped
+    // bit anywhere above fails the load, and the caller falls back to cold
+    // analysis instead of trusting corrupted proofs.
+    let mut h = Fnv::new();
+    h.bytes(out.as_bytes());
+    let _ = writeln!(out, "sum {:016x}", h.0);
     let _ = writeln!(out, "end");
     out
 }
@@ -179,11 +192,31 @@ fn parse(image: &Image, text: &str) -> Result<Analysis, String> {
     };
     let mut saw_stats = false;
     let mut saw_end = false;
+    // Incremental body hash for the `sum` line (entries written before the
+    // checksum existed simply lack the line and skip verification).
+    let mut hasher = Fnv::new();
+    hasher.bytes(MAGIC.as_bytes());
+    hasher.bytes(b"\n");
+    hasher.bytes(image_line.as_bytes());
+    hasher.bytes(b"\n");
     for line in lines {
         if saw_end {
             return Err("trailing content after `end`".to_owned());
         }
         let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        if tag == "sum" {
+            let want =
+                u64::from_str_radix(rest, 16).map_err(|e| format!("bad sum line `{rest}`: {e}"))?;
+            if hasher.0 != want {
+                return Err(format!(
+                    "content checksum mismatch (stored {want:016x}, computed {:016x}) — corrupt entry",
+                    hasher.0
+                ));
+            }
+            continue;
+        }
+        hasher.bytes(line.as_bytes());
+        hasher.bytes(b"\n");
         match tag {
             "stats" => {
                 let mut nums = rest.split(' ').map(str::parse::<usize>);
@@ -340,6 +373,45 @@ main:   addiu $4, $0, 0
         // A different analyzer version's entry (hash mismatch inside).
         std::fs::write(&path, format!("{MAGIC}\nimage 0000000000000000\nend\n")).unwrap();
         assert!(load(&dir, &image).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn any_single_bit_flip_fails_the_checksum() {
+        let image = sample();
+        let a = crate::analyze(&image);
+        let dir = std::env::temp_dir().join(format!(
+            "ptaint-cache-bitflip-{}-{}",
+            std::process::id(),
+            image_hash(&image),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = store(&dir, &image, &a).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        assert!(render(&image, &a).contains("\nsum "), "entries carry a sum");
+
+        // Flip one bit in every 97th byte position (coprime stride keeps
+        // the test fast while covering magic, stats, proven, findings, sum
+        // and end lines alike): each corrupted entry must fail to load.
+        for pos in (0..clean.len()).step_by(97) {
+            let mut corrupt = clean.clone();
+            corrupt[pos] ^= 1 << (pos % 8);
+            std::fs::write(&path, &corrupt).unwrap();
+            assert!(
+                load(&dir, &image).is_err(),
+                "bit flip at byte {pos} must be rejected"
+            );
+        }
+
+        // A legacy entry without the sum line still parses.
+        let legacy: String = String::from_utf8(clean)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with("sum "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&path, legacy).unwrap();
+        assert_eq!(load(&dir, &image), Ok(Some(a)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

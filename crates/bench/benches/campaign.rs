@@ -158,6 +158,36 @@ fn bench_campaigns(c: &mut Criterion) {
             forked_rate / reboot_rate
         ));
     }
+    // The sharded runner (campaign engine v2) on the elided ghttpd
+    // campaign — the workload where per-trial cost is highest. The series
+    // measures steady-state scheduler throughput: the machine is
+    // `prepare_analysis()`-warmed first, so the one-time static analysis
+    // (whose cost is what the `_elided_trials_per_sec` reboot series pays
+    // on *every* trial) is amortized out, and each worker shard boots
+    // from a snapshot rather than re-analyzing. On multi-core hosts the
+    // work-stealing shards add core-count scaling on top. Byte-identity
+    // with the sequential report is asserted before timing, so the
+    // comparison is apples-to-apples by construction.
+    {
+        let m = build("ghttpd").elide_checks(true).prepare_analysis();
+        let jobs = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        let sequential = m.run_campaign(&spec);
+        assert_eq!(
+            m.run_campaign_jobs(&spec, jobs).to_json(),
+            sequential.to_json(),
+            "ghttpd: sharded and sequential campaigns must be byte-identical"
+        );
+        let runs = sequential.records.len() as f64 + 1.0;
+        let mut best = f64::MIN;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let report = m.run_campaign_jobs(&spec, jobs);
+            assert_eq!(report.records.len() as f64 + 1.0, runs);
+            best = best.max(runs / start.elapsed().as_secs_f64());
+        }
+        fields.push(("campaign_sharded_trials_per_sec".to_owned(), best));
+        lines.push(format!("ghttpd elided sharded -j{jobs} {best:.0} trials/s"));
+    }
     let mut json = format!("{{\"bench\":\"campaign\",\"trials\":{}", trials());
     for (field, rate) in &fields {
         if *rate >= 100.0 {

@@ -53,7 +53,9 @@
 //!   --elide-checks        statically prove check sites clean and skip
 //!                         their taint checks at runtime (cached engine,
 //!                         ptaint policy only)
-//!   -j N, --jobs N        analysis fixpoint worker threads; the output is
+//!   -j N, --jobs N        worker threads, for the analysis fixpoint and
+//!                         for `inject` campaign shards (default for the
+//!                         latter: available parallelism); the output is
 //!                         byte-identical for every N (also `-jN`)
 //!   --analysis-cache DIR  content-addressed `ptaint-proofs v1` store: a
 //!                         warm entry keyed by the image hash skips the
@@ -82,7 +84,9 @@
 //!                         identical either way
 //!   --faults LIST         (inject) comma-separated fault kinds to sample:
 //!                         short_read,eintr,conn_reset,fragment,data_bit,
-//!                         taint_clear,taint_set,register_bit,cache_line
+//!                         taint_clear,taint_set,register_bit,cache_line,
+//!                         multi_bit,taint_sweep,decode_slot,proven_flip,
+//!                         proof_cache
 //!   --report FILE         (inject) write the campaign JSON to FILE instead
 //!                         of stdout
 //!   --journal-out FILE    record the run's syscall journal (results and
@@ -852,7 +856,10 @@ fn run_analyze_cli(opts: &Options, machine: &Machine) -> (String, i32) {
 fn run_campaign_cli(opts: &Options, machine: &Machine) -> (String, i32) {
     let spec = CampaignSpec::new(opts.seed.unwrap_or(1), opts.trials.unwrap_or(32))
         .kinds(opts.fault_kinds.clone());
-    let campaign = machine.run_campaign(&spec);
+    let jobs = opts.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    let campaign = machine.run_campaign_jobs(&spec, jobs);
     let json = campaign.to_json() + "\n";
 
     let mut report = String::new();

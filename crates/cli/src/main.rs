@@ -38,8 +38,9 @@ fn main() -> ExitCode {
              --engine E           interp | cached (default)\n\
              --elide-checks       skip taint checks at statically proven\n\
                                   clean sites (ptaint policy only)\n\
-             -j N, --jobs N       analysis fixpoint worker threads (also\n\
-                                  -jN); byte-identical output for any N\n\
+             -j N, --jobs N       worker threads: analysis fixpoint and\n\
+                                  inject campaign shards (also -jN);\n\
+                                  byte-identical output for any N\n\
              --analysis-cache DIR ptaint-proofs v1 store keyed by image\n\
                                   hash; a warm entry skips the static\n\
                                   fixpoint at boot and under `analyze`\n\

@@ -72,8 +72,8 @@ pub use ptaint_cpu::{
 };
 pub use ptaint_guest::{BuildError, LIBC_C};
 pub use ptaint_inject::{
-    classify, CampaignReport, CampaignSpec, Fault, FaultKind, OutcomeClass, SplitMix64,
-    StateInjector, TrialRecord, TrialRun,
+    classify, classify_fault, CampaignReport, CampaignSpec, Fault, FaultKind, OutcomeClass,
+    SplitMix64, StateInjector, TrialRecord, TrialRun,
 };
 pub use ptaint_mem::{CacheConfig, HierarchyConfig, MemorySystem, TaintedMemory, WordTaint};
 pub use ptaint_os::{

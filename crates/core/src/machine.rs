@@ -7,7 +7,7 @@ use ptaint_asm::Image;
 use ptaint_cpu::pipeline::{Pipeline, PipelineReport};
 use ptaint_cpu::{Cpu, DetectionPolicy, Engine, TaintRules};
 use ptaint_guest::BuildError;
-use ptaint_inject::{CampaignReport, CampaignSpec, Fault, StateInjector, TrialRun};
+use ptaint_inject::{CampaignReport, CampaignSpec, Fault, FaultKind, StateInjector, TrialRun};
 use ptaint_mem::HierarchyConfig;
 use ptaint_os::{
     load_with_observer, run_to_exit_with, Os, RunLimits, RunOutcome, SyscallJournal, WorldConfig,
@@ -44,6 +44,10 @@ pub struct Machine {
     fork_trials: bool,
     analysis_cache: Option<std::path::PathBuf>,
     analysis_jobs: Option<usize>,
+    /// Memoized `(analysis, cached)` result shared across clones — populated
+    /// by the sharded campaign runner so per-worker boots don't each re-run
+    /// the static analysis.
+    prepared_analysis: Option<std::sync::Arc<(ptaint_analyze::Analysis, bool)>>,
 }
 
 impl Machine {
@@ -96,6 +100,7 @@ impl Machine {
             fork_trials: true,
             analysis_cache: None,
             analysis_jobs: None,
+            prepared_analysis: None,
         }
     }
 
@@ -253,10 +258,7 @@ impl Machine {
         for (addr, len, label) in &self.watches {
             cpu.add_taint_watch(*addr, *len, label.clone());
         }
-        if self.elide_checks
-            && self.policy == DetectionPolicy::PointerTaintedness
-            && self.rules == TaintRules::PAPER
-        {
+        if self.elision_armed() {
             let (analysis, cached) = self.analysis();
             if cpu.has_observer() {
                 cpu.emit_event(&Event::StaticAnalysis {
@@ -283,12 +285,37 @@ impl Machine {
         (cpu, os)
     }
 
+    /// Eagerly runs (and memoizes) the static analysis this machine's
+    /// boots would perform, so every subsequent boot — including each
+    /// campaign shard worker's snapshot — reuses the result instead of
+    /// re-analyzing. Clones share the memo. A no-op when elision is not
+    /// armed (plain boots never consult the analysis).
+    #[must_use]
+    pub fn prepare_analysis(mut self) -> Machine {
+        if self.elision_armed() && self.prepared_analysis.is_none() {
+            self.prepared_analysis = Some(std::sync::Arc::new(self.analysis()));
+        }
+        self
+    }
+
+    /// Whether boots of this machine arm static check elision — the exact
+    /// configuration the analysis models (pointer-taintedness policy under
+    /// the paper's taint rules).
+    fn elision_armed(&self) -> bool {
+        self.elide_checks
+            && self.policy == DetectionPolicy::PointerTaintedness
+            && self.rules == TaintRules::PAPER
+    }
+
     /// Produces the image's static analysis per the builder's cache and
     /// worker settings, reporting whether it was served from the proof
     /// cache. A cold run stores its result when a cache directory is set;
     /// a corrupt entry warns on stderr and falls back to cold analysis.
     #[must_use]
     pub fn analysis(&self) -> (ptaint_analyze::Analysis, bool) {
+        if let Some(prepared) = &self.prepared_analysis {
+            return (prepared.0.clone(), prepared.1);
+        }
         if let Some(dir) = &self.analysis_cache {
             match ptaint_analyze::cache::load(dir, &self.image) {
                 Ok(Some(a)) => return (a, true),
@@ -323,6 +350,9 @@ impl Machine {
     /// classifier consumes.
     #[must_use]
     pub fn run_injected(&self, fault: &Fault) -> TrialRun {
+        if fault.kind == FaultKind::ProofCache {
+            return self.run_proof_cache_trial(fault);
+        }
         let (mut cpu, mut os) = self.boot();
         os.set_io_faults(fault.io_plan());
         let mut injector = StateInjector::new(*fault);
@@ -332,6 +362,64 @@ impl Machine {
             io_calls: os.io_call_count(),
             applied: injector.applied().map(str::to_owned),
         }
+    }
+
+    /// A [`FaultKind::ProofCache`] trial: flip one salt-chosen bit of the
+    /// on-disk `ptaint-proofs v1` entry *before* boot, then run normally.
+    /// The corrupted copy lives in a private temp directory so the real
+    /// cache (shared by concurrent trials) is never touched. The entry's
+    /// content checksum makes the corrupt load fail, which the boot path
+    /// reports on stderr and survives by re-running the cold analysis —
+    /// that graceful fallback is exactly what this fault class probes. The
+    /// fault is inert (a plain fault-free run) when the machine has no
+    /// proof cache configured, elision is not armed, or no entry exists
+    /// yet on disk.
+    fn run_proof_cache_trial(&self, fault: &Fault) -> TrialRun {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+        let entry = self.analysis_cache.as_ref().and_then(|dir| {
+            let path = ptaint_analyze::cache::path_for(dir, &self.image);
+            std::fs::read(path).ok()
+        });
+        let (Some(mut bytes), true) = (entry, self.elision_armed()) else {
+            // Inert: nothing persistent to corrupt. Run fault-free.
+            let (mut cpu, mut os) = self.boot();
+            let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut ());
+            return TrialRun {
+                outcome,
+                io_calls: os.io_call_count(),
+                applied: None,
+            };
+        };
+
+        let total = (bytes.len() as u64) * 8;
+        let bit = ptaint_inject::SplitMix64::new(fault.salt).below(total.max(1));
+        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+
+        let tmp = std::env::temp_dir().join(format!(
+            "ptaint-proofcache-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&tmp).expect("proof-cache fault temp dir");
+        std::fs::write(ptaint_analyze::cache::path_for(&tmp, &self.image), bytes)
+            .expect("proof-cache fault entry copy");
+
+        let mut victim = self.clone();
+        victim.analysis_cache = Some(tmp.clone());
+        victim.prepared_analysis = None;
+        let (mut cpu, mut os) = victim.boot();
+        cpu.note_injected_fault();
+        let outcome = run_to_exit_with(&mut cpu, &mut os, self.limits(), &mut ());
+        let run = TrialRun {
+            outcome,
+            io_calls: os.io_call_count(),
+            // Deterministic and path-free, so reports shard-merge cleanly.
+            applied: Some(format!("proofs entry bit {bit} of {total} flipped")),
+        };
+        let _ = std::fs::remove_dir_all(&tmp);
+        run
     }
 
     /// Selects how [`Machine::run_campaign`] provisions each trial
@@ -410,6 +498,9 @@ impl Machine {
         if self.fork_trials {
             let snap = self.snapshot();
             return ptaint_inject::run_campaign(spec, |fault| match fault {
+                // Proof-cache corruption happens *before* boot, so it can
+                // never ride a post-boot fork — reboot that trial instead.
+                Some(f) if f.kind == FaultKind::ProofCache => self.run_injected(f),
                 Some(f) => snap.run_injected(f),
                 None => snap.run(),
             });
@@ -423,6 +514,44 @@ impl Machine {
                     outcome,
                     io_calls: os.io_call_count(),
                     applied: None,
+                }
+            }
+        })
+    }
+
+    /// The sharded counterpart of [`Machine::run_campaign`]: trials are
+    /// distributed across `jobs` worker threads, each of which boots its
+    /// own post-boot baseline (boots are deterministic, so every worker's
+    /// snapshot is bit-identical) and steals trial indices from a shared
+    /// counter. Records merge in trial order, so the report is
+    /// **byte-identical** to the single-threaded one for the same spec —
+    /// `jobs <= 1` simply delegates to [`Machine::run_campaign`].
+    ///
+    /// When elision is armed the static analysis is memoized once up
+    /// front and shared read-only with every worker, so the per-worker
+    /// boot cost is a snapshot, not a re-analysis.
+    #[must_use]
+    pub fn run_campaign_jobs(&self, spec: &CampaignSpec, jobs: usize) -> CampaignReport {
+        if jobs <= 1 {
+            return self.run_campaign(spec);
+        }
+        let prepared = self.clone().prepare_analysis();
+        let m = &prepared;
+        ptaint_inject::run_campaign_jobs(spec, jobs, || {
+            let snap = m.fork_trials.then(|| m.snapshot());
+            move |fault: Option<&Fault>| match (fault, &snap) {
+                (Some(f), _) if f.kind == FaultKind::ProofCache => m.run_injected(f),
+                (Some(f), Some(snap)) => snap.run_injected(f),
+                (Some(f), None) => m.run_injected(f),
+                (None, Some(snap)) => snap.run(),
+                (None, None) => {
+                    let (mut cpu, mut os) = m.boot();
+                    let outcome = run_to_exit_with(&mut cpu, &mut os, m.limits(), &mut ());
+                    TrialRun {
+                        outcome,
+                        io_calls: os.io_call_count(),
+                        applied: None,
+                    }
                 }
             }
         })

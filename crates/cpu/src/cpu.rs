@@ -171,12 +171,22 @@ pub struct Cpu {
     last_step_tainted: bool,
     engine: Engine,
     dcache: DecodeCache,
+    // Set once the decode-cache integrity machinery trips: all proofs are
+    // dropped, elision is off, and every check runs in full for the rest of
+    // the run (fail safe, not silent).
+    degraded: bool,
     // Hot-loop profiler (per-PC histogram + shadow call stack). Boxed so the
     // disabled case costs one `None` branch per retire and nothing in cache
     // footprint; identical across engines because both funnel through
     // `exec`.
     profiler: Option<Box<ptaint_profile::HotProfile>>,
 }
+
+/// Instructions between periodic decode-cache integrity sweeps on the
+/// cached engine. Each sweep compares every cached page's ProvenClean
+/// bitmap against its replica and recomputes one page's slot checksum
+/// (round-robin), so the amortized cost is a few dozen word compares.
+const INTEGRITY_STRIDE: u64 = 1 << 14;
 
 impl fmt::Debug for Cpu {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -209,6 +219,7 @@ impl Cpu {
             last_step_tainted: false,
             engine: Engine::default(),
             dcache: DecodeCache::new(),
+            degraded: false,
             profiler: None,
         }
     }
@@ -567,6 +578,44 @@ impl Cpu {
         self.dcache.has_proven()
     }
 
+    /// Whether the decode-cache integrity machinery has tripped: all
+    /// proofs dropped, elision disabled, every check running in full for
+    /// the rest of the run.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Enters degraded mode: drops every cached page and every proof,
+    /// bumps [`ExecStats::integrity_failures`], emits a
+    /// [`Event::DegradedMode`] trace event, and keeps executing with all
+    /// checks in force. Corrupted elision state fails safe, never silent.
+    fn degrade(&mut self, reason: &str) {
+        self.stats.integrity_failures += 1;
+        self.degraded = true;
+        self.dcache.degrade();
+        if self.observer.is_some() {
+            self.emit_event(&Event::DegradedMode {
+                reason: reason.to_owned(),
+            });
+        }
+    }
+
+    /// Fault-injection hook: flips one bit in the *primary* ProvenClean
+    /// bitmap of a cached decode page, bypassing the replica — modelling a
+    /// hardware fault in the elision machinery. Returns a description, or
+    /// `None` when nothing is cached yet.
+    pub fn corrupt_proven_bit(&mut self, pick: u64, bit: u64) -> Option<String> {
+        self.dcache.corrupt_proven_bit(pick, bit)
+    }
+
+    /// Fault-injection hook: flips one bit in the pre-extended immediate
+    /// of a filled decode-cache slot, bypassing the page checksum. Returns
+    /// a description, or `None` when nothing is cached yet.
+    pub fn corrupt_decode_slot(&mut self, pick: u64, bit: u64) -> Option<String> {
+        self.dcache.corrupt_decode_slot(pick, bit)
+    }
+
     /// Forks the processor: a new [`Cpu`] with identical architectural
     /// state whose memory shares pages copy-on-write with this one
     /// ([`MemorySystem::fork`]). Writes on either side never alias the
@@ -601,6 +650,7 @@ impl Cpu {
             last_step_tainted: self.last_step_tainted,
             engine: self.engine,
             dcache: self.dcache.fork_rebuild(),
+            degraded: self.degraded,
             profiler: None,
         }
     }
@@ -642,15 +692,33 @@ impl Cpu {
             if self.mem.has_dirty_code_pages() {
                 self.invalidate_dirty_pages();
             }
-            if let Some((d, proven)) = self.dcache.lookup(pc) {
-                self.stats.decode_cache_hits += 1;
-                if self.observer.is_some() {
-                    self.emit_event(&Event::DecodeCache {
-                        page: pc / PAGE_SIZE,
-                        kind: "hit",
-                    });
+            // Periodic integrity sweep: ProvenClean bitmaps (full, against
+            // the replica) plus one page's slot checksum per sweep. On a
+            // mismatch the cache degrades — proofs dropped, pages refilled
+            // from authoritative memory — and execution continues with
+            // every check in force.
+            if self.stats.instructions & (INTEGRITY_STRIDE - 1) == 0 && self.stats.instructions != 0
+            {
+                if let Some(reason) = self.dcache.verify_sweep() {
+                    self.degrade(&reason);
                 }
-                return self.exec(pc, d, proven);
+            }
+            if let Some((d, proven)) = self.dcache.lookup(pc) {
+                if let Some(reason) = self.dcache.take_compromised() {
+                    // A proven-bit replica mismatch at lookup: degrade now
+                    // (dropping this page with the rest) and fall through
+                    // to the authoritative fetch+decode path.
+                    self.degrade(&reason);
+                } else {
+                    self.stats.decode_cache_hits += 1;
+                    if self.observer.is_some() {
+                        self.emit_event(&Event::DecodeCache {
+                            page: pc / PAGE_SIZE,
+                            kind: "hit",
+                        });
+                    }
+                    return self.exec(pc, d, proven);
+                }
             }
         }
         // Authoritative path: always for the interpreter, on a miss for the

@@ -21,12 +21,35 @@ const SLOTS: usize = (PAGE_SIZE / 4) as usize;
 /// One `u64` of proven-clean bits per 64 slots.
 const PROVEN_WORDS: usize = SLOTS / 64;
 
+/// FNV-1a hash of one filled slot's decoded form. XORed into the page
+/// header checksum at fill time so the integrity sweep can recompute and
+/// compare without touching authoritative memory.
+fn slot_hash(slot: usize, d: &DecodedInsn) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [slot as u32, d.instr.encode(), d.imm, d.target] {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// One predecoded text page.
 struct DecodedPage {
     slots: Box<[Option<DecodedInsn>; SLOTS]>,
     /// One bit per slot: the static analyzer proved this instruction's
     /// pointer check can never fire, so the engine may skip it.
     proven: Box<[u64; PROVEN_WORDS]>,
+    /// Lockstep replica of `proven`. Every legitimate update writes both
+    /// copies; `lookup` cross-checks the word covering a hit, so a single
+    /// flipped proven bit yields a detectable mismatch instead of a
+    /// silently elided check.
+    proven_dup: Box<[u64; PROVEN_WORDS]>,
+    /// Page header checksum: XOR of [`slot_hash`] over every filled slot,
+    /// maintained incrementally by fills and resets. The periodic
+    /// integrity sweep recomputes it from the slots and compares.
+    sum: u64,
 }
 
 impl DecodedPage {
@@ -34,12 +57,16 @@ impl DecodedPage {
         DecodedPage {
             slots: Box::new([None; SLOTS]),
             proven: Box::new([0; PROVEN_WORDS]),
+            proven_dup: Box::new([0; PROVEN_WORDS]),
+            sum: 0,
         }
     }
 
     fn clear(&mut self) {
         self.slots.fill(None);
         self.proven.fill(0);
+        self.proven_dup.fill(0);
+        self.sum = 0;
     }
 
     #[inline]
@@ -49,6 +76,17 @@ impl DecodedPage {
 
     fn set_proven(&mut self, slot: usize) {
         self.proven[slot / 64] |= 1 << (slot % 64);
+        self.proven_dup[slot / 64] |= 1 << (slot % 64);
+    }
+
+    fn recompute_sum(&self) -> u64 {
+        let mut sum = 0;
+        for (slot, d) in self.slots.iter().enumerate() {
+            if let Some(d) = d {
+                sum ^= slot_hash(slot, d);
+            }
+        }
+        sum
     }
 }
 
@@ -66,6 +104,12 @@ pub(crate) struct DecodeCache {
     /// at fill time to stamp per-slot bits. Dropped wholesale on the first
     /// invalidation (self-modifying code makes the static proof stale).
     proven: HashSet<u32>,
+    /// Set when `lookup` catches a proven-bitmap replica mismatch; the CPU
+    /// drains it and enters degraded mode.
+    compromised: Option<String>,
+    /// Round-robin cursor for the deep (slot-checksum) half of the
+    /// periodic integrity sweep: one page per sweep, amortized.
+    sweep_cursor: usize,
 }
 
 impl DecodeCache {
@@ -76,6 +120,8 @@ impl DecodeCache {
             free: Vec::new(),
             last: None,
             proven: HashSet::new(),
+            compromised: None,
+            sweep_cursor: 0,
         }
     }
 
@@ -97,6 +143,8 @@ impl DecodeCache {
             free: Vec::new(),
             last: None,
             proven: self.proven.clone(),
+            compromised: None,
+            sweep_cursor: 0,
         }
     }
 
@@ -122,6 +170,7 @@ impl DecodeCache {
         self.proven.clear();
         for page in &mut self.pages {
             page.proven.fill(0);
+            page.proven_dup.fill(0);
         }
     }
 
@@ -149,7 +198,126 @@ impl DecodeCache {
         };
         let slot = ((pc % PAGE_SIZE) / 4) as usize;
         let p = &self.pages[idx];
-        p.slots[slot].map(|d| (d, p.is_proven(slot)))
+        let d = p.slots[slot]?;
+        // DMR cross-check: a flipped bit in either proven copy makes the
+        // covering words differ. Fail safe (run the check) and flag the
+        // cache so the CPU degrades before trusting any further proof.
+        if p.proven[slot / 64] != p.proven_dup[slot / 64] {
+            self.compromised = Some(format!(
+                "proven bitmap replica mismatch on page {:#010x}",
+                page * PAGE_SIZE
+            ));
+            return Some((d, false));
+        }
+        Some((d, p.is_proven(slot)))
+    }
+
+    /// Drains the replica-mismatch flag raised by [`DecodeCache::lookup`].
+    pub(crate) fn take_compromised(&mut self) -> Option<String> {
+        self.compromised.take()
+    }
+
+    /// One step of the periodic integrity check. Always compares every
+    /// cached page's proven bitmap against its replica (cheap: a few words
+    /// per page); additionally recomputes one page's slot checksum per
+    /// call, round-robin, so decoded-slot corruption is caught within a
+    /// bounded number of sweeps. Returns a reason on the first mismatch.
+    pub(crate) fn verify_sweep(&mut self) -> Option<String> {
+        let describe = |index: &HashMap<u32, usize>, idx: usize| {
+            index
+                .iter()
+                .find(|&(_, &i)| i == idx)
+                .map_or(0, |(&p, _)| p * PAGE_SIZE)
+        };
+        for (idx, p) in self.pages.iter().enumerate() {
+            if p.proven != p.proven_dup {
+                return Some(format!(
+                    "proven bitmap replica mismatch on page {:#010x}",
+                    describe(&self.index, idx)
+                ));
+            }
+        }
+        if !self.pages.is_empty() {
+            let idx = self.sweep_cursor % self.pages.len();
+            self.sweep_cursor = self.sweep_cursor.wrapping_add(1);
+            let p = &self.pages[idx];
+            if p.recompute_sum() != p.sum {
+                return Some(format!(
+                    "decoded slot checksum mismatch on page {:#010x}",
+                    describe(&self.index, idx)
+                ));
+            }
+        }
+        None
+    }
+
+    /// Enters degraded mode: drops every decoded page and every proof
+    /// (master set and per-page stamps, both copies). The next fills
+    /// re-predecode from authoritative memory — healing slot corruption —
+    /// and nothing is ever proven again, so no check is elided.
+    pub(crate) fn degrade(&mut self) {
+        let pages: Vec<u32> = self.index.keys().copied().collect();
+        for page in pages {
+            self.invalidate(page);
+        }
+        self.clear_proven();
+        self.compromised = None;
+        self.sweep_cursor = 0;
+    }
+
+    /// Fault-injection hook: flips one bit in the *primary* proven bitmap
+    /// of a cached page, bypassing the replica and the checksum, exactly
+    /// as a hardware fault would. Returns a description of the flip, or
+    /// `None` when no page is cached (the fault has nothing to land on).
+    pub(crate) fn corrupt_proven_bit(&mut self, pick: u64, bit: u64) -> Option<String> {
+        let mut pages: Vec<u32> = self.index.keys().copied().collect();
+        pages.sort_unstable();
+        let page = *pages.get((pick % pages.len().max(1) as u64) as usize)?;
+        let idx = self.index[&page];
+        let slot = (bit % SLOTS as u64) as usize;
+        self.pages[idx].proven[slot / 64] ^= 1 << (slot % 64);
+        self.last = None;
+        Some(format!(
+            "proven bit for {:#010x} flipped",
+            page * PAGE_SIZE + 4 * slot as u32
+        ))
+    }
+
+    /// Fault-injection hook: flips one bit in the pre-extended immediate of
+    /// a filled decode slot, bypassing the page checksum. Returns a
+    /// description, or `None` when nothing is cached.
+    pub(crate) fn corrupt_decode_slot(&mut self, pick: u64, bit: u64) -> Option<String> {
+        let mut pages: Vec<u32> = self.index.keys().copied().collect();
+        pages.sort_unstable();
+        if pages.is_empty() {
+            return None;
+        }
+        let n = pages.len() as u64;
+        for off in 0..pages.len() {
+            let page = pages[((pick + off as u64) % n) as usize];
+            let idx = self.index[&page];
+            let filled: Vec<usize> = self.pages[idx]
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(s, d)| d.map(|_| s))
+                .collect();
+            if filled.is_empty() {
+                continue;
+            }
+            let slot = filled[(bit % filled.len() as u64) as usize];
+            let pos = ((bit >> 40) % 32) as u32;
+            let d = self.pages[idx].slots[slot]
+                .as_mut()
+                .expect("slot was just seen filled");
+            d.imm ^= 1 << pos;
+            self.last = None;
+            return Some(format!(
+                "decoded imm bit {pos} at {:#010x} flipped",
+                page * PAGE_SIZE + 4 * slot as u32
+            ));
+        }
+        None
     }
 
     /// Predecodes the straight-line block starting at the 4-aligned `pc`:
@@ -185,6 +353,7 @@ impl DecodeCache {
                 break;
             };
             self.pages[idx].slots[slot] = Some(d);
+            self.pages[idx].sum ^= slot_hash(slot, &d);
             if !self.proven.is_empty() && self.proven.contains(&addr) {
                 self.pages[idx].set_proven(slot);
             }
@@ -330,6 +499,76 @@ mod tests {
         // Refilling the invalidated page never re-proves it.
         cache.fill_block(TEXT_BASE, &mem);
         assert!(!cache.lookup(TEXT_BASE).unwrap().1);
+    }
+
+    #[test]
+    fn a_flipped_proven_bit_never_elides_and_flags_the_cache() {
+        let mem = text_with(&[addiu(1).encode(), addiu(2).encode()]);
+        let mut cache = DecodeCache::new();
+        cache.install_proven([TEXT_BASE]);
+        cache.fill_block(TEXT_BASE, &mem);
+        assert!(cache.lookup(TEXT_BASE).unwrap().1);
+        assert!(cache.take_compromised().is_none());
+
+        // Flip the primary bit covering slot 0: the replica now disagrees,
+        // so the lookup fails safe (proven = false) and raises the flag.
+        let applied = cache.corrupt_proven_bit(0, 0).unwrap();
+        assert!(applied.contains("proven bit"), "{applied}");
+        assert!(!cache.lookup(TEXT_BASE).unwrap().1, "mismatch fails safe");
+        assert!(cache.take_compromised().is_some());
+
+        // A flip the other way — falsely *proving* an unproven slot — is
+        // caught the same way (the covering words still differ).
+        let mut cache = DecodeCache::new();
+        cache.fill_block(TEXT_BASE, &mem);
+        cache.corrupt_proven_bit(0, 1).unwrap();
+        assert!(!cache.lookup(TEXT_BASE + 4).unwrap().1);
+        assert!(cache.take_compromised().is_some());
+    }
+
+    #[test]
+    fn the_sweep_catches_replica_and_slot_corruption() {
+        let mem = text_with(&[addiu(1).encode(), addiu(2).encode()]);
+        let mut cache = DecodeCache::new();
+        cache.install_proven([TEXT_BASE]);
+        cache.fill_block(TEXT_BASE, &mem);
+        assert_eq!(cache.verify_sweep(), None, "clean cache passes");
+
+        cache.corrupt_proven_bit(0, 3).unwrap();
+        assert!(cache.verify_sweep().unwrap().contains("replica mismatch"));
+        cache.degrade();
+        assert_eq!(cache.verify_sweep(), None, "degrade heals the cache");
+
+        cache.fill_block(TEXT_BASE, &mem);
+        cache.corrupt_decode_slot(0, 0).unwrap();
+        assert!(cache.verify_sweep().unwrap().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn degrade_drops_pages_and_proofs_and_refills_heal() {
+        let mem = text_with(&[addiu(1).encode()]);
+        let mut cache = DecodeCache::new();
+        cache.install_proven([TEXT_BASE]);
+        cache.fill_block(TEXT_BASE, &mem);
+        cache.corrupt_decode_slot(0, 0).unwrap();
+        cache.degrade();
+        assert!(!cache.has_proven());
+        assert_eq!(cache.lookup(TEXT_BASE), None, "pages dropped");
+        // The refill re-predecodes from authoritative memory: the corrupted
+        // slot is healed, and nothing is proven any more.
+        cache.fill_block(TEXT_BASE, &mem);
+        let (d, proven) = cache.lookup(TEXT_BASE).unwrap();
+        assert_eq!(d.instr, addiu(1));
+        assert_eq!(d.imm, 1, "corruption healed by the authoritative refill");
+        assert!(!proven);
+        assert_eq!(cache.verify_sweep(), None);
+    }
+
+    #[test]
+    fn corruption_hooks_report_none_on_an_empty_cache() {
+        let mut cache = DecodeCache::new();
+        assert_eq!(cache.corrupt_proven_bit(7, 9), None);
+        assert_eq!(cache.corrupt_decode_slot(7, 9), None);
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct ExecStats {
     /// Faults the injection harness applied to this run (I/O degradations
     /// and state corruptions). Zero outside fault-injection campaigns.
     pub injected_faults: u64,
+    /// Times the periodic decode-cache integrity check (ProvenClean bitmap
+    /// replicas + page checksums) tripped and the CPU entered degraded
+    /// mode: proofs dropped, elision off, every check run in full.
+    pub integrity_failures: u64,
 }
 
 impl ExecStats {
@@ -84,7 +88,8 @@ impl fmt::Display for ExecStats {
             f,
             "{} instructions ({} loads, {} stores, {} branches, {} reg-jumps, {} syscalls), \
              {} tainted-operand ({:.4}%), {} tainted-pointer derefs, \
-             decode-cache {}h/{}m/{}inv, {} elided checks, {} injected faults",
+             decode-cache {}h/{}m/{}inv, {} elided checks, {} injected faults, \
+             {} integrity failures",
             self.instructions,
             self.loads,
             self.stores,
@@ -98,7 +103,8 @@ impl fmt::Display for ExecStats {
             self.decode_cache_misses,
             self.decode_cache_invalidations,
             self.elided_checks,
-            self.injected_faults
+            self.injected_faults,
+            self.integrity_failures
         )
     }
 }
@@ -111,7 +117,7 @@ impl ToJson for ExecStats {
                 "\"register_jumps\":{},\"syscalls\":{},\"tainted_operand_instructions\":{},",
                 "\"tainted_pointer_dereferences\":{},\"decode_cache_hits\":{},",
                 "\"decode_cache_misses\":{},\"decode_cache_invalidations\":{},",
-                "\"elided_checks\":{},\"injected_faults\":{}}}"
+                "\"elided_checks\":{},\"injected_faults\":{},\"integrity_failures\":{}}}"
             ),
             self.instructions,
             self.loads,
@@ -125,7 +131,8 @@ impl ToJson for ExecStats {
             self.decode_cache_misses,
             self.decode_cache_invalidations,
             self.elided_checks,
-            self.injected_faults
+            self.injected_faults,
+            self.integrity_failures
         )
     }
 }
@@ -209,6 +216,21 @@ mod tests {
                 ..ExecStats::default()
             }
         );
+    }
+
+    #[test]
+    fn integrity_failure_counter_round_trips_and_survives_normalization() {
+        // Like injected faults, an integrity failure describes what the
+        // experiment did to the machine, not engine activity: normalizing
+        // for the engine differential must keep it.
+        let stats = ExecStats {
+            instructions: 50,
+            integrity_failures: 2,
+            ..ExecStats::default()
+        };
+        assert!(stats.to_string().contains("2 integrity failures"));
+        assert!(stats.to_json().contains("\"integrity_failures\":2"));
+        assert_eq!(stats.without_decode_cache().integrity_failures, 2);
     }
 
     #[test]

@@ -29,18 +29,23 @@ pub enum OutcomeClass {
     /// The faulted run crashed (guest memory/decode fault, break trap, or a
     /// hardening-caught host panic).
     GuestFault,
+    /// The faulted run crashed under a fault that targeted the *detection
+    /// machinery* (shadow taint, decode cache, static proofs) rather than
+    /// the guest — "detector corrupted", as opposed to "guest corrupted".
+    DetectorFault,
     /// The faulted run hung: step budget or wall-clock watchdog expired.
     Watchdog,
 }
 
 impl OutcomeClass {
     /// All classes, in report order.
-    pub const ALL: [OutcomeClass; 6] = [
+    pub const ALL: [OutcomeClass; 7] = [
         OutcomeClass::Detected,
         OutcomeClass::Missed,
         OutcomeClass::FalseAlert,
         OutcomeClass::Benign,
         OutcomeClass::GuestFault,
+        OutcomeClass::DetectorFault,
         OutcomeClass::Watchdog,
     ];
 
@@ -53,6 +58,7 @@ impl OutcomeClass {
             OutcomeClass::FalseAlert => "false_alert",
             OutcomeClass::Benign => "benign",
             OutcomeClass::GuestFault => "guest_fault",
+            OutcomeClass::DetectorFault => "detector_fault",
             OutcomeClass::Watchdog => "watchdog",
         }
     }
@@ -86,6 +92,25 @@ pub fn classify(reason: &ExitReason, baseline_detected: bool) -> OutcomeClass {
         | ExitReason::BreakTrap(_)
         | ExitReason::GuestFault(_)
         | ExitReason::ReplayDivergence(_) => OutcomeClass::GuestFault,
+    }
+}
+
+/// [`classify`], widened by the fault vocabulary: a crash under a fault
+/// kind that [`FaultKind::targets_detector`] is a *detector* corruption
+/// ([`OutcomeClass::DetectorFault`]), not a guest one. Detection verdicts
+/// (detected / missed / false-alert / benign) are unaffected — those
+/// measure the detector's answer, not who crashed.
+#[must_use]
+pub fn classify_fault(
+    reason: &ExitReason,
+    baseline_detected: bool,
+    kind: FaultKind,
+) -> OutcomeClass {
+    let class = classify(reason, baseline_detected);
+    if class == OutcomeClass::GuestFault && kind.targets_detector() {
+        OutcomeClass::DetectorFault
+    } else {
+        class
     }
 }
 
@@ -263,7 +288,7 @@ where
     for trial in 0..spec.trials {
         let fault = spec.fault_for_trial(trial, step_hint, io_hint);
         let run = run_trial(Some(&fault));
-        let class = classify(&run.outcome.reason, baseline_detected);
+        let class = classify_fault(&run.outcome.reason, baseline_detected, fault.kind);
         records.push(TrialRecord {
             trial,
             fault,
@@ -272,6 +297,93 @@ where
             applied: run.applied,
         });
     }
+
+    CampaignReport {
+        seed: spec.seed,
+        trials: spec.trials,
+        kinds: spec.kinds.clone(),
+        baseline_detected,
+        baseline_reason: baseline.outcome.reason,
+        baseline_io_calls: baseline.io_calls,
+        records,
+    }
+}
+
+/// [`run_campaign`], sharded across `jobs` worker threads with a
+/// deterministic merge.
+///
+/// The baseline runs first on the calling thread (its shape bounds fault
+/// placement, exactly as in the sequential runner). Workers then *steal*
+/// trial indices from a shared atomic counter — each trial's fault derives
+/// from the spec and the trial index alone, so any worker can run any
+/// trial — and the classified records are reassembled **in trial order**.
+/// The report is therefore byte-identical for every `jobs` value,
+/// including `jobs == 1` (which delegates to [`run_campaign`] outright);
+/// the CI `cmp` gate pins `-j1` vs `-j4`, the same contract as the
+/// analyzer's parallel fixpoint driver.
+///
+/// `make_runner` is called once per worker, **on that worker's thread** —
+/// the runner itself need not be `Send` (a `Machine` snapshot boots a
+/// thread-local CPU).
+pub fn run_campaign_jobs<R, F>(spec: &CampaignSpec, jobs: usize, make_runner: F) -> CampaignReport
+where
+    R: FnMut(Option<&Fault>) -> TrialRun,
+    F: Fn() -> R + Sync,
+{
+    let n = jobs.clamp(1, usize::try_from(spec.trials).unwrap_or(usize::MAX).max(1));
+    if n == 1 {
+        return run_campaign(spec, make_runner());
+    }
+    let baseline = {
+        let mut run_trial = make_runner();
+        run_trial(None)
+    };
+    let baseline_detected = baseline.outcome.reason.is_detected();
+    let step_hint = baseline.outcome.stats.instructions;
+    let io_hint = baseline.io_calls;
+
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let mut slots: Vec<Option<TrialRecord>> = (0..spec.trials).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let next = &next;
+                let make_runner = &make_runner;
+                s.spawn(move || {
+                    let mut run_trial = make_runner();
+                    let mut out = Vec::new();
+                    loop {
+                        let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if trial >= spec.trials {
+                            break;
+                        }
+                        let fault = spec.fault_for_trial(trial, step_hint, io_hint);
+                        let run = run_trial(Some(&fault));
+                        let class =
+                            classify_fault(&run.outcome.reason, baseline_detected, fault.kind);
+                        out.push(TrialRecord {
+                            trial,
+                            fault,
+                            reason: run.outcome.reason,
+                            class,
+                            applied: run.applied,
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for rec in h.join().expect("campaign worker panicked") {
+                let i = usize::try_from(rec.trial).expect("trial index fits usize");
+                slots[i] = Some(rec);
+            }
+        }
+    });
+    let records = slots
+        .into_iter()
+        .map(|r| r.expect("every trial slot is filled"))
+        .collect();
 
     CampaignReport {
         seed: spec.seed,
@@ -313,6 +425,74 @@ mod tests {
             GuestFault
         );
         assert_eq!(classify(&ExitReason::DecodeFault(0), false), GuestFault);
+    }
+
+    #[test]
+    fn detector_targeting_crashes_widen_to_detector_fault() {
+        use OutcomeClass::*;
+        let crash = ExitReason::MemFault(ptaint_mem::MemFault {
+            kind: ptaint_mem::MemFaultKind::Unaligned,
+            addr: 1,
+        });
+        // Guest-level fault kinds keep the old class...
+        assert_eq!(classify_fault(&crash, true, FaultKind::DataBit), GuestFault);
+        // ...detector-level kinds widen it.
+        assert_eq!(
+            classify_fault(&crash, true, FaultKind::ProvenFlip),
+            DetectorFault
+        );
+        assert_eq!(
+            classify_fault(&crash, false, FaultKind::DecodeSlot),
+            DetectorFault
+        );
+        // Detection verdicts are untouched by the widening.
+        let exited = ExitReason::Exited(0);
+        assert_eq!(classify_fault(&exited, true, FaultKind::TaintSweep), Missed);
+        assert_eq!(
+            classify_fault(
+                &ExitReason::Security(sample_alert()),
+                false,
+                FaultKind::TaintSet
+            ),
+            FalseAlert
+        );
+        assert_eq!(
+            classify_fault(&ExitReason::Watchdog, true, FaultKind::ProofCache),
+            Watchdog
+        );
+    }
+
+    #[test]
+    fn sharded_runner_merges_in_trial_order_and_matches_sequential() {
+        // A deterministic synthetic runner: the outcome is a pure function
+        // of the fault, so sequential and sharded sweeps must agree byte
+        // for byte — the tentpole's determinism contract in miniature.
+        let spec = CampaignSpec::new(0xfeed_beef, 23);
+        let runner = || {
+            |fault: Option<&Fault>| {
+                let reason = match fault {
+                    None => ExitReason::Security(sample_alert()),
+                    Some(f) if f.salt % 3 == 0 => ExitReason::Exited(0),
+                    Some(f) if f.salt % 3 == 1 => ExitReason::Security(sample_alert()),
+                    Some(_) => ExitReason::StepLimit,
+                };
+                TrialRun {
+                    outcome: outcome(reason),
+                    io_calls: 2,
+                    applied: fault.map(|f| format!("salt {}", f.salt)),
+                }
+            }
+        };
+        let sequential = run_campaign(&spec, runner());
+        let json = sequential.to_json();
+        for jobs in [1, 2, 4, 7, 64] {
+            let sharded = run_campaign_jobs(&spec, jobs, runner);
+            assert_eq!(sharded.to_json(), json, "jobs={jobs}");
+        }
+        // Records really are in trial order.
+        for (i, rec) in sequential.records.iter().enumerate() {
+            assert_eq!(rec.trial, i as u64);
+        }
     }
 
     #[test]

@@ -34,11 +34,31 @@ pub enum FaultKind {
     /// Flip one data-or-taint bit of a valid L1/L2 cache line, breaking
     /// cache/memory coherence until the line is evicted or overwritten.
     CacheLine,
+    /// Burst upset: flip 2–8 data bits of tainted bytes inside one 64-byte
+    /// window (taint preserved) — models a multi-bit DRAM fault in
+    /// attacker-reachable data.
+    MultiBit,
+    /// Clear *every* shadow taint bit in the machine — memory ranges and
+    /// registers alike. The taint-loss direction at maximum scale: the
+    /// detector is blinded wholesale, not around one byte.
+    TaintSweep,
+    /// Flip one bit of a filled decode-cache slot's pre-extended immediate
+    /// — corrupts the *detector's* predecoded view of the program, not the
+    /// program itself.
+    DecodeSlot,
+    /// Flip one bit of a cached page's primary ProvenClean bitmap — attacks
+    /// the check-elision machinery directly (a flipped bit can falsely
+    /// "prove" a site, or revoke a real proof).
+    ProvenFlip,
+    /// Flip one bit of the on-disk `ptaint-proofs v1` cache entry before
+    /// boot — corrupts the persistent proof store the warm path trusts.
+    /// Inert when the machine has no proof cache configured.
+    ProofCache,
 }
 
 impl FaultKind {
     /// Every kind, in a fixed order (campaign sampling indexes into this).
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 14] = [
         FaultKind::ShortRead,
         FaultKind::Eintr,
         FaultKind::ConnReset,
@@ -48,6 +68,11 @@ impl FaultKind {
         FaultKind::TaintSet,
         FaultKind::RegisterBit,
         FaultKind::CacheLine,
+        FaultKind::MultiBit,
+        FaultKind::TaintSweep,
+        FaultKind::DecodeSlot,
+        FaultKind::ProvenFlip,
+        FaultKind::ProofCache,
     ];
 
     /// Machine-readable kind name (CLI `--faults` tokens, report keys).
@@ -63,6 +88,11 @@ impl FaultKind {
             FaultKind::TaintSet => "taint_set",
             FaultKind::RegisterBit => "register_bit",
             FaultKind::CacheLine => "cache_line",
+            FaultKind::MultiBit => "multi_bit",
+            FaultKind::TaintSweep => "taint_sweep",
+            FaultKind::DecodeSlot => "decode_slot",
+            FaultKind::ProvenFlip => "proven_flip",
+            FaultKind::ProofCache => "proof_cache",
         }
     }
 
@@ -78,6 +108,24 @@ impl FaultKind {
         matches!(
             self,
             FaultKind::ShortRead | FaultKind::Eintr | FaultKind::ConnReset | FaultKind::Fragment
+        )
+    }
+
+    /// Whether this kind attacks the *detection machinery* (shadow taint,
+    /// decode cache, static proofs) rather than the guest's own state or
+    /// I/O. Crash-class outcomes under these kinds classify as
+    /// [`crate::OutcomeClass::DetectorFault`] ("detector corrupted")
+    /// instead of [`crate::OutcomeClass::GuestFault`] ("guest corrupted").
+    #[must_use]
+    pub const fn targets_detector(self) -> bool {
+        matches!(
+            self,
+            FaultKind::TaintClear
+                | FaultKind::TaintSet
+                | FaultKind::TaintSweep
+                | FaultKind::DecodeSlot
+                | FaultKind::ProvenFlip
+                | FaultKind::ProofCache
         )
     }
 }
@@ -164,6 +212,29 @@ mod tests {
             salt: 4, // salt % 4 == 0
         };
         assert_eq!(f.io_plan().at(0), Some(IoFault::Fragment { keep: 1 }));
+    }
+
+    #[test]
+    fn detector_targeting_kinds_are_the_meta_level_ones() {
+        let meta: Vec<FaultKind> = FaultKind::ALL
+            .into_iter()
+            .filter(|k| k.targets_detector())
+            .collect();
+        assert_eq!(
+            meta,
+            [
+                FaultKind::TaintClear,
+                FaultKind::TaintSet,
+                FaultKind::TaintSweep,
+                FaultKind::DecodeSlot,
+                FaultKind::ProvenFlip,
+                FaultKind::ProofCache,
+            ]
+        );
+        // No kind is both an I/O degradation and a detector attack.
+        assert!(!FaultKind::ALL
+            .into_iter()
+            .any(|k| k.is_io() && k.targets_detector()));
     }
 
     #[test]

@@ -156,6 +156,74 @@ fn apply_state_fault(kind: FaultKind, rng: &mut SplitMix64, cpu: &mut Cpu) -> Op
                 "L{level} cache line {what} bit flipped (byte {addr:#010x})"
             ))
         }
+        FaultKind::MultiBit => {
+            let ranges = cpu.mem().tainted_ranges();
+            let total: u64 = ranges.iter().map(|&(_, len)| u64::from(len)).sum();
+            if total == 0 {
+                return None;
+            }
+            // Burst upset: 2–8 single-bit flips inside one 64-byte window
+            // anchored on a tainted byte. Offsets may land on unmapped or
+            // untouched bytes; only the flips that land are counted.
+            let base = nth_tainted_byte(&ranges, rng.below(total));
+            let burst = 2 + rng.below(7);
+            let mut landed = 0u32;
+            for _ in 0..burst {
+                let addr = base.wrapping_add(rng.below(64) as u32);
+                let bit = rng.below(8) as u8;
+                let Ok((value, tainted)) = cpu.mem().memory().read_u8(addr) else {
+                    continue;
+                };
+                if cpu
+                    .mem_mut()
+                    .write_u8(addr, value ^ (1 << bit), tainted)
+                    .is_ok()
+                {
+                    landed += 1;
+                }
+            }
+            if landed == 0 {
+                return None;
+            }
+            Some(format!(
+                "{landed} of {burst} burst bit flips landed in [{base:#010x}, +64)"
+            ))
+        }
+        FaultKind::TaintSweep => {
+            // Blind the detector wholesale: clear every shadow taint bit in
+            // memory and the register file.
+            let ranges = cpu.mem().tainted_ranges();
+            let bytes: u64 = ranges.iter().map(|&(_, len)| u64::from(len)).sum();
+            let mut regs = 0u32;
+            for n in 1..32 {
+                let reg = Reg::new(n);
+                if cpu.regs().get(reg).1.any() {
+                    cpu.regs_mut().set_taint(reg, WordTaint::CLEAN);
+                    regs += 1;
+                }
+            }
+            for (start, len) in ranges {
+                cpu.mem_mut().set_taint_range(start, len, false).ok()?;
+            }
+            if bytes == 0 && regs == 0 {
+                return None;
+            }
+            Some(format!(
+                "taint sweep cleared {bytes} shadow bytes and {regs} registers"
+            ))
+        }
+        FaultKind::DecodeSlot => {
+            let pick = rng.next_u64();
+            let bit = rng.next_u64();
+            cpu.corrupt_decode_slot(pick, bit)
+        }
+        FaultKind::ProvenFlip => {
+            let pick = rng.next_u64();
+            let bit = rng.next_u64();
+            cpu.corrupt_proven_bit(pick, bit)
+        }
+        // I/O kinds are scheduled on the kernel; ProofCache fires at boot,
+        // on the machine layer, before this hook ever runs.
         _ => None,
     }
 }
@@ -271,6 +339,73 @@ mod tests {
             }
         }
         panic!("no cache-line fault landed across 8 salts");
+    }
+
+    #[test]
+    fn multi_bit_bursts_flip_several_bits_and_preserve_taint() {
+        let mut cpu = cpu();
+        cpu.mem_mut().set_taint_range(0x5000, 64, true).unwrap();
+        for addr in 0x5000..0x5040u32 {
+            cpu.mem_mut().write_u8(addr, 0xAA, true).unwrap();
+        }
+        let mut inj = hook(FaultKind::MultiBit, 0, 17);
+        inj.on_step(0, &mut cpu);
+        let detail = inj.applied().expect("tainted window exists");
+        assert!(detail.contains("burst bit flips landed"), "{detail}");
+        // Count corrupted bytes; taint stays on every one of them.
+        let mut flipped = 0;
+        for addr in 0x5000..0x5040u32 {
+            let (value, tainted) = cpu.mem().memory().read_u8(addr).unwrap();
+            assert!(tainted);
+            if value != 0xAA {
+                flipped += 1;
+            }
+        }
+        assert!(flipped >= 1, "at least one landed flip is visible");
+    }
+
+    #[test]
+    fn taint_sweep_blinds_memory_and_registers_wholesale() {
+        let mut cpu = cpu();
+        cpu.mem_mut().set_taint_range(0x5000, 16, true).unwrap();
+        cpu.mem_mut().set_taint_range(0x9000, 300, true).unwrap();
+        cpu.regs_mut().set(Reg::T0, 7, WordTaint::ALL);
+        let mut inj = hook(FaultKind::TaintSweep, 0, 1);
+        inj.on_step(0, &mut cpu);
+        let detail = inj.applied().unwrap();
+        assert_eq!(
+            detail,
+            "taint sweep cleared 316 shadow bytes and 1 registers"
+        );
+        assert!(cpu.mem().tainted_ranges().is_empty());
+        assert!(!cpu.regs().get(Reg::T0).1.any());
+
+        // Nothing tainted anywhere: the sweep has nothing to clear.
+        let mut clean = Cpu::new(MemorySystem::flat(), DetectionPolicy::PointerTaintedness);
+        let mut inj = hook(FaultKind::TaintSweep, 0, 1);
+        inj.on_step(0, &mut clean);
+        assert!(inj.applied().is_none());
+    }
+
+    #[test]
+    fn decode_faults_need_a_populated_decode_cache() {
+        // Fresh CPU, nothing decoded: both detector faults find no target.
+        let mut cpu = cpu();
+        let mut inj = hook(FaultKind::DecodeSlot, 0, 3);
+        inj.on_step(0, &mut cpu);
+        assert!(inj.applied().is_none());
+        let mut inj = hook(FaultKind::ProvenFlip, 0, 3);
+        inj.on_step(0, &mut cpu);
+        assert!(inj.applied().is_none());
+        assert_eq!(cpu.stats().injected_faults, 0);
+    }
+
+    #[test]
+    fn proof_cache_is_inert_at_the_state_level() {
+        let mut cpu = cpu();
+        let mut inj = hook(FaultKind::ProofCache, 0, 3);
+        inj.on_step(0, &mut cpu);
+        assert!(inj.applied().is_none(), "fires at boot, not at a step");
     }
 
     #[test]

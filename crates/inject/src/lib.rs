@@ -13,19 +13,31 @@
 //!   `ptaint-os` at the kernel→user boundary.
 //! * **State-level**: seeded bit flips in tainted data bytes, shadow taint
 //!   bits (taint *loss* → missed detections, taint *gain* → false alerts),
-//!   the register file, and L1/L2 cache lines — applied by a
-//!   [`StateInjector`] hooked into the execution driver.
+//!   multi-bit bursts, the register file, and L1/L2 cache lines — applied
+//!   by a [`StateInjector`] hooked into the execution driver.
+//! * **Meta-level** ([`FaultKind::targets_detector`]): faults aimed at the
+//!   detection machinery itself — whole-machine taint sweeps, decode-cache
+//!   slot corruption, ProvenClean-bitmap flips, and on-disk proof-cache
+//!   corruption. Crashes under these classify as
+//!   [`OutcomeClass::DetectorFault`] ("detector corrupted"), distinct from
+//!   [`OutcomeClass::GuestFault`] ("guest corrupted").
 //!
 //! Everything derives from one `u64` seed through [`SplitMix64`], so a
 //! campaign report is byte-identical across runs: `ptaint-run inject
-//! --seed S` is a reproducible experiment, not an anecdote.
+//! --seed S` is a reproducible experiment, not an anecdote. The sharded
+//! runner ([`run_campaign_jobs`]) extends the same contract across worker
+//! threads: trials are embarrassingly parallel (each fault derives from
+//! the spec and the trial index alone), workers steal trial indices from a
+//! shared counter, and records merge in trial order — so `-j1` and `-jN`
+//! produce byte-identical reports.
 //!
 //! The crate is workload-agnostic: [`run_campaign`] takes a closure that
-//! executes one trial, and `ptaint::Machine` binds that closure to a real
-//! guest boot. Classification ([`classify`]) is judged against the
-//! fault-free baseline — in particular, a clean exit of a workload whose
-//! baseline *detects* an attack is always reported as a **missed**
-//! detection, never silently benign.
+//! executes one trial ([`run_campaign_jobs`] takes a *factory* of such
+//! closures, one per worker), and `ptaint::Machine` binds the closure to a
+//! real guest boot. Classification ([`classify`], [`classify_fault`]) is
+//! judged against the fault-free baseline — in particular, a clean exit of
+//! a workload whose baseline *detects* an attack is always reported as a
+//! **missed** detection, never silently benign.
 
 mod campaign;
 mod fault;
@@ -33,7 +45,8 @@ mod injector;
 mod rng;
 
 pub use campaign::{
-    classify, run_campaign, CampaignReport, CampaignSpec, OutcomeClass, TrialRecord, TrialRun,
+    classify, classify_fault, run_campaign, run_campaign_jobs, CampaignReport, CampaignSpec,
+    OutcomeClass, TrialRecord, TrialRun,
 };
 pub use fault::{Fault, FaultKind};
 pub use injector::StateInjector;

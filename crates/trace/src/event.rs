@@ -195,6 +195,14 @@ pub enum Event {
         /// forked (private page copies it materialized).
         cow_faults: u64,
     },
+    /// The periodic decode-cache integrity check tripped: the CPU dropped
+    /// every static proof, disabled check elision, and continues in
+    /// full-check (degraded) mode for the rest of the run.
+    DegradedMode {
+        /// What the integrity check found (replica mismatch, checksum
+        /// mismatch, …).
+        reason: String,
+    },
     /// A replayed run issued a syscall its journal did not record, so
     /// replay stopped with a structured divergence.
     ReplayDivergence {
@@ -225,6 +233,7 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::Snapshot { .. } => "snapshot",
             Event::Fork { .. } => "fork",
+            Event::DegradedMode { .. } => "degraded_mode",
             Event::ReplayDivergence { .. } => "replay_divergence",
         }
     }
@@ -335,6 +344,10 @@ impl Event {
                 cow_faults,
             } => format!(
                 "\"event\":\"fork\",\"pages_shared\":{pages_shared},\"cow_faults\":{cow_faults}"
+            ),
+            Event::DegradedMode { reason } => format!(
+                "\"event\":\"degraded_mode\",\"reason\":{}",
+                escape(reason),
             ),
             Event::ReplayDivergence {
                 index,

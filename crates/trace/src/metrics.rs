@@ -209,9 +209,13 @@ impl MetricsCollector {
                 self.snap.faults_injected += 1;
                 *self.snap.faults_by_kind.entry(kind).or_insert(0) += 1;
             }
-            // Snapshot captures and replay divergences carry no counters of
-            // their own; fork events feed the COW metrics.
-            Event::Snapshot { .. } | Event::ReplayDivergence { .. } => {}
+            // Snapshot captures, replay divergences and degraded-mode
+            // transitions carry no counters of their own (degradations are
+            // counted in `ExecStats::integrity_failures`); fork events feed
+            // the COW metrics.
+            Event::Snapshot { .. }
+            | Event::ReplayDivergence { .. }
+            | Event::DegradedMode { .. } => {}
             Event::Fork {
                 pages_shared,
                 cow_faults,

@@ -96,6 +96,109 @@ fn benign_workload_campaign_never_reports_missed_or_detected() {
     assert_eq!(report.count(OutcomeClass::Detected), 0);
 }
 
+/// An injected ProvenClean-bitmap flip must never turn into a silent wrong
+/// elision: the DMR replica compare (or the periodic integrity sweep)
+/// catches it, the machine drops all proofs and continues in full-check
+/// mode, and the attack is still detected — with the degradation visible
+/// in `integrity_failures` and a reduced elision count.
+#[test]
+fn proven_flip_degrades_to_full_checks_and_still_detects() {
+    let m = Machine::from_c(ghttpd::SOURCE).unwrap();
+    let world = ghttpd::attack_world(m.image());
+    let m = m.world(world).elide_checks(true);
+
+    let clean = m.run();
+    assert!(clean.reason.is_detected(), "{:?}", clean.reason);
+    assert!(clean.stats.elided_checks > 0);
+    assert_eq!(clean.stats.integrity_failures, 0);
+
+    let fault = Fault {
+        kind: FaultKind::ProvenFlip,
+        io_call: 0,
+        step: 500,
+        salt: 0xdead_beef,
+    };
+    let trial = m.run_injected(&fault);
+    assert!(
+        trial.applied.is_some(),
+        "the decode cache should be populated well before step 500"
+    );
+    assert!(
+        trial.outcome.reason.is_detected(),
+        "{:?}",
+        trial.outcome.reason
+    );
+    assert!(trial.outcome.stats.integrity_failures >= 1);
+    assert!(
+        trial.outcome.stats.elided_checks < clean.stats.elided_checks,
+        "degraded mode must stop eliding: {} vs clean {}",
+        trial.outcome.stats.elided_checks,
+        clean.stats.elided_checks
+    );
+}
+
+/// The acceptance gate for graceful degradation: a campaign that corrupts
+/// the elision machinery itself (ProvenClean flips and decode-slot upsets)
+/// on the detected ghttpd attack reports **zero missed detections** — every
+/// corruption either degrades to full checks (still detected) or crashes as
+/// a detector fault, never a silent miss.
+#[test]
+fn detector_corruption_campaign_reports_zero_missed() {
+    let m = Machine::from_c(ghttpd::SOURCE).unwrap();
+    let world = ghttpd::attack_world(m.image());
+    let m = m.world(world).elide_checks(true);
+    let spec = CampaignSpec::new(0xd37e_c70f, 12)
+        .kinds(vec![FaultKind::ProvenFlip, FaultKind::DecodeSlot]);
+    let report = m.run_campaign(&spec);
+
+    assert!(report.baseline_detected);
+    assert_eq!(
+        report.count(OutcomeClass::Missed),
+        0,
+        "a detector-corruption trial missed the attack: {}",
+        report.to_json()
+    );
+    assert_eq!(report.count(OutcomeClass::Benign), 0);
+    assert!(report.count(OutcomeClass::Detected) >= 1);
+}
+
+/// A ProofCache trial corrupts the on-disk `ptaint-proofs v1` entry before
+/// boot; the entry's content checksum rejects it, and the boot falls back
+/// to cold analysis — same verdict, fault accounted.
+#[test]
+fn proof_cache_corruption_falls_back_to_cold_analysis() {
+    let dir = std::env::temp_dir().join(format!("ptaint-proofcache-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let m = Machine::from_c(synthetic::EXP1_SOURCE)
+        .unwrap()
+        .world(synthetic::exp1_attack_world())
+        .elide_checks(true)
+        .analysis_cache(&dir);
+
+    // Warm the store (cold analysis writes the entry), pin the verdict.
+    let clean = m.run();
+    assert!(clean.reason.is_detected());
+
+    let fault = Fault {
+        kind: FaultKind::ProofCache,
+        io_call: 0,
+        step: 0,
+        salt: 0x5eed,
+    };
+    let trial = m.run_injected(&fault);
+    assert!(
+        trial
+            .applied
+            .as_deref()
+            .is_some_and(|d| d.contains("proofs entry bit")),
+        "{:?}",
+        trial.applied
+    );
+    assert_eq!(trial.outcome.reason, clean.reason);
+    assert_eq!(trial.outcome.stats.injected_faults, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn fuzz_corpus() -> Vec<Machine> {
     vec![
         Machine::from_c(synthetic::EXP1_SOURCE).unwrap(),
@@ -127,6 +230,25 @@ proptest! {
             // Any reason is acceptable — the contract is that we *got* one.
             prop_assert!(!format!("{}", out.reason).is_empty());
         }
+    }
+
+    /// The sharded-determinism contract on a real machine: for any seed,
+    /// trial count, and worker count, `run_campaign_jobs` produces a report
+    /// byte-identical to the single-threaded runner's.
+    #[test]
+    fn sharded_campaign_reports_are_byte_identical(
+        seed in any::<u64>(),
+        trials in 1u64..8,
+        jobs in 2usize..6,
+    ) {
+        let m = Machine::from_c(synthetic::EXP1_SOURCE)
+            .unwrap()
+            .world(synthetic::exp1_attack_world())
+            .step_limit(2_000_000);
+        let spec = CampaignSpec::new(seed, trials);
+        let seq = m.run_campaign_jobs(&spec, 1).to_json();
+        let sharded = m.run_campaign_jobs(&spec, jobs).to_json();
+        prop_assert_eq!(seq, sharded);
     }
 
     /// Arbitrary faults — any kind, any trigger point, any salt — injected

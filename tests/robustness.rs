@@ -94,6 +94,37 @@ proptest! {
     }
 }
 
+/// The two boundary lengths `overflow_length_boundary` once shrank to
+/// (`robustness.proptest-regressions`), promoted to named deterministic
+/// regressions: they now run on every `cargo test` by construction, not
+/// only when the proptest seed file is honored.
+#[test]
+fn regression_len_10_untainted_nul_corruption_is_invisible_by_design() {
+    // The `scanf("%s")` terminator is a program constant, hence untainted:
+    // it zeroes one byte of the saved frame pointer and the process crashes
+    // wild without a taint alert — the Table 4 blind spot, pinned.
+    let out = Machine::from_c(synthetic::EXP1_SOURCE)
+        .unwrap()
+        .world(WorldConfig::new().stdin(vec![b'a'; 10]))
+        .run();
+    assert!(!out.reason.is_detected(), "len 10: {:?}", out.reason);
+    assert_ne!(out.reason, ExitReason::Exited(0), "len 10 must still crash");
+}
+
+#[test]
+fn regression_len_11_first_tainted_frame_byte_is_detected() {
+    // One byte past the untainted-NUL boundary: a tainted payload byte
+    // reaches the saved frame pointer, the epilogue restores it, and the
+    // next frame access is a tainted dereference.
+    let out = Machine::from_c(synthetic::EXP1_SOURCE)
+        .unwrap()
+        .world(WorldConfig::new().stdin(vec![b'a'; 11]))
+        .run();
+    out.reason
+        .alert()
+        .expect("len 11: frame corruption detected");
+}
+
 #[test]
 fn detection_point_is_deterministic_across_repeated_runs() {
     let m = Machine::from_c(synthetic::EXP2_SOURCE)

@@ -92,6 +92,9 @@ fn one_of_each() -> Vec<Event> {
             pages_shared: 40,
             cow_faults: 3,
         },
+        Event::DegradedMode {
+            reason: "proven bitmap replica mismatch on page 0x00400000".to_string(),
+        },
         Event::ReplayDivergence {
             index: 7,
             expected: "syscall 4003 (0x0, 0x10000000, 0x40)".to_string(),
@@ -210,6 +213,7 @@ fn pinned_keys(event: &str) -> &'static [&'static str] {
         "fault_injected" => &["event", "kind", "detail"],
         "snapshot" => &["event", "pages"],
         "fork" => &["event", "pages_shared", "cow_faults"],
+        "degraded_mode" => &["event", "reason"],
         "replay_divergence" => &["event", "index", "expected", "actual"],
         "metrics_snapshot" => &["event", "retired", "metrics"],
         other => panic!("unknown event discriminant `{other}`"),
